@@ -1,0 +1,1 @@
+bench/bench_util.ml: Ekg_core Ekg_engine Ekg_stats List Pipeline Printf Unix

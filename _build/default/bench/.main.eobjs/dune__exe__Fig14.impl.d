@@ -1,0 +1,1 @@
+bench/fig14.ml: Bench_util Company_control Comprehension Debts Ekg_apps Ekg_datagen Ekg_kernel Ekg_study List Option Owners Printf Prng Stress_test

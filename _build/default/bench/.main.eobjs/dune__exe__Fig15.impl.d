@@ -1,0 +1,1 @@
+bench/fig15.ml: Bench_util Company_control Ekg_apps Ekg_core Ekg_datalog Ekg_engine Ekg_llm Printf Verbalizer

@@ -1,0 +1,1 @@
+bench/fig17.ml: Bench_util Company_control Debts Ekg_apps Ekg_core Ekg_datagen Ekg_engine Ekg_kernel Ekg_llm Ekg_stats Float List Owners Printf Prng Stress_test Verbalizer

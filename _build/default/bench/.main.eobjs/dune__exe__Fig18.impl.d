@@ -1,0 +1,1 @@
+bench/fig18.ml: Bench_util Company_control Debts Ekg_apps Ekg_core Ekg_datagen Ekg_engine Ekg_kernel Ekg_stats List Owners Pipeline Printf Prng Stress_test

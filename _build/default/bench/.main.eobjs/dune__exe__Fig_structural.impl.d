@@ -1,0 +1,1 @@
+bench/fig_structural.ml: Bench_util Close_link Company_control Depgraph Ekg_apps Ekg_core List Printf Reasoning_path Stress_test String

@@ -1,0 +1,1 @@
+bench/fig_templates.ml: Bench_util Ekg_apps Ekg_core Ekg_datalog Ekg_engine Ekg_llm Glossary List Parser Pipeline Printf Program Proof_mapper Stress_test String Template Verbalizer

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Extension Fig14 Fig15 Fig16 Fig17 Fig18 Fig_structural Fig_templates List Micro Printf String Sys

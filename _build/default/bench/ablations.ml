@@ -1,0 +1,194 @@
+(* [ablations] — the design choices DESIGN.md calls out:
+
+   1. greedy longest-prefix template mapping (§4.3) vs naive
+      one-template-per-chase-step;
+   2. aggregation ("dashed") variants on vs off — without them, each
+      contributor verbalizes as its own sentence;
+   3. semi-naive vs naive chase evaluation (rounds and wall time). *)
+
+open Ekg_kernel
+open Ekg_core
+open Ekg_apps
+open Ekg_datagen
+
+(* naive mapping: every chase step becomes its own ad-hoc single-rule
+   path (what a template-less, rule-by-rule verbalizer would do) *)
+let naive_mapping (analysis : Reasoning_path.analysis) (proof : Ekg_engine.Proof.t) =
+  let assignments =
+    List.map
+      (fun (s : Ekg_engine.Proof.step) ->
+        let rule =
+          match Ekg_datalog.Program.find_rule analysis.program s.rule_id with
+          | Some r -> r
+          | None -> failwith "rule not found"
+        in
+        let path =
+          {
+            Reasoning_path.name = "step:" ^ s.rule_id;
+            kind = Reasoning_path.Cycle;
+            rules = [ rule ];
+            multi_flags =
+              (if Ekg_datalog.Rule.has_agg rule then [ (rule.id, s.multi) ] else []);
+            terminals = [];
+          }
+        in
+        { Proof_mapper.path; blocks = [ { Proof_mapper.path_rule = 0; steps = [ s ] } ] })
+      proof.steps
+  in
+  { Proof_mapper.assignments; fallbacks = List.length proof.steps }
+
+let mapper_ablation () =
+  Bench_util.subsection "greedy template mapping vs naive per-step templates";
+  let rng = Prng.create 181 in
+  let pipeline = Stress_test.simple_pipeline () in
+  Printf.printf "  %-6s %-22s %-22s %-14s %s\n" "steps" "greedy: templates" "naive: templates"
+    "greedy words" "naive words";
+  List.iter
+    (fun depth ->
+      let inst = Debts.multi_debt_cascade rng ~depth ~debts_per_hop:3 in
+      let explained = Bench_util.explain_goal pipeline inst.edb inst.goal in
+      let e = explained.explanation in
+      let naive = naive_mapping pipeline.analysis e.proof in
+      let naive_text =
+        Instantiate.render_mapping
+          ~template_for:(Pipeline.template_for pipeline ~enhanced:true)
+          naive
+      in
+      let constants = Verbalizer.constant_strings Stress_test.simple_glossary e.proof in
+      assert (Ekg_llm.Omission.retained_ratio ~constants naive_text = 1.0);
+      assert (Ekg_llm.Omission.retained_ratio ~constants e.text = 1.0);
+      Printf.printf "  %-6d %-22d %-22d %-14d %d\n"
+        (Ekg_engine.Proof.length e.proof)
+        (List.length e.mapping.assignments)
+        (List.length naive.assignments)
+        (Textutil.word_count e.text) (Textutil.word_count naive_text))
+    [ 1; 2; 4; 6 ];
+  print_endline
+    "  both are complete; the greedy mapper uses fewer, longer templates, giving more\n\
+    \  compact and coherent reports (the paper's motivation for reasoning paths)"
+
+let agg_variant_ablation () =
+  Bench_util.subsection "aggregation (dashed) variants on vs off";
+  let rng = Prng.create 182 in
+  let pipeline = Stress_test.simple_pipeline () in
+  (* disable dashed variants: restrict the analysis to base paths *)
+  let base_only =
+    {
+      pipeline.analysis with
+      Reasoning_path.simple_paths =
+        List.filter Reasoning_path.is_base pipeline.analysis.simple_paths;
+      cycles = List.filter Reasoning_path.is_base pipeline.analysis.cycles;
+    }
+  in
+  Printf.printf "  %-6s %-18s %s\n" "steps" "with variants" "without variants (fallbacks)";
+  List.iter
+    (fun depth ->
+      let inst = Debts.multi_debt_cascade rng ~depth ~debts_per_hop:3 in
+      let explained = Bench_util.explain_goal pipeline inst.edb inst.goal in
+      let e = explained.explanation in
+      let stripped = Proof_mapper.map_proof base_only e.proof in
+      Printf.printf "  %-6d %-18d %d\n"
+        (Ekg_engine.Proof.length e.proof)
+        e.mapping.fallbacks stripped.fallbacks)
+    [ 1; 2; 4 ];
+  print_endline
+    "  without the dashed variants of §4.1, multi-contributor aggregation steps have\n\
+    \  no matching reasoning path and degrade to ad-hoc per-step templates"
+
+let chase_ablation () =
+  Bench_util.subsection "semi-naive vs naive chase evaluation (transitive closure)";
+  let program =
+    match
+      Ekg_datalog.Parser.parse
+        {|
+base: e(X, Y) -> path(X, Y).
+step: path(X, Z), e(Z, Y) -> path(X, Y).
+@goal(path).
+|}
+    with
+    | Ok { program; _ } -> program
+    | Error e -> failwith e
+  in
+  let chain n =
+    List.init n (fun i ->
+        Ekg_datalog.Atom.make "e"
+          [
+            Ekg_datalog.Term.str (Printf.sprintf "n%03d" i);
+            Ekg_datalog.Term.str (Printf.sprintf "n%03d" (i + 1));
+          ])
+  in
+  Printf.printf "  %-8s %-24s %s\n" "nodes" "semi-naive (ms, rounds)" "naive (ms, rounds)";
+  List.iter
+    (fun n ->
+      let edb = chain n in
+      let semi, t_semi =
+        Bench_util.time_ms (fun () -> Ekg_engine.Chase.run_exn program edb)
+      in
+      let naive, t_naive =
+        Bench_util.time_ms (fun () -> Ekg_engine.Chase.run_exn ~naive:true program edb)
+      in
+      assert (semi.derived_count = naive.derived_count);
+      Printf.printf "  %-8d %9.2f ms, %3d       %9.2f ms, %3d\n" n t_semi semi.rounds
+        t_naive naive.rounds)
+    [ 20; 40; 80 ];
+  print_endline
+    "  identical materializations; the delta filter avoids re-deriving the quadratic\n\
+    \  closure every round, so the gap widens with recursion depth"
+
+let magic_ablation () =
+  Bench_util.subsection "goal-directed (magic sets) vs full materialization";
+  let program =
+    match
+      Ekg_datalog.Parser.parse
+        {|
+base: e(X, Y) -> path(X, Y).
+step: path(X, Z), e(Z, Y) -> path(X, Y).
+@goal(path).
+|}
+    with
+    | Ok { program; _ } -> program
+    | Error e -> failwith e
+  in
+  let chain n =
+    List.init n (fun i ->
+        Ekg_datalog.Atom.make "e"
+          [
+            Ekg_datalog.Term.str (Printf.sprintf "n%03d" i);
+            Ekg_datalog.Term.str (Printf.sprintf "n%03d" (i + 1));
+          ])
+  in
+  Printf.printf "  %-8s %-28s %s\n" "nodes" "magic (ms, facts derived)"
+    "full (ms, facts derived)";
+  List.iter
+    (fun n ->
+      let edb = chain n in
+      (* point query at the tail: the worst case for materializing all *)
+      let q =
+        Ekg_datalog.Atom.make "path"
+          [
+            Ekg_datalog.Term.str (Printf.sprintf "n%03d" (n - 1));
+            Ekg_datalog.Term.var "Y";
+          ]
+      in
+      let magic, t_magic =
+        Bench_util.time_ms (fun () ->
+            match Ekg_engine.Magic.answer program edb q with
+            | Ok a -> a
+            | Error e -> failwith e)
+      in
+      let full, t_full =
+        Bench_util.time_ms (fun () -> Ekg_engine.Chase.run_exn program edb)
+      in
+      Printf.printf "  %-8d %9.2f ms, %6d        %9.2f ms, %6d\n" n t_magic
+        magic.derived_count t_full full.derived_count)
+    [ 20; 40; 80 ];
+  print_endline
+    "  the magic rewriting materializes only the facts the query constants reach —\n\
+    \  constant-size here vs the quadratic full closure"
+
+let run () =
+  Bench_util.section "ablations" "Design-choice ablations (DESIGN.md section 4)";
+  mapper_ablation ();
+  agg_variant_ablation ();
+  chase_ablation ();
+  magic_ablation ()

@@ -1,0 +1,44 @@
+(* Shared helpers for the experiment harness: section banners, timing,
+   explanation plumbing and table rendering. *)
+
+open Ekg_core
+
+let section name description =
+  Printf.printf "\n";
+  Printf.printf "============================================================\n";
+  Printf.printf "[%s] %s\n" name description;
+  Printf.printf "============================================================\n"
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+let row fmt = Printf.printf fmt
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let t1 = Unix.gettimeofday () in
+  (result, (t1 -. t0) *. 1000.)
+
+type explained = {
+  explanation : Pipeline.explanation;
+  result : Ekg_engine.Chase.result;
+}
+
+let explain_goal pipeline edb goal =
+  match Pipeline.reason pipeline edb with
+  | Error e -> failwith ("bench: reasoning failed: " ^ e)
+  | Ok result -> (
+    match Pipeline.explain_atom pipeline result goal with
+    | Ok (e :: _) -> { explanation = e; result }
+    | Ok [] -> failwith "bench: no explanation produced"
+    | Error e -> failwith ("bench: explanation failed: " ^ e))
+
+let five_number_row label values =
+  let f = Ekg_stats.Descriptive.five_number values in
+  Printf.printf "  %-14s  whiskers [%6.3f .. %6.3f]  quartiles [%6.3f %6.3f %6.3f]  mean %6.3f%s\n"
+    label f.low_whisker f.high_whisker f.q1 f.median f.q3
+    (Ekg_stats.Descriptive.mean values)
+    (if f.outliers = [] then ""
+     else Printf.sprintf "  (%d outliers)" (List.length f.outliers))
+
+let paper_note text = Printf.printf "  paper: %s\n" text

@@ -1,0 +1,125 @@
+(* [fig17] — completeness of textual explanations (§6.3, Figure 17).
+
+   For proofs of increasing length (company control: 3..21 chase steps;
+   stress test: 1..9), the deterministic verbalization is handed to the
+   (simulated) LLM with the paraphrase and summary prompts, and the
+   relative amount of omitted information — 1 minus the share of the
+   proof's constants surviving into the output — is measured over 10
+   distinct sampled proofs per length.  The template-based approach is
+   measured alongside: by construction it never omits. *)
+
+open Ekg_kernel
+open Ekg_core
+open Ekg_apps
+open Ekg_datagen
+
+type series = {
+  steps : int;
+  para : float list;
+  summ : float list;
+  tmpl : float list;
+}
+
+let samples_per_length = 10
+
+let measure_point rng pipeline glossary program make_instance =
+  let one_sample () =
+    let edb, goal = make_instance () in
+    let explained = Bench_util.explain_goal pipeline edb goal in
+    (explained, Verbalizer.verbalize_proof glossary program explained.explanation.proof)
+  in
+  ignore rng;
+  let samples = List.init samples_per_length (fun _ -> one_sample ()) in
+  let ratios task =
+    List.map
+      (fun ((explained : Bench_util.explained), deterministic) ->
+        let proof = explained.explanation.proof in
+        let constants = Verbalizer.constant_strings glossary proof in
+        let out =
+          Ekg_llm.Mock_llm.rewrite task ~proof_length:(Ekg_engine.Proof.length proof)
+            ~constants deterministic
+        in
+        Ekg_llm.Omission.omitted_ratio ~constants out)
+      samples
+  in
+  let tmpl =
+    List.map
+      (fun ((explained : Bench_util.explained), _) ->
+        let constants =
+          Verbalizer.constant_strings glossary explained.explanation.proof
+        in
+        Ekg_llm.Omission.omitted_ratio ~constants explained.explanation.text)
+      samples
+  in
+  (ratios Ekg_llm.Mock_llm.Paraphrase, ratios Ekg_llm.Mock_llm.Summarize, tmpl)
+
+let print_series title series =
+  Bench_util.subsection title;
+  Printf.printf "  %-6s %-28s %-28s %s\n" "steps" "paraphrase omitted (mean)"
+    "summary omitted (mean)" "templates (mean)";
+  List.iter
+    (fun s ->
+      let mean = Ekg_stats.Descriptive.mean in
+      Printf.printf "  %-6d %-28.3f %-28.3f %.3f\n" s.steps (mean s.para) (mean s.summ)
+        (mean s.tmpl))
+    series;
+  Printf.printf "\n  boxplot detail (paraphrase | summary):\n";
+  List.iter
+    (fun s ->
+      Printf.printf "  %2d steps:\n" s.steps;
+      Bench_util.five_number_row "paraphrase" s.para;
+      Bench_util.five_number_row "summary" s.summ)
+    series
+
+let run () =
+  Bench_util.section "fig17"
+    "Omitted information in LLM outputs vs proof length (Figure 17)";
+  let rng = Prng.create 170 in
+
+  let cc_pipeline = Company_control.pipeline () in
+  let cc_series =
+    List.map
+      (fun steps ->
+        let para, summ, tmpl =
+          measure_point rng cc_pipeline Company_control.glossary
+            Company_control.program (fun () ->
+              let i = Owners.chain rng ~hops:steps in
+              (i.edb, i.goal))
+        in
+        { steps; para; summ; tmpl })
+      [ 3; 6; 9; 12; 15; 18; 21 ]
+  in
+  print_series "(a) company control — 10 proofs per length" cc_series;
+  Bench_util.paper_note
+    "omission grows with proof length; summaries omit more than paraphrases; \
+     most omissions are ownership share amounts";
+
+  let st_pipeline = Stress_test.simple_pipeline () in
+  let st_series =
+    List.map
+      (fun steps ->
+        let depth = (steps - 1) / 2 in
+        let para, summ, tmpl =
+          measure_point rng st_pipeline Stress_test.simple_glossary
+            Stress_test.simple_program (fun () ->
+              let i = Debts.simple_cascade rng ~depth in
+              (i.edb, i.goal))
+        in
+        { steps; para; summ; tmpl })
+      [ 1; 3; 5; 7; 9 ]
+  in
+  print_series "(b) stress test — 10 proofs per length" st_series;
+  Bench_util.paper_note
+    "same growth pattern, no specific omission pattern identified";
+
+  (* the headline claim: templates never omit *)
+  let all_template_ratios =
+    List.concat_map (fun s -> s.tmpl) (cc_series @ st_series)
+  in
+  Printf.printf
+    "\n  template-based approach: max omitted ratio across all %d proofs = %.3f\n"
+    (List.length all_template_ratios)
+    (List.fold_left Float.max 0. all_template_ratios);
+  Bench_util.paper_note
+    "the template-based technique avoids omissions by construction (all constants \
+     are captured by tokens)"

@@ -1,0 +1,69 @@
+(* [fig18] — performance of the template-based approach (§6.4,
+   Figure 18): time required to select, parse and combine templates as
+   the proof length grows; 15 distinct proofs per length.
+
+   Reasoning (the chase) is excluded, exactly as in the paper: we time
+   the explanation step only — proof extraction, greedy template
+   mapping, and token substitution. *)
+
+open Ekg_kernel
+open Ekg_core
+open Ekg_apps
+open Ekg_datagen
+
+let samples_per_length = 15
+
+let time_explanations pipeline instances =
+  List.map
+    (fun (edb, goal) ->
+      match Pipeline.reason pipeline edb with
+      | Error e -> failwith e
+      | Ok result -> (
+        match Ekg_engine.Query.ask result.db goal with
+        | [] -> failwith "goal not derived"
+        | (f, _) :: _ ->
+          let (_ : Pipeline.explanation), ms =
+            Bench_util.time_ms (fun () ->
+                match Pipeline.explain pipeline result f with
+                | Ok e -> e
+                | Error e -> failwith e)
+          in
+          ms))
+    instances
+
+let sweep name pipeline mk lengths =
+  Bench_util.subsection name;
+  Printf.printf "  %-6s %-12s %s\n" "steps" "mean (ms)" "boxplot";
+  List.iter
+    (fun steps ->
+      let instances = List.init samples_per_length (fun _ -> mk steps) in
+      let times = time_explanations pipeline instances in
+      Printf.printf "  %-6d %-12.3f" steps (Ekg_stats.Descriptive.mean times);
+      let f = Ekg_stats.Descriptive.five_number times in
+      Printf.printf " [%6.3f .. %6.3f] quartiles [%6.3f %6.3f %6.3f]\n" f.low_whisker
+        f.high_whisker f.q1 f.median f.q3)
+    lengths
+
+let run () =
+  Bench_util.section "fig18"
+    "Running time of explanation generation vs proof length (Figure 18)";
+  let rng = Prng.create 180 in
+  let cc = Company_control.pipeline () in
+  sweep "(a) company control — 15 proofs per length" cc
+    (fun steps ->
+      let i = Owners.chain rng ~hops:steps in
+      (i.edb, i.goal))
+    [ 1; 3; 5; 7; 9; 11; 13; 16; 18; 21 ];
+  Bench_util.paper_note
+    "increases with inference steps; max around 1s at 21 steps on their hardware — \
+     absolute numbers differ, the monotone shape is the claim";
+  let st = Stress_test.pipeline () in
+  sweep "(b) stress test — 15 proofs per length" st
+    (fun steps ->
+      let depth = (steps - 1) / 3 in
+      let i = Debts.dual_cascade rng ~depth in
+      (i.edb, i.goal))
+    [ 1; 4; 7; 10; 13; 16; 19; 22 ];
+  Bench_util.paper_note
+    "syntactically richer application (more aggregations) runs slower; max around \
+     3s at 22+ steps on their hardware; shape must be monotone and above (a)"

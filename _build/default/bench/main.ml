@@ -1,0 +1,42 @@
+(* Experiment and benchmark harness: regenerates every table and figure
+   of the paper's evaluation (§5-§6) and runs the micro-benchmarks.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig17   # one section
+
+   Sections: structural templates fig14 fig15 fig16 fig17 fig18
+             ablations bechamel *)
+
+let sections =
+  [
+    ("structural", Fig_structural.run);
+    ("templates", Fig_templates.run);
+    ("fig14", Fig14.run);
+    ("fig15", Fig15.run);
+    ("fig16", Fig16.run);
+    ("fig17", Fig17.run);
+    ("fig18", Fig18.run);
+    ("ablations", Ablations.run);
+    ("extension", Extension.run);
+    ("bechamel", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst sections
+  in
+  print_endline
+    "Template-based Explainable Inference over High-Stakes Financial Knowledge Graphs";
+  print_endline "EDBT 2025 reproduction: experiment harness";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some run -> run ()
+      | None ->
+        Printf.eprintf "unknown section %s (known: %s)\n" name
+          (String.concat ", " (List.map fst sections));
+        exit 1)
+    requested;
+  print_newline ()

@@ -1,0 +1,211 @@
+(* ekg-explain: the automated pipeline of §4.4 as a command-line tool.
+
+   Load a Vadalog program (rules + facts + @goal) and a domain
+   glossary, run the chase, and answer explanation queries; or run one
+   of the bundled financial applications on its paper scenario. *)
+
+open Cmdliner
+open Ekg_core
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+type loaded = {
+  pipeline : Pipeline.t;
+  edb : Ekg_datalog.Atom.t list;
+}
+
+let load_app = function
+  | "company-control" ->
+    Ok
+      {
+        pipeline = Ekg_apps.Company_control.pipeline ();
+        edb = Ekg_apps.Company_control.scenario_edb;
+      }
+  | "stress-test" ->
+    Ok
+      {
+        pipeline = Ekg_apps.Stress_test.pipeline ();
+        edb = Ekg_apps.Stress_test.scenario_edb;
+      }
+  | "close-link" ->
+    Ok
+      {
+        pipeline = Ekg_apps.Close_link.pipeline ();
+        edb = Ekg_apps.Close_link.scenario_edb;
+      }
+  | "golden-power" ->
+    Ok
+      {
+        pipeline = Ekg_apps.Golden_power.pipeline ();
+        edb = Ekg_apps.Golden_power.scenario_edb;
+      }
+  | other -> Error ("unknown application: " ^ other ^ " (try company-control, stress-test, close-link, golden-power)")
+
+let load_files ~program_file ~glossary_file ~style =
+  match Ekg_datalog.Parser.parse (read_file program_file) with
+  | Error e -> Error ("program: " ^ e)
+  | Ok { program; facts } -> (
+    let glossary =
+      match glossary_file with
+      | None -> Ok (Glossary.make_exn [])
+      | Some gf -> (
+        match Glossary.parse_spec (read_file gf) with
+        | Ok g -> Ok g
+        | Error e -> Error ("glossary: " ^ e))
+    in
+    match glossary with
+    | Error e -> Error e
+    | Ok glossary -> Ok { pipeline = Pipeline.build ~style program glossary; edb = facts })
+
+let run app program_file glossary_file facts_dir query style show_analysis show_templates
+    show_proof deterministic report json_out why =
+  let loaded =
+    match app, program_file with
+    | Some a, _ -> load_app a
+    | None, Some pf -> load_files ~program_file:pf ~glossary_file ~style
+    | None, None -> Error "provide --app or --program (see --help)"
+  in
+  let loaded =
+    (* facts from a CSV directory replace the bundled/inline ones *)
+    match loaded, facts_dir with
+    | Ok l, Some dir -> (
+      match Ekg_engine.Io.load_directory dir with
+      | Ok facts -> Ok { l with edb = facts }
+      | Error e -> Error ("facts: " ^ e))
+    | _, _ -> loaded
+  in
+  match loaded with
+  | Error e ->
+    Fmt.epr "error: %s@." e;
+    1
+  | Ok { pipeline; edb } -> (
+    if show_analysis then begin
+      Fmt.pr "== structural analysis ==@.%s@.@."
+        (Reasoning_path.analysis_to_string pipeline.analysis);
+      Fmt.pr "== termination analysis ==@.%s@.@."
+        (Termination.to_string (Termination.analyze pipeline.program))
+    end;
+    if show_templates then begin
+      Fmt.pr "== explanation templates ==@.";
+      List.iter
+        (fun (name, tpl) -> Fmt.pr "%s:@.  %s@." name (Template.skeleton tpl))
+        pipeline.deterministic;
+      Fmt.pr "== enhanced templates ==@.";
+      List.iter
+        (fun (name, tpl) -> Fmt.pr "%s:@.  %s@." name (Template.skeleton tpl))
+        pipeline.enhanced;
+      Fmt.pr "@."
+    end;
+    match Pipeline.reason pipeline edb with
+    | Error e ->
+      Fmt.epr "reasoning error: %s@." e;
+      1
+    | Ok result -> (
+      Fmt.pr "reasoning complete: %d facts derived in %d rounds@."
+        result.derived_count result.rounds;
+      if json_out then begin
+        print_endline (Ekg_engine.Io.result_to_json result)
+      end;
+      match query with
+      | None ->
+        Fmt.pr "derived facts for goal %s:@." pipeline.program.goal;
+        List.iter
+          (fun f -> Fmt.pr "  %s@." (Ekg_engine.Fact.to_string f))
+          (Ekg_engine.Database.active result.db pipeline.program.goal);
+        0
+      | Some q -> (
+        match Pipeline.explain_query pipeline result q with
+        | Error e ->
+          Fmt.epr "explanation error: %s@." e;
+          1
+        | Ok explanations ->
+          List.iter
+            (fun (e : Pipeline.explanation) ->
+              if report then
+                Fmt.pr "@.%s@." (Report.render (Report.of_explanation pipeline e))
+              else begin
+                Fmt.pr "@.== explanation of %s ==@."
+                  (Ekg_engine.Fact.to_string e.fact);
+                if show_proof then
+                  Fmt.pr "-- proof (%d chase steps) --@.%s@.-- reasoning paths: %s --@."
+                    (Ekg_engine.Proof.length e.proof)
+                    (Ekg_engine.Proof.to_string e.proof)
+                    (String.concat ", " e.paths_used);
+                if why then
+                  Fmt.pr "-- why-provenance --@.%s@."
+                    (Ekg_engine.Why.polynomial result.db result.prov e.fact);
+                Fmt.pr "%s@." (if deterministic then e.deterministic_text else e.text)
+              end)
+            explanations;
+          0)))
+
+let app_t =
+  let doc = "Bundled application to run (company-control, stress-test, close-link, golden-power)." in
+  Arg.(value & opt (some string) None & info [ "app"; "a" ] ~docv:"APP" ~doc)
+
+let program_t =
+  let doc = "Vadalog program file (rules, facts, @goal directive)." in
+  Arg.(value & opt (some file) None & info [ "program"; "p" ] ~docv:"FILE" ~doc)
+
+let glossary_t =
+  let doc = "Domain glossary file (pred(args) :: pattern lines)." in
+  Arg.(value & opt (some file) None & info [ "glossary"; "g" ] ~docv:"FILE" ~doc)
+
+let query_t =
+  let doc = "Explanation query, e.g. 'control(\"B\", \"D\")'." in
+  Arg.(value & opt (some string) None & info [ "query"; "q" ] ~docv:"ATOM" ~doc)
+
+let style_t =
+  let doc = "Enhancement style (different interchangeable phrasings)." in
+  Arg.(value & opt int 0 & info [ "style" ] ~docv:"N" ~doc)
+
+let show_analysis_t =
+  Arg.(value & flag & info [ "show-analysis" ] ~doc:"Print the structural analysis.")
+
+let show_templates_t =
+  Arg.(value & flag & info [ "show-templates" ] ~doc:"Print the explanation templates.")
+
+let show_proof_t =
+  Arg.(value & flag & info [ "show-proof" ] ~doc:"Print the chase-step proof.")
+
+let deterministic_t =
+  Arg.(
+    value & flag
+    & info [ "deterministic" ]
+        ~doc:"Use deterministic (non-enhanced) templates for the output text.")
+
+let report_t =
+  Arg.(
+    value & flag
+    & info [ "report" ]
+        ~doc:"Render each explanation as a full business report with appendix.")
+
+let facts_dir_t =
+  let doc = "Directory of <pred>.csv files to load as extensional facts." in
+  Arg.(value & opt (some dir) None & info [ "facts-dir"; "d" ] ~docv:"DIR" ~doc)
+
+let json_t =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Dump the materialized instance (with provenance) as JSON.")
+
+let why_t =
+  Arg.(
+    value & flag
+    & info [ "why" ]
+        ~doc:"Print the why-provenance polynomial (extensional witnesses) of each fact.")
+
+let cmd =
+  let doc = "template-based explanations for rule-based knowledge graph applications" in
+  let info = Cmd.info "ekg-explain" ~version:"1.0.0" ~doc in
+  Cmd.v info
+    Term.(
+      const run $ app_t $ program_t $ glossary_t $ facts_dir_t $ query_t $ style_t
+      $ show_analysis_t $ show_templates_t $ show_proof_t $ deterministic_t $ report_t
+      $ json_t $ why_t)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/close_link_example.ml: Close_link Ekg_apps Ekg_core Ekg_datalog Ekg_engine Ekg_llm Fmt List Pipeline Reasoning_path Verbalizer

@@ -1,0 +1,1 @@
+examples/close_link_example.mli:

@@ -1,0 +1,1 @@
+examples/company_control_example.ml: Company_control Depgraph Ekg_apps Ekg_core Ekg_engine Ekg_kernel Fmt List Pipeline Reasoning_path String Verbalizer

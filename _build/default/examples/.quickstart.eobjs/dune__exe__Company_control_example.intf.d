@@ -1,0 +1,1 @@
+examples/company_control_example.mli:

@@ -1,0 +1,1 @@
+examples/golden_power_example.ml: Ekg_apps Ekg_core Ekg_datalog Ekg_engine Fmt Golden_power List Pipeline Reasoning_path String

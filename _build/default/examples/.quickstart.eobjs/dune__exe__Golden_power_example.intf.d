@@ -1,0 +1,1 @@
+examples/golden_power_example.mli:

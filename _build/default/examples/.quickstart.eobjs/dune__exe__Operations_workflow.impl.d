@@ -1,0 +1,1 @@
+examples/operations_workflow.ml: Ekg_apps Ekg_core Ekg_datagen Ekg_engine Ekg_kernel Ekg_llm Fmt Pipeline Prng Report Result Stress_test String Template_store Termination Textutil

@@ -1,0 +1,1 @@
+examples/operations_workflow.mli:

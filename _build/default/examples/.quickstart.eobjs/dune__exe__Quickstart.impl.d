@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ekg_core Ekg_datalog Ekg_engine Fmt Glossary List Pipeline Reasoning_path String Template

@@ -1,0 +1,1 @@
+examples/stress_test_example.ml: Ekg_apps Ekg_core Ekg_engine Fmt List Pipeline Reasoning_path Stress_test String

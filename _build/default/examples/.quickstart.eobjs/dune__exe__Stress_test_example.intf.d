@@ -1,0 +1,1 @@
+examples/stress_test_example.mli:

@@ -1,0 +1,46 @@
+(* Golden-power screening: flagging acquisitions of strategic companies
+   that trigger government vetting powers — an application mixing
+   stratified negation, arithmetic and a negative constraint, with a
+   business report for every blocked deal.
+
+   Run with: dune exec examples/golden_power_example.exe *)
+
+open Ekg_core
+open Ekg_apps
+
+let () =
+  let pipeline = Golden_power.pipeline () in
+
+  Fmt.pr "== golden power program ==@.%s@.@."
+    (Ekg_datalog.Program.to_string Golden_power.program);
+  Fmt.pr "== reasoning paths ==@.%s@.@."
+    (Reasoning_path.analysis_to_string pipeline.analysis);
+
+  let result =
+    match Pipeline.reason pipeline Golden_power.scenario_edb with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  Fmt.pr "== blocked deals ==@.";
+  List.iter
+    (fun f -> Fmt.pr "  %s@." (Ekg_engine.Fact.to_string f))
+    (Ekg_engine.Database.active result.db "blockedDeal");
+  Fmt.pr "@.";
+
+  List.iter
+    (fun (f : Ekg_engine.Fact.t) ->
+      match Pipeline.explain pipeline result f with
+      | Ok e ->
+        Fmt.pr "== why is %s blocked? (paths %s) ==@.%s@.@."
+          (Ekg_engine.Fact.to_string f)
+          (String.concat " + " e.paths_used)
+          e.text
+      | Error msg -> Fmt.epr "unexpected: %s@." msg)
+    (Ekg_engine.Database.active result.db "blockedDeal");
+
+  (* the negative constraint c1 at work: a vetting recorded for a deal
+     that never triggered the power is a data-quality violation *)
+  Fmt.pr "== consistency check on a corrupted instance ==@.";
+  match Pipeline.reason pipeline Golden_power.inconsistent_edb with
+  | Error e -> Fmt.pr "rejected as expected: %s@." e
+  | Ok _ -> failwith "inconsistent instance was accepted"

@@ -1,0 +1,71 @@
+(* The operational workflow of §4.4, end to end:
+
+   1. deploy a KG application: structural analysis + template
+      generation happen once;
+   2. the Vadalog experts review the enhanced templates, hand-edit one,
+      and store them (the once-for-all human-in-the-loop step, with the
+      omission guard vetting every edit);
+   3. analysts query explanations — full reports, or truncated to the
+      last reasoning hops on long cascades;
+   4. a report that must leave the organization is pseudonymized first.
+
+   Run with: dune exec examples/operations_workflow.exe *)
+
+open Ekg_kernel
+open Ekg_core
+open Ekg_apps
+
+let () =
+  (* 1. deployment *)
+  let pipeline = Stress_test.simple_pipeline () in
+  Fmt.pr "== deployment: termination vetting and analysis ==@.";
+  Fmt.pr "%s@.@." (Termination.to_string (Termination.analyze pipeline.program));
+
+  (* 2. expert review: a hand-edit that keeps every token is accepted… *)
+  let stored = Template_store.save pipeline in
+  let edited = Textutil.replace_all stored ~pattern:"Given that" ~by:"Considering that" in
+  let pipeline =
+    match Template_store.load pipeline edited with
+    | Ok p ->
+      Fmt.pr "== template store: expert edit accepted by the omission guard ==@.@.";
+      p
+    | Error es -> failwith (String.concat "; " es)
+  in
+  (* …while an edit that loses a token is rejected *)
+  (match
+     Template_store.load pipeline
+       (Textutil.replace_all stored ~pattern:"<P1#0>" ~by:"its capital")
+   with
+  | Error es ->
+    Fmt.pr "== template store: token-losing edit rejected ==@.  %s@.@."
+      (String.concat "; " es)
+  | Ok _ -> failwith "the omission guard must reject token loss");
+
+  (* 3. analysts at work: a deep cascade, full and truncated *)
+  let rng = Prng.create 2026 in
+  let inst = Ekg_datagen.Debts.simple_cascade rng ~depth:6 in
+  let result =
+    match Pipeline.reason pipeline inst.edb with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  let goal =
+    match Ekg_engine.Query.ask result.db inst.goal with
+    | (f, _) :: _ -> f
+    | [] -> failwith "cascade target not derived"
+  in
+  let full = Result.get_ok (Pipeline.explain pipeline result goal) in
+  Fmt.pr "== full report (%d chase steps) ==@.%s@.@."
+    (Ekg_engine.Proof.length full.proof)
+    (Report.render (Report.of_explanation ~title:"Cascade default review" pipeline full));
+
+  let brief = Result.get_ok (Pipeline.explain ~horizon:2 pipeline result goal) in
+  Fmt.pr "== same query, horizon 2 (the analyst's short version) ==@.%s@.@." brief.text;
+
+  (* 4. sharing outside: pseudonymize entities, keep the figures *)
+  let anonymized, mapping =
+    Ekg_llm.Anonymize.pseudonymize ~entities:inst.entities brief.text
+  in
+  Fmt.pr "== pseudonymized for external sharing ==@.%s@.@." anonymized;
+  Fmt.pr "== re-identified internally ==@.%s@."
+    (Ekg_llm.Anonymize.reidentify mapping anonymized)

@@ -1,0 +1,1 @@
+lib/apps/apps_util.ml: Ekg_datalog Parser

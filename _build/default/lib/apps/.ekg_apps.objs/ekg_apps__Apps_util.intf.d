@@ -1,0 +1,1 @@
+lib/apps/apps_util.mli: Atom Ekg_datalog Program

@@ -1,0 +1,1 @@
+lib/apps/close_link.ml: Apps_util Atom Ekg_core Ekg_datalog Glossary Pipeline Term

@@ -1,0 +1,1 @@
+lib/apps/close_link.mli: Atom Ekg_core Ekg_datalog Program

@@ -1,0 +1,1 @@
+lib/apps/company_control.ml: Apps_util Atom Ekg_core Ekg_datalog Glossary List Pipeline Term

@@ -1,0 +1,1 @@
+lib/apps/company_control.mli: Atom Ekg_core Ekg_datalog Program

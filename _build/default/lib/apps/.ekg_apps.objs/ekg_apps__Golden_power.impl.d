@@ -1,0 +1,1 @@
+lib/apps/golden_power.ml: Apps_util Atom Company_control Ekg_core Ekg_datalog Glossary Pipeline Term

@@ -1,0 +1,1 @@
+lib/apps/golden_power.mli: Atom Ekg_core Ekg_datalog Program

@@ -1,0 +1,1 @@
+lib/apps/stress_test.ml: Apps_util Atom Ekg_core Ekg_datalog Ekg_kernel Glossary Money Pipeline Term

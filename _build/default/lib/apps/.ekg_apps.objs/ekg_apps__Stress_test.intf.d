@@ -1,0 +1,1 @@
+lib/apps/stress_test.mli: Atom Ekg_core Ekg_datalog Program

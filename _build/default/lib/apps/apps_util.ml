@@ -1,0 +1,13 @@
+open Ekg_datalog
+
+let parse_program_exn src =
+  match Parser.parse src with
+  | Ok { program; _ } -> program
+  | Error e -> failwith ("Apps_util.parse_program_exn: " ^ e)
+
+let parse_facts_exn src =
+  (* a fact block has no rules; piggy-back on the parser with a dummy
+     goal directive satisfied by a throwaway rule *)
+  match Parser.parse (src ^ "\n_dummy_: edb_marker(X) -> edb_marker_copy(X).") with
+  | Ok { facts; _ } -> facts
+  | Error e -> failwith ("Apps_util.parse_facts_exn: " ^ e)

@@ -1,0 +1,10 @@
+(** Shared helpers for the bundled KG applications. *)
+
+open Ekg_datalog
+
+val parse_program_exn : string -> Program.t
+(** Parse an application source, raising [Failure] on errors — the
+    bundled sources are static and covered by tests. *)
+
+val parse_facts_exn : string -> Atom.t list
+(** Parse a fact-only source block. *)

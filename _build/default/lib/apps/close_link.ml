@@ -1,0 +1,38 @@
+open Ekg_datalog
+open Ekg_core
+
+let source = {|
+cl1: own(X, Y, W) -> pathOwn(X, Y, W).
+cl2: pathOwn(X, Z, W1), own(Z, Y, W2), W = W1 * W2, W >= 0.01 -> pathOwn(X, Y, W).
+cl3: pathOwn(X, Y, W), W >= 0.2 -> closeLink(X, Y).
+@goal(closeLink).
+|}
+
+let program = Apps_util.parse_program_exn source
+
+let glossary =
+  Glossary.make_exn
+    [
+      Glossary.entry ~pred:"own"
+        ~args:[ ("x", Glossary.Plain); ("y", Glossary.Plain); ("w", Glossary.Percent) ]
+        ~pattern:"<x> owns <w> of the shares of <y>";
+      Glossary.entry ~pred:"pathOwn"
+        ~args:[ ("x", Glossary.Plain); ("y", Glossary.Plain); ("w", Glossary.Percent) ]
+        ~pattern:"<x> holds an integrated participation of <w> in <y>";
+      Glossary.entry ~pred:"closeLink"
+        ~args:[ ("x", Glossary.Plain); ("y", Glossary.Plain) ]
+        ~pattern:"<x> is closely linked to <y>";
+    ]
+
+let pipeline ?style () = Pipeline.build ?style program glossary
+
+let own x y w = Atom.make "own" [ Term.str x; Term.str y; Term.num w ]
+
+let scenario_edb =
+  [
+    own "HoldCo" "MidCo" 0.50;
+    own "MidCo" "OpCo" 0.60;     (* chained: 30% ≥ 20% *)
+    own "HoldCo" "SideCo" 0.25;  (* direct link *)
+    own "SideCo" "OpCo" 0.10;    (* chained 2.5%: below threshold *)
+    own "OpCo" "TinyCo" 0.15;    (* no link: 15% < 20% *)
+  ]

@@ -1,0 +1,29 @@
+(** The close links KG application (§6.2): detection of "close link"
+    relationships between financial entities through integrated
+    ownership, the third application graded in the paper's expert
+    study.  The paper does not spell out its rules; we encode the
+    standard supervisory definition (an entity is closely linked to
+    another when it holds, directly or through chains of participation
+    computed as products of shares, at least 20% of it):
+
+    {v
+    cl1: own(X, Y, W) -> pathOwn(X, Y, W).
+    cl2: pathOwn(X, Z, W1), own(Z, Y, W2), W = W1 * W2, W >= 0.01
+           -> pathOwn(X, Y, W).
+    cl3: pathOwn(X, Y, W), W >= 0.2 -> closeLink(X, Y).
+    v}
+
+    The 1% floor on chained participations bounds the recursion, as in
+    the supervisory practice of ignoring negligible holdings. *)
+
+open Ekg_datalog
+
+val program : Program.t
+val glossary : Ekg_core.Glossary.t
+val pipeline : ?style:int -> unit -> Ekg_core.Pipeline.t
+
+val scenario_edb : Atom.t list
+(** A participation network with direct, chained, and sub-threshold
+    links. *)
+
+val own : string -> string -> float -> Atom.t

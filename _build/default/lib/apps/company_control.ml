@@ -1,0 +1,53 @@
+open Ekg_datalog
+open Ekg_core
+
+let source = {|
+sigma1: own(X, Y, S), S > 0.5 -> control(X, Y).
+sigma2: company(X) -> control(X, X).
+sigma3: control(X, Z), own(Z, Y, S), TS = sum(S), TS > 0.5 -> control(X, Y).
+@goal(control).
+|}
+
+let program = Apps_util.parse_program_exn source
+
+let glossary =
+  Glossary.make_exn
+    [
+      Glossary.entry ~pred:"own"
+        ~args:[ ("x", Glossary.Plain); ("y", Glossary.Plain); ("s", Glossary.Percent) ]
+        ~pattern:"<x> owns <s> of the shares of <y>";
+      Glossary.entry ~pred:"control"
+        ~args:[ ("x", Glossary.Plain); ("y", Glossary.Plain) ]
+        ~pattern:"<x> exercises control over <y>";
+      Glossary.entry ~pred:"company" ~args:[ ("x", Glossary.Plain) ]
+        ~pattern:"<x> is a business corporation";
+    ]
+
+let pipeline ?style () = Pipeline.build ?style program glossary
+
+let own x y s =
+  Atom.make "own" [ Term.str x; Term.str y; Term.num s ]
+
+let company x = Atom.make "company" [ Term.str x ]
+
+(* Figure 12's cluster A–F plus the Irish Bank group used in the
+   running example of Figure 15 (Irish Bank owns 83% of Fondo Italiano
+   and 54% of French PLC; those own 36% and 21% of Madrid Credit). *)
+let scenario_edb =
+  List.map company [ "A"; "B"; "C"; "D"; "E"; "F" ]
+  @ [
+      own "A" "B" 0.60;
+      own "B" "E" 0.55;
+      own "B" "D" 0.30;
+      own "E" "D" 0.25;
+      own "C" "F" 0.51;
+      own "F" "A" 0.20;
+      own "D" "F" 0.10;
+    ]
+  @ List.map company [ "IrishBank"; "FondoItaliano"; "FrenchPLC"; "MadridCredit" ]
+  @ [
+      own "IrishBank" "FondoItaliano" 0.83;
+      own "IrishBank" "FrenchPLC" 0.54;
+      own "FrenchPLC" "MadridCredit" 0.21;
+      own "FondoItaliano" "MadridCredit" 0.36;
+    ]

@@ -1,0 +1,27 @@
+(** The company control KG application (§5): derivation of control
+    relationships in a "one-share one-vote" ownership network, after
+    the official definition encoded by rules σ1–σ3:
+
+    {v
+    σ1: own(X, Y, S), S > 0.5 -> control(X, Y).
+    σ2: company(X) -> control(X, X).
+    σ3: control(X, Z), own(Z, Y, S), TS = sum(S), TS > 0.5 -> control(X, Y).
+    v} *)
+
+open Ekg_datalog
+
+val program : Program.t
+val glossary : Ekg_core.Glossary.t
+(** From the internal data dictionary (Figure 11). *)
+
+val pipeline : ?style:int -> unit -> Ekg_core.Pipeline.t
+
+val scenario_edb : Atom.t list
+(** The representative scenario of Figure 12 (ownership edges and
+    company registrations for entities A–F plus the Irish Bank group
+    of Figure 15). *)
+
+val own : string -> string -> float -> Atom.t
+(** [own x y s] — x owns the fraction s of y's shares. *)
+
+val company : string -> Atom.t

@@ -1,0 +1,73 @@
+open Ekg_datalog
+open Ekg_core
+
+let source = {|
+g1: acquisition(B, T, S), own(B, T, W), strategic(T), NS = S + W, NS > 0.5 -> goldenPower(B, T).
+g2: acquisition(B, T, S), strategic(T), S > 0.1, not euEntity(B) -> goldenPower(B, T).
+g3: goldenPower(B, T), not vetted(B, T) -> blockedDeal(B, T).
+c1: vetted(B, T), not goldenPower(B, T) -> false.
+@goal(blockedDeal).
+|}
+
+let program = Apps_util.parse_program_exn source
+
+let glossary =
+  Glossary.make_exn
+    [
+      Glossary.entry ~pred:"acquisition"
+        ~args:[ ("b", Glossary.Plain); ("t", Glossary.Plain); ("s", Glossary.Percent) ]
+        ~pattern:"<b> seeks to acquire <s> of <t>";
+      Glossary.entry ~pred:"own"
+        ~args:[ ("x", Glossary.Plain); ("y", Glossary.Plain); ("w", Glossary.Percent) ]
+        ~pattern:"<x> owns <w> of the shares of <y>";
+      Glossary.entry ~pred:"strategic" ~args:[ ("t", Glossary.Plain) ]
+        ~pattern:"<t> operates in a strategic sector";
+      Glossary.entry ~pred:"euEntity" ~args:[ ("b", Glossary.Plain) ]
+        ~pattern:"<b> is incorporated in the European Union";
+      Glossary.entry ~pred:"vetted"
+        ~args:[ ("b", Glossary.Plain); ("t", Glossary.Plain) ]
+        ~pattern:"the acquisition of <t> by <b> has been vetted by the government";
+      Glossary.entry ~pred:"goldenPower"
+        ~args:[ ("b", Glossary.Plain); ("t", Glossary.Plain) ]
+        ~pattern:"the acquisition of <t> by <b> is subject to golden power";
+      Glossary.entry ~pred:"blockedDeal"
+        ~args:[ ("b", Glossary.Plain); ("t", Glossary.Plain) ]
+        ~pattern:"the acquisition of <t> by <b> is blocked pending government review";
+    ]
+
+let pipeline ?style () = Pipeline.build ?style program glossary
+
+let acquisition b t s =
+  Atom.make "acquisition" [ Term.str b; Term.str t; Term.num s ]
+
+let strategic t = Atom.make "strategic" [ Term.str t ]
+let eu_entity b = Atom.make "euEntity" [ Term.str b ]
+let vetted b t = Atom.make "vetted" [ Term.str b; Term.str t ]
+
+let own = Company_control.own
+
+let scenario_edb =
+  [
+    (* domestic fund creeping over 50% of a strategic utility *)
+    acquisition "DomesticFund" "PowerGridCo" 0.15;
+    own "DomesticFund" "PowerGridCo" 0.40;
+    strategic "PowerGridCo";
+    eu_entity "DomesticFund";
+    (* non-EU buyer crossing 10% of a defence supplier *)
+    acquisition "OverseasHolding" "DefenseTechCo" 0.12;
+    strategic "DefenseTechCo";
+    (* a vetted deal proceeds *)
+    acquisition "ForeignBank" "TelecomCo" 0.30;
+    strategic "TelecomCo";
+    vetted "ForeignBank" "TelecomCo";
+    (* an innocuous trade in a non-strategic company *)
+    acquisition "RetailFund" "BakeryChain" 0.60;
+    eu_entity "RetailFund";
+  ]
+
+let inconsistent_edb =
+  scenario_edb
+  @ [
+      (* a recorded vetting for a deal that never triggered the power *)
+      vetted "RetailFund" "BakeryChain";
+    ]

@@ -1,0 +1,44 @@
+(** Golden-power screening — a fourth KG application over the same
+    financial EKG, modelled after the golden-power assessments the
+    Bank of Italy's graph has been used for (Bellomarini et al. 2020,
+    the paper's reference [9]): flagging acquisitions of strategic
+    companies that trigger the government's special vetting powers.
+
+    {v
+    g1: acquisition(B, T, S), own(B, T, W), strategic(T),
+          NS = S + W, NS > 0.5                  -> goldenPower(B, T).
+    g2: acquisition(B, T, S), strategic(T),
+          S > 0.1, not euEntity(B)              -> goldenPower(B, T).
+    g3: goldenPower(B, T), not vetted(B, T)     -> blockedDeal(B, T).
+    c1: vetted(B, T), not goldenPower(B, T)     -> false.
+    v}
+
+    g1: an acquisition that would push the buyer's stake in a strategic
+    company above 50% is subject to golden power; g2: any non-EU buyer
+    crossing 10% of a strategic company is too; g3: a deal under golden
+    power that has not been vetted is blocked.  The negative constraint
+    c1 rejects instances recording a vetting for a deal that never
+    triggered the power — a data-quality guard (§3's negative
+    constraints).
+
+    Exercises stratified negation, arithmetic assignments and
+    constraints in one application. *)
+
+open Ekg_datalog
+
+val program : Program.t
+val glossary : Ekg_core.Glossary.t
+val pipeline : ?style:int -> unit -> Ekg_core.Pipeline.t
+
+val scenario_edb : Atom.t list
+(** A screening scenario: one over-threshold domestic takeover, one
+    foreign acquisition, one vetted deal, one innocuous trade. *)
+
+val inconsistent_edb : Atom.t list
+(** {!scenario_edb} plus a spurious vetting: reasoning over it must
+    fail on constraint [c1]. *)
+
+val acquisition : string -> string -> float -> Atom.t
+val strategic : string -> Atom.t
+val eu_entity : string -> Atom.t
+val vetted : string -> string -> Atom.t

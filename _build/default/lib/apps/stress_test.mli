@@ -1,0 +1,30 @@
+(** The two-channel stress test KG application (§5): propagation of a
+    default shock over short- and long-term debt exposures, rules
+    σ4–σ7.  The one-channel simplification used as the paper's running
+    example (Example 4.3, rules α–γ) is exposed as
+    {!simple_program}. *)
+
+open Ekg_datalog
+
+val program : Program.t
+val glossary : Ekg_core.Glossary.t
+val pipeline : ?style:int -> unit -> Ekg_core.Pipeline.t
+
+val simple_program : Program.t
+(** Example 4.3's α, β, γ over a single [debts] channel. *)
+
+val simple_glossary : Ekg_core.Glossary.t
+(** Figure 7. *)
+
+val simple_pipeline : ?style:int -> unit -> Ekg_core.Pipeline.t
+
+val scenario_edb : Atom.t list
+(** Figure 12's exposures, capitals, and the 14-million-euro shock on
+    entity A discussed in §5. *)
+
+val shock : string -> float -> Atom.t
+val has_capital : string -> float -> Atom.t
+val long_term_debts : string -> string -> float -> Atom.t
+val short_term_debts : string -> string -> float -> Atom.t
+val debts : string -> string -> float -> Atom.t
+(** Single-channel debts for {!simple_program}. *)

@@ -1,0 +1,1 @@
+lib/core/critical.ml: Depgraph Ekg_datalog Ekg_graph List Program Rule

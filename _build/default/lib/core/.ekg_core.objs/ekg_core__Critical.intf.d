@@ -1,0 +1,1 @@
+lib/core/critical.mli: Ekg_datalog Program

@@ -1,0 +1,1 @@
+lib/core/depgraph.ml: Ekg_datalog Ekg_graph Fun List Program Rule

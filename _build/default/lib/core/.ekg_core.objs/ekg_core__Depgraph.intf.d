@@ -1,0 +1,1 @@
+lib/core/depgraph.mli: Ekg_datalog Ekg_graph Program

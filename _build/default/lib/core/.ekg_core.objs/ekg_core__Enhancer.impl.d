@@ -1,0 +1,1 @@
+lib/core/enhancer.ml: Array Atom Bytes Char Ekg_datalog Ekg_kernel List Reasoning_path Rule Template Verbalizer

@@ -1,0 +1,1 @@
+lib/core/enhancer.mli: Glossary Template

@@ -1,0 +1,1 @@
+lib/core/glossary.ml: Ekg_kernel List Money Printf Result String Textutil Value

@@ -1,0 +1,1 @@
+lib/core/glossary.mli: Ekg_kernel Value

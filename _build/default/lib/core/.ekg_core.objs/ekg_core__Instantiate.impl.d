@@ -1,0 +1,1 @@
+lib/core/instantiate.ml: Bytes Char Ekg_engine Ekg_kernel List Proof Proof_mapper String Template Textutil Verbalizer

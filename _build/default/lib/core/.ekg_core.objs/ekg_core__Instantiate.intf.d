@@ -1,0 +1,1 @@
+lib/core/instantiate.mli: Proof_mapper Reasoning_path Template

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Atom Chase Ekg_datalog Ekg_engine Ekg_kernel Enhancer Fact Glossary Instantiate List Parser Program Proof Proof_mapper Query Reasoning_path Template Verbalizer

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Atom Chase Ekg_datalog Ekg_engine Fact Glossary Program Proof Proof_mapper Reasoning_path Template

@@ -1,0 +1,1 @@
+lib/core/proof_mapper.ml: Array Bool Ekg_datalog Ekg_engine Fact List Printf Program Proof Reasoning_path Rule String

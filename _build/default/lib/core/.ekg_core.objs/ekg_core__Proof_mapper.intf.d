@@ -1,0 +1,1 @@
+lib/core/proof_mapper.mli: Ekg_engine Proof Reasoning_path

@@ -1,0 +1,1 @@
+lib/core/reasoning_path.ml: Critical Depgraph Ekg_datalog Hashtbl Int List Printf Program Rule Set String

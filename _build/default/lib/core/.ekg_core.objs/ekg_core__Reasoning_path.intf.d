@@ -1,0 +1,1 @@
+lib/core/reasoning_path.mli: Ekg_datalog Program Rule

@@ -1,0 +1,1 @@
+lib/core/report.ml: Ekg_engine Ekg_kernel Pipeline Printf String Textutil

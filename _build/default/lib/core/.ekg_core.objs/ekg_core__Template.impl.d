@@ -1,0 +1,1 @@
+lib/core/template.ml: Buffer Ekg_datalog Hashtbl List Printf Reasoning_path String Verbalizer

@@ -1,0 +1,1 @@
+lib/core/template.mli: Glossary Reasoning_path Verbalizer

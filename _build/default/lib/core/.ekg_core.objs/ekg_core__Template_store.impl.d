@@ -1,0 +1,1 @@
+lib/core/template_store.ml: Buffer Ekg_kernel Enhancer List Pipeline Printf String Template Textutil

@@ -1,0 +1,1 @@
+lib/core/template_store.mli: Pipeline

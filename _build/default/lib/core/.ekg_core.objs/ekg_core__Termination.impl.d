@@ -1,0 +1,1 @@
+lib/core/termination.ml: Atom Depgraph Ekg_datalog Ekg_graph List Printf Program Rule Set String Term

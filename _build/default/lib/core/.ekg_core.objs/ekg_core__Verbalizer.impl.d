@@ -1,0 +1,1 @@
+lib/core/verbalizer.ml: Array Atom Buffer Ekg_datalog Ekg_engine Ekg_kernel Expr Glossary List Option Printf Program Rule String Subst Term Textutil

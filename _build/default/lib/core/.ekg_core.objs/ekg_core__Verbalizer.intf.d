@@ -1,0 +1,1 @@
+lib/core/verbalizer.mli: Atom Ekg_datalog Ekg_engine Expr Glossary Program Rule

@@ -1,0 +1,30 @@
+open Ekg_datalog
+module G = Ekg_graph.Digraph
+
+(* The edge contributed by rule [r] into its head is recursive iff the
+   head can reach some body predicate of [r] in D(Σ): closing that edge
+   then yields a cycle. *)
+let rule_edge_on_cycle g (r : Rule.t) =
+  let head = Rule.head_pred r in
+  let reachable = G.reachable_from g head in
+  List.exists (fun p -> List.mem p reachable) (Rule.body_preds r)
+
+let critical_nodes (p : Program.t) =
+  let g = Depgraph.build p in
+  let leaf = Depgraph.leaf p in
+  let is_crit v =
+    Program.is_intensional p v
+    &&
+    if v = leaf then true
+    else begin
+      let in_rules = Program.rules_deriving p v in
+      let cyclic, acyclic = List.partition (rule_edge_on_cycle g) in_rules in
+      match cyclic, acyclic with
+      | _ :: _, _ :: _ -> true (* recursion entry point *)
+      | [], _ -> List.length acyclic > 1 (* non-recursive diamond join *)
+      | _ :: _, [] -> false (* all in-edges inside the recursive region *)
+    end
+  in
+  List.filter is_crit (Program.preds p)
+
+let is_critical p v = List.mem v (critical_nodes p)

@@ -1,0 +1,19 @@
+(** Critical nodes of the dependency graph (Definition 4.1).
+
+    A node V is critical when it is intensional and either it is the
+    leaf or its in-degree witnesses a genuine branching of reasoning
+    stories.  We refine "deg⁻(V) > 1" as it is applied in the paper's
+    own examples (Figures 4, 9 and 10): a recursion entry point — a
+    node with both a base-case in-edge lying outside every cycle and a
+    recursive in-edge lying on a cycle — is critical, while a node
+    whose multiple in-edges all belong to cycles through the same
+    critical region (e.g. [Risk] in the two-channel stress test, fed by
+    both σ5 and σ6) is not.  For non-recursive programs the plain
+    in-degree criterion applies (a diamond's join node is critical). *)
+
+open Ekg_datalog
+
+val critical_nodes : Program.t -> string list
+(** Sorted list of critical predicates, always containing the leaf. *)
+
+val is_critical : Program.t -> string -> bool

@@ -1,0 +1,19 @@
+open Ekg_datalog
+module G = Ekg_graph.Digraph
+
+let build (p : Program.t) =
+  let g = G.create () in
+  List.iter (fun pred -> G.add_node g pred) (Program.preds p);
+  List.iter
+    (fun (r : Rule.t) ->
+      let dst = Rule.head_pred r in
+      List.iter (fun src -> G.add_edge g ~src ~dst ~label:r.id) (Rule.body_preds r))
+    p.rules;
+  g
+
+let roots = Program.edb_preds
+let leaf (p : Program.t) = p.goal
+
+let is_recursive p = G.is_cyclic (build p)
+
+let to_dot p = G.to_dot ~name:"dependency_graph" ~label_to_string:Fun.id (build p)

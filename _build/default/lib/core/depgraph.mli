@@ -1,0 +1,23 @@
+(** The dependency graph D(Σ) of a Vadalog program (§3): vertices are
+    predicates; there is a rule-labelled edge from a' to a whenever a'
+    appears in the body and a in the head of a rule. *)
+
+open Ekg_datalog
+
+val build : Program.t -> string Ekg_graph.Digraph.t
+(** Edge labels are rule ids.  Negated body atoms contribute edges like
+    positive ones (the dependency exists either way). *)
+
+val roots : Program.t -> string list
+(** Root nodes: extensional predicates — they do not depend on other
+    nodes and appear in rules whose bodies contain no intensional
+    predicate (§4.1). Sorted. *)
+
+val leaf : Program.t -> string
+(** The leaf: the goal predicate of the program. *)
+
+val is_recursive : Program.t -> bool
+(** The program is recursive iff D(Σ) is cyclic. *)
+
+val to_dot : Program.t -> string
+(** GraphViz rendering of D(Σ) — the shape of Figures 3 and 9. *)

@@ -1,0 +1,136 @@
+open Ekg_datalog
+
+type outcome = {
+  template : Template.t;
+  fell_back : bool;
+  dropped_clauses : int;
+}
+
+let guard ~reference candidate =
+  match Template.missing_tokens ~reference candidate with
+  | [] -> Ok candidate
+  | missing -> Error missing
+
+(* Synonym tables: applied to literal chunks only, so tokens can never
+   be damaged.  Two families give the "different but interchangeable"
+   versions of §4.2. *)
+let synonyms_a =
+  [
+    (" is higher than ", " exceeds ");
+    (" is lower than ", " falls below ");
+    ("amounting to ", "of ");
+    (" is at risk of defaulting", " faces a risk of default");
+  ]
+
+let synonyms_b =
+  [
+    (" is higher than ", " is above ");
+    (" is lower than ", " stays below ");
+    (" is in default", " has defaulted");
+  ]
+
+let apply_synonyms table pieces =
+  List.map
+    (function
+      | Template.Lit s ->
+        Template.Lit
+          (List.fold_left
+             (fun acc (pattern, by) -> Ekg_kernel.Textutil.replace_all acc ~pattern ~by)
+             s table)
+      | Template.Slot _ as p -> p)
+    pieces
+
+let connectors =
+  [|
+    (fun body head -> (Template.Lit "Given that " :: body) @ (Template.Lit ", " :: head));
+    (fun body head -> (Template.Lit "Because " :: body) @ (Template.Lit ", " :: head));
+    (fun body head -> body @ (Template.Lit "; therefore, " :: head));
+    (fun body head -> (Template.Lit "As " :: body) @ (Template.Lit ", " :: head));
+  |]
+
+(* Build an enhanced sentence for rule [i]: drop clauses that repeat
+   the head of an earlier rule in the path (the chaining redundancy the
+   paper's LLM-enhanced templates elide), then rephrase. *)
+let enhanced_pieces ?(drop_chained = true) ~style g (path : Reasoning_path.t) =
+  let pieces_of i chunks =
+    List.map
+      (function
+        | Verbalizer.Lit s -> Template.Lit s
+        | Verbalizer.Slot sl -> Template.Slot (i, sl))
+      chunks
+  in
+  let sentences =
+    List.mapi
+      (fun i (r : Rule.t) ->
+        let multi = Reasoning_path.is_multi path r.id in
+        let parts = Verbalizer.rule_parts g ~multi r in
+        let earlier_heads =
+          List.filteri (fun j _ -> j < i) path.rules |> List.map Rule.head_pred
+        in
+        let chained (a : Atom.t option) =
+          match a with
+          | Some atom ->
+            List.mem atom.Atom.pred earlier_heads || List.mem atom.Atom.pred path.terminals
+          | None -> false
+        in
+        let kept, dropped =
+          if drop_chained && i > 0 then
+            List.partition (fun (src, _) -> not (chained src)) parts.body_clauses
+          else (parts.body_clauses, [])
+        in
+        (* never drop everything: a sentence needs a body *)
+        let kept, dropped = if kept = [] then (parts.body_clauses, []) else (kept, dropped) in
+        let body = Verbalizer.join_chunks " and " (List.map snd kept) in
+        let connect = connectors.((style + i) mod Array.length connectors) in
+        let assembled =
+          connect (pieces_of i body) (pieces_of i (parts.head @ parts.agg))
+          @ [ Template.Lit "." ]
+        in
+        (assembled, List.length dropped))
+      path.rules
+  in
+  let dropped_total = List.fold_left (fun acc (_, d) -> acc + d) 0 sentences in
+  let pieces =
+    List.concat
+      (List.mapi (fun i (s, _) -> if i = 0 then s else Template.Lit " " :: s) sentences)
+  in
+  (pieces, dropped_total)
+
+let capitalize_pieces pieces =
+  (* capitalize the first literal character of each sentence *)
+  let start_of_sentence = ref true in
+  List.map
+    (fun p ->
+      match p with
+      | Template.Slot _ ->
+        start_of_sentence := false;
+        p
+      | Template.Lit s ->
+        let b = Bytes.of_string s in
+        for i = 0 to Bytes.length b - 1 do
+          let c = Bytes.get b i in
+          if !start_of_sentence && c <> ' ' then begin
+            Bytes.set b i (Char.uppercase_ascii c);
+            start_of_sentence := false
+          end;
+          if c = '.' then start_of_sentence := true
+        done;
+        Template.Lit (Bytes.to_string b))
+    pieces
+
+let enhance ?(style = 0) g (det : Template.t) =
+  let build drop_chained =
+    let pieces, dropped = enhanced_pieces ~drop_chained ~style g det.Template.path in
+    let pieces = apply_synonyms (if style mod 2 = 0 then synonyms_a else synonyms_b) pieces in
+    let pieces = capitalize_pieces pieces in
+    ({ det with Template.pieces; enhanced = true }, dropped)
+  in
+  let candidate, dropped = build true in
+  match guard ~reference:det candidate with
+  | Ok t -> { template = t; fell_back = false; dropped_clauses = dropped }
+  | Error _ -> (
+    (* retry without clause dropping *)
+    let candidate, _ = build false in
+    match guard ~reference:det candidate with
+    | Ok t -> { template = t; fell_back = false; dropped_clauses = 0 }
+    | Error _ -> { template = det; fell_back = true; dropped_clauses = 0 })

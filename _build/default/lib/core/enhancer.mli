@@ -1,0 +1,29 @@
+(** Template enhancement (§4.2, "Enhancement of templates").
+
+    The paper sends each deterministic explanation template to an LLM
+    ("Rephrase the following text:") and double-checks that every token
+    survives.  In this reproduction the rephrasing is performed by a
+    deterministic rewriting engine (see DESIGN.md §3 on substitutions):
+    it removes the clauses made redundant by rule chaining, varies the
+    sentence connectors, and applies synonym rewrites — all without
+    ever touching tokens — then runs the same token-presence guard.
+
+    Several [style]s produce different but interchangeable enriched
+    versions of the same template, as repeated LLM calls would. *)
+
+type outcome = {
+  template : Template.t;     (** the enhanced template (or the original) *)
+  fell_back : bool;          (** true when the guard rejected the rewrite *)
+  dropped_clauses : int;     (** chaining clauses removed as redundant *)
+}
+
+val enhance : ?style:int -> Glossary.t -> Template.t -> outcome
+(** Enhance a deterministic template.  The token-presence guard
+    guarantees the result verbalizes every (step, variable) token of
+    the input; on guard failure, the input template is returned
+    unchanged with [fell_back = true]. *)
+
+val guard : reference:Template.t -> Template.t -> (Template.t, (int * string) list) result
+(** The omission guard in isolation: [Error missing] lists the tokens
+    the candidate lost.  Exposed so that faulty rewriters (simulated
+    hallucinating LLMs) can be tested against it. *)

@@ -1,0 +1,123 @@
+open Ekg_kernel
+
+type fmt =
+  | Plain
+  | Euros
+  | Percent
+
+type entry = {
+  pred : string;
+  args : (string * fmt) list;
+  pattern : string;
+}
+
+type t = entry list
+
+let entry ~pred ~args ~pattern = { pred; args; pattern }
+
+let mentions pattern name =
+  List.length (Textutil.split_on_string ~sep:("<" ^ name ^ ">") pattern) > 1
+
+let make entries =
+  let rec check = function
+    | [] -> Ok entries
+    | e :: rest ->
+      if List.exists (fun e' -> e'.pred = e.pred) rest then
+        Error ("duplicate glossary entry for predicate " ^ e.pred)
+      else begin
+        let missing =
+          List.filter (fun (name, _) -> not (mentions e.pattern name)) e.args
+        in
+        match missing with
+        | [] -> check rest
+        | (name, _) :: _ ->
+          Error
+            (Printf.sprintf "glossary entry for %s: token <%s> missing from pattern" e.pred
+               name)
+      end
+  in
+  check entries
+
+let make_exn entries =
+  match make entries with
+  | Ok g -> g
+  | Error e -> invalid_arg ("Glossary.make_exn: " ^ e)
+
+let find t pred = List.find_opt (fun e -> e.pred = pred) t
+let preds t = List.map (fun e -> e.pred) t |> List.sort String.compare
+
+let format_value fmt v =
+  match fmt, v with
+  | Plain, _ -> Value.to_display v
+  | Euros, (Value.Int _ | Value.Num _) -> Money.euros (Value.as_float v)
+  | Percent, (Value.Int _ | Value.Num _) -> Money.percent (Value.as_float v)
+  | (Euros | Percent), _ -> Value.to_display v
+
+let arg_fmt t ~pred i =
+  match find t pred with
+  | Some e -> (
+    match List.nth_opt e.args i with
+    | Some (_, f) -> f
+    | None -> Plain)
+  | None -> Plain
+
+let fmt_of_string = function
+  | "" | "plain" -> Ok Plain
+  | "euros" | "euro" -> Ok Euros
+  | "percent" | "share" -> Ok Percent
+  | other -> Error ("unknown glossary format: " ^ other)
+
+let parse_entry_line line =
+  match Textutil.split_on_string ~sep:"::" line with
+  | [ head; pattern ] -> (
+    let head = String.trim head and pattern = String.trim pattern in
+    match String.index_opt head '(' with
+    | None -> Error ("missing '(' in glossary head: " ^ head)
+    | Some i ->
+      if head.[String.length head - 1] <> ')' then
+        Error ("missing ')' in glossary head: " ^ head)
+      else begin
+        let pred = String.trim (String.sub head 0 i) in
+        let args_str = String.sub head (i + 1) (String.length head - i - 2) in
+        let parse_arg a =
+          match String.split_on_char ':' (String.trim a) with
+          | [ name ] -> Result.map (fun f -> (String.trim name, f)) (fmt_of_string "")
+          | [ name; f ] -> Result.map (fun f -> (String.trim name, f)) (fmt_of_string (String.trim f))
+          | _ -> Error ("malformed glossary argument: " ^ a)
+        in
+        let rec parse_args = function
+          | [] -> Ok []
+          | a :: rest -> (
+            match parse_arg a with
+            | Error e -> Error e
+            | Ok arg -> Result.map (fun l -> arg :: l) (parse_args rest))
+        in
+        let raw_args =
+          if String.trim args_str = "" then []
+          else String.split_on_char ',' args_str
+        in
+        Result.map (fun args -> entry ~pred ~args ~pattern) (parse_args raw_args)
+      end)
+  | _ -> Error ("expected 'pred(args) :: pattern' in: " ^ line)
+
+let parse_spec src =
+  let lines =
+    String.split_on_char '\n' src
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (Textutil.starts_with ~prefix:"#" l))
+  in
+  let rec go acc = function
+    | [] -> make (List.rev acc)
+    | line :: rest -> (
+      match parse_entry_line line with
+      | Ok e -> go (e :: acc) rest
+      | Error e -> Error e)
+  in
+  go [] lines
+
+let to_string t =
+  t
+  |> List.map (fun e ->
+         let args = String.concat ", " (List.map (fun (n, _) -> "<" ^ n ^ ">") e.args) in
+         Printf.sprintf "%-40s %s" (e.pred ^ "(" ^ args ^ ")") e.pattern)
+  |> String.concat "\n"

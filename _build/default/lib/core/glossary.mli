@@ -1,0 +1,52 @@
+(** The domain glossary (§4.2, Figures 7 and 11): a data dictionary
+    mapping each predicate of the schema to a natural-language pattern
+    whose [<token>] markers correspond to the predicate's argument
+    positions, plus a display format for each argument. *)
+
+open Ekg_kernel
+
+type fmt =
+  | Plain    (** render the constant as-is *)
+  | Euros    (** monetary amount: ["14 million euros"] *)
+  | Percent  (** ownership share stored as a fraction: ["83%"] *)
+
+type entry = {
+  pred : string;
+  args : (string * fmt) list;  (** argument token names, in order *)
+  pattern : string;            (** e.g. ["<f> is a financial institution with capital <p>"] *)
+}
+
+type t
+
+val entry : pred:string -> args:(string * fmt) list -> pattern:string -> entry
+
+val make : entry list -> (t, string) result
+(** Fails on duplicate predicates or on argument tokens missing from
+    their pattern (each argument must be verbalizable). *)
+
+val make_exn : entry list -> t
+
+val find : t -> string -> entry option
+val preds : t -> string list
+(** Sorted. *)
+
+val format_value : fmt -> Value.t -> string
+
+val arg_fmt : t -> pred:string -> int -> fmt
+(** Format of the i-th argument; [Plain] when unknown. *)
+
+val to_string : t -> string
+(** Two-column rendering of the glossary — the shape of Figure 7. *)
+
+val parse_spec : string -> (t, string) result
+(** Parse the textual glossary format used by data dictionaries on
+    disk: one entry per line,
+
+    {v
+    # capital in euros
+    hasCapital(f, p:euros) :: <f> is a company with capital of <p>
+    own(x, y, s:percent)   :: <x> owns <s> of the shares of <y>
+    v}
+
+    Argument formats are [plain] (default), [euros], [percent];
+    [#]-lines and blank lines are ignored. *)

@@ -1,0 +1,47 @@
+open Ekg_kernel
+open Ekg_engine
+
+let dedup_keep_order xs =
+  let rec go seen = function
+    | [] -> []
+    | x :: rest -> if List.mem x seen then go seen rest else x :: go (x :: seen) rest
+  in
+  go [] xs
+
+let resolve_slot blocks step_idx (sl : Verbalizer.slot) =
+  match List.find_opt (fun (b : Proof_mapper.block) -> b.path_rule = step_idx) blocks with
+  | None -> "<" ^ sl.Verbalizer.var ^ ">"
+  | Some b ->
+    let values =
+      List.map (fun (s : Proof.step) -> Verbalizer.resolve_in_step s sl) b.steps
+    in
+    Textutil.join_and (dedup_keep_order values)
+
+let render_assignment (template : Template.t) blocks =
+  template.Template.pieces
+  |> List.map (function
+       | Template.Lit s -> s
+       | Template.Slot (i, sl) -> resolve_slot blocks i sl)
+  |> String.concat ""
+
+let cleanup text =
+  let text = Textutil.normalize_spaces text in
+  (* capitalize sentence starts *)
+  let b = Bytes.of_string text in
+  let cap = ref true in
+  Bytes.iteri
+    (fun i c ->
+      if !cap && c <> ' ' then begin
+        Bytes.set b i (Char.uppercase_ascii c);
+        cap := false
+      end;
+      if c = '.' || c = '!' || c = '?' then cap := true)
+    b;
+  Bytes.to_string b
+
+let render_mapping ~template_for (m : Proof_mapper.mapping) =
+  m.assignments
+  |> List.map (fun (a : Proof_mapper.assignment) ->
+         render_assignment (template_for a.path) a.blocks)
+  |> String.concat " "
+  |> cleanup

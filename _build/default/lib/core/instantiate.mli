@@ -1,0 +1,23 @@
+(** Token-for-constant substitution (§4.3, Example 4.8): rendering the
+    selected explanation templates against the chase steps that
+    instantiate them.
+
+    Tokens resolve through the step bindings; contributor-list tokens
+    of multi-contributor aggregations render as textual conjunctions
+    ("sum of loans of 2 million euros and 9 million euros"); when one
+    path rule instantiates several parallel chase steps, the values
+    are joined the same way. *)
+
+val render_assignment : Template.t -> Proof_mapper.block list -> string
+(** Instantiate one template on its matched blocks. *)
+
+val render_mapping :
+  template_for:(Reasoning_path.t -> Template.t) ->
+  Proof_mapper.mapping ->
+  string
+(** The full explanation: each assignment rendered in τ order and
+    joined into a report, with sentence-level cleanup (capitalization,
+    whitespace normalization). *)
+
+val cleanup : string -> string
+(** The sentence-level cleanup pass alone. *)

@@ -1,0 +1,113 @@
+open Ekg_datalog
+open Ekg_engine
+
+type t = {
+  program : Program.t;
+  glossary : Glossary.t;
+  analysis : Reasoning_path.analysis;
+  deterministic : (string * Template.t) list;
+  enhanced : (string * Template.t) list;
+}
+
+let build ?(style = 0) program glossary =
+  let analysis = Reasoning_path.analyze program in
+  let paths = analysis.simple_paths @ analysis.cycles in
+  let deterministic =
+    List.map
+      (fun p -> (p.Reasoning_path.name, Template.of_path glossary p))
+      paths
+  in
+  let enhanced =
+    List.map
+      (fun (name, det) -> (name, (Enhancer.enhance ~style glossary det).template))
+      deterministic
+  in
+  { program; glossary; analysis; deterministic; enhanced }
+
+let template_for t ~enhanced (path : Reasoning_path.t) =
+  let table = if enhanced then t.enhanced else t.deterministic in
+  match List.assoc_opt path.name table with
+  | Some tpl -> tpl
+  | None ->
+    (* ad-hoc path synthesized by the mapper *)
+    let det = Template.of_path t.glossary path in
+    if enhanced then (Enhancer.enhance t.glossary det).template else det
+
+type explanation = {
+  fact : Fact.t;
+  proof : Proof.t;
+  mapping : Proof_mapper.mapping;
+  text : string;
+  deterministic_text : string;
+  paths_used : string list;
+}
+
+let reason t edb = Chase.run t.program edb
+
+let explain ?(strategy = `Primary) ?horizon t (result : Chase.result) fact =
+  let extract =
+    match strategy with
+    | `Primary -> Proof.of_fact
+    | `Shortest -> Proof.shortest_of_fact
+  in
+  match extract result.db result.prov fact with
+  | None -> Error (Fact.to_string fact ^ " is an extensional fact: nothing to explain")
+  | Some full_proof ->
+    let proof, assumed =
+      match horizon with
+      | None -> (full_proof, [])
+      | Some h -> Proof.truncate full_proof ~horizon:h
+    in
+    let mapping = Proof_mapper.map_proof t.analysis proof in
+    let preamble =
+      if assumed = [] then ""
+      else begin
+        let verbalized =
+          List.map
+            (fun (f : Fact.t) ->
+              Verbalizer.chunks_to_text
+                ~resolve:(fun sl -> "<" ^ sl.Verbalizer.var ^ ">")
+                (Verbalizer.verbalize_atom t.glossary (Fact.atom f)))
+            assumed
+        in
+        "Taking as already established that "
+        ^ Ekg_kernel.Textutil.join_and verbalized
+        ^ ". "
+      end
+    in
+    let render enhanced =
+      preamble
+      ^ Instantiate.render_mapping ~template_for:(template_for t ~enhanced) mapping
+      |> Instantiate.cleanup
+    in
+    Ok
+      {
+        fact;
+        proof;
+        mapping;
+        text = render true;
+        deterministic_text = render false;
+        paths_used = Proof_mapper.paths_used mapping;
+      }
+
+let explain_atom ?strategy t (result : Chase.result) atom =
+  let matches = Query.ask result.db atom in
+  if matches = [] then Error ("no derived fact matches " ^ Atom.to_string atom)
+  else begin
+    let explanations =
+      List.filter_map
+        (fun (f, _) ->
+          match explain ?strategy t result f with
+          | Ok e -> Some e
+          | Error _ -> None (* extensional matches are skipped *))
+        matches
+    in
+    if explanations = [] then
+      Error ("all facts matching " ^ Atom.to_string atom ^ " are extensional")
+    else Ok explanations
+  end
+
+let explain_query ?strategy t result source =
+  match Parser.parse_atom source with
+  | Error e -> Error e
+  | Ok atom -> explain_atom ?strategy t result atom

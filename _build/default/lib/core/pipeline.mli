@@ -1,0 +1,67 @@
+(** The automated pipeline (§4.4): structural analysis, template
+    generation and enhancement run once per deployed KG application;
+    explanation queries are then answered by mapping the queried fact's
+    proof onto the pre-computed templates — no instance data ever
+    leaves the system. *)
+
+open Ekg_datalog
+open Ekg_engine
+
+type t = {
+  program : Program.t;
+  glossary : Glossary.t;
+  analysis : Reasoning_path.analysis;
+  deterministic : (string * Template.t) list;  (** per path name *)
+  enhanced : (string * Template.t) list;       (** per path name *)
+}
+
+val build : ?style:int -> Program.t -> Glossary.t -> t
+(** Pre-compute the reasoning paths and both template families.  The
+    enhancement guard guarantees enhanced templates are token-complete;
+    paths whose enhancement fails keep their deterministic template. *)
+
+val template_for : t -> enhanced:bool -> Reasoning_path.t -> Template.t
+(** Lookup with on-the-fly fallback for ad-hoc (mapper-synthesized)
+    paths. *)
+
+type explanation = {
+  fact : Fact.t;
+  proof : Proof.t;
+  mapping : Proof_mapper.mapping;
+  text : string;                (** enhanced-template explanation *)
+  deterministic_text : string;  (** deterministic-template explanation *)
+  paths_used : string list;
+}
+
+val reason : t -> Atom.t list -> (Chase.result, string) result
+(** Run the reasoning task over extensional facts. *)
+
+val explain :
+  ?strategy:[ `Primary | `Shortest ] ->
+  ?horizon:int ->
+  t ->
+  Chase.result ->
+  Fact.t ->
+  (explanation, string) result
+(** Answer the explanation query Q_e = \{fact\}.  [`Primary] (default)
+    explains the proof the chase found first; [`Shortest] picks, for
+    every sub-fact, the most compact recorded derivation.  [horizon]
+    truncates very long cascades to the last n derivation hops; the
+    facts whose derivations fell outside open the report as
+    assumptions ("Taking as already established that …"). *)
+
+val explain_atom :
+  ?strategy:[ `Primary | `Shortest ] ->
+  t ->
+  Chase.result ->
+  Atom.t ->
+  (explanation list, string) result
+(** Explain every derived fact the (possibly non-ground) atom matches. *)
+
+val explain_query :
+  ?strategy:[ `Primary | `Shortest ] ->
+  t ->
+  Chase.result ->
+  string ->
+  (explanation list, string) result
+(** Parse an atom (e.g. ["control(\"B\", \"D\")"]) and explain it. *)

@@ -1,0 +1,120 @@
+open Ekg_datalog
+open Ekg_engine
+
+type block = {
+  path_rule : int;
+  steps : Proof.step list;
+}
+
+type assignment = {
+  path : Reasoning_path.t;
+  blocks : block list;
+}
+
+type mapping = {
+  assignments : assignment list;
+  fallbacks : int;
+}
+
+(* A step instantiates a path rule when the rule ids agree and the
+   observed contributor multiplicity matches the path's variant flag. *)
+let step_fits path (r : Rule.t) (s : Proof.step) =
+  s.Proof.rule_id = r.id && Bool.equal s.Proof.multi (Reasoning_path.is_multi path r.id)
+
+let match_path_at (path : Reasoning_path.t) steps k =
+  let n = Array.length steps in
+  let rules = Array.of_list path.rules in
+  let nrules = Array.length rules in
+  let rec go i pos acc =
+    if i >= nrules then Some (List.rev acc, pos)
+    else begin
+      let r = rules.(i) in
+      (* Blocks longer than one step are only meaningful when the next
+         rule aggregates them into a dashed (multi) variant. *)
+      let unbounded =
+        i + 1 < nrules
+        && Rule.has_agg rules.(i + 1)
+        && Reasoning_path.is_multi path rules.(i + 1).id
+      in
+      let cap = if unbounded then n - pos else 1 in
+      let rec run_len j len =
+        if len >= cap || j >= n then len
+        else if step_fits path r steps.(j) then run_len (j + 1) (len + 1)
+        else len
+      in
+      let len = run_len pos 0 in
+      if len = 0 then None
+      else begin
+        let block_steps = List.init len (fun d -> steps.(pos + d)) in
+        go (i + 1) (pos + len) ({ path_rule = i; steps = block_steps } :: acc)
+      end
+    end
+  in
+  if k >= n then None else go 0 k []
+
+let adhoc_path (s : Proof.step) (program : Program.t) =
+  let rule =
+    match Program.find_rule program s.rule_id with
+    | Some r -> r
+    | None ->
+      (* a step always comes from a program rule; defensive fallback *)
+      Rule.make ~id:s.rule_id ~body:[ Rule.Pos (Fact.atom s.fact) ] ~head:(Fact.atom s.fact)
+        ()
+  in
+  {
+    Reasoning_path.name = "adhoc:" ^ s.rule_id ^ (if s.multi then "*" else "");
+    kind = Reasoning_path.Cycle;
+    rules = [ rule ];
+    multi_flags = (if Rule.has_agg rule then [ (rule.id, s.multi) ] else []);
+    terminals = [];
+  }
+
+let best_match candidates steps pos =
+  List.fold_left
+    (fun best path ->
+      match match_path_at path steps pos with
+      | None -> best
+      | Some (blocks, next) -> (
+        match best with
+        | Some (_, _, best_next) when best_next >= next -> best
+        | _ -> Some (path, blocks, next)))
+    None candidates
+
+let map_proof (analysis : Reasoning_path.analysis) (proof : Proof.t) =
+  let steps = Array.of_list proof.steps in
+  let n = Array.length steps in
+  let assignments = ref [] in
+  let fallbacks = ref 0 in
+  let pos = ref 0 in
+  let first = ref true in
+  while !pos < n do
+    let candidates =
+      if !first then analysis.simple_paths @ analysis.cycles else analysis.cycles
+    in
+    (match best_match candidates steps !pos with
+    | Some (path, blocks, next) ->
+      assignments := { path; blocks } :: !assignments;
+      pos := next
+    | None ->
+      let s = steps.(!pos) in
+      let path = adhoc_path s analysis.program in
+      incr fallbacks;
+      assignments := { path; blocks = [ { path_rule = 0; steps = [ s ] } ] } :: !assignments;
+      incr pos);
+    first := false
+  done;
+  { assignments = List.rev !assignments; fallbacks = !fallbacks }
+
+let paths_used m = List.map (fun a -> a.path.Reasoning_path.name) m.assignments
+
+let to_string m =
+  m.assignments
+  |> List.map (fun a ->
+         Printf.sprintf "%s covering [%s]" a.path.Reasoning_path.name
+           (String.concat "; "
+              (List.map
+                 (fun b ->
+                   String.concat ", "
+                     (List.map (fun (s : Proof.step) -> s.rule_id) b.steps))
+                 a.blocks)))
+  |> String.concat " + "

@@ -1,0 +1,46 @@
+(** Mapping chase steps to templates (§4.3, Example 4.7).
+
+    Given the linearized chase-step sequence τ of a proof, the mapper
+    (i) selects the simple reasoning path instantiating the highest
+    number of the first chase steps, then (ii) repeatedly appends the
+    reasoning cycle instantiating the highest number of the following
+    steps, until the leaf is reached.  Aggregation-variant selection is
+    driven by the contributor multiplicity observed in each step: a
+    step with several contributors only matches a "dashed" path.
+
+    When several consecutive steps fire the same rule because their
+    conclusions feed one multi-contributor aggregation (parallel
+    branches of the proof DAG), they form one {e block} and verbalize
+    with textual conjunctions. *)
+
+open Ekg_engine
+
+type block = {
+  path_rule : int;          (** index of the rule within the path *)
+  steps : Proof.step list;  (** the chase steps this rule instantiates *)
+}
+
+type assignment = {
+  path : Reasoning_path.t;
+  blocks : block list;
+}
+
+type mapping = {
+  assignments : assignment list;  (** in τ order *)
+  fallbacks : int;                (** steps covered by ad-hoc single-rule paths *)
+}
+
+val match_path_at :
+  Reasoning_path.t -> Proof.step array -> int -> (block list * int) option
+(** [match_path_at path τ k] attempts to instantiate the full path on
+    the steps starting at position [k]; on success returns the blocks
+    and the next uncovered position. *)
+
+val map_proof : Reasoning_path.analysis -> Proof.t -> mapping
+(** Total: every chase step is covered, using ad-hoc single-rule paths
+    when no enumerated path applies (counted in [fallbacks]). *)
+
+val paths_used : mapping -> string list
+(** Names of the reasoning paths, in order of use. *)
+
+val to_string : mapping -> string

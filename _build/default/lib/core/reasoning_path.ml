@@ -1,0 +1,258 @@
+open Ekg_datalog
+
+type kind =
+  | Simple
+  | Cycle
+
+type t = {
+  name : string;
+  kind : kind;
+  rules : Rule.t list;
+  multi_flags : (string * bool) list;
+  terminals : string list;
+}
+
+type analysis = {
+  program : Program.t;
+  leaf : string;
+  criticals : string list;
+  simple_paths : t list;
+  cycles : t list;
+}
+
+module SSet = Set.Make (String)
+
+let rule_ids t = List.map (fun (r : Rule.t) -> r.id) t.rules
+let is_base t = List.for_all (fun (_, m) -> not m) t.multi_flags
+let is_multi t id = match List.assoc_opt id t.multi_flags with Some m -> m | None -> false
+
+(* ---- rule-set enumeration --------------------------------------------- *)
+
+(* Non-empty subsets of [xs], singletons first, in input order. *)
+let nonempty_subsets xs =
+  let rec all = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let sub = all rest in
+      List.map (fun s -> x :: s) sub @ sub
+  in
+  let subs = List.filter (fun s -> s <> []) (all xs) in
+  List.stable_sort (fun a b -> Int.compare (List.length a) (List.length b)) subs
+
+(* Saturate a rule set so that every non-terminal intensional body
+   predicate of its members is derived within the set.  [queue] holds
+   (consumer, predicate) obligations.  Each rule is used at most once
+   per set — Definition 4.2's "one visit per edge". *)
+let rec saturate (p : Program.t) ~terminal (set : Rule.t list) queue =
+  match queue with
+  | [] -> [ set ]
+  | (consumer, pred) :: rest ->
+    if terminal pred then saturate p ~terminal set rest
+    else begin
+      let deriving = Program.rules_deriving p pred in
+      if deriving = [] then [] (* intensional predicate no rule derives *)
+      else begin
+        let consumer_rule = List.find_opt (fun (r : Rule.t) -> r.id = consumer) set in
+        let multi_ok =
+          match consumer_rule with
+          | Some r -> Rule.has_agg r
+          | None -> false
+        in
+        (* A choice may pick rules already in the set (sharing a
+           sub-derivation, visiting no new edge) or fresh ones; only
+           fresh rules contribute new obligations. *)
+        let choices =
+          if multi_ok then nonempty_subsets deriving
+          else List.map (fun r -> [ r ]) deriving
+        in
+        List.concat_map
+          (fun chosen ->
+            let in_set (r : Rule.t) = List.exists (fun (r' : Rule.t) -> r'.id = r.id) set in
+            let fresh = List.filter (fun r -> not (in_set r)) chosen in
+            let set' = set @ fresh in
+            let new_obligations =
+              List.concat_map
+                (fun (r : Rule.t) ->
+                  List.filter_map
+                    (fun q ->
+                      if Program.is_intensional p q then Some (r.id, q) else None)
+                    (Rule.positive_body_preds r))
+                fresh
+            in
+            saturate p ~terminal set' (rest @ new_obligations))
+          choices
+      end
+    end
+
+(* Well-foundedness: every rule must be derivable bottom-up from
+   extensional predicates and terminals; rejects circular mutual
+   satisfaction.  Returns the grounding order on success. *)
+let grounding_order (p : Program.t) ~terminal (set : Rule.t list) =
+  let grounded = ref [] in
+  let remaining = ref set in
+  let progress = ref true in
+  while !progress && !remaining <> [] do
+    progress := false;
+    let ready, blocked =
+      List.partition
+        (fun (r : Rule.t) ->
+          List.for_all
+            (fun q ->
+              (not (Program.is_intensional p q))
+              || terminal q
+              || List.exists (fun (g : Rule.t) -> Rule.head_pred g = q) !grounded)
+            (Rule.positive_body_preds r))
+        !remaining
+    in
+    if ready <> [] then begin
+      progress := true;
+      (* within a round, producers precede consumers (ignoring cycles):
+         repeatedly pick a rule no other pending rule feeds into *)
+      let rec order pending acc =
+        match pending with
+        | [] -> List.rev acc
+        | _ ->
+          let feeds (r' : Rule.t) (r : Rule.t) =
+            r'.id <> r.id && List.mem (Rule.head_pred r') (Rule.positive_body_preds r)
+          in
+          let pick =
+            match
+              List.find_opt
+                (fun r -> not (List.exists (fun r' -> feeds r' r) pending))
+                pending
+            with
+            | Some r -> r
+            | None -> List.hd pending (* cyclic tie: keep set order *)
+          in
+          order (List.filter (fun (r : Rule.t) -> r.id <> pick.id) pending) (pick :: acc)
+      in
+      grounded := !grounded @ order ready [];
+      remaining := blocked
+    end
+  done;
+  if !remaining = [] then Some !grounded else None
+
+let dedup_sets sets =
+  let key set = String.concat "," (List.sort String.compare (List.map (fun (r : Rule.t) -> r.id) set)) in
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun set ->
+      let k = key set in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    sets
+
+(* Boolean assignments over the aggregating rules of a set; the
+   all-[false] base first, then by number of raised flags. *)
+let flag_variants (set : Rule.t list) =
+  let agg_ids = List.filter_map (fun (r : Rule.t) -> if Rule.has_agg r then Some r.id else None) set in
+  let rec assignments = function
+    | [] -> [ [] ]
+    | id :: rest ->
+      let sub = assignments rest in
+      List.map (fun a -> (id, false) :: a) sub @ List.map (fun a -> (id, true) :: a) sub
+  in
+  assignments agg_ids
+  |> List.stable_sort
+       (fun a b ->
+         let count l = List.length (List.filter snd l) in
+         Int.compare (count a) (count b))
+
+let star_suffix flags =
+  match List.filter snd flags with
+  | [] -> ""
+  | [ _ ] when List.length flags = 1 -> "*"
+  | raised -> "*{" ^ String.concat "," (List.map fst raised) ^ "}"
+
+let analyze (p : Program.t) =
+  let leaf = Depgraph.leaf p in
+  let criticals = Critical.critical_nodes p in
+  let is_critical q = List.mem q criticals in
+  let not_terminal _ = false in
+  (* simple reasoning paths: expand every intensional predicate down to
+     the roots *)
+  let simple_sets =
+    Program.rules_deriving p leaf
+    |> List.concat_map (fun (r : Rule.t) ->
+           let obligations =
+             List.filter_map
+               (fun q -> if Program.is_intensional p q then Some (r.id, q) else None)
+               (Rule.positive_body_preds r)
+           in
+           saturate p ~terminal:not_terminal [ r ] obligations)
+    |> dedup_sets
+    |> List.filter_map (fun set -> grounding_order p ~terminal:not_terminal set)
+  in
+  (* reasoning cycles: critical predicates are terminals; a valid cycle
+     ends at a critical head and hangs from at least one critical
+     terminal in a body *)
+  let cycle_sets =
+    p.rules
+    |> List.filter (fun (r : Rule.t) -> is_critical (Rule.head_pred r))
+    |> List.concat_map (fun (r : Rule.t) ->
+           let obligations =
+             List.filter_map
+               (fun q -> if Program.is_intensional p q then Some (r.id, q) else None)
+               (Rule.positive_body_preds r)
+           in
+           saturate p ~terminal:is_critical [ r ] obligations)
+    |> dedup_sets
+    |> List.filter (fun set ->
+           List.exists
+             (fun (r : Rule.t) -> List.exists is_critical (Rule.positive_body_preds r))
+             set)
+    |> List.filter_map (fun set -> grounding_order p ~terminal:is_critical set)
+  in
+  let terminals_of set =
+    List.concat_map
+      (fun (r : Rule.t) -> List.filter is_critical (Rule.positive_body_preds r))
+      set
+    |> List.sort_uniq String.compare
+  in
+  let build kind prefix sets =
+    List.concat
+      (List.mapi
+         (fun i set ->
+           let base_name = Printf.sprintf "%s%d" prefix (i + 1) in
+           List.map
+             (fun flags ->
+               {
+                 name = base_name ^ star_suffix flags;
+                 kind;
+                 rules = set;
+                 multi_flags = flags;
+                 terminals = (match kind with Cycle -> terminals_of set | Simple -> []);
+               })
+             (flag_variants set))
+         sets)
+  in
+  {
+    program = p;
+    leaf;
+    criticals;
+    simple_paths = build Simple "Π" simple_sets;
+    cycles = build Cycle "Γ" cycle_sets;
+  }
+
+let variants_of analysis t =
+  let same_set t' =
+    List.sort String.compare (rule_ids t') = List.sort String.compare (rule_ids t)
+    && t'.kind = t.kind
+  in
+  List.filter same_set (analysis.simple_paths @ analysis.cycles)
+
+let to_string t =
+  let rule_str (r : Rule.t) = if is_multi t r.id then r.id ^ "*" else r.id in
+  Printf.sprintf "%s = {%s}" t.name (String.concat ", " (List.map rule_str t.rules))
+
+let analysis_to_string a =
+  let section title paths =
+    title ^ ":\n" ^ String.concat "\n" (List.map (fun t -> "  " ^ to_string t) paths)
+  in
+  Printf.sprintf "leaf: %s\ncritical nodes: %s\n%s\n%s" a.leaf
+    (String.concat ", " a.criticals)
+    (section "simple reasoning paths" a.simple_paths)
+    (section "reasoning cycles" a.cycles)

@@ -1,0 +1,56 @@
+(** Reasoning paths (Definition 4.2) and their aggregation variants
+    (§4.1): the database-independent "reasoning stories" distilled from
+    the dependency graph, from which explanation templates are built.
+
+    A {e simple reasoning path} conducts from root (extensional)
+    predicates to the leaf; a {e reasoning cycle} connects a critical
+    node with itself or another critical node.  Both are represented
+    compactly as sets of rules (the labels of the traversed edges),
+    ordered so that premises precede consumers.  Every path carries a
+    {e multi flag} per aggregating rule: the [false] (solid) variant
+    captures single-contributor aggregations, the [true] (dashed)
+    variant captures genuine multi-contributor aggregations, mirroring
+    the paper's Figure 5. *)
+
+open Ekg_datalog
+
+type kind =
+  | Simple
+  | Cycle
+
+type t = {
+  name : string;                        (** e.g. ["Π1"], ["Γ2*"] *)
+  kind : kind;
+  rules : Rule.t list;                  (** grounded (topological) order *)
+  multi_flags : (string * bool) list;   (** per aggregating rule id *)
+  terminals : string list;              (** critical predicates a cycle hangs from; [] for simple paths *)
+}
+
+type analysis = {
+  program : Program.t;
+  leaf : string;
+  criticals : string list;
+  simple_paths : t list;                (** base variants first, then dashed *)
+  cycles : t list;
+}
+
+val analyze : Program.t -> analysis
+(** Full structural analysis.  Finite by construction: each rule is
+    traversed at most once per path (one visit per edge). *)
+
+val rule_ids : t -> string list
+val is_base : t -> bool
+(** True when every multi flag is [false]. *)
+
+val is_multi : t -> string -> bool
+(** Multi flag of the given rule id ([false] when absent). *)
+
+val variants_of : analysis -> t -> t list
+(** All flag-variants sharing this path's rule set, itself included. *)
+
+val to_string : t -> string
+(** E.g. ["Π2 = {alpha, beta, gamma}"] with ["*"]-marked multi rules. *)
+
+val analysis_to_string : analysis -> string
+(** Table of all simple reasoning paths and reasoning cycles — the
+    shape of Figure 10. *)

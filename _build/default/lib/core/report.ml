@@ -1,0 +1,61 @@
+open Ekg_kernel
+
+type t = {
+  title : string;
+  subject : string;
+  application_goal : string;
+  steps : int;
+  reasoning_paths : string list;
+  body : string;
+  appendix : string;
+}
+
+let of_explanation ?(title = "Reasoning report") (pipeline : Pipeline.t)
+    (e : Pipeline.explanation) =
+  {
+    title;
+    subject = Ekg_engine.Fact.to_string e.fact;
+    application_goal = pipeline.program.goal;
+    steps = Ekg_engine.Proof.length e.proof;
+    reasoning_paths = e.paths_used;
+    body = e.text;
+    appendix = Ekg_engine.Proof.to_string e.proof;
+  }
+
+let render ?(width = 78) r =
+  let rule = String.make (min width 78) '=' in
+  String.concat "\n"
+    [
+      rule;
+      r.title;
+      rule;
+      Printf.sprintf "Subject:          %s" r.subject;
+      Printf.sprintf "Reasoning task:   %s" r.application_goal;
+      Printf.sprintf "Inference length: %d chase steps" r.steps;
+      Printf.sprintf "Reasoning paths:  %s" (String.concat " + " r.reasoning_paths);
+      "";
+      Textutil.wrap ~width r.body;
+      "";
+      "Appendix - formal derivation";
+      String.make (min width 78) '-';
+      r.appendix;
+    ]
+
+let render_markdown r =
+  String.concat "\n"
+    [
+      "# " ^ r.title;
+      "";
+      Printf.sprintf "- **Subject:** `%s`" r.subject;
+      Printf.sprintf "- **Reasoning task:** `%s`" r.application_goal;
+      Printf.sprintf "- **Inference length:** %d chase steps" r.steps;
+      Printf.sprintf "- **Reasoning paths:** %s" (String.concat " + " r.reasoning_paths);
+      "";
+      r.body;
+      "";
+      "## Appendix — formal derivation";
+      "";
+      "```";
+      r.appendix;
+      "```";
+    ]

@@ -1,0 +1,23 @@
+(** Business reports (§1, §5): the packaged deliverable a supervisory
+    analyst reads — the natural-language explanation, which reasoning
+    stories produced it, and the formal derivation as an auditable
+    appendix. *)
+
+type t = {
+  title : string;
+  subject : string;            (** the explained fact, rendered *)
+  application_goal : string;   (** the reasoning task's answer predicate *)
+  steps : int;                 (** proof length in chase steps *)
+  reasoning_paths : string list;
+  body : string;               (** the template-based explanation *)
+  appendix : string;           (** formal chase-step derivation *)
+}
+
+val of_explanation : ?title:string -> Pipeline.t -> Pipeline.explanation -> t
+(** Default title: ["Reasoning report"]. *)
+
+val render : ?width:int -> t -> string
+(** Plain-text report, body wrapped at [width] (default 78). *)
+
+val render_markdown : t -> string
+(** Markdown rendering for front-ends. *)

@@ -1,0 +1,117 @@
+type piece =
+  | Lit of string
+  | Slot of int * Verbalizer.slot
+
+type t = {
+  path : Reasoning_path.t;
+  pieces : piece list;
+  enhanced : bool;
+}
+
+let of_path g (path : Reasoning_path.t) =
+  let pieces =
+    List.concat
+      (List.mapi
+         (fun i (r : Ekg_datalog.Rule.t) ->
+           let multi = Reasoning_path.is_multi path r.id in
+           let chunks = Verbalizer.verbalize_rule g ~multi r in
+           let sep = if i = 0 then [] else [ Lit " " ] in
+           sep
+           @ List.map
+               (function
+                 | Verbalizer.Lit s -> Lit s
+                 | Verbalizer.Slot sl -> Slot (i, sl))
+               chunks)
+         path.rules)
+  in
+  { path; pieces; enhanced = false }
+
+let render piece_to_string t = String.concat "" (List.map piece_to_string t.pieces)
+
+let skeleton t =
+  render (function Lit s -> s | Slot (_, sl) -> "<" ^ sl.Verbalizer.var ^ ">") t
+
+let marker_text t =
+  render
+    (function
+      | Lit s -> s
+      | Slot (i, sl) -> Printf.sprintf "<%s#%d>" sl.Verbalizer.var i)
+    t
+
+let tokens t =
+  let rec dedup seen = function
+    | [] -> []
+    | x :: rest -> if List.mem x seen then dedup seen rest else x :: dedup (x :: seen) rest
+  in
+  dedup []
+    (List.filter_map
+       (function Lit _ -> None | Slot (i, sl) -> Some (i, sl.Verbalizer.var))
+       t.pieces)
+
+(* Slot metadata of [like], keyed by (step, var).  A token may occur
+   with both list and non-list flavours; keep the first occurrence. *)
+let slot_table like =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Lit _ -> ()
+      | Slot (i, sl) ->
+        let key = (i, sl.Verbalizer.var) in
+        if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key sl)
+    like.pieces;
+  tbl
+
+let of_marker_text ~like text =
+  let tbl = slot_table like in
+  let n = String.length text in
+  let pieces = ref [] in
+  let buf = Buffer.create 64 in
+  let error = ref None in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      pieces := Lit (Buffer.contents buf) :: !pieces;
+      Buffer.clear buf
+    end
+  in
+  let i = ref 0 in
+  while !i < n && !error = None do
+    if text.[!i] = '<' then begin
+      match String.index_from_opt text !i '>' with
+      | Some j -> (
+        let inner = String.sub text (!i + 1) (j - !i - 1) in
+        match String.index_opt inner '#' with
+        | Some k -> (
+          let var = String.sub inner 0 k in
+          let step = String.sub inner (k + 1) (String.length inner - k - 1) in
+          match int_of_string_opt step with
+          | Some step -> (
+            match Hashtbl.find_opt tbl (step, var) with
+            | Some sl ->
+              flush ();
+              pieces := Slot (step, sl) :: !pieces;
+              i := j + 1
+            | None -> error := Some (Printf.sprintf "unknown token <%s#%d>" var step))
+          | None ->
+            Buffer.add_char buf '<';
+            incr i)
+        | None ->
+          Buffer.add_char buf '<';
+          incr i)
+      | None ->
+        Buffer.add_char buf '<';
+        incr i
+    end
+    else begin
+      Buffer.add_char buf text.[!i];
+      incr i
+    end
+  done;
+  match !error with
+  | Some e -> Error e
+  | None ->
+    flush ();
+    Ok { path = like.path; pieces = List.rev !pieces; enhanced = true }
+
+let missing_tokens ~reference candidate =
+  let present = tokens candidate in
+  List.filter (fun tok -> not (List.mem tok present)) (tokens reference)

@@ -1,0 +1,43 @@
+(** Explanation templates (§4.2, Figure 6): the verbalization of a
+    reasoning path, with tokens that map back to the rules' literals.
+
+    A token is a (step, variable) pair — the variable of the path's
+    step-th rule.  Templates render in three forms: the {e skeleton}
+    (tokens as [<var>], the display form of Figure 6), the {e marker
+    text} (tokens as [<var#step>], an unambiguous round-trippable form
+    the enhancer rewrites), and the instantiated explanation (tokens
+    substituted with chase constants, via {!Instantiate}). *)
+
+type piece =
+  | Lit of string
+  | Slot of int * Verbalizer.slot  (** step index within the path, slot *)
+
+type t = {
+  path : Reasoning_path.t;
+  pieces : piece list;
+  enhanced : bool;  (** produced by the enhancer rather than the verbalizer *)
+}
+
+val of_path : Glossary.t -> Reasoning_path.t -> t
+(** Deterministic template: each rule of the path verbalized in order.
+    Aggregations are verbalized only in rules the path marks as
+    multi-contributor ("dashed"), per §4.2. *)
+
+val skeleton : t -> string
+(** Tokens as [<var>]. *)
+
+val marker_text : t -> string
+(** Tokens as [<var#step>]. *)
+
+val tokens : t -> (int * string) list
+(** Distinct (step, variable) tokens, in order of first occurrence. *)
+
+val of_marker_text : like:t -> string -> (t, string) result
+(** Re-parse a transformed marker text, inheriting each token's slot
+    metadata (format, contributor-list flag) from [like].  Fails on
+    markers that do not occur in [like] — the enhancer cannot invent
+    tokens. *)
+
+val missing_tokens : reference:t -> t -> (int * string) list
+(** Tokens of [reference] absent from the candidate — the omission
+    guard of §4.4 (empty means complete). *)

@@ -1,0 +1,87 @@
+open Ekg_kernel
+
+let save (p : Pipeline.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "# enhanced explanation templates (goal: %s)\n" p.program.goal);
+  Buffer.add_string buf "# tokens are <var#step>; every token must be preserved\n";
+  List.iter
+    (fun (name, tpl) ->
+      Buffer.add_string buf (Printf.sprintf "@template %s\n" name);
+      Buffer.add_string buf (Template.marker_text tpl);
+      Buffer.add_char buf '\n')
+    p.enhanced;
+  Buffer.contents buf
+
+let load (p : Pipeline.t) serialized =
+  let lines = String.split_on_char '\n' serialized in
+  (* group into (name, text) entries *)
+  let entries = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | Some (name, body) ->
+      entries := (name, String.concat " " (List.rev body)) :: !entries;
+      current := None
+    | None -> ()
+  in
+  List.iter
+    (fun line ->
+      let trimmed = String.trim line in
+      if Textutil.starts_with ~prefix:"@template " trimmed then begin
+        flush ();
+        let name =
+          String.trim
+            (String.sub trimmed (String.length "@template ")
+               (String.length trimmed - String.length "@template "))
+        in
+        current := Some (name, [])
+      end
+      else if trimmed = "" || Textutil.starts_with ~prefix:"#" trimmed then ()
+      else begin
+        match !current with
+        | Some (name, body) -> current := Some (name, trimmed :: body)
+        | None -> ()
+      end)
+    lines;
+  flush ();
+  let entries = List.rev !entries in
+  let errors = ref [] in
+  let enhanced =
+    List.filter_map
+      (fun (name, text) ->
+        match List.assoc_opt name p.deterministic with
+        | None ->
+          errors := Printf.sprintf "unknown template name: %s" name :: !errors;
+          None
+        | Some det -> (
+          match Template.of_marker_text ~like:det text with
+          | Error e ->
+            errors := Printf.sprintf "template %s: %s" name e :: !errors;
+            None
+          | Ok candidate -> (
+            match Enhancer.guard ~reference:det candidate with
+            | Ok t -> Some (name, t)
+            | Error missing ->
+              errors :=
+                Printf.sprintf "template %s: omission guard rejected it (missing %s)"
+                  name
+                  (String.concat ", "
+                     (List.map (fun (i, v) -> Printf.sprintf "<%s#%d>" v i) missing))
+                :: !errors;
+              None)))
+      entries
+  in
+  match List.rev !errors with
+  | [] ->
+    (* paths without a stored template keep their generated one *)
+    let merged =
+      List.map
+        (fun (name, tpl) ->
+          match List.assoc_opt name enhanced with
+          | Some stored -> (name, stored)
+          | None -> (name, tpl))
+        p.enhanced
+    in
+    Ok { p with enhanced = merged }
+  | es -> Error es

@@ -1,0 +1,29 @@
+(** Persistence of enhanced templates, supporting the once-for-all
+    human-in-the-loop step of §4.4: templates for a deployed KG
+    application are pre-computed, reviewed (and possibly hand-edited)
+    by the Vadalog experts, stored, and reloaded at query time.
+
+    The on-disk format is line-oriented and human-editable:
+
+    {v
+    # templates for: stress test
+    @template Π2
+    Given that a shock of <S#0> hits <F#0> ..., <F#0> is in default. ...
+    @template Γ1*
+    ...
+    v}
+
+    Tokens use the unambiguous [<var#step>] marker syntax.  At load
+    time every template is re-parsed against the pipeline's
+    deterministic templates and passed through the omission guard, so a
+    hand-edit that loses a token is rejected with a diagnostic — the
+    "automatic preventive check" of §4.4. *)
+
+val save : Pipeline.t -> string
+(** Serialize the pipeline's enhanced templates. *)
+
+val load : Pipeline.t -> string -> (Pipeline.t, string list) result
+(** Replace the pipeline's enhanced templates with the stored (possibly
+    hand-edited) ones.  Fails with one diagnostic per rejected template
+    (unknown path name, unknown token, or guard violation); on success
+    every stored template is token-complete. *)

@@ -1,0 +1,165 @@
+open Ekg_datalog
+
+type verdict =
+  | Terminates of string
+  | May_diverge of string list
+
+module PosSet = Set.Make (struct
+  type t = string * int
+
+  let compare = compare
+end)
+
+(* positions of a variable within an atom *)
+let var_positions (a : Atom.t) v =
+  List.mapi (fun i t -> (i, t)) a.args
+  |> List.filter_map (fun (i, t) -> if t = Term.Var v then Some (a.pred, i) else None)
+
+let head_positions_of_var (r : Rule.t) v = var_positions r.head v
+
+(* affected positions: existential head positions, closed under
+   propagation through rules whose variable occurs only in affected
+   body positions *)
+let affected_set (p : Program.t) =
+  let base =
+    List.fold_left
+      (fun acc (r : Rule.t) ->
+        List.fold_left
+          (fun acc v ->
+            List.fold_left (fun acc pos -> PosSet.add pos acc) acc
+              (head_positions_of_var r v))
+          acc (Rule.existential_vars r))
+      PosSet.empty p.rules
+  in
+  let step affected =
+    List.fold_left
+      (fun acc (r : Rule.t) ->
+        let positives = Rule.positive_atoms r in
+        List.fold_left
+          (fun acc v ->
+            let body_occurrences =
+              List.concat_map (fun a -> var_positions a v) positives
+            in
+            if
+              body_occurrences <> []
+              && List.for_all (fun pos -> PosSet.mem pos affected) body_occurrences
+            then
+              List.fold_left (fun acc pos -> PosSet.add pos acc) acc
+                (head_positions_of_var r v)
+            else acc)
+          acc (Rule.body_vars r))
+      affected p.rules
+  in
+  let rec fix affected =
+    let affected' = step affected in
+    if PosSet.equal affected affected' then affected else fix affected'
+  in
+  fix base
+
+let affected_positions p = PosSet.elements (affected_set p)
+
+let dangerous_vars p (r : Rule.t) =
+  let affected = affected_set p in
+  let positives = Rule.positive_atoms r in
+  let head_vars = Atom.vars r.head in
+  List.filter
+    (fun v ->
+      let body_occurrences = List.concat_map (fun a -> var_positions a v) positives in
+      body_occurrences <> []
+      && List.for_all (fun pos -> PosSet.mem pos affected) body_occurrences
+      && List.mem v head_vars)
+    (Rule.body_vars r)
+
+let is_warded (p : Program.t) =
+  List.for_all
+    (fun (r : Rule.t) ->
+      match dangerous_vars p r with
+      | [] -> true
+      | dangerous ->
+        (* one body atom must contain every dangerous variable *)
+        List.exists
+          (fun (a : Atom.t) ->
+            let vars = Atom.vars a in
+            List.for_all (fun v -> List.mem v vars) dangerous)
+          (Rule.positive_atoms r))
+    p.rules
+
+(* a rule is recursive when its head predicate transitively feeds one
+   of its own positive body predicates *)
+let recursive_rules (p : Program.t) =
+  let g = Depgraph.build p in
+  List.filter
+    (fun (r : Rule.t) ->
+      let head = Rule.head_pred r in
+      let reachable = Ekg_graph.Digraph.reachable_from g head in
+      List.exists (fun q -> List.mem q reachable) (Rule.positive_body_preds r))
+    p.rules
+
+(* value invention: head variables produced by arithmetic assignments
+   or aggregations rather than copied from the data *)
+let invented_head_vars (r : Rule.t) =
+  let head_vars = Atom.vars r.head in
+  let from_assignments =
+    List.filter_map
+      (fun (v, _) -> if List.mem v head_vars then Some (v, `Arithmetic) else None)
+      r.assignments
+  in
+  let from_agg =
+    match r.agg with
+    | Some a when List.mem a.result head_vars -> [ (a.result, `Aggregate) ]
+    | Some _ | None -> []
+  in
+  from_assignments @ from_agg
+
+let analyze (p : Program.t) =
+  let has_existentials =
+    List.exists (fun r -> Rule.existential_vars r <> []) p.rules
+  in
+  let recursive = recursive_rules p in
+  if has_existentials && not (is_warded p) then
+    May_diverge
+      (List.filter_map
+         (fun (r : Rule.t) ->
+           if dangerous_vars p r <> [] then
+             Some
+               (Printf.sprintf
+                  "rule %s: dangerous variables %s have no ward — the program is not \
+                   warded"
+                  r.id
+                  (String.concat ", " (dangerous_vars p r)))
+           else None)
+         p.rules)
+  else begin
+    let unbounded =
+      List.filter_map
+        (fun (r : Rule.t) ->
+          match List.filter (fun (_, kind) -> kind = `Arithmetic) (invented_head_vars r) with
+          | [] -> None
+          | (v, _) :: _ ->
+            Some
+              (Printf.sprintf
+                 "rule %s: arithmetic value %s feeds the recursive predicate %s — \
+                  unbounded unless its comparisons cap it"
+                 r.id v (Rule.head_pred r)))
+        recursive
+    in
+    match unbounded with
+    | _ :: _ -> May_diverge unbounded
+    | [] ->
+      let aggregating_recursion =
+        List.exists
+          (fun (r : Rule.t) -> invented_head_vars r <> [])
+          recursive
+      in
+      if has_existentials then
+        Terminates "warded existentials with isomorphism preemption"
+      else if recursive = [] then Terminates "non-recursive"
+      else if aggregating_recursion then
+        Terminates "monotonic aggregation over finite contributors"
+      else Terminates "recursive Datalog without value invention"
+  end
+
+let to_string = function
+  | Terminates why -> "terminates: " ^ why
+  | May_diverge reasons ->
+    "may diverge:\n" ^ String.concat "\n" (List.map (fun r -> "  - " ^ r) reasons)

@@ -1,0 +1,46 @@
+(** Static termination analysis.
+
+    The paper restricts itself to "Vadalog programs involved in
+    reasoning tasks whose termination is guaranteed" (§3), pointing to
+    the warded Datalog± results for the existential fragment and to
+    isomorphism preemption for recursion (§5).  This module implements
+    the corresponding static checks so a deployed KG application can be
+    vetted before the chase runs:
+
+    - {e affected positions} and the {e wardedness} condition for
+      programs with existential heads (Gottlob et al.);
+    - detection of {e value invention through recursion} — arithmetic
+      assignments or aggregates feeding new constants into a recursive
+      predicate — distinguishing the benign monotonic-aggregation form
+      (finite contributors ⇒ finitely many aggregate values) from
+      unbounded arithmetic generation (e.g. [n(X), Y = X + 1 -> n(Y)]),
+      which only a runtime guard can stop. *)
+
+open Ekg_datalog
+
+type verdict =
+  | Terminates of string
+      (** statically guaranteed; the string names the argument, e.g.
+          ["non-recursive"], ["recursive Datalog without value
+          invention"], ["monotonic aggregation over finite
+          contributors"], ["warded existentials with isomorphism
+          preemption"] *)
+  | May_diverge of string list
+      (** each entry names a rule and why it may invent unboundedly
+          many values (the chase's [max_rounds] guard still applies) *)
+
+val affected_positions : Program.t -> (string * int) list
+(** Positions (predicate, index) that may carry labelled nulls:
+    existential head positions, closed under propagation.  Sorted. *)
+
+val dangerous_vars : Program.t -> Rule.t -> string list
+(** Variables of the rule that occur only in affected body positions
+    and propagate to its head. *)
+
+val is_warded : Program.t -> bool
+(** Every rule's dangerous variables appear together in one body atom
+    (the ward).  Programs without existentials are trivially warded. *)
+
+val analyze : Program.t -> verdict
+
+val to_string : verdict -> string

@@ -1,0 +1,270 @@
+open Ekg_kernel
+open Ekg_datalog
+
+type slot = {
+  var : string;
+  fmt : Glossary.fmt;
+  list_slot : bool;
+}
+
+type chunk =
+  | Lit of string
+  | Slot of slot
+
+let chunks_to_skeleton chunks =
+  chunks
+  |> List.map (function Lit s -> s | Slot sl -> "<" ^ sl.var ^ ">")
+  |> String.concat ""
+
+let chunks_to_text ~resolve chunks =
+  chunks |> List.map (function Lit s -> s | Slot sl -> resolve sl) |> String.concat ""
+
+let lit s = Lit s
+
+let join_chunks sep parts =
+  let rec go = function
+    | [] -> []
+    | [ last ] -> last
+    | part :: rest -> part @ [ lit sep ] @ go rest
+  in
+  go parts
+
+(* Parse the [<token>] markers of a glossary pattern. *)
+let parse_pattern pattern resolve_token =
+  let n = String.length pattern in
+  let chunks = ref [] in
+  let buf = Buffer.create 32 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      chunks := lit (Buffer.contents buf) :: !chunks;
+      Buffer.clear buf
+    end
+  in
+  let i = ref 0 in
+  while !i < n do
+    if pattern.[!i] = '<' then begin
+      match String.index_from_opt pattern !i '>' with
+      | Some j ->
+        flush ();
+        let name = String.sub pattern (!i + 1) (j - !i - 1) in
+        chunks := resolve_token name :: !chunks;
+        i := j + 1
+      | None ->
+        Buffer.add_char buf '<';
+        incr i
+    end
+    else begin
+      Buffer.add_char buf pattern.[!i];
+      incr i
+    end
+  done;
+  flush ();
+  List.rev !chunks
+
+let fallback_entry (a : Atom.t) =
+  let names = List.mapi (fun i _ -> (Printf.sprintf "a%d" (i + 1), Glossary.Plain)) a.args in
+  let tokens = List.map (fun (n, _) -> "<" ^ n ^ ">") names in
+  let pattern =
+    if tokens = [] then a.pred ^ " holds"
+    else "the relation " ^ a.pred ^ " holds for " ^ Textutil.join_and tokens
+  in
+  Glossary.entry ~pred:a.pred ~args:names ~pattern
+
+let term_chunk fmt = function
+  | Term.Var v -> Slot { var = v; fmt; list_slot = false }
+  | Term.Cst c -> lit (Glossary.format_value fmt c)
+
+let verbalize_atom g (a : Atom.t) =
+  let entry =
+    match Glossary.find g a.pred with
+    | Some e when List.length e.args = List.length a.args -> e
+    | Some _ | None -> fallback_entry a
+  in
+  let resolve_token name =
+    let rec index i = function
+      | [] -> None
+      | (n, f) :: rest -> if n = name then Some (i, f) else index (i + 1) rest
+    in
+    match index 0 entry.args with
+    | Some (i, f) -> term_chunk f (List.nth a.args i)
+    | None -> lit ("<" ^ name ^ ">")
+  in
+  parse_pattern entry.pattern resolve_token
+
+let rec verbalize_expr ?(const_fmt = Glossary.Plain) ~fmt_of e =
+  let recur e = verbalize_expr ~const_fmt ~fmt_of e in
+  match e with
+  | Expr.Term (Term.Var v) -> [ Slot { var = v; fmt = fmt_of v; list_slot = false } ]
+  | Expr.Term (Term.Cst c) -> [ lit (Glossary.format_value const_fmt c) ]
+  | Expr.Neg e -> lit "the negation of " :: recur e
+  | Expr.Add (a, b) -> (lit "the sum of " :: recur a) @ (lit " and " :: recur b)
+  | Expr.Mul (a, b) -> (lit "the product of " :: recur a) @ (lit " and " :: recur b)
+  | Expr.Sub (a, b) -> recur a @ (lit " minus " :: recur b)
+  | Expr.Div (a, b) -> recur a @ (lit " divided by " :: recur b)
+
+let cmp_words = function
+  | Expr.Eq -> " is equal to "
+  | Expr.Ne -> " is different from "
+  | Expr.Lt -> " is lower than "
+  | Expr.Le -> " is at most "
+  | Expr.Gt -> " is higher than "
+  | Expr.Ge -> " is at least "
+
+let verbalize_cmp ~fmt_of (c : Expr.cmp) =
+  (* constants compared against a formatted variable borrow its format,
+     so [TS > 0.5] reads "exceeds 50%" when TS is a share *)
+  let const_fmt =
+    List.fold_left
+      (fun acc v -> if acc = Glossary.Plain then fmt_of v else acc)
+      Glossary.Plain (Expr.cmp_vars c)
+  in
+  verbalize_expr ~const_fmt ~fmt_of c.lhs
+  @ (lit (cmp_words c.op) :: verbalize_expr ~const_fmt ~fmt_of c.rhs)
+
+let agg_phrase = function
+  | Rule.Sum -> "the sum of"
+  | Rule.Prod -> "the product of"
+  | Rule.Min -> "the minimum of"
+  | Rule.Max -> "the maximum of"
+  | Rule.Count -> "the number of"
+
+let rule_fmt_map g (r : Rule.t) =
+  let atoms = Rule.positive_atoms r @ [ r.head ] in
+  fun var ->
+    let rec scan = function
+      | [] -> Glossary.Plain
+      | (a : Atom.t) :: rest ->
+        let rec pos i = function
+          | [] -> None
+          | Term.Var v :: _ when v = var -> Some i
+          | _ :: args -> pos (i + 1) args
+        in
+        (match pos 0 a.args with
+        | Some i -> Glossary.arg_fmt g ~pred:a.pred i
+        | None -> scan rest)
+    in
+    scan atoms
+
+(* Raise the [list_slot] flag on slots whose variable varies across the
+   contributors of a multi-contributor aggregation. *)
+let mark_list_slots varying chunks =
+  List.map
+    (function
+      | Slot sl when List.mem sl.var varying -> Slot { sl with list_slot = true }
+      | c -> c)
+    chunks
+
+type rule_parts = {
+  body_clauses : (Atom.t option * chunk list) list;
+  head : chunk list;
+  agg : chunk list;
+}
+
+let rule_parts g ~multi (r : Rule.t) =
+  let base_fmt = rule_fmt_map g r in
+  (* aggregation results and assignment targets inherit the format of
+     the variables they are computed from *)
+  let derived_fmt v =
+    let from_vars vars =
+      List.fold_left
+        (fun acc w -> if acc = Glossary.Plain then base_fmt w else acc)
+        Glossary.Plain vars
+    in
+    match r.agg with
+    | Some a when v = a.result -> from_vars (Expr.vars a.input)
+    | _ -> (
+      match List.assoc_opt v r.assignments with
+      | Some e -> from_vars (Expr.vars e)
+      | None -> Glossary.Plain)
+  in
+  let fmt_of v =
+    match base_fmt v with
+    | Glossary.Plain -> derived_fmt v
+    | f -> f
+  in
+  let varying =
+    match r.agg with
+    | Some a when multi ->
+      let stable = a.result :: Rule.group_vars r in
+      List.filter (fun v -> not (List.mem v stable)) (Rule.body_vars r)
+    | Some _ | None -> []
+  in
+  let body_clauses =
+    List.map
+      (function
+        | Rule.Pos a -> (Some a, mark_list_slots varying (verbalize_atom g a))
+        | Rule.Not a -> (None, lit "it is not the case that " :: verbalize_atom g a))
+      r.body
+    @ List.map
+        (fun (v, e) ->
+          ( None,
+            Slot { var = v; fmt = fmt_of v; list_slot = false }
+            :: lit " is " :: verbalize_expr ~fmt_of e ))
+        r.assignments
+    @ List.map (fun c -> (None, verbalize_cmp ~fmt_of c)) r.conditions
+  in
+  let head = mark_list_slots varying (verbalize_atom g r.head) in
+  let agg =
+    match r.agg with
+    | Some a when multi ->
+      [ lit ", with " ]
+      @ [ Slot { var = a.result; fmt = fmt_of a.result; list_slot = false } ]
+      @ [ lit (" given by " ^ agg_phrase a.func ^ " ") ]
+      @ mark_list_slots (Expr.vars a.input) (verbalize_expr ~fmt_of a.input)
+    | Some _ | None -> []
+  in
+  { body_clauses; head; agg }
+
+let verbalize_rule g ~multi (r : Rule.t) =
+  let parts = rule_parts g ~multi r in
+  (lit "Since " :: join_chunks ", and " (List.map snd parts.body_clauses))
+  @ (lit ", then " :: parts.head)
+  @ parts.agg
+  @ [ lit "." ]
+
+let resolve_in_step (step : Ekg_engine.Proof.step) (sl : slot) =
+  let render v = Glossary.format_value sl.fmt v in
+  if sl.list_slot && step.multi then begin
+    let values =
+      List.filter_map
+        (fun (c : Ekg_engine.Provenance.contributor) ->
+          Option.map render (Subst.find c.binding sl.var))
+        step.contributors
+    in
+    let rec dedup = function
+      | [] -> []
+      | x :: rest -> x :: dedup (List.filter (fun y -> y <> x) rest)
+    in
+    Textutil.join_and (dedup values)
+  end
+  else
+    match Subst.find step.binding sl.var with
+    | Some v -> render v
+    | None -> (
+      (* variables of aggregated bodies live in contributor bindings *)
+      match
+        List.find_map
+          (fun (c : Ekg_engine.Provenance.contributor) -> Subst.find c.binding sl.var)
+          step.contributors
+      with
+      | Some v -> render v
+      | None -> "<" ^ sl.var ^ ">")
+
+let verbalize_step g (program : Program.t) (step : Ekg_engine.Proof.step) =
+  match Program.find_rule program step.rule_id with
+  | Some r ->
+    let chunks = verbalize_rule g ~multi:step.multi r in
+    chunks_to_text ~resolve:(resolve_in_step step) chunks
+  | None -> "The fact " ^ Ekg_engine.Fact.to_string step.fact ^ " was derived."
+
+let verbalize_proof g program (proof : Ekg_engine.Proof.t) =
+  proof.steps |> List.map (verbalize_step g program) |> String.concat " "
+
+let constant_strings g (proof : Ekg_engine.Proof.t) =
+  Ekg_engine.Proof.facts_used proof
+  |> List.concat_map (fun (f : Ekg_engine.Fact.t) ->
+         Array.to_list
+           (Array.mapi
+              (fun i v -> Glossary.format_value (Glossary.arg_fmt g ~pred:f.pred i) v)
+              f.args))
+  |> List.sort_uniq String.compare

@@ -1,0 +1,89 @@
+(** The verbalizer (§4.2): the deterministic translation of Vadalog
+    syntax into natural language of the form "Since ⟨body⟩, then
+    ⟨head⟩", driven by the domain glossary.
+
+    The output is a list of {!chunk}s: literal text interleaved with
+    variable slots.  Applied to a rule, the slots name the rule's
+    variables (the template tokens of Figure 6); applied to a ground
+    chase step, the slots are resolved and the result is plain prose —
+    the deterministic instance explanation the paper feeds to the LLM
+    baselines. *)
+
+open Ekg_datalog
+
+type slot = {
+  var : string;          (** rule variable the token stands for *)
+  fmt : Glossary.fmt;    (** display format, inherited from the glossary *)
+  list_slot : bool;      (** renders as a conjunction over contributors *)
+}
+
+type chunk =
+  | Lit of string
+  | Slot of slot
+
+val chunks_to_skeleton : chunk list -> string
+(** Render with [<var>] markers — the template display form. *)
+
+val chunks_to_text : resolve:(slot -> string) -> chunk list -> string
+(** Render with slots resolved to constants. *)
+
+val verbalize_atom : Glossary.t -> Atom.t -> chunk list
+(** Glossary pattern with argument tokens replaced by the atom's
+    terms: variables become slots, constants are formatted inline.
+    Predicates missing from the glossary use a generic fallback. *)
+
+val verbalize_cmp : fmt_of:(string -> Glossary.fmt) -> Expr.cmp -> chunk list
+(** E.g. [s > p1] becomes ["<s> is higher than <p1>"]. *)
+
+val verbalize_expr :
+  ?const_fmt:Glossary.fmt -> fmt_of:(string -> Glossary.fmt) -> Expr.t -> chunk list
+(** Arithmetic in words: [w1 * w2] becomes
+    ["the product of <w1> and <w2>"].  Constants render with
+    [const_fmt] (default [Plain]). *)
+
+val agg_phrase : Rule.agg_func -> string
+(** ["the sum of"], ["the product of"], … *)
+
+val rule_fmt_map : Glossary.t -> Rule.t -> string -> Glossary.fmt
+(** Display format of a rule variable, looked up through the glossary
+    entries of the atoms where the variable occurs. *)
+
+val join_chunks : string -> chunk list list -> chunk list
+(** Interleave the given literal separator. *)
+
+type rule_parts = {
+  body_clauses : (Atom.t option * chunk list) list;
+      (** one clause per body literal / assignment / condition, with
+          the source atom when the clause verbalizes a positive atom *)
+  head : chunk list;
+  agg : chunk list;  (** aggregation phrase; empty unless multi *)
+}
+
+val rule_parts : Glossary.t -> multi:bool -> Rule.t -> rule_parts
+(** Clause-level decomposition of a rule's verbalization, used by the
+    template enhancer to restructure sentences without touching
+    tokens. *)
+
+val verbalize_rule : Glossary.t -> multi:bool -> Rule.t -> chunk list
+(** One sentence: "Since ⟨atoms and conditions⟩, then ⟨head⟩." —
+    with the aggregation verbalized ("with <e> given by the sum of
+    <v>") only in the [multi] (dashed) variant, per §4.2. *)
+
+val resolve_in_step : Ekg_engine.Proof.step -> slot -> string
+(** Resolve a slot against a chase step's bindings; contributor-list
+    slots of multi-contributor steps render as a conjunction
+    ("2 million euros and 9 million euros"). *)
+
+val verbalize_step : Glossary.t -> Program.t -> Ekg_engine.Proof.step -> string
+(** Ground verbalization of one chase step. Contributor lists are
+    spelled out in full ("2 million euros and 9 million euros"). *)
+
+val verbalize_proof : Glossary.t -> Program.t -> Ekg_engine.Proof.t -> string
+(** The deterministic explanation of a proof: every chase step
+    verbalized one by one (the baseline of §6.2/§6.3). *)
+
+val constant_strings : Glossary.t -> Ekg_engine.Proof.t -> string list
+(** The display forms of every constant used by the proof, rendered
+    with the same glossary formats the explanations use ("50%",
+    "7 million euros") — the reference set for the completeness
+    measurements of §6.3.  Deduplicated. *)

@@ -1,0 +1,1 @@
+lib/datagen/debts.ml: Array Atom Ekg_apps Ekg_datalog Ekg_kernel List Money Printf Prng Stress_test Term

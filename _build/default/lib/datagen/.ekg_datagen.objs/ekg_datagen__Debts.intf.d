@@ -1,0 +1,1 @@
+lib/datagen/debts.mli: Atom Ekg_datalog Ekg_kernel Prng

@@ -1,0 +1,1 @@
+lib/datagen/owners.ml: Array Atom Ekg_apps Ekg_datalog Ekg_kernel Float List Printf Prng String Term

@@ -1,0 +1,1 @@
+lib/datagen/owners.mli: Atom Ekg_datalog Ekg_kernel Prng

@@ -1,0 +1,1 @@
+lib/datagen/participations.ml: Array Atom Ekg_apps Ekg_datalog Ekg_kernel Float List Printf Prng Term

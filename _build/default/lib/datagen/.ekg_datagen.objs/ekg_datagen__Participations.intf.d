@@ -1,0 +1,1 @@
+lib/datagen/participations.mli: Atom Ekg_datalog Ekg_kernel Prng

@@ -1,0 +1,94 @@
+open Ekg_kernel
+open Ekg_datalog
+open Ekg_apps
+
+type instance = {
+  edb : Atom.t list;
+  goal : Atom.t;
+  entities : string list;
+}
+
+let m = Money.of_millions
+
+let fresh_names rng n =
+  let rec go acc k =
+    if k = 0 then List.rev acc
+    else begin
+      let name = Printf.sprintf "FI_%05d" (Prng.int rng 100_000) in
+      if List.mem name acc then go acc k else go (name :: acc) (k - 1)
+    end
+  in
+  go [] n
+
+let capital rng = m (2. +. Prng.float rng 8.)
+
+let default_goal name = Atom.make "default" [ Term.str name ]
+
+(* Cascade over the single [debts] channel: entity i's exposure to the
+   defaulted entity i−1 always exceeds its capital. *)
+let simple_cascade rng ~depth =
+  if depth < 0 then invalid_arg "Debts.simple_cascade: negative depth";
+  let names = fresh_names rng (depth + 1) in
+  let arr = Array.of_list names in
+  let capitals = Array.init (depth + 1) (fun _ -> capital rng) in
+  let edb = ref [] in
+  Array.iteri (fun i name -> edb := Stress_test.has_capital name capitals.(i) :: !edb) arr;
+  edb := Stress_test.shock arr.(0) (capitals.(0) +. m (1. +. Prng.float rng 5.)) :: !edb;
+  for i = 1 to depth do
+    let exposure = capitals.(i) +. m (0.5 +. Prng.float rng 4.) in
+    edb := Stress_test.debts arr.(i - 1) arr.(i) exposure :: !edb
+  done;
+  { edb = List.rev !edb; goal = default_goal arr.(depth); entities = names }
+
+let dual_cascade rng ~depth =
+  if depth < 0 then invalid_arg "Debts.dual_cascade: negative depth";
+  let names = fresh_names rng (depth + 1) in
+  let arr = Array.of_list names in
+  let capitals = Array.init (depth + 1) (fun _ -> capital rng) in
+  let edb = ref [] in
+  Array.iteri (fun i name -> edb := Stress_test.has_capital name capitals.(i) :: !edb) arr;
+  edb := Stress_test.shock arr.(0) (capitals.(0) +. m (1. +. Prng.float rng 5.)) :: !edb;
+  for i = 1 to depth do
+    (* split an above-capital total across the two channels *)
+    let total = capitals.(i) +. m (1. +. Prng.float rng 4.) in
+    let long_part = total *. (0.3 +. Prng.float rng 0.4) in
+    edb := Stress_test.long_term_debts arr.(i - 1) arr.(i) long_part :: !edb;
+    edb := Stress_test.short_term_debts arr.(i - 1) arr.(i) (total -. long_part) :: !edb
+  done;
+  { edb = List.rev !edb; goal = default_goal arr.(depth); entities = names }
+
+let single_channel_cascade rng ~depth ~long =
+  if depth < 0 then invalid_arg "Debts.single_channel_cascade: negative depth";
+  let names = fresh_names rng (depth + 1) in
+  let arr = Array.of_list names in
+  let capitals = Array.init (depth + 1) (fun _ -> capital rng) in
+  let edb = ref [] in
+  Array.iteri (fun i name -> edb := Stress_test.has_capital name capitals.(i) :: !edb) arr;
+  edb := Stress_test.shock arr.(0) (capitals.(0) +. m (1. +. Prng.float rng 5.)) :: !edb;
+  let debt = if long then Stress_test.long_term_debts else Stress_test.short_term_debts in
+  for i = 1 to depth do
+    let exposure = capitals.(i) +. m (0.5 +. Prng.float rng 4.) in
+    edb := debt arr.(i - 1) arr.(i) exposure :: !edb
+  done;
+  { edb = List.rev !edb; goal = default_goal arr.(depth); entities = names }
+
+let multi_debt_cascade rng ~depth ~debts_per_hop =
+  if depth < 1 then invalid_arg "Debts.multi_debt_cascade: depth must be >= 1";
+  if debts_per_hop < 2 then
+    invalid_arg "Debts.multi_debt_cascade: debts_per_hop must be >= 2";
+  let names = fresh_names rng (depth + 1) in
+  let arr = Array.of_list names in
+  let capitals = Array.init (depth + 1) (fun _ -> capital rng) in
+  let edb = ref [] in
+  Array.iteri (fun i name -> edb := Stress_test.has_capital name capitals.(i) :: !edb) arr;
+  edb := Stress_test.shock arr.(0) (capitals.(0) +. m (1. +. Prng.float rng 5.)) :: !edb;
+  for i = 1 to depth do
+    let total = capitals.(i) +. m (1. +. Prng.float rng 4.) in
+    (* distinct loan amounts so set semantics keeps them all *)
+    let shares = List.init debts_per_hop (fun k -> float_of_int (k + 1)) in
+    let norm = List.fold_left ( +. ) 0. shares in
+    List.iter
+      (fun s -> edb := Stress_test.debts arr.(i - 1) arr.(i) (total *. s /. norm) :: !edb)
+      shares
+  done;
+  { edb = List.rev !edb; goal = default_goal arr.(depth); entities = names }

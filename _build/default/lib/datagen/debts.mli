@@ -1,0 +1,31 @@
+(** Synthetic exposure networks for the stress test applications, with
+    proof-length-targeted default cascades (x-axes of Figures 17b
+    and 18b). *)
+
+open Ekg_kernel
+open Ekg_datalog
+
+type instance = {
+  edb : Atom.t list;
+  goal : Atom.t;
+  entities : string list;
+}
+
+val simple_cascade : Prng.t -> depth:int -> instance
+(** For the one-channel program of Example 4.3: a shock defaults the
+    first entity and the default cascades through [depth] creditors.
+    Proof length = 1 + 2·depth (α then β,γ per hop); [depth ≥ 0]. *)
+
+val dual_cascade : Prng.t -> depth:int -> instance
+(** For the two-channel program σ4–σ7: every hop propagates through
+    both a long-term and a short-term exposure, so each hop costs three
+    chase steps (σ5, σ6, σ7).  Proof length = 1 + 3·depth. *)
+
+val single_channel_cascade : Prng.t -> depth:int -> long:bool -> instance
+(** Two-channel program, one active channel: proof length =
+    1 + 2·depth. *)
+
+val multi_debt_cascade : Prng.t -> depth:int -> debts_per_hop:int -> instance
+(** One-channel cascade whose hops aggregate [debts_per_hop ≥ 2]
+    distinct loans — exercising the dashed (multi-contributor)
+    reasoning paths.  Proof length = 1 + 2·depth. *)

@@ -1,0 +1,94 @@
+open Ekg_kernel
+open Ekg_datalog
+
+type instance = {
+  edb : Atom.t list;
+  goal : Atom.t;
+  entities : string list;
+}
+
+let syllables = [| "ban"; "cor"; "fin"; "hold"; "inv"; "cap"; "tru"; "cred"; "mer"; "lux" |]
+
+let fresh_name rng =
+  let s1 = Prng.pick_array rng syllables in
+  let s2 = Prng.pick_array rng syllables in
+  Printf.sprintf "%s%s_%04d" (String.capitalize_ascii s1) s2 (Prng.int rng 10_000)
+
+let fresh_names rng n =
+  let rec go acc k =
+    if k = 0 then acc
+    else begin
+      let name = fresh_name rng in
+      if List.mem name acc then go acc k else go (name :: acc) (k - 1)
+    end
+  in
+  go [] n
+
+let majority_share rng = 0.51 +. Prng.float rng 0.44
+
+let chain rng ~hops =
+  if hops < 1 then invalid_arg "Owners.chain: hops must be >= 1";
+  let names = fresh_names rng (hops + 1) in
+  let arr = Array.of_list names in
+  let owns = ref [] in
+  for i = 0 to hops - 1 do
+    owns := Ekg_apps.Company_control.own arr.(i) arr.(i + 1) (majority_share rng) :: !owns
+  done;
+  let companies = List.map Ekg_apps.Company_control.company names in
+  {
+    edb = companies @ List.rev !owns;
+    goal = Atom.make "control" [ Term.str arr.(0); Term.str arr.(hops) ];
+    entities = names;
+  }
+
+let aggregated rng ~hops ~fanout =
+  if hops < 2 then invalid_arg "Owners.aggregated: hops must be >= 2";
+  if fanout < 2 then invalid_arg "Owners.aggregated: fanout must be >= 2";
+  (* head controls a chain of [hops - 1] edges ending at the pivot;
+     the pivot and [fanout - 1] directly-controlled intermediaries each
+     hold a minority of the target, jointly above 50%. *)
+  let base = chain rng ~hops:(hops - 1) in
+  let pivot = List.nth base.entities 0 in
+  ignore pivot;
+  let chain_end = List.nth base.entities (List.length base.entities - 1) in
+  let head = List.hd base.entities in
+  let extras = fresh_names rng (fanout - 1) in
+  let target = fresh_name rng in
+  (* distinct minority shares summing just above 50% *)
+  let weights = List.init fanout (fun k -> 1. +. (0.35 *. float_of_int k)) in
+  let norm = List.fold_left ( +. ) 0. weights in
+  let shares = List.map (fun w -> 0.55 *. w /. norm) weights in
+  let joint_edges =
+    List.map2
+      (fun holder share -> Ekg_apps.Company_control.own holder target share)
+      (chain_end :: extras) shares
+  in
+  let extra_ownership =
+    List.map (fun e -> Ekg_apps.Company_control.own head e (majority_share rng)) extras
+  in
+  let companies = List.map Ekg_apps.Company_control.company (target :: extras) in
+  {
+    edb = base.edb @ companies @ extra_ownership @ joint_edges;
+    goal = Atom.make "control" [ Term.str head; Term.str target ];
+    entities = base.entities @ extras @ [ target ];
+  }
+
+let random_network rng ~entities ~density =
+  if entities < 2 then invalid_arg "Owners.random_network: need at least 2 entities";
+  let names = fresh_names rng entities in
+  let arr = Array.of_list names in
+  let owns = ref [] in
+  (* give every entity at most 100% of distributed shares *)
+  Array.iteri
+    (fun yi y ->
+      let remaining = ref 1.0 in
+      Array.iteri
+        (fun xi x ->
+          if xi <> yi && !remaining > 0.05 && Prng.bernoulli rng density then begin
+            let s = Float.min !remaining (0.05 +. Prng.float rng 0.6) in
+            remaining := !remaining -. s;
+            owns := Ekg_apps.Company_control.own x y s :: !owns
+          end)
+        arr)
+    arr;
+  List.map Ekg_apps.Company_control.company names @ List.rev !owns

@@ -1,0 +1,33 @@
+(** Synthetic ownership networks for the company control application
+    (§6: "we applied the … KG applications over artificially generated
+    data, as individual shares … are confidential").
+
+    Generators are proof-length-targeted: [chain ~hops] yields an EDB
+    whose goal fact has a proof of exactly [hops] chase steps (one σ1
+    activation plus hops−1 σ3 activations), the x-axis of Figures 17a
+    and 18a. *)
+
+open Ekg_kernel
+open Ekg_datalog
+
+type instance = {
+  edb : Atom.t list;
+  goal : Atom.t;        (** the derived fact to explain *)
+  entities : string list;
+}
+
+val chain : Prng.t -> hops:int -> instance
+(** A control chain of [hops] majority-ownership edges; proof length =
+    [hops].  Share sizes and entity names vary with the generator
+    state.  Requires [hops ≥ 1]. *)
+
+val aggregated : Prng.t -> hops:int -> fanout:int -> instance
+(** Like {!chain} but the last hop is controlled jointly through
+    [fanout ≥ 2] intermediaries, each majority-owned by the head of the
+    chain: the proof exercises a multi-contributor σ3 aggregation.
+    Proof length = [hops − 1] direct steps for each intermediary's
+    control plus the joint step. *)
+
+val random_network : Prng.t -> entities:int -> density:float -> Atom.t list
+(** A random ownership graph (shares normalized so no entity is
+    over-owned); for robustness tests rather than targeted proofs. *)

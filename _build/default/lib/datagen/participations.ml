@@ -1,0 +1,52 @@
+open Ekg_kernel
+open Ekg_datalog
+
+type instance = {
+  edb : Atom.t list;
+  goal : Atom.t;
+  entities : string list;
+}
+
+let fresh_names rng n =
+  let rec go acc k =
+    if k = 0 then List.rev acc
+    else begin
+      let name = Printf.sprintf "Part_%05d" (Prng.int rng 100_000) in
+      if List.mem name acc then go acc k else go (name :: acc) (k - 1)
+    end
+  in
+  go [] n
+
+(* shares high enough that the running product stays above 20% *)
+let chain rng ~hops =
+  if hops < 1 then invalid_arg "Participations.chain: hops must be >= 1";
+  (* product of h shares ≥ 0.2 requires shares ≥ 0.2^(1/h); keep a
+     margin so rounding never dips below the threshold *)
+  let min_share = Float.exp (Float.log 0.2 /. float_of_int hops) +. 0.02 in
+  if min_share >= 0.99 then
+    invalid_arg "Participations.chain: hops too deep for the 20% threshold";
+  let names = fresh_names rng (hops + 1) in
+  let arr = Array.of_list names in
+  let edb = ref [] in
+  for i = 0 to hops - 1 do
+    let share = min_share +. Prng.float rng (0.99 -. min_share) in
+    edb := Ekg_apps.Close_link.own arr.(i) arr.(i + 1) share :: !edb
+  done;
+  {
+    edb = List.rev !edb;
+    goal = Atom.make "closeLink" [ Term.str arr.(0); Term.str arr.(hops) ];
+    entities = names;
+  }
+
+let with_noise rng ~hops ~noise_edges =
+  let base = chain rng ~hops in
+  let extras = fresh_names rng (noise_edges + 1) in
+  let arr = Array.of_list extras in
+  let noise = ref [] in
+  for i = 0 to noise_edges - 1 do
+    (* sub-threshold stakes between fresh entities *)
+    let share = 0.02 +. Prng.float rng 0.15 in
+    noise :=
+      Ekg_apps.Close_link.own arr.(i) arr.((i + 1) mod Array.length arr) share :: !noise
+  done;
+  { base with edb = base.edb @ List.rev !noise; entities = base.entities @ extras }

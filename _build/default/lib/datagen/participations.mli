@@ -1,0 +1,25 @@
+(** Synthetic participation networks for the close-links application —
+    used by the harness's extension experiments (the paper's §7 future
+    work: validating the approach beyond its original applications). *)
+
+open Ekg_kernel
+open Ekg_datalog
+
+type instance = {
+  edb : Atom.t list;
+  goal : Atom.t;
+  entities : string list;
+}
+
+val chain : Prng.t -> hops:int -> instance
+(** A participation chain whose integrated product stays above the 20%
+    close-link threshold across [hops] edges (shares are drawn high
+    enough, up to 99%, that the product cannot dip below it); proof
+    length = [hops + 1] chase steps (cl1, then hops−1 activations of
+    cl2, then cl3).  Requires [hops ≥ 1]; beyond ~50 hops the needed
+    shares exceed the 99% cap and the call raises
+    [Invalid_argument]. *)
+
+val with_noise : Prng.t -> hops:int -> noise_edges:int -> instance
+(** Like {!chain}, plus unrelated sub-threshold participations that the
+    reasoning must ignore. *)

@@ -1,0 +1,1 @@
+lib/datalog/atom.ml: Format List String Term

@@ -1,0 +1,1 @@
+lib/datalog/atom.mli: Format Term

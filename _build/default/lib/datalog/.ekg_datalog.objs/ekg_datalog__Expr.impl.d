@@ -1,0 +1,1 @@
+lib/datalog/expr.ml: Ekg_kernel Format List Option Term Value

@@ -1,0 +1,1 @@
+lib/datalog/expr.mli: Ekg_kernel Format Term Value

@@ -1,0 +1,1 @@
+lib/datalog/parser.ml: Atom Ekg_kernel Expr Lexer List Printf Program Rule String Term Value

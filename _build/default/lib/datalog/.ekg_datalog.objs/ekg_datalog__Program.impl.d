@@ -1,0 +1,1 @@
+lib/datalog/program.ml: Atom Format Hashtbl List Printf Rule Set String

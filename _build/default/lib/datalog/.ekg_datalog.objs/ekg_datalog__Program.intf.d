@@ -1,0 +1,1 @@
+lib/datalog/program.mli: Format Rule

@@ -1,0 +1,1 @@
+lib/datalog/rule.ml: Atom Expr Format List Printf Result String

@@ -1,0 +1,1 @@
+lib/datalog/rule.mli: Atom Expr Format

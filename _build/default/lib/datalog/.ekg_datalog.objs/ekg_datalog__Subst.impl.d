@@ -1,0 +1,1 @@
+lib/datalog/subst.ml: Array Atom Ekg_kernel Format List Map String Term Value

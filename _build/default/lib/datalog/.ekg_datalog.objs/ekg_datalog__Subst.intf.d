@@ -1,0 +1,1 @@
+lib/datalog/subst.mli: Atom Ekg_kernel Format Term Value

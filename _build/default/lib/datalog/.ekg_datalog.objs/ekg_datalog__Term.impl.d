@@ -1,0 +1,1 @@
+lib/datalog/term.ml: Ekg_kernel Format List String Value

@@ -1,0 +1,1 @@
+lib/datalog/term.mli: Ekg_kernel Format Value

@@ -1,0 +1,22 @@
+type t = {
+  pred : string;
+  args : Term.t list;
+}
+
+let make pred args = { pred; args }
+let arity a = List.length a.args
+let vars a = Term.vars a.args
+let is_ground a = not (List.exists Term.is_var a.args)
+
+let compare a b =
+  match String.compare a.pred b.pred with
+  | 0 -> List.compare Term.compare a.args b.args
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let to_string a =
+  if a.args = [] then a.pred
+  else a.pred ^ "(" ^ String.concat ", " (List.map Term.to_string a.args) ^ ")"
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

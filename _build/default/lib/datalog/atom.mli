@@ -1,0 +1,17 @@
+(** Atoms [R(t₁,…,tₙ)] over a relational schema (§3). *)
+
+type t = {
+  pred : string;        (** relation symbol *)
+  args : Term.t list;   (** terms, length = arity *)
+}
+
+val make : string -> Term.t list -> t
+val arity : t -> int
+val vars : t -> string list
+(** Distinct variables in first-occurrence order. *)
+
+val is_ground : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

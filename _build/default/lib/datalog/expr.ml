@@ -1,0 +1,100 @@
+open Ekg_kernel
+
+type t =
+  | Term of Term.t
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge
+
+type cmp = {
+  op : cmp_op;
+  lhs : t;
+  rhs : t;
+}
+
+let term t = Term t
+let var v = Term (Term.Var v)
+let cst c = Term (Term.Cst c)
+
+let rec collect_vars acc = function
+  | Term (Term.Var v) -> v :: acc
+  | Term (Term.Cst _) -> acc
+  | Neg e -> collect_vars acc e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> collect_vars (collect_vars acc a) b
+
+let dedup_keep_order xs =
+  let rec go seen = function
+    | [] -> []
+    | x :: rest -> if List.mem x seen then go seen rest else x :: go (x :: seen) rest
+  in
+  go [] xs
+
+let vars e = dedup_keep_order (List.rev (collect_vars [] e))
+let cmp_vars c = dedup_keep_order (vars c.lhs @ vars c.rhs)
+
+let rec eval lookup = function
+  | Term (Term.Var v) -> lookup v
+  | Term (Term.Cst c) -> Some c
+  | Neg e -> Option.map Value.neg (eval lookup e)
+  | Add (a, b) -> binop lookup Value.add a b
+  | Sub (a, b) -> binop lookup Value.sub a b
+  | Mul (a, b) -> binop lookup Value.mul a b
+  | Div (a, b) -> binop lookup Value.div a b
+
+and binop lookup f a b =
+  match eval lookup a, eval lookup b with
+  | Some x, Some y -> (try Some (f x y) with Invalid_argument _ -> None)
+  | _, _ -> None
+
+let eval_cmp lookup { op; lhs; rhs } =
+  match eval lookup lhs, eval lookup rhs with
+  | Some x, Some y ->
+    let c = Value.compare x y in
+    Some
+      (match op with
+      | Eq -> c = 0
+      | Ne -> c <> 0
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0)
+  | _, _ -> None
+
+let cmp_op_to_string = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let cmp_op_of_string = function
+  | "==" -> Some Eq
+  | "!=" -> Some Ne
+  | "<" -> Some Lt
+  | "<=" -> Some Le
+  | ">" -> Some Gt
+  | ">=" -> Some Ge
+  | _ -> None
+
+(* Parenthesize sub-expressions of lower precedence. *)
+let rec to_string = function
+  | Term t -> Term.to_string t
+  | Neg e -> "-" ^ atomically e
+  | Add (a, b) -> to_string a ^ " + " ^ to_string b
+  | Sub (a, b) -> to_string a ^ " - " ^ atomically b
+  | Mul (a, b) -> atomically a ^ " * " ^ atomically b
+  | Div (a, b) -> atomically a ^ " / " ^ atomically b
+
+and atomically e =
+  match e with
+  | Term _ -> to_string e
+  | Neg _ | Add _ | Sub _ | Mul _ | Div _ -> "(" ^ to_string e ^ ")"
+
+let cmp_to_string c = to_string c.lhs ^ " " ^ cmp_op_to_string c.op ^ " " ^ to_string c.rhs
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)

@@ -1,0 +1,43 @@
+(** Arithmetic expressions and comparison operators appearing in rule
+    bodies (§3, Vadalog Extensions). *)
+
+open Ekg_kernel
+
+type t =
+  | Term of Term.t
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge
+
+type cmp = {
+  op : cmp_op;
+  lhs : t;
+  rhs : t;
+}
+
+val term : Term.t -> t
+val var : string -> t
+val cst : Value.t -> t
+
+val vars : t -> string list
+(** Distinct variables, first-occurrence order. *)
+
+val cmp_vars : cmp -> string list
+
+val eval : (string -> Value.t option) -> t -> Value.t option
+(** [eval lookup e] evaluates [e] under the (partial) assignment
+    [lookup]; [None] if some variable is unbound or the arithmetic is
+    ill-typed. *)
+
+val eval_cmp : (string -> Value.t option) -> cmp -> bool option
+(** [None] when not all variables are bound. *)
+
+val cmp_op_to_string : cmp_op -> string
+val cmp_op_of_string : string -> cmp_op option
+val to_string : t -> string
+val cmp_to_string : cmp -> string
+val pp : Format.formatter -> t -> unit

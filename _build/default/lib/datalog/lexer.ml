@@ -1,0 +1,229 @@
+type token =
+  | IDENT of string
+  | UVAR of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | ARROW
+  | TURNSTILE
+  | COLON
+  | AT
+  | NOT
+  | EQ
+  | CMP of string
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+type located = {
+  tok : token;
+  line : int;
+  col : int;
+}
+
+let is_digit c = c >= '0' && c <= '9'
+let is_lower c = c >= 'a' && c <= 'z'
+let is_upper c = (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_digit c || is_lower c || is_upper c || c = '\''
+
+exception Lex_error of string
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let pos = ref 0 in
+  let toks = ref [] in
+  let emit tok ~line:l ~col:c = toks := { tok; line = l; col = c } :: !toks in
+  let advance () =
+    if !pos < n then begin
+      if src.[!pos] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col;
+      incr pos
+    end
+  in
+  let cur () = if !pos < n then Some src.[!pos] else None in
+  let next () = if !pos + 1 < n then Some src.[!pos + 1] else None in
+  let fail msg = raise (Lex_error (Printf.sprintf "%s at line %d, column %d" msg !line !col)) in
+  let read_while pred =
+    let start = !pos in
+    while !pos < n && pred src.[!pos] do
+      advance ()
+    done;
+    String.sub src start (!pos - start)
+  in
+  try
+    while !pos < n do
+      let l = !line and c = !col in
+      match src.[!pos] with
+      | ' ' | '\t' | '\r' | '\n' -> advance ()
+      | '%' | '#' ->
+        while !pos < n && src.[!pos] <> '\n' do
+          advance ()
+        done
+      | '(' -> emit LPAREN ~line:l ~col:c; advance ()
+      | ')' -> emit RPAREN ~line:l ~col:c; advance ()
+      | ',' -> emit COMMA ~line:l ~col:c; advance ()
+      | '@' -> emit AT ~line:l ~col:c; advance ()
+      | '+' -> emit PLUS ~line:l ~col:c; advance ()
+      | '*' -> emit STAR ~line:l ~col:c; advance ()
+      | '/' -> emit SLASH ~line:l ~col:c; advance ()
+      | '.' ->
+        (* distinguish the clause terminator from a leading decimal point *)
+        (match next () with
+        | Some d when is_digit d -> fail "numbers must not start with '.'"
+        | _ ->
+          emit DOT ~line:l ~col:c;
+          advance ())
+      | '-' ->
+        if next () = Some '>' then begin
+          advance ();
+          advance ();
+          emit ARROW ~line:l ~col:c
+        end
+        else begin
+          emit MINUS ~line:l ~col:c;
+          advance ()
+        end
+      | ':' ->
+        if next () = Some '-' then begin
+          advance ();
+          advance ();
+          emit TURNSTILE ~line:l ~col:c
+        end
+        else begin
+          emit COLON ~line:l ~col:c;
+          advance ()
+        end
+      | '=' ->
+        if next () = Some '=' then begin
+          advance ();
+          advance ();
+          emit (CMP "==") ~line:l ~col:c
+        end
+        else begin
+          emit EQ ~line:l ~col:c;
+          advance ()
+        end
+      | '!' ->
+        if next () = Some '=' then begin
+          advance ();
+          advance ();
+          emit (CMP "!=") ~line:l ~col:c
+        end
+        else begin
+          emit NOT ~line:l ~col:c;
+          advance ()
+        end
+      | '<' ->
+        if next () = Some '=' then begin
+          advance ();
+          advance ();
+          emit (CMP "<=") ~line:l ~col:c
+        end
+        else begin
+          emit (CMP "<") ~line:l ~col:c;
+          advance ()
+        end
+      | '>' ->
+        if next () = Some '=' then begin
+          advance ();
+          advance ();
+          emit (CMP ">=") ~line:l ~col:c
+        end
+        else begin
+          emit (CMP ">") ~line:l ~col:c;
+          advance ()
+        end
+      | '"' ->
+        advance ();
+        let buf = Buffer.create 16 in
+        let closed = ref false in
+        while not !closed do
+          match cur () with
+          | None -> fail "unterminated string literal"
+          | Some '"' ->
+            advance ();
+            closed := true
+          | Some '\\' ->
+            advance ();
+            (match cur () with
+            | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+            | Some 't' -> Buffer.add_char buf '\t'; advance ()
+            | Some ch -> Buffer.add_char buf ch; advance ()
+            | None -> fail "unterminated escape in string literal")
+          | Some ch ->
+            Buffer.add_char buf ch;
+            advance ()
+        done;
+        emit (STRING (Buffer.contents buf)) ~line:l ~col:c
+      | ch when is_digit ch ->
+        let intpart = read_while is_digit in
+        let isfloat =
+          match cur (), next () with
+          | Some '.', Some d when is_digit d -> true
+          | _ -> false
+        in
+        if isfloat then begin
+          advance ();
+          let fracpart = read_while is_digit in
+          let expo =
+            match cur () with
+            | Some ('e' | 'E') ->
+              advance ();
+              let sign =
+                match cur () with
+                | Some ('+' | '-') ->
+                  let s = String.make 1 src.[!pos] in
+                  advance ();
+                  s
+                | _ -> ""
+              in
+              "e" ^ sign ^ read_while is_digit
+            | _ -> ""
+          in
+          emit (FLOAT (float_of_string (intpart ^ "." ^ fracpart ^ expo))) ~line:l ~col:c
+        end
+        else emit (INT (int_of_string intpart)) ~line:l ~col:c
+      | ch when is_lower ch ->
+        let id = read_while is_ident_char in
+        if id = "not" then emit NOT ~line:l ~col:c else emit (IDENT id) ~line:l ~col:c
+      | ch when is_upper ch ->
+        let id = read_while is_ident_char in
+        emit (UVAR id) ~line:l ~col:c
+      | ch -> fail (Printf.sprintf "unexpected character %C" ch)
+    done;
+    emit EOF ~line:!line ~col:!col;
+    Ok (List.rev !toks)
+  with Lex_error msg -> Error msg
+
+let token_to_string = function
+  | IDENT s -> s
+  | UVAR s -> s
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> "\"" ^ s ^ "\""
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | DOT -> "."
+  | ARROW -> "->"
+  | TURNSTILE -> ":-"
+  | COLON -> ":"
+  | AT -> "@"
+  | NOT -> "not"
+  | EQ -> "="
+  | CMP s -> s
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | EOF -> "<eof>"

@@ -1,0 +1,41 @@
+(** Tokenizer for the Vadalog-style surface syntax.
+
+    Conventions: identifiers starting with a lower-case letter are
+    predicate or constant symbols, identifiers starting with an
+    upper-case letter or [_] are variables; [%] and [#] start
+    line comments; strings are double-quoted. *)
+
+type token =
+  | IDENT of string   (** lower-case identifier *)
+  | UVAR of string    (** variable *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | ARROW             (** [->] *)
+  | TURNSTILE         (** [:-] *)
+  | COLON
+  | AT
+  | NOT               (** keyword [not] or [!] before an atom *)
+  | EQ                (** [=] *)
+  | CMP of string     (** [==] [!=] [<] [<=] [>] [>=] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+type located = {
+  tok : token;
+  line : int;
+  col : int;
+}
+
+val tokenize : string -> (located list, string) result
+(** The token stream always ends with a located [EOF]. Errors carry a
+    human-readable message with position. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,353 @@
+open Ekg_kernel
+
+type parsed = {
+  program : Program.t;
+  facts : Atom.t list;
+}
+
+exception Parse_error of string
+
+type state = {
+  mutable toks : Lexer.located list;
+}
+
+let peek st = match st.toks with [] -> assert false | t :: _ -> t
+let peek2 st = match st.toks with _ :: t :: _ -> Some t | _ -> None
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let fail st msg =
+  let t = peek st in
+  raise
+    (Parse_error
+       (Printf.sprintf "%s (found %s at line %d, column %d)" msg
+          (Lexer.token_to_string t.tok) t.line t.col))
+
+let expect st tok msg =
+  if (peek st).tok = tok then advance st else fail st msg
+
+let parse_ident st =
+  match (peek st).tok with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | _ -> fail st "expected identifier"
+
+(* --- expressions ------------------------------------------------------- *)
+
+let rec parse_expr st = parse_additive st
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let continue = ref true in
+  while !continue do
+    match (peek st).tok with
+    | Lexer.PLUS ->
+      advance st;
+      lhs := Expr.Add (!lhs, parse_multiplicative st)
+    | Lexer.MINUS ->
+      advance st;
+      lhs := Expr.Sub (!lhs, parse_multiplicative st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_factor st) in
+  let continue = ref true in
+  while !continue do
+    match (peek st).tok with
+    | Lexer.STAR ->
+      advance st;
+      lhs := Expr.Mul (!lhs, parse_factor st)
+    | Lexer.SLASH ->
+      advance st;
+      lhs := Expr.Div (!lhs, parse_factor st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_factor st =
+  match (peek st).tok with
+  | Lexer.MINUS ->
+    advance st;
+    Expr.Neg (parse_factor st)
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN "expected ')'";
+    e
+  | Lexer.UVAR v ->
+    advance st;
+    Expr.var v
+  | Lexer.INT i ->
+    advance st;
+    Expr.cst (Value.int i)
+  | Lexer.FLOAT f ->
+    advance st;
+    Expr.cst (Value.num f)
+  | Lexer.STRING s ->
+    advance st;
+    Expr.cst (Value.str s)
+  | Lexer.IDENT "true" ->
+    advance st;
+    Expr.cst (Value.bool true)
+  | Lexer.IDENT "false" ->
+    advance st;
+    Expr.cst (Value.bool false)
+  | Lexer.IDENT s ->
+    (* bare lower-case identifier in expression position: constant symbol *)
+    advance st;
+    Expr.cst (Value.str s)
+  | _ -> fail st "expected expression"
+
+(* --- terms and atoms --------------------------------------------------- *)
+
+let parse_term st =
+  match (peek st).tok with
+  | Lexer.UVAR v ->
+    advance st;
+    Term.var v
+  | Lexer.INT i ->
+    advance st;
+    Term.int i
+  | Lexer.FLOAT f ->
+    advance st;
+    Term.num f
+  | Lexer.MINUS -> (
+    advance st;
+    match (peek st).tok with
+    | Lexer.INT i ->
+      advance st;
+      Term.int (-i)
+    | Lexer.FLOAT f ->
+      advance st;
+      Term.num (-.f)
+    | _ -> fail st "expected number after '-'")
+  | Lexer.STRING s ->
+    advance st;
+    Term.str s
+  | Lexer.IDENT "true" ->
+    advance st;
+    Term.cst (Value.bool true)
+  | Lexer.IDENT "false" ->
+    advance st;
+    Term.cst (Value.bool false)
+  | Lexer.IDENT s ->
+    advance st;
+    Term.str s
+  | _ -> fail st "expected term"
+
+let parse_atom_inner st =
+  let pred = parse_ident st in
+  match (peek st).tok with
+  | Lexer.LPAREN ->
+    advance st;
+    if (peek st).tok = Lexer.RPAREN then begin
+      advance st;
+      Atom.make pred []
+    end
+    else begin
+      let args = ref [ parse_term st ] in
+      while (peek st).tok = Lexer.COMMA do
+        advance st;
+        args := parse_term st :: !args
+      done;
+      expect st Lexer.RPAREN "expected ')' closing atom";
+      Atom.make pred (List.rev !args)
+    end
+  | _ -> Atom.make pred []
+
+(* --- body elements ----------------------------------------------------- *)
+
+type body_element =
+  | B_lit of Rule.body_literal
+  | B_cmp of Expr.cmp
+  | B_assign of string * Expr.t
+  | B_agg of Rule.aggregation
+
+let parse_cmp_rhs st op lhs =
+  let rhs = parse_expr st in
+  match Expr.cmp_op_of_string op with
+  | Some o -> B_cmp { Expr.op = o; lhs; rhs }
+  | None -> fail st ("unknown comparison operator " ^ op)
+
+let parse_body_element st =
+  match (peek st).tok with
+  | Lexer.NOT ->
+    advance st;
+    B_lit (Rule.Not (parse_atom_inner st))
+  | Lexer.IDENT _ -> (
+    (* atom, unless an operator follows the identifier: then it is a
+       constant-headed comparison such as [x <= Y] *)
+    match peek2 st with
+    | Some { tok = Lexer.LPAREN; _ } -> B_lit (Rule.Pos (parse_atom_inner st))
+    | Some { tok = Lexer.CMP op; _ } ->
+      let lhs = parse_expr st in
+      advance st;
+      (* skip CMP, already captured *)
+      parse_cmp_rhs st op lhs
+    | Some { tok = Lexer.PLUS | Lexer.MINUS | Lexer.STAR | Lexer.SLASH; _ } ->
+      let lhs = parse_expr st in
+      (match (peek st).tok with
+      | Lexer.CMP op ->
+        advance st;
+        parse_cmp_rhs st op lhs
+      | _ -> fail st "expected comparison operator after expression")
+    | _ -> B_lit (Rule.Pos (parse_atom_inner st)))
+  | Lexer.UVAR v -> (
+    match peek2 st with
+    | Some { tok = Lexer.EQ; _ } -> (
+      advance st;
+      (* variable *)
+      advance st;
+      (* '=' *)
+      match (peek st).tok, peek2 st with
+      | Lexer.IDENT f, Some { tok = Lexer.LPAREN; _ } when Rule.agg_func_of_string f <> None
+        -> (
+        advance st;
+        advance st;
+        let input = parse_expr st in
+        expect st Lexer.RPAREN "expected ')' closing aggregation";
+        match Rule.agg_func_of_string f with
+        | Some func -> B_agg { Rule.func; result = v; input }
+        | None -> assert false)
+      | _ -> B_assign (v, parse_expr st))
+    | _ ->
+      let lhs = parse_expr st in
+      (match (peek st).tok with
+      | Lexer.CMP op ->
+        advance st;
+        parse_cmp_rhs st op lhs
+      | _ -> fail st "expected comparison or assignment after variable"))
+  | Lexer.INT _ | Lexer.FLOAT _ | Lexer.STRING _ | Lexer.LPAREN | Lexer.MINUS ->
+    let lhs = parse_expr st in
+    (match (peek st).tok with
+    | Lexer.CMP op ->
+      advance st;
+      parse_cmp_rhs st op lhs
+    | _ -> fail st "expected comparison operator after expression")
+  | _ -> fail st "expected body literal"
+
+let parse_body st =
+  let elems = ref [ parse_body_element st ] in
+  while (peek st).tok = Lexer.COMMA do
+    advance st;
+    elems := parse_body_element st :: !elems
+  done;
+  List.rev !elems
+
+let assemble_rule st ~id elems head =
+  let body = List.filter_map (function B_lit l -> Some l | _ -> None) elems in
+  let conditions = List.filter_map (function B_cmp c -> Some c | _ -> None) elems in
+  let assignments = List.filter_map (function B_assign (v, e) -> Some (v, e) | _ -> None) elems in
+  let aggs = List.filter_map (function B_agg a -> Some a | _ -> None) elems in
+  let agg =
+    match aggs with
+    | [] -> None
+    | [ a ] -> Some a
+    | _ -> fail st "at most one aggregation per rule is supported"
+  in
+  Rule.make ~id ~conditions ~assignments ?agg ~body ~head ()
+
+(* --- statements -------------------------------------------------------- *)
+
+type statement =
+  | S_rule of Rule.t
+  | S_fact of Atom.t
+  | S_goal of string
+
+let parse_statement st =
+  match (peek st).tok with
+  | Lexer.AT -> (
+    advance st;
+    let d = parse_ident st in
+    match d with
+    | "goal" | "output" ->
+      expect st Lexer.LPAREN "expected '(' after directive";
+      let p = parse_ident st in
+      expect st Lexer.RPAREN "expected ')' closing directive";
+      expect st Lexer.DOT "expected '.' after directive";
+      S_goal p
+    | other -> fail st ("unknown directive @" ^ other))
+  | _ ->
+    let id =
+      match (peek st).tok, peek2 st with
+      | Lexer.IDENT label, Some { tok = Lexer.COLON; _ } ->
+        advance st;
+        advance st;
+        label
+      | _ -> ""
+    in
+    let elems = parse_body st in
+    (match (peek st).tok with
+    | Lexer.ARROW ->
+      advance st;
+      let head = parse_atom_inner st in
+      expect st Lexer.DOT "expected '.' terminating rule";
+      S_rule (assemble_rule st ~id elems head)
+    | Lexer.TURNSTILE ->
+      (* head-first form: the "body" we parsed must be a single atom *)
+      (match elems with
+      | [ B_lit (Rule.Pos head) ] ->
+        advance st;
+        let body_elems = parse_body st in
+        expect st Lexer.DOT "expected '.' terminating rule";
+        S_rule (assemble_rule st ~id body_elems head)
+      | _ -> fail st "head of ':-' rule must be a single atom")
+    | Lexer.DOT ->
+      (match elems with
+      | [ B_lit (Rule.Pos a) ] when Atom.is_ground a ->
+        advance st;
+        S_fact a
+      | [ B_lit (Rule.Pos _) ] -> fail st "facts must be ground"
+      | _ -> fail st "expected '->' or ':-'")
+    | _ -> fail st "expected '->', ':-' or '.'")
+
+let parse src =
+  match Lexer.tokenize src with
+  | Error e -> Error e
+  | Ok toks -> (
+    let st = { toks } in
+    try
+      let rules = ref [] and facts = ref [] and goal = ref None in
+      while (peek st).tok <> Lexer.EOF do
+        match parse_statement st with
+        | S_rule r -> rules := r :: !rules
+        | S_fact f -> facts := f :: !facts
+        | S_goal g -> goal := Some g
+      done;
+      let rules = List.rev !rules in
+      if rules = [] && !goal = None then Error "program has no rules"
+      else begin
+        let program = Program.make ?goal:!goal rules in
+        match Program.validate program with
+        | Ok () -> Ok { program; facts = List.rev !facts }
+        | Error es -> Error (String.concat "; " es)
+      end
+    with Parse_error msg -> Error msg)
+
+let parse_rule src =
+  let src = String.trim src in
+  let src = if src <> "" && src.[String.length src - 1] = '.' then src else src ^ "." in
+  match Lexer.tokenize src with
+  | Error e -> Error e
+  | Ok toks -> (
+    let st = { toks } in
+    try
+      match parse_statement st with
+      | S_rule r when (peek st).tok = Lexer.EOF -> Ok r
+      | S_rule _ -> Error "trailing input after rule"
+      | S_fact _ | S_goal _ -> Error "expected a rule"
+    with Parse_error msg -> Error msg)
+
+let parse_atom src =
+  match Lexer.tokenize (String.trim src) with
+  | Error e -> Error e
+  | Ok toks -> (
+    let st = { toks } in
+    try
+      let a = parse_atom_inner st in
+      if (peek st).tok = Lexer.DOT then advance st;
+      if (peek st).tok = Lexer.EOF then Ok a else Error "trailing input after atom"
+    with Parse_error msg -> Error msg)

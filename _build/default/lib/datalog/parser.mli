@@ -1,0 +1,34 @@
+(** Recursive-descent parser for Vadalog-style programs.
+
+    Surface syntax (one clause per [.]-terminated statement):
+
+    {v
+    % the stress-test program of Example 4.3
+    alpha: shock(F, S), hasCapital(F, P1), S > P1 -> default(F).
+    beta:  default(D), debts(D, C, V), E = sum(V) -> risk(C, E).
+    gamma: hasCapital(C, P2), risk(C, E), P2 < E -> default(C).
+    @goal(default).
+
+    shock("A", 6000000).      % ground facts may be mixed in
+    v}
+
+    Rules may equivalently be written head-first with [:-].  Rule
+    labels ([alpha:] …) are optional; unlabelled rules are named
+    [r1], [r2], … in order.  Comparisons use [== != < <= > >=];
+    [V = expr] is an arithmetic assignment and [V = sum(E)] (or
+    [prod], [min], [max], [count], and their [m]-prefixed monotonic
+    spellings) an aggregation. *)
+
+type parsed = {
+  program : Program.t;
+  facts : Atom.t list;  (** ground facts included in the source *)
+}
+
+val parse : string -> (parsed, string) result
+(** Parse a full program text. *)
+
+val parse_rule : string -> (Rule.t, string) result
+(** Parse a single rule (with or without trailing [.]). *)
+
+val parse_atom : string -> (Atom.t, string) result
+(** Parse a single (possibly non-ground) atom, e.g. a query. *)

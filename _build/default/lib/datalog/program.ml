@@ -1,0 +1,103 @@
+type t = {
+  rules : Rule.t list;
+  goal : string;
+}
+
+let assign_ids rules =
+  List.mapi
+    (fun i (r : Rule.t) -> if r.id = "" then { r with id = Printf.sprintf "r%d" (i + 1) } else r)
+    rules
+
+let make ?goal rules =
+  let rules = assign_ids rules in
+  let goal =
+    match goal, List.rev rules with
+    | Some g, _ -> g
+    | None, last :: _ -> Rule.head_pred last
+    | None, [] -> invalid_arg "Program.make: empty program and no goal"
+  in
+  { rules; goal }
+
+let rule_ids t = List.map (fun (r : Rule.t) -> r.id) t.rules
+let find_rule t id = List.find_opt (fun (r : Rule.t) -> r.id = id) t.rules
+
+module SSet = Set.Make (String)
+
+let preds t =
+  List.fold_left
+    (fun acc r -> SSet.add (Rule.head_pred r) (SSet.union acc (SSet.of_list (Rule.body_preds r))))
+    SSet.empty t.rules
+  |> SSet.elements
+
+let idb_preds t =
+  List.fold_left (fun acc r -> SSet.add (Rule.head_pred r) acc) SSet.empty t.rules
+  |> SSet.elements
+
+let edb_preds t =
+  let idb = SSet.of_list (idb_preds t) in
+  List.filter (fun p -> not (SSet.mem p idb)) (preds t)
+
+let is_intensional t p = List.mem p (idb_preds t)
+
+let rules_deriving t p = List.filter (fun r -> Rule.head_pred r = p) t.rules
+let rules_consuming t p = List.filter (fun r -> List.mem p (Rule.body_preds r)) t.rules
+
+(* A program is recursive iff some head predicate transitively reaches
+   itself through body-to-head edges. *)
+let is_recursive t =
+  let depends_next p =
+    List.concat_map (fun r -> [ Rule.head_pred r ]) (rules_consuming t p)
+  in
+  let reaches_self start =
+    let rec go visited frontier =
+      match frontier with
+      | [] -> false
+      | p :: rest ->
+        if p = start && visited <> SSet.empty then true
+        else if SSet.mem p visited then go visited rest
+        else go (SSet.add p visited) (depends_next p @ rest)
+    in
+    go SSet.empty (depends_next start)
+  in
+  List.exists reaches_self (idb_preds t)
+
+let uses_negation t =
+  List.exists (fun r -> Rule.negative_atoms r <> []) t.rules
+
+let uses_aggregation t = List.exists Rule.has_agg t.rules
+
+let validate t =
+  let errors = ref [] in
+  let err e = errors := e :: !errors in
+  (* per-rule safety *)
+  List.iter (fun r -> match Rule.validate r with Ok () -> () | Error e -> err e) t.rules;
+  (* distinct labels *)
+  let ids = rule_ids t in
+  let rec dup = function
+    | [] -> ()
+    | x :: rest -> if List.mem x rest then err ("duplicate rule label: " ^ x) else dup rest
+  in
+  dup ids;
+  (* consistent arities *)
+  let arities = Hashtbl.create 16 in
+  let check_atom (a : Atom.t) =
+    match Hashtbl.find_opt arities a.pred with
+    | None -> Hashtbl.add arities a.pred (Atom.arity a)
+    | Some n ->
+      if n <> Atom.arity a then
+        err (Printf.sprintf "predicate %s used with arities %d and %d" a.pred n (Atom.arity a))
+  in
+  List.iter
+    (fun (r : Rule.t) ->
+      check_atom r.head;
+      List.iter (function Rule.Pos a | Rule.Not a -> check_atom a) r.body)
+    t.rules;
+  (* goal must exist *)
+  if not (List.mem t.goal (preds t)) then err ("goal predicate not in program: " ^ t.goal);
+  match List.rev !errors with [] -> Ok () | es -> Error es
+
+let to_string t =
+  String.concat "\n" (List.map Rule.to_string t.rules)
+  ^ Printf.sprintf "\n@goal(%s)." t.goal
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

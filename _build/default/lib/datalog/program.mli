@@ -1,0 +1,45 @@
+(** Vadalog programs: a set of rules together with the goal (answer)
+    predicate of the reasoning task (§3, Reasoning Task). *)
+
+type t = {
+  rules : Rule.t list;
+  goal : string;  (** the [Ans] predicate of the reasoning task *)
+}
+
+val make : ?goal:string -> Rule.t list -> t
+(** When [goal] is omitted it defaults to the head predicate of the
+    last rule, which matches how the paper's applications are written.
+    Rules without labels are assigned ["r1"], ["r2"], … in order. *)
+
+val rule_ids : t -> string list
+val find_rule : t -> string -> Rule.t option
+val preds : t -> string list
+(** All predicates, sorted. *)
+
+val idb_preds : t -> string list
+(** Intensional predicates: those occurring in some head. Sorted. *)
+
+val edb_preds : t -> string list
+(** Extensional predicates. Sorted. *)
+
+val is_intensional : t -> string -> bool
+
+val rules_deriving : t -> string -> Rule.t list
+(** Rules whose head predicate is the given one, in program order. *)
+
+val rules_consuming : t -> string -> Rule.t list
+(** Rules with the predicate in their (positive or negative) body. *)
+
+val is_recursive : t -> bool
+(** True iff the dependency graph is cyclic (§3): some predicate
+    transitively depends on itself. *)
+
+val uses_negation : t -> bool
+val uses_aggregation : t -> bool
+
+val validate : t -> (unit, string list) result
+(** Per-rule safety plus program-level checks: distinct rule labels,
+    consistent predicate arities, goal is a known predicate. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,146 @@
+type body_literal =
+  | Pos of Atom.t
+  | Not of Atom.t
+
+type agg_func = Sum | Prod | Min | Max | Count
+
+type aggregation = {
+  func : agg_func;
+  result : string;
+  input : Expr.t;
+}
+
+type t = {
+  id : string;
+  body : body_literal list;
+  conditions : Expr.cmp list;
+  assignments : (string * Expr.t) list;
+  agg : aggregation option;
+  head : Atom.t;
+}
+
+let make ?(id = "") ?(conditions = []) ?(assignments = []) ?agg ~body ~head () =
+  { id; body; conditions; assignments; agg; head }
+
+let positive_atoms r = List.filter_map (function Pos a -> Some a | Not _ -> None) r.body
+let negative_atoms r = List.filter_map (function Not a -> Some a | Pos _ -> None) r.body
+
+let dedup xs =
+  let rec go seen = function
+    | [] -> []
+    | x :: rest -> if List.mem x seen then go seen rest else x :: go (x :: seen) rest
+  in
+  go [] xs
+
+let body_preds r =
+  dedup (List.map (function Pos a | Not a -> a.Atom.pred) r.body)
+
+let positive_body_preds r = dedup (List.map (fun a -> a.Atom.pred) (positive_atoms r))
+let head_pred r = r.head.Atom.pred
+
+let body_vars r = dedup (List.concat_map Atom.vars (positive_atoms r))
+
+let bound_vars r =
+  let from_atoms = body_vars r in
+  let from_assignments = List.map fst r.assignments in
+  let from_agg = match r.agg with Some a -> [ a.result ] | None -> [] in
+  dedup (from_atoms @ from_assignments @ from_agg)
+
+let existential_vars r =
+  let bound = bound_vars r in
+  List.filter (fun v -> not (List.mem v bound)) (Atom.vars r.head)
+
+let has_agg r = r.agg <> None
+
+let group_vars r =
+  match r.agg with
+  | None -> []
+  | Some a ->
+    let ex = existential_vars r in
+    List.filter (fun v -> v <> a.result && not (List.mem v ex)) (Atom.vars r.head)
+
+let validate r =
+  let bound = bound_vars r in
+  let atoms_bound = body_vars r in
+  let check_bound what vs =
+    match List.filter (fun v -> not (List.mem v bound)) vs with
+    | [] -> Ok ()
+    | v :: _ -> Error (Printf.sprintf "rule %s: unbound variable %s in %s" r.id v what)
+  in
+  let ( let* ) = Result.bind in
+  let* () =
+    (* conditions may mention the aggregation result *)
+    List.fold_left
+      (fun acc c ->
+        let* () = acc in
+        check_bound ("condition " ^ Expr.cmp_to_string c) (Expr.cmp_vars c))
+      (Ok ()) r.conditions
+  in
+  let* () =
+    List.fold_left
+      (fun acc (v, e) ->
+        let* () = acc in
+        let deps = List.filter (fun x -> x <> v) (Expr.vars e) in
+        check_bound ("assignment " ^ v) deps)
+      (Ok ()) r.assignments
+  in
+  let* () =
+    match r.agg with
+    | None -> Ok ()
+    | Some a ->
+      let deps = Expr.vars a.input in
+      (match List.filter (fun v -> not (List.mem v atoms_bound)) deps with
+      | [] -> Ok ()
+      | v :: _ ->
+        Error
+          (Printf.sprintf "rule %s: aggregation input variable %s not bound by body atoms"
+             r.id v))
+  in
+  let* () =
+    List.fold_left
+      (fun acc a ->
+        let* () = acc in
+        match List.filter (fun v -> not (List.mem v atoms_bound)) (Atom.vars a) with
+        | [] -> Ok ()
+        | v :: _ ->
+          Error
+            (Printf.sprintf "rule %s: variable %s of negated atom %s not bound positively"
+               r.id v (Atom.to_string a)))
+      (Ok ()) (negative_atoms r)
+  in
+  if positive_atoms r = [] then Error (Printf.sprintf "rule %s: no positive body atom" r.id)
+  else Ok ()
+
+let agg_func_to_string = function
+  | Sum -> "sum"
+  | Prod -> "prod"
+  | Min -> "min"
+  | Max -> "max"
+  | Count -> "count"
+
+let agg_func_of_string = function
+  | "sum" | "msum" -> Some Sum
+  | "prod" | "mprod" -> Some Prod
+  | "min" | "mmin" -> Some Min
+  | "max" | "mmax" -> Some Max
+  | "count" | "mcount" -> Some Count
+  | _ -> None
+
+let to_string r =
+  let lit = function
+    | Pos a -> Atom.to_string a
+    | Not a -> "not " ^ Atom.to_string a
+  in
+  let parts =
+    List.map lit r.body
+    @ List.map (fun (v, e) -> v ^ " = " ^ Expr.to_string e) r.assignments
+    @ (match r.agg with
+      | Some a ->
+        [ a.result ^ " = " ^ agg_func_to_string a.func ^ "(" ^ Expr.to_string a.input ^ ")" ]
+      | None -> [])
+    @ List.map Expr.cmp_to_string r.conditions
+  in
+  let label = if r.id = "" then "" else r.id ^ ": " in
+  label ^ String.concat ", " parts ^ " -> " ^ Atom.to_string r.head ^ "."
+
+let pp fmt r = Format.pp_print_string fmt (to_string r)

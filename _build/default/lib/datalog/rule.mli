@@ -1,0 +1,71 @@
+(** Rules: function-free Horn clauses (TGDs) with the Vadalog
+    extensions used by the paper's applications — monotonic
+    aggregations, comparison built-ins, arithmetic assignments and
+    negated atoms (§3). *)
+
+type body_literal =
+  | Pos of Atom.t
+  | Not of Atom.t  (** stratified negation *)
+
+type agg_func = Sum | Prod | Min | Max | Count
+
+type aggregation = {
+  func : agg_func;
+  result : string;  (** variable receiving the aggregate, e.g. [e] in [e = sum(v)] *)
+  input : Expr.t;   (** expression aggregated over the contributors *)
+}
+
+type t = {
+  id : string;                          (** rule label, e.g. ["alpha"], ["sigma3"] *)
+  body : body_literal list;
+  conditions : Expr.cmp list;           (** comparison built-ins *)
+  assignments : (string * Expr.t) list; (** [v = expr] arithmetic bindings *)
+  agg : aggregation option;
+  head : Atom.t;
+}
+
+val make :
+  ?id:string ->
+  ?conditions:Expr.cmp list ->
+  ?assignments:(string * Expr.t) list ->
+  ?agg:aggregation ->
+  body:body_literal list ->
+  head:Atom.t ->
+  unit ->
+  t
+
+val positive_atoms : t -> Atom.t list
+val negative_atoms : t -> Atom.t list
+val body_preds : t -> string list
+(** Distinct predicates of positive and negative body atoms. *)
+
+val positive_body_preds : t -> string list
+val head_pred : t -> string
+
+val body_vars : t -> string list
+(** Variables bound by positive body atoms, first-occurrence order. *)
+
+val bound_vars : t -> string list
+(** Variables bound by positive atoms, assignments, or the aggregation
+    result. *)
+
+val existential_vars : t -> string list
+(** Head variables not bound in the body: the ∃-quantified [z̄]. *)
+
+val has_agg : t -> bool
+
+val group_vars : t -> string list
+(** For an aggregation rule, the SQL-like grouping key: head variables
+    other than the aggregation result and existentials. *)
+
+val validate : t -> (unit, string) result
+(** Safety: condition/assignment/aggregation variables must be bound;
+    negated-atom variables must occur in positive atoms; head variables
+    must be bound or existential. *)
+
+val agg_func_to_string : agg_func -> string
+val agg_func_of_string : string -> agg_func option
+val to_string : t -> string
+(** Vadalog-style rendering [body -> head.] with the label prefix. *)
+
+val pp : Format.formatter -> t -> unit

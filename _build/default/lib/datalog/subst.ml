@@ -1,0 +1,60 @@
+open Ekg_kernel
+module SMap = Map.Make (String)
+
+type t = Value.t SMap.t
+
+let empty = SMap.empty
+let is_empty = SMap.is_empty
+let bind t v x = SMap.add v x t
+let find t v = SMap.find_opt v t
+let lookup = find
+let mem t v = SMap.mem v t
+let to_list t = SMap.bindings t
+let of_list l = List.fold_left (fun acc (v, x) -> SMap.add v x acc) SMap.empty l
+let cardinal = SMap.cardinal
+
+let merge a b =
+  let ok = ref true in
+  let merged =
+    SMap.union
+      (fun _ x y ->
+        if Value.equal x y then Some x
+        else begin
+          ok := false;
+          Some x
+        end)
+      a b
+  in
+  if !ok then Some merged else None
+
+let apply_term t = function
+  | Term.Var v as tm -> (
+    match find t v with
+    | Some x -> Term.Cst x
+    | None -> tm)
+  | Term.Cst _ as tm -> tm
+
+let apply_atom t (a : Atom.t) = Atom.make a.pred (List.map (apply_term t) a.args)
+
+let ground_atom t a =
+  let a' = apply_atom t a in
+  if Atom.is_ground a' then Some a' else None
+
+let match_atom t ~pattern tuple =
+  let rec go t args i =
+    match args with
+    | [] -> Some t
+    | Term.Cst c :: rest -> if Value.equal c tuple.(i) then go t rest (i + 1) else None
+    | Term.Var v :: rest -> (
+      match find t v with
+      | Some x -> if Value.equal x tuple.(i) then go t rest (i + 1) else None
+      | None -> go (bind t v tuple.(i)) rest (i + 1))
+  in
+  go t pattern.Atom.args 0
+
+let equal a b = SMap.equal Value.equal a b
+
+let pp fmt t =
+  Format.fprintf fmt "{%s}"
+    (String.concat ", "
+       (List.map (fun (v, x) -> v ^ " ↦ " ^ Value.to_string x) (to_list t)))

@@ -1,0 +1,39 @@
+(** Substitutions: finite maps from variables to values — the
+    homomorphisms θ applied in chase steps (§3). *)
+
+open Ekg_kernel
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val bind : t -> string -> Value.t -> t
+val find : t -> string -> Value.t option
+val lookup : t -> string -> Value.t option
+(** Alias of {!find}, shaped for {!Expr.eval}. *)
+
+val mem : t -> string -> bool
+val to_list : t -> (string * Value.t) list
+(** Sorted by variable name. *)
+
+val of_list : (string * Value.t) list -> t
+val cardinal : t -> int
+
+val merge : t -> t -> t option
+(** Union; [None] on conflicting bindings. *)
+
+val apply_term : t -> Term.t -> Term.t
+(** Replace bound variables by their constants. *)
+
+val apply_atom : t -> Atom.t -> Atom.t
+
+val ground_atom : t -> Atom.t -> Atom.t option
+(** [Some] only when the result is ground. *)
+
+val match_atom : t -> pattern:Atom.t -> Value.t array -> t option
+(** Extend the substitution so that [pattern] maps onto the given
+    ground tuple (the homomorphism check); [None] on mismatch.
+    Assumes the tuple's length equals the pattern's arity. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

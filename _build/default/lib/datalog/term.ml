@@ -1,0 +1,37 @@
+open Ekg_kernel
+
+type t =
+  | Var of string
+  | Cst of Value.t
+
+let var v = Var v
+let cst c = Cst c
+let int i = Cst (Value.int i)
+let num f = Cst (Value.num f)
+let str s = Cst (Value.str s)
+
+let is_var = function Var _ -> true | Cst _ -> false
+
+let compare a b =
+  match a, b with
+  | Var x, Var y -> String.compare x y
+  | Cst x, Cst y -> Value.compare x y
+  | Var _, Cst _ -> -1
+  | Cst _, Var _ -> 1
+
+let equal a b = compare a b = 0
+
+let vars terms =
+  let rec go seen acc = function
+    | [] -> List.rev acc
+    | Var v :: rest ->
+      if List.mem v seen then go seen acc rest else go (v :: seen) (v :: acc) rest
+    | Cst _ :: rest -> go seen acc rest
+  in
+  go [] [] terms
+
+let to_string = function
+  | Var v -> v
+  | Cst c -> Value.to_string c
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

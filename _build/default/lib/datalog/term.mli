@@ -1,0 +1,23 @@
+(** Terms: variables and constants (§3, Relational Foundations). *)
+
+open Ekg_kernel
+
+type t =
+  | Var of string   (** universally (or existentially) quantified variable *)
+  | Cst of Value.t  (** constant (or labelled null, at runtime) *)
+
+val var : string -> t
+val cst : Value.t -> t
+val int : int -> t
+val num : float -> t
+val str : string -> t
+
+val is_var : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val vars : t list -> string list
+(** Distinct variable names, in first-occurrence order. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

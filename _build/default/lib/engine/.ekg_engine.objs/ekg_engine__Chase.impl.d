@@ -1,0 +1,1 @@
+lib/engine/chase.ml: Array Atom Database Ekg_datalog Ekg_kernel Fact Hashtbl Int List Matcher Option Printf Program Provenance Rule Stratify String Subst Term Value

@@ -1,0 +1,1 @@
+lib/engine/chase.mli: Atom Database Ekg_datalog Program Provenance Stdlib

@@ -1,0 +1,1 @@
+lib/engine/database.ml: Array Atom Ekg_datalog Ekg_kernel Fact Hashtbl Int List Option String Subst Term Value

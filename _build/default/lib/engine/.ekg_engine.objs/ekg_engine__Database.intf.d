@@ -1,0 +1,1 @@
+lib/engine/database.mli: Atom Ekg_datalog Ekg_kernel Fact Subst Value

@@ -1,0 +1,1 @@
+lib/engine/export.ml: Array Chase Database Ekg_graph Ekg_kernel Fact Fun List Printf Proof Provenance String Value

@@ -1,0 +1,1 @@
+lib/engine/export.mli: Chase Database Proof

@@ -1,0 +1,1 @@
+lib/engine/fact.ml: Array Atom Ekg_datalog Ekg_kernel Format List Term Value

@@ -1,0 +1,1 @@
+lib/engine/fact.mli: Atom Ekg_datalog Ekg_kernel Format Value

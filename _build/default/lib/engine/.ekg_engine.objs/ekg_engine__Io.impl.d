@@ -1,0 +1,1 @@
+lib/engine/io.ml: Array Atom Buffer Char Chase Database Ekg_datalog Ekg_kernel Fact Filename Float Fun List Printf Provenance String Sys Term Textutil Value

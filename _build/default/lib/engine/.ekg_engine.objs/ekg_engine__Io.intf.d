@@ -1,0 +1,1 @@
+lib/engine/io.mli: Atom Chase Ekg_datalog Fact

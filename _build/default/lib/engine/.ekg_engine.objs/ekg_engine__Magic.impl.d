@@ -1,0 +1,1 @@
+lib/engine/magic.ml: Atom Chase Ekg_datalog Fact Hashtbl List Printf Program Query Rule String Term

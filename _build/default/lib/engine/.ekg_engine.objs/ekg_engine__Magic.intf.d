@@ -1,0 +1,1 @@
+lib/engine/magic.mli: Atom Ekg_datalog Fact Program

@@ -1,0 +1,1 @@
+lib/engine/matcher.ml: Array Atom Database Ekg_datalog Ekg_kernel Expr Fact List Map Provenance Rule Subst Value

@@ -1,0 +1,1 @@
+lib/engine/matcher.mli: Database Ekg_datalog Ekg_kernel Provenance Rule Subst Value

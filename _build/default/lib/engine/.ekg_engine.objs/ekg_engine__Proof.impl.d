@@ -1,0 +1,1 @@
+lib/engine/proof.ml: Array Database Ekg_datalog Ekg_kernel Fact Hashtbl Int List Printf Provenance String Subst Value

@@ -1,0 +1,1 @@
+lib/engine/proof.mli: Database Ekg_datalog Ekg_kernel Fact Provenance Subst

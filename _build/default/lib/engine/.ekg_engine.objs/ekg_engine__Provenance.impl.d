@@ -1,0 +1,1 @@
+lib/engine/provenance.ml: Database Ekg_datalog Ekg_graph Fact Hashtbl Int List Subst

@@ -1,0 +1,1 @@
+lib/engine/provenance.mli: Database Ekg_datalog Ekg_graph Subst

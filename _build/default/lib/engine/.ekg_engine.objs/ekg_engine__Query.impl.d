@@ -1,0 +1,1 @@
+lib/engine/query.ml: Database Ekg_datalog Parser Subst

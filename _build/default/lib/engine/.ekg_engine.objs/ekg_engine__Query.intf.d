@@ -1,0 +1,1 @@
+lib/engine/query.mli: Atom Database Ekg_datalog Fact Subst

@@ -1,0 +1,1 @@
+lib/engine/stratify.ml: Atom Ekg_datalog Hashtbl List Program Rule

@@ -1,0 +1,1 @@
+lib/engine/stratify.mli: Ekg_datalog Program Rule

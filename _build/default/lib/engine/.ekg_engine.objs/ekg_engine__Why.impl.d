@@ -1,0 +1,1 @@
+lib/engine/why.ml: Database Fact Hashtbl Int List Provenance Set String

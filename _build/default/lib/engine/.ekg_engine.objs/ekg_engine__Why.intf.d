@@ -1,0 +1,1 @@
+lib/engine/why.mli: Database Fact Provenance

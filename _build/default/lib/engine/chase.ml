@@ -1,0 +1,270 @@
+open Ekg_kernel
+open Ekg_datalog
+
+type result = {
+  db : Database.t;
+  prov : Provenance.t;
+  rounds : int;
+  derived_count : int;
+}
+
+let falsum = "false"
+
+type state = {
+  db : Database.t;
+  prov : Provenance.t;
+  (* current materialized aggregate fact per (rule id, group key) *)
+  agg_current : (string * Value.t list, int) Hashtbl.t;
+  mutable derived : int;
+}
+
+let instantiate_head st (r : Rule.t) binding =
+  let existentials = Rule.existential_vars r in
+  let nulls = Hashtbl.create 4 in
+  let resolve (t : Term.t) =
+    match t with
+    | Term.Cst c -> Some c
+    | Term.Var v -> (
+      match Subst.find binding v with
+      | Some x -> Some x
+      | None ->
+        if List.mem v existentials then begin
+          match Hashtbl.find_opt nulls v with
+          | Some n -> Some n
+          | None ->
+            let n = Database.fresh_null st.db in
+            Hashtbl.add nulls v n;
+            Some n
+        end
+        else None)
+  in
+  let args = List.map resolve r.head.Atom.args in
+  if List.exists Option.is_none args then None
+  else Some (Array.of_list (List.map Option.get args))
+
+(* Restricted-chase preemption (§5: "application of chase steps that
+   generate facts isomorphic to facts already in the chase is
+   pre-empted"): skip an existential head when the database already
+   holds a fact the instantiated non-existential positions map onto
+   homomorphically — constants must agree, labelled nulls may map to
+   any value (consistently), existential positions are unconstrained.
+   Treating nulls as mappable is what terminates recursive existential
+   chains such as person → hasParent → person. *)
+let isomorphic_exists st (r : Rule.t) binding =
+  let existentials = Rule.existential_vars r in
+  if existentials = [] then false
+  else begin
+    (* per head position: [`Const c], [`Null n] or [`Free] *)
+    let shape =
+      List.map
+        (fun (t : Term.t) ->
+          match t with
+          | Term.Cst (Value.Null _ as n) -> `Null n
+          | Term.Cst c -> `Const c
+          | Term.Var v -> (
+            match Subst.find binding v with
+            | Some (Value.Null _ as n) -> `Null n
+            | Some c -> `Const c
+            | None -> `Free))
+        r.head.Atom.args
+    in
+    let homomorphic (f : Fact.t) =
+      let mapping = Hashtbl.create 4 in
+      let ok = ref true in
+      List.iteri
+        (fun i s ->
+          if !ok then
+            match s with
+            | `Free -> ()
+            | `Const c -> if not (Value.equal c f.args.(i)) then ok := false
+            | `Null n -> (
+              match Hashtbl.find_opt mapping n with
+              | Some v -> if not (Value.equal v f.args.(i)) then ok := false
+              | None -> Hashtbl.add mapping n f.args.(i)))
+        shape;
+      !ok
+    in
+    List.exists homomorphic (Database.active st.db (Rule.head_pred r))
+  end
+
+let apply_plain_rule st ~round ~delta (r : Rule.t) =
+  let matches =
+    match delta with
+    | None -> Matcher.match_rule st.db r
+    | Some in_delta -> Matcher.match_rule ~delta:in_delta st.db r
+  in
+  List.filter_map
+    (fun (m : Matcher.match_result) ->
+      if isomorphic_exists st r m.binding then None
+      else
+        match instantiate_head st r m.binding with
+        | None -> None
+        | Some tuple -> (
+          let derivation =
+            {
+              Provenance.rule_id = r.id;
+              premises = List.sort_uniq Int.compare m.used_facts;
+              binding = m.binding;
+              contributors = [];
+              round;
+            }
+          in
+          match Database.add st.db (Rule.head_pred r) tuple with
+          | `Existing f ->
+            (* an alternative derivation of a known fact: keep it for
+               shortest-proof selection, but it is not a new fact —
+               provided it is not circular (premises must precede) *)
+            if
+              (not (Provenance.is_edb st.prov f.Fact.id))
+              && List.for_all (fun p -> p < f.Fact.id) derivation.premises
+            then Provenance.record st.prov ~fact_id:f.Fact.id derivation;
+            None
+          | `Added f ->
+            st.derived <- st.derived + 1;
+            Provenance.record st.prov ~fact_id:f.Fact.id derivation;
+            Some f.Fact.id))
+    matches
+
+let apply_agg_rule st ~round (r : Rule.t) =
+  let groups = Matcher.match_agg_rule st.db r in
+  List.filter_map
+    (fun (g : Matcher.agg_result) ->
+      match instantiate_head st r g.group_binding with
+      | None -> None
+      | Some tuple -> (
+        let group_key =
+          List.map
+            (fun v ->
+              match Subst.find g.group_binding v with
+              | Some x -> x
+              | None -> Value.str "?")
+            (Rule.group_vars r)
+        in
+        let reg_key = (r.id, group_key) in
+        let previous = Hashtbl.find_opt st.agg_current reg_key in
+        match Database.add st.db (Rule.head_pred r) tuple with
+        | `Existing f ->
+          (* The group's tuple is unchanged (e.g. the aggregate does not
+             appear in the head): nothing new this round. *)
+          if previous = None then Hashtbl.replace st.agg_current reg_key f.Fact.id;
+          None
+        | `Added f ->
+          st.derived <- st.derived + 1;
+          let premises =
+            List.concat_map (fun (c : Provenance.contributor) -> c.facts) g.contributors
+            |> List.sort_uniq Int.compare
+          in
+          Provenance.record st.prov ~fact_id:f.Fact.id
+            {
+              Provenance.rule_id = r.id;
+              premises;
+              binding = g.group_binding;
+              contributors = g.contributors;
+              round;
+            };
+          (match previous with
+          | Some old_id when old_id <> f.Fact.id ->
+            (* stale monotonic aggregate: supersede it *)
+            Database.deactivate st.db old_id;
+            Provenance.record_superseded st.prov ~old_fact:old_id ~by:f.Fact.id
+          | Some _ | None -> ());
+          Hashtbl.replace st.agg_current reg_key f.Fact.id;
+          Some f.Fact.id))
+    groups
+
+let run ?(naive = false) ?(max_rounds = 100_000) (program : Program.t) edb =
+  match Program.validate program with
+  | Error es -> Error (String.concat "; " es)
+  | Ok () -> (
+    match Stratify.strata program with
+    | Error e -> Error e
+    | Ok strata -> (
+      let st =
+        {
+          db = Database.create ();
+          prov = Provenance.create ();
+          agg_current = Hashtbl.create 64;
+          derived = 0;
+        }
+      in
+      let edb_error = ref None in
+      List.iter
+        (fun a ->
+          match Database.add_atom st.db a with
+          | Ok _ -> ()
+          | Error e -> if !edb_error = None then edb_error := Some e)
+        edb;
+      match !edb_error with
+      | Some e -> Error e
+      | None -> (
+        let total_rounds = ref 0 in
+        let overflow = ref false in
+        let run_stratum rules =
+          let plain = List.filter (fun r -> not (Rule.has_agg r)) rules in
+          let agg = List.filter Rule.has_agg rules in
+          let delta = ref None in
+          (* [None] means "first round": evaluate in full *)
+          let continue = ref true in
+          while !continue && not !overflow do
+            incr total_rounds;
+            if !total_rounds > max_rounds then overflow := true
+            else begin
+              let added = ref [] in
+              let delta_filter =
+                if naive then None
+                else
+                  match !delta with
+                  | None -> None
+                  | Some ids ->
+                    let set = Hashtbl.create (List.length ids) in
+                    let preds = Hashtbl.create 8 in
+                    List.iter
+                      (fun i ->
+                        Hashtbl.replace set i ();
+                        Hashtbl.replace preds (Database.fact st.db i).Fact.pred ())
+                      ids;
+                    Some { Matcher.mem = Hashtbl.mem set; has_pred = Hashtbl.mem preds }
+              in
+              List.iter
+                (fun r ->
+                  added := apply_plain_rule st ~round:!total_rounds ~delta:delta_filter r @ !added)
+                plain;
+              List.iter
+                (fun r -> added := apply_agg_rule st ~round:!total_rounds r @ !added)
+                agg;
+              if !added = [] then continue := false else delta := Some !added
+            end
+          done
+        in
+        List.iter run_stratum strata;
+        if !overflow then
+          Error (Printf.sprintf "chase did not terminate within %d rounds" max_rounds)
+        else begin
+          (* negative constraints: a derived ⊥ aborts the task *)
+          match Database.active st.db falsum with
+          | violation :: _ ->
+            let detail =
+              match Provenance.derivation st.prov violation.Fact.id with
+              | Some d ->
+                Printf.sprintf "constraint %s violated by %s" d.rule_id
+                  (String.concat ", "
+                     (List.map
+                        (fun id -> Fact.to_string (Database.fact st.db id))
+                        d.premises))
+              | None -> "constraint violated"
+            in
+            Error detail
+          | [] ->
+            Ok
+              {
+                db = st.db;
+                prov = st.prov;
+                rounds = !total_rounds;
+                derived_count = st.derived;
+              }
+        end)))
+
+let run_exn ?naive ?max_rounds program edb =
+  match run ?naive ?max_rounds program edb with
+  | Ok r -> r
+  | Error e -> failwith ("Chase.run: " ^ e)

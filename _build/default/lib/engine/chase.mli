@@ -1,0 +1,42 @@
+(** The chase procedure (§3): semi-naive fixpoint evaluation with
+    monotonic aggregation, stratified negation, existential heads with
+    isomorphism preemption, and full provenance recording.
+
+    Monotonic aggregates are materialized per group; when a group's
+    aggregate changes in a later round, the stale fact is deactivated
+    (it remains in the chase graph) and the fresh value takes its
+    place, so downstream rules always see the current total — the
+    Vadalog [msum]/[mprod] behaviour the paper relies on. *)
+
+open Ekg_datalog
+
+type result = {
+  db : Database.t;
+  prov : Provenance.t;
+  rounds : int;            (** fixpoint rounds executed *)
+  derived_count : int;     (** facts added beyond the EDB *)
+}
+
+val falsum : string
+(** The reserved 0-ary predicate ["false"]: a rule with head [false]
+    is a negative constraint φ(x̄,ȳ) → ⊥ (§3, Vadalog Extensions).
+    Deriving it makes the reasoning task fail with a diagnostic naming
+    the violated constraint and the facts that triggered it. *)
+
+val run :
+  ?naive:bool ->
+  ?max_rounds:int ->
+  Program.t ->
+  Atom.t list ->
+  (result, string) Stdlib.result
+(** [run program edb] materializes the reasoning task over the
+    extensional facts [edb].  Fails on unstratifiable programs,
+    non-ground EDB facts, or when [max_rounds] (default [100_000]) is
+    exceeded — the termination guard for programs outside the
+    guaranteed-terminating fragment.  [naive] disables semi-naive
+    delta filtering (every rule re-evaluated in full each round);
+    results are identical, only performance differs — kept for the
+    ablation benchmarks. *)
+
+val run_exn : ?naive:bool -> ?max_rounds:int -> Program.t -> Atom.t list -> result
+(** Like {!run} but raising [Failure]. *)

@@ -1,0 +1,165 @@
+open Ekg_kernel
+open Ekg_datalog
+
+module Key = struct
+  type t = string * Value.t array
+
+  let equal (p1, a1) (p2, a2) =
+    p1 = p2
+    && Array.length a1 = Array.length a2
+    &&
+    let ok = ref true in
+    Array.iteri (fun i v -> if not (Value.equal v a2.(i)) then ok := false) a1;
+    !ok
+
+  let hash (p, a) = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) (Hashtbl.hash p) a
+end
+
+module KeyTbl = Hashtbl.Make (Key)
+
+(* secondary index: facts by (predicate, argument position, value) *)
+module ArgKey = struct
+  type t = string * int * Value.t
+
+  let equal (p1, i1, v1) (p2, i2, v2) = p1 = p2 && i1 = i2 && Value.equal v1 v2
+  let hash (p, i, v) = (Hashtbl.hash p * 31) + (i * 7) + Value.hash v
+end
+
+module ArgTbl = Hashtbl.Make (ArgKey)
+
+type t = {
+  by_id : (int, Fact.t) Hashtbl.t;
+  by_key : int KeyTbl.t;
+  by_pred : (string, int list ref) Hashtbl.t; (* newest first *)
+  by_arg : int list ref ArgTbl.t;             (* newest first *)
+  inactive : (int, unit) Hashtbl.t;
+  mutable next_id : int;
+  mutable null_counter : int;
+}
+
+let create () =
+  {
+    by_id = Hashtbl.create 256;
+    by_key = KeyTbl.create 256;
+    by_pred = Hashtbl.create 16;
+    by_arg = ArgTbl.create 1024;
+    inactive = Hashtbl.create 16;
+    next_id = 0;
+    null_counter = 0;
+  }
+
+let add t pred args =
+  let key = (pred, args) in
+  match KeyTbl.find_opt t.by_key key with
+  | Some id -> `Existing (Hashtbl.find t.by_id id)
+  | None ->
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    let f = { Fact.id; pred; args } in
+    Hashtbl.add t.by_id id f;
+    KeyTbl.add t.by_key key id;
+    let ids =
+      match Hashtbl.find_opt t.by_pred pred with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.add t.by_pred pred r;
+        r
+    in
+    ids := id :: !ids;
+    Array.iteri
+      (fun i v ->
+        let k = (pred, i, v) in
+        match ArgTbl.find_opt t.by_arg k with
+        | Some r -> r := id :: !r
+        | None -> ArgTbl.add t.by_arg k (ref [ id ]))
+      args;
+    `Added f
+
+let add_atom t (a : Atom.t) =
+  if not (Atom.is_ground a) then Error ("non-ground fact: " ^ Atom.to_string a)
+  else begin
+    let args =
+      Array.of_list
+        (List.map (function Term.Cst c -> c | Term.Var _ -> assert false) a.args)
+    in
+    Ok (add t a.pred args)
+  end
+
+let deactivate t id = Hashtbl.replace t.inactive id ()
+let is_active t id = Hashtbl.mem t.by_id id && not (Hashtbl.mem t.inactive id)
+let fact t id = Hashtbl.find t.by_id id
+
+let find_exact t pred args =
+  Option.map (fun id -> Hashtbl.find t.by_id id) (KeyTbl.find_opt t.by_key (pred, args))
+
+let ids_of_pred t pred =
+  match Hashtbl.find_opt t.by_pred pred with
+  | Some r -> List.rev !r
+  | None -> []
+
+let all_of_pred t pred = List.map (fact t) (ids_of_pred t pred)
+
+let active t pred =
+  List.filter_map
+    (fun id -> if is_active t id then Some (fact t id) else None)
+    (ids_of_pred t pred)
+
+let preds t =
+  Hashtbl.fold (fun p _ acc -> p :: acc) t.by_pred [] |> List.sort String.compare
+
+let active_all t =
+  preds t |> List.concat_map (ids_of_pred t)
+  |> List.filter (is_active t)
+  |> List.sort Int.compare
+  |> List.map (fact t)
+
+let size t = Hashtbl.length t.by_id
+let active_size t = size t - Hashtbl.length t.inactive
+
+let fresh_null t =
+  let i = t.null_counter in
+  t.null_counter <- i + 1;
+  Value.null i
+
+let matching t (pattern : Atom.t) subst =
+  let arity = List.length pattern.args in
+  (* use the narrowest argument index available under the current
+     substitution; fall back to the full predicate scan *)
+  let candidates =
+    let rec best i args acc =
+      match args with
+      | [] -> acc
+      | term :: rest ->
+        let bound =
+          match term with
+          | Term.Cst c -> Some c
+          | Term.Var v -> Subst.find subst v
+        in
+        let acc =
+          match bound with
+          | None -> acc
+          | Some v -> (
+            let ids =
+              match ArgTbl.find_opt t.by_arg (pattern.pred, i, v) with
+              | Some r -> !r
+              | None -> []
+            in
+            match acc with
+            | Some shorter when List.length shorter <= List.length ids -> acc
+            | Some _ | None -> Some ids)
+        in
+        best (i + 1) rest acc
+    in
+    match best 0 pattern.args None with
+    | Some ids -> List.rev_map (fact t) (List.filter (is_active t) ids)
+    | None -> active t pattern.pred
+  in
+  List.filter_map
+    (fun f ->
+      if Array.length f.Fact.args <> arity then None
+      else
+        match Subst.match_atom subst ~pattern f.Fact.args with
+        | Some s -> Some (f, s)
+        | None -> None)
+    candidates

@@ -1,0 +1,56 @@
+(** Indexed fact store with set semantics.
+
+    Facts are deduplicated on their (predicate, tuple); each inserted
+    fact receives a stable id.  Facts can be {e deactivated}: a
+    deactivated fact stays addressable by id (the chase graph may
+    reference it) but no longer participates in rule matching.  The
+    chase uses deactivation to supersede stale monotonic-aggregation
+    results. *)
+
+open Ekg_kernel
+open Ekg_datalog
+
+type t
+
+val create : unit -> t
+
+val add : t -> string -> Value.t array -> [ `Added of Fact.t | `Existing of Fact.t ]
+(** Insert or retrieve. A previously deactivated identical tuple is
+    treated as existing (it is not resurrected). *)
+
+val add_atom : t -> Atom.t -> ([ `Added of Fact.t | `Existing of Fact.t ], string) result
+(** Convenience for ground atoms; [Error] on non-ground input. *)
+
+val deactivate : t -> int -> unit
+val is_active : t -> int -> bool
+
+val fact : t -> int -> Fact.t
+(** Raises [Not_found] for unknown ids. *)
+
+val find_exact : t -> string -> Value.t array -> Fact.t option
+(** Lookup by tuple regardless of activity. *)
+
+val active : t -> string -> Fact.t list
+(** Active facts of a predicate, in insertion order. *)
+
+val all_of_pred : t -> string -> Fact.t list
+(** Active and inactive, in insertion order. *)
+
+val active_all : t -> Fact.t list
+(** All active facts, insertion order. *)
+
+val preds : t -> string list
+(** Predicates with at least one fact, sorted. *)
+
+val size : t -> int
+(** Number of facts ever inserted (active + inactive). *)
+
+val active_size : t -> int
+
+val fresh_null : t -> Value.t
+(** Next labelled null ν_i; the counter is per-database. *)
+
+val matching : t -> Atom.t -> Subst.t -> (Fact.t * Subst.t) list
+(** Active facts of the pattern's predicate that the pattern maps onto
+    under an extension of the given substitution, with the extended
+    substitution. *)

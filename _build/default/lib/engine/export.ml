@@ -1,0 +1,57 @@
+open Ekg_kernel
+module G = Ekg_graph.Digraph
+
+let chase_graph_dot (res : Chase.result) =
+  G.to_dot ~name:"chase_graph" ~label_to_string:Fun.id
+    (Provenance.to_digraph res.prov res.db)
+
+let proof_dot db (proof : Proof.t) =
+  let g = G.create () in
+  List.iter
+    (fun (s : Proof.step) ->
+      let dst = Fact.to_string s.fact in
+      G.add_node g dst;
+      List.iter
+        (fun (p : Fact.t) ->
+          G.add_edge g ~src:(Fact.to_string p) ~dst ~label:s.rule_id)
+        s.premises)
+    proof.steps;
+  ignore db;
+  G.to_dot ~name:"proof" ~label_to_string:Fun.id g
+
+let is_entity = function
+  | Value.Str _ -> true
+  | Value.Int _ | Value.Num _ | Value.Bool _ | Value.Null _ -> false
+
+let instance_dot ?preds db =
+  let wanted p =
+    match preds with
+    | None -> true
+    | Some ps -> List.mem p ps
+  in
+  let g = G.create () in
+  List.iter
+    (fun (f : Fact.t) ->
+      if wanted f.pred then begin
+        match Array.to_list f.args with
+        | [ a; b ] when is_entity a && is_entity b ->
+          G.add_edge g ~src:(Value.to_display a) ~dst:(Value.to_display b) ~label:f.pred
+        | a :: b :: rest when is_entity a && is_entity b ->
+          let label =
+            f.pred ^ "(" ^ String.concat ", " (List.map Value.to_display rest) ^ ")"
+          in
+          G.add_edge g ~src:(Value.to_display a) ~dst:(Value.to_display b) ~label
+        | a :: rest when is_entity a ->
+          let annotated =
+            Value.to_display a
+            ^
+            if rest = [] then " [" ^ f.pred ^ "]"
+            else
+              Printf.sprintf " [%s: %s]" f.pred
+                (String.concat ", " (List.map Value.to_display rest))
+          in
+          G.add_node g annotated
+        | _ -> ()
+      end)
+    (Database.active_all db);
+  G.to_dot ~name:"instance" ~label_to_string:Fun.id g

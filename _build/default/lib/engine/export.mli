@@ -1,0 +1,16 @@
+(** Graph exports for analysts' front-ends: the chase graph (Figure 8)
+    and the instance-level knowledge graph (Figures 12/13) rendered as
+    GraphViz DOT, the visual companions of the textual explanations. *)
+
+val chase_graph_dot : Chase.result -> string
+(** Every derived fact with its rule-labelled derivation edges. *)
+
+val proof_dot : Database.t -> Proof.t -> string
+(** Only the portion of the chase graph deriving one fact — the shape
+    of Figure 8. *)
+
+val instance_dot : ?preds:string list -> Database.t -> string
+(** Facts as a property graph: binary predicates over two entity
+    arguments become labelled edges (extra arguments join the label),
+    unary and other facts become node annotations.  [preds] restricts
+    the rendered predicates. *)

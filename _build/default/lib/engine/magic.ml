@@ -1,0 +1,155 @@
+open Ekg_datalog
+
+type answer = {
+  facts : Fact.t list;
+  derived_count : int;
+  pruned : bool;
+}
+
+let adornment (a : Atom.t) =
+  String.concat ""
+    (List.map (function Term.Cst _ -> "b" | Term.Var _ -> "f") a.args)
+
+let adorned_name pred ad = pred ^ "__" ^ ad
+let magic_name pred ad = "m__" ^ pred ^ "__" ^ ad
+
+(* binding pattern of an atom under a set of bound variables *)
+let adornment_under bound (a : Atom.t) =
+  String.concat ""
+    (List.map
+       (function
+         | Term.Cst _ -> "b"
+         | Term.Var v -> if List.mem v bound then "b" else "f")
+       a.args)
+
+let bound_args ad (a : Atom.t) =
+  List.filteri (fun i _ -> ad.[i] = 'b') a.args
+
+let in_fragment (p : Program.t) =
+  List.for_all
+    (fun (r : Rule.t) ->
+      (not (Rule.has_agg r))
+      && Rule.negative_atoms r = []
+      && Rule.existential_vars r = [])
+    p.rules
+
+let rewrite (p : Program.t) (query : Atom.t) =
+  if not (List.mem query.pred (Program.preds p)) then
+    Error ("unknown predicate in query: " ^ query.pred)
+  else if not (Program.is_intensional p query.pred) then
+    Error ("query predicate is extensional: " ^ query.pred)
+  else begin
+    let idb = Program.idb_preds p in
+    let is_idb q = List.mem q idb in
+    let counter = ref 0 in
+    let fresh_id base =
+      incr counter;
+      Printf.sprintf "%s#m%d" base !counter
+    in
+    let out_rules = ref [] in
+    let visited = Hashtbl.create 16 in
+    let rec demand pred ad =
+      if not (Hashtbl.mem visited (pred, ad)) then begin
+        Hashtbl.add visited (pred, ad) ();
+        List.iter (fun r -> adorn_rule r ad) (Program.rules_deriving p pred)
+      end
+    and adorn_rule (r : Rule.t) ad =
+      (* variables bound on entry: the head's 'b' positions, excluding
+         variables the rule itself computes (assignments or aggregates
+         bind them only later) *)
+      let computed =
+        List.map fst r.assignments
+        @ (match r.agg with Some a -> [ a.result ] | None -> [])
+      in
+      let head_bound =
+        List.concat
+          (List.mapi
+             (fun i t ->
+               match t with
+               | Term.Var v when ad.[i] = 'b' && not (List.mem v computed) -> [ v ]
+               | Term.Var _ | Term.Cst _ -> [])
+             r.head.Atom.args)
+      in
+      let magic_head_atom =
+        Atom.make (magic_name (Rule.head_pred r) ad) (bound_args ad r.head)
+      in
+      (* walk the positive atoms, adorning IDB ones and emitting their
+         magic rules; negative atoms stay as they are (fragment check
+         rejects them anyway for the pruned path) *)
+      let bound = ref head_bound in
+      let prefix = ref [ Rule.Pos magic_head_atom ] in
+      let new_body =
+        List.map
+          (fun lit ->
+            match lit with
+            | Rule.Not _ -> lit
+            | Rule.Pos a ->
+              let lit' =
+                if is_idb a.Atom.pred then begin
+                  let ad' = adornment_under !bound a in
+                  demand a.Atom.pred ad';
+                  (* magic rule: demand for this subgoal *)
+                  let magic_rule =
+                    Rule.make ~id:(fresh_id r.id)
+                      ~body:(List.rev !prefix)
+                      ~head:(Atom.make (magic_name a.Atom.pred ad') (bound_args ad' a))
+                      ()
+                  in
+                  out_rules := magic_rule :: !out_rules;
+                  Rule.Pos (Atom.make (adorned_name a.Atom.pred ad') a.Atom.args)
+                end
+                else Rule.Pos a
+              in
+              bound := List.sort_uniq String.compare (Atom.vars a @ !bound);
+              prefix := lit' :: !prefix;
+              lit')
+          r.body
+      in
+      let modified =
+        {
+          r with
+          Rule.id = fresh_id r.id;
+          head = Atom.make (adorned_name (Rule.head_pred r) ad) r.head.Atom.args;
+          body = Rule.Pos magic_head_atom :: new_body;
+        }
+      in
+      out_rules := modified :: !out_rules
+    in
+    let qad = adornment query in
+    demand query.pred qad;
+    let seed = Atom.make (magic_name query.pred qad) (bound_args qad query) in
+    let program = Program.make ~goal:(adorned_name query.pred qad) (List.rev !out_rules) in
+    match Program.validate program with
+    | Ok () -> Ok (program, [ seed ])
+    | Error es -> Error ("magic rewriting produced an invalid program: " ^ String.concat "; " es)
+  end
+
+let answer (p : Program.t) edb (query : Atom.t) =
+  let full () =
+    match Chase.run p edb with
+    | Error e -> Error e
+    | Ok res ->
+      Ok
+        {
+          facts = List.map fst (Query.ask res.db query);
+          derived_count = res.derived_count;
+          pruned = false;
+        }
+  in
+  if not (in_fragment p) then full ()
+  else begin
+    match rewrite p query with
+    | Error _ -> full ()
+    | Ok (magic_program, seeds) -> (
+      match Chase.run magic_program (edb @ seeds) with
+      | Error e -> Error e
+      | Ok res ->
+        let adorned_query =
+          Atom.make (adorned_name query.pred (adornment query)) query.Atom.args
+        in
+        let facts =
+          Query.ask res.db adorned_query
+          |> List.map (fun ((f : Fact.t), _) -> { f with pred = query.pred })
+        in
+        Ok { facts; derived_count = res.derived_count; pruned = true })
+  end

@@ -1,0 +1,38 @@
+(** Goal-directed query answering via the magic-sets transformation —
+    the classic top-down/bottom-up bridge of the Datalog literature the
+    paper builds on (§1's "top-down logical inference methods typically
+    adopted in KRR", §2's recursive-query references).
+
+    Answering an explanation query does not always need the full
+    materialization: [answer] rewrites the program with respect to the
+    query's binding pattern (adornment), adds magic predicates that
+    propagate the query constants, runs the ordinary chase on the
+    rewritten program, and reads the answers off.  The derived instance
+    is restricted to facts relevant to the query — often dramatically
+    smaller than the full fixpoint.
+
+    Supported fragment: positive Datalog with comparisons and
+    arithmetic assignments.  Aggregations, negation and existential
+    heads fall back to full materialization (their magic variants are
+    not sound in general); the [pruned] flag in the result tells which
+    path ran. *)
+
+open Ekg_datalog
+
+type answer = {
+  facts : Fact.t list;           (** the facts matching the query *)
+  derived_count : int;           (** facts materialized to answer it *)
+  pruned : bool;                 (** true when the magic rewriting ran *)
+}
+
+val adornment : Atom.t -> string
+(** ["bf"]-style binding pattern: [b] for constant arguments, [f] for
+    variables. *)
+
+val rewrite : Program.t -> Atom.t -> (Program.t * Atom.t list, string) result
+(** The magic program and its seed facts for the given query; fails on
+    queries over unknown predicates. *)
+
+val answer : Program.t -> Atom.t list -> Atom.t -> (answer, string) result
+(** Answer the query over the extensional facts, goal-directed when the
+    program is in the supported fragment. *)

@@ -1,0 +1,188 @@
+open Ekg_kernel
+open Ekg_datalog
+
+type match_result = {
+  binding : Subst.t;
+  used_facts : int list;
+}
+
+type agg_result = {
+  group_binding : Subst.t;
+  value : Value.t;
+  contributors : Provenance.contributor list;
+}
+
+(* Enumerate joins of the positive atoms left-to-right; negation and
+   fully-bound conditions are checked as soon as possible to prune the
+   search.  [position_ok] restricts which facts may fill each body-atom
+   position — the hook for semi-naive delta seeding. *)
+let raw_matches ?(position_ok = fun _ _ -> true) db (r : Rule.t) =
+  let positives = Rule.positive_atoms r in
+  let negatives = Rule.negative_atoms r in
+  let check_conditions subst =
+    List.for_all
+      (fun c -> Expr.eval_cmp (Subst.lookup subst) c <> Some false)
+      r.conditions
+  in
+  let rec join pos subst used = function
+    | [] ->
+      (* all positive atoms matched: apply assignments in order *)
+      let subst =
+        List.fold_left
+          (fun s (v, e) ->
+            match Expr.eval (Subst.lookup s) e with
+            | Some x -> Subst.bind s v x
+            | None -> s)
+          subst r.assignments
+      in
+      let all_hold =
+        List.for_all (fun c -> Expr.eval_cmp (Subst.lookup subst) c = Some true) r.conditions
+      in
+      if not all_hold then []
+      else if
+        List.exists
+          (fun (a : Atom.t) -> Database.matching db (Subst.apply_atom subst a) subst <> [])
+          negatives
+      then []
+      else [ { binding = subst; used_facts = List.rev used } ]
+    | atom :: rest ->
+      if not (check_conditions subst) then []
+      else
+        List.concat_map
+          (fun ((f : Fact.t), subst') ->
+            if position_ok pos f then join (pos + 1) subst' (f.id :: used) rest else [])
+          (Database.matching db atom subst)
+  in
+  join 0 Subst.empty [] positives
+
+type delta = {
+  mem : int -> bool;          (** fact id in the previous round's delta *)
+  has_pred : string -> bool;  (** some delta fact has this predicate *)
+}
+
+(* Semi-naive evaluation: the union over k of joins whose k-th position
+   is a delta fact while earlier positions are non-delta — each new
+   match is produced exactly once, seeded from the delta.  Passes whose
+   seed predicate has no delta fact are skipped outright. *)
+let match_rule ?delta db (r : Rule.t) =
+  if Rule.has_agg r then invalid_arg "Matcher.match_rule: aggregating rule";
+  match delta with
+  | None -> raw_matches db r
+  | Some { mem; has_pred } ->
+    let positives = Array.of_list (Rule.positive_atoms r) in
+    let n = Array.length positives in
+    List.concat
+      (List.init n (fun k ->
+           if not (has_pred positives.(k).Atom.pred) then []
+           else begin
+             let position_ok pos (f : Fact.t) =
+               if pos = k then mem f.id
+               else if pos < k then not (mem f.id)
+               else true
+             in
+             raw_matches ~position_ok db r
+           end))
+
+(* --- aggregation ------------------------------------------------------- *)
+
+module GroupKey = struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end
+
+module GroupMap = Map.Make (GroupKey)
+
+let aggregate (func : Rule.agg_func) values =
+  match values with
+  | [] -> None
+  | v :: rest ->
+    Some
+      (match func with
+      | Rule.Sum -> List.fold_left Value.add v rest
+      | Rule.Prod -> List.fold_left Value.mul v rest
+      | Rule.Min -> List.fold_left Value.min_v v rest
+      | Rule.Max -> List.fold_left Value.max_v v rest
+      | Rule.Count -> Value.int (1 + List.length rest))
+
+let match_agg_rule db (r : Rule.t) =
+  match r.agg with
+  | None -> invalid_arg "Matcher.match_agg_rule: non-aggregating rule"
+  | Some agg ->
+    (* Conditions over the aggregate result hold only after grouping;
+       evaluate the body with those conditions deferred. *)
+    let depends_on_result c = List.mem agg.result (Expr.cmp_vars c) in
+    let body_rule = { r with conditions = List.filter (fun c -> not (depends_on_result c)) r.conditions; agg = None } in
+    let matches = raw_matches db body_rule in
+    let group_vars = Rule.group_vars r in
+    (* Deduplicate contributors on their full binding: set semantics of
+       monotonic aggregation over witness homomorphisms. *)
+    let groups =
+      List.fold_left
+        (fun acc m ->
+          let key =
+            List.map
+              (fun v ->
+                match Subst.find m.binding v with
+                | Some x -> x
+                | None -> Value.str "?")
+              group_vars
+          in
+          let existing = match GroupMap.find_opt key acc with Some l -> l | None -> [] in
+          if List.exists (fun m' -> Subst.equal m'.binding m.binding) existing then acc
+          else GroupMap.add key (m :: existing) acc)
+        GroupMap.empty matches
+    in
+    let deferred = List.filter depends_on_result r.conditions in
+    (* Variables bound to the same value by every contributor (such as
+       the creditor's capital in the stress test's σ7) extend the group
+       binding: deferred conditions and the head may mention them. *)
+    let common_bindings members =
+      match members with
+      | [] -> Subst.empty
+      | first :: rest ->
+        List.fold_left
+          (fun acc (v, x) ->
+            if
+              List.for_all
+                (fun m ->
+                  match Subst.find m.binding v with
+                  | Some y -> Value.equal x y
+                  | None -> false)
+                rest
+            then Subst.bind acc v x
+            else acc)
+          Subst.empty
+          (Subst.to_list first.binding)
+    in
+    GroupMap.fold
+      (fun key members acc ->
+        let members = List.rev members in
+        let inputs =
+          List.filter_map (fun m -> Expr.eval (Subst.lookup m.binding) agg.input) members
+        in
+        match aggregate agg.func inputs with
+        | None -> acc
+        | Some value ->
+          let group_binding =
+            List.fold_left2
+              (fun s v x -> Subst.bind s v x)
+              (Subst.bind (common_bindings members) agg.result value)
+              group_vars key
+          in
+          let ok =
+            List.for_all
+              (fun c -> Expr.eval_cmp (Subst.lookup group_binding) c = Some true)
+              deferred
+          in
+          if not ok then acc
+          else begin
+            let contributors =
+              List.map
+                (fun m -> { Provenance.facts = m.used_facts; binding = m.binding })
+                members
+            in
+            { group_binding; value; contributors } :: acc
+          end)
+      groups []
+    |> List.rev

@@ -1,0 +1,36 @@
+(** Body evaluation: enumerating the homomorphisms θ that make a rule
+    applicable to the current database (§3, Chase Procedure).
+
+    Non-aggregating rules yield one {!match_result} per homomorphism;
+    aggregating rules yield one {!agg_result} per SQL-like group, with
+    the contributors that feed the monotonic aggregate. *)
+
+open Ekg_kernel
+open Ekg_datalog
+
+type match_result = {
+  binding : Subst.t;         (** θ extended with assignment results *)
+  used_facts : int list;     (** premise fact ids, positive atoms in body order *)
+}
+
+type agg_result = {
+  group_binding : Subst.t;   (** group variables + aggregation result *)
+  value : Value.t;           (** the aggregate *)
+  contributors : Provenance.contributor list;  (** one per distinct body match *)
+}
+
+type delta = {
+  mem : int -> bool;          (** fact id in the previous round's delta *)
+  has_pred : string -> bool;  (** some delta fact has this predicate *)
+}
+
+val match_rule : ?delta:delta -> Database.t -> Rule.t -> match_result list
+(** Matches of a non-aggregating rule.  With [delta], only matches
+    using at least one delta fact are returned, and the join is seeded
+    from the delta facts (semi-naive evaluation).  Raises
+    [Invalid_argument] on aggregating rules. *)
+
+val match_agg_rule : Database.t -> Rule.t -> agg_result list
+(** Groups of an aggregating rule, conditions already enforced
+    (including those over the aggregate result).  Raises
+    [Invalid_argument] on non-aggregating rules. *)

@@ -1,0 +1,56 @@
+(** Proofs: the portion of the chase graph that derives a fact of
+    interest, linearized into the ordered chase-step sequence τ that
+    the template mapper consumes (§4.3, Example 4.7). *)
+
+open Ekg_datalog
+
+type step = {
+  index : int;                                 (** position in τ, from 0 *)
+  rule_id : string;                            (** activated rule *)
+  fact : Fact.t;                               (** fact derived by the step *)
+  binding : Subst.t;                           (** homomorphism θ of the step *)
+  contributors : Provenance.contributor list;  (** aggregation contributors *)
+  multi : bool;                                (** ≥ 2 aggregation contributors *)
+  premises : Fact.t list;                      (** premise facts of the step *)
+}
+
+type t = {
+  goal : Fact.t;
+  steps : step list;  (** τ: dependency order, premises before conclusions *)
+}
+
+val of_fact : Database.t -> Provenance.t -> Fact.t -> t option
+(** The fact's primary proof (the first derivation the chase found for
+    every sub-fact); [None] when the fact is extensional (nothing to
+    explain). *)
+
+val shortest_of_fact : Database.t -> Provenance.t -> Fact.t -> t option
+(** Like {!of_fact}, but choosing for every sub-fact the recorded
+    derivation that minimizes the proof's tree cost — the most compact
+    explanation when a fact was derived in several ways. *)
+
+val length : t -> int
+(** Number of chase steps — the x-axis of Figures 17 and 18. *)
+
+val truncate : t -> horizon:int -> t * Fact.t list
+(** Keep only the steps within [horizon] derivation hops of the goal
+    (the "recent history" an analyst asks for on a very long cascade).
+    Returns the truncated proof plus the intensional facts now taken as
+    assumptions — their own derivations fell outside the horizon.
+    [truncate p ~horizon:n] with [n ≥] the proof's depth is the
+    identity with no assumptions. Raises [Invalid_argument] when
+    [horizon < 1]. *)
+
+val rule_sequence : t -> string list
+(** Rule labels of τ in order, e.g. [\["alpha"; "beta"; "gamma"\]]. *)
+
+val facts_used : t -> Fact.t list
+(** Every fact appearing in the proof (premises and conclusions),
+    deduplicated, in first-use order. *)
+
+val constants : t -> Ekg_kernel.Value.t list
+(** Distinct constants appearing in the proof's facts — the paper's
+    completeness measure counts how many survive into the final text. *)
+
+val to_string : t -> string
+(** One chase step per line, for debugging and golden tests. *)

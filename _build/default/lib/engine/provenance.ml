@@ -1,0 +1,66 @@
+open Ekg_datalog
+
+type contributor = {
+  facts : int list;
+  binding : Subst.t;
+}
+
+type derivation = {
+  rule_id : string;
+  premises : int list;
+  binding : Subst.t;
+  contributors : contributor list;
+  round : int;
+}
+
+type t = {
+  derivations : (int, derivation list ref) Hashtbl.t; (* primary first *)
+  superseded : (int, int) Hashtbl.t;
+}
+
+let create () = { derivations = Hashtbl.create 256; superseded = Hashtbl.create 16 }
+
+let record t ~fact_id d =
+  match Hashtbl.find_opt t.derivations fact_id with
+  | None -> Hashtbl.add t.derivations fact_id (ref [ d ])
+  | Some existing ->
+    let duplicate =
+      List.exists
+        (fun d' -> d'.rule_id = d.rule_id && d'.premises = d.premises)
+        !existing
+    in
+    if not duplicate then existing := !existing @ [ d ]
+
+let alternatives t id =
+  match Hashtbl.find_opt t.derivations id with
+  | Some ds -> !ds
+  | None -> []
+
+let record_superseded t ~old_fact ~by = Hashtbl.replace t.superseded old_fact by
+let superseded_by t id = Hashtbl.find_opt t.superseded id
+
+let derivation t id =
+  match Hashtbl.find_opt t.derivations id with
+  | Some { contents = d :: _ } -> Some d
+  | Some { contents = [] } | None -> None
+
+let is_edb t id = not (Hashtbl.mem t.derivations id)
+
+let derived_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.derivations [] |> List.sort Int.compare
+
+let to_digraph t db =
+  let g = Ekg_graph.Digraph.create () in
+  let name id = Fact.to_string (Database.fact db id) in
+  Hashtbl.iter
+    (fun id ds ->
+      let dst = name id in
+      Ekg_graph.Digraph.add_node g dst;
+      List.iter
+        (fun d ->
+          List.iter
+            (fun p -> Ekg_graph.Digraph.add_edge g ~src:(name p) ~dst ~label:d.rule_id)
+            d.premises)
+        !ds)
+    t.derivations;
+  g

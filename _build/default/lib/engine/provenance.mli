@@ -1,0 +1,51 @@
+(** The chase graph G(D, Σ): provenance of every materialized fact
+    (§3, Chase Procedure and Chase Graph).
+
+    Every intensional fact records the chase step that first derived
+    it: the activated rule, the homomorphism θ, the premise facts, and
+    — for aggregation rules — the list of contributors that fed the
+    monotonic aggregate.  Extensional facts have no derivation. *)
+
+open Ekg_datalog
+
+type contributor = {
+  facts : int list;     (** premise fact ids of this contributor *)
+  binding : Subst.t;    (** θ restricted to this contributor's body match *)
+}
+
+type derivation = {
+  rule_id : string;
+  premises : int list;             (** all premise fact ids, deduplicated *)
+  binding : Subst.t;               (** representative θ incl. head/group/aggregate values *)
+  contributors : contributor list; (** ≥ 1 entries iff the rule aggregates *)
+  round : int;                     (** chase round that performed the step *)
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> fact_id:int -> derivation -> unit
+(** The first derivation becomes the fact's primary one (the chase adds
+    each fact once); later distinct derivations are kept as
+    alternatives, enabling shortest-proof explanation. *)
+
+val alternatives : t -> int -> derivation list
+(** All recorded derivations, primary first; [] for EDB facts. *)
+
+val record_superseded : t -> old_fact:int -> by:int -> unit
+(** Note that a stale aggregate fact was replaced by a newer one. *)
+
+val superseded_by : t -> int -> int option
+
+val derivation : t -> int -> derivation option
+(** [None] for extensional facts. *)
+
+val is_edb : t -> int -> bool
+
+val derived_ids : t -> int list
+(** Ids with a recorded derivation, ascending. *)
+
+val to_digraph : t -> Database.t -> string Ekg_graph.Digraph.t
+(** Chase graph as a digraph whose nodes are rendered facts and whose
+    edge labels are rule ids — the shape of the paper's Figure 8. *)

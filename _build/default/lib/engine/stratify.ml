@@ -1,0 +1,44 @@
+open Ekg_datalog
+
+let strata (p : Program.t) =
+  if not (Program.uses_negation p) then Ok [ p.rules ]
+  else begin
+    let preds = Program.preds p in
+    let stratum = Hashtbl.create 16 in
+    List.iter (fun q -> Hashtbl.replace stratum q 0) preds;
+    let get q = Hashtbl.find stratum q in
+    let changed = ref true in
+    let iterations = ref 0 in
+    let bound = List.length preds + 1 in
+    let too_deep = ref false in
+    while !changed && not !too_deep do
+      changed := false;
+      incr iterations;
+      if !iterations > bound * bound then too_deep := true
+      else
+        List.iter
+          (fun (r : Rule.t) ->
+            let h = Rule.head_pred r in
+            let require n =
+              if get h < n then begin
+                Hashtbl.replace stratum h n;
+                changed := true
+              end
+            in
+            List.iter (fun (a : Atom.t) -> require (get a.pred)) (Rule.positive_atoms r);
+            List.iter (fun (a : Atom.t) -> require (get a.pred + 1)) (Rule.negative_atoms r);
+            if get h >= bound then too_deep := true)
+          p.rules
+    done;
+    if !too_deep then Error "program is not stratifiable (recursion through negation)"
+    else begin
+      let max_stratum =
+        List.fold_left (fun acc (r : Rule.t) -> max acc (get (Rule.head_pred r))) 0 p.rules
+      in
+      let groups =
+        List.init (max_stratum + 1) (fun i ->
+            List.filter (fun r -> get (Rule.head_pred r) = i) p.rules)
+      in
+      Ok (List.filter (fun g -> g <> []) groups)
+    end
+  end

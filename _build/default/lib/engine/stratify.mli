@@ -1,0 +1,11 @@
+(** Stratification for programs with negation.
+
+    Assigns each rule to a stratum such that a predicate is never
+    negated within its own stratum; fails on recursion through
+    negation, which the chase cannot evaluate. *)
+
+open Ekg_datalog
+
+val strata : Program.t -> (Rule.t list list, string) result
+(** Rules grouped by ascending stratum; programs without negation
+    yield a single stratum. *)

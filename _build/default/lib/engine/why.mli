@@ -1,0 +1,27 @@
+(** Why-provenance: the witness sets of a derived fact (§2's data
+    provenance lineage — Buneman et al.'s why-provenance, Green et
+    al.'s provenance semirings).
+
+    A witness is a set of extensional facts sufficient to re-derive the
+    fact; the why-provenance is the set of minimal witnesses, the
+    positive provenance polynomial with each product listed once.
+    Complements the paper's proof-based explanations: the proof says
+    {e how} the chase derived the fact, the witnesses say {e which
+    data} it rests on — the paper's "origin of the facts … from the
+    original tuples in the database D" (§1). *)
+
+type witness = Fact.t list
+(** Sorted by fact id, duplicate-free. *)
+
+val why :
+  ?max_witnesses:int -> Database.t -> Provenance.t -> Fact.t -> witness list
+(** The minimal witnesses of a fact, built over every recorded
+    derivation (including alternatives).  An extensional fact is its
+    own single witness.  The computation is capped at [max_witnesses]
+    (default 64) intermediate witnesses per fact to bound the
+    combinatorial blow-up; when the cap bites, the result is a sound
+    subset of the why-provenance. *)
+
+val polynomial : ?max_witnesses:int -> Database.t -> Provenance.t -> Fact.t -> string
+(** Render as a provenance polynomial over the extensional facts, e.g.
+    ["own(\"A\",\"B\",0.6)·company(\"A\") + own(\"A\",\"B\",0.6)·…"]. *)

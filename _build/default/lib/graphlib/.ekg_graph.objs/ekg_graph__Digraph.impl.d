@@ -1,0 +1,1 @@
+lib/graphlib/digraph.ml: Buffer Hashtbl List Map Printf Set String

@@ -1,0 +1,167 @@
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type 'a edge = {
+  src : string;
+  dst : string;
+  label : 'a;
+}
+
+type 'a t = {
+  mutable node_set : SSet.t;
+  mutable out_edges : 'a edge list SMap.t; (* newest first *)
+  mutable in_edges : 'a edge list SMap.t;
+}
+
+let create () = { node_set = SSet.empty; out_edges = SMap.empty; in_edges = SMap.empty }
+let copy t = { node_set = t.node_set; out_edges = t.out_edges; in_edges = t.in_edges }
+
+let add_node t n = t.node_set <- SSet.add n t.node_set
+
+let edge_list m k = match SMap.find_opt k m with Some es -> es | None -> []
+
+let add_edge t ~src ~dst ~label =
+  add_node t src;
+  add_node t dst;
+  let e = { src; dst; label } in
+  if not (List.mem e (edge_list t.out_edges src)) then begin
+    t.out_edges <- SMap.add src (e :: edge_list t.out_edges src) t.out_edges;
+    t.in_edges <- SMap.add dst (e :: edge_list t.in_edges dst) t.in_edges
+  end
+
+let remove_edge t ~src ~dst ~label =
+  let e = { src; dst; label } in
+  let drop es = List.filter (fun e' -> e' <> e) es in
+  t.out_edges <- SMap.add src (drop (edge_list t.out_edges src)) t.out_edges;
+  t.in_edges <- SMap.add dst (drop (edge_list t.in_edges dst)) t.in_edges
+
+let mem_node t n = SSet.mem n t.node_set
+
+let mem_edge t ~src ~dst = List.exists (fun e -> e.dst = dst) (edge_list t.out_edges src)
+
+let nodes t = SSet.elements t.node_set
+
+let compare_edge a b =
+  match String.compare a.src b.src with
+  | 0 -> String.compare a.dst b.dst
+  | c -> c
+
+let edges t =
+  SMap.fold (fun _ es acc -> List.rev_append es acc) t.out_edges []
+  |> List.stable_sort compare_edge
+
+let succ t n = List.rev (edge_list t.out_edges n)
+let pred t n = List.rev (edge_list t.in_edges n)
+let out_degree t n = List.length (edge_list t.out_edges n)
+let in_degree t n = List.length (edge_list t.in_edges n)
+let node_count t = SSet.cardinal t.node_set
+let edge_count t = SMap.fold (fun _ es acc -> acc + List.length es) t.out_edges 0
+
+let closure next t start =
+  let visited = ref SSet.empty in
+  let rec go n =
+    if not (SSet.mem n !visited) then begin
+      visited := SSet.add n !visited;
+      List.iter go (next t n)
+    end
+  in
+  if mem_node t start then go start;
+  SSet.elements !visited
+
+let reachable_from t n = closure (fun t n -> List.map (fun e -> e.dst) (succ t n)) t n
+let co_reachable t n = closure (fun t n -> List.map (fun e -> e.src) (pred t n)) t n
+
+let depends_on t a a' = List.mem a (reachable_from t a')
+
+(* Tarjan's strongly connected components. *)
+let sccs t =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun e ->
+        let w = e.dst in
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w && Hashtbl.find on_stack w then
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succ t v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack w false;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      components := List.sort String.compare (pop []) :: !components
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) (nodes t);
+  !components
+
+let has_self_loop t n = List.exists (fun e -> e.dst = n) (succ t n)
+
+let nodes_on_cycles t =
+  let from_sccs =
+    sccs t |> List.filter (fun c -> List.length c > 1) |> List.concat
+  in
+  let self_loops = List.filter (has_self_loop t) (nodes t) in
+  SSet.elements (SSet.union (SSet.of_list from_sccs) (SSet.of_list self_loops))
+
+let is_cyclic t = nodes_on_cycles t <> []
+
+let edge_on_cycle t e =
+  if e.src = e.dst then true
+  else
+    List.exists (fun c -> List.mem e.src c && List.mem e.dst c && List.length c > 1) (sccs t)
+    (* src and dst in the same non-trivial SCC means the edge can be
+       closed into a cycle only if the edge itself participates; for a
+       multigraph, any edge inside an SCC lies on a cycle because the
+       SCC provides a return path from dst to src. *)
+
+let topological_sort t =
+  if is_cyclic t then None
+  else begin
+    let in_deg = Hashtbl.create 16 in
+    List.iter (fun n -> Hashtbl.replace in_deg n (in_degree t n)) (nodes t);
+    let ready = List.filter (fun n -> Hashtbl.find in_deg n = 0) (nodes t) in
+    let rec go acc = function
+      | [] -> List.rev acc
+      | n :: rest ->
+        let newly_ready =
+          List.filter_map
+            (fun e ->
+              let d = Hashtbl.find in_deg e.dst - 1 in
+              Hashtbl.replace in_deg e.dst d;
+              if d = 0 then Some e.dst else None)
+            (succ t n)
+        in
+        go (n :: acc) (List.merge String.compare (List.sort String.compare newly_ready) rest)
+    in
+    Some (go [] ready)
+  end
+
+let to_dot ?(name = "G") ~label_to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  List.iter (fun n -> Buffer.add_string buf (Printf.sprintf "  %S;\n" n)) (nodes t);
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %S -> %S [label=%S];\n" e.src e.dst (label_to_string e.label)))
+    (edges t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,81 @@
+(** Directed multigraphs with string nodes and labelled edges.
+
+    Both graphs manipulated by the system — the dependency graph D(Σ)
+    of a rule program (nodes = predicates, edge labels = rule ids) and
+    knowledge-graph visualizations used in the comprehension study —
+    are instances of this structure.  Parallel edges with distinct
+    labels are allowed; a duplicate (src, label, dst) triple is kept
+    only once. *)
+
+type 'a t
+
+type 'a edge = {
+  src : string;
+  dst : string;
+  label : 'a;
+}
+
+val create : unit -> 'a t
+val copy : 'a t -> 'a t
+
+val add_node : 'a t -> string -> unit
+(** Idempotent. *)
+
+val add_edge : 'a t -> src:string -> dst:string -> label:'a -> unit
+(** Adds missing endpoints; idempotent on exact triples (by structural
+    equality of labels). *)
+
+val remove_edge : 'a t -> src:string -> dst:string -> label:'a -> unit
+
+val mem_node : 'a t -> string -> bool
+val mem_edge : 'a t -> src:string -> dst:string -> bool
+
+val nodes : 'a t -> string list
+(** Sorted. *)
+
+val edges : 'a t -> 'a edge list
+(** Sorted by (src, dst). *)
+
+val succ : 'a t -> string -> 'a edge list
+(** Outgoing edges. *)
+
+val pred : 'a t -> string -> 'a edge list
+(** Incoming edges. *)
+
+val out_degree : 'a t -> string -> int
+val in_degree : 'a t -> string -> int
+
+val node_count : 'a t -> int
+val edge_count : 'a t -> int
+
+(** {1 Algorithms} *)
+
+val reachable_from : 'a t -> string -> string list
+(** Nodes reachable from the given node (inclusive), sorted. *)
+
+val co_reachable : 'a t -> string -> string list
+(** Nodes from which the given node is reachable (inclusive), sorted. *)
+
+val depends_on : 'a t -> string -> string -> bool
+(** [depends_on g a a'] holds iff there is a (non-empty or empty) path
+    from [a'] to [a]: the paper's [a' ≺ a] relation. *)
+
+val is_cyclic : 'a t -> bool
+
+val sccs : 'a t -> string list list
+(** Strongly connected components (Tarjan), in reverse topological
+    order of the condensation; each component sorted. *)
+
+val nodes_on_cycles : 'a t -> string list
+(** Nodes belonging to some cycle: members of non-trivial SCCs, plus
+    self-loop nodes.  Sorted. *)
+
+val edge_on_cycle : 'a t -> 'a edge -> bool
+(** True iff the edge lies on some cycle (src and dst in the same SCC,
+    or a self-loop). *)
+
+val topological_sort : 'a t -> string list option
+(** [None] when the graph is cyclic. *)
+
+val to_dot : ?name:string -> label_to_string:('a -> string) -> 'a t -> string
+(** GraphViz rendering for documentation and debugging. *)

@@ -1,0 +1,1 @@
+lib/kernel/money.ml: Float Printf String

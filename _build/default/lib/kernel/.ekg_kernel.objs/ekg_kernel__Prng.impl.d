@@ -1,0 +1,1 @@
+lib/kernel/prng.ml: Array Float Int64 List

@@ -1,0 +1,1 @@
+lib/kernel/textutil.ml: Buffer Char List String

@@ -1,0 +1,1 @@
+lib/kernel/value.ml: Bool Float Format Hashtbl Int Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/kernel/value.mli: Format

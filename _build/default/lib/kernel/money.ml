@@ -1,0 +1,31 @@
+let strip_trailing_zeros s =
+  if String.contains s '.' then begin
+    let n = ref (String.length s) in
+    while !n > 0 && s.[!n - 1] = '0' do
+      decr n
+    done;
+    if !n > 0 && s.[!n - 1] = '.' then decr n;
+    String.sub s 0 !n
+  end
+  else s
+
+let plain f =
+  if Float.is_integer f then Printf.sprintf "%.0f" f
+  else strip_trailing_zeros (Printf.sprintf "%.2f" f)
+
+let euros amount =
+  let a = Float.abs amount in
+  if a >= 1e9 then plain (amount /. 1e9) ^ " billion euros"
+  else if a >= 1e6 then plain (amount /. 1e6) ^ " million euros"
+  else plain amount ^ " euros"
+
+let compact amount =
+  let a = Float.abs amount in
+  if a >= 1e9 then plain (amount /. 1e9) ^ "B"
+  else if a >= 1e6 then plain (amount /. 1e6) ^ "M"
+  else if a >= 1e3 then plain (amount /. 1e3) ^ "K"
+  else plain amount
+
+let percent share = plain (share *. 100.) ^ "%"
+
+let of_millions m = m *. 1e6

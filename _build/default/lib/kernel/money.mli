@@ -1,0 +1,19 @@
+(** Rendering of monetary amounts and percentages in business reports.
+
+    The paper's explanations render exposures as e.g. ["14 million
+    euros"] (or compactly ["14M"]) and ownership shares as
+    percentages (["83%"]). *)
+
+val euros : float -> string
+(** [euros 14_000_000.] is ["14 million euros"]; amounts below one
+    million render plainly (["7500 euros"]); billions use
+    ["billion"]. *)
+
+val compact : float -> string
+(** [compact 14_000_000.] is ["14M"]; [compact 2_500.] is ["2.5K"]. *)
+
+val percent : float -> string
+(** [percent 0.83] is ["83%"] (shares are stored as fractions). *)
+
+val of_millions : float -> float
+(** [of_millions 14.] is [14_000_000.] — convenience for test data. *)

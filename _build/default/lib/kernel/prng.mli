@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the reproduction (synthetic data,
+    simulated respondents, the LLM omission model) draws from a seeded
+    [Prng.t] so that all experiment outputs are bit-reproducible. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator; equal seeds give equal streams. *)
+
+val copy : t -> t
+(** Independent copy continuing from the current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a generator with a decorrelated
+    stream, for handing to sub-components. *)
+
+val next_int64 : t -> int64
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val bool : t -> bool
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normal deviate via Box–Muller. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice. Raises [Invalid_argument] on the empty list. *)
+
+val pick_array : t -> 'a array -> 'a
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher–Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> 'a list -> 'a list
+(** [sample_without_replacement t k xs] picks [min k (length xs)]
+    distinct elements, preserving no particular order. *)

@@ -1,0 +1,163 @@
+let join_with_final ~final = function
+  | [] -> ""
+  | [ x ] -> x
+  | xs ->
+    let rec go = function
+      | [] -> ""
+      | [ x ] -> x
+      | [ x; y ] -> x ^ " " ^ final ^ " " ^ y
+      | x :: rest -> x ^ ", " ^ go rest
+    in
+    go xs
+
+let join_and xs = join_with_final ~final:"and" xs
+let join_or xs = join_with_final ~final:"or" xs
+
+let capitalize_sentence s =
+  if s = "" then s
+  else String.make 1 (Char.uppercase_ascii s.[0]) ^ String.sub s 1 (String.length s - 1)
+
+let ensure_period s =
+  let s = String.trim s in
+  if s = "" then s
+  else
+    match s.[String.length s - 1] with
+    | '.' | '!' | '?' -> s
+    | _ -> s ^ "."
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let normalize_spaces s =
+  let buf = Buffer.create (String.length s) in
+  let pending = ref false in
+  String.iter
+    (fun c ->
+      if is_space c then pending := true
+      else begin
+        if !pending && Buffer.length buf > 0 then Buffer.add_char buf ' ';
+        pending := false;
+        Buffer.add_char buf c
+      end)
+    s;
+  Buffer.contents buf
+
+let words s =
+  String.split_on_char ' ' (normalize_spaces s) |> List.filter (fun w -> w <> "")
+
+let sentences s =
+  let n = String.length s in
+  let is_digit c = c >= '0' && c <= '9' in
+  let buf = Buffer.create 64 in
+  let acc = ref [] in
+  let flush () =
+    let t = String.trim (Buffer.contents buf) in
+    Buffer.clear buf;
+    if t <> "" then acc := t :: !acc
+  in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '.' when i > 0 && i + 1 < n && is_digit s.[i - 1] && is_digit s.[i + 1] ->
+        (* decimal point, e.g. "90.52%": not a sentence boundary *)
+        Buffer.add_char buf c
+      | '.' | '!' | '?' -> flush ()
+      | _ -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !acc
+
+let word_count s = List.length (words s)
+let sentence_count s = List.length (sentences s)
+
+let is_vowel c =
+  match Char.lowercase_ascii c with
+  | 'a' | 'e' | 'i' | 'o' | 'u' | 'y' -> true
+  | _ -> false
+
+let syllables_of_word w =
+  let n = String.length w in
+  let count = ref 0 in
+  let in_group = ref false in
+  for i = 0 to n - 1 do
+    if is_vowel w.[i] then begin
+      if not !in_group then incr count;
+      in_group := true
+    end
+    else in_group := false
+  done;
+  (* silent final e *)
+  let c = if n >= 2 && Char.lowercase_ascii w.[n - 1] = 'e' && !count > 1 then !count - 1 else !count in
+  max 1 c
+
+let syllable_estimate s = List.fold_left (fun acc w -> acc + syllables_of_word w) 0 (words s)
+
+let is_token_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let tokens s =
+  let buf = Buffer.create 16 in
+  let acc = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      acc := Buffer.contents buf :: !acc;
+      Buffer.clear buf
+    end
+  in
+  String.iter (fun c -> if is_token_char c then Buffer.add_char buf c else flush ()) s;
+  flush ();
+  List.rev !acc
+
+let contains_word text w = List.mem w (tokens text)
+
+let replace_all s ~pattern ~by =
+  if pattern = "" then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let plen = String.length pattern in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      if !i + plen <= n && String.sub s !i plen = pattern then begin
+        Buffer.add_string buf by;
+        i := !i + plen
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  end
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let wrap ~width s =
+  if width < 1 then invalid_arg "Textutil.wrap: width must be positive";
+  let rec go line acc = function
+    | [] -> List.rev (if line = "" then acc else line :: acc)
+    | w :: rest ->
+      if line = "" then go w acc rest
+      else if String.length line + 1 + String.length w <= width then
+        go (line ^ " " ^ w) acc rest
+      else go w (line :: acc) rest
+  in
+  String.concat "\n" (go "" [] (words s))
+
+let split_on_string ~sep s =
+  if sep = "" then invalid_arg "Textutil.split_on_string: empty separator";
+  let slen = String.length sep in
+  let n = String.length s in
+  let acc = ref [] in
+  let start = ref 0 in
+  let i = ref 0 in
+  while !i <= n - slen do
+    if String.sub s !i slen = sep then begin
+      acc := String.sub s !start (!i - !start) :: !acc;
+      i := !i + slen;
+      start := !i
+    end
+    else incr i
+  done;
+  acc := String.sub s !start (n - !start) :: !acc;
+  List.rev !acc

@@ -1,0 +1,43 @@
+(** Small text-processing toolbox used by the verbalizer, the template
+    enhancer, the simulated LLM and the readability metrics. *)
+
+val join_and : string list -> string
+(** ["a", "b", "c"] becomes ["a, b and c"]; singletons unchanged. *)
+
+val join_or : string list -> string
+
+val capitalize_sentence : string -> string
+(** Upper-case the first letter, leaving the rest untouched. *)
+
+val ensure_period : string -> string
+(** Append ["."] unless the string already ends with sentence
+    punctuation. *)
+
+val normalize_spaces : string -> string
+(** Collapse runs of whitespace to single spaces and trim. *)
+
+val words : string -> string list
+(** Split on whitespace, dropping empties. *)
+
+val sentences : string -> string list
+(** Split on [.!?] boundaries, trimming; drops empty fragments. *)
+
+val word_count : string -> int
+val sentence_count : string -> int
+
+val syllable_estimate : string -> int
+(** Heuristic English syllable count (vowel groups, min 1/word). *)
+
+val contains_word : string -> string -> bool
+(** [contains_word text w] tests whole-token containment,
+    case-sensitively, where tokens are maximal alphanumeric runs. *)
+
+val replace_all : string -> pattern:string -> by:string -> string
+(** Replace every (non-overlapping) occurrence of [pattern]. *)
+
+val starts_with : prefix:string -> string -> bool
+val split_on_string : sep:string -> string -> string list
+
+val wrap : width:int -> string -> string
+(** Greedy word wrap; words longer than [width] get their own line.
+    Raises [Invalid_argument] when [width < 1]. *)

@@ -1,0 +1,97 @@
+type t =
+  | Int of int
+  | Num of float
+  | Str of string
+  | Bool of bool
+  | Null of int
+
+let int i = Int i
+let num f = Num f
+let str s = Str s
+let bool b = Bool b
+let null i = Null i
+
+let is_null = function Null _ -> true | Int _ | Num _ | Str _ | Bool _ -> false
+
+let tag = function
+  | Int _ -> 0
+  | Num _ -> 0 (* same tag: numerics compare together *)
+  | Str _ -> 1
+  | Bool _ -> 2
+  | Null _ -> 3
+
+let to_float = function
+  | Int i -> Some (float_of_int i)
+  | Num f -> Some f
+  | Str _ | Bool _ | Null _ -> None
+
+let as_float v =
+  match to_float v with
+  | Some f -> f
+  | None -> invalid_arg "Value.as_float: non-numeric value"
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Stdlib.compare x y
+  | (Int _ | Num _), (Int _ | Num _) -> Float.compare (as_float a) (as_float b)
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | Null x, Null y -> Int.compare x y
+  | _, _ -> Int.compare (tag a) (tag b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Num f ->
+    (* hash integral floats like the corresponding int so that
+       [equal a b] implies [hash a = hash b] *)
+    Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+  | Bool b -> Hashtbl.hash b
+  | Null i -> Hashtbl.hash (0x6e75, i)
+
+(* Arithmetic stays in [Int] when both operands are integers (except
+   division), otherwise promotes to [Num]. *)
+let arith name int_op float_op a b =
+  match a, b with
+  | Int x, Int y -> Int (int_op x y)
+  | (Int _ | Num _), (Int _ | Num _) -> Num (float_op (as_float a) (as_float b))
+  | _, _ -> invalid_arg ("Value." ^ name ^ ": non-numeric operand")
+
+let add a b = arith "add" ( + ) ( +. ) a b
+let sub a b = arith "sub" ( - ) ( -. ) a b
+let mul a b = arith "mul" ( * ) ( *. ) a b
+
+let div a b =
+  match a, b with
+  | (Int _ | Num _), (Int _ | Num _) -> Num (as_float a /. as_float b)
+  | _, _ -> invalid_arg "Value.div: non-numeric operand"
+
+let neg = function
+  | Int i -> Int (-i)
+  | Num f -> Num (-.f)
+  | Str _ | Bool _ | Null _ -> invalid_arg "Value.neg: non-numeric operand"
+
+let min_v a b = if compare a b <= 0 then a else b
+let max_v a b = if compare a b >= 0 then a else b
+
+let float_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else
+    Printf.sprintf "%g" f
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Num f -> float_to_string f
+  | Str s -> "\"" ^ String.escaped s ^ "\""
+  | Bool b -> string_of_bool b
+  | Null i -> Printf.sprintf "ν%d" i
+
+let to_display = function
+  | Str s -> s
+  | Num f -> float_to_string f
+  | (Int _ | Bool _ | Null _) as v -> to_string v
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

@@ -1,0 +1,69 @@
+(** Typed constants of the reasoning substrate.
+
+    Vadalog values are drawn from a countably infinite set of constants.
+    We support the carrier types needed by the paper's financial
+    applications: integers, reals, strings and booleans, plus labelled
+    nulls introduced by existential quantification in rule heads. *)
+
+type t =
+  | Int of int          (** machine integer *)
+  | Num of float        (** real number (shares, exposures, ...) *)
+  | Str of string       (** entity identifiers, channel tags, ... *)
+  | Bool of bool        (** truth values produced by built-ins *)
+  | Null of int         (** labelled null [ν_i] from existential heads *)
+
+(** {1 Construction} *)
+
+val int : int -> t
+val num : float -> t
+val str : string -> t
+val bool : bool -> t
+val null : int -> t
+
+(** {1 Classification} *)
+
+val is_null : t -> bool
+
+(** {1 Comparison}
+
+    A total order: values of the same carrier compare naturally, values
+    of different carriers compare by carrier tag.  [Int] and [Num] are
+    compared numerically so that [Int 1 = Num 1.0] holds, as in Vadalog
+    where both denote the same number. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** {1 Numeric views} *)
+
+val to_float : t -> float option
+(** [to_float v] is the numeric value of [v], if it is numeric. *)
+
+val as_float : t -> float
+(** Like {!to_float} but raises [Invalid_argument] for non-numerics. *)
+
+(** {1 Arithmetic}
+
+    Binary arithmetic promotes [Int] to [Num] when the operands mix
+    carriers; division always yields [Num].  All functions raise
+    [Invalid_argument] on non-numeric operands. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val min_v : t -> t -> t
+val max_v : t -> t -> t
+
+(** {1 Printing} *)
+
+val to_string : t -> string
+(** Render for diagnostics and Datalog syntax: strings are quoted. *)
+
+val to_display : t -> string
+(** Render for natural-language output: strings are unquoted, integral
+    floats drop the trailing [.0]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/llm/anonymize.ml: Buffer Ekg_kernel Int List Printf String Textutil

@@ -1,0 +1,1 @@
+lib/llm/mock_llm.ml: Array Ekg_kernel Float Hashtbl List Prng String Textutil

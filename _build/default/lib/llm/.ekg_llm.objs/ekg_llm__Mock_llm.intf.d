@@ -1,0 +1,1 @@
+lib/llm/mock_llm.mli:

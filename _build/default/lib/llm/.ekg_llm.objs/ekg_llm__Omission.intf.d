@@ -1,0 +1,1 @@
+lib/llm/omission.mli:

@@ -1,0 +1,54 @@
+open Ekg_kernel
+
+type mapping = (string * string) list
+
+(* whole-word replacement: the entity must not be embedded in a larger
+   alphanumeric token *)
+let replace_word text ~word ~by =
+  let is_word_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  in
+  let n = String.length text and m = String.length word in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    if
+      !i + m <= n
+      && String.sub text !i m = word
+      && (!i = 0 || not (is_word_char text.[!i - 1]))
+      && (!i + m = n || not (is_word_char text.[!i + m]))
+    then begin
+      Buffer.add_string buf by;
+      i := !i + m
+    end
+    else begin
+      Buffer.add_char buf text.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let pseudonymize ~entities text =
+  let distinct =
+    List.sort_uniq String.compare (List.filter (fun e -> e <> "") entities)
+  in
+  (* longest first so longer names are replaced before their prefixes *)
+  let by_length =
+    List.stable_sort (fun a b -> Int.compare (String.length b) (String.length a)) distinct
+  in
+  (* pseudonym numbers follow the caller's order for stability *)
+  let numbered = List.mapi (fun i e -> (e, Printf.sprintf "Entity-%d" (i + 1))) distinct in
+  let mapping =
+    List.map (fun e -> (e, List.assoc e numbered)) by_length
+  in
+  let anonymized =
+    List.fold_left
+      (fun acc (original, pseudonym) -> replace_word acc ~word:original ~by:pseudonym)
+      text mapping
+  in
+  (anonymized, List.map (fun e -> (e, List.assoc e numbered)) distinct)
+
+let reidentify mapping text =
+  List.fold_left
+    (fun acc (original, pseudonym) -> Textutil.replace_all acc ~pattern:pseudonym ~by:original)
+    text mapping

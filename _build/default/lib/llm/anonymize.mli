@@ -1,0 +1,23 @@
+(** Entity pseudonymization for explanations (§1, "LLMs and Data
+    Privacy": anonymization as the practical alternative when text must
+    leave the organization).
+
+    Replaces entity names in a business report with stable pseudonyms
+    (Entity-1, Entity-2, …), keeping a mapping for later
+    re-identification.  Monetary amounts and shares are left intact —
+    the paper notes that anonymizing unstructured text is exactly what
+    remains hard, and this module covers only the tractable
+    named-entity part; it exists so the trade-off can be measured. *)
+
+type mapping = (string * string) list
+(** pairs (original, pseudonym) *)
+
+val pseudonymize : entities:string list -> string -> string * mapping
+(** [pseudonymize ~entities text] replaces every whole-word occurrence
+    of each entity, longest names first (so ["IrishBankHolding"] is not
+    half-replaced through ["IrishBank"]).  Pseudonyms are assigned in
+    order of the [entities] list. *)
+
+val reidentify : mapping -> string -> string
+(** Inverse rewriting. [reidentify m (fst (pseudonymize ~entities t))]
+    restores [t] whenever no pseudonym collides with existing text. *)

@@ -1,0 +1,163 @@
+open Ekg_kernel
+
+type task =
+  | Paraphrase
+  | Summarize
+
+type config = {
+  seed : int;
+  para_max : float;
+  para_mid : float;
+  para_rate : float;
+  sum_max : float;
+  sum_mid : float;
+  sum_rate : float;
+  hallucination_rate : float;
+}
+
+let default_config =
+  {
+    seed = 20250325;
+    para_max = 0.40;
+    para_mid = 17.;
+    para_rate = 0.22;
+    sum_max = 0.70;
+    sum_mid = 11.;
+    sum_rate = 0.28;
+    hallucination_rate = 0.;
+  }
+
+let omission_probability cfg task ~proof_length =
+  let l = float_of_int proof_length in
+  let logistic pmax mid rate = pmax /. (1. +. Float.exp (-.rate *. (l -. mid))) in
+  match task with
+  | Paraphrase -> logistic cfg.para_max cfg.para_mid cfg.para_rate
+  | Summarize -> logistic cfg.sum_max cfg.sum_mid cfg.sum_rate
+
+(* --- surface rewriting -------------------------------------------------- *)
+
+let synonym_sets =
+  [|
+    [
+      ("Since ", "Given that ");
+      (", then ", ", ");
+      (" is higher than ", " exceeds ");
+      (" is lower than ", " is below ");
+      ("amounting to ", "of ");
+    ];
+    [
+      ("Since ", "Because ");
+      (", then ", ", consequently ");
+      (" is higher than ", " surpasses ");
+      (" is lower than ", " falls short of ");
+      (" is in default", " defaults");
+    ];
+    [
+      ("Since ", "As ");
+      (", then ", ", so ");
+      (" is higher than ", " is greater than ");
+      (" is lower than ", " is smaller than ");
+    ];
+  |]
+
+let apply_pairs pairs text =
+  List.fold_left (fun acc (pattern, by) -> Textutil.replace_all acc ~pattern ~by) text pairs
+
+(* Remove one constant from the text the way an LLM summary elides a
+   figure: amounts become vague quantifiers, entities become pronouns.
+   Common carrier phrases ("of X", "to X") are collapsed. *)
+let elide_constant text constant =
+  let vague =
+    if
+      List.exists
+        (fun unit_word -> Textutil.contains_word constant unit_word)
+        [ "euros"; "euro"; "million"; "billion" ]
+      || String.contains constant '%'
+    then "a significant amount"
+    else "the entity"
+  in
+  let attempts =
+    [
+      ("amounting to " ^ constant, "");
+      ("of " ^ constant, "");
+      ("to " ^ constant, "to " ^ vague);
+      (constant, vague);
+    ]
+  in
+  List.fold_left
+    (fun acc (pattern, by) -> Textutil.replace_all acc ~pattern ~by)
+    text attempts
+
+(* Drop the arithmetic-justification clauses ("and 83% is higher than
+   50%"): summaries and tight paraphrases skip the threshold check, and
+   the constants involved also occur in their carrier clauses. *)
+let comparison_markers =
+  [
+    " is higher than ";
+    " is lower than ";
+    " is at least ";
+    " is at most ";
+    " exceeds ";
+    " is below ";
+    " surpasses ";
+    " falls short of ";
+    " is greater than ";
+    " is smaller than ";
+  ]
+
+let drop_condition_clauses text =
+  let sentences = Textutil.sentences text in
+  let strip sentence =
+    let segments = Textutil.split_on_string ~sep:", " sentence in
+    let keep seg =
+      not
+        (List.exists
+           (fun marker -> List.length (Textutil.split_on_string ~sep:marker seg) > 1)
+           comparison_markers)
+    in
+    match List.filter keep segments with
+    | [] -> sentence
+    | kept -> String.concat ", " kept
+  in
+  String.concat ". " (List.map strip sentences) ^ "."
+
+(* Fuse sentence pairs: drop the scaffolding of the second sentence and
+   join with a semicolon, the way summaries compress chains. *)
+let fuse_sentences text =
+  let sentences = Textutil.sentences text in
+  let rec fuse = function
+    | a :: b :: rest ->
+      let b' = apply_pairs [ ("Given that ", ""); ("Since ", ""); ("Because ", "") ] b in
+      (a ^ "; " ^ b') :: fuse rest
+    | [ last ] -> [ last ]
+    | [] -> []
+  in
+  String.concat ". " (fuse sentences) ^ "."
+
+let rewrite ?(config = default_config) task ~proof_length ~constants text =
+  (* derive a per-input deterministic stream: same text, same answer *)
+  let rng =
+    Prng.create (config.seed + (Hashtbl.hash (task, proof_length, text) land 0xFFFFFF))
+  in
+  let style = Prng.int rng (Array.length synonym_sets) in
+  let text = apply_pairs synonym_sets.(style) text in
+  let p = omission_probability config task ~proof_length in
+  let distinct =
+    List.sort_uniq String.compare (List.filter (fun c -> c <> "") constants)
+  in
+  let text =
+    List.fold_left
+      (fun acc c -> if Prng.bernoulli rng p then elide_constant acc c else acc)
+      text distinct
+  in
+  let text = drop_condition_clauses text in
+  (* rare fabrications: a fluent but unsupported claim, the failure
+     mode the template approach rules out by construction *)
+  let text =
+    if Prng.bernoulli rng config.hallucination_rate then
+      text
+      ^ " Moreover, Meridian Trust also holds a significant stake of 42% in the group."
+    else text
+  in
+  ignore fuse_sentences;
+  Textutil.normalize_spaces text

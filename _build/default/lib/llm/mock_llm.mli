@@ -1,0 +1,55 @@
+(** Simulated LLM baseline (see DESIGN.md §3, substitution 1).
+
+    The paper's baselines prompt ChatGPT with "Generate a paraphrased /
+    summarized version of the following text:" over the deterministic
+    proof verbalization.  This module reproduces the two observable
+    properties those baselines exhibit in the paper's experiments:
+
+    - short inputs come back fluent and essentially complete;
+    - as proofs grow, the output {e omits constants}, and the
+      summarization prompt omits more than the paraphrasing one
+      (Figure 17).
+
+    Rewriting is deterministic given the seed: synonym and connector
+    rewrites plus sentence fusion model the fluency gain, and a
+    calibrated logistic omission model drops a growing share of the
+    input's constants. *)
+
+type task =
+  | Paraphrase
+  | Summarize
+
+type config = {
+  seed : int;
+  para_max : float;      (** asymptotic omission ratio, paraphrase *)
+  para_mid : float;      (** chase steps at half the asymptote *)
+  para_rate : float;     (** logistic steepness *)
+  sum_max : float;
+  sum_mid : float;
+  sum_rate : float;
+  hallucination_rate : float;
+      (** probability of fabricating an unsupported claim per rewrite —
+          the paper's "in some rare cases, even hallucinations" (§1);
+          0 in {!default_config} so the Figure 16/17 calibration is
+          unaffected *)
+}
+
+val default_config : config
+(** Calibrated against the levels readable from the paper's Figure 17. *)
+
+val omission_probability : config -> task -> proof_length:int -> float
+(** The per-constant drop probability at a given proof length. *)
+
+val rewrite :
+  ?config:config ->
+  task ->
+  proof_length:int ->
+  constants:string list ->
+  string ->
+  string
+(** [rewrite task ~proof_length ~constants text] is the simulated LLM
+    answer.  [constants] are the display forms of the proof's constants
+    as they occur in [text]; each is dropped independently with
+    {!omission_probability}, replaced by a vague phrase the way LLM
+    summaries elide figures.  The same (config, task, proof_length,
+    constants, text) always produces the same output. *)

@@ -1,0 +1,61 @@
+(* Tokenize into maximal alphanumeric runs, keeping '.' only between
+   digits so "6.87" stays one token while "euros." loses its period and
+   "long-term" splits into "long" and "term".  The same tokenizer is
+   applied to the text and to the constants, so matching is stable. *)
+let tokens s =
+  let n = String.length s in
+  let is_alnum c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  in
+  let is_digit c = c >= '0' && c <= '9' in
+  let buf = Buffer.create 16 in
+  let acc = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      acc := Buffer.contents buf :: !acc;
+      Buffer.clear buf
+    end
+  in
+  String.iteri
+    (fun i c ->
+      if is_alnum c then Buffer.add_char buf c
+      else if
+        c = '.' && i > 0 && i + 1 < n && is_digit s.[i - 1] && is_digit s.[i + 1]
+      then Buffer.add_char buf c
+      else flush ())
+    s;
+  flush ();
+  List.rev !acc
+
+let contains_phrase text phrase =
+  let text_toks = Array.of_list (tokens text) in
+  let phrase_toks = Array.of_list (tokens phrase) in
+  let n = Array.length text_toks and m = Array.length phrase_toks in
+  if m = 0 then true
+  else begin
+    let found = ref false in
+    for i = 0 to n - m do
+      if not !found then begin
+        let ok = ref true in
+        for j = 0 to m - 1 do
+          if text_toks.(i + j) <> phrase_toks.(j) then ok := false
+        done;
+        if !ok then found := true
+      end
+    done;
+    !found
+  end
+
+let retained ~constants text =
+  let distinct = List.sort_uniq String.compare constants in
+  List.filter (contains_phrase text) distinct
+
+let retained_ratio ~constants text =
+  let distinct = List.sort_uniq String.compare constants in
+  match distinct with
+  | [] -> 1.0
+  | _ ->
+    float_of_int (List.length (retained ~constants text))
+    /. float_of_int (List.length distinct)
+
+let omitted_ratio ~constants text = 1. -. retained_ratio ~constants text

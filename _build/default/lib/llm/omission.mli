@@ -1,0 +1,18 @@
+(** Measuring information loss in generated explanations (§6.3).
+
+    The paper quantifies completeness as the ratio between the
+    constants present in the textual explanation and the constants the
+    correct inference requires.  Constants are matched as whole-token
+    phrases (so the entity "B" does not match inside "Bank"). *)
+
+val contains_phrase : string -> string -> bool
+(** [contains_phrase text phrase] — consecutive-token containment. *)
+
+val retained : constants:string list -> string -> string list
+(** The constants (display forms) present in the text. *)
+
+val retained_ratio : constants:string list -> string -> float
+(** |retained| / |constants|; 1.0 on an empty constant list. *)
+
+val omitted_ratio : constants:string list -> string -> float
+(** 1 − {!retained_ratio} — the y-axis of Figure 17. *)

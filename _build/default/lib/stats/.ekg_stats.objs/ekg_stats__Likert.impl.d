@@ -1,0 +1,1 @@
+lib/stats/likert.ml: Array Descriptive Float List

@@ -1,0 +1,1 @@
+lib/stats/readability.ml: Ekg_kernel Float List String Textutil

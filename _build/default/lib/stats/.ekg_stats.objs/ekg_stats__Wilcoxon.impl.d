@@ -1,0 +1,1 @@
+lib/stats/wilcoxon.ml: Array Float List

@@ -1,0 +1,72 @@
+let require_nonempty name = function
+  | [] -> invalid_arg ("Descriptive." ^ name ^ ": empty sample")
+  | xs -> xs
+
+let mean xs =
+  let xs = require_nonempty "mean" xs in
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let variance xs =
+  let xs = require_nonempty "variance" xs in
+  let n = List.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs /. float_of_int (n - 1)
+  end
+
+let std_dev xs = sqrt (variance xs)
+
+let sorted xs = List.sort Float.compare xs
+
+let quantile q xs =
+  let xs = require_nonempty "quantile" xs in
+  if q < 0. || q > 1. then invalid_arg "Descriptive.quantile: q outside [0,1]";
+  let a = Array.of_list (sorted xs) in
+  let n = Array.length a in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then a.(lo)
+  else begin
+    let w = pos -. float_of_int lo in
+    (a.(lo) *. (1. -. w)) +. (a.(hi) *. w)
+  end
+
+let median xs = quantile 0.5 xs
+
+let min_max xs =
+  let xs = require_nonempty "min_max" xs in
+  ( List.fold_left Float.min Float.infinity xs,
+    List.fold_left Float.max Float.neg_infinity xs )
+
+type five_number = {
+  low_whisker : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  high_whisker : float;
+  outliers : float list;
+}
+
+let five_number xs =
+  let xs = require_nonempty "five_number" xs in
+  let q1 = quantile 0.25 xs and q3 = quantile 0.75 xs in
+  let iqr = q3 -. q1 in
+  let lo_fence = q1 -. (1.5 *. iqr) and hi_fence = q3 +. (1.5 *. iqr) in
+  let inliers = List.filter (fun x -> x >= lo_fence && x <= hi_fence) xs in
+  let outliers = List.filter (fun x -> x < lo_fence || x > hi_fence) xs in
+  let low_whisker, high_whisker =
+    match inliers with
+    | [] -> (q1, q3)
+    | _ -> min_max inliers
+  in
+  { low_whisker; q1; median = median xs; q3; high_whisker; outliers = sorted outliers }
+
+let to_string f =
+  Printf.sprintf "[%.3f | %.3f %.3f %.3f | %.3f]%s" f.low_whisker f.q1 f.median f.q3
+    f.high_whisker
+    (if f.outliers = [] then ""
+     else
+       " outliers: "
+       ^ String.concat ", " (List.map (Printf.sprintf "%.3f") f.outliers))

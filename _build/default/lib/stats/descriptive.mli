@@ -1,0 +1,31 @@
+(** Descriptive statistics over float samples. *)
+
+val mean : float list -> float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val variance : float list -> float
+(** Unbiased sample variance (n-1 denominator); 0 for singletons. *)
+
+val std_dev : float list -> float
+
+val median : float list -> float
+
+val quantile : float -> float list -> float
+(** Linear interpolation between order statistics; [quantile 0.25] is
+    the first quartile. *)
+
+val min_max : float list -> float * float
+
+type five_number = {
+  low_whisker : float;   (** smallest sample ≥ q1 − 1.5·IQR *)
+  q1 : float;
+  median : float;
+  q3 : float;
+  high_whisker : float;  (** largest sample ≤ q3 + 1.5·IQR *)
+  outliers : float list;
+}
+
+val five_number : float list -> five_number
+(** Tukey boxplot summary — the shape of the paper's Figures 17/18. *)
+
+val to_string : five_number -> string

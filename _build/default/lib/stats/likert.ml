@@ -1,0 +1,16 @@
+type t = int
+
+let of_int v = max 1 (min 5 v)
+
+let of_score s =
+  let s = Float.max 0. (Float.min 1. s) in
+  of_int (1 + int_of_float (Float.round (s *. 4.)))
+
+let to_floats vs = List.map float_of_int vs
+let mean vs = Descriptive.mean (to_floats vs)
+let std_dev vs = Descriptive.std_dev (to_floats vs)
+
+let distribution vs =
+  let counts = Array.make 5 0 in
+  List.iter (fun v -> counts.(of_int v - 1) <- counts.(of_int v - 1) + 1) vs;
+  counts

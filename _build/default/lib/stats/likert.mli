@@ -1,0 +1,18 @@
+(** 5-point Likert scales, as used by the paper's expert study. *)
+
+type t = int
+(** Invariant: 1 ≤ value ≤ 5, enforced by {!of_int} / {!of_score}. *)
+
+val of_int : int -> t
+(** Clamped into [1, 5]. *)
+
+val of_score : float -> t
+(** Map a quality score in [0, 1] to the scale (0 → 1, 1 → 5),
+    rounding to the nearest grade. *)
+
+val mean : t list -> float
+val std_dev : t list -> float
+val distribution : t list -> int array
+(** Counts for grades 1..5, index 0 = grade 1. *)
+
+val to_floats : t list -> float list

@@ -1,0 +1,63 @@
+open Ekg_kernel
+
+type metrics = {
+  words : int;
+  sentences : int;
+  avg_sentence_length : float;
+  avg_word_length : float;
+  flesch : float;
+  type_token_ratio : float;
+  bigram_redundancy : float;
+}
+
+let analyze text =
+  let words = Textutil.words text in
+  let nw = max 1 (List.length words) in
+  let ns = max 1 (Textutil.sentence_count text) in
+  let syllables = max 1 (Textutil.syllable_estimate text) in
+  let chars = List.fold_left (fun acc w -> acc + String.length w) 0 words in
+  let lowered = List.map String.lowercase_ascii words in
+  let distinct = List.sort_uniq String.compare lowered in
+  let bigrams =
+    let rec go = function
+      | a :: (b :: _ as rest) -> (a, b) :: go rest
+      | [ _ ] | [] -> []
+    in
+    go lowered
+  in
+  let nb = List.length bigrams in
+  let distinct_bigrams = List.sort_uniq compare bigrams in
+  let redundancy =
+    if nb = 0 then 0.
+    else 1. -. (float_of_int (List.length distinct_bigrams) /. float_of_int nb)
+  in
+  let wf = float_of_int nw and sf = float_of_int ns in
+  {
+    words = List.length words;
+    sentences = Textutil.sentence_count text;
+    avg_sentence_length = wf /. sf;
+    avg_word_length = float_of_int chars /. wf;
+    flesch =
+      206.835 -. (1.015 *. (wf /. sf)) -. (84.6 *. (float_of_int syllables /. wf));
+    type_token_ratio = float_of_int (List.length distinct) /. wf;
+    bigram_redundancy = redundancy;
+  }
+
+let clamp01 x = Float.max 0. (Float.min 1. x)
+
+(* Readable business prose sits around 15-25 words per sentence; very
+   long verbalized proofs and heavy repetition read poorly. *)
+let fluency_score text =
+  let m = analyze text in
+  let sentence_fit =
+    let l = m.avg_sentence_length in
+    if l <= 8. then l /. 8.
+    else if l <= 26. then 1.
+    else clamp01 (1. -. ((l -. 26.) /. 30.))
+  in
+  let variety = clamp01 (m.type_token_ratio *. 2.) in
+  let non_redundant = clamp01 (1. -. (m.bigram_redundancy *. 1.4)) in
+  let flesch_fit = clamp01 ((m.flesch +. 20.) /. 100.) in
+  clamp01
+    ((0.3 *. sentence_fit) +. (0.25 *. variety) +. (0.3 *. non_redundant)
+    +. (0.15 *. flesch_fit))

@@ -1,0 +1,21 @@
+(** Text-quality metrics driving the simulated expert graders (§6.2).
+
+    The paper's experts grade fluency/compactness on a Likert scale; we
+    approximate their judgement with standard surface metrics. *)
+
+type metrics = {
+  words : int;
+  sentences : int;
+  avg_sentence_length : float;   (** words per sentence *)
+  avg_word_length : float;       (** characters per word *)
+  flesch : float;                (** Flesch reading ease (higher = easier) *)
+  type_token_ratio : float;      (** lexical variety in [0,1] *)
+  bigram_redundancy : float;     (** repeated-bigram share in [0,1]; high = repetitive *)
+}
+
+val analyze : string -> metrics
+
+val fluency_score : string -> float
+(** Composite in [0, 1]: rewards readable sentence lengths and lexical
+    variety, penalizes redundancy.  Used as the mean of the simulated
+    Likert graders. *)

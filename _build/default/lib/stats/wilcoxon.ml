@@ -1,0 +1,127 @@
+type result = {
+  n : int;
+  w_plus : float;
+  w_minus : float;
+  statistic : float;
+  z : float;
+  p_value : float;
+  exact : bool;
+}
+
+(* Abramowitz & Stegun 7.1.26 rational approximation of erf, accurate
+   to ~1.5e-7: enough for reporting p-values to three decimals. *)
+let erf x =
+  let sign = if x < 0. then -1. else 1. in
+  let x = Float.abs x in
+  let t = 1. /. (1. +. (0.3275911 *. x)) in
+  let a1 = 0.254829592
+  and a2 = -0.284496736
+  and a3 = 1.421413741
+  and a4 = -1.453152027
+  and a5 = 1.061405429 in
+  let poly = ((((a5 *. t) +. a4) *. t +. a3) *. t +. a2) *. t +. a1 in
+  sign *. (1. -. (poly *. t *. Float.exp (-.x *. x)))
+
+let normal_cdf z = 0.5 *. (1. +. erf (z /. Float.sqrt 2.))
+
+(* Mid-ranks of the absolute differences. *)
+let rank_abs diffs =
+  let indexed = List.mapi (fun i d -> (i, Float.abs d)) diffs in
+  let sorted = List.stable_sort (fun (_, a) (_, b) -> Float.compare a b) indexed in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  let ranks = Array.make n 0. in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && snd arr.(!j + 1) = snd arr.(!i) do
+      incr j
+    done;
+    let mid = (float_of_int (!i + 1) +. float_of_int (!j + 1)) /. 2. in
+    for k = !i to !j do
+      let orig, _ = arr.(k) in
+      ranks.(orig) <- mid
+    done;
+    i := !j + 1
+  done;
+  (ranks, arr)
+
+let tie_groups arr =
+  let n = Array.length arr in
+  let groups = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && snd arr.(!j + 1) = snd arr.(!i) do
+      incr j
+    done;
+    let size = !j - !i + 1 in
+    if size > 1 then groups := size :: !groups;
+    i := !j + 1
+  done;
+  !groups
+
+(* Exact null distribution of W+ for integer ranks 1..n. *)
+let exact_p_value n w =
+  let total = 1 lsl n in
+  let count_le = ref 0 and count_ge = ref 0 in
+  for mask = 0 to total - 1 do
+    let wp = ref 0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then wp := !wp + i + 1
+    done;
+    if float_of_int !wp <= w then incr count_le;
+    if float_of_int !wp >= w then incr count_ge
+  done;
+  let p_le = float_of_int !count_le /. float_of_int total in
+  let p_ge = float_of_int !count_ge /. float_of_int total in
+  Float.min 1.0 (2. *. Float.min p_le p_ge)
+
+let signed_rank xs ys =
+  if List.length xs <> List.length ys then Error "samples must have equal length"
+  else begin
+    let diffs = List.map2 ( -. ) xs ys |> List.filter (fun d -> d <> 0.) in
+    match diffs with
+    | [] -> Error "all paired differences are zero"
+    | _ ->
+      let n = List.length diffs in
+      let ranks, sorted_arr = rank_abs diffs in
+      let w_plus =
+        List.fold_left ( +. ) 0.
+          (List.mapi (fun i d -> if d > 0. then ranks.(i) else 0.) diffs)
+      in
+      let total = float_of_int (n * (n + 1)) /. 2. in
+      let w_minus = total -. w_plus in
+      let statistic = Float.min w_plus w_minus in
+      let ties = tie_groups sorted_arr in
+      if n <= 12 && ties = [] then begin
+        let p = exact_p_value n w_plus in
+        Ok { n; w_plus; w_minus; statistic; z = 0.; p_value = p; exact = true }
+      end
+      else begin
+        let nf = float_of_int n in
+        let mu = nf *. (nf +. 1.) /. 4. in
+        let tie_term =
+          List.fold_left
+            (fun acc t ->
+              let tf = float_of_int t in
+              acc +. ((tf *. tf *. tf) -. tf))
+            0. ties
+        in
+        let sigma2 = (nf *. (nf +. 1.) *. ((2. *. nf) +. 1.) /. 24.) -. (tie_term /. 48.) in
+        let sigma = Float.sqrt sigma2 in
+        if sigma = 0. then Error "zero variance (all differences tied at one magnitude)"
+        else begin
+          (* continuity correction toward the mean *)
+          let delta = w_plus -. mu in
+          let corrected =
+            if delta > 0.5 then delta -. 0.5 else if delta < -0.5 then delta +. 0.5 else 0.
+          in
+          let z = corrected /. sigma in
+          let p = 2. *. (1. -. normal_cdf (Float.abs z)) in
+          Ok { n; w_plus; w_minus; statistic; z; p_value = Float.min 1.0 p; exact = false }
+        end
+      end
+  end
+
+let significant ?(alpha = 0.05) r = r.p_value < alpha

@@ -1,0 +1,25 @@
+(** Wilcoxon signed-rank test for paired samples — the test the paper
+    uses to compare Likert scores of explanation methods (§6.2).
+
+    Two-sided, with zero-difference pairs dropped (Wilcoxon's original
+    treatment), mid-ranks for ties, and the normal approximation with
+    tie correction and continuity correction.  For n ≤ 12 without ties
+    the exact null distribution is enumerated instead. *)
+
+type result = {
+  n : int;          (** pairs remaining after dropping zero differences *)
+  w_plus : float;   (** sum of ranks of positive differences *)
+  w_minus : float;
+  statistic : float;  (** min(W+, W−) *)
+  z : float;          (** normal approximation z-score (0 for exact path) *)
+  p_value : float;    (** two-sided *)
+  exact : bool;       (** p-value from exact enumeration *)
+}
+
+val signed_rank : float list -> float list -> (result, string) Stdlib.result
+(** [signed_rank xs ys] tests H0: the paired differences are symmetric
+    about zero.  Fails on length mismatch or when every difference is
+    zero. *)
+
+val significant : ?alpha:float -> result -> bool
+(** Default [alpha] 0.05. *)

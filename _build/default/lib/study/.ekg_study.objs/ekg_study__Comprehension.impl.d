@@ -1,0 +1,1 @@
+lib/study/comprehension.ml: Array Buffer Ekg_core Ekg_engine Ekg_kernel Glossary Hashtbl List Option Prng String Textutil Value

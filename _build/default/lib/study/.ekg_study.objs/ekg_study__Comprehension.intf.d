@@ -1,0 +1,1 @@
+lib/study/comprehension.mli: Ekg_core Ekg_engine Ekg_kernel Glossary Prng

@@ -1,0 +1,1 @@
+lib/study/grading.ml: Ekg_kernel Ekg_stats Likert List Prng Readability Wilcoxon

@@ -1,0 +1,1 @@
+lib/study/grading.mli: Ekg_kernel Ekg_stats Likert Prng Wilcoxon

@@ -1,0 +1,282 @@
+open Ekg_kernel
+open Ekg_core
+
+type archetype =
+  | Wrong_edge
+  | Wrong_value
+  | Wrong_agg_order
+  | Wrong_chain
+
+let archetype_label = function
+  | Wrong_edge -> "wrong edge"
+  | Wrong_value -> "wrong value"
+  | Wrong_agg_order -> "wrong aggregation"
+  | Wrong_chain -> "wrong chain"
+
+let all_archetypes = [ Wrong_edge; Wrong_value; Wrong_agg_order; Wrong_chain ]
+
+type element = string list
+
+type viz = {
+  elements : element list;
+  label : [ `Correct | `Corrupted of archetype ];
+}
+
+(* display strings of a fact in the order its glossary pattern mentions
+   them *)
+let fact_element glossary (f : Ekg_engine.Fact.t) : element =
+  match Glossary.find glossary f.pred with
+  | None -> Array.to_list (Array.map Value.to_display f.args)
+  | Some entry ->
+    let rendered i =
+      Glossary.format_value (Glossary.arg_fmt glossary ~pred:f.pred i) f.args.(i)
+    in
+    let order = ref [] in
+    let pat = entry.pattern in
+    let n = String.length pat in
+    let i = ref 0 in
+    while !i < n do
+      if pat.[!i] = '<' then begin
+        match String.index_from_opt pat !i '>' with
+        | Some j ->
+          let name = String.sub pat (!i + 1) (j - !i - 1) in
+          (match List.find_index (fun (a, _) -> a = name) entry.args with
+          | Some idx -> order := idx :: !order
+          | None -> ());
+          i := j + 1
+        | None -> incr i
+      end
+      else incr i
+    done;
+    List.rev_map rendered !order
+
+(* one ordered element per multi-contributor aggregation: the
+   contributors' distinguishing numeric values, rendered with the same
+   glossary format the explanation uses *)
+let aggregation_elements (proof : Ekg_engine.Proof.t) glossary : element list =
+  List.filter_map
+    (fun (s : Ekg_engine.Proof.step) ->
+      if not s.multi then None
+      else begin
+        let premise_by_id id =
+          List.find_opt (fun (f : Ekg_engine.Fact.t) -> f.id = id) s.premises
+        in
+        let contributor_value (c : Ekg_engine.Provenance.contributor) =
+          List.find_map
+            (fun id ->
+              match premise_by_id id with
+              | None -> None
+              | Some f ->
+                let n = Array.length f.args in
+                let rec scan i =
+                  if i >= n then None
+                  else
+                    match f.args.(i) with
+                    | Value.Int _ | Value.Num _ ->
+                      Some
+                        (Glossary.format_value
+                           (Glossary.arg_fmt glossary ~pred:f.pred i)
+                           f.args.(i))
+                    | _ -> scan (i + 1)
+                in
+                scan 0)
+            c.facts
+        in
+        let contributor_values = List.filter_map contributor_value s.contributors in
+        (* the conjunction must appear verbatim: a reversed list does
+           not match *)
+        if List.length contributor_values >= 2 then
+          Some [ Textutil.join_and contributor_values ]
+        else None
+      end)
+    proof.steps
+
+let correct_viz glossary (proof : Ekg_engine.Proof.t) =
+  let edb_elements =
+    Ekg_engine.Proof.facts_used proof
+    |> List.filter (fun (f : Ekg_engine.Fact.t) ->
+           List.exists
+             (fun (s : Ekg_engine.Proof.step) ->
+               List.exists (fun (p : Ekg_engine.Fact.t) -> p.id = f.id) s.premises)
+             proof.steps
+           && not
+                (List.exists
+                   (fun (s : Ekg_engine.Proof.step) -> s.fact.id = f.id)
+                   proof.steps))
+    |> List.map (fact_element glossary)
+  in
+  { elements = edb_elements @ aggregation_elements proof glossary; label = `Correct }
+
+(* --- corruption ------------------------------------------------------------- *)
+
+let entities_of viz =
+  viz.elements |> List.concat
+  |> List.filter (fun s ->
+         String.length s > 0
+         && (not (String.contains s ' '))
+         && not (s.[0] >= '0' && s.[0] <= '9'))
+  |> List.sort_uniq String.compare
+
+let numeric_positions viz =
+  List.concat
+    (List.mapi
+       (fun ei el ->
+         List.filter (fun s -> String.length s > 0 && s.[0] >= '0' && s.[0] <= '9') el
+         |> List.map (fun s -> (ei, s)))
+       viz.elements)
+
+let perturb_value s =
+  let head = List.hd (String.split_on_char ' ' s) in
+  "13.7" ^ String.sub s (String.length head) (String.length s - String.length head)
+
+let corrupt rng archetype viz =
+  let elements = viz.elements in
+  let fallback_value () =
+    match numeric_positions viz with
+    | [] -> elements
+    | positions ->
+      let ei, s = Prng.pick rng positions in
+      List.mapi
+        (fun i el ->
+          if i = ei then List.map (fun x -> if x = s then perturb_value s else x) el
+          else el)
+        elements
+  in
+  let corrupted =
+    match archetype with
+    | Wrong_value -> fallback_value ()
+    | Wrong_edge -> (
+      match entities_of viz with
+      | a :: b :: _ -> [ a; "8.88 million euros"; b ] :: elements
+      | _ -> fallback_value ())
+    | Wrong_agg_order -> (
+      let split_conjunction s =
+        match Textutil.split_on_string ~sep:" and " s with
+        | [ front; last ] -> Some (Textutil.split_on_string ~sep:", " front @ [ last ])
+        | _ -> None
+      in
+      let is_agg el =
+        match el with
+        | [ s ] -> (
+          match split_conjunction s with
+          | Some (v :: _ :: _) -> String.length v > 0 && v.[0] >= '0' && v.[0] <= '9'
+          | Some _ | None -> false)
+        | _ -> false
+      in
+      match List.find_opt is_agg elements with
+      | Some ([ s ] as agg) ->
+        let reversed =
+          match split_conjunction s with
+          | Some values -> [ Textutil.join_and (List.rev values) ]
+          | None -> agg
+        in
+        List.map (fun el -> if el == agg then reversed else el) elements
+      | Some _ | None -> fallback_value ())
+    | Wrong_chain -> (
+      match entities_of viz with
+      | a :: b :: _ ->
+        List.map
+          (fun el -> List.map (fun s -> if s = a then b else if s = b then a else s) el)
+          elements
+      | _ -> fallback_value ())
+  in
+  { elements = corrupted; label = `Corrupted archetype }
+
+(* --- the simulated reader ------------------------------------------------------ *)
+
+let tokens s =
+  let is_alnum c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '.'
+  in
+  let buf = Buffer.create 8 and acc = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      let t = Buffer.contents buf in
+      let t =
+        if String.length t > 0 && t.[String.length t - 1] = '.' then
+          String.sub t 0 (String.length t - 1)
+        else t
+      in
+      if t <> "" then acc := t :: !acc;
+      Buffer.clear buf
+    end
+  in
+  String.iter (fun c -> if is_alnum c then Buffer.add_char buf c else flush ()) s;
+  flush ();
+  List.rev !acc
+
+let element_supported text element =
+  let sentences = Textutil.sentences text in
+  let parts = List.map tokens element in
+  List.exists
+    (fun sentence ->
+      let stoks = Array.of_list (tokens sentence) in
+      let n = Array.length stoks in
+      let find_from start part =
+        let m = List.length part in
+        let parr = Array.of_list part in
+        let rec scan i =
+          if i + m > n then None
+          else begin
+            let ok = ref true in
+            Array.iteri (fun j p -> if stoks.(i + j) <> p then ok := false) parr;
+            if !ok then Some (i + m) else scan (i + 1)
+          end
+        in
+        scan start
+      in
+      let rec go cursor = function
+        | [] -> true
+        | part :: rest -> (
+          match find_from cursor part with
+          | Some next -> go next rest
+          | None -> false)
+      in
+      go 0 parts)
+    sentences
+
+let support_fraction text viz =
+  match viz.elements with
+  | [] -> 0.
+  | els ->
+    let supported = List.length (List.filter (element_supported text) els) in
+    float_of_int supported /. float_of_int (List.length els)
+
+type outcome = {
+  participants : int;
+  correct : int;
+  errors : (archetype * int) list;
+}
+
+let run_case rng ~participants ~noise ~text vizs =
+  let errors = Hashtbl.create 4 in
+  let correct = ref 0 in
+  for _ = 1 to participants do
+    let scored =
+      List.map
+        (fun viz -> (support_fraction text viz +. Prng.gaussian rng ~mu:0. ~sigma:noise, viz))
+        vizs
+    in
+    let best =
+      List.fold_left
+        (fun acc (s, v) ->
+          match acc with
+          | Some (s', _) when s' >= s -> acc
+          | _ -> Some (s, v))
+        None scored
+    in
+    match best with
+    | Some (_, { label = `Correct; _ }) -> incr correct
+    | Some (_, { label = `Corrupted a; _ }) ->
+      Hashtbl.replace errors a (1 + Option.value ~default:0 (Hashtbl.find_opt errors a))
+    | None -> ()
+  done;
+  {
+    participants;
+    correct = !correct;
+    errors = List.map (fun a -> (a, Option.value ~default:0 (Hashtbl.find_opt errors a))) all_archetypes;
+  }
+
+let accuracy o =
+  if o.participants = 0 then 0.
+  else float_of_int o.correct /. float_of_int o.participants

@@ -1,0 +1,59 @@
+(** The comprehension-study apparatus (§6.1): knowledge-graph
+    visualizations, the four error archetypes used to corrupt them, and
+    the simulated reader that matches a textual explanation against a
+    visualization.
+
+    A visualization is a list of {e elements}; an element is the
+    ordered list of display strings a faithful reading of the
+    explanation must support: entity names and glossary-formatted
+    values in pattern order for extensional facts, plus one
+    conjunction element ("2 million euros and 9 million euros") per
+    multi-contributor aggregation. *)
+
+open Ekg_kernel
+open Ekg_core
+
+type archetype =
+  | Wrong_edge        (** archetype I: a fabricated edge *)
+  | Wrong_value       (** archetype II: a perturbed property value *)
+  | Wrong_agg_order   (** archetype III: reversed aggregation values *)
+  | Wrong_chain       (** archetype IV: two chain entities swapped *)
+
+val archetype_label : archetype -> string
+val all_archetypes : archetype list
+
+type element = string list
+
+type viz = {
+  elements : element list;
+  label : [ `Correct | `Corrupted of archetype ];
+}
+
+val correct_viz : Glossary.t -> Ekg_engine.Proof.t -> viz
+(** The faithful visualization of a proof: its extensional facts plus
+    its aggregation conjunctions. *)
+
+val corrupt : Prng.t -> archetype -> viz -> viz
+(** Apply one archetype; archetypes inapplicable to the instance
+    (e.g. no aggregation to reorder) degrade to {!Wrong_value}. *)
+
+val element_supported : string -> element -> bool
+(** Some sentence of the text mentions all the element's display
+    strings, in order. *)
+
+val support_fraction : string -> viz -> float
+(** Share of supported elements, in [0, 1]. *)
+
+type outcome = {
+  participants : int;
+  correct : int;
+  errors : (archetype * int) list;  (** distractor pick counts *)
+}
+
+val run_case :
+  Prng.t -> participants:int -> noise:float -> text:string -> viz list -> outcome
+(** Each simulated participant scores every visualization
+    ({!support_fraction} plus Gaussian reading noise) and picks the
+    best; ties resolve toward the earlier visualization. *)
+
+val accuracy : outcome -> float

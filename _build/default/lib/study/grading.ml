@@ -1,0 +1,52 @@
+open Ekg_kernel
+open Ekg_stats
+
+type panel_config = {
+  graders : int;
+  grader_bias_sigma : float;
+  item_noise_sigma : float;
+}
+
+let default_config = { graders = 14; grader_bias_sigma = 0.06; item_noise_sigma = 0.16 }
+
+let grade rng ~bias ~noise text =
+  let score =
+    Readability.fluency_score text +. bias +. Prng.gaussian rng ~mu:0. ~sigma:noise
+  in
+  Likert.of_score score
+
+type panel_result = {
+  per_method : (string * Likert.t list) list;
+}
+
+let panel ?(config = default_config) rng ~methods ~scenarios =
+  List.iter
+    (fun texts ->
+      if List.length texts <> List.length methods then
+        invalid_arg "Grading.panel: scenario text count differs from methods")
+    scenarios;
+  let collected = List.map (fun m -> (m, ref [])) methods in
+  for _ = 1 to config.graders do
+    let bias = Prng.gaussian rng ~mu:0. ~sigma:config.grader_bias_sigma in
+    List.iter
+      (fun texts ->
+        List.iter2
+          (fun m text ->
+            let acc = List.assoc m collected in
+            acc := grade rng ~bias ~noise:config.item_noise_sigma text :: !acc)
+          methods texts)
+      scenarios
+  done;
+  { per_method = List.map (fun (m, acc) -> (m, List.rev !acc)) collected }
+
+let wilcoxon_pairs result =
+  let rec pairs = function
+    | [] -> []
+    | (m1, g1) :: rest ->
+      List.map
+        (fun (m2, g2) ->
+          (m1, m2, Wilcoxon.signed_rank (Likert.to_floats g1) (Likert.to_floats g2)))
+        rest
+      @ pairs rest
+  in
+  pairs result.per_method

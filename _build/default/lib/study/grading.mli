@@ -1,0 +1,41 @@
+(** The expert-grading apparatus (§6.2): simulated central-bank experts
+    assigning 5-value Likert grades to explanation texts.
+
+    Each grade is the text's readability-driven fluency score plus a
+    per-grader bias (some experts grade systematically higher) and
+    per-item noise, discretized to the Likert scale — the grader model
+    of DESIGN.md §3. *)
+
+open Ekg_kernel
+open Ekg_stats
+
+type panel_config = {
+  graders : int;         (** the paper uses 14 *)
+  grader_bias_sigma : float;
+  item_noise_sigma : float;
+}
+
+val default_config : panel_config
+
+val grade : Prng.t -> bias:float -> noise:float -> string -> Likert.t
+(** One grade for one text. *)
+
+type panel_result = {
+  per_method : (string * Likert.t list) list;  (** method name → all grades *)
+}
+
+val panel :
+  ?config:panel_config ->
+  Prng.t ->
+  methods:string list ->
+  scenarios:string list list ->
+  panel_result
+(** [panel rng ~methods ~scenarios] grades every scenario's texts
+    (one per method, in [methods] order) with every grader; grades are
+    paired across methods, as the Wilcoxon analysis requires.  Raises
+    [Invalid_argument] when a scenario's text count differs from
+    [methods]. *)
+
+val wilcoxon_pairs :
+  panel_result -> (string * string * (Wilcoxon.result, string) result) list
+(** Pairwise signed-rank tests between all method pairs. *)

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Atom Ekg_datalog Ekg_kernel Expr List Parser Printf Program QCheck2 QCheck_alcotest Rule Subst Term Textutil Value

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Digraph Ekg_graph Ekg_kernel Fun Hashtbl Int List QCheck2 QCheck_alcotest String

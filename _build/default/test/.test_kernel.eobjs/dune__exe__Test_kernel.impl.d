@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Ekg_kernel Float Fun Int List Money Prng QCheck2 QCheck_alcotest String Textutil Value

@@ -1,0 +1,1 @@
+test/test_llm.ml: Alcotest Anonymize Ekg_kernel Ekg_llm Float List Mock_llm Omission Printf

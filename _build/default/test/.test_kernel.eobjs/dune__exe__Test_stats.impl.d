@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Descriptive Ekg_stats Float Likert List QCheck2 QCheck_alcotest Readability String Wilcoxon

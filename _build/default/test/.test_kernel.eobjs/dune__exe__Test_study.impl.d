@@ -1,0 +1,1 @@
+test/test_study.ml: Alcotest Comprehension Ekg_apps Ekg_core Ekg_datagen Ekg_kernel Ekg_stats Ekg_study Grading List Pipeline Prng Stress_test String Textutil

@@ -1,0 +1,262 @@
+(* Tests for the bundled financial KG applications against the paper's
+   scenarios (§5): derived control edges, the default cascade, close
+   links, and the Figure 15 walk-through. *)
+
+open Ekg_datalog
+open Ekg_engine
+open Ekg_core
+open Ekg_apps
+
+let check = Alcotest.check
+let bool' = Alcotest.bool
+let int' = Alcotest.int
+
+let run_app program edb =
+  match Chase.run program edb with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "chase: %s" e
+
+let holds db src =
+  match Query.parse_and_ask db src with
+  | Ok ((_ : (Fact.t * Subst.t) list) as l) -> l <> []
+  | Error e -> Alcotest.failf "query %s: %s" src e
+
+(* --- company control ---------------------------------------------------------- *)
+
+let test_control_program_valid () =
+  check bool' "validates" true (Program.validate Company_control.program = Ok ());
+  check bool' "recursive with aggregation" true
+    (Program.is_recursive Company_control.program
+    && Program.uses_aggregation Company_control.program)
+
+let test_control_scenario () =
+  let res = run_app Company_control.program Company_control.scenario_edb in
+  (* direct majority *)
+  check bool' "A controls B (60%)" true (holds res.db {|control("A", "B")|});
+  (* via controlled subsidiary: B controls E (55%), E owns 25% of D,
+     B owns 30% directly: 55% jointly *)
+  check bool' "B controls D jointly" true (holds res.db {|control("B", "D")|});
+  (* transitively A controls everything B controls *)
+  check bool' "A controls D through B" true (holds res.db {|control("A", "D")|});
+  (* no spurious control *)
+  check bool' "D does not control F (10%)" false (holds res.db {|control("D", "F")|});
+  (* self-control from σ2 *)
+  check bool' "self control" true (holds res.db {|control("A", "A")|})
+
+let test_control_figure_15 () =
+  let res = run_app Company_control.program Company_control.scenario_edb in
+  check bool' "IrishBank controls FondoItaliano (83%)" true
+    (holds res.db {|control("IrishBank", "FondoItaliano")|});
+  check bool' "IrishBank controls FrenchPLC (54%)" true
+    (holds res.db {|control("IrishBank", "FrenchPLC")|});
+  (* the Figure 15 conclusion: joint 36% + 21% = 57% *)
+  check bool' "IrishBank controls MadridCredit jointly" true
+    (holds res.db {|control("IrishBank", "MadridCredit")|});
+  (* neither subsidiary alone controls Madrid Credit *)
+  check bool' "FondoItaliano alone does not control" false
+    (holds res.db {|control("FondoItaliano", "MadridCredit")|})
+
+let test_control_explanation_complete () =
+  let pipeline = Company_control.pipeline () in
+  let res =
+    match Pipeline.reason pipeline Company_control.scenario_edb with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "reason: %s" e
+  in
+  match Pipeline.explain_query pipeline res {|control("IrishBank", "MadridCredit")|} with
+  | Error e -> Alcotest.fail e
+  | Ok [ e ] ->
+    let constants = Verbalizer.constant_strings Company_control.glossary e.proof in
+    check bool' "all constants in the report" true
+      (Ekg_llm.Omission.retained_ratio ~constants e.text = 1.0);
+    check bool' "percent formatting used" true
+      (Ekg_llm.Omission.contains_phrase e.text "83%");
+    check bool' "joint sum verbalized" true
+      (Ekg_llm.Omission.contains_phrase e.text "57%")
+  | Ok _ -> Alcotest.fail "expected one explanation"
+
+(* --- stress test ----------------------------------------------------------------- *)
+
+let test_stress_program_valid () =
+  check bool' "two-channel validates" true (Program.validate Stress_test.program = Ok ());
+  check bool' "simple validates" true
+    (Program.validate Stress_test.simple_program = Ok ())
+
+let test_stress_scenario_cascade () =
+  let res = run_app Stress_test.program Stress_test.scenario_edb in
+  List.iter
+    (fun name ->
+      check bool' (name ^ " defaults") true
+        (holds res.db (Printf.sprintf {|default("%s")|} name)))
+    [ "A"; "B"; "C"; "F" ];
+  (* D and E survive: E's 1M exposure is under its 3M capital *)
+  check bool' "D survives" false (holds res.db {|default("D")|});
+  check bool' "E survives" false (holds res.db {|default("E")|})
+
+let test_stress_channels_tracked () =
+  let res = run_app Stress_test.program Stress_test.scenario_edb in
+  check bool' "long channel risk on B" true (holds res.db {|risk("B", X, "long")|});
+  check bool' "short channel risk on C" true (holds res.db {|risk("C", X, "short")|});
+  (* F is at risk on both channels *)
+  check bool' "F long risk" true (holds res.db {|risk("F", X, "long")|});
+  check bool' "F short risk" true (holds res.db {|risk("F", X, "short")|})
+
+let test_stress_default_f_explanation () =
+  let pipeline = Stress_test.pipeline () in
+  let res =
+    match Pipeline.reason pipeline Stress_test.scenario_edb with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "reason: %s" e
+  in
+  match Pipeline.explain_query pipeline res {|default("F")|} with
+  | Error e -> Alcotest.fail e
+  | Ok [ e ] ->
+    let constants = Verbalizer.constant_strings Stress_test.glossary e.proof in
+    check bool' "report is complete" true
+      (Ekg_llm.Omission.retained_ratio ~constants e.text = 1.0);
+    (* the §5 narrative's constituents *)
+    List.iter
+      (fun phrase ->
+        check bool' ("mentions " ^ phrase) true
+          (Ekg_llm.Omission.contains_phrase e.text phrase))
+      [
+        "14 million euros";
+        "7 million euros";
+        "9 million euros";
+        "2 million euros";
+        "8 million euros";
+      ]
+  | Ok _ -> Alcotest.fail "expected one explanation"
+
+(* --- close link --------------------------------------------------------------------- *)
+
+let test_close_link_scenario () =
+  let res = run_app Close_link.program Close_link.scenario_edb in
+  check bool' "direct 50% link" true (holds res.db {|closeLink("HoldCo", "MidCo")|});
+  check bool' "chained 30% link" true (holds res.db {|closeLink("HoldCo", "OpCo")|});
+  check bool' "direct 25% link" true (holds res.db {|closeLink("HoldCo", "SideCo")|});
+  check bool' "sub-threshold chain rejected" false
+    (holds res.db {|closeLink("SideCo", "OpCo")|});
+  check bool' "15% direct rejected" false (holds res.db {|closeLink("OpCo", "TinyCo")|})
+
+let test_close_link_product_values () =
+  let res = run_app Close_link.program Close_link.scenario_edb in
+  (* 0.5 * 0.6 = 0.3 integrated participation *)
+  check bool' "integrated participation computed" true
+    (holds res.db {|pathOwn("HoldCo", "OpCo", 0.3)|})
+
+let test_close_link_explanation () =
+  let pipeline = Close_link.pipeline () in
+  let res =
+    match Pipeline.reason pipeline Close_link.scenario_edb with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "reason: %s" e
+  in
+  match Pipeline.explain_query pipeline res {|closeLink("HoldCo", "OpCo")|} with
+  | Error e -> Alcotest.fail e
+  | Ok [ e ] ->
+    check int' "no ad-hoc fallbacks" 0 e.mapping.fallbacks;
+    check bool' "mentions the product" true
+      (Ekg_llm.Omission.contains_phrase e.text "the product of 50% and 60%")
+  | Ok _ -> Alcotest.fail "expected one explanation"
+
+(* --- golden power -------------------------------------------------------------------- *)
+
+let test_golden_power_program_valid () =
+  check bool' "validates" true (Program.validate Golden_power.program = Ok ());
+  check bool' "uses negation" true (Program.uses_negation Golden_power.program);
+  check bool' "not recursive" true (not (Program.is_recursive Golden_power.program))
+
+let test_golden_power_scenario () =
+  let res = run_app Golden_power.program Golden_power.scenario_edb in
+  (* the creeping domestic takeover and the foreign acquisition are blocked *)
+  check bool' "domestic creeping blocked" true
+    (holds res.db {|blockedDeal("DomesticFund", "PowerGridCo")|});
+  check bool' "foreign acquisition blocked" true
+    (holds res.db {|blockedDeal("OverseasHolding", "DefenseTechCo")|});
+  (* the vetted deal proceeds; the non-strategic one never triggers *)
+  check bool' "vetted deal not blocked" false
+    (holds res.db {|blockedDeal("ForeignBank", "TelecomCo")|});
+  check bool' "non-strategic trade ignored" false
+    (holds res.db {|goldenPower("RetailFund", "BakeryChain")|});
+  (* EU buyer under 50% does not trigger the foreign-buyer rule *)
+  check bool' "vetted deal did trigger golden power" true
+    (holds res.db {|goldenPower("ForeignBank", "TelecomCo")|})
+
+let test_golden_power_constraint () =
+  match Chase.run Golden_power.program Golden_power.inconsistent_edb with
+  | Error msg ->
+    check bool' "constraint c1 named" true (Ekg_kernel.Textutil.contains_word msg "c1")
+  | Ok _ -> Alcotest.fail "spurious vetting accepted"
+
+let test_golden_power_explanation () =
+  let pipeline = Golden_power.pipeline () in
+  let res =
+    match Pipeline.reason pipeline Golden_power.scenario_edb with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "reason: %s" e
+  in
+  match
+    Pipeline.explain_query pipeline res {|blockedDeal("DomesticFund", "PowerGridCo")|}
+  with
+  | Error e -> Alcotest.fail e
+  | Ok [ e ] ->
+    let constants = Verbalizer.constant_strings Golden_power.glossary e.proof in
+    check bool' "complete" true
+      (Ekg_llm.Omission.retained_ratio ~constants e.text = 1.0);
+    check bool' "negation verbalized" true
+      (Ekg_llm.Omission.contains_phrase e.text "it is not the case that");
+    check bool' "arithmetic verbalized" true
+      (Ekg_llm.Omission.contains_phrase e.text "the sum of 15% and 40%")
+  | Ok _ -> Alcotest.fail "expected one explanation"
+
+(* --- structural analysis of the bundled apps matches Figure 10 ---------------------- *)
+
+let test_apps_reasoning_path_counts () =
+  let count_base paths = List.length (List.filter Reasoning_path.is_base paths) in
+  let cc = Reasoning_path.analyze Company_control.program in
+  check int' "company control: 5 simple paths" 5 (count_base cc.simple_paths);
+  check int' "company control: 1 cycle" 1 (count_base cc.cycles);
+  let st = Reasoning_path.analyze Stress_test.program in
+  check int' "stress test: 4 simple paths" 4 (count_base st.simple_paths);
+  check int' "stress test: 3 cycles" 3 (count_base st.cycles);
+  let s = Reasoning_path.analyze Stress_test.simple_program in
+  check int' "example 4.3: 2 simple paths" 2 (count_base s.simple_paths);
+  check int' "example 4.3: 1 cycle" 1 (count_base s.cycles)
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "company-control",
+        [
+          Alcotest.test_case "program valid" `Quick test_control_program_valid;
+          Alcotest.test_case "scenario" `Quick test_control_scenario;
+          Alcotest.test_case "figure 15" `Quick test_control_figure_15;
+          Alcotest.test_case "explanation complete" `Quick
+            test_control_explanation_complete;
+        ] );
+      ( "stress-test",
+        [
+          Alcotest.test_case "programs valid" `Quick test_stress_program_valid;
+          Alcotest.test_case "cascade" `Quick test_stress_scenario_cascade;
+          Alcotest.test_case "channels tracked" `Quick test_stress_channels_tracked;
+          Alcotest.test_case "default F explanation" `Quick
+            test_stress_default_f_explanation;
+        ] );
+      ( "close-link",
+        [
+          Alcotest.test_case "scenario" `Quick test_close_link_scenario;
+          Alcotest.test_case "product values" `Quick test_close_link_product_values;
+          Alcotest.test_case "explanation" `Quick test_close_link_explanation;
+        ] );
+      ( "golden-power",
+        [
+          Alcotest.test_case "program valid" `Quick test_golden_power_program_valid;
+          Alcotest.test_case "scenario" `Quick test_golden_power_scenario;
+          Alcotest.test_case "constraint" `Quick test_golden_power_constraint;
+          Alcotest.test_case "explanation" `Quick test_golden_power_explanation;
+        ] );
+      ( "structural",
+        [ Alcotest.test_case "path counts (Fig. 10)" `Quick test_apps_reasoning_path_counts ]
+      );
+    ]

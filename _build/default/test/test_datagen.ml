@@ -1,0 +1,187 @@
+(* Tests for the synthetic data generators: proof-length targeting (the
+   x-axes of Figures 17 and 18 depend on it) and well-formedness. *)
+
+open Ekg_kernel
+open Ekg_engine
+open Ekg_apps
+open Ekg_datagen
+
+let check = Alcotest.check
+let bool' = Alcotest.bool
+let int' = Alcotest.int
+
+let proof_length program edb goal =
+  match Chase.run program edb with
+  | Error e -> Alcotest.failf "chase: %s" e
+  | Ok res -> (
+    match Query.ask res.db goal with
+    | (f, _) :: _ -> (
+      match Proof.of_fact res.db res.prov f with
+      | Some p -> Proof.length p
+      | None -> Alcotest.fail "goal fact has no proof")
+    | [] -> Alcotest.failf "goal %s not derived" (Ekg_datalog.Atom.to_string goal))
+
+let test_owner_chain_lengths () =
+  let rng = Prng.create 11 in
+  List.iter
+    (fun hops ->
+      let inst = Owners.chain rng ~hops in
+      check int'
+        (Printf.sprintf "chain of %d hops has proof length %d" hops hops)
+        hops
+        (proof_length Company_control.program inst.edb inst.goal))
+    [ 1; 2; 5; 10; 21 ]
+
+let test_owner_chain_variety () =
+  let rng = Prng.create 12 in
+  let a = Owners.chain rng ~hops:3 in
+  let b = Owners.chain rng ~hops:3 in
+  check bool' "distinct entities across samples" true (a.entities <> b.entities)
+
+let test_owner_aggregated_multi_contributor () =
+  let rng = Prng.create 13 in
+  let inst = Owners.aggregated rng ~hops:3 ~fanout:3 in
+  match Chase.run Company_control.program inst.edb with
+  | Error e -> Alcotest.failf "chase: %s" e
+  | Ok res -> (
+    match Query.ask res.db inst.goal with
+    | (f, _) :: _ -> (
+      match Proof.of_fact res.db res.prov f with
+      | Some p ->
+        check bool' "final step aggregates several contributors" true
+          (List.exists (fun (s : Proof.step) -> s.multi) p.steps)
+      | None -> Alcotest.fail "no proof")
+    | [] -> Alcotest.fail "joint control not derived")
+
+let test_owner_random_network_normalized () =
+  let rng = Prng.create 14 in
+  let edb = Owners.random_network rng ~entities:12 ~density:0.4 in
+  (* no entity may be over-owned *)
+  let totals = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Ekg_datalog.Atom.t) ->
+      if a.pred = "own" then begin
+        match a.args with
+        | [ _; Ekg_datalog.Term.Cst y; Ekg_datalog.Term.Cst s ] ->
+          let key = Value.to_display y in
+          let cur = Option.value ~default:0. (Hashtbl.find_opt totals key) in
+          Hashtbl.replace totals key (cur +. Value.as_float s)
+        | _ -> ()
+      end)
+    edb;
+  Hashtbl.iter
+    (fun y total ->
+      if total > 1.0 +. 1e-9 then Alcotest.failf "%s is over-owned: %f" y total)
+    totals;
+  (* the network must still run through the chase *)
+  match Chase.run Company_control.program edb with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "random network does not chase: %s" e
+
+let test_simple_cascade_lengths () =
+  let rng = Prng.create 15 in
+  List.iter
+    (fun depth ->
+      let inst = Debts.simple_cascade rng ~depth in
+      check int'
+        (Printf.sprintf "simple cascade depth %d" depth)
+        ((2 * depth) + 1)
+        (proof_length Stress_test.simple_program inst.edb inst.goal))
+    [ 0; 1; 2; 4; 8 ]
+
+let test_dual_cascade_lengths () =
+  let rng = Prng.create 16 in
+  List.iter
+    (fun depth ->
+      let inst = Debts.dual_cascade rng ~depth in
+      check int'
+        (Printf.sprintf "dual cascade depth %d" depth)
+        ((3 * depth) + 1)
+        (proof_length Stress_test.program inst.edb inst.goal))
+    [ 0; 1; 3; 7 ]
+
+let test_single_channel_lengths () =
+  let rng = Prng.create 17 in
+  List.iter
+    (fun long ->
+      let inst = Debts.single_channel_cascade rng ~depth:3 ~long in
+      check int'
+        (Printf.sprintf "single channel (long=%b)" long)
+        7
+        (proof_length Stress_test.program inst.edb inst.goal))
+    [ true; false ]
+
+let test_multi_debt_cascade () =
+  let rng = Prng.create 18 in
+  let inst = Debts.multi_debt_cascade rng ~depth:2 ~debts_per_hop:3 in
+  match Chase.run Stress_test.simple_program inst.edb with
+  | Error e -> Alcotest.failf "chase: %s" e
+  | Ok res -> (
+    match Query.ask res.db inst.goal with
+    | (f, _) :: _ ->
+      let p = Option.get (Proof.of_fact res.db res.prov f) in
+      check int' "length unchanged by extra debts" 5 (Proof.length p);
+      check bool' "aggregation steps are multi" true
+        (List.exists (fun (s : Proof.step) -> s.multi) p.steps)
+    | [] -> Alcotest.fail "cascade target not derived")
+
+let test_generators_deterministic () =
+  let a = Debts.dual_cascade (Prng.create 99) ~depth:3 in
+  let b = Debts.dual_cascade (Prng.create 99) ~depth:3 in
+  check bool' "same seed, same instance" true (a.edb = b.edb)
+
+let test_generator_guards () =
+  Alcotest.check_raises "chain hops >= 1"
+    (Invalid_argument "Owners.chain: hops must be >= 1") (fun () ->
+      ignore (Owners.chain (Prng.create 1) ~hops:0));
+  Alcotest.check_raises "fanout >= 2"
+    (Invalid_argument "Owners.aggregated: fanout must be >= 2") (fun () ->
+      ignore (Owners.aggregated (Prng.create 1) ~hops:3 ~fanout:1))
+
+let () =
+  Alcotest.run "datagen"
+    [
+      ( "owners",
+        [
+          Alcotest.test_case "chain lengths" `Quick test_owner_chain_lengths;
+          Alcotest.test_case "variety" `Quick test_owner_chain_variety;
+          Alcotest.test_case "aggregated multi-contributor" `Quick
+            test_owner_aggregated_multi_contributor;
+          Alcotest.test_case "random network normalized" `Quick
+            test_owner_random_network_normalized;
+        ] );
+      ( "debts",
+        [
+          Alcotest.test_case "simple cascade lengths" `Quick test_simple_cascade_lengths;
+          Alcotest.test_case "dual cascade lengths" `Quick test_dual_cascade_lengths;
+          Alcotest.test_case "single channel lengths" `Quick test_single_channel_lengths;
+          Alcotest.test_case "multi-debt cascade" `Quick test_multi_debt_cascade;
+        ] );
+      ( "participations",
+        [
+          Alcotest.test_case "chain lengths" `Quick (fun () ->
+              let rng = Prng.create 19 in
+              List.iter
+                (fun hops ->
+                  let inst = Participations.chain rng ~hops in
+                  check int'
+                    (Printf.sprintf "chain of %d hops" hops)
+                    (hops + 1)
+                    (proof_length Close_link.program inst.edb inst.goal))
+                [ 1; 2; 4; 5 ]);
+          Alcotest.test_case "noise does not break the link" `Quick (fun () ->
+              let rng = Prng.create 20 in
+              let inst = Participations.with_noise rng ~hops:3 ~noise_edges:5 in
+              check int' "length unchanged" 4
+                (proof_length Close_link.program inst.edb inst.goal));
+          Alcotest.test_case "too-deep chain rejected" `Quick (fun () ->
+              match Participations.chain (Prng.create 21) ~hops:200 with
+              | exception Invalid_argument _ -> ()
+              | _ -> Alcotest.fail "200-hop chain needs shares above the 99% cap");
+        ] );
+      ( "hygiene",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generators_deterministic;
+          Alcotest.test_case "guards" `Quick test_generator_guards;
+        ] );
+    ]

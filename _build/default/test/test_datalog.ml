@@ -1,0 +1,314 @@
+(* Tests for the Datalog substrate: terms, atoms, expressions, rules,
+   programs and the Vadalog-style parser (including round-trips). *)
+
+open Ekg_kernel
+open Ekg_datalog
+
+let check = Alcotest.check
+let bool' = Alcotest.bool
+let int' = Alcotest.int
+let string' = Alcotest.string
+
+let parse_rule_exn src =
+  match Parser.parse_rule src with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "parse_rule %S: %s" src e
+
+let parse_exn src =
+  match Parser.parse src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse: %s" e
+
+(* --- terms and atoms ----------------------------------------------------- *)
+
+let test_term_vars_order () =
+  let terms = [ Term.var "X"; Term.int 1; Term.var "Y"; Term.var "X" ] in
+  check bool' "distinct vars, first occurrence order" true (Term.vars terms = [ "X"; "Y" ])
+
+let test_atom_ground () =
+  let a = Atom.make "p" [ Term.int 1; Term.str "a" ] in
+  check bool' "ground" true (Atom.is_ground a);
+  let b = Atom.make "p" [ Term.var "X" ] in
+  check bool' "non-ground" false (Atom.is_ground b);
+  check string' "rendering" "p(1, \"a\")" (Atom.to_string a)
+
+(* --- expressions --------------------------------------------------------- *)
+
+let test_expr_eval () =
+  let lookup = function
+    | "X" -> Some (Value.int 4)
+    | "Y" -> Some (Value.num 0.5)
+    | _ -> None
+  in
+  let e = Expr.Mul (Expr.var "X", Expr.Add (Expr.var "Y", Expr.cst (Value.num 1.5))) in
+  check bool' "4 * (0.5 + 1.5) = 8" true (Expr.eval lookup e = Some (Value.num 8.0));
+  check bool' "unbound variable" true (Expr.eval lookup (Expr.var "Z") = None)
+
+let test_expr_cmp () =
+  let lookup = function "X" -> Some (Value.int 3) | _ -> None in
+  let cmp op = { Expr.op; lhs = Expr.var "X"; rhs = Expr.cst (Value.num 3.0) } in
+  check bool' "3 == 3.0" true (Expr.eval_cmp lookup (cmp Expr.Eq) = Some true);
+  check bool' "3 > 3.0 false" true (Expr.eval_cmp lookup (cmp Expr.Gt) = Some false);
+  check bool' "unbound gives None" true
+    (Expr.eval_cmp (fun _ -> None) (cmp Expr.Lt) = None)
+
+let test_expr_to_string_precedence () =
+  let e = Expr.Mul (Expr.Add (Expr.var "A", Expr.var "B"), Expr.var "C") in
+  check string' "parenthesized" "(A + B) * C" (Expr.to_string e)
+
+(* --- rules ---------------------------------------------------------------- *)
+
+let test_rule_accessors () =
+  let r =
+    parse_rule_exn "beta: default(D), debts(D, C, V), E = sum(V) -> risk(C, E)."
+  in
+  check string' "id" "beta" r.id;
+  check string' "head pred" "risk" (Rule.head_pred r);
+  check bool' "body preds" true (Rule.body_preds r = [ "default"; "debts" ]);
+  check bool' "has aggregation" true (Rule.has_agg r);
+  check bool' "group vars" true (Rule.group_vars r = [ "C" ]);
+  check bool' "no existentials" true (Rule.existential_vars r = []);
+  check bool' "bound vars include result" true (List.mem "E" (Rule.bound_vars r))
+
+let test_rule_existentials () =
+  let r = parse_rule_exn "person(X) -> hasParent(X, Y)." in
+  check bool' "Y is existential" true (Rule.existential_vars r = [ "Y" ])
+
+let test_rule_validation () =
+  let r = parse_rule_exn "p(X), Y > 2 -> q(X)." in
+  (match Rule.validate r with
+  | Error msg -> check bool' "mentions unbound var" true (Textutil.contains_word msg "Y")
+  | Ok () -> Alcotest.fail "unbound condition variable accepted");
+  let r2 = parse_rule_exn "p(X), not q(X, Z) -> r(X)." in
+  (match Rule.validate r2 with
+  | Error msg -> check bool' "unsafe negation rejected" true (Textutil.contains_word msg "Z")
+  | Ok () -> Alcotest.fail "unsafe negation accepted");
+  let ok = parse_rule_exn "p(X), q(X, Y), X > Y -> r(X, Y)." in
+  check bool' "safe rule validates" true (Rule.validate ok = Ok ())
+
+let test_rule_to_string_roundtrip () =
+  let srcs =
+    [
+      "alpha: shock(F, S), hasCapital(F, P1), S > P1 -> default(F).";
+      "beta: default(D), debts(D, C, V), E = sum(V) -> risk(C, E).";
+      "cl2: pathOwn(X, Z, W1), own(Z, Y, W2), W = W1 * W2, W >= 0.01 -> pathOwn(X, Y, W).";
+      "neg: p(X), not q(X) -> r(X).";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let r = parse_rule_exn src in
+      let r' = parse_rule_exn (Rule.to_string r) in
+      check bool' ("round-trip: " ^ src) true (Rule.to_string r = Rule.to_string r'))
+    srcs
+
+(* --- programs -------------------------------------------------------------- *)
+
+let company_control_src =
+  {|
+s1: own(X, Y, S), S > 0.5 -> control(X, Y).
+s2: company(X) -> control(X, X).
+s3: control(X, Z), own(Z, Y, S), TS = sum(S), TS > 0.5 -> control(X, Y).
+@goal(control).
+|}
+
+let test_program_classification () =
+  let { Parser.program; _ } = parse_exn company_control_src in
+  check bool' "edb preds" true (Program.edb_preds program = [ "company"; "own" ]);
+  check bool' "idb preds" true (Program.idb_preds program = [ "control" ]);
+  check bool' "recursive" true (Program.is_recursive program);
+  check bool' "uses aggregation" true (Program.uses_aggregation program);
+  check bool' "no negation" true (not (Program.uses_negation program));
+  check string' "goal" "control" program.goal;
+  check int' "rules deriving control" 3
+    (List.length (Program.rules_deriving program "control"))
+
+let test_program_default_goal () =
+  let { Parser.program; _ } = parse_exn "p(X) -> q(X). q(X) -> r(X)." in
+  check string' "defaults to last head" "r" program.goal
+
+let test_program_auto_labels () =
+  let { Parser.program; _ } = parse_exn "p(X) -> q(X). q(X) -> r(X)." in
+  check bool' "auto labels r1 r2" true (Program.rule_ids program = [ "r1"; "r2" ])
+
+let test_program_arity_mismatch () =
+  match Parser.parse "p(X) -> q(X). p(X, Y) -> r(X)." with
+  | Error msg -> check bool' "arity error mentions p" true (Textutil.contains_word msg "p")
+  | Ok _ -> Alcotest.fail "inconsistent arity accepted"
+
+let test_program_duplicate_labels () =
+  match Parser.parse "a: p(X) -> q(X). a: q(X) -> r(X)." with
+  | Error msg -> check bool' "duplicate label" true (Textutil.contains_word msg "duplicate")
+  | Ok _ -> Alcotest.fail "duplicate labels accepted"
+
+(* --- parser ------------------------------------------------------------------ *)
+
+let test_parser_facts () =
+  let { Parser.facts; _ } = parse_exn {|p(X) -> q(X). p("a"). p("b"). q("seed").|} in
+  check int' "three facts" 3 (List.length facts)
+
+let test_parser_head_first_form () =
+  let r1 = parse_rule_exn "q(X) :- p(X), X > 2." in
+  let r2 = parse_rule_exn "p(X), X > 2 -> q(X)." in
+  check string' "both forms agree" (Rule.to_string r1) (Rule.to_string r2)
+
+let test_parser_comments_and_whitespace () =
+  let { Parser.program; _ } =
+    parse_exn "% comment\n  p(X) -> q(X). # another\n\n@goal(q)."
+  in
+  check int' "one rule" 1 (List.length program.rules)
+
+let test_parser_negative_numbers () =
+  let { Parser.facts; _ } = parse_exn "p(X) -> q(X). p(-3). p(-2.5)." in
+  check int' "negative constants" 2 (List.length facts)
+
+let test_parser_errors_positioned () =
+  (match Parser.parse "p(X -> q(X)." with
+  | Error msg -> check bool' "mentions line" true (Textutil.contains_word msg "line")
+  | Ok _ -> Alcotest.fail "unbalanced paren accepted");
+  match Parser.parse "p(X) -> q(X). p(\"unterminated." with
+  | Error msg ->
+    check bool' "unterminated string reported" true
+      (Textutil.contains_word msg "unterminated")
+  | Ok _ -> Alcotest.fail "unterminated string accepted"
+
+let test_parser_aggregations () =
+  List.iter
+    (fun (src, expected) ->
+      let r = parse_rule_exn src in
+      match r.agg with
+      | Some a -> check bool' src true (a.func = expected)
+      | None -> Alcotest.failf "no aggregation parsed in %s" src)
+    [
+      ("p(X, V), S = sum(V) -> q(X, S).", Rule.Sum);
+      ("p(X, V), S = msum(V) -> q(X, S).", Rule.Sum);
+      ("p(X, V), S = prod(V) -> q(X, S).", Rule.Prod);
+      ("p(X, V), S = min(V) -> q(X, S).", Rule.Min);
+      ("p(X, V), S = max(V) -> q(X, S).", Rule.Max);
+      ("p(X, V), S = count(V) -> q(X, S).", Rule.Count);
+    ]
+
+let test_parser_rejects_double_agg () =
+  match Parser.parse_rule "p(X, V), S = sum(V), T = max(V) -> q(X, S, T)." with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "two aggregations accepted"
+
+let test_parse_atom () =
+  (match Parser.parse_atom {|control("B", "D")|} with
+  | Ok a ->
+    check string' "pred" "control" a.pred;
+    check int' "arity" 2 (Atom.arity a)
+  | Error e -> Alcotest.fail e);
+  match Parser.parse_atom "control(X, \"D\")" with
+  | Ok a -> check bool' "pattern with var" true (not (Atom.is_ground a))
+  | Error e -> Alcotest.fail e
+
+(* program generator for round-trip property: arity is encoded in the
+   predicate name so generated programs always validate *)
+let program_gen =
+  let open QCheck2.Gen in
+  let var = oneofl [ "X"; "Y"; "Z"; "W" ] in
+  let pred = oneofl [ "p"; "q"; "r"; "s" ] in
+  let atom =
+    let* p = pred in
+    let* args = list_size (int_range 1 3) (map Term.var var) in
+    return (Atom.make (Printf.sprintf "%s%d" p (List.length args)) args)
+  in
+  let rule =
+    let* body = list_size (int_range 1 3) atom in
+    let* head_pred = oneofl [ "t"; "u" ] in
+    let body_vars = List.concat_map Atom.vars body in
+    let head_args =
+      match body_vars with
+      | [] -> [ Term.var "X" ]
+      | v :: _ -> [ Term.var v ]
+    in
+    return
+      (Rule.make
+         ~body:(List.map (fun a -> Rule.Pos a) body)
+         ~head:(Atom.make (head_pred ^ "1") head_args)
+         ())
+  in
+  list_size (int_range 1 4) rule
+
+let prop_program_roundtrip =
+  QCheck2.Test.make ~name:"program print/parse round-trip" ~count:200 program_gen
+    (fun rules ->
+      let program = Program.make rules in
+      match Parser.parse (Program.to_string program) with
+      | Ok { program = program'; _ } ->
+        Program.to_string program = Program.to_string program'
+      | Error _ -> false)
+
+(* --- substitutions ----------------------------------------------------------- *)
+
+let test_subst_merge () =
+  let s1 = Subst.of_list [ ("X", Value.int 1) ] in
+  let s2 = Subst.of_list [ ("Y", Value.int 2) ] in
+  let s3 = Subst.of_list [ ("X", Value.int 9) ] in
+  (match Subst.merge s1 s2 with
+  | Some m -> check int' "merged size" 2 (Subst.cardinal m)
+  | None -> Alcotest.fail "disjoint merge failed");
+  check bool' "conflict detected" true (Subst.merge s1 s3 = None)
+
+let test_subst_match_atom () =
+  let pattern = Atom.make "p" [ Term.var "X"; Term.str "k"; Term.var "X" ] in
+  let ok = [| Value.int 1; Value.str "k"; Value.int 1 |] in
+  let bad_const = [| Value.int 1; Value.str "other"; Value.int 1 |] in
+  let bad_join = [| Value.int 1; Value.str "k"; Value.int 2 |] in
+  check bool' "match binds" true (Subst.match_atom Subst.empty ~pattern ok <> None);
+  check bool' "constant mismatch" true
+    (Subst.match_atom Subst.empty ~pattern bad_const = None);
+  check bool' "join var mismatch" true
+    (Subst.match_atom Subst.empty ~pattern bad_join = None)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_program_roundtrip ]
+
+let () =
+  Alcotest.run "datalog"
+    [
+      ( "terms-atoms",
+        [
+          Alcotest.test_case "term vars order" `Quick test_term_vars_order;
+          Alcotest.test_case "atom groundness" `Quick test_atom_ground;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "eval" `Quick test_expr_eval;
+          Alcotest.test_case "comparisons" `Quick test_expr_cmp;
+          Alcotest.test_case "precedence printing" `Quick test_expr_to_string_precedence;
+        ] );
+      ( "rule",
+        [
+          Alcotest.test_case "accessors" `Quick test_rule_accessors;
+          Alcotest.test_case "existentials" `Quick test_rule_existentials;
+          Alcotest.test_case "validation" `Quick test_rule_validation;
+          Alcotest.test_case "print/parse round-trip" `Quick test_rule_to_string_roundtrip;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "classification" `Quick test_program_classification;
+          Alcotest.test_case "default goal" `Quick test_program_default_goal;
+          Alcotest.test_case "auto labels" `Quick test_program_auto_labels;
+          Alcotest.test_case "arity mismatch" `Quick test_program_arity_mismatch;
+          Alcotest.test_case "duplicate labels" `Quick test_program_duplicate_labels;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "facts" `Quick test_parser_facts;
+          Alcotest.test_case "head-first form" `Quick test_parser_head_first_form;
+          Alcotest.test_case "comments" `Quick test_parser_comments_and_whitespace;
+          Alcotest.test_case "negative numbers" `Quick test_parser_negative_numbers;
+          Alcotest.test_case "errors positioned" `Quick test_parser_errors_positioned;
+          Alcotest.test_case "aggregation functions" `Quick test_parser_aggregations;
+          Alcotest.test_case "double aggregation rejected" `Quick
+            test_parser_rejects_double_agg;
+          Alcotest.test_case "parse_atom" `Quick test_parse_atom;
+        ] );
+      ( "subst",
+        [
+          Alcotest.test_case "merge" `Quick test_subst_merge;
+          Alcotest.test_case "match atom" `Quick test_subst_match_atom;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,1004 @@
+(* Tests for the chase engine: fact store, body matching, fixpoint
+   semantics (set semantics, monotonic aggregation with supersession,
+   stratified negation, existential heads with isomorphism preemption),
+   provenance well-formedness and proof extraction. *)
+
+open Ekg_kernel
+open Ekg_datalog
+open Ekg_engine
+
+let check = Alcotest.check
+let bool' = Alcotest.bool
+let int' = Alcotest.int
+let string' = Alcotest.string
+
+let parse_exn src =
+  match Parser.parse src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let run_exn src =
+  let { Parser.program; facts } = parse_exn src in
+  match Chase.run program facts with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "chase: %s" e
+
+let actives res pred =
+  Database.active res.Chase.db pred |> List.map Fact.to_string |> List.sort String.compare
+
+(* --- database -------------------------------------------------------------- *)
+
+let test_database_dedup () =
+  let db = Database.create () in
+  let t = [| Value.str "a"; Value.int 1 |] in
+  (match Database.add db "p" t with
+  | `Added f -> check int' "first id" 0 f.id
+  | `Existing _ -> Alcotest.fail "fresh tuple reported existing");
+  (match Database.add db "p" [| Value.str "a"; Value.int 1 |] with
+  | `Existing f -> check int' "same id" 0 f.id
+  | `Added _ -> Alcotest.fail "duplicate tuple added twice");
+  check int' "size counts distinct tuples" 1 (Database.size db)
+
+let test_database_numeric_key_equality () =
+  let db = Database.create () in
+  ignore (Database.add db "p" [| Value.int 2 |]);
+  match Database.add db "p" [| Value.num 2.0 |] with
+  | `Existing _ -> ()
+  | `Added _ -> Alcotest.fail "Int 2 and Num 2.0 should be the same tuple"
+
+let test_database_deactivation () =
+  let db = Database.create () in
+  let f = match Database.add db "p" [| Value.int 1 |] with `Added f -> f | `Existing f -> f in
+  check int' "active before" 1 (List.length (Database.active db "p"));
+  Database.deactivate db f.id;
+  check int' "inactive after" 0 (List.length (Database.active db "p"));
+  check int' "still addressable" f.id (Database.fact db f.id).id;
+  check int' "still listed among all" 1 (List.length (Database.all_of_pred db "p"))
+
+let test_database_matching () =
+  let db = Database.create () in
+  ignore (Database.add db "own" [| Value.str "a"; Value.str "b"; Value.num 0.6 |]);
+  ignore (Database.add db "own" [| Value.str "a"; Value.str "c"; Value.num 0.3 |]);
+  let pattern = Atom.make "own" [ Term.str "a"; Term.var "Y"; Term.var "S" ] in
+  check int' "two matches" 2 (List.length (Database.matching db pattern Subst.empty));
+  let bound = Subst.bind Subst.empty "Y" (Value.str "b") in
+  check int' "one match under binding" 1 (List.length (Database.matching db pattern bound))
+
+(* --- plain chase ------------------------------------------------------------- *)
+
+let test_chase_transitive_closure () =
+  let res =
+    run_exn
+      {|
+e(X, Y) -> path(X, Y).
+path(X, Z), e(Z, Y) -> path(X, Y).
+@goal(path).
+e("a", "b"). e("b", "c"). e("c", "d").
+|}
+  in
+  check int' "six paths" 6 (List.length (Database.active res.db "path"))
+
+let test_chase_set_semantics () =
+  let res =
+    run_exn
+      {|
+e(X, Y) -> conn(X, Y).
+e(Y, X) -> conn(X, Y).
+@goal(conn).
+e("a", "b"). e("b", "a").
+|}
+  in
+  (* conn(a,b) and conn(b,a), each derivable twice, stored once *)
+  check int' "no duplicates" 2 (List.length (Database.active res.db "conn"))
+
+let test_chase_joins_and_conditions () =
+  let res =
+    run_exn
+      {|
+own(X, Y, S), S > 0.5 -> majority(X, Y).
+@goal(majority).
+own("a", "b", 0.6). own("a", "c", 0.5). own("b", "c", 0.51).
+|}
+  in
+  check bool' "only strict majorities" true
+    (actives res "majority" = [ {|majority("a", "b")|}; {|majority("b", "c")|} ])
+
+let test_chase_arithmetic_assignment () =
+  let res =
+    run_exn
+      {|
+pair(X, A, B), S = A + B * 2 -> total(X, S).
+@goal(total).
+pair("k", 1, 3).
+|}
+  in
+  check bool' "1 + 3*2 = 7" true (actives res "total" = [ {|total("k", 7)|} ])
+
+(* --- aggregation --------------------------------------------------------------- *)
+
+let test_chase_sum_groups () =
+  let res =
+    run_exn
+      {|
+sale(Shop, Amount), T = sum(Amount) -> revenue(Shop, T).
+@goal(revenue).
+sale("x", 10). sale("x", 20). sale("y", 5).
+|}
+  in
+  check bool' "grouped sums" true
+    (actives res "revenue" = [ {|revenue("x", 30)|}; {|revenue("y", 5)|} ])
+
+let test_chase_agg_functions () =
+  let res =
+    run_exn
+      {|
+m(K, V), R = max(V) -> maxv(K, R).
+m(K, V), R = min(V) -> minv(K, R).
+m(K, V), R = count(V) -> cnt(K, R).
+m(K, V), R = prod(V) -> prd(K, R).
+@goal(maxv).
+m("k", 2). m("k", 3). m("k", 4).
+|}
+  in
+  check bool' "max" true (actives res "maxv" = [ {|maxv("k", 4)|} ]);
+  check bool' "min" true (actives res "minv" = [ {|minv("k", 2)|} ]);
+  check bool' "count" true (actives res "cnt" = [ {|cnt("k", 3)|} ]);
+  check bool' "prod" true (actives res "prd" = [ {|prd("k", 24)|} ])
+
+let test_chase_monotonic_aggregation_supersedes () =
+  (* C's exposure grows across rounds: first A's 3, then (once B has
+     defaulted) also B's 8.  Only the final aggregate stays active; the
+     stale one is superseded but kept for provenance. *)
+  let res =
+    run_exn
+      {|
+alpha: shock(F, S), hasCapital(F, P1), S > P1 -> default(F).
+beta:  default(D), debts(D, C, V), E = sum(V) -> risk(C, E).
+gamma: hasCapital(C, P2), risk(C, E), P2 < E -> default(C).
+@goal(default).
+shock("A", 6). hasCapital("A", 5). hasCapital("B", 2). hasCapital("C", 10).
+debts("A", "B", 7). debts("A", "C", 3). debts("B", "C", 8).
+|}
+  in
+  check bool' "all defaults derived" true
+    (actives res "default" = [ {|default("A")|}; {|default("B")|}; {|default("C")|} ]);
+  check bool' "only final aggregates active" true
+    (actives res "risk" = [ {|risk("B", 7)|}; {|risk("C", 11)|} ]);
+  (* the superseded risk("C", 3) is still in the chase graph *)
+  let all_risk = Database.all_of_pred res.db "risk" |> List.map Fact.to_string in
+  check bool' "stale aggregate kept for provenance" true
+    (List.mem {|risk("C", 3)|} all_risk);
+  let stale =
+    Database.all_of_pred res.db "risk"
+    |> List.find (fun f -> Fact.to_string f = {|risk("C", 3)|})
+  in
+  (match Provenance.superseded_by res.prov stale.id with
+  | Some newer ->
+    check string' "superseded by the full sum" {|risk("C", 11)|}
+      (Fact.to_string (Database.fact res.db newer))
+  | None -> Alcotest.fail "stale aggregate not marked superseded")
+
+let test_chase_agg_condition_on_result () =
+  let res =
+    run_exn
+      {|
+own(X, Y, S), TS = sum(S), TS > 0.5 -> jointly(X, Y).
+@goal(jointly).
+own("a", "t", 0.3). own("a", "t", 0.3). own("b", "t", 0.3).
+|}
+  in
+  (* the two 0.3 facts for "a" collapse under set semantics: 0.3 each *)
+  check bool' "set semantics dedups equal tuples" true (actives res "jointly" = [])
+
+let test_chase_agg_multi_contributors () =
+  let res =
+    run_exn
+      {|
+own(X, Y, S), TS = sum(S), TS > 0.5 -> jointly(X, Y).
+@goal(jointly).
+own("a", "t", 0.3). own("a", "t", 0.31). own("b", "t", 0.3).
+|}
+  in
+  check bool' "0.3 + 0.31 > 0.5" true (actives res "jointly" = [ {|jointly("a", "t")|} ]);
+  let f = List.hd (Database.active res.db "jointly") in
+  match Provenance.derivation res.prov f.id with
+  | Some d -> check int' "two contributors recorded" 2 (List.length d.contributors)
+  | None -> Alcotest.fail "no derivation for aggregated fact"
+
+let test_chase_agg_body_vars_in_deferred_condition () =
+  (* σ7-style: the deferred condition mentions a body variable (P)
+     constant across the group *)
+  let res =
+    run_exn
+      {|
+exposure(C, E), capital(C, P), L = sum(E), L > P -> fail(C).
+@goal(fail).
+exposure("b", 4). exposure("b", 3). capital("b", 6).
+exposure("s", 2). capital("s", 6).
+|}
+  in
+  check bool' "4+3 > 6 fails b only" true (actives res "fail" = [ {|fail("b")|} ])
+
+(* --- negation -------------------------------------------------------------------- *)
+
+let test_chase_stratified_negation () =
+  let res =
+    run_exn
+      {|
+node(X), not hasEdge(X) -> isolated(X).
+edge(X, Y) -> hasEdge(X).
+@goal(isolated).
+node("a"). node("b"). edge("a", "c").
+|}
+  in
+  check bool' "only b isolated" true (actives res "isolated" = [ {|isolated("b")|} ])
+
+let test_chase_three_strata () =
+  (* negation over negation: needs three strata *)
+  let res =
+    run_exn
+      {|
+edge(X, Y) -> linked(X).
+node(X), not linked(X) -> isolated(X).
+node(X), not isolated(X) -> connected(X).
+@goal(connected).
+node("a"). node("b"). edge("a", "z").
+|}
+  in
+  check bool' "a connected" true (actives res "connected" = [ {|connected("a")|} ]);
+  check bool' "b isolated" true (actives res "isolated" = [ {|isolated("b")|} ])
+
+let test_chase_unstratifiable_rejected () =
+  let { Parser.program; facts } =
+    parse_exn {|
+p(X), not q(X) -> q(X).
+@goal(q).
+p("a").
+|}
+  in
+  match Chase.run program facts with
+  | Error msg ->
+    check bool' "mentions stratification" true
+      (Textutil.contains_word msg "stratifiable"
+      || Textutil.contains_word msg "negation")
+  | Ok _ -> Alcotest.fail "recursion through negation accepted"
+
+(* --- existentials ------------------------------------------------------------------ *)
+
+let test_chase_existential_nulls () =
+  let res =
+    run_exn {|
+person(X) -> hasParent(X, Y).
+@goal(hasParent).
+person("a").
+|}
+  in
+  match Database.active res.db "hasParent" with
+  | [ f ] -> check bool' "second arg is a null" true (Value.is_null (Fact.arg f 1))
+  | other -> Alcotest.failf "expected one fact, got %d" (List.length other)
+
+let test_chase_isomorphism_preemption () =
+  (* the recursive existential would run forever without preemption *)
+  let res =
+    run_exn
+      {|
+person(X) -> hasParent(X, Y).
+hasParent(X, Y) -> person(Y).
+@goal(hasParent).
+person("a").
+|}
+  in
+  (* a gets a parent ν0; ν0 is a person; ν0's parent is pre-empted by…
+     itself being isomorphic to the existing hasParent(ν0, ·)? No: the
+     preemption is per non-existential prefix, so hasParent(ν0, ν1) is
+     blocked only when a hasParent(ν0, _) already exists.  The chain
+     stops after one extra level. *)
+  check bool' "terminates" true (res.rounds < 100);
+  check bool' "bounded materialization" true (Database.size res.db < 20)
+
+let test_chase_existential_satisfied_by_data () =
+  let res =
+    run_exn
+      {|
+person(X) -> hasParent(X, Y).
+@goal(hasParent).
+person("a"). hasParent("a", "b").
+|}
+  in
+  (* a parent is already known: the chase step is pre-empted *)
+  check int' "no null introduced" 1 (List.length (Database.active res.db "hasParent"))
+
+(* --- termination guard --------------------------------------------------------------- *)
+
+let test_chase_max_rounds () =
+  let { Parser.program; facts } =
+    parse_exn
+      {|
+n(X), Y = X + 1, Y < 1000000 -> n(Y).
+@goal(n).
+n(0).
+|}
+  in
+  match Chase.run ~max_rounds:50 program facts with
+  | Error msg -> check bool' "guard fired" true (Textutil.contains_word msg "50")
+  | Ok _ -> Alcotest.fail "expected max_rounds error"
+
+(* --- provenance and proofs ------------------------------------------------------------- *)
+
+let example_economy =
+  {|
+alpha: shock(F, S), hasCapital(F, P1), S > P1 -> default(F).
+beta:  default(D), debts(D, C, V), E = sum(V) -> risk(C, E).
+gamma: hasCapital(C, P2), risk(C, E), P2 < E -> default(C).
+@goal(default).
+shock("A", 6). hasCapital("A", 5). hasCapital("B", 2). hasCapital("C", 10).
+debts("A", "B", 7). debts("B", "C", 2). debts("B", "C", 9).
+|}
+
+let test_provenance_well_formed () =
+  let res = run_exn example_economy in
+  List.iter
+    (fun id ->
+      match Provenance.derivation res.prov id with
+      | None -> Alcotest.fail "derived id without derivation"
+      | Some d ->
+        (* premises must exist and precede the conclusion *)
+        List.iter
+          (fun p ->
+            if p >= id then Alcotest.failf "premise %d does not precede fact %d" p id)
+          d.premises)
+    (Provenance.derived_ids res.prov)
+
+let test_proof_tau_order () =
+  let res = run_exn example_economy in
+  let f =
+    match Query.parse_and_ask res.db {|default("C")|} with
+    | Ok ((f, _) :: _) -> f
+    | _ -> Alcotest.fail "default(C) missing"
+  in
+  match Proof.of_fact res.db res.prov f with
+  | None -> Alcotest.fail "no proof"
+  | Some proof ->
+    check bool' "tau = alpha beta gamma beta gamma" true
+      (Proof.rule_sequence proof = [ "alpha"; "beta"; "gamma"; "beta"; "gamma" ]);
+    check int' "five chase steps" 5 (Proof.length proof);
+    let multi_steps = List.filter (fun (s : Proof.step) -> s.multi) proof.steps in
+    check int' "exactly one multi-contributor step" 1 (List.length multi_steps);
+    (* premises precede conclusions in tau *)
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun (s : Proof.step) ->
+        List.iter
+          (fun (p : Fact.t) ->
+            match Provenance.derivation res.prov p.id with
+            | Some _ when not (Hashtbl.mem seen p.id) ->
+              Alcotest.fail "premise appears after its use"
+            | _ -> ())
+          s.premises;
+        Hashtbl.replace seen s.fact.id ())
+      proof.steps
+
+let test_proof_constants () =
+  let res = run_exn example_economy in
+  let f =
+    match Query.parse_and_ask res.db {|default("C")|} with
+    | Ok ((f, _) :: _) -> f
+    | _ -> Alcotest.fail "default(C) missing"
+  in
+  let proof = Option.get (Proof.of_fact res.db res.prov f) in
+  let constants = List.map Value.to_display (Proof.constants proof) in
+  List.iter
+    (fun c ->
+      check bool' ("proof mentions " ^ c) true (List.mem c constants))
+    [ "A"; "B"; "C"; "6"; "5"; "2"; "10"; "7"; "9"; "11" ]
+
+let test_alternative_derivations_recorded () =
+  (* the goal is derivable both through a chain and directly; the
+     direct derivation arrives later and is kept as an alternative *)
+  let res =
+    run_exn
+      {|
+chain1: a(X) -> m(X).
+chain2: m(X) -> goal(X).
+direct: a(X), z(X) -> goal(X).
+@goal(goal).
+a("k"). z("k").
+|}
+  in
+  let f =
+    match Query.parse_and_ask res.db {|goal("k")|} with
+    | Ok ((f, _) :: _) -> f
+    | _ -> Alcotest.fail "goal missing"
+  in
+  check bool' "at least two derivations" true
+    (List.length (Provenance.alternatives res.prov f.id) >= 2)
+
+let test_shortest_proof_selection () =
+  let res =
+    run_exn
+      {|
+chain1: a(X) -> m(X).
+chain2: m(X) -> goal(X).
+direct: a(X), z(X) -> goal(X).
+@goal(goal).
+a("k"). z("k").
+|}
+  in
+  let f =
+    match Query.parse_and_ask res.db {|goal("k")|} with
+    | Ok ((f, _) :: _) -> f
+    | _ -> Alcotest.fail "goal missing"
+  in
+  let primary = Option.get (Proof.of_fact res.db res.prov f) in
+  let shortest = Option.get (Proof.shortest_of_fact res.db res.prov f) in
+  check int' "primary follows the chain" 2 (Proof.length primary);
+  check int' "shortest is the direct derivation" 1 (Proof.length shortest);
+  check bool' "shortest uses the direct rule" true
+    (Proof.rule_sequence shortest = [ "direct" ])
+
+let test_shortest_equals_primary_when_unique () =
+  let res = run_exn example_economy in
+  let f =
+    match Query.parse_and_ask res.db {|default("C")|} with
+    | Ok ((f, _) :: _) -> f
+    | _ -> Alcotest.fail "default(C) missing"
+  in
+  let primary = Option.get (Proof.of_fact res.db res.prov f) in
+  let shortest = Option.get (Proof.shortest_of_fact res.db res.prov f) in
+  check bool' "identical when derivations are unique" true
+    (Proof.rule_sequence primary = Proof.rule_sequence shortest)
+
+let test_proof_truncate () =
+  let res = run_exn example_economy in
+  let f =
+    match Query.parse_and_ask res.db {|default("C")|} with
+    | Ok ((f, _) :: _) -> f
+    | _ -> Alcotest.fail "default(C) missing"
+  in
+  let proof = Option.get (Proof.of_fact res.db res.prov f) in
+  (* horizon 2: keep default(C) <- risk(C,11) <- default(B); default(B)'s
+     own derivation (risk(B,7), default(A)) falls outside *)
+  let truncated, assumed = Proof.truncate proof ~horizon:2 in
+  check bool' "kept the last two hops" true
+    (Proof.rule_sequence truncated = [ "beta"; "gamma" ]);
+  check bool' "default(B) is assumed" true
+    (List.exists (fun (a : Fact.t) -> Fact.to_string a = {|default("B")|}) assumed);
+  (* a wide horizon is the identity *)
+  let full, none = Proof.truncate proof ~horizon:100 in
+  check int' "identity beyond depth" (Proof.length proof) (Proof.length full);
+  check bool' "no assumptions" true (none = []);
+  Alcotest.check_raises "horizon must be positive"
+    (Invalid_argument "Proof.truncate: horizon must be >= 1") (fun () ->
+      ignore (Proof.truncate proof ~horizon:0))
+
+let test_proof_edb_fact_has_none () =
+  let res = run_exn example_economy in
+  let f =
+    match Query.parse_and_ask res.db {|shock("A", 6)|} with
+    | Ok ((f, _) :: _) -> f
+    | _ -> Alcotest.fail "shock missing"
+  in
+  check bool' "EDB facts have no proof" true (Proof.of_fact res.db res.prov f = None)
+
+(* --- negative constraints ------------------------------------------------------------ *)
+
+let test_constraint_violation () =
+  let { Parser.program; facts } =
+    parse_exn
+      {|
+r1: employee(X) -> person(X).
+c1: person(X), robot(X) -> false.
+@goal(person).
+employee("ada"). robot("ada").
+|}
+  in
+  match Chase.run program facts with
+  | Error msg ->
+    check bool' "names the constraint" true (Textutil.contains_word msg "c1");
+    check bool' "names a triggering fact" true (Textutil.contains_word msg "robot")
+  | Ok _ -> Alcotest.fail "violated constraint accepted"
+
+let test_constraint_satisfied () =
+  let { Parser.program; facts } =
+    parse_exn
+      {|
+r1: employee(X) -> person(X).
+c1: person(X), robot(X) -> false.
+@goal(person).
+employee("ada"). robot("hal").
+|}
+  in
+  match Chase.run program facts with
+  | Ok res -> check int' "person derived" 1 (List.length (Database.active res.db "person"))
+  | Error e -> Alcotest.failf "consistent instance rejected: %s" e
+
+let test_constraint_with_negation () =
+  let { Parser.program; facts } =
+    parse_exn
+      {|
+g: approved(X), not reviewed(X) -> false.
+r: request(X) -> pending(X).
+@goal(pending).
+request("a"). approved("a").
+|}
+  in
+  match Chase.run program facts with
+  | Error msg -> check bool' "negation-guarded constraint fires" true (Textutil.contains_word msg "g")
+  | Ok _ -> Alcotest.fail "unreviewed approval accepted"
+
+(* --- exports --------------------------------------------------------------------------- *)
+
+let test_export_proof_dot () =
+  let res = run_exn example_economy in
+  let f =
+    match Query.parse_and_ask res.db {|default("C")|} with
+    | Ok ((f, _) :: _) -> f
+    | _ -> Alcotest.fail "default(C) missing"
+  in
+  let proof = Option.get (Proof.of_fact res.db res.prov f) in
+  let dot = Export.proof_dot res.db proof in
+  check bool' "dot header" true (Textutil.starts_with ~prefix:"digraph proof" dot);
+  (* DOT escapes the inner quotes of fact renderings *)
+  check bool' "mentions the goal" true
+    (List.length (Textutil.split_on_string ~sep:{|default(\"C\")|} dot) > 1);
+  check bool' "mentions rule labels" true
+    (List.length (Textutil.split_on_string ~sep:"gamma" dot) > 1)
+
+let test_export_chase_graph_dot () =
+  (* staggered contributions so a superseded aggregate exists *)
+  let res =
+    run_exn
+      {|
+alpha: shock(F, S), hasCapital(F, P1), S > P1 -> default(F).
+beta:  default(D), debts(D, C, V), E = sum(V) -> risk(C, E).
+gamma: hasCapital(C, P2), risk(C, E), P2 < E -> default(C).
+@goal(default).
+shock("A", 6). hasCapital("A", 5). hasCapital("B", 2). hasCapital("C", 10).
+debts("A", "B", 7). debts("A", "C", 3). debts("B", "C", 8).
+|}
+  in
+  let dot = Export.chase_graph_dot res in
+  check bool' "contains superseded aggregate too" true
+    (List.length (Textutil.split_on_string ~sep:{|risk(\"C\", 3)|} dot) > 1);
+  check bool' "contains the final aggregate" true
+    (List.length (Textutil.split_on_string ~sep:{|risk(\"C\", 11)|} dot) > 1)
+
+let test_export_instance_dot () =
+  let res = run_exn example_economy in
+  let dot = Export.instance_dot ~preds:[ "debts" ] res.db in
+  check bool' "binary-with-value edge" true
+    (List.length (Textutil.split_on_string ~sep:"debts(7)" dot) > 1
+    || List.length (Textutil.split_on_string ~sep:"debts" dot) > 1);
+  check bool' "filtered predicates only" true
+    (List.length (Textutil.split_on_string ~sep:"hasCapital" dot) = 1)
+
+(* --- why-provenance -------------------------------------------------------------------- *)
+
+let test_why_single_witness () =
+  let res = run_exn example_economy in
+  let f =
+    match Query.parse_and_ask res.db {|default("C")|} with
+    | Ok ((f, _) :: _) -> f
+    | _ -> Alcotest.fail "default(C) missing"
+  in
+  match Why.why res.db res.prov f with
+  | [ witness ] ->
+    (* the single witness is exactly the proof's extensional support *)
+    let names = List.map Fact.to_string witness in
+    List.iter
+      (fun w -> check bool' ("witness contains " ^ w) true (List.mem w names))
+      [ {|shock("A", 6)|}; {|debts("A", "B", 7)|}; {|hasCapital("C", 10)|} ];
+    check bool' "only extensional facts" true
+      (List.for_all (fun (w : Fact.t) -> Provenance.is_edb res.prov w.id) witness)
+  | ws -> Alcotest.failf "expected one witness, got %d" (List.length ws)
+
+let test_why_alternative_witnesses () =
+  let res =
+    run_exn
+      {|
+chain1: a(X) -> m(X).
+chain2: m(X) -> goal(X).
+direct: b(X) -> goal(X).
+@goal(goal).
+a("k"). b("k").
+|}
+  in
+  let f =
+    match Query.parse_and_ask res.db {|goal("k")|} with
+    | Ok ((f, _) :: _) -> f
+    | _ -> Alcotest.fail "goal missing"
+  in
+  let witnesses = Why.why res.db res.prov f in
+  check int' "two independent witnesses" 2 (List.length witnesses);
+  let poly = Why.polynomial res.db res.prov f in
+  check bool' "polynomial is a sum" true
+    (List.length (Textutil.split_on_string ~sep:" + " poly) = 2)
+
+let test_why_minimality () =
+  (* goal via b alone and via a·b: only the minimal witness {b} remains *)
+  let res =
+    run_exn
+      {|
+both: a(X), b(X) -> goal(X).
+single: b(X) -> goal(X).
+@goal(goal).
+a("k"). b("k").
+|}
+  in
+  let f =
+    match Query.parse_and_ask res.db {|goal("k")|} with
+    | Ok ((f, _) :: _) -> f
+    | _ -> Alcotest.fail "goal missing"
+  in
+  match Why.why res.db res.prov f with
+  | [ [ w ] ] -> check string' "minimal witness is b" {|b("k")|} (Fact.to_string w)
+  | ws -> Alcotest.failf "expected the single minimal witness, got %d" (List.length ws)
+
+let test_why_edb_is_itself () =
+  let res = run_exn example_economy in
+  let f =
+    match Query.parse_and_ask res.db {|shock("A", 6)|} with
+    | Ok ((f, _) :: _) -> f
+    | _ -> Alcotest.fail "shock missing"
+  in
+  match Why.why res.db res.prov f with
+  | [ [ w ] ] -> check int' "its own witness" f.id w.id
+  | _ -> Alcotest.fail "EDB fact must be its own single witness"
+
+(* --- magic sets ----------------------------------------------------------------------- *)
+
+let tc_program =
+  {|
+base: e(X, Y) -> path(X, Y).
+step: path(X, Z), e(Z, Y) -> path(X, Y).
+@goal(path).
+|}
+
+let chain_edb n =
+  List.init n (fun i ->
+      Atom.make "e"
+        [
+          Term.str (Printf.sprintf "n%d" i); Term.str (Printf.sprintf "n%d" (i + 1));
+        ])
+
+let test_magic_prunes () =
+  let { Parser.program; _ } = parse_exn tc_program in
+  let edb = chain_edb 20 in
+  let q =
+    Atom.make "path" [ Term.str "n0"; Term.var "Y" ]
+  in
+  match Magic.answer program edb q, Chase.run program edb with
+  | Ok a, Ok full ->
+    check bool' "goal-directed path taken" true a.pruned;
+    check int' "answers match the full chase" 20 (List.length a.facts);
+    check bool' "fewer facts materialized" true (a.derived_count < full.derived_count)
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+let test_magic_adornments () =
+  check Alcotest.string "bf" "bf"
+    (Magic.adornment (Atom.make "p" [ Term.str "c"; Term.var "X" ]));
+  check Alcotest.string "ff" "ff"
+    (Magic.adornment (Atom.make "p" [ Term.var "X"; Term.var "Y" ]));
+  check Alcotest.string "bb" "bb"
+    (Magic.adornment (Atom.make "p" [ Term.int 1; Term.str "c" ]))
+
+let test_magic_rejects_bad_queries () =
+  let { Parser.program; _ } = parse_exn tc_program in
+  (match Magic.rewrite program (Atom.make "nosuch" [ Term.var "X" ]) with
+  | Error msg -> check bool' "unknown predicate" true (Textutil.contains_word msg "nosuch")
+  | Ok _ -> Alcotest.fail "unknown predicate accepted");
+  match Magic.rewrite program (Atom.make "e" [ Term.var "X"; Term.var "Y" ]) with
+  | Error msg -> check bool' "extensional query" true (Textutil.contains_word msg "extensional")
+  | Ok _ -> Alcotest.fail "extensional query rewritten"
+
+let test_magic_falls_back_on_aggregation () =
+  let { Parser.program; facts } =
+    parse_exn
+      {|
+sale(Shop, V), T = sum(V) -> revenue(Shop, T).
+@goal(revenue).
+sale("x", 1). sale("x", 2).
+|}
+  in
+  match Magic.answer program facts (Atom.make "revenue" [ Term.str "x"; Term.var "T" ]) with
+  | Ok a ->
+    check bool' "fell back to full materialization" true (not a.pruned);
+    check int' "still answers" 1 (List.length a.facts)
+  | Error e -> Alcotest.fail e
+
+let prop_magic_equals_full_chase =
+  QCheck2.Test.make ~name:"magic answers = full-chase answers" ~count:100
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 15) (pair (int_range 0 5) (int_range 0 5)))
+        (int_range 0 5))
+    (fun (raw, start) ->
+      let edb =
+        List.map
+          (fun (i, j) ->
+            Atom.make "e"
+              [ Term.str (Printf.sprintf "n%d" i); Term.str (Printf.sprintf "n%d" j) ])
+          raw
+      in
+      let { Parser.program; _ } = parse_exn tc_program in
+      let q =
+        Atom.make "path" [ Term.str (Printf.sprintf "n%d" start); Term.var "Y" ]
+      in
+      match Magic.answer program edb q, Chase.run program edb with
+      | Ok a, Ok full ->
+        let magic_answers =
+          List.map Fact.to_string a.facts |> List.sort String.compare
+        in
+        let full_answers =
+          Query.ask full.db q
+          |> List.map (fun (f, _) -> Fact.to_string f)
+          |> List.sort String.compare
+        in
+        a.pruned && magic_answers = full_answers
+        && a.derived_count <= full.derived_count
+      | _ -> false)
+
+(* --- io ---------------------------------------------------------------------------- *)
+
+let test_csv_parsing () =
+  let csv = {|# comment
+"A",14000000
+"B, Inc.",2.5
+"quote""inside",true
+|} in
+  match Io.facts_of_csv ~pred:"p" csv with
+  | Error e -> Alcotest.fail e
+  | Ok facts ->
+    check int' "three facts" 3 (List.length facts);
+    (match facts with
+    | [ a; b; c ] ->
+      check string' "plain string + int" {|p("A", 14000000)|} (Atom.to_string a);
+      check string' "comma inside quotes" {|p("B, Inc.", 2.5)|} (Atom.to_string b);
+      check string' "escaped quote + bool" {|p("quote\"inside", true)|} (Atom.to_string c)
+    | _ -> Alcotest.fail "unexpected shape")
+
+let test_csv_arity_mismatch () =
+  match Io.facts_of_csv ~pred:"p" "\"A\",1\n\"B\"\n" with
+  | Error msg -> check bool' "line reported" true (Textutil.contains_word msg "2")
+  | Ok _ -> Alcotest.fail "ragged CSV accepted"
+
+let test_csv_roundtrip () =
+  let res = run_exn example_economy in
+  let facts = Database.active res.db "debts" in
+  let csv = Io.facts_to_csv facts in
+  match Io.facts_of_csv ~pred:"debts" csv with
+  | Error e -> Alcotest.fail e
+  | Ok atoms ->
+    check bool' "round-trip preserves facts" true
+      (List.map Atom.to_string atoms
+      = List.map (fun f -> Fact.to_string f) facts)
+
+let test_load_directory () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "ekg_io_test" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let write name content =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc content;
+    close_out oc
+  in
+  write "shock.csv" "\"A\",6\n";
+  write "hasCapital.csv" "\"A\",5\n\"B\",2\n";
+  write "ignored.txt" "not csv";
+  (match Io.load_directory dir with
+  | Error e -> Alcotest.fail e
+  | Ok facts ->
+    check int' "three facts from two files" 3 (List.length facts);
+    check bool' "predicate from file name" true
+      (List.exists (fun (a : Atom.t) -> a.pred = "shock") facts));
+  Sys.remove (Filename.concat dir "shock.csv");
+  Sys.remove (Filename.concat dir "hasCapital.csv");
+  Sys.remove (Filename.concat dir "ignored.txt");
+  Sys.rmdir dir
+
+let test_json_export () =
+  let res = run_exn example_economy in
+  let json = Io.result_to_json res in
+  check bool' "facts array" true (Textutil.starts_with ~prefix:"{\"facts\": [" json);
+  check bool' "derived facts carry their rule" true
+    (List.length (Textutil.split_on_string ~sep:{|"rule": "gamma"|} json) > 1);
+  check bool' "premise ids present" true
+    (List.length (Textutil.split_on_string ~sep:{|"premises"|} json) > 1);
+  (* escaping: a value with a quote must stay valid *)
+  let f = { Fact.id = 0; pred = "p"; args = [| Value.str {|a"b|} |] } in
+  check bool' "quotes escaped" true
+    (List.length (Textutil.split_on_string ~sep:{|a\"b|} (Io.fact_to_json f)) > 1)
+
+(* --- queries ------------------------------------------------------------------------ *)
+
+let test_query_patterns () =
+  let res = run_exn example_economy in
+  (match Query.parse_and_ask res.db "default(X)" with
+  | Ok matches -> check int' "three defaults" 3 (List.length matches)
+  | Error e -> Alcotest.fail e);
+  check bool' "holds" true (Query.holds res.db (Atom.make "default" [ Term.str "B" ]));
+  check bool' "not holds" false
+    (Query.holds res.db (Atom.make "default" [ Term.str "Z" ]))
+
+(* --- properties ----------------------------------------------------------------------- *)
+
+(* reference transitive closure *)
+module SPair = Set.Make (struct
+  type t = string * string
+
+  let compare = compare
+end)
+
+let ref_closure edges =
+  let step set =
+    SPair.fold
+      (fun (x, z) acc ->
+        List.fold_left
+          (fun acc (z', y) -> if z = z' then SPair.add (x, y) acc else acc)
+          acc edges)
+      set set
+  in
+  let rec fix set =
+    let set' = step set in
+    if SPair.equal set set' then set else fix set'
+  in
+  fix (SPair.of_list edges)
+
+let edges_gen =
+  QCheck2.Gen.(list_size (int_range 0 15) (pair (int_range 0 5) (int_range 0 5)))
+
+let prop_closure_matches_reference =
+  QCheck2.Test.make ~name:"chase computes reference transitive closure" ~count:100
+    edges_gen (fun raw ->
+      let edges =
+        List.map (fun (i, j) -> (Printf.sprintf "n%d" i, Printf.sprintf "n%d" j)) raw
+      in
+      let facts =
+        List.map (fun (x, y) -> Atom.make "e" [ Term.str x; Term.str y ]) edges
+      in
+      let { Parser.program; _ } =
+        parse_exn {|
+e(X, Y) -> path(X, Y).
+path(X, Z), e(Z, Y) -> path(X, Y).
+@goal(path).
+|}
+      in
+      match Chase.run program facts with
+      | Error _ -> false
+      | Ok res ->
+        let got =
+          Database.active res.db "path"
+          |> List.map (fun (f : Fact.t) ->
+                 (Value.to_display f.args.(0), Value.to_display f.args.(1)))
+          |> List.sort compare
+        in
+        got = SPair.elements (ref_closure edges))
+
+let prop_chase_deterministic =
+  QCheck2.Test.make ~name:"chase is deterministic" ~count:50 edges_gen (fun raw ->
+      let facts =
+        List.map
+          (fun (i, j) ->
+            Atom.make "e" [ Term.str (string_of_int i); Term.str (string_of_int j) ])
+          raw
+      in
+      let { Parser.program; _ } =
+        parse_exn {|
+e(X, Y) -> path(X, Y).
+path(X, Z), e(Z, Y) -> path(X, Y).
+@goal(path).
+|}
+      in
+      match Chase.run program facts, Chase.run program facts with
+      | Ok a, Ok b ->
+        let dump r =
+          Database.active_all r.Chase.db |> List.map Fact.to_string
+        in
+        dump a = dump b
+      | _ -> false)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_closure_matches_reference; prop_chase_deterministic; prop_magic_equals_full_chase ]
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "database",
+        [
+          Alcotest.test_case "dedup" `Quick test_database_dedup;
+          Alcotest.test_case "numeric key equality" `Quick
+            test_database_numeric_key_equality;
+          Alcotest.test_case "deactivation" `Quick test_database_deactivation;
+          Alcotest.test_case "matching" `Quick test_database_matching;
+        ] );
+      ( "chase",
+        [
+          Alcotest.test_case "transitive closure" `Quick test_chase_transitive_closure;
+          Alcotest.test_case "set semantics" `Quick test_chase_set_semantics;
+          Alcotest.test_case "joins and conditions" `Quick test_chase_joins_and_conditions;
+          Alcotest.test_case "arithmetic assignment" `Quick
+            test_chase_arithmetic_assignment;
+        ] );
+      ( "aggregation",
+        [
+          Alcotest.test_case "grouped sums" `Quick test_chase_sum_groups;
+          Alcotest.test_case "all functions" `Quick test_chase_agg_functions;
+          Alcotest.test_case "monotonic supersession" `Quick
+            test_chase_monotonic_aggregation_supersedes;
+          Alcotest.test_case "condition on result" `Quick
+            test_chase_agg_condition_on_result;
+          Alcotest.test_case "multiple contributors" `Quick
+            test_chase_agg_multi_contributors;
+          Alcotest.test_case "deferred condition body vars" `Quick
+            test_chase_agg_body_vars_in_deferred_condition;
+        ] );
+      ( "negation",
+        [
+          Alcotest.test_case "stratified" `Quick test_chase_stratified_negation;
+          Alcotest.test_case "three strata" `Quick test_chase_three_strata;
+          Alcotest.test_case "unstratifiable rejected" `Quick
+            test_chase_unstratifiable_rejected;
+        ] );
+      ( "existentials",
+        [
+          Alcotest.test_case "labelled nulls" `Quick test_chase_existential_nulls;
+          Alcotest.test_case "isomorphism preemption" `Quick
+            test_chase_isomorphism_preemption;
+          Alcotest.test_case "satisfied by data" `Quick
+            test_chase_existential_satisfied_by_data;
+        ] );
+      ( "termination",
+        [ Alcotest.test_case "max rounds guard" `Quick test_chase_max_rounds ] );
+      ( "constraints",
+        [
+          Alcotest.test_case "violation rejected" `Quick test_constraint_violation;
+          Alcotest.test_case "satisfied accepted" `Quick test_constraint_satisfied;
+          Alcotest.test_case "with negation" `Quick test_constraint_with_negation;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "proof dot" `Quick test_export_proof_dot;
+          Alcotest.test_case "chase graph dot" `Quick test_export_chase_graph_dot;
+          Alcotest.test_case "instance dot" `Quick test_export_instance_dot;
+        ] );
+      ( "why-provenance",
+        [
+          Alcotest.test_case "single witness" `Quick test_why_single_witness;
+          Alcotest.test_case "alternative witnesses" `Quick
+            test_why_alternative_witnesses;
+          Alcotest.test_case "minimality" `Quick test_why_minimality;
+          Alcotest.test_case "EDB is its own witness" `Quick test_why_edb_is_itself;
+        ] );
+      ( "magic",
+        [
+          Alcotest.test_case "prunes" `Quick test_magic_prunes;
+          Alcotest.test_case "adornments" `Quick test_magic_adornments;
+          Alcotest.test_case "bad queries rejected" `Quick test_magic_rejects_bad_queries;
+          Alcotest.test_case "aggregation falls back" `Quick
+            test_magic_falls_back_on_aggregation;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "csv parsing" `Quick test_csv_parsing;
+          Alcotest.test_case "csv arity mismatch" `Quick test_csv_arity_mismatch;
+          Alcotest.test_case "csv round-trip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "load directory" `Quick test_load_directory;
+          Alcotest.test_case "json export" `Quick test_json_export;
+        ] );
+      ( "provenance",
+        [
+          Alcotest.test_case "well-formed" `Quick test_provenance_well_formed;
+          Alcotest.test_case "tau order" `Quick test_proof_tau_order;
+          Alcotest.test_case "constants" `Quick test_proof_constants;
+          Alcotest.test_case "alternative derivations" `Quick
+            test_alternative_derivations_recorded;
+          Alcotest.test_case "shortest proof selection" `Quick
+            test_shortest_proof_selection;
+          Alcotest.test_case "shortest = primary when unique" `Quick
+            test_shortest_equals_primary_when_unique;
+          Alcotest.test_case "truncate" `Quick test_proof_truncate;
+          Alcotest.test_case "EDB has no proof" `Quick test_proof_edb_fact_has_none;
+        ] );
+      ("query", [ Alcotest.test_case "patterns" `Quick test_query_patterns ]);
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,164 @@
+(* Tests for the generic labelled digraph: structure, SCCs, cycles,
+   reachability and topological sorting. *)
+
+open Ekg_graph
+
+let check = Alcotest.check
+let bool' = Alcotest.bool
+let int' = Alcotest.int
+
+let build edges =
+  let g = Digraph.create () in
+  List.iter (fun (src, dst, label) -> Digraph.add_edge g ~src ~dst ~label) edges;
+  g
+
+let diamond = [ ("a", "b", "e1"); ("a", "c", "e2"); ("b", "d", "e3"); ("c", "d", "e4") ]
+let cycle3 = [ ("x", "y", "1"); ("y", "z", "2"); ("z", "x", "3") ]
+
+let test_basic_structure () =
+  let g = build diamond in
+  check int' "nodes" 4 (Digraph.node_count g);
+  check int' "edges" 4 (Digraph.edge_count g);
+  check bool' "mem edge" true (Digraph.mem_edge g ~src:"a" ~dst:"b");
+  check bool' "no reverse edge" false (Digraph.mem_edge g ~src:"b" ~dst:"a");
+  check int' "out degree a" 2 (Digraph.out_degree g "a");
+  check int' "in degree d" 2 (Digraph.in_degree g "d")
+
+let test_parallel_edges () =
+  let g = build [ ("p", "q", "r1"); ("p", "q", "r2"); ("p", "q", "r1") ] in
+  check int' "parallel edges kept, exact dup dropped" 2 (Digraph.edge_count g)
+
+let test_remove_edge () =
+  let g = build diamond in
+  Digraph.remove_edge g ~src:"a" ~dst:"b" ~label:"e1";
+  check int' "edge removed" 3 (Digraph.edge_count g);
+  check bool' "node survives removal" true (Digraph.mem_node g "b")
+
+let test_reachability () =
+  let g = build diamond in
+  check bool' "a reaches d" true (List.mem "d" (Digraph.reachable_from g "a"));
+  check bool' "d reaches nothing but itself" true (Digraph.reachable_from g "d" = [ "d" ]);
+  check bool' "co-reachable of d" true
+    (Digraph.co_reachable g "d" = [ "a"; "b"; "c"; "d" ]);
+  check bool' "depends_on: d depends on a" true (Digraph.depends_on g "d" "a")
+
+let test_cycles () =
+  let acyclic = build diamond in
+  check bool' "diamond acyclic" false (Digraph.is_cyclic acyclic);
+  let cyclic = build cycle3 in
+  check bool' "triangle cyclic" true (Digraph.is_cyclic cyclic);
+  check bool' "all on cycle" true
+    (Digraph.nodes_on_cycles cyclic = [ "x"; "y"; "z" ]);
+  let selfloop = build [ ("s", "s", "l") ] in
+  check bool' "self loop cyclic" true (Digraph.is_cyclic selfloop);
+  check bool' "self loop on cycle" true (Digraph.nodes_on_cycles selfloop = [ "s" ])
+
+let test_sccs () =
+  let g = build (cycle3 @ [ ("z", "w", "4"); ("w", "v", "5") ]) in
+  let sccs = Digraph.sccs g in
+  let sizes = List.sort Int.compare (List.map List.length sccs) in
+  check bool' "one 3-scc and two singletons" true (sizes = [ 1; 1; 3 ])
+
+let test_edge_on_cycle () =
+  let g = build (cycle3 @ [ ("z", "w", "4") ]) in
+  let on_cycle =
+    List.filter (Digraph.edge_on_cycle g) (Digraph.edges g) |> List.length
+  in
+  check int' "three edges on the triangle" 3 on_cycle
+
+let test_topological_sort () =
+  let g = build diamond in
+  (match Digraph.topological_sort g with
+  | Some order ->
+    let pos x =
+      let rec idx i = function
+        | [] -> -1
+        | y :: rest -> if x = y then i else idx (i + 1) rest
+      in
+      idx 0 order
+    in
+    check bool' "a before d" true (pos "a" < pos "d");
+    check bool' "b before d" true (pos "b" < pos "d")
+  | None -> Alcotest.fail "diamond should sort");
+  check bool' "cyclic graph has no topo order" true
+    (Digraph.topological_sort (build cycle3) = None)
+
+let test_copy_independent () =
+  let g = build diamond in
+  let g' = Digraph.copy g in
+  Digraph.add_edge g' ~src:"d" ~dst:"a" ~label:"back";
+  check bool' "copy gained the edge" true (Digraph.mem_edge g' ~src:"d" ~dst:"a");
+  check bool' "original untouched" false (Digraph.mem_edge g ~src:"d" ~dst:"a");
+  check bool' "original still acyclic" false (Digraph.is_cyclic g);
+  check bool' "copy now cyclic" true (Digraph.is_cyclic g')
+
+let test_to_dot () =
+  let g = build [ ("a", "b", "r") ] in
+  let dot = Digraph.to_dot ~label_to_string:Fun.id g in
+  check bool' "dot mentions edge" true
+    (Ekg_kernel.Textutil.split_on_string ~sep:"->" dot |> List.length > 1)
+
+(* random DAG property: topological_sort orders every edge *)
+let dag_gen =
+  let open QCheck2.Gen in
+  let* n = int_range 2 10 in
+  let* edges =
+    list_size (int_range 1 20)
+      (let* i = int_range 0 (n - 2) in
+       let* j = int_range (i + 1) (n - 1) in
+       return (i, j))
+  in
+  return (n, edges)
+
+let prop_topo_sort_dag =
+  QCheck2.Test.make ~name:"topological sort orders all DAG edges" ~count:200 dag_gen
+    (fun (_, edges) ->
+      let g = Digraph.create () in
+      List.iter
+        (fun (i, j) ->
+          Digraph.add_edge g ~src:(string_of_int i) ~dst:(string_of_int j) ~label:())
+        edges;
+      match Digraph.topological_sort g with
+      | None -> false
+      | Some order ->
+        let pos = Hashtbl.create 16 in
+        List.iteri (fun k v -> Hashtbl.replace pos v k) order;
+        List.for_all
+          (fun (i, j) ->
+            Hashtbl.find pos (string_of_int i) < Hashtbl.find pos (string_of_int j))
+          edges)
+
+let prop_scc_partition =
+  QCheck2.Test.make ~name:"SCCs partition the nodes" ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 0 30) (pair (int_range 0 8) (int_range 0 8)))
+    (fun edges ->
+      let g = Digraph.create () in
+      List.iter
+        (fun (i, j) ->
+          Digraph.add_edge g ~src:(string_of_int i) ~dst:(string_of_int j) ~label:())
+        edges;
+      let sccs = Digraph.sccs g in
+      let flat = List.concat sccs |> List.sort String.compare in
+      flat = Digraph.nodes g)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_topo_sort_dag; prop_scc_partition ]
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "digraph",
+        [
+          Alcotest.test_case "basic structure" `Quick test_basic_structure;
+          Alcotest.test_case "parallel edges" `Quick test_parallel_edges;
+          Alcotest.test_case "remove edge" `Quick test_remove_edge;
+          Alcotest.test_case "reachability" `Quick test_reachability;
+          Alcotest.test_case "cycles" `Quick test_cycles;
+          Alcotest.test_case "sccs" `Quick test_sccs;
+          Alcotest.test_case "edge on cycle" `Quick test_edge_on_cycle;
+          Alcotest.test_case "topological sort" `Quick test_topological_sort;
+          Alcotest.test_case "copy independence" `Quick test_copy_independent;
+          Alcotest.test_case "dot export" `Quick test_to_dot;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,199 @@
+(* End-to-end integration properties over randomized instances: for
+   every application and proof length, the template-based pipeline must
+   produce complete (no constant ever lost — the paper's §6.3 claim
+   "our approach, by construction, contains all constants") and
+   well-mapped explanations. *)
+
+open Ekg_kernel
+open Ekg_core
+open Ekg_apps
+open Ekg_datagen
+
+let check = Alcotest.check
+let bool' = Alcotest.bool
+
+let explain_instance pipeline (edb, goal) =
+  match Pipeline.reason pipeline edb with
+  | Error e -> Alcotest.failf "reason: %s" e
+  | Ok result -> (
+    match Pipeline.explain_atom pipeline result goal with
+    | Ok (e :: _) -> e
+    | Ok [] -> Alcotest.fail "no explanation"
+    | Error e -> Alcotest.failf "explain: %s" e)
+
+let assert_complete glossary (e : Pipeline.explanation) =
+  let constants = Verbalizer.constant_strings glossary e.proof in
+  let enhanced = Ekg_llm.Omission.retained_ratio ~constants e.text in
+  let deterministic =
+    Ekg_llm.Omission.retained_ratio ~constants e.deterministic_text
+  in
+  if enhanced < 1.0 then
+    Alcotest.failf "enhanced explanation lost constants (%.2f): %s" enhanced e.text;
+  if deterministic < 1.0 then
+    Alcotest.failf "deterministic explanation lost constants (%.2f)" deterministic
+
+let test_control_chains_complete () =
+  let rng = Prng.create 101 in
+  let pipeline = Company_control.pipeline () in
+  List.iter
+    (fun hops ->
+      let inst = Owners.chain rng ~hops in
+      let e = explain_instance pipeline (inst.edb, inst.goal) in
+      assert_complete Company_control.glossary e;
+      check bool'
+        (Printf.sprintf "no fallbacks at %d hops" hops)
+        true
+        (e.mapping.fallbacks = 0))
+    [ 1; 3; 6; 12; 21 ]
+
+let test_control_aggregated_complete () =
+  let rng = Prng.create 102 in
+  let pipeline = Company_control.pipeline () in
+  List.iter
+    (fun fanout ->
+      let inst = Owners.aggregated rng ~hops:4 ~fanout in
+      let e = explain_instance pipeline (inst.edb, inst.goal) in
+      assert_complete Company_control.glossary e)
+    [ 2; 3; 5 ]
+
+let test_simple_cascades_complete () =
+  let rng = Prng.create 103 in
+  let pipeline = Stress_test.simple_pipeline () in
+  List.iter
+    (fun depth ->
+      let inst = Debts.simple_cascade rng ~depth in
+      let e = explain_instance pipeline (inst.edb, inst.goal) in
+      assert_complete Stress_test.simple_glossary e;
+      check bool'
+        (Printf.sprintf "no fallbacks at depth %d" depth)
+        true
+        (e.mapping.fallbacks = 0))
+    [ 0; 1; 2; 4 ]
+
+let test_dual_cascades_complete () =
+  let rng = Prng.create 104 in
+  let pipeline = Stress_test.pipeline () in
+  List.iter
+    (fun depth ->
+      let inst = Debts.dual_cascade rng ~depth in
+      let e = explain_instance pipeline (inst.edb, inst.goal) in
+      assert_complete Stress_test.glossary e)
+    [ 0; 1; 3; 5 ]
+
+let test_multi_debt_cascades_complete () =
+  let rng = Prng.create 105 in
+  let pipeline = Stress_test.simple_pipeline () in
+  List.iter
+    (fun debts_per_hop ->
+      let inst = Debts.multi_debt_cascade rng ~depth:3 ~debts_per_hop in
+      let e = explain_instance pipeline (inst.edb, inst.goal) in
+      assert_complete Stress_test.simple_glossary e)
+    [ 2; 4 ]
+
+let test_templates_more_compact_than_deterministic () =
+  (* §1: template explanations should be compact — on aggregated
+     instances the enhanced text must not be longer than the
+     deterministic per-step verbalization *)
+  let rng = Prng.create 106 in
+  let pipeline = Company_control.pipeline () in
+  let shorter = ref 0 in
+  let total = 10 in
+  for _ = 1 to total do
+    let inst = Owners.chain rng ~hops:6 in
+    let e = explain_instance pipeline (inst.edb, inst.goal) in
+    let baseline =
+      Verbalizer.verbalize_proof Company_control.glossary Company_control.program e.proof
+    in
+    if Textutil.word_count e.text <= Textutil.word_count baseline then incr shorter
+  done;
+  check bool' "enhanced text at most as long as baseline in most cases" true
+    (!shorter >= 8)
+
+let test_styles_are_interchangeable () =
+  (* different enhancement styles must both be complete *)
+  let rng = Prng.create 107 in
+  let inst = Debts.simple_cascade rng ~depth:2 in
+  List.iter
+    (fun style ->
+      let pipeline = Stress_test.simple_pipeline ~style () in
+      let e = explain_instance pipeline (inst.edb, inst.goal) in
+      assert_complete Stress_test.simple_glossary e)
+    [ 0; 1; 2; 3 ]
+
+let test_close_link_chains_complete () =
+  let rng = Prng.create 109 in
+  let pipeline = Close_link.pipeline () in
+  List.iter
+    (fun hops ->
+      let inst = Participations.with_noise rng ~hops ~noise_edges:4 in
+      let e = explain_instance pipeline (inst.edb, inst.goal) in
+      assert_complete Close_link.glossary e)
+    [ 1; 2; 3; 5 ]
+
+let test_shortest_strategy_never_longer () =
+  (* across random cascades, the shortest-proof strategy never yields a
+     longer proof than the primary one, and stays complete *)
+  let rng = Prng.create 110 in
+  let pipeline = Stress_test.simple_pipeline () in
+  List.iter
+    (fun depth ->
+      let inst = Debts.multi_debt_cascade rng ~depth ~debts_per_hop:2 in
+      match Pipeline.reason pipeline inst.edb with
+      | Error e -> Alcotest.failf "reason: %s" e
+      | Ok result -> (
+        match
+          ( Pipeline.explain_atom pipeline result inst.goal,
+            Pipeline.explain_atom ~strategy:`Shortest pipeline result inst.goal )
+        with
+        | Ok [ primary ], Ok [ shortest ] ->
+          check bool' "shortest <= primary" true
+            (Ekg_engine.Proof.length shortest.proof
+            <= Ekg_engine.Proof.length primary.proof);
+          assert_complete Stress_test.simple_glossary shortest
+        | _ -> Alcotest.fail "expected one explanation per strategy"))
+    [ 1; 2; 3 ]
+
+let test_random_networks_never_crash () =
+  let rng = Prng.create 108 in
+  let pipeline = Company_control.pipeline () in
+  for _ = 1 to 10 do
+    let edb = Owners.random_network rng ~entities:10 ~density:0.35 in
+    match Pipeline.reason pipeline edb with
+    | Error e -> Alcotest.failf "random network failed: %s" e
+    | Ok result ->
+      (* explain every derived non-self control fact *)
+      List.iter
+        (fun (f : Ekg_engine.Fact.t) ->
+          if not (Value.equal f.args.(0) f.args.(1)) then begin
+            match Pipeline.explain pipeline result f with
+            | Ok e -> assert_complete Company_control.glossary e
+            | Error msg -> Alcotest.failf "explain failed: %s" msg
+          end)
+        (Ekg_engine.Database.active result.db "control")
+  done
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "completeness",
+        [
+          Alcotest.test_case "control chains" `Quick test_control_chains_complete;
+          Alcotest.test_case "aggregated control" `Quick test_control_aggregated_complete;
+          Alcotest.test_case "simple cascades" `Quick test_simple_cascades_complete;
+          Alcotest.test_case "dual cascades" `Quick test_dual_cascades_complete;
+          Alcotest.test_case "multi-debt cascades" `Quick
+            test_multi_debt_cascades_complete;
+          Alcotest.test_case "close link chains" `Quick test_close_link_chains_complete;
+          Alcotest.test_case "shortest strategy" `Quick
+            test_shortest_strategy_never_longer;
+        ] );
+      ( "quality",
+        [
+          Alcotest.test_case "templates compact" `Quick
+            test_templates_more_compact_than_deterministic;
+          Alcotest.test_case "styles interchangeable" `Quick test_styles_are_interchangeable;
+        ] );
+      ( "robustness",
+        [ Alcotest.test_case "random networks" `Quick test_random_networks_never_crash ]
+      );
+    ]

@@ -1,0 +1,214 @@
+(* Unit and property tests for the kernel substrate: values, PRNG,
+   text utilities and money formatting. *)
+
+open Ekg_kernel
+
+let ( ==> ) = QCheck2.( ==> )
+let check = Alcotest.check
+let bool' = Alcotest.bool
+let int' = Alcotest.int
+let string' = Alcotest.string
+
+(* --- Value ------------------------------------------------------------- *)
+
+let test_value_numeric_equality () =
+  check bool' "Int 1 = Num 1.0" true (Value.equal (Value.int 1) (Value.num 1.0));
+  check bool' "Int 1 <> Num 1.5" false (Value.equal (Value.int 1) (Value.num 1.5));
+  check int' "hash agrees on equal values"
+    (Value.hash (Value.int 7))
+    (Value.hash (Value.num 7.0))
+
+let test_value_ordering () =
+  check bool' "2 < 10 numerically" true (Value.compare (Value.int 2) (Value.int 10) < 0);
+  check bool' "strings ordered" true (Value.compare (Value.str "a") (Value.str "b") < 0);
+  check bool' "numeric before string" true
+    (Value.compare (Value.int 5) (Value.str "a") < 0);
+  check bool' "nulls ordered by label" true
+    (Value.compare (Value.null 1) (Value.null 2) < 0)
+
+let test_value_arithmetic () =
+  check bool' "int add stays int" true (Value.add (Value.int 2) (Value.int 3) = Value.Int 5);
+  check bool' "mixed add promotes" true
+    (Value.equal (Value.add (Value.int 2) (Value.num 0.5)) (Value.num 2.5));
+  check bool' "division always real" true
+    (Value.equal (Value.div (Value.int 7) (Value.int 2)) (Value.num 3.5));
+  Alcotest.check_raises "string arithmetic rejected"
+    (Invalid_argument "Value.add: non-numeric operand") (fun () ->
+      ignore (Value.add (Value.str "x") (Value.int 1)))
+
+let test_value_display () =
+  check string' "string unquoted in display" "A" (Value.to_display (Value.str "A"));
+  check string' "string quoted in syntax" "\"A\"" (Value.to_string (Value.str "A"));
+  check string' "integral float drops decimal" "3" (Value.to_display (Value.num 3.0));
+  check string' "null rendering" "ν4" (Value.to_string (Value.null 4))
+
+let prop_value_compare_total =
+  let gen =
+    QCheck2.Gen.oneof
+      [
+        QCheck2.Gen.map Value.int QCheck2.Gen.small_signed_int;
+        QCheck2.Gen.map Value.num (QCheck2.Gen.float_bound_inclusive 100.);
+        QCheck2.Gen.map Value.str (QCheck2.Gen.small_string ?gen:None);
+        QCheck2.Gen.map Value.bool QCheck2.Gen.bool;
+      ]
+  in
+  QCheck2.Test.make ~name:"Value.compare is antisymmetric and hash-consistent"
+    ~count:500
+    QCheck2.Gen.(pair gen gen)
+    (fun (a, b) ->
+      let c1 = Value.compare a b and c2 = Value.compare b a in
+      (c1 = -c2 || (c1 = 0 && c2 = 0))
+      && (not (Value.equal a b) || Value.hash a = Value.hash b))
+
+(* --- Prng --------------------------------------------------------------- *)
+
+let test_prng_determinism () =
+  let a = Prng.create 12345 and b = Prng.create 12345 in
+  let xs = List.init 20 (fun _ -> Prng.next_int64 a) in
+  let ys = List.init 20 (fun _ -> Prng.next_int64 b) in
+  check bool' "same seed, same stream" true (xs = ys);
+  let c = Prng.create 54321 in
+  let zs = List.init 20 (fun _ -> Prng.next_int64 c) in
+  check bool' "different seed, different stream" false (xs = zs)
+
+let test_prng_bounds () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 13 in
+    if v < 0 || v >= 13 then Alcotest.fail "Prng.int out of bounds"
+  done;
+  for _ = 1 to 1000 do
+    let f = Prng.float rng 2.5 in
+    if f < 0. || f >= 2.5 then Alcotest.fail "Prng.float out of bounds"
+  done
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create 99 in
+  let xs = List.init 50 Fun.id in
+  let ys = Prng.shuffle rng xs in
+  check bool' "shuffle is a permutation" true
+    (List.sort Int.compare ys = xs);
+  let sample = Prng.sample_without_replacement rng 10 xs in
+  check int' "sample size" 10 (List.length sample);
+  check int' "sample distinct" 10 (List.length (List.sort_uniq Int.compare sample))
+
+let test_prng_gaussian_moments () =
+  let rng = Prng.create 2024 in
+  let n = 20_000 in
+  let xs = List.init n (fun _ -> Prng.gaussian rng ~mu:3.0 ~sigma:2.0) in
+  let mean = List.fold_left ( +. ) 0. xs /. float_of_int n in
+  check bool' "gaussian mean within 3 sigma of mu" true (Float.abs (mean -. 3.0) < 0.1)
+
+(* --- Textutil ------------------------------------------------------------ *)
+
+let test_join_and () =
+  check string' "empty" "" (Textutil.join_and []);
+  check string' "singleton" "a" (Textutil.join_and [ "a" ]);
+  check string' "pair" "a and b" (Textutil.join_and [ "a"; "b" ]);
+  check string' "triple" "a, b and c" (Textutil.join_and [ "a"; "b"; "c" ]);
+  check string' "or" "a, b or c" (Textutil.join_or [ "a"; "b"; "c" ])
+
+let test_sentences () =
+  check int' "three sentences" 3 (Textutil.sentence_count "One. Two! Three?");
+  check bool' "split keeps text" true
+    (Textutil.sentences "Alpha beta. Gamma." = [ "Alpha beta"; "Gamma" ])
+
+let test_normalize_spaces () =
+  check string' "collapses runs" "a b c" (Textutil.normalize_spaces "  a\t b \n c ")
+
+let test_contains_word () =
+  check bool' "whole token match" true (Textutil.contains_word "B defaults today" "B");
+  check bool' "no substring match" false (Textutil.contains_word "Bank defaults" "B")
+
+let test_replace_all () =
+  check string' "replaces all occurrences" "xbxb"
+    (Textutil.replace_all "abab" ~pattern:"a" ~by:"x");
+  check string' "pattern absent" "abc" (Textutil.replace_all "abc" ~pattern:"zz" ~by:"y")
+
+let test_wrap () =
+  let wrapped = Textutil.wrap ~width:10 "alpha beta gamma delta" in
+  check bool' "all lines within width" true
+    (List.for_all (fun l -> String.length l <= 10) (String.split_on_char '\n' wrapped));
+  check string' "content preserved" "alpha beta gamma delta"
+    (Textutil.normalize_spaces (Textutil.replace_all wrapped ~pattern:"\n" ~by:" "));
+  check string' "long word on its own line" "supercalifragilistic"
+    (Textutil.wrap ~width:5 "supercalifragilistic");
+  Alcotest.check_raises "zero width rejected"
+    (Invalid_argument "Textutil.wrap: width must be positive") (fun () ->
+      ignore (Textutil.wrap ~width:0 "x"))
+
+let test_sentences_decimals () =
+  check int' "decimal points are not boundaries" 1
+    (Textutil.sentence_count "B owns 90.52% of C and 7.5 million euros of debt");
+  check int' "real boundary still splits" 2
+    (Textutil.sentence_count "Worth 3.5 million. It defaulted.")
+
+let test_split_on_string () =
+  check bool' "basic split" true
+    (Textutil.split_on_string ~sep:"::" "a::b::c" = [ "a"; "b"; "c" ]);
+  check bool' "no separator" true (Textutil.split_on_string ~sep:"::" "abc" = [ "abc" ])
+
+let prop_replace_roundtrip =
+  QCheck2.Test.make ~name:"replace_all with fresh marker is reversible" ~count:200
+    QCheck2.Gen.(small_string ?gen:None)
+    (fun s ->
+      (* use markers guaranteed absent from the alphabet of small_string *)
+      let marked = Textutil.replace_all s ~pattern:"a" ~by:"@" in
+      let back = Textutil.replace_all marked ~pattern:"@" ~by:"a" in
+      (not (String.contains s '@')) ==> (back = s))
+
+(* --- Money --------------------------------------------------------------- *)
+
+let test_money_euros () =
+  check string' "millions" "14 million euros" (Money.euros 14_000_000.);
+  check string' "billions" "1.2 billion euros" (Money.euros 1_200_000_000.);
+  check string' "plain" "7500 euros" (Money.euros 7500.);
+  check string' "fractional millions" "2.5 million euros" (Money.euros 2_500_000.)
+
+let test_money_compact () =
+  check string' "compact M" "14M" (Money.compact 14_000_000.);
+  check string' "compact K" "2.5K" (Money.compact 2500.)
+
+let test_money_percent () =
+  check string' "whole" "83%" (Money.percent 0.83);
+  check string' "fraction" "7.5%" (Money.percent 0.075);
+  check string' "over 100" "150%" (Money.percent 1.5)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_value_compare_total; prop_replace_roundtrip ]
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "numeric equality" `Quick test_value_numeric_equality;
+          Alcotest.test_case "ordering" `Quick test_value_ordering;
+          Alcotest.test_case "arithmetic" `Quick test_value_arithmetic;
+          Alcotest.test_case "display" `Quick test_value_display;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "gaussian moments" `Quick test_prng_gaussian_moments;
+        ] );
+      ( "textutil",
+        [
+          Alcotest.test_case "join_and" `Quick test_join_and;
+          Alcotest.test_case "sentences" `Quick test_sentences;
+          Alcotest.test_case "normalize spaces" `Quick test_normalize_spaces;
+          Alcotest.test_case "contains word" `Quick test_contains_word;
+          Alcotest.test_case "replace all" `Quick test_replace_all;
+          Alcotest.test_case "wrap" `Quick test_wrap;
+          Alcotest.test_case "sentences with decimals" `Quick test_sentences_decimals;
+          Alcotest.test_case "split on string" `Quick test_split_on_string;
+        ] );
+      ( "money",
+        [
+          Alcotest.test_case "euros" `Quick test_money_euros;
+          Alcotest.test_case "compact" `Quick test_money_compact;
+          Alcotest.test_case "percent" `Quick test_money_percent;
+        ] );
+      ("properties", qsuite);
+    ]

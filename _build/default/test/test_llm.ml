@@ -1,0 +1,177 @@
+(* Tests for the simulated LLM baseline and the omission measurement
+   of §6.3. *)
+
+open Ekg_llm
+
+let check = Alcotest.check
+let bool' = Alcotest.bool
+
+let sample_text =
+  "Since a shock amounting to 6 million euros affects A, and A is a financial \
+   institution with capital of 5 million euros, then A is in default. Since A is in \
+   default, and A has an amount 7 million euros of debts with B, then B is at risk."
+
+let sample_constants =
+  [ "A"; "B"; "6 million euros"; "5 million euros"; "7 million euros" ]
+
+(* --- omission measurement -------------------------------------------------- *)
+
+let test_contains_phrase () =
+  check bool' "multi-word phrase" true
+    (Omission.contains_phrase sample_text "7 million euros");
+  check bool' "entity token" true (Omission.contains_phrase sample_text "A");
+  check bool' "no substring leakage" false
+    (Omission.contains_phrase "the Bank defaulted" "B");
+  check bool' "punctuation stripped" true
+    (Omission.contains_phrase "capital of 5 million euros." "5 million euros")
+
+let test_retained_ratio () =
+  check bool' "full text retains everything" true
+    (Omission.retained_ratio ~constants:sample_constants sample_text = 1.0);
+  check bool' "empty constants trivially retained" true
+    (Omission.retained_ratio ~constants:[] sample_text = 1.0);
+  let partial = "A is in default." in
+  let r = Omission.retained_ratio ~constants:sample_constants partial in
+  check bool' "partial retention" true (r > 0. && r < 1.);
+  check bool' "omitted = 1 - retained" true
+    (Float.abs (Omission.omitted_ratio ~constants:sample_constants partial -. (1. -. r))
+    < 1e-9)
+
+(* --- simulated LLM ------------------------------------------------------------ *)
+
+let test_mock_llm_deterministic () =
+  let out1 =
+    Mock_llm.rewrite Mock_llm.Paraphrase ~proof_length:5 ~constants:sample_constants
+      sample_text
+  in
+  let out2 =
+    Mock_llm.rewrite Mock_llm.Paraphrase ~proof_length:5 ~constants:sample_constants
+      sample_text
+  in
+  check Alcotest.string "same inputs, same output" out1 out2
+
+let test_mock_llm_short_proofs_complete () =
+  let out =
+    Mock_llm.rewrite Mock_llm.Paraphrase ~proof_length:1 ~constants:sample_constants
+      sample_text
+  in
+  check bool' "short proofs stay (nearly) complete" true
+    (Omission.retained_ratio ~constants:sample_constants out >= 0.8)
+
+let test_omission_probability_monotone () =
+  let cfg = Mock_llm.default_config in
+  let prev = ref (-1.0) in
+  for steps = 1 to 30 do
+    let p = Mock_llm.omission_probability cfg Mock_llm.Paraphrase ~proof_length:steps in
+    if p < !prev then Alcotest.fail "paraphrase omission probability not monotone";
+    prev := p
+  done;
+  List.iter
+    (fun steps ->
+      let para =
+        Mock_llm.omission_probability cfg Mock_llm.Paraphrase ~proof_length:steps
+      in
+      let summ =
+        Mock_llm.omission_probability cfg Mock_llm.Summarize ~proof_length:steps
+      in
+      check bool'
+        (Printf.sprintf "summary omits more at %d steps" steps)
+        true (summ > para))
+    [ 3; 9; 15; 21 ]
+
+let test_mock_llm_omits_on_long_proofs () =
+  (* average over several texts: at 21 chase steps the paraphrase
+     omission must be clearly visible *)
+  let ratios =
+    List.init 20 (fun i ->
+        let text = sample_text ^ Printf.sprintf " Variation %d." i in
+        let out =
+          Mock_llm.rewrite Mock_llm.Summarize ~proof_length:21
+            ~constants:sample_constants text
+        in
+        Omission.omitted_ratio ~constants:sample_constants out)
+  in
+  let avg = List.fold_left ( +. ) 0. ratios /. 20. in
+  check bool' "long summaries lose constants" true (avg > 0.2)
+
+let test_mock_llm_rewrites_surface () =
+  let out =
+    Mock_llm.rewrite Mock_llm.Paraphrase ~proof_length:1 ~constants:[] sample_text
+  in
+  check bool' "text actually changed" true (out <> sample_text)
+
+let test_mock_llm_hallucination_mode () =
+  let cfg = { Mock_llm.default_config with hallucination_rate = 1.0 } in
+  let out =
+    Mock_llm.rewrite ~config:cfg Mock_llm.Paraphrase ~proof_length:1
+      ~constants:sample_constants sample_text
+  in
+  check bool' "fabricated claim appended" true
+    (Omission.contains_phrase out "Meridian Trust");
+  (* the default configuration never hallucinates: calibration intact *)
+  let clean =
+    Mock_llm.rewrite Mock_llm.Paraphrase ~proof_length:1 ~constants:sample_constants
+      sample_text
+  in
+  check bool' "default config clean" false (Omission.contains_phrase clean "Meridian Trust")
+
+(* --- anonymization ------------------------------------------------------------- *)
+
+let test_anonymize_roundtrip () =
+  let entities = [ "IrishBank"; "MadridCredit"; "FondoItaliano" ] in
+  let text =
+    "IrishBank owns 83% of FondoItaliano; through it, IrishBank controls MadridCredit."
+  in
+  let anonymized, mapping = Anonymize.pseudonymize ~entities text in
+  check bool' "no original name survives" true
+    (List.for_all
+       (fun e -> not (Ekg_kernel.Textutil.contains_word anonymized e))
+       entities);
+  check bool' "amounts survive" true
+    (Ekg_kernel.Textutil.split_on_string ~sep:"83%" anonymized |> List.length > 1);
+  check Alcotest.string "re-identification restores the text" text
+    (Anonymize.reidentify mapping anonymized)
+
+let test_anonymize_no_partial_replacement () =
+  (* a name that prefixes another must not be replaced inside it *)
+  let entities = [ "Bank"; "BankHolding" ] in
+  let text = "Bank and BankHolding are distinct entities." in
+  let anonymized, mapping = Anonymize.pseudonymize ~entities text in
+  check bool' "two distinct pseudonyms" true
+    (List.length (List.sort_uniq compare (List.map snd mapping)) = 2);
+  check Alcotest.string "round-trip exact" text (Anonymize.reidentify mapping anonymized)
+
+let test_anonymize_stable_numbering () =
+  let entities = [ "Alpha"; "Beta" ] in
+  let t1, m1 = Anonymize.pseudonymize ~entities "Alpha pays Beta." in
+  let t2, m2 = Anonymize.pseudonymize ~entities "Beta pays Alpha." in
+  check bool' "same mapping across texts" true (m1 = m2);
+  check bool' "different texts differ" true (t1 <> t2)
+
+let () =
+  Alcotest.run "llm"
+    [
+      ( "omission",
+        [
+          Alcotest.test_case "contains phrase" `Quick test_contains_phrase;
+          Alcotest.test_case "retained ratio" `Quick test_retained_ratio;
+        ] );
+      ( "mock-llm",
+        [
+          Alcotest.test_case "deterministic" `Quick test_mock_llm_deterministic;
+          Alcotest.test_case "short proofs complete" `Quick
+            test_mock_llm_short_proofs_complete;
+          Alcotest.test_case "omission probability monotone" `Quick
+            test_omission_probability_monotone;
+          Alcotest.test_case "long proofs omit" `Quick test_mock_llm_omits_on_long_proofs;
+          Alcotest.test_case "rewrites surface" `Quick test_mock_llm_rewrites_surface;
+          Alcotest.test_case "hallucination mode" `Quick test_mock_llm_hallucination_mode;
+        ] );
+      ( "anonymize",
+        [
+          Alcotest.test_case "round-trip" `Quick test_anonymize_roundtrip;
+          Alcotest.test_case "no partial replacement" `Quick
+            test_anonymize_no_partial_replacement;
+          Alcotest.test_case "stable numbering" `Quick test_anonymize_stable_numbering;
+        ] );
+    ]

@@ -1,0 +1,182 @@
+(* Tests for the statistics substrate: descriptive summaries, the
+   Wilcoxon signed-rank test (against published reference values),
+   Likert utilities and readability metrics. *)
+
+open Ekg_stats
+
+let check = Alcotest.check
+let bool' = Alcotest.bool
+let int' = Alcotest.int
+
+let close ?(eps = 1e-6) msg expected got =
+  if Float.abs (expected -. got) > eps then
+    Alcotest.failf "%s: expected %f, got %f" msg expected got
+
+(* --- descriptive ------------------------------------------------------------- *)
+
+let test_mean_variance () =
+  close "mean" 3.0 (Descriptive.mean [ 1.; 2.; 3.; 4.; 5. ]);
+  close "sample variance" 2.5 (Descriptive.variance [ 1.; 2.; 3.; 4.; 5. ]);
+  close "std dev" (sqrt 2.5) (Descriptive.std_dev [ 1.; 2.; 3.; 4.; 5. ]);
+  close "singleton variance" 0.0 (Descriptive.variance [ 7. ])
+
+let test_median_quantiles () =
+  close "odd median" 3.0 (Descriptive.median [ 5.; 1.; 3.; 2.; 4. ]);
+  close "even median interpolates" 2.5 (Descriptive.median [ 1.; 2.; 3.; 4. ]);
+  close "q1" 1.75 (Descriptive.quantile 0.25 [ 1.; 2.; 3.; 4. ]);
+  close "q0 is min" 1.0 (Descriptive.quantile 0.0 [ 3.; 1.; 2. ]);
+  close "q1 is max" 3.0 (Descriptive.quantile 1.0 [ 3.; 1.; 2. ])
+
+let test_five_number () =
+  let f = Descriptive.five_number [ 1.; 2.; 3.; 4.; 5.; 100. ] in
+  check bool' "100 flagged as outlier" true (f.outliers = [ 100. ]);
+  check bool' "high whisker below outlier" true (f.high_whisker <= 5.);
+  close "median" 3.5 f.median
+
+let test_empty_sample_rejected () =
+  Alcotest.check_raises "mean of empty" (Invalid_argument "Descriptive.mean: empty sample")
+    (fun () -> ignore (Descriptive.mean []))
+
+(* --- Wilcoxon ------------------------------------------------------------------ *)
+
+(* Classic textbook example (Wilcoxon 1945-style): differences with
+   known W+ = 40, n = 9 *)
+let test_wilcoxon_known_example () =
+  let xs = [ 125.; 115.; 130.; 140.; 140.; 115.; 140.; 125.; 140. ] in
+  let ys = [ 110.; 122.; 125.; 120.; 140.; 124.; 123.; 137.; 135. ] in
+  (* one zero difference is dropped: n = 8 *)
+  match Wilcoxon.signed_rank xs ys with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    check int' "pairs after dropping zeros" 8 r.n;
+    close "W+ + W- = n(n+1)/2" 36.0 (r.w_plus +. r.w_minus);
+    check bool' "not significant at n=8 with mixed signs" true (r.p_value > 0.05)
+
+let test_wilcoxon_strong_effect () =
+  let xs = List.init 15 (fun i -> float_of_int (i + 10)) in
+  let ys = List.init 15 (fun i -> float_of_int i) in
+  match Wilcoxon.signed_rank xs ys with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    check bool' "uniform improvement significant" true (Wilcoxon.significant r);
+    close "all ranks positive" (15. *. 16. /. 2.) r.w_plus
+
+let test_wilcoxon_exact_small_sample () =
+  let xs = [ 3.; 5.; 8.; 12. ] and ys = [ 1.; 2.; 4.; 6. ] in
+  match Wilcoxon.signed_rank xs ys with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    check bool' "exact path used" true r.exact;
+    (* all 4 differences positive: P(W+ >= 10) = 1/16, two-sided 1/8 *)
+    close ~eps:1e-9 "exact p-value" 0.125 r.p_value
+
+let test_wilcoxon_symmetric_null () =
+  let xs = [ 1.; 2.; 3.; 4.; 5.; 6. ] in
+  let ys = [ 2.; 1.; 4.; 3.; 6.; 5. ] in
+  match Wilcoxon.signed_rank xs ys with
+  | Error e -> Alcotest.fail e
+  | Ok r -> check bool' "balanced differences not significant" true (r.p_value > 0.5)
+
+let test_wilcoxon_errors () =
+  (match Wilcoxon.signed_rank [ 1. ] [ 1.; 2. ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "length mismatch accepted");
+  match Wilcoxon.signed_rank [ 1.; 2. ] [ 1.; 2. ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "all-zero differences accepted"
+
+let prop_wilcoxon_p_in_range =
+  QCheck2.Test.make ~name:"Wilcoxon p-value lies in (0, 1]" ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 5 30)
+        (pair (float_bound_inclusive 10.) (float_bound_inclusive 10.)))
+    (fun pairs ->
+      let xs = List.map fst pairs and ys = List.map snd pairs in
+      match Wilcoxon.signed_rank xs ys with
+      | Error _ -> true (* degenerate samples are allowed to fail *)
+      | Ok r -> r.p_value > 0. && r.p_value <= 1.)
+
+let prop_wilcoxon_symmetry =
+  QCheck2.Test.make ~name:"Wilcoxon is symmetric in its arguments" ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 5 20)
+        (pair (float_bound_inclusive 10.) (float_bound_inclusive 10.)))
+    (fun pairs ->
+      let xs = List.map fst pairs and ys = List.map snd pairs in
+      match Wilcoxon.signed_rank xs ys, Wilcoxon.signed_rank ys xs with
+      | Ok a, Ok b -> Float.abs (a.p_value -. b.p_value) < 1e-9
+      | Error _, Error _ -> true
+      | _ -> false)
+
+(* --- Likert ----------------------------------------------------------------------- *)
+
+let test_likert () =
+  check int' "clamped low" 1 (Likert.of_int 0);
+  check int' "clamped high" 5 (Likert.of_int 9);
+  check int' "score 0 -> 1" 1 (Likert.of_score 0.);
+  check int' "score 1 -> 5" 5 (Likert.of_score 1.);
+  check int' "score 0.5 -> 3" 3 (Likert.of_score 0.5);
+  close "mean" 3.0 (Likert.mean [ 2; 3; 4 ]);
+  let d = Likert.distribution [ 1; 1; 5; 3 ] in
+  check int' "two ones" 2 d.(0);
+  check int' "one five" 1 d.(4)
+
+(* --- readability --------------------------------------------------------------------- *)
+
+let test_readability_metrics () =
+  let m = Readability.analyze "The cat sat. The dog ran fast today." in
+  check int' "two sentences" 2 m.sentences;
+  check int' "eight words" 8 m.words;
+  check bool' "sane sentence length" true (m.avg_sentence_length = 4.0)
+
+let test_fluency_prefers_non_redundant () =
+  let redundant =
+    String.concat " "
+      (List.init 12 (fun _ -> "B is at risk of defaulting given its loan of money."))
+  in
+  let varied =
+    "A shock of 6 million euros hits A, exceeding its capital. Its creditor B, exposed \
+     for 7 million, defaults in turn. The cascade finally reaches C, whose reserves \
+     cannot absorb an 11 million exposure."
+  in
+  check bool' "varied prose scores higher" true
+    (Readability.fluency_score varied > Readability.fluency_score redundant)
+
+let test_fluency_bounds () =
+  List.iter
+    (fun text ->
+      let s = Readability.fluency_score text in
+      if s < 0. || s > 1. then Alcotest.failf "score out of range: %f" s)
+    [ ""; "word"; String.concat " " (List.init 200 (fun i -> string_of_int i)) ]
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ prop_wilcoxon_p_in_range; prop_wilcoxon_symmetry ]
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "descriptive",
+        [
+          Alcotest.test_case "mean/variance" `Quick test_mean_variance;
+          Alcotest.test_case "median/quantiles" `Quick test_median_quantiles;
+          Alcotest.test_case "five-number summary" `Quick test_five_number;
+          Alcotest.test_case "empty rejected" `Quick test_empty_sample_rejected;
+        ] );
+      ( "wilcoxon",
+        [
+          Alcotest.test_case "known example" `Quick test_wilcoxon_known_example;
+          Alcotest.test_case "strong effect" `Quick test_wilcoxon_strong_effect;
+          Alcotest.test_case "exact small sample" `Quick test_wilcoxon_exact_small_sample;
+          Alcotest.test_case "symmetric null" `Quick test_wilcoxon_symmetric_null;
+          Alcotest.test_case "errors" `Quick test_wilcoxon_errors;
+        ] );
+      ("likert", [ Alcotest.test_case "scale" `Quick test_likert ]);
+      ( "readability",
+        [
+          Alcotest.test_case "metrics" `Quick test_readability_metrics;
+          Alcotest.test_case "prefers non-redundant" `Quick
+            test_fluency_prefers_non_redundant;
+          Alcotest.test_case "bounds" `Quick test_fluency_bounds;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,163 @@
+(* Tests for the user-study apparatus: visualization construction,
+   error-archetype corruption, the simulated reader, and the expert
+   grading panel. *)
+
+open Ekg_kernel
+open Ekg_core
+open Ekg_apps
+open Ekg_study
+
+let check = Alcotest.check
+let bool' = Alcotest.bool
+let int' = Alcotest.int
+
+(* a fixed explained instance to study *)
+let explained () =
+  let pipeline = Stress_test.simple_pipeline () in
+  let rng = Prng.create 77 in
+  let inst = Ekg_datagen.Debts.multi_debt_cascade rng ~depth:2 ~debts_per_hop:2 in
+  match Pipeline.reason pipeline inst.edb with
+  | Error e -> Alcotest.failf "reason: %s" e
+  | Ok result -> (
+    match Pipeline.explain_atom pipeline result inst.goal with
+    | Ok [ e ] -> e
+    | _ -> Alcotest.fail "explanation failed")
+
+let test_correct_viz_fully_supported () =
+  let e = explained () in
+  let viz = Comprehension.correct_viz Stress_test.simple_glossary e.proof in
+  check bool' "non-empty" true (viz.elements <> []);
+  check bool' "every element supported by the explanation" true
+    (Comprehension.support_fraction e.text viz = 1.0)
+
+let test_viz_includes_aggregations () =
+  let e = explained () in
+  let viz = Comprehension.correct_viz Stress_test.simple_glossary e.proof in
+  (* multi-debt cascade: at least one conjunction element *)
+  check bool' "aggregation conjunction present" true
+    (List.exists
+       (fun el ->
+         match el with
+         | [ s ] -> List.length (Textutil.split_on_string ~sep:" and " s) > 1
+         | _ -> false)
+       viz.elements)
+
+let test_corruptions_score_lower () =
+  let e = explained () in
+  let viz = Comprehension.correct_viz Stress_test.simple_glossary e.proof in
+  let rng = Prng.create 78 in
+  List.iter
+    (fun archetype ->
+      let corrupted = Comprehension.corrupt rng archetype viz in
+      let s_correct = Comprehension.support_fraction e.text viz in
+      let s_corrupted = Comprehension.support_fraction e.text corrupted in
+      if s_corrupted >= s_correct then
+        Alcotest.failf "%s scores %.3f >= correct %.3f"
+          (Comprehension.archetype_label archetype)
+          s_corrupted s_correct)
+    Comprehension.all_archetypes
+
+let test_reader_order_sensitivity () =
+  let text = "A has an amount 7 million euros of debts with B." in
+  check bool' "in-order element supported" true
+    (Comprehension.element_supported text [ "A"; "7 million euros"; "B" ]);
+  check bool' "reversed entity order rejected" false
+    (Comprehension.element_supported text [ "B"; "7 million euros"; "A" ]);
+  check bool' "missing value rejected" false
+    (Comprehension.element_supported text [ "A"; "9 million euros"; "B" ])
+
+let test_run_case_perfect_reader () =
+  (* with zero noise, the correct viz always wins *)
+  let e = explained () in
+  let viz = Comprehension.correct_viz Stress_test.simple_glossary e.proof in
+  let rng = Prng.create 79 in
+  let d1 = Comprehension.corrupt rng Comprehension.Wrong_value viz in
+  let d2 = Comprehension.corrupt rng Comprehension.Wrong_chain viz in
+  let outcome =
+    Comprehension.run_case rng ~participants:50 ~noise:0.0 ~text:e.text [ d1; viz; d2 ]
+  in
+  check int' "all participants correct" 50 outcome.correct;
+  check bool' "accuracy 1.0" true (Comprehension.accuracy outcome = 1.0)
+
+let test_run_case_noise_degrades () =
+  let e = explained () in
+  let viz = Comprehension.correct_viz Stress_test.simple_glossary e.proof in
+  let rng = Prng.create 80 in
+  let d1 = Comprehension.corrupt rng Comprehension.Wrong_value viz in
+  let outcome =
+    Comprehension.run_case rng ~participants:200 ~noise:0.8 ~text:e.text [ viz; d1 ]
+  in
+  check bool' "huge noise produces some errors" true (outcome.correct < 200)
+
+(* --- grading ------------------------------------------------------------------- *)
+
+let test_grade_bounds () =
+  let rng = Prng.create 81 in
+  for _ = 1 to 200 do
+    let g = Grading.grade rng ~bias:0.0 ~noise:0.3 "Some explanation text here." in
+    if g < 1 || g > 5 then Alcotest.fail "grade out of the Likert scale"
+  done
+
+let test_panel_pairing () =
+  let rng = Prng.create 82 in
+  let result =
+    Grading.panel
+      ~config:{ Grading.graders = 7; grader_bias_sigma = 0.05; item_noise_sigma = 0.1 }
+      rng
+      ~methods:[ "a"; "b" ]
+      ~scenarios:[ [ "text one a"; "text one b" ]; [ "text two a"; "text two b" ] ]
+  in
+  List.iter
+    (fun (_, grades) -> check int' "7 graders x 2 scenarios" 14 (List.length grades))
+    result.per_method;
+  check int' "one pair tested" 1 (List.length (Grading.wilcoxon_pairs result))
+
+let test_panel_rejects_ragged_scenarios () =
+  let rng = Prng.create 83 in
+  match
+    Grading.panel rng ~methods:[ "a"; "b" ] ~scenarios:[ [ "only one text" ] ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ragged scenario accepted"
+
+let test_panel_better_text_scores_higher () =
+  let rng = Prng.create 84 in
+  let fluent =
+    "A shock of 6 million euros hits A, exceeding its capital. Its creditor B, \
+     exposed for 7 million, defaults in turn. The cascade finally reaches C."
+  in
+  let redundant =
+    String.concat " "
+      (List.init 14 (fun _ -> "B is at risk of defaulting given its loan of money."))
+  in
+  let result =
+    Grading.panel rng ~methods:[ "fluent"; "redundant" ]
+      ~scenarios:[ [ fluent; redundant ] ]
+  in
+  let mean m = Ekg_stats.Likert.mean (List.assoc m result.per_method) in
+  check bool' "fluent text grades higher" true (mean "fluent" > mean "redundant")
+
+let () =
+  Alcotest.run "study"
+    [
+      ( "comprehension",
+        [
+          Alcotest.test_case "correct viz supported" `Quick
+            test_correct_viz_fully_supported;
+          Alcotest.test_case "aggregation elements" `Quick test_viz_includes_aggregations;
+          Alcotest.test_case "corruptions score lower" `Quick test_corruptions_score_lower;
+          Alcotest.test_case "reader order sensitivity" `Quick
+            test_reader_order_sensitivity;
+          Alcotest.test_case "perfect reader" `Quick test_run_case_perfect_reader;
+          Alcotest.test_case "noise degrades" `Quick test_run_case_noise_degrades;
+        ] );
+      ( "grading",
+        [
+          Alcotest.test_case "grade bounds" `Quick test_grade_bounds;
+          Alcotest.test_case "panel pairing" `Quick test_panel_pairing;
+          Alcotest.test_case "ragged scenarios rejected" `Quick
+            test_panel_rejects_ragged_scenarios;
+          Alcotest.test_case "better text scores higher" `Quick
+            test_panel_better_text_scores_higher;
+        ] );
+    ]
