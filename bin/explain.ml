@@ -6,83 +6,28 @@
 
 open Cmdliner
 open Ekg_core
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-type loaded = {
-  pipeline : Pipeline.t;
-  edb : Ekg_datalog.Atom.t list;
-}
-
-let load_app = function
-  | "company-control" ->
-    Ok
-      {
-        pipeline = Ekg_apps.Company_control.pipeline ();
-        edb = Ekg_apps.Company_control.scenario_edb;
-      }
-  | "stress-test" ->
-    Ok
-      {
-        pipeline = Ekg_apps.Stress_test.pipeline ();
-        edb = Ekg_apps.Stress_test.scenario_edb;
-      }
-  | "close-link" ->
-    Ok
-      {
-        pipeline = Ekg_apps.Close_link.pipeline ();
-        edb = Ekg_apps.Close_link.scenario_edb;
-      }
-  | "golden-power" ->
-    Ok
-      {
-        pipeline = Ekg_apps.Golden_power.pipeline ();
-        edb = Ekg_apps.Golden_power.scenario_edb;
-      }
-  | other -> Error ("unknown application: " ^ other ^ " (try company-control, stress-test, close-link, golden-power)")
-
-let load_files ~program_file ~glossary_file ~style =
-  match Ekg_datalog.Parser.parse (read_file program_file) with
-  | Error e -> Error ("program: " ^ e)
-  | Ok { program; facts } -> (
-    let glossary =
-      match glossary_file with
-      | None -> Ok (Glossary.make_exn [])
-      | Some gf -> (
-        match Glossary.parse_spec (read_file gf) with
-        | Ok g -> Ok g
-        | Error e -> Error ("glossary: " ^ e))
-    in
-    match glossary with
-    | Error e -> Error e
-    | Ok glossary -> Ok { pipeline = Pipeline.build ~style program glossary; edb = facts })
+open Ekg_apps
 
 let run app program_file glossary_file facts_dir query style show_analysis show_templates
     show_proof deterministic report json_out why =
   let loaded =
     match app, program_file with
-    | Some a, _ -> load_app a
-    | None, Some pf -> load_files ~program_file:pf ~glossary_file ~style
+    | Some a, _ -> Bundled.load a
+    | None, Some pf ->
+      Apps_util.load_program_files ~style ~program_file:pf ~glossary_file ()
     | None, None -> Error "provide --app or --program (see --help)"
   in
   let loaded =
     (* facts from a CSV directory replace the bundled/inline ones *)
     match loaded, facts_dir with
-    | Ok l, Some dir -> (
-      match Ekg_engine.Io.load_directory dir with
-      | Ok facts -> Ok { l with edb = facts }
-      | Error e -> Error ("facts: " ^ e))
+    | Ok l, Some dir -> Apps_util.with_facts_dir l dir
     | _, _ -> loaded
   in
   match loaded with
   | Error e ->
     Fmt.epr "error: %s@." e;
     1
-  | Ok { pipeline; edb } -> (
+  | Ok { Apps_util.pipeline; edb } -> (
     if show_analysis then begin
       Fmt.pr "== structural analysis ==@.%s@.@."
         (Reasoning_path.analysis_to_string pipeline.analysis);

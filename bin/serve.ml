@@ -1,0 +1,73 @@
+(* ekg-serve: the long-lived explanation service.
+
+   Loads (program, glossary, EDB) triples into sessions once, caches
+   the compiled pipeline and chase materialization, and answers
+   repeated explanation queries over HTTP — the reasoning-as-a-service
+   shape of the Vadalog system, applied to the paper's template
+   pipeline.  See README "Running the explanation server". *)
+
+open Cmdliner
+open Ekg_server
+
+let run host port domains root preload =
+  let state = Router.make_state ~root () in
+  (* optionally pre-register bundled applications so the daemon is
+     immediately queryable, e.g. --preload company-control *)
+  let preload_errors =
+    List.filter_map
+      (fun app ->
+        match Registry.add (Router.registry state) ~name:app (Registry.App app) with
+        | Ok session ->
+          Fmt.pr "preloaded %s as session %s@." app session.Registry.id;
+          None
+        | Error e -> Some e)
+      preload
+  in
+  match preload_errors with
+  | e :: _ ->
+    Fmt.epr "error: %s@." e;
+    1
+  | [] ->
+    let config = { Server.default_config with host; port; domains } in
+    (match Server.start ~config state with
+    | exception Unix.Unix_error (err, _, _) ->
+      Fmt.epr "error: cannot bind %s:%d: %s@." host port (Unix.error_message err);
+      1
+    | server ->
+      let stop _ = Server.request_stop server in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      Fmt.pr "ekg-serve: listening on http://%s:%d (%d worker domains, root %s)@."
+        host (Server.port server) domains root;
+      Server.wait server;
+      Fmt.pr "ekg-serve: drained, bye@.";
+      0)
+
+let host_t =
+  let doc = "Address to bind." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+
+let port_t =
+  let doc = "Port to listen on (0 picks an ephemeral port)." in
+  Arg.(value & opt int 8080 & info [ "port"; "p" ] ~docv:"PORT" ~doc)
+
+let domains_t =
+  let doc = "Worker domains serving requests concurrently." in
+  let default = min 4 (max 1 (Domain.recommended_domain_count () - 1)) in
+  Arg.(value & opt int default & info [ "domains"; "j" ] ~docv:"N" ~doc)
+
+let root_t =
+  let doc = "Root directory for program_path/facts_dir session specs." in
+  Arg.(value & opt dir "." & info [ "root" ] ~docv:"DIR" ~doc)
+
+let preload_t =
+  let doc = "Bundled application to preload as a session (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "preload" ] ~docv:"APP" ~doc)
+
+let cmd =
+  let doc = "explanation service over the template pipeline" in
+  let info = Cmd.info "ekg-serve" ~version:"1.0.0" ~doc in
+  Cmd.v info Term.(const run $ host_t $ port_t $ domains_t $ root_t $ preload_t)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,4 +1,5 @@
 open Ekg_datalog
+open Ekg_core
 
 let parse_program_exn src =
   match Parser.parse src with
@@ -11,3 +12,48 @@ let parse_facts_exn src =
   match Parser.parse (src ^ "\n_dummy_: edb_marker(X) -> edb_marker_copy(X).") with
   | Ok { facts; _ } -> facts
   | Error e -> failwith ("Apps_util.parse_facts_exn: " ^ e)
+
+type loaded = {
+  pipeline : Pipeline.t;
+  edb : Atom.t list;
+}
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+  with Sys_error e -> Error e
+
+let load_program_text ?(style = 0) ?glossary source =
+  match Parser.parse source with
+  | Error e -> Error ("program: " ^ e)
+  | Ok { program; facts } -> (
+    let glossary =
+      match glossary with
+      | None -> Ok (Glossary.make_exn [])
+      | Some spec -> (
+        match Glossary.parse_spec spec with
+        | Ok g -> Ok g
+        | Error e -> Error ("glossary: " ^ e))
+    in
+    match glossary with
+    | Error e -> Error e
+    | Ok glossary -> Ok { pipeline = Pipeline.build ~style program glossary; edb = facts })
+
+let load_program_files ?style ~program_file ~glossary_file () =
+  match read_file program_file with
+  | Error e -> Error ("program: " ^ e)
+  | Ok source -> (
+    match glossary_file with
+    | None -> load_program_text ?style source
+    | Some gf -> (
+      match read_file gf with
+      | Error e -> Error ("glossary: " ^ e)
+      | Ok glossary -> load_program_text ?style ~glossary source))
+
+let with_facts_dir loaded dir =
+  match Ekg_engine.Io.load_directory dir with
+  | Ok facts -> Ok { loaded with edb = facts }
+  | Error e -> Error ("facts: " ^ e)

@@ -1,6 +1,9 @@
-(** Shared helpers for the bundled KG applications. *)
+(** Shared helpers for the bundled KG applications, and the one
+    program/facts loader used by every front-end ([bin/explain.ml],
+    [bin/serve.ml]) so path handling and error messages exist once. *)
 
 open Ekg_datalog
+open Ekg_core
 
 val parse_program_exn : string -> Program.t
 (** Parse an application source, raising [Failure] on errors — the
@@ -8,3 +11,30 @@ val parse_program_exn : string -> Program.t
 
 val parse_facts_exn : string -> Atom.t list
 (** Parse a fact-only source block. *)
+
+(** {1 Loading deployable applications} *)
+
+type loaded = {
+  pipeline : Pipeline.t;  (** compiled analysis + both template families *)
+  edb : Atom.t list;      (** extensional facts to reason over *)
+}
+
+val read_file : string -> (string, string) result
+(** Whole-file read; the error is the system message. *)
+
+val load_program_text :
+  ?style:int -> ?glossary:string -> string -> (loaded, string) result
+(** Compile a Vadalog program source (with optional inline facts) and
+    an optional glossary spec into a ready pipeline.  Errors are
+    prefixed ["program: "] / ["glossary: "]. *)
+
+val load_program_files :
+  ?style:int ->
+  program_file:string ->
+  glossary_file:string option ->
+  unit ->
+  (loaded, string) result
+(** File-based variant of {!load_program_text}. *)
+
+val with_facts_dir : loaded -> string -> (loaded, string) result
+(** Replace the EDB with the facts of a [<pred>.csv] directory. *)

@@ -1,0 +1,9 @@
+(** Catalog of the bundled paper applications, each paired with its
+    scenario EDB, behind the same [Apps_util.loaded] interface the
+    file loader produces.  (Lives outside [Apps_util] because the app
+    modules themselves depend on [Apps_util].) *)
+
+val names : string list
+
+val load : string -> (Apps_util.loaded, string) result
+(** [load "company-control"] etc.; the error lists the valid names. *)

@@ -172,12 +172,31 @@ let apply_agg_rule st ~round (r : Rule.t) =
           Some f.Fact.id))
     groups
 
-let run ?(naive = false) ?(max_rounds = 100_000) (program : Program.t) edb =
+type error =
+  | Invalid_program of string list
+  | Unstratifiable of string
+  | Invalid_edb of string
+  | Divergent of int
+  | Inconsistent of string
+
+let error_to_string = function
+  | Invalid_program es -> String.concat "; " es
+  | Unstratifiable e -> e
+  | Invalid_edb e -> e
+  | Divergent max_rounds ->
+    Printf.sprintf "chase did not terminate within %d rounds" max_rounds
+  | Inconsistent detail -> detail
+
+let client_error = function
+  | Invalid_program _ | Unstratifiable _ | Invalid_edb _ | Inconsistent _ -> true
+  | Divergent _ -> false
+
+let run_checked ?(naive = false) ?(max_rounds = 100_000) (program : Program.t) edb =
   match Program.validate program with
-  | Error es -> Error (String.concat "; " es)
+  | Error es -> Error (Invalid_program es)
   | Ok () -> (
     match Stratify.strata program with
-    | Error e -> Error e
+    | Error e -> Error (Unstratifiable e)
     | Ok strata -> (
       let st =
         {
@@ -195,7 +214,7 @@ let run ?(naive = false) ?(max_rounds = 100_000) (program : Program.t) edb =
           | Error e -> if !edb_error = None then edb_error := Some e)
         edb;
       match !edb_error with
-      | Some e -> Error e
+      | Some e -> Error (Invalid_edb e)
       | None -> (
         let total_rounds = ref 0 in
         let overflow = ref false in
@@ -237,8 +256,7 @@ let run ?(naive = false) ?(max_rounds = 100_000) (program : Program.t) edb =
           done
         in
         List.iter run_stratum strata;
-        if !overflow then
-          Error (Printf.sprintf "chase did not terminate within %d rounds" max_rounds)
+        if !overflow then Error (Divergent max_rounds)
         else begin
           (* negative constraints: a derived ⊥ aborts the task *)
           match Database.active st.db falsum with
@@ -253,7 +271,7 @@ let run ?(naive = false) ?(max_rounds = 100_000) (program : Program.t) edb =
                         d.premises))
               | None -> "constraint violated"
             in
-            Error detail
+            Error (Inconsistent detail)
           | [] ->
             Ok
               {
@@ -263,6 +281,11 @@ let run ?(naive = false) ?(max_rounds = 100_000) (program : Program.t) edb =
                 derived_count = st.derived;
               }
         end)))
+
+let run ?naive ?max_rounds program edb =
+  match run_checked ?naive ?max_rounds program edb with
+  | Ok r -> Ok r
+  | Error e -> Error (error_to_string e)
 
 let run_exn ?naive ?max_rounds program edb =
   match run ?naive ?max_rounds program edb with

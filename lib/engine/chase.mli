@@ -23,6 +23,36 @@ val falsum : string
     Deriving it makes the reasoning task fail with a diagnostic naming
     the violated constraint and the facts that triggered it. *)
 
+type error =
+  | Invalid_program of string list
+      (** Validation failures (unsafe rules, arity clashes, …). *)
+  | Unstratifiable of string
+      (** Recursion through negation. *)
+  | Invalid_edb of string
+      (** Non-ground or otherwise ill-formed extensional facts. *)
+  | Divergent of int
+      (** [max_rounds] exceeded; carries the bound that was hit. *)
+  | Inconsistent of string
+      (** A negative constraint φ → ⊥ fired; carries the diagnostic. *)
+
+val error_to_string : error -> string
+(** The exact human-readable messages {!run} has always produced. *)
+
+val client_error : error -> bool
+(** [true] for errors caused by the submitted program or data (a
+    service should answer 4xx), [false] for resource exhaustion
+    ({!Divergent} — a 5xx). *)
+
+val run_checked :
+  ?naive:bool ->
+  ?max_rounds:int ->
+  Program.t ->
+  Atom.t list ->
+  (result, error) Stdlib.result
+(** Like {!run} but with a structured error, so callers (notably the
+    explanation server) can distinguish bad input from engine limits
+    without string matching. *)
+
 val run :
   ?naive:bool ->
   ?max_rounds:int ->

@@ -1,0 +1,55 @@
+(** Minimal JSON codec for the explanation service.
+
+    The build environment carries no JSON library, and the service only
+    needs plain RFC 8259 data interchange: this module provides a full
+    value type, a serializer with correct string escaping, and a
+    recursive-descent parser (including [\uXXXX] escapes with surrogate
+    pairs).  Numbers are carried as [float]; integral values serialize
+    without a decimal point. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** {1 Construction helpers} *)
+
+val int : int -> t
+val num : float -> t
+val str : string -> t
+val bool : bool -> t
+
+(** {1 Serialization} *)
+
+val to_string : t -> string
+(** Compact, single-line rendering. *)
+
+val escape_string : string -> string
+(** The quoted, escaped JSON form of a string (exposed for the HTTP
+    layer's error bodies). *)
+
+(** {1 Parsing} *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error.
+    Errors carry a byte offset. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on non-objects or absent fields.
+    [Null] fields read as absent. *)
+
+val get_str : t -> string option
+val get_num : t -> float option
+val get_int : t -> int option
+val get_bool : t -> bool option
+val get_arr : t -> t list option
+
+val mem_str : string -> t -> string option
+val mem_int : string -> t -> int option
+val mem_bool : string -> t -> bool option
+(** [mem_str k j] = [Option.bind (member k j) get_str], etc. *)

@@ -1,0 +1,125 @@
+module Hist = struct
+  (* Upper bounds of the latency buckets, in milliseconds; the final
+     implicit bucket is (last, +inf), reported via the observed max. *)
+  let bounds =
+    [| 0.05; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.; 50.; 100.; 250.; 500.;
+       1000.; 2500.; 5000.; 10000. |]
+
+  type t = {
+    counts : int array;        (* one per bound, plus overflow at the end *)
+    mutable n : int;
+    mutable sum : float;       (* ms *)
+    mutable max : float;       (* ms *)
+  }
+
+  let create () =
+    { counts = Array.make (Array.length bounds + 1) 0; n = 0; sum = 0.; max = 0. }
+
+  let bucket_of ms =
+    let rec find i =
+      if i >= Array.length bounds then Array.length bounds
+      else if ms <= bounds.(i) then i
+      else find (i + 1)
+    in
+    find 0
+
+  let observe t seconds =
+    let ms = seconds *. 1000. in
+    t.counts.(bucket_of ms) <- t.counts.(bucket_of ms) + 1;
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. ms;
+    if ms > t.max then t.max <- ms
+
+  let count t = t.n
+  let sum_ms t = t.sum
+  let max_ms t = t.max
+
+  let quantile t q =
+    if t.n = 0 then 0.
+    else begin
+      let rank = Float.max 1. (Float.round (q *. float_of_int t.n)) in
+      let rec walk i acc =
+        if i >= Array.length bounds then t.max
+        else
+          let acc = acc + t.counts.(i) in
+          if float_of_int acc >= rank then bounds.(i) else walk (i + 1) acc
+      in
+      walk 0 0
+    end
+end
+
+type endpoint_stats = {
+  mutable requests : int;
+  mutable errors : int;
+  hist : Hist.t;
+}
+
+type t = {
+  lock : Mutex.t;
+  endpoints : (string, endpoint_stats) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  { lock = Mutex.create (); endpoints = Hashtbl.create 16; hits = 0; misses = 0 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let record t ~endpoint ~status ~seconds =
+  with_lock t (fun () ->
+      let stats =
+        match Hashtbl.find_opt t.endpoints endpoint with
+        | Some s -> s
+        | None ->
+          let s = { requests = 0; errors = 0; hist = Hist.create () } in
+          Hashtbl.add t.endpoints endpoint s;
+          s
+      in
+      stats.requests <- stats.requests + 1;
+      if status >= 400 then stats.errors <- stats.errors + 1;
+      Hist.observe stats.hist seconds)
+
+let cache_hit t = with_lock t (fun () -> t.hits <- t.hits + 1)
+let cache_miss t = with_lock t (fun () -> t.misses <- t.misses + 1)
+let cache_counts t = with_lock t (fun () -> (t.hits, t.misses))
+
+let to_json t ~uptime_s =
+  with_lock t (fun () ->
+      let endpoints =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.endpoints []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.map (fun (name, (s : endpoint_stats)) ->
+               let h = s.hist in
+               ( name,
+                 Json.Obj
+                   [
+                     "requests", Json.int s.requests;
+                     "errors", Json.int s.errors;
+                     ( "latency_ms",
+                       Json.Obj
+                         [
+                           "count", Json.int (Hist.count h);
+                           "sum", Json.num (Hist.sum_ms h);
+                           "max", Json.num (Hist.max_ms h);
+                           "p50", Json.num (Hist.quantile h 0.50);
+                           "p95", Json.num (Hist.quantile h 0.95);
+                           "p99", Json.num (Hist.quantile h 0.99);
+                         ] );
+                   ] ))
+      in
+      let total_requests =
+        Hashtbl.fold (fun _ s acc -> acc + s.requests) t.endpoints 0
+      in
+      let total_errors = Hashtbl.fold (fun _ s acc -> acc + s.errors) t.endpoints 0 in
+      Json.Obj
+        [
+          "uptime_seconds", Json.num uptime_s;
+          "requests_total", Json.int total_requests;
+          "errors_total", Json.int total_errors;
+          ( "session_cache",
+            Json.Obj [ "hits", Json.int t.hits; "misses", Json.int t.misses ] );
+          "endpoints", Json.Obj endpoints;
+        ])

@@ -1,0 +1,42 @@
+(** Service metrics: per-endpoint request/error counters and latency
+    histograms (log-spaced buckets, p50/p95/p99 estimates), plus the
+    session-registry cache counters.  All operations are thread-safe;
+    recording is O(number of buckets). *)
+
+module Hist : sig
+  type t
+
+  val create : unit -> t
+
+  val observe : t -> float -> unit
+  (** Record one latency, in seconds. *)
+
+  val count : t -> int
+  val sum_ms : t -> float
+  val max_ms : t -> float
+
+  val quantile : t -> float -> float
+  (** [quantile h 0.95] estimates the q-quantile in milliseconds as the
+      upper bound of the first bucket whose cumulative count reaches
+      [q * count] (the histogram estimator Prometheus uses); the
+      overflow bucket reports the maximum observed value.  [0.] when
+      empty. *)
+end
+
+type t
+
+val create : unit -> t
+
+val record : t -> endpoint:string -> status:int -> seconds:float -> unit
+(** Count one request against its route label (e.g.
+    ["POST /sessions/:id/explain"]); statuses >= 400 also increment the
+    error counter. *)
+
+val cache_hit : t -> unit
+val cache_miss : t -> unit
+
+val cache_counts : t -> int * int
+(** [(hits, misses)]. *)
+
+val to_json : t -> uptime_s:float -> Json.t
+(** The [GET /metrics] document. *)

@@ -1,0 +1,163 @@
+open Ekg_core
+open Ekg_datalog
+open Ekg_engine
+open Ekg_apps
+
+type session = {
+  id : string;
+  name : string;
+  pipeline : Pipeline.t;
+  edb : Atom.t list;
+  created_at : float;
+  lock : Mutex.t;
+  mutable chase : Chase.result option;
+  mutable explain_count : int;
+}
+
+type spec =
+  | App of string
+  | Files of { program : string; glossary : string option; facts_dir : string option }
+  | Inline of { program : string; glossary : string option }
+
+type t = {
+  root : string;
+  metrics : Metrics.t;
+  lock : Mutex.t;
+  mutable sessions : session list;  (* newest first *)
+  mutable next_id : int;
+}
+
+let create ?(root = ".") metrics =
+  { root; metrics; lock = Mutex.create (); sessions = []; next_id = 1 }
+
+let with_lock lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* --- request decoding ------------------------------------------------------ *)
+
+let spec_of_json body =
+  let name = Json.mem_str "name" body in
+  match
+    ( Json.mem_str "app" body,
+      Json.mem_str "program_path" body,
+      Json.mem_str "program" body )
+  with
+  | Some app, None, None -> Ok (App app, name)
+  | None, Some program, None ->
+    Ok
+      ( Files
+          {
+            program;
+            glossary = Json.mem_str "glossary_path" body;
+            facts_dir = Json.mem_str "facts_dir" body;
+          },
+        name )
+  | None, None, Some program ->
+    Ok (Inline { program; glossary = Json.mem_str "glossary" body }, name)
+  | None, None, None ->
+    Error "provide one of \"app\", \"program_path\" or inline \"program\""
+  | _ -> Error "\"app\", \"program_path\" and \"program\" are mutually exclusive"
+
+(* --- path containment ------------------------------------------------------ *)
+
+let safe_resolve root path =
+  if String.length path = 0 then Error "empty path"
+  else if Filename.is_relative path = false then
+    Error ("absolute paths are not served: " ^ path)
+  else if
+    List.exists
+      (fun seg -> seg = Filename.parent_dir_name)
+      (String.split_on_char '/' path)
+  then Error ("paths may not escape the server root: " ^ path)
+  else Ok (Filename.concat root path)
+
+(* --- lifecycle ------------------------------------------------------------- *)
+
+let load t = function
+  | App app -> Bundled.load app
+  | Inline { program; glossary } -> Apps_util.load_program_text ?glossary program
+  | Files { program; glossary; facts_dir } -> (
+    let ( let* ) = Result.bind in
+    let* program_file = safe_resolve t.root program in
+    let* glossary_file =
+      match glossary with
+      | None -> Ok None
+      | Some g -> Result.map Option.some (safe_resolve t.root g)
+    in
+    let* loaded = Apps_util.load_program_files ~program_file ~glossary_file () in
+    match facts_dir with
+    | None -> Ok loaded
+    | Some d ->
+      let* dir = safe_resolve t.root d in
+      Apps_util.with_facts_dir loaded dir)
+
+let add t ?name spec =
+  match load t spec with
+  | Error e -> Error e
+  | Ok { Apps_util.pipeline; edb } ->
+    with_lock t.lock (fun () ->
+        let id = Printf.sprintf "s%d" t.next_id in
+        t.next_id <- t.next_id + 1;
+        let session =
+          {
+            id;
+            name = Option.value name ~default:id;
+            pipeline;
+            edb;
+            created_at = Unix.gettimeofday ();
+            lock = Mutex.create ();
+            chase = None;
+            explain_count = 0;
+          }
+        in
+        t.sessions <- session :: t.sessions;
+        Ok session)
+
+let find t id =
+  with_lock t.lock (fun () ->
+      List.find_opt (fun s -> s.id = id) t.sessions)
+
+let list t = with_lock t.lock (fun () -> List.rev t.sessions)
+let count t = with_lock t.lock (fun () -> List.length t.sessions)
+
+let materialize t (session : session) =
+  with_lock session.lock (fun () ->
+      match session.chase with
+      | Some result ->
+        Metrics.cache_hit t.metrics;
+        Ok result
+      | None ->
+        Metrics.cache_miss t.metrics;
+        (match Chase.run_checked session.pipeline.Pipeline.program session.edb with
+        | Ok result ->
+          session.chase <- Some result;
+          Ok result
+        | Error _ as e -> e))
+
+let note_explain (session : session) =
+  with_lock session.lock (fun () ->
+      session.explain_count <- session.explain_count + 1)
+
+let session_json (session : session) =
+  let cached, explained =
+    with_lock session.lock (fun () ->
+        (Option.is_some session.chase, session.explain_count))
+  in
+  Json.Obj
+    [
+      "id", Json.str session.id;
+      "name", Json.str session.name;
+      "goal", Json.str session.pipeline.Pipeline.program.Program.goal;
+      "rules", Json.int (List.length session.pipeline.Pipeline.program.Program.rules);
+      "edb_facts", Json.int (List.length session.edb);
+      ( "templates",
+        Json.Obj
+          [
+            "deterministic", Json.int (List.length session.pipeline.Pipeline.deterministic);
+            "enhanced", Json.int (List.length session.pipeline.Pipeline.enhanced);
+          ] );
+      "chase_cached", Json.bool cached;
+      "explain_requests", Json.int explained;
+      "created_at", Json.num session.created_at;
+    ]

@@ -1,0 +1,62 @@
+(** The session registry — the piece that makes the daemon worth
+    running.  A session pins a compiled [Pipeline.t] (structural
+    analysis + both template families) together with its EDB; the
+    chase materialization is computed on the first explanation request
+    and cached, so every later request over the same knowledge graph
+    skips program analysis {i and} reasoning entirely.  All entry
+    points are safe to call from concurrent domains. *)
+
+open Ekg_core
+open Ekg_datalog
+open Ekg_engine
+
+type session = {
+  id : string;                 (** registry-assigned, ["s1"], ["s2"], … *)
+  name : string;               (** caller-supplied display name *)
+  pipeline : Pipeline.t;
+  edb : Atom.t list;
+  created_at : float;
+  lock : Mutex.t;              (** guards [chase] and [explain_count] *)
+  mutable chase : Chase.result option;  (** cached materialization *)
+  mutable explain_count : int;
+}
+
+type spec =
+  | App of string
+      (** a bundled paper application, e.g. ["company-control"] *)
+  | Files of { program : string; glossary : string option; facts_dir : string option }
+      (** repo-relative paths under the server root, e.g.
+          ["programs/company_control.vada"] *)
+  | Inline of { program : string; glossary : string option }
+      (** program (and optional glossary) texts shipped in the request *)
+
+type t
+
+val create : ?root:string -> Metrics.t -> t
+(** [root] (default ["."]) anchors [Files] paths; requests may not
+    escape it. *)
+
+val spec_of_json : Json.t -> (spec * string option, string) result
+(** Decode a [POST /sessions] body; also returns the optional
+    ["name"]. *)
+
+val add : t -> ?name:string -> spec -> (session, string) result
+(** Compile and register a session.  The error is a client error
+    (unknown app, unreadable/escaping path, parse failure). *)
+
+val find : t -> string -> session option
+val list : t -> session list
+(** In creation order. *)
+
+val count : t -> int
+
+val materialize : t -> session -> (Chase.result, Chase.error) result
+(** The cached chase result, computing it on first use.  Counts a
+    cache hit or miss on the registry's metrics; failed runs are not
+    cached. *)
+
+val note_explain : session -> unit
+(** Bump the session's explanation-request counter. *)
+
+val session_json : session -> Json.t
+(** Summary document: id, name, goal, rule/fact counts, cache state. *)

@@ -1,0 +1,168 @@
+open Ekg_core
+open Ekg_engine
+
+type state = {
+  registry : Registry.t;
+  metrics : Metrics.t;
+  started_at : float;
+}
+
+let make_state ?root () =
+  let metrics = Metrics.create () in
+  {
+    registry = Registry.create ?root metrics;
+    metrics;
+    started_at = Unix.gettimeofday ();
+  }
+
+let registry st = st.registry
+let metrics st = st.metrics
+
+let json_response status j = Http.response status (Json.to_string j)
+
+let error_response status msg =
+  json_response status (Json.Obj [ "error", Json.str msg ])
+
+(* --- endpoint handlers ----------------------------------------------------- *)
+
+let health st =
+  json_response 200
+    (Json.Obj
+       [
+         "status", Json.str "ok";
+         "uptime_seconds", Json.num (Unix.gettimeofday () -. st.started_at);
+         "sessions", Json.int (Registry.count st.registry);
+       ])
+
+let metrics_doc st =
+  json_response 200
+    (Metrics.to_json st.metrics ~uptime_s:(Unix.gettimeofday () -. st.started_at))
+
+let list_sessions st =
+  json_response 200
+    (Json.Obj
+       [
+         ( "sessions",
+           Json.Arr (List.map Registry.session_json (Registry.list st.registry)) );
+       ])
+
+let create_session st (req : Http.request) =
+  match Json.parse req.body with
+  | Error e -> error_response 400 e
+  | Ok body -> (
+    match Registry.spec_of_json body with
+    | Error e -> error_response 400 e
+    | Ok (spec, name) -> (
+      match Registry.add st.registry ?name spec with
+      | Error e -> error_response 400 e
+      | Ok session -> json_response 201 (Registry.session_json session)))
+
+let templates (session : Registry.session) =
+  let family tpls =
+    Json.Obj
+      (List.map
+         (fun (name, tpl) -> name, Json.str (Template.skeleton tpl))
+         tpls)
+  in
+  json_response 200
+    (Json.Obj
+       [
+         "session", Json.str session.id;
+         "deterministic", family session.pipeline.Pipeline.deterministic;
+         "enhanced", family session.pipeline.Pipeline.enhanced;
+       ])
+
+let explanation_json (e : Pipeline.explanation) =
+  Json.Obj
+    [
+      "fact", Json.str (Fact.to_string e.fact);
+      "text", Json.str e.text;
+      "deterministic_text", Json.str e.deterministic_text;
+      "paths_used", Json.Arr (List.map Json.str e.paths_used);
+      "proof_steps", Json.int (Proof.length e.proof);
+    ]
+
+let chase_error_response err =
+  let status = if Chase.client_error err then 400 else 500 in
+  error_response status ("reasoning: " ^ Chase.error_to_string err)
+
+let explain st (session : Registry.session) (req : Http.request) =
+  match Json.parse req.body with
+  | Error e -> error_response 400 e
+  | Ok body -> (
+    match Json.mem_str "query" body with
+    | None -> error_response 400 "missing \"query\" field (an atom, e.g. control(\"A\", \"B\"))"
+    | Some query -> (
+      (* parse the atom up front: a syntax error is the caller's fault
+         and must not count as a failed reasoning run *)
+      match Ekg_datalog.Parser.parse_atom query with
+      | Error e -> error_response 400 ("query: " ^ e)
+      | Ok atom -> (
+        let strategy =
+          match Json.mem_str "strategy" body with
+          | Some "shortest" -> Ok `Shortest
+          | Some "primary" | None -> Ok `Primary
+          | Some other -> Error ("unknown strategy: " ^ other ^ " (primary|shortest)")
+        in
+        match strategy with
+        | Error e -> error_response 400 e
+        | Ok strategy -> (
+          Registry.note_explain session;
+          match Registry.materialize st.registry session with
+          | Error err -> chase_error_response err
+          | Ok result -> (
+            match Pipeline.explain_atom ~strategy session.pipeline result atom with
+            | Error e -> error_response 404 e
+            | Ok explanations ->
+              json_response 200
+                (Json.Obj
+                   [
+                     "session", Json.str session.id;
+                     "query", Json.str query;
+                     "count", Json.int (List.length explanations);
+                     ( "explanations",
+                       Json.Arr (List.map explanation_json explanations) );
+                   ]))))))
+
+(* --- dispatch -------------------------------------------------------------- *)
+
+let with_session st id k =
+  match Registry.find st.registry id with
+  | None -> error_response 404 ("no such session: " ^ id)
+  | Some session -> k session
+
+(* (route label, handler) — the label collapses path parameters so the
+   metrics aggregate per endpoint, not per session. *)
+let route st (req : Http.request) =
+  match req.meth, req.path with
+  | Http.GET, [ "health" ] -> "GET /health", health st
+  | Http.GET, [ "metrics" ] -> "GET /metrics", metrics_doc st
+  | Http.GET, [ "sessions" ] -> "GET /sessions", list_sessions st
+  | Http.POST, [ "sessions" ] -> "POST /sessions", create_session st req
+  | Http.POST, [ "sessions"; id; "explain" ] ->
+    "POST /sessions/:id/explain", with_session st id (fun s -> explain st s req)
+  | Http.GET, [ "sessions"; id; "templates" ] ->
+    "GET /sessions/:id/templates", with_session st id templates
+  | _, ([ "health" ] | [ "metrics" ] | [ "sessions" ] | [ "sessions"; _; "explain" ]
+       | [ "sessions"; _; "templates" ]) ->
+    ( Http.meth_to_string req.meth ^ " (known path)",
+      error_response 405
+        ("method " ^ Http.meth_to_string req.meth ^ " not allowed on " ^ req.target) )
+  | _ -> "(unmatched)", error_response 404 ("no route for " ^ req.target)
+
+let handle st req =
+  let t0 = Unix.gettimeofday () in
+  let label, resp =
+    try route st req
+    with exn ->
+      ( "(handler-exception)",
+        error_response 500 ("internal error: " ^ Printexc.to_string exn) )
+  in
+  Metrics.record st.metrics ~endpoint:label ~status:resp.Http.status
+    ~seconds:(Unix.gettimeofday () -. t0);
+  resp
+
+let handle_parse_error st err =
+  let status = Http.error_status err in
+  Metrics.record st.metrics ~endpoint:"(parse-error)" ~status ~seconds:0.;
+  error_response status (Http.error_message err)

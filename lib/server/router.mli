@@ -1,0 +1,31 @@
+(** Route table of the explanation service.
+
+    {v
+    GET  /health                  liveness + uptime
+    GET  /metrics                 counters and latency quantiles
+    POST /sessions                load a program/glossary/EDB triple
+    GET  /sessions                list sessions
+    POST /sessions/:id/explain    explain the facts matching an atom query
+    GET  /sessions/:id/templates  both template families of a session
+    v}
+
+    Every response body is JSON; errors are [{"error": …}].  Handler
+    exceptions are caught and mapped to 500 so a worker domain never
+    dies on a request. *)
+
+type state
+
+val make_state : ?root:string -> unit -> state
+(** Fresh registry + metrics; [root] anchors [program_path] /
+    [facts_dir] session specs. *)
+
+val registry : state -> Registry.t
+val metrics : state -> Metrics.t
+
+val handle : state -> Http.request -> Http.response
+(** Dispatch one request, recording latency and status against the
+    route label (path parameters collapsed to [:id]). *)
+
+val handle_parse_error : state -> Http.error -> Http.response
+(** The response for a request that never parsed; also recorded in the
+    metrics under ["(parse-error)"]. *)

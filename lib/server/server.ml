@@ -1,0 +1,169 @@
+type config = {
+  host : string;
+  port : int;
+  domains : int;
+  backlog : int;
+  max_body_bytes : int;
+  max_header_bytes : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 8080;
+    domains = 4;
+    backlog = 64;
+    max_body_bytes = 4 * 1024 * 1024;
+    max_header_bytes = 16 * 1024;
+  }
+
+type t = {
+  config : config;
+  state : Router.state;
+  listener : Unix.file_descr;
+  bound_port : int;
+  stop_requested : bool Atomic.t;
+  accepting_done : bool ref;       (* guarded by [qlock] *)
+  queue : Unix.file_descr Queue.t; (* guarded by [qlock] *)
+  qlock : Mutex.t;
+  qcond : Condition.t;
+  mutable threads : unit Domain.t list;
+  joined : bool Atomic.t;
+}
+
+(* --- per-connection work --------------------------------------------------- *)
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd s (off + n) (len - n)
+  end
+
+let handle_connection t fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      try
+        (* a stuck or silent client must not pin a worker domain *)
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO 10.;
+        let read bytes off len =
+          try Unix.read fd bytes off len
+          with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+        in
+        let response =
+          match
+            Http.parse_request ~max_header_bytes:t.config.max_header_bytes
+              ~max_body_bytes:t.config.max_body_bytes ~read ()
+          with
+          | Ok request -> Some (Router.handle t.state request)
+          | Error Http.Closed -> None
+          | Error err -> Some (Router.handle_parse_error t.state err)
+        in
+        match response with
+        | None -> ()
+        | Some resp ->
+          let payload = Http.response_to_string resp in
+          write_all fd payload 0 (String.length payload);
+          (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ())
+      with Unix.Unix_error _ -> ())
+
+(* --- domains --------------------------------------------------------------- *)
+
+let worker_loop t () =
+  let rec next () =
+    Mutex.lock t.qlock;
+    let rec await () =
+      if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+      else if !(t.accepting_done) then None
+      else begin
+        Condition.wait t.qcond t.qlock;
+        await ()
+      end
+    in
+    let job = await () in
+    Mutex.unlock t.qlock;
+    match job with
+    | None -> ()
+    | Some fd ->
+      handle_connection t fd;
+      next ()
+  in
+  next ()
+
+let accept_loop t () =
+  while not (Atomic.get t.stop_requested) do
+    match Unix.select [ t.listener ] [] [] 0.25 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept ~cloexec:true t.listener with
+      | fd, _ ->
+        Mutex.lock t.qlock;
+        Queue.push fd t.queue;
+        Condition.signal t.qcond;
+        Mutex.unlock t.qlock
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (* graceful drain: no new connections; wake every worker so the
+     queued ones are answered and the pool can wind down *)
+  (try Unix.close t.listener with Unix.Unix_error _ -> ());
+  Mutex.lock t.qlock;
+  t.accepting_done := true;
+  Condition.broadcast t.qcond;
+  Mutex.unlock t.qlock
+
+(* --- lifecycle ------------------------------------------------------------- *)
+
+let start ?(config = default_config) state =
+  let listener = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listener Unix.SO_REUSEADDR true;
+     Unix.bind listener
+       (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.listen listener config.backlog
+   with e ->
+     (try Unix.close listener with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let t =
+    {
+      config;
+      state;
+      listener;
+      bound_port;
+      stop_requested = Atomic.make false;
+      accepting_done = ref false;
+      queue = Queue.create ();
+      qlock = Mutex.create ();
+      qcond = Condition.create ();
+      threads = [];
+      joined = Atomic.make false;
+    }
+  in
+  let workers =
+    List.init (max 1 config.domains) (fun _ -> Domain.spawn (worker_loop t))
+  in
+  let acceptor = Domain.spawn (accept_loop t) in
+  t.threads <- acceptor :: workers;
+  t
+
+let port t = t.bound_port
+let request_stop t = Atomic.set t.stop_requested true
+
+let stop t =
+  request_stop t;
+  if not (Atomic.exchange t.joined true) then List.iter Domain.join t.threads
+
+let wait t =
+  while not (Atomic.get t.stop_requested) do
+    try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  stop t

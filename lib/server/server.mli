@@ -1,0 +1,38 @@
+(** The daemon: a TCP listener whose accepted connections are fanned
+    out to an OCaml 5 [Domain] worker pool.  One domain runs the
+    accept loop (polling so shutdown is prompt), [config.domains]
+    workers drain a shared queue; each connection carries exactly one
+    HTTP request.  [stop] performs a graceful drain: stop accepting,
+    finish every queued connection, join all domains. *)
+
+type config = {
+  host : string;           (** bind address, default ["127.0.0.1"] *)
+  port : int;              (** [0] picks an ephemeral port *)
+  domains : int;           (** worker domains, default 4 *)
+  backlog : int;
+  max_body_bytes : int;
+  max_header_bytes : int;
+}
+
+val default_config : config
+
+type t
+
+val start : ?config:config -> Router.state -> t
+(** Bind, listen, and spawn the accept domain plus workers.  Raises
+    [Unix.Unix_error] if the address cannot be bound. *)
+
+val port : t -> int
+(** The actual bound port (useful with [port = 0]). *)
+
+val request_stop : t -> unit
+(** Flag the server to shut down; safe to call from a signal handler.
+    Returns immediately. *)
+
+val stop : t -> unit
+(** [request_stop] then drain and join every domain.  Idempotent;
+    blocks until in-flight and queued connections are answered. *)
+
+val wait : t -> unit
+(** Block until {!request_stop} is called (e.g. by a signal handler),
+    then drain and join as {!stop} does. *)

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus the server smoke test. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+dune build @smoke
+echo "ci: all green"

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Server smoke test: boot the daemon on an ephemeral port, hit /health,
+# shut it down gracefully. Usage: smoke.sh [path/to/serve.exe]
+set -euo pipefail
+
+SERVE="${1:-bin/serve.exe}"
+LOG="$(mktemp)"
+
+"$SERVE" --port 0 --preload company-control >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+PORT=""
+for _ in $(seq 1 50); do
+  PORT="$(sed -n 's#.*listening on http://[0-9.]*:\([0-9]*\).*#\1#p' "$LOG")"
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "smoke: server did not start" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+
+BODY="$(curl -fsS "http://127.0.0.1:$PORT/health")"
+if ! printf '%s' "$BODY" | grep -q '"status":"ok"'; then
+  echo "smoke: unexpected /health body: $BODY" >&2
+  exit 1
+fi
+
+kill -TERM "$PID"
+wait "$PID"
+echo "smoke: ok (/health on port $PORT)"

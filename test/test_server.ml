@@ -1,0 +1,460 @@
+(* Tests for the explanation service: JSON codec round-trips, the HTTP
+   request parser, metrics histogram quantiles, the typed chase errors,
+   the session registry's cache accounting, router status mapping, and
+   one loopback-socket integration test against a live server. *)
+
+open Ekg_server
+
+let contains haystack needle =
+  List.length (Ekg_kernel.Textutil.split_on_string ~sep:needle haystack) > 1
+
+let check = Alcotest.check
+let bool' = Alcotest.bool
+let int' = Alcotest.int
+let string' = Alcotest.string
+
+let json_t =
+  Alcotest.testable
+    (fun ppf j -> Format.pp_print_string ppf (Json.to_string j))
+    ( = )
+
+(* --- json ------------------------------------------------------------------ *)
+
+let roundtrip j =
+  match Json.parse (Json.to_string j) with
+  | Ok j' -> j'
+  | Error e -> Alcotest.failf "reparse: %s" e
+
+let test_json_print () =
+  check string' "object"
+    {|{"a":1,"b":[true,null,"x"]}|}
+    (Json.to_string
+       (Json.Obj [ "a", Json.int 1; "b", Json.Arr [ Json.Bool true; Json.Null; Json.str "x" ] ]));
+  check string' "integral floats have no point" "42" (Json.to_string (Json.num 42.));
+  check string' "fractions survive" "0.125" (Json.to_string (Json.num 0.125));
+  check string' "escapes" {|"a\"b\\c\nd\te"|} (Json.to_string (Json.str "a\"b\\c\nd\te"));
+  check string' "control chars" {|"\u0001"|} (Json.to_string (Json.str "\001"))
+
+let test_json_roundtrip () =
+  let deep =
+    Json.Obj
+      [
+        "text", Json.str "quotes \" backslash \\ newline \n tab \t unicode \xc3\xa9";
+        "nums", Json.Arr [ Json.int 0; Json.int (-17); Json.num 3.5; Json.num 1e-3 ];
+        "nested", Json.Obj [ "empty_arr", Json.Arr []; "empty_obj", Json.Obj [] ];
+        "flag", Json.Bool false;
+        "nothing", Json.Null;
+      ]
+  in
+  check json_t "deep round-trip" deep (roundtrip deep)
+
+let test_json_parse_escapes () =
+  (match Json.parse {|"caf\u00e9 \ud83d\ude00"|} with
+  | Ok (Json.Str s) -> check string' "utf8 from \\u" "caf\xc3\xa9 \xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.failf "parse: %s" e);
+  (match Json.parse "  [1, 2,\t3]\n" with
+  | Ok j -> check json_t "whitespace" (Json.Arr [ Json.int 1; Json.int 2; Json.int 3 ]) j
+  | Error e -> Alcotest.failf "parse: %s" e)
+
+let test_json_parse_errors () =
+  let bad s =
+    match Json.parse s with
+    | Ok _ -> Alcotest.failf "accepted malformed %S" s
+    | Error _ -> ()
+  in
+  List.iter bad
+    [ "{"; "[1,]"; "{\"a\" 1}"; "\"unterminated"; "nul"; "1 2"; "{\"a\":}"; "\"\\u12"; "\"\\ud800\"" ]
+
+let test_json_accessors () =
+  let j = Json.Obj [ "s", Json.str "x"; "n", Json.int 7; "b", Json.Bool true; "z", Json.Null ] in
+  check bool' "mem_str" true (Json.mem_str "s" j = Some "x");
+  check bool' "mem_int" true (Json.mem_int "n" j = Some 7);
+  check bool' "mem_bool" true (Json.mem_bool "b" j = Some true);
+  check bool' "null reads as absent" true (Json.member "z" j = None);
+  check bool' "missing" true (Json.member "w" j = None)
+
+(* --- http parser ----------------------------------------------------------- *)
+
+let parse = Http.parse_request_string
+
+let test_http_happy_path () =
+  let req =
+    "POST /sessions/s1/explain?v=1&q=a%20b HTTP/1.1\r\nHost: localhost\r\n\
+     Content-Type: application/json\r\nContent-Length: 15\r\n\r\n{\"query\": \"x\"}X"
+  in
+  match parse req with
+  | Error _ -> Alcotest.fail "happy path rejected"
+  | Ok r ->
+    check bool' "method" true (r.Http.meth = Http.POST);
+    check bool' "path segments" true (r.Http.path = [ "sessions"; "s1"; "explain" ]);
+    check bool' "query decoded" true (r.Http.query = [ "v", "1"; "q", "a b" ]);
+    check string' "body by content-length" "{\"query\": \"x\"}X" r.Http.body;
+    check bool' "header lookup is case-insensitive" true
+      (Http.header r "content-TYPE" = Some "application/json")
+
+let test_http_get_without_length () =
+  match parse "GET /health HTTP/1.1\r\nHost: x\r\n\r\n" with
+  | Ok r ->
+    check bool' "GET" true (r.Http.meth = Http.GET);
+    check string' "empty body" "" r.Http.body
+  | Error _ -> Alcotest.fail "bare GET rejected"
+
+let test_http_missing_content_length () =
+  match parse "POST /sessions HTTP/1.1\r\nHost: x\r\n\r\n{}" with
+  | Error Http.Length_required -> ()
+  | Error _ -> Alcotest.fail "wrong error for missing Content-Length"
+  | Ok _ -> Alcotest.fail "POST without Content-Length accepted"
+
+let test_http_oversized_body () =
+  let req = "POST /x HTTP/1.1\r\nContent-Length: 999999\r\n\r\n" in
+  (match parse ~max_body_bytes:1024 req with
+  | Error (Http.Payload_too_large limit) -> check int' "limit reported" 1024 limit
+  | Error _ -> Alcotest.fail "wrong error for oversized body"
+  | Ok _ -> Alcotest.fail "oversized body accepted");
+  check int' "413 maps" 413 (Http.error_status (Http.Payload_too_large 1024))
+
+let test_http_bad_requests () =
+  let bad s =
+    match parse s with
+    | Error (Http.Bad_request _) -> ()
+    | Error _ -> Alcotest.failf "wrong error class for %S" s
+    | Ok _ -> Alcotest.failf "accepted malformed %S" s
+  in
+  bad "NONSENSE\r\n\r\n";
+  bad "GET /x SMTP/1.0\r\n\r\n";
+  bad "GET nopath HTTP/1.1\r\n\r\n";
+  bad "POST /x HTTP/1.1\r\nContent-Length: tw0\r\n\r\n";
+  bad "GET /x HTTP/1.1\r\nbroken header line\r\n\r\n";
+  (* truncated before the blank line *)
+  bad "GET /x HTTP/1.1\r\nHost: y\r\n"
+
+let test_http_header_limit () =
+  let req =
+    "GET / HTTP/1.1\r\nBig: " ^ String.make 4096 'x' ^ "\r\n\r\n"
+  in
+  match parse ~max_header_bytes:256 req with
+  | Error (Http.Headers_too_large _) -> ()
+  | _ -> Alcotest.fail "oversized headers accepted"
+
+let test_http_response_serialization () =
+  let s = Http.response_to_string (Http.response 404 "{\"error\":\"x\"}") in
+  check bool' "status line" true
+    (String.length s > 20 && String.sub s 0 22 = "HTTP/1.1 404 Not Found");
+  check bool' "content-length" true
+    (contains s "Content-Length: 13");
+  check bool' "connection close" true (contains s "Connection: close")
+
+(* --- metrics --------------------------------------------------------------- *)
+
+let test_hist_quantiles () =
+  let h = Metrics.Hist.create () in
+  (* 1..100 ms, uniformly *)
+  for i = 1 to 100 do
+    Metrics.Hist.observe h (float_of_int i /. 1000.)
+  done;
+  check int' "count" 100 (Metrics.Hist.count h);
+  check (Alcotest.float 1e-6) "p50 bucket" 50. (Metrics.Hist.quantile h 0.50);
+  check (Alcotest.float 1e-6) "p95 bucket" 100. (Metrics.Hist.quantile h 0.95);
+  check (Alcotest.float 1e-6) "p99 bucket" 100. (Metrics.Hist.quantile h 0.99);
+  check (Alcotest.float 1e-6) "max" 100. (Metrics.Hist.max_ms h);
+  check (Alcotest.float 1e-3) "sum" 5050. (Metrics.Hist.sum_ms h)
+
+let test_hist_edges () =
+  let h = Metrics.Hist.create () in
+  check (Alcotest.float 0.) "empty quantile" 0. (Metrics.Hist.quantile h 0.99);
+  Metrics.Hist.observe h 60.;  (* over the last bound: overflow bucket *)
+  check (Alcotest.float 1e-6) "overflow reports observed max" 60000.
+    (Metrics.Hist.quantile h 0.99);
+  let h2 = Metrics.Hist.create () in
+  Metrics.Hist.observe h2 0.00002;
+  check (Alcotest.float 1e-6) "tiny latency lands in first bucket" 0.05
+    (Metrics.Hist.quantile h2 0.5)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  Metrics.record m ~endpoint:"GET /health" ~status:200 ~seconds:0.001;
+  Metrics.record m ~endpoint:"GET /health" ~status:500 ~seconds:0.002;
+  Metrics.cache_hit m;
+  Metrics.cache_miss m;
+  Metrics.cache_hit m;
+  check bool' "cache counts" true (Metrics.cache_counts m = (2, 1));
+  let doc = Metrics.to_json m ~uptime_s:1. in
+  check bool' "totals" true (Json.mem_int "requests_total" doc = Some 2);
+  check bool' "errors" true (Json.mem_int "errors_total" doc = Some 1);
+  let hits =
+    Option.bind (Json.member "session_cache" doc) (Json.mem_int "hits")
+  in
+  check bool' "hits serialized" true (hits = Some 2)
+
+(* --- typed chase errors ---------------------------------------------------- *)
+
+let parse_exn src =
+  match Ekg_datalog.Parser.parse src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let test_chase_checked_unstratifiable () =
+  let { Ekg_datalog.Parser.program; facts } =
+    parse_exn {|
+p(X), not q(X) -> q(X).
+@goal(q).
+p("a").
+|}
+  in
+  match Ekg_engine.Chase.run_checked program facts with
+  | Error (Ekg_engine.Chase.Unstratifiable _ as e) ->
+    check bool' "client error" true (Ekg_engine.Chase.client_error e);
+    check bool' "message preserved" true
+      (Ekg_kernel.Textutil.contains_word
+         (Ekg_engine.Chase.error_to_string e) "stratifiable")
+  | Error _ -> Alcotest.fail "wrong error constructor"
+  | Ok _ -> Alcotest.fail "unstratifiable program accepted"
+
+let test_chase_checked_inconsistent () =
+  let { Ekg_datalog.Parser.program; facts } =
+    parse_exn {|
+veto: bad(X) -> false.
+mark: p(X) -> bad(X).
+@goal(bad).
+p("a").
+|}
+  in
+  match Ekg_engine.Chase.run_checked program facts with
+  | Error (Ekg_engine.Chase.Inconsistent _ as e) ->
+    check bool' "client error" true (Ekg_engine.Chase.client_error e)
+  | Error _ -> Alcotest.fail "wrong error constructor"
+  | Ok _ -> Alcotest.fail "violated constraint accepted"
+
+let test_chase_checked_divergent_is_server_side () =
+  check bool' "divergence is not a client error" false
+    (Ekg_engine.Chase.client_error (Ekg_engine.Chase.Divergent 7))
+
+(* --- registry -------------------------------------------------------------- *)
+
+let inline_program =
+  {|
+sigma1: own(X, Y, S), S > 0.5 -> control(X, Y).
+sigma3: control(X, Z), own(Z, Y, S), TS = sum(S), TS > 0.5 -> control(X, Y).
+@goal(control).
+own("A", "B", 0.6).
+own("B", "C", 0.7).
+|}
+
+let test_registry_cache_accounting () =
+  let metrics = Metrics.create () in
+  let reg = Registry.create metrics in
+  let session =
+    match Registry.add reg ~name:"inline" (Registry.Inline { program = inline_program; glossary = None }) with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "add: %s" e
+  in
+  check string' "first id" "s1" session.Registry.id;
+  (match Registry.materialize reg session with
+  | Ok r -> check bool' "derived something" true (r.Ekg_engine.Chase.derived_count > 0)
+  | Error _ -> Alcotest.fail "materialize failed");
+  (match Registry.materialize reg session with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "second materialize failed");
+  check bool' "one miss then one hit" true (Metrics.cache_counts metrics = (1, 1));
+  check bool' "found by id" true (Registry.find reg "s1" <> None);
+  check bool' "unknown id" true (Registry.find reg "s99" = None)
+
+let test_registry_path_containment () =
+  let reg = Registry.create (Metrics.create ()) in
+  let escape p =
+    match
+      Registry.add reg (Registry.Files { program = p; glossary = None; facts_dir = None })
+    with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "path %S escaped the root" p
+  in
+  escape "../../../etc/passwd";
+  escape "/etc/passwd"
+
+let test_registry_spec_decoding () =
+  let decode s =
+    match Json.parse s with
+    | Ok j -> Registry.spec_of_json j
+    | Error e -> Alcotest.failf "json: %s" e
+  in
+  (match decode {|{"app":"company-control","name":"cc"}|} with
+  | Ok (Registry.App "company-control", Some "cc") -> ()
+  | _ -> Alcotest.fail "app spec");
+  (match decode {|{"program_path":"programs/x.vada","facts_dir":"data/x"}|} with
+  | Ok (Registry.Files { program = "programs/x.vada"; facts_dir = Some "data/x"; _ }, None) -> ()
+  | _ -> Alcotest.fail "files spec");
+  (match decode {|{"program":"p(\"a\"). @goal(p)."}|} with
+  | Ok (Registry.Inline _, None) -> ()
+  | _ -> Alcotest.fail "inline spec");
+  (match decode {|{}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty spec accepted");
+  match decode {|{"app":"x","program":"y"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ambiguous spec accepted"
+
+(* --- router (no sockets) --------------------------------------------------- *)
+
+let request ?(body = "") meth path =
+  let target = "/" ^ String.concat "/" path in
+  {
+    Http.meth;
+    target;
+    path;
+    query = [];
+    headers = [ "content-type", "application/json" ];
+    body;
+  }
+
+let test_router_statuses () =
+  let st = Router.make_state () in
+  let status r = r.Http.status in
+  check int' "health" 200 (status (Router.handle st (request Http.GET [ "health" ])));
+  check int' "unknown route" 404 (status (Router.handle st (request Http.GET [ "nope" ])));
+  check int' "bad method" 405 (status (Router.handle st (request Http.DELETE [ "health" ])));
+  check int' "unknown session" 404
+    (status (Router.handle st (request ~body:{|{"query":"p("a")"}|} Http.POST [ "sessions"; "s9"; "explain" ])));
+  check int' "bad session body" 400
+    (status (Router.handle st (request ~body:"{oops" Http.POST [ "sessions" ])));
+  let created =
+    Router.handle st
+      (request ~body:(Json.to_string (Json.Obj [ "program", Json.str inline_program ]))
+         Http.POST [ "sessions" ])
+  in
+  check int' "created" 201 created.Http.status;
+  check int' "templates" 200
+    (status (Router.handle st (request Http.GET [ "sessions"; "s1"; "templates" ])));
+  check int' "malformed atom is 400"
+    400
+    (status
+       (Router.handle st
+          (request ~body:{|{"query":"control(\"A\" oops"}|} Http.POST
+             [ "sessions"; "s1"; "explain" ])));
+  check int' "valid explain" 200
+    (status
+       (Router.handle st
+          (request ~body:{|{"query":"control(\"A\", \"C\")"}|} Http.POST
+             [ "sessions"; "s1"; "explain" ])))
+
+(* --- loopback integration -------------------------------------------------- *)
+
+let http_call ~port ~meth ~path ~body =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let payload =
+        Printf.sprintf "%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\n\r\n%s"
+          meth path (String.length body) body
+      in
+      let _ = Unix.write_substring fd payload 0 (String.length payload) in
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        end
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      let status = int_of_string (String.sub raw 9 3) in
+      let body =
+        match Ekg_kernel.Textutil.split_on_string ~sep:"\r\n\r\n" raw with
+        | _ :: rest -> String.concat "\r\n\r\n" rest
+        | [] -> ""
+      in
+      status, body)
+
+let test_server_integration () =
+  let st = Router.make_state ~root:".." () in
+  let config = { Server.default_config with port = 0; domains = 2 } in
+  let server = Server.start ~config st in
+  let port = Server.port server in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let status, body = http_call ~port ~meth:"GET" ~path:"/health" ~body:"" in
+  check int' "health status" 200 status;
+  check bool' "health body" true (contains body {|"status":"ok"|});
+  (* session loaded from the repo's programs/ directory *)
+  let status, body =
+    http_call ~port ~meth:"POST" ~path:"/sessions"
+      ~body:
+        {|{"name":"cc","program_path":"programs/company_control.vada","glossary_path":"programs/company_control.dict","facts_dir":"data/company_control"}|}
+  in
+  check int' "session created" 201 status;
+  check bool' "session id" true (contains body {|"id":"s1"|});
+  let explain () =
+    http_call ~port ~meth:"POST" ~path:"/sessions/s1/explain"
+      ~body:{|{"query":"control(\"A\", \"D\")"}|}
+  in
+  let status, body = explain () in
+  check int' "explain status" 200 status;
+  check bool' "explanation text present" true
+    (contains body "exercises control over");
+  (* the second identical request must be a registry cache hit *)
+  let status, _ = explain () in
+  check int' "second explain status" 200 status;
+  let status, body =
+    http_call ~port ~meth:"POST" ~path:"/sessions/s1/explain"
+      ~body:{|{"query":"control(\"A\" broken"}|}
+  in
+  check int' "malformed query is 400, worker survives" 400 status;
+  check bool' "error is json" true (contains body {|"error"|});
+  let status, body = http_call ~port ~meth:"GET" ~path:"/metrics" ~body:"" in
+  check int' "metrics status" 200 status;
+  check bool' "one cache hit recorded" true
+    (contains body {|"hits":1|});
+  check bool' "one cache miss recorded" true
+    (contains body {|"misses":1|})
+
+(* --------------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "ekg_server"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "printing" `Quick test_json_print;
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "unicode escapes" `Quick test_json_parse_escapes;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "http",
+        [
+          Alcotest.test_case "happy path" `Quick test_http_happy_path;
+          Alcotest.test_case "GET without length" `Quick test_http_get_without_length;
+          Alcotest.test_case "missing content-length" `Quick test_http_missing_content_length;
+          Alcotest.test_case "oversized body" `Quick test_http_oversized_body;
+          Alcotest.test_case "bad requests" `Quick test_http_bad_requests;
+          Alcotest.test_case "header limit" `Quick test_http_header_limit;
+          Alcotest.test_case "response serialization" `Quick test_http_response_serialization;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram quantiles" `Quick test_hist_quantiles;
+          Alcotest.test_case "histogram edges" `Quick test_hist_edges;
+          Alcotest.test_case "counters + json" `Quick test_metrics_counters;
+        ] );
+      ( "chase errors",
+        [
+          Alcotest.test_case "unstratifiable" `Quick test_chase_checked_unstratifiable;
+          Alcotest.test_case "inconsistent" `Quick test_chase_checked_inconsistent;
+          Alcotest.test_case "divergent classification" `Quick
+            test_chase_checked_divergent_is_server_side;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "cache accounting" `Quick test_registry_cache_accounting;
+          Alcotest.test_case "path containment" `Quick test_registry_path_containment;
+          Alcotest.test_case "spec decoding" `Quick test_registry_spec_decoding;
+        ] );
+      ( "router",
+        [ Alcotest.test_case "status mapping" `Quick test_router_statuses ] );
+      ( "integration",
+        [ Alcotest.test_case "loopback server" `Quick test_server_integration ] );
+    ]
