@@ -19,16 +19,64 @@ let time_ms f =
   let t1 = Unix.gettimeofday () in
   (result, (t1 -. t0) *. 1000.)
 
+(* --- stage spans -----------------------------------------------------------
+
+   One process-wide tracer whose finish hook aggregates self time per
+   stage name; [span_summary] prints and resets the table, so each
+   harness section reports the pipeline-stage breakdown of its own
+   work. *)
+
+let span_agg : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 16
+let span_lock = Mutex.create ()
+
+let tracer =
+  Ekg_obs.Trace.create ~capacity:16
+    ~on_finish:(fun span ->
+      Mutex.lock span_lock;
+      let calls, self_ms =
+        match Hashtbl.find_opt span_agg span.Ekg_obs.Trace.name with
+        | Some cell -> cell
+        | None ->
+          let cell = (ref 0, ref 0.) in
+          Hashtbl.add span_agg span.Ekg_obs.Trace.name cell;
+          cell
+      in
+      incr calls;
+      self_ms := !self_ms +. Ekg_obs.Trace.self_ms span;
+      Mutex.unlock span_lock)
+    ()
+
+let span_summary () =
+  Mutex.lock span_lock;
+  let rows =
+    Hashtbl.fold
+      (fun name (calls, ms) acc -> (name, !calls, !ms) :: acc)
+      span_agg []
+  in
+  Hashtbl.reset span_agg;
+  Mutex.unlock span_lock;
+  match List.sort (fun (_, _, a) (_, _, b) -> compare b a) rows with
+  | [] -> ()
+  | rows ->
+    subsection "stage spans (self time)";
+    List.iter
+      (fun (name, calls, ms) ->
+        Printf.printf "  %-24s %6d spans  %10.3f ms\n" name calls ms)
+      rows
+
 type explained = {
   explanation : Pipeline.explanation;
   result : Ekg_engine.Chase.result;
 }
 
 let explain_goal pipeline edb goal =
-  match Pipeline.reason pipeline edb with
+  match
+    Ekg_obs.Trace.with_span tracer "chase" (fun _ ->
+        Pipeline.reason pipeline edb)
+  with
   | Error e -> failwith ("bench: reasoning failed: " ^ e)
   | Ok result -> (
-    match Pipeline.explain_atom pipeline result goal with
+    match Pipeline.explain_atom ~obs:tracer pipeline result goal with
     | Ok (e :: _) -> { explanation = e; result }
     | Ok [] -> failwith "bench: no explanation produced"
     | Error e -> failwith ("bench: explanation failed: " ^ e))

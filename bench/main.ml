@@ -33,7 +33,10 @@ let () =
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
-      | Some run -> run ()
+      | Some run ->
+        run ();
+        (* per-stage self-time totals for the spans the section produced *)
+        Bench_util.span_summary ()
       | None ->
         Printf.eprintf "unknown section %s (known: %s)\n" name
           (String.concat ", " (List.map fst sections));

@@ -110,6 +110,22 @@ let tests () =
       (Staged.stage (fun () ->
            Ekg_engine.Chase.run_exn ~naive:true Company_control.program
              chain20.Owners.edb));
+    (* ablation: profiling overhead — same chase with stats collection
+       into a disabled sink; compare against semi-naive-20-hops to see
+       what instrumentation costs when nobody is scraping *)
+    Test.make ~name:"ablation.obs.chase-20-hops-noop-sink"
+      (Staged.stage
+         (let sink = Ekg_obs.Metrics.noop () in
+          fun () ->
+            Ekg_engine.Chase.run_exn ~stats:sink Company_control.program
+              chain20.Owners.edb));
+    (* ablation: full observability — stats into a live registry *)
+    Test.make ~name:"ablation.obs.chase-20-hops-live-sink"
+      (Staged.stage
+         (let sink = Ekg_obs.Metrics.create () in
+          fun () ->
+            Ekg_engine.Chase.run_exn ~stats:sink Company_control.program
+              chain20.Owners.edb));
   ]
 
 let run () =

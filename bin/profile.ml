@@ -1,0 +1,156 @@
+(* ekg-profile: run a bundled application under full instrumentation
+   and print where the time goes — per pipeline stage (from the span
+   tree) and per rule (from the chase profiler).
+
+     dune exec bin/profile.exe -- company-control
+     dune exec bin/profile.exe -- stress-test --rounds --prometheus *)
+
+open Cmdliner
+open Ekg_core
+open Ekg_apps
+
+let print_stages ~wall_ms roots =
+  Printf.printf "\n== stage breakdown ==\n";
+  Printf.printf "  %-40s %10s %10s %7s\n" "stage" "total ms" "self ms" "% wall";
+  List.iter
+    (fun root ->
+      List.iter
+        (fun (depth, (sp : Ekg_obs.Trace.span)) ->
+          let total = Ekg_obs.Trace.duration_ms sp in
+          Printf.printf "  %-40s %10.3f %10.3f %6.1f%%\n"
+            (String.make (2 * depth) ' ' ^ sp.name)
+            total
+            (Ekg_obs.Trace.self_ms sp)
+            (if wall_ms > 0. then 100. *. total /. wall_ms else 0.))
+        (Ekg_obs.Trace.flatten root))
+    roots
+
+let print_rules (stats : Ekg_engine.Chase.stats) =
+  Printf.printf "\n== per-rule chase profile ==\n";
+  Printf.printf "  %-32s %7s %6s %7s %10s %7s\n" "rule" "stratum" "evals"
+    "facts" "ms" "% chase";
+  let by_time =
+    List.sort
+      (fun (a : Ekg_engine.Chase.rule_stat) b -> compare b.time_s a.time_s)
+      stats.per_rule
+  in
+  List.iter
+    (fun (r : Ekg_engine.Chase.rule_stat) ->
+      Printf.printf "  %-32s %7d %6d %7d %10.3f %6.1f%%\n" r.rule_id r.stratum
+        r.evals r.facts (r.time_s *. 1000.)
+        (if stats.wall_s > 0. then 100. *. r.time_s /. stats.wall_s else 0.))
+    by_time;
+  Printf.printf "  rounds per stratum: %s;  aggregate facts superseded: %d\n"
+    (String.concat ", "
+       (List.mapi
+          (fun i n -> Printf.sprintf "#%d=%d" (i + 1) n)
+          stats.rounds_per_stratum))
+    stats.agg_superseded
+
+let print_rounds (stats : Ekg_engine.Chase.stats) =
+  Printf.printf "\n== per-round deltas ==\n";
+  Printf.printf "  %-8s %-6s %10s %10s %10s\n" "stratum" "round" "delta"
+    "new facts" "ms";
+  List.iter
+    (fun (r : Ekg_engine.Chase.round_stat) ->
+      Printf.printf "  %-8d %-6d %10d %10d %10.3f\n" r.stratum r.round
+        r.delta_size r.new_facts (r.time_s *. 1000.))
+    stats.per_round
+
+let run app query rounds dump_trace prometheus =
+  let tracer = Ekg_obs.Trace.create () in
+  let sink = Ekg_obs.Metrics.create () in
+  let wall0 = Unix.gettimeofday () in
+  match Bundled.load ~obs:tracer app with
+  | Error e ->
+    Fmt.epr "error: %s@." e;
+    1
+  | Ok { Apps_util.pipeline; edb } -> (
+    match
+      Ekg_obs.Trace.with_span tracer "chase" (fun _ ->
+          Ekg_engine.Chase.run_checked ~stats:sink pipeline.Pipeline.program edb)
+    with
+    | Error err ->
+      Fmt.epr "reasoning error: %s@." (Ekg_engine.Chase.error_to_string err);
+      1
+    | Ok result -> (
+      let goal = pipeline.Pipeline.program.goal in
+      let explained =
+        match query with
+        | Some q ->
+          Result.map List.length
+            (Pipeline.explain_query ~obs:tracer pipeline result q)
+        | None -> (
+          (* no query: explain the first derived goal fact *)
+          match Ekg_engine.Database.active result.db goal with
+          | [] -> Error ("no derived facts for goal " ^ goal)
+          | fact :: _ ->
+            Result.map
+              (fun (_ : Pipeline.explanation) -> 1)
+              (Pipeline.explain ~obs:tracer pipeline result fact))
+      in
+      let wall_ms = (Unix.gettimeofday () -. wall0) *. 1000. in
+      match explained with
+      | Error e ->
+        Fmt.epr "explanation error: %s@." e;
+        1
+      | Ok explained ->
+        Printf.printf
+          "app: %s  goal: %s\nderived %d facts in %d rounds; %d explanation%s\n"
+          app goal result.derived_count result.rounds explained
+          (if explained = 1 then "" else "s");
+        let roots = List.rev (Ekg_obs.Trace.recent tracer) in
+        print_stages ~wall_ms roots;
+        let accounted =
+          List.fold_left
+            (fun acc r -> acc +. Ekg_obs.Trace.duration_ms r)
+            0. roots
+        in
+        Printf.printf "\n  accounted %.3f ms of %.3f ms wall-clock (%.1f%%)\n"
+          accounted wall_ms
+          (if wall_ms > 0. then 100. *. accounted /. wall_ms else 0.);
+        Option.iter
+          (fun stats ->
+            print_rules stats;
+            if rounds then print_rounds stats)
+          result.stats;
+        if dump_trace then begin
+          Printf.printf "\n== trace (JSONL) ==\n";
+          print_string (Ekg_obs.Trace.jsonl tracer)
+        end;
+        if prometheus then begin
+          Printf.printf "\n== metrics (Prometheus) ==\n";
+          print_string (Ekg_obs.Metrics.to_prometheus sink)
+        end;
+        0))
+
+let app_t =
+  let doc =
+    "Bundled application to profile (company-control, stress-test, \
+     close-link, golden-power)."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let query_t =
+  let doc = "Explanation query to profile instead of the first goal fact." in
+  Arg.(value & opt (some string) None & info [ "query"; "q" ] ~docv:"ATOM" ~doc)
+
+let rounds_t =
+  Arg.(value & flag & info [ "rounds" ] ~doc:"Also print the per-round deltas.")
+
+let trace_t =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Also dump the span trees as JSONL.")
+
+let prometheus_t =
+  Arg.(
+    value & flag
+    & info [ "prometheus" ]
+        ~doc:"Also dump the chase metrics in Prometheus text format.")
+
+let cmd =
+  let doc = "profile a bundled application: per-stage and per-rule breakdown" in
+  let info = Cmd.info "ekg-profile" ~version:"1.0.0" ~doc in
+  Cmd.v info
+    Term.(const run $ app_t $ query_t $ rounds_t $ trace_t $ prometheus_t)
+
+let () = exit (Cmd.eval' cmd)

@@ -26,7 +26,7 @@ let read_file path =
       (fun () -> Ok (really_input_string ic (in_channel_length ic)))
   with Sys_error e -> Error e
 
-let load_program_text ?(style = 0) ?glossary source =
+let load_program_text ?(style = 0) ?obs ?glossary source =
   match Parser.parse source with
   | Error e -> Error ("program: " ^ e)
   | Ok { program; facts } -> (
@@ -40,18 +40,19 @@ let load_program_text ?(style = 0) ?glossary source =
     in
     match glossary with
     | Error e -> Error e
-    | Ok glossary -> Ok { pipeline = Pipeline.build ~style program glossary; edb = facts })
+    | Ok glossary ->
+      Ok { pipeline = Pipeline.build ~style ?obs program glossary; edb = facts })
 
-let load_program_files ?style ~program_file ~glossary_file () =
+let load_program_files ?style ?obs ~program_file ~glossary_file () =
   match read_file program_file with
   | Error e -> Error ("program: " ^ e)
   | Ok source -> (
     match glossary_file with
-    | None -> load_program_text ?style source
+    | None -> load_program_text ?style ?obs source
     | Some gf -> (
       match read_file gf with
       | Error e -> Error ("glossary: " ^ e)
-      | Ok glossary -> load_program_text ?style ~glossary source))
+      | Ok glossary -> load_program_text ?style ?obs ~glossary source))
 
 let with_facts_dir loaded dir =
   match Ekg_engine.Io.load_directory dir with

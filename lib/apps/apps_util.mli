@@ -23,13 +23,19 @@ val read_file : string -> (string, string) result
 (** Whole-file read; the error is the system message. *)
 
 val load_program_text :
-  ?style:int -> ?glossary:string -> string -> (loaded, string) result
+  ?style:int ->
+  ?obs:Ekg_obs.Trace.t ->
+  ?glossary:string ->
+  string ->
+  (loaded, string) result
 (** Compile a Vadalog program source (with optional inline facts) and
     an optional glossary spec into a ready pipeline.  Errors are
-    prefixed ["program: "] / ["glossary: "]. *)
+    prefixed ["program: "] / ["glossary: "].  [obs] records the
+    pipeline-build stage spans (see {!Pipeline.build}). *)
 
 val load_program_files :
   ?style:int ->
+  ?obs:Ekg_obs.Trace.t ->
   program_file:string ->
   glossary_file:string option ->
   unit ->

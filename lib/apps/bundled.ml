@@ -1,18 +1,18 @@
 let names = [ "company-control"; "stress-test"; "close-link"; "golden-power" ]
 
-let load = function
+let load ?obs = function
   | "company-control" ->
     Ok
       {
-        Apps_util.pipeline = Company_control.pipeline ();
+        Apps_util.pipeline = Company_control.pipeline ?obs ();
         edb = Company_control.scenario_edb;
       }
   | "stress-test" ->
-    Ok { Apps_util.pipeline = Stress_test.pipeline (); edb = Stress_test.scenario_edb }
+    Ok { Apps_util.pipeline = Stress_test.pipeline ?obs (); edb = Stress_test.scenario_edb }
   | "close-link" ->
-    Ok { Apps_util.pipeline = Close_link.pipeline (); edb = Close_link.scenario_edb }
+    Ok { Apps_util.pipeline = Close_link.pipeline ?obs (); edb = Close_link.scenario_edb }
   | "golden-power" ->
-    Ok { Apps_util.pipeline = Golden_power.pipeline (); edb = Golden_power.scenario_edb }
+    Ok { Apps_util.pipeline = Golden_power.pipeline ?obs (); edb = Golden_power.scenario_edb }
   | other ->
     Error
       ("unknown application: " ^ other ^ " (try " ^ String.concat ", " names ^ ")")

@@ -5,5 +5,5 @@
 
 val names : string list
 
-val load : string -> (Apps_util.loaded, string) result
+val load : ?obs:Ekg_obs.Trace.t -> string -> (Apps_util.loaded, string) result
 (** [load "company-control"] etc.; the error lists the valid names. *)

@@ -24,7 +24,7 @@ let glossary =
         ~pattern:"<x> is closely linked to <y>";
     ]
 
-let pipeline ?style () = Pipeline.build ?style program glossary
+let pipeline ?style ?obs () = Pipeline.build ?style ?obs program glossary
 
 let own x y w = Atom.make "own" [ Term.str x; Term.str y; Term.num w ]
 

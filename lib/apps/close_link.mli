@@ -20,7 +20,7 @@ open Ekg_datalog
 
 val program : Program.t
 val glossary : Ekg_core.Glossary.t
-val pipeline : ?style:int -> unit -> Ekg_core.Pipeline.t
+val pipeline : ?style:int -> ?obs:Ekg_obs.Trace.t -> unit -> Ekg_core.Pipeline.t
 
 val scenario_edb : Atom.t list
 (** A participation network with direct, chained, and sub-threshold

@@ -23,7 +23,7 @@ let glossary =
         ~pattern:"<x> is a business corporation";
     ]
 
-let pipeline ?style () = Pipeline.build ?style program glossary
+let pipeline ?style ?obs () = Pipeline.build ?style ?obs program glossary
 
 let own x y s =
   Atom.make "own" [ Term.str x; Term.str y; Term.num s ]

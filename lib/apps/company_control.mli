@@ -14,7 +14,7 @@ val program : Program.t
 val glossary : Ekg_core.Glossary.t
 (** From the internal data dictionary (Figure 11). *)
 
-val pipeline : ?style:int -> unit -> Ekg_core.Pipeline.t
+val pipeline : ?style:int -> ?obs:Ekg_obs.Trace.t -> unit -> Ekg_core.Pipeline.t
 
 val scenario_edb : Atom.t list
 (** The representative scenario of Figure 12 (ownership edges and

@@ -35,7 +35,7 @@ let glossary =
         ~pattern:"the acquisition of <t> by <b> is blocked pending government review";
     ]
 
-let pipeline ?style () = Pipeline.build ?style program glossary
+let pipeline ?style ?obs () = Pipeline.build ?style ?obs program glossary
 
 let acquisition b t s =
   Atom.make "acquisition" [ Term.str b; Term.str t; Term.num s ]

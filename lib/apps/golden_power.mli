@@ -28,7 +28,7 @@ open Ekg_datalog
 
 val program : Program.t
 val glossary : Ekg_core.Glossary.t
-val pipeline : ?style:int -> unit -> Ekg_core.Pipeline.t
+val pipeline : ?style:int -> ?obs:Ekg_obs.Trace.t -> unit -> Ekg_core.Pipeline.t
 
 val scenario_edb : Atom.t list
 (** A screening scenario: one over-threshold domestic takeover, one

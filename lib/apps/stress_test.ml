@@ -64,8 +64,8 @@ let simple_glossary =
              defaulted debtor";
       ])
 
-let pipeline ?style () = Pipeline.build ?style program glossary
-let simple_pipeline ?style () = Pipeline.build ?style simple_program simple_glossary
+let pipeline ?style ?obs () = Pipeline.build ?style ?obs program glossary
+let simple_pipeline ?style ?obs () = Pipeline.build ?style ?obs simple_program simple_glossary
 
 let shock f s = Atom.make "shock" [ Term.str f; Term.num s ]
 let has_capital f p = Atom.make "hasCapital" [ Term.str f; Term.num p ]

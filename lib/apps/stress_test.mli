@@ -8,7 +8,7 @@ open Ekg_datalog
 
 val program : Program.t
 val glossary : Ekg_core.Glossary.t
-val pipeline : ?style:int -> unit -> Ekg_core.Pipeline.t
+val pipeline : ?style:int -> ?obs:Ekg_obs.Trace.t -> unit -> Ekg_core.Pipeline.t
 
 val simple_program : Program.t
 (** Example 4.3's α, β, γ over a single [debts] channel. *)
@@ -16,7 +16,7 @@ val simple_program : Program.t
 val simple_glossary : Ekg_core.Glossary.t
 (** Figure 7. *)
 
-val simple_pipeline : ?style:int -> unit -> Ekg_core.Pipeline.t
+val simple_pipeline : ?style:int -> ?obs:Ekg_obs.Trace.t -> unit -> Ekg_core.Pipeline.t
 
 val scenario_edb : Atom.t list
 (** Figure 12's exposures, capitals, and the 14-million-euro shock on

@@ -9,15 +9,19 @@ type t = {
   enhanced : (string * Template.t) list;
 }
 
-let build ?(style = 0) program glossary =
-  let analysis = Reasoning_path.analyze program in
+let build ?(style = 0) ?obs ?parent program glossary =
+  Ekg_obs.Trace.with_span_opt obs ?parent "pipeline-build" @@ fun parent ->
+  let span name f = Ekg_obs.Trace.with_span_opt obs ?parent name (fun _ -> f ()) in
+  let analysis = Reasoning_path.analyze ?obs ?parent program in
   let paths = analysis.simple_paths @ analysis.cycles in
   let deterministic =
+    span "verbalization" @@ fun () ->
     List.map
       (fun p -> (p.Reasoning_path.name, Template.of_path glossary p))
       paths
   in
   let enhanced =
+    span "enhancement" @@ fun () ->
     List.map
       (fun (name, det) -> (name, (Enhancer.enhance ~style glossary det).template))
       deterministic
@@ -42,15 +46,18 @@ type explanation = {
   paths_used : string list;
 }
 
-let reason t edb = Chase.run t.program edb
+let reason ?stats t edb = Chase.run ?stats t.program edb
 
-let explain ?(strategy = `Primary) ?horizon t (result : Chase.result) fact =
+let explain ?(strategy = `Primary) ?horizon ?obs ?parent t (result : Chase.result)
+    fact =
+  Ekg_obs.Trace.with_span_opt obs ?parent "explain" @@ fun parent ->
+  let span name f = Ekg_obs.Trace.with_span_opt obs ?parent name (fun _ -> f ()) in
   let extract =
     match strategy with
     | `Primary -> Proof.of_fact
     | `Shortest -> Proof.shortest_of_fact
   in
-  match extract result.db result.prov fact with
+  match span "proof-extraction" (fun () -> extract result.db result.prov fact) with
   | None -> Error (Fact.to_string fact ^ " is an extensional fact: nothing to explain")
   | Some full_proof ->
     let proof, assumed =
@@ -58,7 +65,9 @@ let explain ?(strategy = `Primary) ?horizon t (result : Chase.result) fact =
       | None -> (full_proof, [])
       | Some h -> Proof.truncate full_proof ~horizon:h
     in
-    let mapping = Proof_mapper.map_proof t.analysis proof in
+    let mapping =
+      span "proof-mapping" (fun () -> Proof_mapper.map_proof t.analysis proof)
+    in
     let preamble =
       if assumed = [] then ""
       else begin
@@ -80,24 +89,27 @@ let explain ?(strategy = `Primary) ?horizon t (result : Chase.result) fact =
       ^ Instantiate.render_mapping ~template_for:(template_for t ~enhanced) mapping
       |> Instantiate.cleanup
     in
+    let text, deterministic_text =
+      span "instantiation" (fun () -> (render true, render false))
+    in
     Ok
       {
         fact;
         proof;
         mapping;
-        text = render true;
-        deterministic_text = render false;
+        text;
+        deterministic_text;
         paths_used = Proof_mapper.paths_used mapping;
       }
 
-let explain_atom ?strategy t (result : Chase.result) atom =
+let explain_atom ?strategy ?obs ?parent t (result : Chase.result) atom =
   let matches = Query.ask result.db atom in
   if matches = [] then Error ("no derived fact matches " ^ Atom.to_string atom)
   else begin
     let explanations =
       List.filter_map
         (fun (f, _) ->
-          match explain ?strategy t result f with
+          match explain ?strategy ?obs ?parent t result f with
           | Ok e -> Some e
           | Error _ -> None (* extensional matches are skipped *))
         matches
@@ -107,7 +119,7 @@ let explain_atom ?strategy t (result : Chase.result) atom =
     else Ok explanations
   end
 
-let explain_query ?strategy t result source =
+let explain_query ?strategy ?obs ?parent t result source =
   match Parser.parse_atom source with
   | Error e -> Error e
-  | Ok atom -> explain_atom ?strategy t result atom
+  | Ok atom -> explain_atom ?strategy ?obs ?parent t result atom

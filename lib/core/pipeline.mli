@@ -15,10 +15,21 @@ type t = {
   enhanced : (string * Template.t) list;       (** per path name *)
 }
 
-val build : ?style:int -> Program.t -> Glossary.t -> t
+val build :
+  ?style:int ->
+  ?obs:Ekg_obs.Trace.t ->
+  ?parent:Ekg_obs.Trace.span ->
+  Program.t ->
+  Glossary.t ->
+  t
 (** Pre-compute the reasoning paths and both template families.  The
     enhancement guard guarantees enhanced templates are token-complete;
-    paths whose enhancement fails keep their deterministic template. *)
+    paths whose enhancement fails keep their deterministic template.
+
+    With [obs], the work is recorded as a ["pipeline-build"] span with
+    ["structural-analysis"] (itself split into ["depgraph"],
+    ["critical-nodes"], ["path-extraction"]), ["verbalization"] and
+    ["enhancement"] children — the stage map of §4.2–§4.3. *)
 
 val template_for : t -> enhanced:bool -> Reasoning_path.t -> Template.t
 (** Lookup with on-the-fly fallback for ad-hoc (mapper-synthesized)
@@ -33,12 +44,16 @@ type explanation = {
   paths_used : string list;
 }
 
-val reason : t -> Atom.t list -> (Chase.result, string) result
-(** Run the reasoning task over extensional facts. *)
+val reason :
+  ?stats:Ekg_obs.Metrics.t -> t -> Atom.t list -> (Chase.result, string) result
+(** Run the reasoning task over extensional facts; [stats] is passed
+    through to {!Chase.run} for engine-level profiling. *)
 
 val explain :
   ?strategy:[ `Primary | `Shortest ] ->
   ?horizon:int ->
+  ?obs:Ekg_obs.Trace.t ->
+  ?parent:Ekg_obs.Trace.span ->
   t ->
   Chase.result ->
   Fact.t ->
@@ -48,10 +63,16 @@ val explain :
     every sub-fact, the most compact recorded derivation.  [horizon]
     truncates very long cascades to the last n derivation hops; the
     facts whose derivations fell outside open the report as
-    assumptions ("Taking as already established that …"). *)
+    assumptions ("Taking as already established that …").
+
+    With [obs], the query is recorded as an ["explain"] span with
+    ["proof-extraction"], ["proof-mapping"] and ["instantiation"]
+    children (nested under [parent] when given). *)
 
 val explain_atom :
   ?strategy:[ `Primary | `Shortest ] ->
+  ?obs:Ekg_obs.Trace.t ->
+  ?parent:Ekg_obs.Trace.span ->
   t ->
   Chase.result ->
   Atom.t ->
@@ -60,6 +81,8 @@ val explain_atom :
 
 val explain_query :
   ?strategy:[ `Primary | `Shortest ] ->
+  ?obs:Ekg_obs.Trace.t ->
+  ?parent:Ekg_obs.Trace.span ->
   t ->
   Chase.result ->
   string ->

@@ -167,9 +167,12 @@ let star_suffix flags =
   | [ _ ] when List.length flags = 1 -> "*"
   | raised -> "*{" ^ String.concat "," (List.map fst raised) ^ "}"
 
-let analyze (p : Program.t) =
-  let leaf = Depgraph.leaf p in
-  let criticals = Critical.critical_nodes p in
+let analyze ?obs ?parent (p : Program.t) =
+  Ekg_obs.Trace.with_span_opt obs ?parent "structural-analysis" @@ fun parent ->
+  let span name f = Ekg_obs.Trace.with_span_opt obs ?parent name (fun _ -> f ()) in
+  let leaf = span "depgraph" (fun () -> Depgraph.leaf p) in
+  let criticals = span "critical-nodes" (fun () -> Critical.critical_nodes p) in
+  span "path-extraction" @@ fun () ->
   let is_critical q = List.mem q criticals in
   let not_terminal _ = false in
   (* simple reasoning paths: expand every intensional predicate down to

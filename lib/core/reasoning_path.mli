@@ -34,9 +34,13 @@ type analysis = {
   cycles : t list;
 }
 
-val analyze : Program.t -> analysis
+val analyze :
+  ?obs:Ekg_obs.Trace.t -> ?parent:Ekg_obs.Trace.span -> Program.t -> analysis
 (** Full structural analysis.  Finite by construction: each rule is
-    traversed at most once per path (one visit per edge). *)
+    traversed at most once per path (one visit per edge).  With [obs],
+    the work is recorded as a ["structural-analysis"] span with
+    ["depgraph"], ["critical-nodes"] and ["path-extraction"]
+    children. *)
 
 val rule_ids : t -> string list
 val is_base : t -> bool

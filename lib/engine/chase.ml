@@ -1,11 +1,36 @@
 open Ekg_kernel
 open Ekg_datalog
 
+type rule_stat = {
+  rule_id : string;
+  stratum : int;
+  time_s : float;
+  evals : int;
+  facts : int;
+}
+
+type round_stat = {
+  stratum : int;
+  round : int;
+  delta_size : int;
+  new_facts : int;
+  time_s : float;
+}
+
+type stats = {
+  per_rule : rule_stat list;
+  per_round : round_stat list;
+  rounds_per_stratum : int list;
+  agg_superseded : int;
+  wall_s : float;
+}
+
 type result = {
   db : Database.t;
   prov : Provenance.t;
   rounds : int;
   derived_count : int;
+  stats : stats option;
 }
 
 let falsum = "false"
@@ -16,6 +41,7 @@ type state = {
   (* current materialized aggregate fact per (rule id, group key) *)
   agg_current : (string * Value.t list, int) Hashtbl.t;
   mutable derived : int;
+  mutable superseded : int;  (* stale aggregate facts deactivated *)
 }
 
 let instantiate_head st (r : Rule.t) binding =
@@ -166,44 +192,99 @@ let apply_agg_rule st ~round (r : Rule.t) =
           | Some old_id when old_id <> f.Fact.id ->
             (* stale monotonic aggregate: supersede it *)
             Database.deactivate st.db old_id;
+            st.superseded <- st.superseded + 1;
             Provenance.record_superseded st.prov ~old_fact:old_id ~by:f.Fact.id
           | Some _ | None -> ());
           Hashtbl.replace st.agg_current reg_key f.Fact.id;
           Some f.Fact.id))
     groups
 
+type divergence = {
+  max_rounds : int;
+  stratum_rounds : int list;
+}
+
 type error =
   | Invalid_program of string list
   | Unstratifiable of string
   | Invalid_edb of string
-  | Divergent of int
+  | Divergent of divergence
   | Inconsistent of string
 
 let error_to_string = function
   | Invalid_program es -> String.concat "; " es
   | Unstratifiable e -> e
   | Invalid_edb e -> e
-  | Divergent max_rounds ->
-    Printf.sprintf "chase did not terminate within %d rounds" max_rounds
+  | Divergent { max_rounds; stratum_rounds } ->
+    let detail =
+      match stratum_rounds with
+      | [] -> ""
+      | rs ->
+        Printf.sprintf " (rounds per stratum: %s)"
+          (String.concat ", "
+             (List.mapi (fun i n -> Printf.sprintf "#%d=%d" (i + 1) n) rs))
+    in
+    Printf.sprintf "chase did not terminate within %d rounds%s" max_rounds detail
   | Inconsistent detail -> detail
 
 let client_error = function
   | Invalid_program _ | Unstratifiable _ | Invalid_edb _ | Inconsistent _ -> true
   | Divergent _ -> false
 
-let run_checked ?(naive = false) ?(max_rounds = 100_000) (program : Program.t) edb =
+(* per-rule profiling accumulator, live only when a stats sink is on *)
+type rule_acc = {
+  acc_rule : string;
+  acc_stratum : int;
+  mutable acc_time : float;
+  mutable acc_evals : int;
+  mutable acc_facts : int;
+}
+
+let push_stats sink ~rounds ~derived (s : stats) =
+  let open Ekg_obs in
+  Metrics.incr sink ~help:"Chase materializations completed" "ekg_chase_runs_total";
+  Metrics.add sink ~help:"Fixpoint rounds executed" "ekg_chase_rounds_total"
+    (float_of_int rounds);
+  Metrics.add sink ~help:"Facts derived beyond the EDB"
+    "ekg_chase_facts_derived_total" (float_of_int derived);
+  Metrics.add sink ~help:"Stale monotonic-aggregate facts superseded"
+    "ekg_chase_agg_superseded_total" (float_of_int s.agg_superseded);
+  Metrics.add sink ~help:"Chase wall-clock seconds" "ekg_chase_seconds_total"
+    s.wall_s;
+  List.iter
+    (fun (r : rule_stat) ->
+      let labels =
+        [ ("rule", r.rule_id); ("stratum", string_of_int r.stratum) ]
+      in
+      Metrics.add sink ~help:"Evaluation seconds per rule"
+        ~labels "ekg_chase_rule_seconds_total" r.time_s;
+      Metrics.add sink ~help:"Facts derived per rule" ~labels
+        "ekg_chase_rule_facts_total" (float_of_int r.facts))
+    s.per_rule
+
+let run_checked ?(naive = false) ?(max_rounds = 100_000) ?stats
+    (program : Program.t) edb =
   match Program.validate program with
   | Error es -> Error (Invalid_program es)
   | Ok () -> (
     match Stratify.strata program with
     | Error e -> Error (Unstratifiable e)
     | Ok strata -> (
+      (* a disabled (noop) sink disables collection outright: the hot
+         path pays one branch, no clock reads, no accumulators *)
+      let collect =
+        match stats with
+        | Some sink -> Ekg_obs.Metrics.enabled sink
+        | None -> false
+      in
+      let t_start = if collect then Ekg_obs.Clock.now_s () else 0. in
       let st =
         {
           db = Database.create ();
           prov = Provenance.create ();
           agg_current = Hashtbl.create 64;
           derived = 0;
+          superseded = 0;
         }
       in
       let edb_error = ref None in
@@ -218,9 +299,44 @@ let run_checked ?(naive = false) ?(max_rounds = 100_000) (program : Program.t) e
       | None -> (
         let total_rounds = ref 0 in
         let overflow = ref false in
-        let run_stratum rules =
+        let stratum_rounds = Array.make (max 1 (List.length strata)) 0 in
+        let accs = ref [] in       (* rule_acc, reverse creation order *)
+        let round_log = ref [] in  (* round_stat, reverse execution order *)
+        let run_stratum si rules =
           let plain = List.filter (fun r -> not (Rule.has_agg r)) rules in
           let agg = List.filter Rule.has_agg rules in
+          let with_acc rs =
+            List.map
+              (fun (r : Rule.t) ->
+                if not collect then (r, None)
+                else begin
+                  let a =
+                    {
+                      acc_rule = r.id;
+                      acc_stratum = si;
+                      acc_time = 0.;
+                      acc_evals = 0;
+                      acc_facts = 0;
+                    }
+                  in
+                  accs := a :: !accs;
+                  (r, Some a)
+                end)
+              rs
+          in
+          let plain = with_acc plain in
+          let agg = with_acc agg in
+          let timed acc apply =
+            match acc with
+            | None -> apply ()
+            | Some a ->
+              let t0 = Ekg_obs.Clock.now_s () in
+              let out = apply () in
+              a.acc_time <- a.acc_time +. (Ekg_obs.Clock.now_s () -. t0);
+              a.acc_evals <- a.acc_evals + 1;
+              a.acc_facts <- a.acc_facts + List.length out;
+              out
+          in
           let delta = ref None in
           (* [None] means "first round": evaluate in full *)
           let continue = ref true in
@@ -228,6 +344,13 @@ let run_checked ?(naive = false) ?(max_rounds = 100_000) (program : Program.t) e
             incr total_rounds;
             if !total_rounds > max_rounds then overflow := true
             else begin
+              stratum_rounds.(si) <- stratum_rounds.(si) + 1;
+              let round_t0 = if collect then Ekg_obs.Clock.now_s () else 0. in
+              let delta_size =
+                if collect then
+                  match !delta with None -> 0 | Some ids -> List.length ids
+                else 0
+              in
               let added = ref [] in
               let delta_filter =
                 if naive then None
@@ -245,18 +368,40 @@ let run_checked ?(naive = false) ?(max_rounds = 100_000) (program : Program.t) e
                     Some { Matcher.mem = Hashtbl.mem set; has_pred = Hashtbl.mem preds }
               in
               List.iter
-                (fun r ->
-                  added := apply_plain_rule st ~round:!total_rounds ~delta:delta_filter r @ !added)
+                (fun (r, acc) ->
+                  let out =
+                    timed acc (fun () ->
+                        apply_plain_rule st ~round:!total_rounds ~delta:delta_filter r)
+                  in
+                  added := out @ !added)
                 plain;
               List.iter
-                (fun r -> added := apply_agg_rule st ~round:!total_rounds r @ !added)
+                (fun (r, acc) ->
+                  let out =
+                    timed acc (fun () -> apply_agg_rule st ~round:!total_rounds r)
+                  in
+                  added := out @ !added)
                 agg;
+              if collect then
+                round_log :=
+                  {
+                    stratum = si;
+                    round = !total_rounds;
+                    delta_size;
+                    new_facts = List.length !added;
+                    time_s = Ekg_obs.Clock.now_s () -. round_t0;
+                  }
+                  :: !round_log;
               if !added = [] then continue := false else delta := Some !added
             end
           done
         in
-        List.iter run_stratum strata;
-        if !overflow then Error (Divergent max_rounds)
+        List.iteri run_stratum strata;
+        let stratum_rounds_list =
+          Array.to_list (Array.sub stratum_rounds 0 (List.length strata))
+        in
+        if !overflow then
+          Error (Divergent { max_rounds; stratum_rounds = stratum_rounds_list })
         else begin
           (* negative constraints: a derived ⊥ aborts the task *)
           match Database.active st.db falsum with
@@ -273,21 +418,51 @@ let run_checked ?(naive = false) ?(max_rounds = 100_000) (program : Program.t) e
             in
             Error (Inconsistent detail)
           | [] ->
+            let stats_record =
+              if not collect then None
+              else begin
+                let per_rule =
+                  List.rev_map
+                    (fun a ->
+                      {
+                        rule_id = a.acc_rule;
+                        stratum = a.acc_stratum;
+                        time_s = a.acc_time;
+                        evals = a.acc_evals;
+                        facts = a.acc_facts;
+                      })
+                    !accs
+                in
+                Some
+                  {
+                    per_rule;
+                    per_round = List.rev !round_log;
+                    rounds_per_stratum = stratum_rounds_list;
+                    agg_superseded = st.superseded;
+                    wall_s = Ekg_obs.Clock.now_s () -. t_start;
+                  }
+              end
+            in
+            (match stats, stats_record with
+            | Some sink, Some s ->
+              push_stats sink ~rounds:!total_rounds ~derived:st.derived s
+            | _ -> ());
             Ok
               {
                 db = st.db;
                 prov = st.prov;
                 rounds = !total_rounds;
                 derived_count = st.derived;
+                stats = stats_record;
               }
         end)))
 
-let run ?naive ?max_rounds program edb =
-  match run_checked ?naive ?max_rounds program edb with
+let run ?naive ?max_rounds ?stats program edb =
+  match run_checked ?naive ?max_rounds ?stats program edb with
   | Ok r -> Ok r
   | Error e -> Error (error_to_string e)
 
-let run_exn ?naive ?max_rounds program edb =
-  match run ?naive ?max_rounds program edb with
+let run_exn ?naive ?max_rounds ?stats program edb =
+  match run ?naive ?max_rounds ?stats program edb with
   | Ok r -> r
   | Error e -> failwith ("Chase.run: " ^ e)

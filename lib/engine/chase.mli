@@ -10,11 +10,43 @@
 
 open Ekg_datalog
 
+(** {1 Engine statistics}
+
+    Collected when a [?stats] sink is supplied to {!run}: per-rule and
+    per-stratum timings, per-round delta sizes, and aggregate-group
+    churn — the engine-level monitoring a production reasoner needs
+    before any targeted optimization (see ROADMAP). *)
+
+type rule_stat = {
+  rule_id : string;
+  stratum : int;       (** 0-based stratum index the rule evaluated in *)
+  time_s : float;      (** total matcher + insertion time across rounds *)
+  evals : int;         (** rounds the rule was evaluated in *)
+  facts : int;         (** facts this rule derived *)
+}
+
+type round_stat = {
+  stratum : int;
+  round : int;         (** global round number, 1-based *)
+  delta_size : int;    (** facts in the incoming delta; [0] on a full round *)
+  new_facts : int;     (** facts the round derived *)
+  time_s : float;
+}
+
+type stats = {
+  per_rule : rule_stat list;       (** program order *)
+  per_round : round_stat list;     (** execution order *)
+  rounds_per_stratum : int list;   (** by ascending stratum *)
+  agg_superseded : int;            (** stale aggregate facts deactivated *)
+  wall_s : float;                  (** chase wall-clock, EDB load included *)
+}
+
 type result = {
   db : Database.t;
   prov : Provenance.t;
   rounds : int;            (** fixpoint rounds executed *)
   derived_count : int;     (** facts added beyond the EDB *)
+  stats : stats option;    (** populated when {!run} was given [?stats] *)
 }
 
 val falsum : string
@@ -23,6 +55,12 @@ val falsum : string
     Deriving it makes the reasoning task fail with a diagnostic naming
     the violated constraint and the facts that triggered it. *)
 
+type divergence = {
+  max_rounds : int;                (** the bound that was hit *)
+  stratum_rounds : int list;       (** rounds each stratum ran, ascending —
+                                       the last entry names the culprit *)
+}
+
 type error =
   | Invalid_program of string list
       (** Validation failures (unsafe rules, arity clashes, …). *)
@@ -30,13 +68,17 @@ type error =
       (** Recursion through negation. *)
   | Invalid_edb of string
       (** Non-ground or otherwise ill-formed extensional facts. *)
-  | Divergent of int
-      (** [max_rounds] exceeded; carries the bound that was hit. *)
+  | Divergent of divergence
+      (** [max_rounds] exceeded; carries per-stratum round counts so
+          the diagnostic can name the stratum that failed to
+          converge. *)
   | Inconsistent of string
       (** A negative constraint φ → ⊥ fired; carries the diagnostic. *)
 
 val error_to_string : error -> string
-(** The exact human-readable messages {!run} has always produced. *)
+(** Human-readable messages; {!Divergent} includes the per-stratum
+    round counts, e.g.
+    ["chase did not terminate within 50 rounds (rounds per stratum: #1=2, #2=48)"]. *)
 
 val client_error : error -> bool
 (** [true] for errors caused by the submitted program or data (a
@@ -46,6 +88,7 @@ val client_error : error -> bool
 val run_checked :
   ?naive:bool ->
   ?max_rounds:int ->
+  ?stats:Ekg_obs.Metrics.t ->
   Program.t ->
   Atom.t list ->
   (result, error) Stdlib.result
@@ -56,6 +99,7 @@ val run_checked :
 val run :
   ?naive:bool ->
   ?max_rounds:int ->
+  ?stats:Ekg_obs.Metrics.t ->
   Program.t ->
   Atom.t list ->
   (result, string) Stdlib.result
@@ -66,7 +110,24 @@ val run :
     guaranteed-terminating fragment.  [naive] disables semi-naive
     delta filtering (every rule re-evaluated in full each round);
     results are identical, only performance differs — kept for the
-    ablation benchmarks. *)
+    ablation benchmarks.
 
-val run_exn : ?naive:bool -> ?max_rounds:int -> Program.t -> Atom.t list -> result
+    [stats] turns on engine profiling: the result carries a {!stats}
+    record, and the run's totals are pushed into the sink registry as
+    [ekg_chase_*] series ([ekg_chase_rounds_total],
+    [ekg_chase_facts_derived_total],
+    [ekg_chase_rule_seconds_total\{rule,stratum\}], …).  A disabled
+    sink ({!Ekg_obs.Metrics.noop}) disables collection outright —
+    [result.stats] stays [None] and the hot path pays a single branch,
+    so instrumented call sites can leave observability off for free.
+    Without [stats] the hot path is likewise untouched — no clock
+    reads per rule. *)
+
+val run_exn :
+  ?naive:bool ->
+  ?max_rounds:int ->
+  ?stats:Ekg_obs.Metrics.t ->
+  Program.t ->
+  Atom.t list ->
+  result
 (** Like {!run} but raising [Failure]. *)

@@ -1,0 +1,3 @@
+let now_s = Unix.gettimeofday
+
+let since_ms t0 = Float.max 0. ((now_s () -. t0) *. 1000.)

@@ -1,0 +1,14 @@
+(** The one clock every timer in the observability layer reads, so a
+    better source (a monotonic syscall binding, a mocked clock in
+    tests) can be swapped in at a single point.  The stdlib carries no
+    monotonic clock, so the default source is [Unix.gettimeofday];
+    span durations are differences of two nearby reads, for which wall
+    time is an adequate monotonic proxy. *)
+
+val now_s : unit -> float
+(** Seconds, as a difference-friendly timestamp. *)
+
+val since_ms : float -> float
+(** [since_ms t0] is the elapsed time since the earlier {!now_s}
+    reading [t0], in milliseconds, floored at [0.] so a stepped wall
+    clock can never produce a negative duration. *)

@@ -1,0 +1,64 @@
+(* Upper bounds of the latency buckets, in milliseconds; the final
+   implicit bucket is (last, +inf), reported via the observed max. *)
+let bounds =
+  [| 0.05; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.; 50.; 100.; 250.; 500.;
+     1000.; 2500.; 5000.; 10000. |]
+
+type t = {
+  counts : int array;        (* one per bound, plus overflow at the end *)
+  mutable n : int;
+  mutable sum : float;       (* ms *)
+  mutable max : float;       (* ms *)
+}
+
+let create () =
+  { counts = Array.make (Array.length bounds + 1) 0; n = 0; sum = 0.; max = 0. }
+
+let bucket_of ms =
+  let rec find i =
+    if i >= Array.length bounds then Array.length bounds
+    else if ms <= bounds.(i) then i
+    else find (i + 1)
+  in
+  find 0
+
+let observe_ms t ms =
+  t.counts.(bucket_of ms) <- t.counts.(bucket_of ms) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. ms;
+  if ms > t.max then t.max <- ms
+
+let observe t seconds = observe_ms t (seconds *. 1000.)
+
+let count t = t.n
+let sum_ms t = t.sum
+let max_ms t = t.max
+
+let quantile t q =
+  if t.n = 0 then 0.
+  else begin
+    (* the rank is clamped to [1, n]: q <= 0 asks for the smallest
+       observation, q >= 1 for the largest *)
+    let rank =
+      Float.min (float_of_int t.n) (Float.max 1. (Float.round (q *. float_of_int t.n)))
+    in
+    let rec walk i acc =
+      if i >= Array.length bounds then t.max
+      else
+        let acc = acc + t.counts.(i) in
+        if float_of_int acc >= rank then bounds.(i) else walk (i + 1) acc
+    in
+    (* a bucket's upper bound can exceed every value it holds (e.g. a
+       single 0.02 ms observation in the (0, 0.05] bucket): the
+       observed maximum is always a tighter correct bound *)
+    Float.min (walk 0 0) t.max
+  end
+
+let cumulative t =
+  let acc = ref 0 in
+  Array.to_list
+    (Array.mapi
+       (fun i bound ->
+         acc := !acc + t.counts.(i);
+         (bound, !acc))
+       bounds)

@@ -1,52 +1,4 @@
-module Hist = struct
-  (* Upper bounds of the latency buckets, in milliseconds; the final
-     implicit bucket is (last, +inf), reported via the observed max. *)
-  let bounds =
-    [| 0.05; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.; 50.; 100.; 250.; 500.;
-       1000.; 2500.; 5000.; 10000. |]
-
-  type t = {
-    counts : int array;        (* one per bound, plus overflow at the end *)
-    mutable n : int;
-    mutable sum : float;       (* ms *)
-    mutable max : float;       (* ms *)
-  }
-
-  let create () =
-    { counts = Array.make (Array.length bounds + 1) 0; n = 0; sum = 0.; max = 0. }
-
-  let bucket_of ms =
-    let rec find i =
-      if i >= Array.length bounds then Array.length bounds
-      else if ms <= bounds.(i) then i
-      else find (i + 1)
-    in
-    find 0
-
-  let observe t seconds =
-    let ms = seconds *. 1000. in
-    t.counts.(bucket_of ms) <- t.counts.(bucket_of ms) + 1;
-    t.n <- t.n + 1;
-    t.sum <- t.sum +. ms;
-    if ms > t.max then t.max <- ms
-
-  let count t = t.n
-  let sum_ms t = t.sum
-  let max_ms t = t.max
-
-  let quantile t q =
-    if t.n = 0 then 0.
-    else begin
-      let rank = Float.max 1. (Float.round (q *. float_of_int t.n)) in
-      let rec walk i acc =
-        if i >= Array.length bounds then t.max
-        else
-          let acc = acc + t.counts.(i) in
-          if float_of_int acc >= rank then bounds.(i) else walk (i + 1) acc
-      in
-      walk 0 0
-    end
-end
+module Hist = Ekg_obs.Hist
 
 type endpoint_stats = {
   mutable requests : int;
@@ -123,3 +75,74 @@ let to_json t ~uptime_s =
             Json.Obj [ "hits", Json.int t.hits; "misses", Json.int t.misses ] );
           "endpoints", Json.Obj endpoints;
         ])
+
+let to_prometheus t ~uptime_s =
+  with_lock t (fun () ->
+      let endpoints =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.endpoints []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      let total_requests =
+        List.fold_left (fun acc (_, s) -> acc + s.requests) 0 endpoints
+      in
+      let total_errors =
+        List.fold_left (fun acc (_, s) -> acc + s.errors) 0 endpoints
+      in
+      let buf = Buffer.create 4096 in
+      let open Ekg_obs in
+      let counter ~name ~help v =
+        Prom.header buf ~name ~help ~typ:"counter";
+        Prom.sample buf ~name (float_of_int v)
+      in
+      Prom.header buf ~name:"ekg_uptime_seconds"
+        ~help:"Seconds since the server started" ~typ:"gauge";
+      Prom.sample buf ~name:"ekg_uptime_seconds" uptime_s;
+      counter ~name:"ekg_requests_total"
+        ~help:"Requests served, all endpoints" total_requests;
+      counter ~name:"ekg_request_errors_total"
+        ~help:"Responses with status >= 400, all endpoints" total_errors;
+      counter ~name:"ekg_session_cache_hits_total"
+        ~help:"Chase materializations served from the session cache" t.hits;
+      counter ~name:"ekg_session_cache_misses_total"
+        ~help:"Chase materializations computed on demand" t.misses;
+      if endpoints <> [] then begin
+        Prom.header buf ~name:"ekg_endpoint_requests_total"
+          ~help:"Requests per route label" ~typ:"counter";
+        List.iter
+          (fun (name, (s : endpoint_stats)) ->
+            Prom.sample buf ~name:"ekg_endpoint_requests_total"
+              ~labels:[ "endpoint", name ]
+              (float_of_int s.requests))
+          endpoints;
+        Prom.header buf ~name:"ekg_endpoint_errors_total"
+          ~help:"Error responses per route label" ~typ:"counter";
+        List.iter
+          (fun (name, (s : endpoint_stats)) ->
+            Prom.sample buf ~name:"ekg_endpoint_errors_total"
+              ~labels:[ "endpoint", name ]
+              (float_of_int s.errors))
+          endpoints;
+        Prom.header buf ~name:"ekg_request_duration_ms"
+          ~help:"Request latency per route label, in milliseconds"
+          ~typ:"histogram";
+        List.iter
+          (fun (name, (s : endpoint_stats)) ->
+            let h = s.hist in
+            List.iter
+              (fun (le, cum) ->
+                Prom.sample buf ~name:"ekg_request_duration_ms_bucket"
+                  ~labels:[ "endpoint", name; "le", Prom.number le ]
+                  (float_of_int cum))
+              (Hist.cumulative h);
+            Prom.sample buf ~name:"ekg_request_duration_ms_bucket"
+              ~labels:[ "endpoint", name; "le", "+Inf" ]
+              (float_of_int (Hist.count h));
+            Prom.sample buf ~name:"ekg_request_duration_ms_sum"
+              ~labels:[ "endpoint", name ]
+              (Hist.sum_ms h);
+            Prom.sample buf ~name:"ekg_request_duration_ms_count"
+              ~labels:[ "endpoint", name ]
+              (float_of_int (Hist.count h)))
+          endpoints
+      end;
+      Buffer.contents buf)

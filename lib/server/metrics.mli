@@ -3,25 +3,10 @@
     session-registry cache counters.  All operations are thread-safe;
     recording is O(number of buckets). *)
 
-module Hist : sig
-  type t
-
-  val create : unit -> t
-
-  val observe : t -> float -> unit
-  (** Record one latency, in seconds. *)
-
-  val count : t -> int
-  val sum_ms : t -> float
-  val max_ms : t -> float
-
-  val quantile : t -> float -> float
-  (** [quantile h 0.95] estimates the q-quantile in milliseconds as the
-      upper bound of the first bucket whose cumulative count reaches
-      [q * count] (the histogram estimator Prometheus uses); the
-      overflow bucket reports the maximum observed value.  [0.] when
-      empty. *)
-end
+module Hist = Ekg_obs.Hist
+(** The shared latency histogram ({!Ekg_obs.Hist}): the server used to
+    carry its own copy; both now alias the one implementation so bucket
+    layout and quantile semantics cannot drift. *)
 
 type t
 
@@ -39,4 +24,10 @@ val cache_counts : t -> int * int
 (** [(hits, misses)]. *)
 
 val to_json : t -> uptime_s:float -> Json.t
-(** The [GET /metrics] document. *)
+(** The [GET /metrics] JSON document. *)
+
+val to_prometheus : t -> uptime_s:float -> string
+(** The [GET /metrics] Prometheus text exposition: uptime gauge,
+    aggregate [ekg_requests_total] / [ekg_request_errors_total] and
+    session-cache counters, plus per-endpoint counters and
+    [ekg_request_duration_ms] histograms ([_bucket]/[_sum]/[_count]). *)

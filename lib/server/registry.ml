@@ -12,6 +12,7 @@ type session = {
   lock : Mutex.t;
   mutable chase : Chase.result option;
   mutable explain_count : int;
+  mutable last_trace : Ekg_obs.Trace.span option;
 }
 
 type spec =
@@ -22,13 +23,14 @@ type spec =
 type t = {
   root : string;
   metrics : Metrics.t;
+  obs : Ekg_obs.Metrics.t;
   lock : Mutex.t;
   mutable sessions : session list;  (* newest first *)
   mutable next_id : int;
 }
 
-let create ?(root = ".") metrics =
-  { root; metrics; lock = Mutex.create (); sessions = []; next_id = 1 }
+let create ?(root = ".") ?(obs = Ekg_obs.Metrics.noop ()) metrics =
+  { root; metrics; obs; lock = Mutex.create (); sessions = []; next_id = 1 }
 
 let with_lock lock f =
   Mutex.lock lock;
@@ -109,6 +111,7 @@ let add t ?name spec =
             lock = Mutex.create ();
             chase = None;
             explain_count = 0;
+            last_trace = None;
           }
         in
         t.sessions <- session :: t.sessions;
@@ -129,7 +132,10 @@ let materialize t (session : session) =
         Ok result
       | None ->
         Metrics.cache_miss t.metrics;
-        (match Chase.run_checked session.pipeline.Pipeline.program session.edb with
+        (match
+           Chase.run_checked ~stats:t.obs session.pipeline.Pipeline.program
+             session.edb
+         with
         | Ok result ->
           session.chase <- Some result;
           Ok result
@@ -139,10 +145,18 @@ let note_explain (session : session) =
   with_lock session.lock (fun () ->
       session.explain_count <- session.explain_count + 1)
 
+let set_trace (session : session) span =
+  with_lock session.lock (fun () -> session.last_trace <- Some span)
+
+let last_trace (session : session) =
+  with_lock session.lock (fun () -> session.last_trace)
+
 let session_json (session : session) =
-  let cached, explained =
+  let cached, explained, traced =
     with_lock session.lock (fun () ->
-        (Option.is_some session.chase, session.explain_count))
+        ( Option.is_some session.chase,
+          session.explain_count,
+          Option.is_some session.last_trace ))
   in
   Json.Obj
     [
@@ -159,5 +173,6 @@ let session_json (session : session) =
           ] );
       "chase_cached", Json.bool cached;
       "explain_requests", Json.int explained;
+      "traced", Json.bool traced;
       "created_at", Json.num session.created_at;
     ]

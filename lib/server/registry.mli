@@ -19,6 +19,9 @@ type session = {
   lock : Mutex.t;              (** guards [chase] and [explain_count] *)
   mutable chase : Chase.result option;  (** cached materialization *)
   mutable explain_count : int;
+  mutable last_trace : Ekg_obs.Trace.span option;
+      (** the finished root span of the session's most recent explain
+          request — the [GET /sessions/:id/trace] document *)
 }
 
 type spec =
@@ -32,9 +35,10 @@ type spec =
 
 type t
 
-val create : ?root:string -> Metrics.t -> t
+val create : ?root:string -> ?obs:Ekg_obs.Metrics.t -> Metrics.t -> t
 (** [root] (default ["."]) anchors [Files] paths; requests may not
-    escape it. *)
+    escape it.  [obs] (default a {!Ekg_obs.Metrics.noop} registry)
+    receives the [ekg_chase_*] series of every materialization. *)
 
 val spec_of_json : Json.t -> (spec * string option, string) result
 (** Decode a [POST /sessions] body; also returns the optional
@@ -52,11 +56,19 @@ val count : t -> int
 
 val materialize : t -> session -> (Chase.result, Chase.error) result
 (** The cached chase result, computing it on first use.  Counts a
-    cache hit or miss on the registry's metrics; failed runs are not
+    cache hit or miss on the registry's metrics; a miss runs the chase
+    with the registry's [obs] sink, so [result.stats] carries per-rule
+    timings and the [ekg_chase_*] series advance.  Failed runs are not
     cached. *)
 
 val note_explain : session -> unit
 (** Bump the session's explanation-request counter. *)
+
+val set_trace : session -> Ekg_obs.Trace.span -> unit
+(** Record the (finished) root span of the session's latest explain
+    request. *)
+
+val last_trace : session -> Ekg_obs.Trace.span option
 
 val session_json : session -> Json.t
 (** Summary document: id, name, goal, rule/fact counts, cache state. *)

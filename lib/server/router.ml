@@ -4,19 +4,48 @@ open Ekg_engine
 type state = {
   registry : Registry.t;
   metrics : Metrics.t;
+  obs : Ekg_obs.Metrics.t;
+  tracer : Ekg_obs.Trace.t;
   started_at : float;
 }
 
 let make_state ?root () =
   let metrics = Metrics.create () in
+  let obs = Ekg_obs.Metrics.create () in
+  let tracer =
+    (* every finished span — pipeline stages, chase, whole requests —
+       feeds the per-stage counters, so /metrics shows stage timings
+       without anyone walking the trace ring *)
+    Ekg_obs.Trace.create
+      ~on_finish:(fun (span : Ekg_obs.Trace.span) ->
+        let labels = [ "stage", span.name ] in
+        Ekg_obs.Metrics.add obs
+          ~help:"Seconds spent per pipeline/request stage" ~labels
+          "ekg_pipeline_stage_seconds_total" span.dur_s;
+        Ekg_obs.Metrics.incr obs
+          ~help:"Spans finished per pipeline/request stage" ~labels
+          "ekg_pipeline_stage_calls_total")
+      ()
+  in
+  (* the mandatory series must be scrapeable before the first chase *)
+  Ekg_obs.Metrics.declare_counter obs ~help:"Chase materializations completed"
+    "ekg_chase_runs_total";
+  Ekg_obs.Metrics.declare_counter obs ~help:"Fixpoint rounds executed"
+    "ekg_chase_rounds_total";
+  Ekg_obs.Metrics.declare_counter obs ~help:"Facts derived beyond the EDB"
+    "ekg_chase_facts_derived_total";
   {
-    registry = Registry.create ?root metrics;
+    registry = Registry.create ?root ~obs metrics;
     metrics;
+    obs;
+    tracer;
     started_at = Unix.gettimeofday ();
   }
 
 let registry st = st.registry
 let metrics st = st.metrics
+let obs st = st.obs
+let tracer st = st.tracer
 
 let json_response status j = Http.response status (Json.to_string j)
 
@@ -34,9 +63,30 @@ let health st =
          "sessions", Json.int (Registry.count st.registry);
        ])
 
-let metrics_doc st =
-  json_response 200
-    (Metrics.to_json st.metrics ~uptime_s:(Unix.gettimeofday () -. st.started_at))
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec at i =
+    if i + nl > hl then false
+    else String.sub haystack i nl = needle || at (i + 1)
+  in
+  nl = 0 || at 0
+
+let wants_prometheus (req : Http.request) =
+  match List.assoc_opt "format" req.query with
+  | Some "prometheus" -> true
+  | Some _ -> false
+  | None -> (
+    match Http.header req "accept" with
+    | Some accept -> contains accept "text/plain"
+    | None -> false)
+
+let metrics_doc st (req : Http.request) =
+  let uptime_s = Unix.gettimeofday () -. st.started_at in
+  if wants_prometheus req then
+    Http.response ~content_type:"text/plain; version=0.0.4" 200
+      (Metrics.to_prometheus st.metrics ~uptime_s
+      ^ Ekg_obs.Metrics.to_prometheus st.obs)
+  else json_response 200 (Metrics.to_json st.metrics ~uptime_s)
 
 let list_sessions st =
   json_response 200
@@ -72,6 +122,15 @@ let templates (session : Registry.session) =
          "enhanced", family session.pipeline.Pipeline.enhanced;
        ])
 
+let session_trace (session : Registry.session) =
+  match Registry.last_trace session with
+  | None ->
+    error_response 404
+      ("session " ^ session.id
+     ^ " has no trace yet; POST /sessions/" ^ session.id
+     ^ "/explain records one")
+  | Some span -> Http.response 200 (Ekg_obs.Trace.span_to_json span)
+
 let explanation_json (e : Pipeline.explanation) =
   Json.Obj
     [
@@ -86,7 +145,7 @@ let chase_error_response err =
   let status = if Chase.client_error err then 400 else 500 in
   error_response status ("reasoning: " ^ Chase.error_to_string err)
 
-let explain st (session : Registry.session) (req : Http.request) =
+let explain st ~trace_id (session : Registry.session) (req : Http.request) =
   match Json.parse req.body with
   | Error e -> error_response 400 e
   | Ok body -> (
@@ -106,23 +165,46 @@ let explain st (session : Registry.session) (req : Http.request) =
         in
         match strategy with
         | Error e -> error_response 400 e
-        | Ok strategy -> (
+        | Ok strategy ->
           Registry.note_explain session;
-          match Registry.materialize st.registry session with
-          | Error err -> chase_error_response err
-          | Ok result -> (
-            match Pipeline.explain_atom ~strategy session.pipeline result atom with
-            | Error e -> error_response 404 e
-            | Ok explanations ->
-              json_response 200
-                (Json.Obj
-                   [
-                     "session", Json.str session.id;
-                     "query", Json.str query;
-                     "count", Json.int (List.length explanations);
-                     ( "explanations",
-                       Json.Arr (List.map explanation_json explanations) );
-                   ]))))))
+          let root = ref None in
+          let resp =
+            Ekg_obs.Trace.with_span st.tracer
+              ~labels:
+                [
+                  "trace_id", trace_id;
+                  "session", session.id;
+                  "query", query;
+                ]
+              "explain-request"
+            @@ fun span ->
+            root := Some span;
+            match
+              Ekg_obs.Trace.with_span st.tracer ~parent:span "chase"
+                (fun _ -> Registry.materialize st.registry session)
+            with
+            | Error err -> chase_error_response err
+            | Ok result -> (
+              match
+                Pipeline.explain_atom ~strategy ~obs:st.tracer ~parent:span
+                  session.pipeline result atom
+              with
+              | Error e -> error_response 404 e
+              | Ok explanations ->
+                json_response 200
+                  (Json.Obj
+                     [
+                       "session", Json.str session.id;
+                       "query", Json.str query;
+                       "trace_id", Json.str trace_id;
+                       "count", Json.int (List.length explanations);
+                       ( "explanations",
+                         Json.Arr (List.map explanation_json explanations) );
+                     ]))
+          in
+          (* the span is finished (duration set) once with_span returns *)
+          Option.iter (Registry.set_trace session) !root;
+          resp)))
 
 (* --- dispatch -------------------------------------------------------------- *)
 
@@ -133,18 +215,21 @@ let with_session st id k =
 
 (* (route label, handler) — the label collapses path parameters so the
    metrics aggregate per endpoint, not per session. *)
-let route st (req : Http.request) =
+let route st ~trace_id (req : Http.request) =
   match req.meth, req.path with
   | Http.GET, [ "health" ] -> "GET /health", health st
-  | Http.GET, [ "metrics" ] -> "GET /metrics", metrics_doc st
+  | Http.GET, [ "metrics" ] -> "GET /metrics", metrics_doc st req
   | Http.GET, [ "sessions" ] -> "GET /sessions", list_sessions st
   | Http.POST, [ "sessions" ] -> "POST /sessions", create_session st req
   | Http.POST, [ "sessions"; id; "explain" ] ->
-    "POST /sessions/:id/explain", with_session st id (fun s -> explain st s req)
+    ( "POST /sessions/:id/explain",
+      with_session st id (fun s -> explain st ~trace_id s req) )
   | Http.GET, [ "sessions"; id; "templates" ] ->
     "GET /sessions/:id/templates", with_session st id templates
+  | Http.GET, [ "sessions"; id; "trace" ] ->
+    "GET /sessions/:id/trace", with_session st id session_trace
   | _, ([ "health" ] | [ "metrics" ] | [ "sessions" ] | [ "sessions"; _; "explain" ]
-       | [ "sessions"; _; "templates" ]) ->
+       | [ "sessions"; _; "templates" ] | [ "sessions"; _; "trace" ]) ->
     ( Http.meth_to_string req.meth ^ " (known path)",
       error_response 405
         ("method " ^ Http.meth_to_string req.meth ^ " not allowed on " ^ req.target) )
@@ -152,15 +237,17 @@ let route st (req : Http.request) =
 
 let handle st req =
   let t0 = Unix.gettimeofday () in
+  let trace_id = Ekg_obs.Trace.next_trace_id st.tracer in
   let label, resp =
-    try route st req
+    try route st ~trace_id req
     with exn ->
       ( "(handler-exception)",
         error_response 500 ("internal error: " ^ Printexc.to_string exn) )
   in
   Metrics.record st.metrics ~endpoint:label ~status:resp.Http.status
     ~seconds:(Unix.gettimeofday () -. t0);
-  resp
+  { resp with
+    Http.resp_headers = ("X-Ekg-Trace-Id", trace_id) :: resp.Http.resp_headers }
 
 let handle_parse_error st err =
   let status = Http.error_status err in

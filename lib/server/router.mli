@@ -2,29 +2,49 @@
 
     {v
     GET  /health                  liveness + uptime
-    GET  /metrics                 counters and latency quantiles
+    GET  /metrics                 counters and latency quantiles (JSON), or
+                                  Prometheus text exposition when the request
+                                  sends [Accept: text/plain] or
+                                  [?format=prometheus]
     POST /sessions                load a program/glossary/EDB triple
     GET  /sessions                list sessions
     POST /sessions/:id/explain    explain the facts matching an atom query
     GET  /sessions/:id/templates  both template families of a session
+    GET  /sessions/:id/trace      the span tree of the session's last explain
     v}
 
-    Every response body is JSON; errors are [{"error": …}].  Handler
-    exceptions are caught and mapped to 500 so a worker domain never
-    dies on a request. *)
+    Every JSON error is [{"error": …}].  Handler exceptions are caught
+    and mapped to 500 so a worker domain never dies on a request.
+
+    Every request is assigned a process-unique trace id, echoed back in
+    an [X-Ekg-Trace-Id] response header; explain requests additionally
+    record a span tree (request → chase → explain stages) under that id,
+    retrievable via [GET /sessions/:id/trace].  Finished spans feed the
+    [ekg_pipeline_stage_*] series; chase materializations feed
+    [ekg_chase_*]. *)
 
 type state
 
 val make_state : ?root:string -> unit -> state
-(** Fresh registry + metrics; [root] anchors [program_path] /
-    [facts_dir] session specs. *)
+(** Fresh registry + metrics + observability registry + tracer; [root]
+    anchors [program_path] / [facts_dir] session specs.  The mandatory
+    chase counters are pre-declared so Prometheus scrapes see them
+    before the first materialization. *)
 
 val registry : state -> Registry.t
 val metrics : state -> Metrics.t
 
+val obs : state -> Ekg_obs.Metrics.t
+(** The chase/pipeline-stage series appended to the Prometheus
+    exposition. *)
+
+val tracer : state -> Ekg_obs.Trace.t
+(** The request tracer (ring buffer of recent explain traces). *)
+
 val handle : state -> Http.request -> Http.response
 (** Dispatch one request, recording latency and status against the
-    route label (path parameters collapsed to [:id]). *)
+    route label (path parameters collapsed to [:id]) and stamping the
+    [X-Ekg-Trace-Id] header. *)
 
 val handle_parse_error : state -> Http.error -> Http.response
 (** The response for a request that never parsed; also recorded in the

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus the server smoke test. Run from anywhere.
+# Tier-1 gate plus the server smoke test (which also scrapes the
+# Prometheus /metrics exposition). Run from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
 dune build @smoke
-echo "ci: all green"
+echo "ci: all green (build + tests + smoke/metrics)"

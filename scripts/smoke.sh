@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Server smoke test: boot the daemon on an ephemeral port, hit /health,
-# shut it down gracefully. Usage: smoke.sh [path/to/serve.exe]
+# scrape /metrics in Prometheus format (the mandatory series must be
+# present), shut it down gracefully. Usage: smoke.sh [path/to/serve.exe]
 set -euo pipefail
 
 SERVE="${1:-bin/serve.exe}"
@@ -28,6 +29,20 @@ if ! printf '%s' "$BODY" | grep -q '"status":"ok"'; then
   exit 1
 fi
 
+METRICS="$(curl -fsS -H 'Accept: text/plain' "http://127.0.0.1:$PORT/metrics")"
+if ! printf '%s\n' "$METRICS" | grep -q '^# TYPE ekg_requests_total counter'; then
+  echo "smoke: /metrics did not negotiate Prometheus text format" >&2
+  printf '%s\n' "$METRICS" >&2
+  exit 1
+fi
+for series in ekg_requests_total ekg_chase_rounds_total; do
+  if ! printf '%s\n' "$METRICS" | grep -q "^$series"; then
+    echo "smoke: /metrics is missing mandatory series $series" >&2
+    printf '%s\n' "$METRICS" >&2
+    exit 1
+  fi
+done
+
 kill -TERM "$PID"
 wait "$PID"
-echo "smoke: ok (/health on port $PORT)"
+echo "smoke: ok (/health + Prometheus /metrics on port $PORT)"

@@ -1,0 +1,351 @@
+(* Tests for the observability library (ekg_obs): histogram quantile
+   edge cases, Prometheus escaping and registry rendering, counter
+   thread-safety across domains, span nesting and ring eviction, the
+   JSONL trace export, and the chase profiler wired through ?stats. *)
+
+open Ekg_obs
+
+let check = Alcotest.check
+let bool' = Alcotest.bool
+let int' = Alcotest.int
+let string' = Alcotest.string
+let float' = Alcotest.float 1e-6
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec at i =
+    if i + nl > hl then false
+    else String.sub haystack i nl = needle || at (i + 1)
+  in
+  nl = 0 || at 0
+
+(* --- histogram ------------------------------------------------------------- *)
+
+let test_hist_quantile_edges () =
+  let h = Hist.create () in
+  check float' "empty histogram" 0. (Hist.quantile h 0.5);
+  Hist.observe_ms h 0.02;
+  (* the first bucket's bound is 0.05 ms, but a singleton histogram
+     must clamp the estimate to its one observation *)
+  check float' "singleton clamps to observed max" 0.02 (Hist.quantile h 0.5);
+  check float' "q <= 0 estimates the smallest" 0.02 (Hist.quantile h 0.);
+  check float' "q >= 1 estimates the largest" 0.02 (Hist.quantile h 2.);
+  Hist.observe_ms h 0.2;
+  (* rank 2 is reached in the (0.1, 0.25] bucket; 0.25 clamps to 0.2 *)
+  check float' "bucket bound clamps to max" 0.2 (Hist.quantile h 1.);
+  Hist.observe_ms h 60000.;
+  check float' "overflow bucket reports the max" 60000. (Hist.quantile h 0.999);
+  check int' "count" 3 (Hist.count h);
+  check float' "max" 60000. (Hist.max_ms h)
+
+let test_hist_cumulative () =
+  let h = Hist.create () in
+  Hist.observe_ms h 0.04;
+  Hist.observe_ms h 0.07;
+  Hist.observe_ms h 99999.;
+  let cum = Hist.cumulative h in
+  check int' "one entry per finite bucket" (Array.length Hist.bounds)
+    (List.length cum);
+  (match cum with
+  | (b0, c0) :: (b1, c1) :: _ ->
+    check float' "first bound" 0.05 b0;
+    check int' "first cumulative" 1 c0;
+    check float' "second bound" 0.1 b1;
+    check int' "second cumulative" 2 c1
+  | _ -> Alcotest.fail "no buckets");
+  check int' "finite buckets exclude the overflow" 2
+    (snd (List.nth cum (List.length cum - 1)));
+  check int' "count includes the overflow" 3 (Hist.count h)
+
+(* --- prometheus rendering --------------------------------------------------- *)
+
+let test_prom_escaping () =
+  check string' "label value escaping" "a\\\\b\\\"c\\nd"
+    (Prom.escape_label "a\\b\"c\nd");
+  check string' "integral sample" "42" (Prom.number 42.);
+  check string' "+Inf" "+Inf" (Prom.number infinity);
+  check string' "NaN" "NaN" (Prom.number Float.nan);
+  let buf = Buffer.create 64 in
+  Prom.header buf ~name:"m_total" ~help:"line1\nline2" ~typ:"counter";
+  Prom.sample buf ~name:"m_total" ~labels:[ "k", "v\"w" ] 1.;
+  let out = Buffer.contents buf in
+  check bool' "help newline escaped" true (contains out "line1\\nline2");
+  check bool' "type line" true (contains out "# TYPE m_total counter");
+  check bool' "labeled sample" true (contains out "m_total{k=\"v\\\"w\"} 1")
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  check bool' "enabled" true (Metrics.enabled m);
+  Metrics.incr m ~help:"a test counter" "t_total";
+  Metrics.add m "t_total" 2.;
+  Metrics.set m ~labels:[ "k", "v" ] "t_gauge" 5.;
+  Metrics.observe m "t_lat" 0.001;
+  Metrics.declare_counter m ~help:"pre-declared" "pre_total";
+  check
+    Alcotest.(option (float 1e-9))
+    "counter accumulates" (Some 3.) (Metrics.value m "t_total");
+  check
+    Alcotest.(option (float 1e-9))
+    "declared counter reads zero" (Some 0.)
+    (Metrics.value m "pre_total");
+  let out = Metrics.to_prometheus m in
+  check bool' "help line" true (contains out "# HELP t_total a test counter");
+  check bool' "counter sample" true (contains out "t_total 3");
+  check bool' "labeled gauge" true (contains out "t_gauge{k=\"v\"} 5");
+  check bool' "histogram bucket" true (contains out "t_lat_bucket{le=\"1\"} 1");
+  check bool' "histogram +Inf bucket" true
+    (contains out "t_lat_bucket{le=\"+Inf\"} 1");
+  check bool' "histogram count" true (contains out "t_lat_count 1");
+  check bool' "declared series present before traffic" true
+    (contains out "pre_total 0")
+
+let test_metrics_noop () =
+  let m = Metrics.noop () in
+  check bool' "disabled" false (Metrics.enabled m);
+  Metrics.incr m "x_total";
+  Metrics.observe m "x_lat" 0.1;
+  check Alcotest.(option (float 0.)) "nothing recorded" None
+    (Metrics.value m "x_total");
+  check string' "renders nothing" "" (Metrics.to_prometheus m)
+
+let test_counter_thread_safety () =
+  let m = Metrics.create () in
+  let per_domain = 10_000 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Metrics.incr m "race_total"
+            done))
+  in
+  List.iter Domain.join domains;
+  check
+    Alcotest.(option (float 0.))
+    "all increments survive concurrent domains"
+    (Some (float_of_int (4 * per_domain)))
+    (Metrics.value m "race_total")
+
+(* --- spans ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let t = Trace.create () in
+  let result =
+    Trace.with_span t "root" (fun root ->
+        Trace.with_span t ~parent:root "child-a" (fun _ -> ());
+        Trace.with_span t ~parent:root "child-b" (fun sp ->
+            Trace.label sp "k" "v");
+        17)
+  in
+  check int' "body result returned" 17 result;
+  match Trace.recent t with
+  | [ root ] -> (
+    check string' "root name" "root" root.Trace.name;
+    let flat = Trace.flatten root in
+    check int' "three spans" 3 (List.length flat);
+    match flat with
+    | [ (0, r); (1, a); (1, b) ] ->
+      check string' "children in start order" "child-a" a.Trace.name;
+      check string' "second child" "child-b" b.Trace.name;
+      check bool' "label attached" true (List.mem_assoc "k" b.Trace.labels);
+      check bool' "parent covers children" true
+        (Trace.duration_ms r
+        >= Trace.duration_ms a +. Trace.duration_ms b -. 0.001);
+      check bool' "self time non-negative" true (Trace.self_ms r >= 0.)
+    | _ -> Alcotest.fail "unexpected flatten shape")
+  | l -> Alcotest.failf "expected one trace, got %d" (List.length l)
+
+let test_ring_eviction () =
+  let t = Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Trace.with_span t (Printf.sprintf "s%d" i) (fun _ -> ())
+  done;
+  check
+    Alcotest.(list string)
+    "newest first, oldest evicted" [ "s5"; "s4"; "s3" ]
+    (List.map (fun (s : Trace.span) -> s.Trace.name) (Trace.recent t))
+
+let test_span_exception_and_hook () =
+  let finished = ref [] in
+  let t =
+    Trace.create
+      ~on_finish:(fun sp -> finished := sp.Trace.name :: !finished)
+      ()
+  in
+  (try Trace.with_span t "boom" (fun _ -> raise Exit) with Exit -> ());
+  check Alcotest.(list string) "hook ran on raise" [ "boom" ] !finished;
+  (match Trace.recent t with
+  | [ sp ] -> check bool' "duration set on raise" true (sp.Trace.dur_s >= 0.)
+  | _ -> Alcotest.fail "span not pushed on raise");
+  check int' "with_span_opt None runs uninstrumented" 3
+    (Trace.with_span_opt None "x" (fun sp ->
+         check bool' "no span materialized" true (sp = None);
+         3))
+
+let test_trace_ids_unique () =
+  let t = Trace.create () in
+  let ids = List.init 100 (fun _ -> Trace.next_trace_id t) in
+  check int' "100 unique ids" 100
+    (List.length (List.sort_uniq compare ids))
+
+let test_jsonl_export () =
+  let t = Trace.create () in
+  Trace.with_span t "a\"b" (fun root ->
+      Trace.with_span t ~parent:root "inner" (fun _ -> ()));
+  Trace.with_span t ~labels:[ "q", "control" ] "second" (fun _ -> ());
+  let out = Trace.jsonl t in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  check int' "one line per trace" 2 (List.length lines);
+  let first = List.nth lines 0 and second = List.nth lines 1 in
+  check bool' "oldest first, name escaped" true
+    (contains first {|"name":"a\"b"|});
+  check bool' "root carries absolute start" true
+    (contains first {|"start_unix_s"|});
+  check bool' "children carry relative offsets" true
+    (contains first {|"offset_ms"|});
+  check bool' "labels serialized" true
+    (contains second {|"labels":{"q":"control"}|})
+
+(* --- chase profiling -------------------------------------------------------- *)
+
+let parse_exn src =
+  match Ekg_datalog.Parser.parse src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let control_program =
+  {|
+sigma1: own(X, Y, S), S > 0.5 -> control(X, Y).
+sigma3: control(X, Z), own(Z, Y, S), TS = sum(S), TS > 0.5 -> control(X, Y).
+@goal(control).
+own("A", "B", 0.6).
+own("B", "C", 0.7).
+|}
+
+let test_chase_stats () =
+  let { Ekg_datalog.Parser.program; facts } = parse_exn control_program in
+  let sink = Metrics.create () in
+  match Ekg_engine.Chase.run_checked ~stats:sink program facts with
+  | Error _ -> Alcotest.fail "chase failed"
+  | Ok result ->
+    (match result.stats with
+    | None -> Alcotest.fail "stats not collected"
+    | Some s ->
+      check bool' "one stat per rule" true (List.length s.per_rule >= 2);
+      check bool' "rule ids preserved" true
+        (List.exists
+           (fun (r : Ekg_engine.Chase.rule_stat) -> r.rule_id = "sigma1")
+           s.per_rule);
+      check bool' "per-round entries" true (s.per_round <> []);
+      check int' "single stratum" 1 (List.length s.rounds_per_stratum);
+      check int' "stratum rounds match total" result.rounds
+        (List.fold_left ( + ) 0 s.rounds_per_stratum);
+      let facts_by_rule =
+        List.fold_left
+          (fun acc (r : Ekg_engine.Chase.rule_stat) -> acc + r.facts)
+          0 s.per_rule
+      in
+      check bool' "rules account for the derived facts" true
+        (facts_by_rule >= result.derived_count);
+      check bool' "wall clock recorded" true (s.wall_s >= 0.));
+    check
+      Alcotest.(option (float 0.))
+      "rounds pushed to the sink"
+      (Some (float_of_int result.rounds))
+      (Metrics.value sink "ekg_chase_rounds_total");
+    check
+      Alcotest.(option (float 0.))
+      "run counted" (Some 1.)
+      (Metrics.value sink "ekg_chase_runs_total");
+    check bool' "per-rule series labeled" true
+      (contains
+         (Metrics.to_prometheus sink)
+         {|ekg_chase_rule_facts_total{rule="sigma1",stratum="0"}|})
+
+let test_chase_noop_sink () =
+  let { Ekg_datalog.Parser.program; facts } = parse_exn control_program in
+  match Ekg_engine.Chase.run_checked ~stats:(Metrics.noop ()) program facts with
+  | Error _ -> Alcotest.fail "chase failed"
+  | Ok result ->
+    check bool' "disabled sink disables collection" true (result.stats = None)
+
+let test_divergent_diagnostic () =
+  let { Ekg_datalog.Parser.program; facts } =
+    parse_exn {|
+step: n(X), Y = X + 1, Y < 1000000 -> n(Y).
+@goal(n).
+n(0).
+|}
+  in
+  match Ekg_engine.Chase.run_checked ~max_rounds:5 program facts with
+  | Error (Ekg_engine.Chase.Divergent d as e) ->
+    check int' "bound echoed" 5 d.max_rounds;
+    let msg = Ekg_engine.Chase.error_to_string e in
+    check bool' "message names the bound" true (contains msg "5 rounds");
+    check bool' "message breaks rounds down by stratum" true
+      (contains msg "rounds per stratum");
+    check bool' "per-stratum counts present" true (contains msg "#1=")
+  | Error _ -> Alcotest.fail "wrong error constructor"
+  | Ok _ -> Alcotest.fail "divergent program terminated"
+
+(* --- pipeline instrumentation ----------------------------------------------- *)
+
+let test_pipeline_spans () =
+  let t = Trace.create () in
+  match Ekg_apps.Bundled.load ~obs:t "company-control" with
+  | Error e -> Alcotest.failf "load: %s" e
+  | Ok _ -> (
+    match Trace.recent t with
+    | [ root ] ->
+      check string' "root span" "pipeline-build" root.Trace.name;
+      let names =
+        List.map (fun (_, s) -> s.Trace.name) (Trace.flatten root)
+      in
+      List.iter
+        (fun stage -> check bool' stage true (List.mem stage names))
+        [
+          "structural-analysis";
+          "depgraph";
+          "critical-nodes";
+          "path-extraction";
+          "verbalization";
+          "enhancement";
+        ]
+    | l -> Alcotest.failf "expected one build trace, got %d" (List.length l))
+
+(* --------------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "ekg_obs"
+    [
+      ( "hist",
+        [
+          Alcotest.test_case "quantile edges" `Quick test_hist_quantile_edges;
+          Alcotest.test_case "cumulative buckets" `Quick test_hist_cumulative;
+        ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "escaping" `Quick test_prom_escaping;
+          Alcotest.test_case "registry rendering" `Quick test_metrics_registry;
+          Alcotest.test_case "noop registry" `Quick test_metrics_noop;
+          Alcotest.test_case "counter thread-safety" `Quick
+            test_counter_thread_safety;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+          Alcotest.test_case "exception + hook" `Quick
+            test_span_exception_and_hook;
+          Alcotest.test_case "trace ids unique" `Quick test_trace_ids_unique;
+          Alcotest.test_case "jsonl export" `Quick test_jsonl_export;
+        ] );
+      ( "chase profiling",
+        [
+          Alcotest.test_case "stats + series" `Quick test_chase_stats;
+          Alcotest.test_case "noop sink" `Quick test_chase_noop_sink;
+          Alcotest.test_case "divergent diagnostic" `Quick
+            test_divergent_diagnostic;
+        ] );
+      ( "pipeline",
+        [ Alcotest.test_case "build spans" `Quick test_pipeline_spans ] );
+    ]

@@ -168,8 +168,12 @@ let test_hist_edges () =
     (Metrics.Hist.quantile h 0.99);
   let h2 = Metrics.Hist.create () in
   Metrics.Hist.observe h2 0.00002;
-  check (Alcotest.float 1e-6) "tiny latency lands in first bucket" 0.05
-    (Metrics.Hist.quantile h2 0.5)
+  (* the bound of the first bucket is 0.05 ms, but a singleton histogram
+     clamps the estimate to its observed maximum *)
+  check (Alcotest.float 1e-6) "tiny latency clamps to observed max" 0.02
+    (Metrics.Hist.quantile h2 0.5);
+  check (Alcotest.float 1e-6) "q <= 0 estimates the smallest observation" 0.02
+    (Metrics.Hist.quantile h2 0.)
 
 let test_metrics_counters () =
   let m = Metrics.create () in
@@ -227,8 +231,13 @@ p("a").
   | Ok _ -> Alcotest.fail "violated constraint accepted"
 
 let test_chase_checked_divergent_is_server_side () =
+  let err =
+    Ekg_engine.Chase.Divergent { max_rounds = 7; stratum_rounds = [ 2; 5 ] }
+  in
   check bool' "divergence is not a client error" false
-    (Ekg_engine.Chase.client_error (Ekg_engine.Chase.Divergent 7))
+    (Ekg_engine.Chase.client_error err);
+  check bool' "message names the strata" true
+    (contains (Ekg_engine.Chase.error_to_string err) "#2=5")
 
 (* --- registry -------------------------------------------------------------- *)
 
@@ -296,14 +305,14 @@ let test_registry_spec_decoding () =
 
 (* --- router (no sockets) --------------------------------------------------- *)
 
-let request ?(body = "") meth path =
+let request ?(body = "") ?(headers = []) ?(query = []) meth path =
   let target = "/" ^ String.concat "/" path in
   {
     Http.meth;
     target;
     path;
-    query = [];
-    headers = [ "content-type", "application/json" ];
+    query;
+    headers = ("content-type", "application/json") :: headers;
     body;
   }
 
@@ -336,6 +345,67 @@ let test_router_statuses () =
        (Router.handle st
           (request ~body:{|{"query":"control(\"A\", \"C\")"}|} Http.POST
              [ "sessions"; "s1"; "explain" ])))
+
+let test_router_observability () =
+  let st = Router.make_state () in
+  let header (r : Http.response) name = List.assoc_opt name r.Http.resp_headers in
+  let r1 = Router.handle st (request Http.GET [ "health" ]) in
+  let r2 = Router.handle st (request Http.GET [ "health" ]) in
+  (match header r1 "X-Ekg-Trace-Id", header r2 "X-Ekg-Trace-Id" with
+  | Some a, Some b ->
+    check bool' "trace id assigned" true (String.length a > 0);
+    check bool' "trace ids unique per request" true (a <> b)
+  | _ -> Alcotest.fail "missing X-Ekg-Trace-Id header");
+  let created =
+    Router.handle st
+      (request ~body:(Json.to_string (Json.Obj [ "program", Json.str inline_program ]))
+         Http.POST [ "sessions" ])
+  in
+  check int' "created" 201 created.Http.status;
+  check int' "no trace before the first explain" 404
+    (Router.handle st (request Http.GET [ "sessions"; "s1"; "trace" ])).Http.status;
+  check int' "bad method on trace is 405" 405
+    (Router.handle st (request Http.POST [ "sessions"; "s1"; "trace" ])).Http.status;
+  let explained =
+    Router.handle st
+      (request ~body:{|{"query":"control(\"A\", \"C\")"}|} Http.POST
+         [ "sessions"; "s1"; "explain" ])
+  in
+  check int' "explain ok" 200 explained.Http.status;
+  check bool' "explain body echoes the trace id" true
+    (contains explained.Http.resp_body {|"trace_id"|});
+  let trace = Router.handle st (request Http.GET [ "sessions"; "s1"; "trace" ]) in
+  check int' "trace recorded after explain" 200 trace.Http.status;
+  check bool' "root span is the request" true
+    (contains trace.Http.resp_body {|"name":"explain-request"|});
+  check bool' "chase child span" true
+    (contains trace.Http.resp_body {|"name":"chase"|});
+  check bool' "explain stage spans" true
+    (contains trace.Http.resp_body {|"name":"proof-extraction"|});
+  (* content negotiation on /metrics *)
+  let json_doc = Router.handle st (request Http.GET [ "metrics" ]) in
+  check bool' "default stays json" true
+    (contains json_doc.Http.resp_body {|"requests_total"|});
+  let prom =
+    Router.handle st
+      (request ~headers:[ "accept", "text/plain" ] Http.GET [ "metrics" ])
+  in
+  check string' "prometheus content type" "text/plain; version=0.0.4"
+    prom.Http.content_type;
+  check bool' "requests_total exposition" true
+    (contains prom.Http.resp_body "# TYPE ekg_requests_total counter");
+  check bool' "chase series present" true
+    (contains prom.Http.resp_body "ekg_chase_rounds_total");
+  check bool' "stage series fed by the tracer" true
+    (contains prom.Http.resp_body {|ekg_pipeline_stage_seconds_total{stage="chase"}|});
+  check bool' "endpoint histogram present" true
+    (contains prom.Http.resp_body {|ekg_request_duration_ms_bucket{endpoint="GET /health",le="+Inf"}|});
+  let prom2 =
+    Router.handle st
+      (request ~query:[ "format", "prometheus" ] Http.GET [ "metrics" ])
+  in
+  check bool' "?format=prometheus negotiates too" true
+    (contains prom2.Http.resp_body "# HELP ekg_uptime_seconds")
 
 (* --- loopback integration -------------------------------------------------- *)
 
@@ -409,7 +479,23 @@ let test_server_integration () =
   check bool' "one cache hit recorded" true
     (contains body {|"hits":1|});
   check bool' "one cache miss recorded" true
-    (contains body {|"misses":1|})
+    (contains body {|"misses":1|});
+  let status, body =
+    http_call ~port ~meth:"GET" ~path:"/sessions/s1/trace" ~body:""
+  in
+  check int' "trace endpoint" 200 status;
+  check bool' "trace names the request span" true
+    (contains body {|"name":"explain-request"|});
+  let status, body =
+    http_call ~port ~meth:"GET" ~path:"/metrics?format=prometheus" ~body:""
+  in
+  check int' "prometheus scrape status" 200 status;
+  check bool' "prometheus exposition" true
+    (contains body "# TYPE ekg_requests_total counter");
+  check bool' "chase series after explain" true
+    (contains body "ekg_chase_rounds_total");
+  check bool' "stage series after explain" true
+    (contains body "ekg_pipeline_stage_seconds_total")
 
 (* --------------------------------------------------------------------------- *)
 
@@ -454,7 +540,10 @@ let () =
           Alcotest.test_case "spec decoding" `Quick test_registry_spec_decoding;
         ] );
       ( "router",
-        [ Alcotest.test_case "status mapping" `Quick test_router_statuses ] );
+        [
+          Alcotest.test_case "status mapping" `Quick test_router_statuses;
+          Alcotest.test_case "observability" `Quick test_router_observability;
+        ] );
       ( "integration",
         [ Alcotest.test_case "loopback server" `Quick test_server_integration ] );
     ]
