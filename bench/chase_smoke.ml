@@ -1,0 +1,171 @@
+(* [chase-smoke] — parallel-chase smoke benchmark: runs a set of chase
+   workloads at domains = 1 and domains = N, checks the outputs are
+   byte-identical, and writes BENCH_chase.json with wall-clock,
+   speedup and facts/sec per section.
+
+   The headline workload ("fanout-joins") is built for the fan-out: 8
+   independent 4-atom cyclic joins whose match phase dwarfs the
+   sequential insert phase.  The recursive workloads (control chains,
+   debt cascades) have small per-round deltas and mostly measure that
+   the parallel protocol does not regress them. *)
+
+open Ekg_datalog
+open Ekg_apps
+open Ekg_datagen
+
+let domains_n = 4
+let reps = 2
+
+(* A synthetic workload of [preds] independent cyclic joins:
+   ri: ei(X,Y), ei(Y,Z), ei(Z,W), ei(W,X) -> cyci(X).
+   Each rule enumerates a large intermediate join for a small result
+   set, and no rule feeds another, so round one carries [preds]
+   balanced parallel tasks. *)
+let fanout_source ~preds ~nodes ~edges =
+  let rng = Ekg_kernel.Prng.create 2025 in
+  let buf = Buffer.create (preds * edges * 24) in
+  for i = 1 to preds do
+    Buffer.add_string buf
+      (Printf.sprintf
+         "r%d: e%d(X,Y), e%d(Y,Z), e%d(Z,W), e%d(W,X) -> cyc%d(X).\n" i i i i
+         i i)
+  done;
+  Buffer.add_string buf "@goal(cyc1).\n";
+  for i = 1 to preds do
+    for _ = 1 to edges do
+      Buffer.add_string buf
+        (Printf.sprintf "e%d(\"n%03d\", \"n%03d\").\n" i
+           (Ekg_kernel.Prng.int rng nodes)
+           (Ekg_kernel.Prng.int rng nodes))
+    done
+  done;
+  Buffer.contents buf
+
+let fanout_workload ~preds ~nodes ~edges () =
+  match Parser.parse (fanout_source ~preds ~nodes ~edges) with
+  | Ok { Parser.program; facts } -> (program, facts)
+  | Error e -> failwith ("chase-smoke: fanout workload: " ^ e)
+
+type workload = {
+  w_name : string;
+  program : Program.t;
+  edb : Atom.t list;
+}
+
+let workloads () =
+  let rng = Ekg_kernel.Prng.create 190 in
+  let fanout_program, fanout_edb =
+    fanout_workload ~preds:8 ~nodes:140 ~edges:1400 ()
+  in
+  let chain = Owners.chain rng ~hops:40 in
+  let cascade = Debts.dual_cascade rng ~depth:30 in
+  [
+    { w_name = "fanout-joins"; program = fanout_program; edb = fanout_edb };
+    {
+      w_name = "control-chain-40";
+      program = Company_control.program;
+      edb = chain.Owners.edb;
+    };
+    {
+      w_name = "stress-cascade-30";
+      program = Stress_test.program;
+      edb = cascade.Debts.edb;
+    };
+  ]
+
+let run_once ~domains w =
+  let t0 = Unix.gettimeofday () in
+  let result = Ekg_engine.Chase.run_exn ~domains w.program w.edb in
+  (result, Unix.gettimeofday () -. t0)
+
+let best ~domains w =
+  let rec go n ((_, best_s) as acc) =
+    if n = 0 then acc
+    else
+      let (_, wall) as run = run_once ~domains w in
+      go (n - 1) (if wall < best_s then run else acc)
+  in
+  go (reps - 1) (run_once ~domains w)
+
+(* the full externally visible output: facts, ids, provenance and the
+   chase graph — byte equality here is the determinism contract *)
+let fingerprint (result : Ekg_engine.Chase.result) =
+  Ekg_engine.Io.result_to_json result ^ Ekg_engine.Export.chase_graph_dot result
+
+type section_out = {
+  s_name : string;
+  derived : int;
+  rounds : int;
+  wall_1 : float;
+  wall_n : float;
+  identical : bool;
+}
+
+let json_out sections =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"domains_compared\": [1, %d],\n" domains_n);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"recommended_domains\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  let headline =
+    List.fold_left
+      (fun acc s -> max acc (s.wall_1 /. s.wall_n))
+      0. sections
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "  \"headline_speedup\": %.3f,\n" headline);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"deterministic\": %b,\n"
+       (List.for_all (fun s -> s.identical) sections));
+  Buffer.add_string buf "  \"sections\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"derived_facts\": %d, \"rounds\": %d, \
+            \"wall_s_domains1\": %.6f, \"wall_s_domains%d\": %.6f, \
+            \"speedup\": %.3f, \"facts_per_sec_domains%d\": %.0f, \
+            \"identical_output\": %b}%s\n"
+           s.s_name s.derived s.rounds s.wall_1 domains_n s.wall_n
+           (s.wall_1 /. s.wall_n) domains_n
+           (float_of_int s.derived /. s.wall_n)
+           s.identical
+           (if i = List.length sections - 1 then "" else ",")))
+    sections;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let run () =
+  Bench_util.section "chase-smoke"
+    "Parallel chase: domains=1 vs domains=N wall-clock + determinism";
+  let sections =
+    List.map
+      (fun w ->
+        let r1, wall_1 = best ~domains:1 w in
+        let rn, wall_n = best ~domains:domains_n w in
+        let identical = fingerprint r1 = fingerprint rn in
+        Printf.printf
+          "  %-20s d=1 %8.3f ms   d=%d %8.3f ms   speedup %5.2fx   %s\n"
+          w.w_name (wall_1 *. 1000.) domains_n (wall_n *. 1000.)
+          (wall_1 /. wall_n)
+          (if identical then "bit-identical" else "OUTPUT DIVERGED");
+        {
+          s_name = w.w_name;
+          derived = r1.Ekg_engine.Chase.derived_count;
+          rounds = r1.Ekg_engine.Chase.rounds;
+          wall_1;
+          wall_n;
+          identical;
+        })
+      (workloads ())
+  in
+  let path = "BENCH_chase.json" in
+  let oc = open_out path in
+  output_string oc (json_out sections);
+  close_out oc;
+  Printf.printf "  wrote %s (machine reports %d recommended domains)\n" path
+    (Domain.recommended_domain_count ());
+  if not (List.for_all (fun s -> s.identical) sections) then
+    failwith "chase-smoke: parallel output diverged from sequential"

@@ -5,7 +5,7 @@
      dune exec bench/main.exe -- fig17   # one section
 
    Sections: structural templates fig14 fig15 fig16 fig17 fig18
-             ablations bechamel *)
+             ablations extension chase-smoke bechamel *)
 
 let sections =
   [
@@ -18,6 +18,7 @@ let sections =
     ("fig18", Fig18.run);
     ("ablations", Ablations.run);
     ("extension", Extension.run);
+    ("chase-smoke", Chase_smoke.run);
     ("bechamel", Micro.run);
   ]
 

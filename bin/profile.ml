@@ -45,7 +45,9 @@ let print_rules (stats : Ekg_engine.Chase.stats) =
        (List.mapi
           (fun i n -> Printf.sprintf "#%d=%d" (i + 1) n)
           stats.rounds_per_stratum))
-    stats.agg_superseded
+    stats.agg_superseded;
+  Printf.printf "  domains: %d;  join plans reordered: %d\n" stats.domains
+    stats.plan_reorders
 
 let print_rounds (stats : Ekg_engine.Chase.stats) =
   Printf.printf "\n== per-round deltas ==\n";
@@ -57,7 +59,7 @@ let print_rounds (stats : Ekg_engine.Chase.stats) =
         r.delta_size r.new_facts (r.time_s *. 1000.))
     stats.per_round
 
-let run app query rounds dump_trace prometheus =
+let run app query domains rounds dump_trace prometheus =
   let tracer = Ekg_obs.Trace.create () in
   let sink = Ekg_obs.Metrics.create () in
   let wall0 = Unix.gettimeofday () in
@@ -67,8 +69,9 @@ let run app query rounds dump_trace prometheus =
     1
   | Ok { Apps_util.pipeline; edb } -> (
     match
-      Ekg_obs.Trace.with_span tracer "chase" (fun _ ->
-          Ekg_engine.Chase.run_checked ~stats:sink pipeline.Pipeline.program edb)
+      Ekg_obs.Trace.with_span tracer "chase" (fun span ->
+          Ekg_engine.Chase.run_checked ~stats:sink ~domains ~obs:tracer
+            ~parent:span pipeline.Pipeline.program edb)
     with
     | Error err ->
       Fmt.epr "reasoning error: %s@." (Ekg_engine.Chase.error_to_string err);
@@ -135,6 +138,13 @@ let query_t =
   let doc = "Explanation query to profile instead of the first goal fact." in
   Arg.(value & opt (some string) None & info [ "query"; "q" ] ~docv:"ATOM" ~doc)
 
+let domains_t =
+  let doc =
+    "Domains the chase fans its per-round match phase over (1 = \
+     sequential; results are identical for every value)."
+  in
+  Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc)
+
 let rounds_t =
   Arg.(value & flag & info [ "rounds" ] ~doc:"Also print the per-round deltas.")
 
@@ -151,6 +161,8 @@ let cmd =
   let doc = "profile a bundled application: per-stage and per-rule breakdown" in
   let info = Cmd.info "ekg-profile" ~version:"1.0.0" ~doc in
   Cmd.v info
-    Term.(const run $ app_t $ query_t $ rounds_t $ trace_t $ prometheus_t)
+    Term.(
+      const run $ app_t $ query_t $ domains_t $ rounds_t $ trace_t
+      $ prometheus_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -9,8 +9,8 @@
 open Cmdliner
 open Ekg_server
 
-let run host port domains root preload =
-  let state = Router.make_state ~root () in
+let run host port domains chase_domains root preload =
+  let state = Router.make_state ~root ~chase_domains () in
   (* optionally pre-register bundled applications so the daemon is
      immediately queryable, e.g. --preload company-control *)
   let preload_errors =
@@ -57,6 +57,14 @@ let domains_t =
   let default = min 4 (max 1 (Domain.recommended_domain_count () - 1)) in
   Arg.(value & opt int default & info [ "domains"; "j" ] ~docv:"N" ~doc)
 
+let chase_domains_t =
+  let doc =
+    "Domains the chase fans its per-round match phase over during \
+     session materialization (1 = sequential; results are identical \
+     for every value)."
+  in
+  Arg.(value & opt int 1 & info [ "chase-domains" ] ~docv:"N" ~doc)
+
 let root_t =
   let doc = "Root directory for program_path/facts_dir session specs." in
   Arg.(value & opt dir "." & info [ "root" ] ~docv:"DIR" ~doc)
@@ -68,6 +76,9 @@ let preload_t =
 let cmd =
   let doc = "explanation service over the template pipeline" in
   let info = Cmd.info "ekg-serve" ~version:"1.0.0" ~doc in
-  Cmd.v info Term.(const run $ host_t $ port_t $ domains_t $ root_t $ preload_t)
+  Cmd.v info
+    Term.(
+      const run $ host_t $ port_t $ domains_t $ chase_domains_t $ root_t
+      $ preload_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -46,7 +46,8 @@ type explanation = {
   paths_used : string list;
 }
 
-let reason ?stats t edb = Chase.run ?stats t.program edb
+let reason ?stats ?domains ?obs ?parent t edb =
+  Chase.run ?stats ?domains ?obs ?parent t.program edb
 
 let explain ?(strategy = `Primary) ?horizon ?obs ?parent t (result : Chase.result)
     fact =

@@ -45,9 +45,16 @@ type explanation = {
 }
 
 val reason :
-  ?stats:Ekg_obs.Metrics.t -> t -> Atom.t list -> (Chase.result, string) result
-(** Run the reasoning task over extensional facts; [stats] is passed
-    through to {!Chase.run} for engine-level profiling. *)
+  ?stats:Ekg_obs.Metrics.t ->
+  ?domains:int ->
+  ?obs:Ekg_obs.Trace.t ->
+  ?parent:Ekg_obs.Trace.span ->
+  t ->
+  Atom.t list ->
+  (Chase.result, string) result
+(** Run the reasoning task over extensional facts; [stats], [domains]
+    (match-phase parallelism) and the tracing arguments are passed
+    through to {!Chase.run}. *)
 
 val explain :
   ?strategy:[ `Primary | `Shortest ] ->

@@ -23,6 +23,8 @@ type stats = {
   rounds_per_stratum : int list;
   agg_superseded : int;
   wall_s : float;
+  domains : int;
+  plan_reorders : int;
 }
 
 type result = {
@@ -113,12 +115,11 @@ let isomorphic_exists st (r : Rule.t) binding =
     List.exists homomorphic (Database.active st.db (Rule.head_pred r))
   end
 
-let apply_plain_rule st ~round ~delta (r : Rule.t) =
-  let matches =
-    match delta with
-    | None -> Matcher.match_rule st.db r
-    | Some in_delta -> Matcher.match_rule ~delta:in_delta st.db r
-  in
+(* Phase 2 of a round: admit one plain rule's matches, in match order.
+   Runs strictly sequentially — this is the only place fact ids,
+   labelled nulls and provenance records are allocated, which is why
+   the parallel match phase cannot perturb them. *)
+let insert_plain_matches st ~round (r : Rule.t) matches =
   List.filter_map
     (fun (m : Matcher.match_result) ->
       if isomorphic_exists st r m.binding then None
@@ -151,8 +152,8 @@ let apply_plain_rule st ~round ~delta (r : Rule.t) =
             Some f.Fact.id))
     matches
 
-let apply_agg_rule st ~round (r : Rule.t) =
-  let groups = Matcher.match_agg_rule st.db r in
+let apply_agg_rule st ~round ?plan (r : Rule.t) =
+  let groups = Matcher.match_agg_rule ?plan st.db r in
   List.filter_map
     (fun (g : Matcher.agg_result) ->
       match instantiate_head st r g.group_binding with
@@ -251,6 +252,11 @@ let push_stats sink ~rounds ~derived (s : stats) =
     "ekg_chase_agg_superseded_total" (float_of_int s.agg_superseded);
   Metrics.add sink ~help:"Chase wall-clock seconds" "ekg_chase_seconds_total"
     s.wall_s;
+  Metrics.set sink ~help:"Domains used by the most recent chase"
+    "ekg_chase_domains" (float_of_int s.domains);
+  Metrics.add sink
+    ~help:"Join plans that deviated from textual body order"
+    "ekg_chase_plan_reorders_total" (float_of_int s.plan_reorders);
   List.iter
     (fun (r : rule_stat) ->
       let labels =
@@ -262,8 +268,21 @@ let push_stats sink ~rounds ~derived (s : stats) =
         "ekg_chase_rule_facts_total" (float_of_int r.facts))
     s.per_rule
 
-let run_checked ?(naive = false) ?(max_rounds = 100_000) ?stats
-    (program : Program.t) edb =
+(* Round protocol (identical for domains = 1 and domains = n, which is
+   what makes the parallel chase bit-identical to the sequential one):
+
+   1. {e Plan}: recompile every rule's join plan from the live
+      cardinalities — sequential, deterministic.
+   2. {e Match}: evaluate every plain rule (every semi-naive seed pass)
+      against the immutable pre-round database.  Tasks are pure reads
+      and may execute on any domain in any order; results are
+      recombined by task index.
+   3. {e Insert}: admit the matches sequentially in rule order, then
+      run aggregate rules sequentially.  All fact ids, nulls and
+      provenance records are allocated here, in a schedule-independent
+      order. *)
+let run_checked ?(naive = false) ?(domains = 1) ?(max_rounds = 100_000) ?stats
+    ?obs ?parent (program : Program.t) edb =
   match Program.validate program with
   | Error es -> Error (Invalid_program es)
   | Ok () -> (
@@ -299,10 +318,11 @@ let run_checked ?(naive = false) ?(max_rounds = 100_000) ?stats
       | None -> (
         let total_rounds = ref 0 in
         let overflow = ref false in
+        let plan_reorders = ref 0 in
         let stratum_rounds = Array.make (max 1 (List.length strata)) 0 in
         let accs = ref [] in       (* rule_acc, reverse creation order *)
         let round_log = ref [] in  (* round_stat, reverse execution order *)
-        let run_stratum si rules =
+        let run_stratum pool si rules =
           let plain = List.filter (fun r -> not (Rule.has_agg r)) rules in
           let agg = List.filter Rule.has_agg rules in
           let with_acc rs =
@@ -326,77 +346,155 @@ let run_checked ?(naive = false) ?(max_rounds = 100_000) ?stats
           in
           let plain = with_acc plain in
           let agg = with_acc agg in
-          let timed acc apply =
+          let charge acc dt nfacts =
             match acc with
-            | None -> apply ()
+            | None -> ()
             | Some a ->
-              let t0 = Ekg_obs.Clock.now_s () in
-              let out = apply () in
-              a.acc_time <- a.acc_time +. (Ekg_obs.Clock.now_s () -. t0);
+              a.acc_time <- a.acc_time +. dt;
               a.acc_evals <- a.acc_evals + 1;
-              a.acc_facts <- a.acc_facts + List.length out;
-              out
+              a.acc_facts <- a.acc_facts + nfacts
           in
+          (* [None] means "first round": evaluate in full.  The delta
+             carries its length, so per-round stats are O(1) instead of
+             a [List.length] walk over the whole delta every round. *)
           let delta = ref None in
-          (* [None] means "first round": evaluate in full *)
           let continue = ref true in
           while !continue && not !overflow do
             incr total_rounds;
             if !total_rounds > max_rounds then overflow := true
             else begin
               stratum_rounds.(si) <- stratum_rounds.(si) + 1;
+              let round = !total_rounds in
               let round_t0 = if collect then Ekg_obs.Clock.now_s () else 0. in
               let delta_size =
-                if collect then
-                  match !delta with None -> 0 | Some ids -> List.length ids
-                else 0
+                match !delta with None -> 0 | Some (_, n) -> n
               in
-              let added = ref [] in
               let delta_filter =
                 if naive then None
                 else
                   match !delta with
                   | None -> None
-                  | Some ids ->
-                    let set = Hashtbl.create (List.length ids) in
+                  | Some (ids, n) ->
+                    let set = Hashtbl.create (max 8 n) in
                     let preds = Hashtbl.create 8 in
                     List.iter
                       (fun i ->
                         Hashtbl.replace set i ();
-                        Hashtbl.replace preds (Database.fact st.db i).Fact.pred ())
+                        Hashtbl.replace preds (Database.pred_sym_of_fact st.db i) ())
                       ids;
                     Some { Matcher.mem = Hashtbl.mem set; has_pred = Hashtbl.mem preds }
               in
+              let card = Database.pred_card st.db in
+              let planned rs =
+                List.map
+                  (fun (r, acc) ->
+                    let plan = Plan.compile ~card r in
+                    if plan.Plan.reordered then incr plan_reorders;
+                    (r, acc, plan))
+                  rs
+              in
+              let plain = planned plain in
+              let agg = planned agg in
+              (* phase 1: match all plain rules against the pre-round db *)
+              let rule_tasks =
+                List.map
+                  (fun (r, acc, plan) ->
+                    let thunks =
+                      match delta_filter with
+                      | None -> [ (fun () -> Matcher.match_rule ~plan st.db r) ]
+                      | Some d -> Matcher.delta_tasks ~plan ~delta:d st.db r
+                    in
+                    let thunks =
+                      if not collect then List.map (fun t () -> (0., t ())) thunks
+                      else
+                        List.map
+                          (fun t () ->
+                            let t0 = Ekg_obs.Clock.now_s () in
+                            let out = t () in
+                            (Ekg_obs.Clock.now_s () -. t0, out))
+                          thunks
+                    in
+                    (r, acc, thunks))
+                  plain
+              in
+              let flat =
+                Array.of_list
+                  (List.concat_map (fun (_, _, ts) -> ts) rule_tasks)
+              in
+              let results =
+                match pool with
+                | Some p when Array.length flat > 1 -> Par.map p flat
+                | _ -> Array.map (fun t -> t ()) flat
+              in
+              (* phase 2: insert sequentially, in rule then task order *)
+              let added = ref [] in
+              let added_count = ref 0 in
+              let cursor = ref 0 in
               List.iter
-                (fun (r, acc) ->
-                  let out =
-                    timed acc (fun () ->
-                        apply_plain_rule st ~round:!total_rounds ~delta:delta_filter r)
+                (fun (r, acc, thunks) ->
+                  let match_time = ref 0. in
+                  let rev_matches = ref [] in
+                  List.iter
+                    (fun _ ->
+                      let dt, out = results.(!cursor) in
+                      incr cursor;
+                      match_time := !match_time +. dt;
+                      rev_matches := out :: !rev_matches)
+                    thunks;
+                  let matches = List.concat (List.rev !rev_matches) in
+                  let t0 = if collect then Ekg_obs.Clock.now_s () else 0. in
+                  let out = insert_plain_matches st ~round r matches in
+                  let dt =
+                    if collect then Ekg_obs.Clock.now_s () -. t0 else 0.
                   in
-                  added := out @ !added)
-                plain;
+                  let n = List.length out in
+                  charge acc (!match_time +. dt) n;
+                  added_count := !added_count + n;
+                  added := List.rev_append out !added)
+                rule_tasks;
+              (* aggregate rules see the round's plain insertions, as
+                 they always did *)
               List.iter
-                (fun (r, acc) ->
-                  let out =
-                    timed acc (fun () -> apply_agg_rule st ~round:!total_rounds r)
+                (fun (r, acc, plan) ->
+                  let t0 = if collect then Ekg_obs.Clock.now_s () else 0. in
+                  let out = apply_agg_rule st ~round ~plan r in
+                  let dt =
+                    if collect then Ekg_obs.Clock.now_s () -. t0 else 0.
                   in
-                  added := out @ !added)
+                  let n = List.length out in
+                  charge acc dt n;
+                  added_count := !added_count + n;
+                  added := List.rev_append out !added)
                 agg;
               if collect then
                 round_log :=
                   {
                     stratum = si;
-                    round = !total_rounds;
+                    round;
                     delta_size;
-                    new_facts = List.length !added;
+                    new_facts = !added_count;
                     time_s = Ekg_obs.Clock.now_s () -. round_t0;
                   }
                   :: !round_log;
-              if !added = [] then continue := false else delta := Some !added
+              if !added_count = 0 then continue := false
+              else delta := Some (!added, !added_count)
             end
           done
         in
-        List.iteri run_stratum strata;
+        let traced_stratum pool si rules =
+          Ekg_obs.Trace.with_span_opt obs ?parent
+            ~labels:[ ("stratum", string_of_int si) ]
+            "chase.stratum"
+            (fun span ->
+              run_stratum pool si rules;
+              match span with
+              | Some sp ->
+                Ekg_obs.Trace.label sp "rounds"
+                  (string_of_int stratum_rounds.(si))
+              | None -> ())
+        in
+        Par.with_pool ~domains (fun pool ->
+            List.iteri (traced_stratum pool) strata);
         let stratum_rounds_list =
           Array.to_list (Array.sub stratum_rounds 0 (List.length strata))
         in
@@ -440,6 +538,8 @@ let run_checked ?(naive = false) ?(max_rounds = 100_000) ?stats
                     rounds_per_stratum = stratum_rounds_list;
                     agg_superseded = st.superseded;
                     wall_s = Ekg_obs.Clock.now_s () -. t_start;
+                    domains = max 1 domains;
+                    plan_reorders = !plan_reorders;
                   }
               end
             in
@@ -457,12 +557,12 @@ let run_checked ?(naive = false) ?(max_rounds = 100_000) ?stats
               }
         end)))
 
-let run ?naive ?max_rounds ?stats program edb =
-  match run_checked ?naive ?max_rounds ?stats program edb with
+let run ?naive ?domains ?max_rounds ?stats ?obs ?parent program edb =
+  match run_checked ?naive ?domains ?max_rounds ?stats ?obs ?parent program edb with
   | Ok r -> Ok r
   | Error e -> Error (error_to_string e)
 
-let run_exn ?naive ?max_rounds ?stats program edb =
-  match run ?naive ?max_rounds ?stats program edb with
+let run_exn ?naive ?domains ?max_rounds ?stats ?obs ?parent program edb =
+  match run ?naive ?domains ?max_rounds ?stats ?obs ?parent program edb with
   | Ok r -> r
   | Error e -> failwith ("Chase.run: " ^ e)

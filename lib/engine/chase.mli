@@ -6,7 +6,22 @@
     aggregate changes in a later round, the stale fact is deactivated
     (it remains in the chase graph) and the fresh value takes its
     place, so downstream rules always see the current total — the
-    Vadalog [msum]/[mprod] behaviour the paper relies on. *)
+    Vadalog [msum]/[mprod] behaviour the paper relies on.
+
+    {2 Parallel evaluation}
+
+    Each round runs a fixed two-phase protocol: every plain rule (every
+    semi-naive seed pass) is {e matched} against the immutable
+    pre-round database, then the matches are {e inserted} sequentially
+    in rule order (aggregate rules follow, sequentially, as always).
+    The match phase is pure reads, so with [?domains > 1] it fans out
+    across a reusable {!Par} pool; all fact ids, labelled nulls,
+    provenance records and the chase graph are allocated in the
+    sequential insert phase and are therefore {e bit-identical} for
+    every domain count, including [1].  Join orders come from per-round
+    cost-based plans ({!Plan}), recompiled from live predicate
+    cardinalities; ties keep textual order, so plans are deterministic
+    too. *)
 
 open Ekg_datalog
 
@@ -39,6 +54,10 @@ type stats = {
   rounds_per_stratum : int list;   (** by ascending stratum *)
   agg_superseded : int;            (** stale aggregate facts deactivated *)
   wall_s : float;                  (** chase wall-clock, EDB load included *)
+  domains : int;                   (** domains the run fanned out over *)
+  plan_reorders : int;             (** compiled plans deviating from
+                                       textual body order, summed over
+                                       rules × rounds *)
 }
 
 type result = {
@@ -87,8 +106,11 @@ val client_error : error -> bool
 
 val run_checked :
   ?naive:bool ->
+  ?domains:int ->
   ?max_rounds:int ->
   ?stats:Ekg_obs.Metrics.t ->
+  ?obs:Ekg_obs.Trace.t ->
+  ?parent:Ekg_obs.Trace.span ->
   Program.t ->
   Atom.t list ->
   (result, error) Stdlib.result
@@ -98,8 +120,11 @@ val run_checked :
 
 val run :
   ?naive:bool ->
+  ?domains:int ->
   ?max_rounds:int ->
   ?stats:Ekg_obs.Metrics.t ->
+  ?obs:Ekg_obs.Trace.t ->
+  ?parent:Ekg_obs.Trace.span ->
   Program.t ->
   Atom.t list ->
   (result, string) Stdlib.result
@@ -112,21 +137,34 @@ val run :
     results are identical, only performance differs — kept for the
     ablation benchmarks.
 
+    [domains] (default [1]) fans the per-round match phase out over
+    that many domains (one reusable pool per run).  The result —
+    facts, ids, nulls, provenance, chase graph — is bit-identical for
+    every value; only wall-clock changes.
+
+    [obs] opens one ["chase.stratum"] span per stratum (under
+    [parent] when given), labelled with the stratum index and its
+    round count.
+
     [stats] turns on engine profiling: the result carries a {!stats}
     record, and the run's totals are pushed into the sink registry as
     [ekg_chase_*] series ([ekg_chase_rounds_total],
     [ekg_chase_facts_derived_total],
-    [ekg_chase_rule_seconds_total\{rule,stratum\}], …).  A disabled
-    sink ({!Ekg_obs.Metrics.noop}) disables collection outright —
-    [result.stats] stays [None] and the hot path pays a single branch,
-    so instrumented call sites can leave observability off for free.
-    Without [stats] the hot path is likewise untouched — no clock
-    reads per rule. *)
+    [ekg_chase_rule_seconds_total\{rule,stratum\}],
+    [ekg_chase_domains], [ekg_chase_plan_reorders_total], …).  A
+    disabled sink ({!Ekg_obs.Metrics.noop}) disables collection
+    outright — [result.stats] stays [None] and the hot path pays a
+    single branch, so instrumented call sites can leave observability
+    off for free.  Without [stats] the hot path is likewise untouched
+    — no clock reads per rule. *)
 
 val run_exn :
   ?naive:bool ->
+  ?domains:int ->
   ?max_rounds:int ->
   ?stats:Ekg_obs.Metrics.t ->
+  ?obs:Ekg_obs.Trace.t ->
+  ?parent:Ekg_obs.Trace.span ->
   Program.t ->
   Atom.t list ->
   result

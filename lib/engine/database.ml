@@ -1,8 +1,9 @@
 open Ekg_kernel
 open Ekg_datalog
 
+(* primary key: interned predicate symbol + ground tuple *)
 module Key = struct
-  type t = string * Value.t array
+  type t = int * Value.t array
 
   let equal (p1, a1) (p2, a2) =
     p1 = p2
@@ -12,26 +13,34 @@ module Key = struct
     Array.iteri (fun i v -> if not (Value.equal v a2.(i)) then ok := false) a1;
     !ok
 
-  let hash (p, a) = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) (Hashtbl.hash p) a
+  let hash (p, a) = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) p a
 end
 
 module KeyTbl = Hashtbl.Make (Key)
 
-(* secondary index: facts by (predicate, argument position, value) *)
+(* secondary index: facts by (predicate symbol, argument position, value) *)
 module ArgKey = struct
-  type t = string * int * Value.t
+  type t = int * int * Value.t
 
   let equal (p1, i1, v1) (p2, i2, v2) = p1 = p2 && i1 = i2 && Value.equal v1 v2
-  let hash (p, i, v) = (Hashtbl.hash p * 31) + (i * 7) + Value.hash v
+  let hash (p, i, v) = (p * 31) + (i * 7) + Value.hash v
 end
 
 module ArgTbl = Hashtbl.Make (ArgKey)
 
+let no_fact = { Fact.id = -1; pred = ""; args = [||] }
+
+(* read-only: the "no posting" result of index probes *)
+let empty_posting = Intvec.create ~capacity:1 ()
+
 type t = {
-  by_id : (int, Fact.t) Hashtbl.t;
+  syms : Symtab.t;
+  (* fact ids are dense from 0: both stores are flat growable arrays *)
+  mutable facts : Fact.t array;            (* fact by id *)
+  fact_syms : Intvec.t;                    (* pred symbol by fact id *)
   by_key : int KeyTbl.t;
-  by_pred : (string, int list ref) Hashtbl.t; (* newest first *)
-  by_arg : int list ref ArgTbl.t;             (* newest first *)
+  mutable by_pred : Intvec.t array;        (* posting list by pred symbol *)
+  by_arg : Intvec.t ArgTbl.t;
   inactive : (int, unit) Hashtbl.t;
   mutable next_id : int;
   mutable null_counter : int;
@@ -39,40 +48,67 @@ type t = {
 
 let create () =
   {
-    by_id = Hashtbl.create 256;
+    syms = Symtab.create ();
+    facts = Array.make 256 no_fact;
+    fact_syms = Intvec.create ~capacity:256 ();
     by_key = KeyTbl.create 256;
-    by_pred = Hashtbl.create 16;
+    by_pred = Array.make 16 (Intvec.create ~capacity:0 ());
     by_arg = ArgTbl.create 1024;
     inactive = Hashtbl.create 16;
     next_id = 0;
     null_counter = 0;
   }
 
+let intern t pred =
+  let before = Symtab.size t.syms in
+  let sym = Symtab.intern t.syms pred in
+  if Symtab.size t.syms > before then begin
+    (* fresh symbol: make room and install its own posting list (the
+       initial array slots alias one shared empty vector) *)
+    if sym >= Array.length t.by_pred then begin
+      let grown =
+        Array.make (max (2 * Array.length t.by_pred) (sym + 1)) t.by_pred.(0)
+      in
+      Array.blit t.by_pred 0 grown 0 (Array.length t.by_pred);
+      t.by_pred <- grown
+    end;
+    t.by_pred.(sym) <- Intvec.create ()
+  end;
+  sym
+
+let pred_sym t pred = Symtab.find t.syms pred
+
+let posting t sym =
+  if sym >= 0 && sym < Array.length t.by_pred then t.by_pred.(sym)
+  else invalid_arg "Database.posting"
+
 let add t pred args =
-  let key = (pred, args) in
+  let sym = intern t pred in
+  let key = (sym, args) in
   match KeyTbl.find_opt t.by_key key with
-  | Some id -> `Existing (Hashtbl.find t.by_id id)
+  | Some id -> `Existing t.facts.(id)
   | None ->
     let id = t.next_id in
     t.next_id <- id + 1;
     let f = { Fact.id; pred; args } in
-    Hashtbl.add t.by_id id f;
+    if id = Array.length t.facts then begin
+      let grown = Array.make (2 * id) no_fact in
+      Array.blit t.facts 0 grown 0 id;
+      t.facts <- grown
+    end;
+    t.facts.(id) <- f;
+    Intvec.push t.fact_syms sym;
     KeyTbl.add t.by_key key id;
-    let ids =
-      match Hashtbl.find_opt t.by_pred pred with
-      | Some r -> r
-      | None ->
-        let r = ref [] in
-        Hashtbl.add t.by_pred pred r;
-        r
-    in
-    ids := id :: !ids;
+    Intvec.push t.by_pred.(sym) id;
     Array.iteri
       (fun i v ->
-        let k = (pred, i, v) in
+        let k = (sym, i, v) in
         match ArgTbl.find_opt t.by_arg k with
-        | Some r -> r := id :: !r
-        | None -> ArgTbl.add t.by_arg k (ref [ id ]))
+        | Some vec -> Intvec.push vec id
+        | None ->
+          let vec = Intvec.create () in
+          Intvec.push vec id;
+          ArgTbl.add t.by_arg k vec)
       args;
     `Added f
 
@@ -87,34 +123,58 @@ let add_atom t (a : Atom.t) =
   end
 
 let deactivate t id = Hashtbl.replace t.inactive id ()
-let is_active t id = Hashtbl.mem t.by_id id && not (Hashtbl.mem t.inactive id)
-let fact t id = Hashtbl.find t.by_id id
+
+let is_active t id =
+  id >= 0 && id < t.next_id && not (Hashtbl.mem t.inactive id)
+
+let fact t id =
+  if id < 0 || id >= t.next_id then raise Not_found;
+  t.facts.(id)
+
+let pred_sym_of_fact t id =
+  if id < 0 || id >= t.next_id then raise Not_found;
+  Intvec.get t.fact_syms id
 
 let find_exact t pred args =
-  Option.map (fun id -> Hashtbl.find t.by_id id) (KeyTbl.find_opt t.by_key (pred, args))
+  match Symtab.find t.syms pred with
+  | None -> None
+  | Some sym ->
+    Option.map (fun id -> t.facts.(id)) (KeyTbl.find_opt t.by_key (sym, args))
 
 let ids_of_pred t pred =
-  match Hashtbl.find_opt t.by_pred pred with
-  | Some r -> List.rev !r
+  match Symtab.find t.syms pred with
   | None -> []
+  | Some sym -> Intvec.to_list (posting t sym)
 
 let all_of_pred t pred = List.map (fact t) (ids_of_pred t pred)
 
 let active t pred =
-  List.filter_map
-    (fun id -> if is_active t id then Some (fact t id) else None)
-    (ids_of_pred t pred)
+  match Symtab.find t.syms pred with
+  | None -> []
+  | Some sym ->
+    Intvec.fold_left
+      (fun acc id -> if is_active t id then t.facts.(id) :: acc else acc)
+      [] (posting t sym)
+    |> List.rev
+
+let pred_card t pred =
+  match Symtab.find t.syms pred with
+  | None -> 0
+  | Some sym -> Intvec.length (posting t sym)
 
 let preds t =
-  Hashtbl.fold (fun p _ acc -> p :: acc) t.by_pred [] |> List.sort String.compare
+  let acc = ref [] in
+  Symtab.iter (fun _ name -> acc := name :: !acc) t.syms;
+  List.sort String.compare !acc
 
 let active_all t =
-  preds t |> List.concat_map (ids_of_pred t)
-  |> List.filter (is_active t)
-  |> List.sort Int.compare
-  |> List.map (fact t)
+  let acc = ref [] in
+  for id = t.next_id - 1 downto 0 do
+    if is_active t id then acc := t.facts.(id) :: !acc
+  done;
+  !acc
 
-let size t = Hashtbl.length t.by_id
+let size t = t.next_id
 let active_size t = size t - Hashtbl.length t.inactive
 
 let fresh_null t =
@@ -122,44 +182,63 @@ let fresh_null t =
   t.null_counter <- i + 1;
   Value.null i
 
+(* The narrowest candidate posting for a pattern under a substitution:
+   the shortest argument index over the bound positions, else the full
+   predicate posting.  Lengths are O(1), so probing every bound
+   position costs a few hash lookups, not list walks. *)
+let candidates t sym (pattern : Atom.t) subst =
+  let best = ref None in
+  List.iteri
+    (fun i (term : Term.t) ->
+      let bound =
+        match term with
+        | Term.Cst c -> Some c
+        | Term.Var v -> Subst.find subst v
+      in
+      match bound with
+      | None -> ()
+      | Some v ->
+        let vec =
+          match ArgTbl.find_opt t.by_arg (sym, i, v) with
+          | Some vec -> vec
+          | None -> empty_posting
+        in
+        (match !best with
+        | Some shorter when Intvec.length shorter <= Intvec.length vec -> ()
+        | Some _ | None -> best := Some vec))
+    pattern.args;
+  match !best with Some vec -> vec | None -> posting t sym
+
 let matching t (pattern : Atom.t) subst =
-  let arity = List.length pattern.args in
-  (* use the narrowest argument index available under the current
-     substitution; fall back to the full predicate scan *)
-  let candidates =
-    let rec best i args acc =
-      match args with
-      | [] -> acc
-      | term :: rest ->
-        let bound =
-          match term with
-          | Term.Cst c -> Some c
-          | Term.Var v -> Subst.find subst v
-        in
-        let acc =
-          match bound with
-          | None -> acc
-          | Some v -> (
-            let ids =
-              match ArgTbl.find_opt t.by_arg (pattern.pred, i, v) with
-              | Some r -> !r
-              | None -> []
-            in
-            match acc with
-            | Some shorter when List.length shorter <= List.length ids -> acc
-            | Some _ | None -> Some ids)
-        in
-        best (i + 1) rest acc
-    in
-    match best 0 pattern.args None with
-    | Some ids -> List.rev_map (fact t) (List.filter (is_active t) ids)
-    | None -> active t pattern.pred
-  in
-  List.filter_map
-    (fun f ->
-      if Array.length f.Fact.args <> arity then None
-      else
-        match Subst.match_atom subst ~pattern f.Fact.args with
-        | Some s -> Some (f, s)
-        | None -> None)
-    candidates
+  match Symtab.find t.syms pattern.pred with
+  | None -> []
+  | Some sym ->
+    let arity = List.length pattern.args in
+    Intvec.fold_left
+      (fun acc id ->
+        if not (is_active t id) then acc
+        else begin
+          let f = t.facts.(id) in
+          if Array.length f.Fact.args <> arity then acc
+          else
+            match Subst.match_atom subst ~pattern f.Fact.args with
+            | Some s -> (f, s) :: acc
+            | None -> acc
+        end)
+      []
+      (candidates t sym pattern subst)
+    |> List.rev
+
+let exists_matching t (pattern : Atom.t) subst =
+  match Symtab.find t.syms pattern.pred with
+  | None -> false
+  | Some sym ->
+    let arity = List.length pattern.args in
+    Intvec.exists
+      (fun id ->
+        is_active t id
+        &&
+        let f = t.facts.(id) in
+        Array.length f.Fact.args = arity
+        && Subst.match_atom subst ~pattern f.Fact.args <> None)
+      (candidates t sym pattern subst)

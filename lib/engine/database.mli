@@ -54,3 +54,26 @@ val matching : t -> Atom.t -> Subst.t -> (Fact.t * Subst.t) list
 (** Active facts of the pattern's predicate that the pattern maps onto
     under an extension of the given substitution, with the extended
     substitution. *)
+
+val exists_matching : t -> Atom.t -> Subst.t -> bool
+(** Whether {!matching} would be non-empty, without materializing the
+    matches — the negation check of the matcher early-exits through
+    this. *)
+
+(** {1 Interned symbols and statistics}
+
+    Predicate names are interned to dense ints on first insertion;
+    the matcher and the chase key their hot-path lookups (delta
+    membership, posting lengths) on these symbols instead of hashing
+    strings. *)
+
+val pred_sym : t -> string -> int option
+(** The symbol of a predicate, if any fact of it was ever inserted. *)
+
+val pred_sym_of_fact : t -> int -> int
+(** The predicate symbol of a fact id; raises [Not_found] for unknown
+    ids. *)
+
+val pred_card : t -> string -> int
+(** Number of facts ever inserted for the predicate (active +
+    inactive), in O(1) — the join planner's cardinality estimate. *)

@@ -1,0 +1,32 @@
+(** Growable int arrays — the posting-list representation behind the
+    database indexes.  Append-only: the chase never removes a fact from
+    an index (deactivation is a side table), so postings only ever
+    [push].  Compared to the previous [int list ref] postings, an
+    [Intvec] keeps elements in insertion order without a reversal on
+    every read, answers {!length} in O(1) (the join planner's
+    cardinality probe), and stores ids unboxed in a flat [int array]. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** An empty vector; [capacity] (default [8]) pre-sizes the backing
+    array. *)
+
+val length : t -> int
+
+val get : t -> int -> int
+(** Raises [Invalid_argument] outside [0..length-1]. *)
+
+val push : t -> int -> unit
+(** Append, amortized O(1). *)
+
+val iter : (int -> unit) -> t -> unit
+(** In insertion order. *)
+
+val fold_left : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+val exists : (int -> bool) -> t -> bool
+(** Early-exits on the first hit, in insertion order. *)
+
+val to_list : t -> int list
+(** In insertion order. *)

@@ -12,20 +12,33 @@ type agg_result = {
   contributors : Provenance.contributor list;
 }
 
-(* Enumerate joins of the positive atoms left-to-right; negation and
-   fully-bound conditions are checked as soon as possible to prune the
-   search.  [position_ok] restricts which facts may fill each body-atom
-   position — the hook for semi-naive delta seeding. *)
-let raw_matches ?(position_ok = fun _ _ -> true) db (r : Rule.t) =
-  let positives = Rule.positive_atoms r in
+(* Enumerate joins of the positive atoms in plan order (textual order
+   when no plan is given); negation and fully-bound conditions are
+   checked as soon as possible to prune the search.  [position_ok]
+   restricts which facts may fill each {e join position} (plan order) —
+   the hook for semi-naive delta seeding.  [used_facts] is restored to
+   body order regardless of the plan, so provenance premises are
+   plan-independent. *)
+let raw_matches ?plan ?(position_ok = fun _ _ -> true) db (r : Rule.t) =
+  let positives = Array.of_list (Rule.positive_atoms r) in
+  let order =
+    match plan with
+    | Some (p : Plan.t) -> p.Plan.order
+    | None -> Array.init (Array.length positives) Fun.id
+  in
+  let n = Array.length order in
   let negatives = Rule.negative_atoms r in
   let check_conditions subst =
     List.for_all
       (fun c -> Expr.eval_cmp (Subst.lookup subst) c <> Some false)
       r.conditions
   in
-  let rec join pos subst used = function
-    | [] ->
+  (* [used] collects (body-atom index, fact id) pairs *)
+  let restore_body_order used =
+    List.sort (fun (i, _) (j, _) -> Int.compare i j) used |> List.map snd
+  in
+  let rec join pos subst used =
+    if pos = n then begin
       (* all positive atoms matched: apply assignments in order *)
       let subst =
         List.fold_left
@@ -41,47 +54,71 @@ let raw_matches ?(position_ok = fun _ _ -> true) db (r : Rule.t) =
       if not all_hold then []
       else if
         List.exists
-          (fun (a : Atom.t) -> Database.matching db (Subst.apply_atom subst a) subst <> [])
+          (fun (a : Atom.t) ->
+            Database.exists_matching db (Subst.apply_atom subst a) subst)
           negatives
       then []
-      else [ { binding = subst; used_facts = List.rev used } ]
-    | atom :: rest ->
+      else [ { binding = subst; used_facts = restore_body_order used } ]
+    end
+    else begin
+      let body_idx = order.(pos) in
+      let atom = positives.(body_idx) in
       if not (check_conditions subst) then []
       else
         List.concat_map
           (fun ((f : Fact.t), subst') ->
-            if position_ok pos f then join (pos + 1) subst' (f.id :: used) rest else [])
+            if position_ok pos f then join (pos + 1) subst' ((body_idx, f.id) :: used)
+            else [])
           (Database.matching db atom subst)
+    end
   in
-  join 0 Subst.empty [] positives
+  join 0 Subst.empty []
 
 type delta = {
-  mem : int -> bool;          (** fact id in the previous round's delta *)
-  has_pred : string -> bool;  (** some delta fact has this predicate *)
+  mem : int -> bool;      (** fact id in the previous round's delta *)
+  has_pred : int -> bool; (** some delta fact has this predicate symbol *)
 }
 
-(* Semi-naive evaluation: the union over k of joins whose k-th position
-   is a delta fact while earlier positions are non-delta — each new
-   match is produced exactly once, seeded from the delta.  Passes whose
-   seed predicate has no delta fact are skipped outright. *)
-let match_rule ?delta db (r : Rule.t) =
+(* Semi-naive evaluation: the union over k of joins whose k-th join
+   position is a delta fact while earlier positions are non-delta —
+   each new match is produced exactly once, seeded from the delta.
+   Positions follow the evaluation plan; the decomposition is valid
+   over any fixed order.  Passes whose seed predicate has no delta fact
+   are skipped outright, by interned symbol (no string hashing). *)
+let delta_tasks ?plan ~delta db (r : Rule.t) =
+  let { mem; has_pred } = delta in
+  let positives = Array.of_list (Rule.positive_atoms r) in
+  let n = Array.length positives in
+  let order =
+    match plan with
+    | Some (p : Plan.t) -> p.Plan.order
+    | None -> Array.init n Fun.id
+  in
+  List.filter_map
+    (fun k ->
+      let seed = positives.(order.(k)) in
+      let seed_has_delta =
+        match Database.pred_sym db seed.Atom.pred with
+        | None -> false (* no facts of this predicate at all *)
+        | Some sym -> has_pred sym
+      in
+      if not seed_has_delta then None
+      else
+        Some
+          (fun () ->
+            let position_ok pos (f : Fact.t) =
+              if pos = k then mem f.id
+              else if pos < k then not (mem f.id)
+              else true
+            in
+            raw_matches ?plan ~position_ok db r))
+    (List.init n Fun.id)
+
+let match_rule ?delta ?plan db (r : Rule.t) =
   if Rule.has_agg r then invalid_arg "Matcher.match_rule: aggregating rule";
   match delta with
-  | None -> raw_matches db r
-  | Some { mem; has_pred } ->
-    let positives = Array.of_list (Rule.positive_atoms r) in
-    let n = Array.length positives in
-    List.concat
-      (List.init n (fun k ->
-           if not (has_pred positives.(k).Atom.pred) then []
-           else begin
-             let position_ok pos (f : Fact.t) =
-               if pos = k then mem f.id
-               else if pos < k then not (mem f.id)
-               else true
-             in
-             raw_matches ~position_ok db r
-           end))
+  | None -> raw_matches ?plan db r
+  | Some delta -> List.concat_map (fun task -> task ()) (delta_tasks ?plan ~delta db r)
 
 (* --- aggregation ------------------------------------------------------- *)
 
@@ -105,7 +142,7 @@ let aggregate (func : Rule.agg_func) values =
       | Rule.Max -> List.fold_left Value.max_v v rest
       | Rule.Count -> Value.int (1 + List.length rest))
 
-let match_agg_rule db (r : Rule.t) =
+let match_agg_rule ?plan db (r : Rule.t) =
   match r.agg with
   | None -> invalid_arg "Matcher.match_agg_rule: non-aggregating rule"
   | Some agg ->
@@ -113,7 +150,7 @@ let match_agg_rule db (r : Rule.t) =
        evaluate the body with those conditions deferred. *)
     let depends_on_result c = List.mem agg.result (Expr.cmp_vars c) in
     let body_rule = { r with conditions = List.filter (fun c -> not (depends_on_result c)) r.conditions; agg = None } in
-    let matches = raw_matches db body_rule in
+    let matches = raw_matches ?plan db body_rule in
     let group_vars = Rule.group_vars r in
     (* Deduplicate contributors on their full binding: set semantics of
        monotonic aggregation over witness homomorphisms. *)

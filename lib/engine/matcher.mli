@@ -3,7 +3,14 @@
 
     Non-aggregating rules yield one {!match_result} per homomorphism;
     aggregating rules yield one {!agg_result} per SQL-like group, with
-    the contributors that feed the monotonic aggregate. *)
+    the contributors that feed the monotonic aggregate.
+
+    Joins follow an optional {!Plan.t} (cost-based atom order); the
+    results are plan-independent — [used_facts] is always reported in
+    body order — only the enumeration order of the matches may differ
+    between plans.  All entry points only {e read} the database, so a
+    round's match phase may fan out across domains against an immutable
+    pre-round database. *)
 
 open Ekg_kernel
 open Ekg_datalog
@@ -20,17 +27,29 @@ type agg_result = {
 }
 
 type delta = {
-  mem : int -> bool;          (** fact id in the previous round's delta *)
-  has_pred : string -> bool;  (** some delta fact has this predicate *)
+  mem : int -> bool;      (** fact id in the previous round's delta *)
+  has_pred : int -> bool; (** some delta fact has this predicate {e symbol}
+                              ({!Database.pred_sym}) — interned, so the
+                              per-pass skip test hashes no strings *)
 }
 
-val match_rule : ?delta:delta -> Database.t -> Rule.t -> match_result list
+val match_rule :
+  ?delta:delta -> ?plan:Plan.t -> Database.t -> Rule.t -> match_result list
 (** Matches of a non-aggregating rule.  With [delta], only matches
     using at least one delta fact are returned, and the join is seeded
     from the delta facts (semi-naive evaluation).  Raises
     [Invalid_argument] on aggregating rules. *)
 
-val match_agg_rule : Database.t -> Rule.t -> agg_result list
+val delta_tasks :
+  ?plan:Plan.t -> delta:delta -> Database.t -> Rule.t -> (unit -> match_result list) list
+(** The independent seed passes of semi-naive evaluation, one closure
+    per join position whose seed predicate has delta facts.  Running
+    every task (in any order, e.g. across a {!Par} pool) and
+    concatenating the results {e in task order} equals
+    [match_rule ~delta] — the chase's unit of parallel work.  Tasks
+    must run against the unchanged database. *)
+
+val match_agg_rule : ?plan:Plan.t -> Database.t -> Rule.t -> agg_result list
 (** Groups of an aggregating rule, conditions already enforced
     (including those over the aggregate result).  Raises
     [Invalid_argument] on non-aggregating rules. *)

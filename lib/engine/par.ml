@@ -1,0 +1,152 @@
+(* A reusable fixed-size Domain work-pool, mirrored from the server's
+   worker-pool design (lib/server/server.ml) but batch-shaped: instead
+   of an open-ended connection queue, callers submit one indexed batch
+   at a time and block until it drains.  Workers live for the pool's
+   lifetime, so the per-round fan-out of the chase pays no Domain.spawn
+   on the hot path; the submitting domain participates in every batch,
+   so a pool of [domains] total domains spawns only [domains - 1]
+   workers. *)
+
+type batch = {
+  run : int -> unit;
+  n : int;
+  next : int Atomic.t;        (* next task index to claim *)
+  finished : int Atomic.t;    (* tasks completed (or failed) *)
+  first_error : exn option Atomic.t;
+}
+
+type t = {
+  lock : Mutex.t;
+  work : Condition.t;         (* workers: a new batch is available *)
+  drained : Condition.t;      (* submitter: the batch completed *)
+  mutable generation : int;   (* bumped per batch; guarded by [lock] *)
+  mutable current : batch option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  domains : int;
+}
+
+let domains t = t.domains
+
+(* Claim-and-run loop shared by workers and the submitting domain.
+   Exceptions are captured (first one wins) so a failing task cannot
+   kill a pool domain; every task, failing or not, counts toward
+   [finished]. *)
+let drain_batch (b : batch) =
+  let rec go () =
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i < b.n then begin
+      (try b.run i
+       with e ->
+         ignore
+           (Atomic.compare_and_set b.first_error None (Some e)));
+      ignore (Atomic.fetch_and_add b.finished 1);
+      go ()
+    end
+  in
+  go ()
+
+let worker_loop t () =
+  let last_seen = ref 0 in
+  let rec next () =
+    Mutex.lock t.lock;
+    let rec await () =
+      if t.stop then None
+      else if t.generation <> !last_seen then begin
+        last_seen := t.generation;
+        match t.current with
+        | Some _ as b -> b
+        | None -> await () (* batch already drained by others; wait on *)
+      end
+      else begin
+        Condition.wait t.work t.lock;
+        await ()
+      end
+    in
+    let job = await () in
+    Mutex.unlock t.lock;
+    match job with
+    | None -> ()
+    | Some b ->
+      drain_batch b;
+      (* the last finisher wakes the submitter *)
+      if Atomic.get b.finished = b.n then begin
+        Mutex.lock t.lock;
+        Condition.broadcast t.drained;
+        Mutex.unlock t.lock
+      end;
+      next ()
+  in
+  next ()
+
+let create ~domains =
+  let domains = max 1 domains in
+  let t =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      drained = Condition.create ();
+      generation = 0;
+      current = None;
+      stop = false;
+      workers = [];
+      domains;
+    }
+  in
+  t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let run_batch t ~n run =
+  if n > 0 then begin
+    let b =
+      {
+        run;
+        n;
+        next = Atomic.make 0;
+        finished = Atomic.make 0;
+        first_error = Atomic.make None;
+      }
+    in
+    Mutex.lock t.lock;
+    t.current <- Some b;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    (* the submitter is a full pool member *)
+    drain_batch b;
+    Mutex.lock t.lock;
+    while Atomic.get b.finished < b.n do
+      Condition.wait t.drained t.lock
+    done;
+    t.current <- None;
+    Mutex.unlock t.lock;
+    match Atomic.get b.first_error with Some e -> raise e | None -> ()
+  end
+
+let map t tasks =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    run_batch t ~n (fun i -> results.(i) <- Some (tasks.(i) ()));
+    Array.map
+      (function
+        | Some r -> r
+        | None -> assert false (* every slot was filled or we raised *))
+      results
+  end
+
+let with_pool ~domains f =
+  if domains <= 1 then f None
+  else begin
+    let pool = create ~domains in
+    Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f (Some pool))
+  end

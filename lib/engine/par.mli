@@ -1,0 +1,36 @@
+(** A reusable fixed-size [Domain] work-pool for the chase's per-round
+    fan-out (and any other batch-parallel engine work).
+
+    The pool spawns its worker domains once ({!create}) and reuses them
+    for every batch, so the per-round cost of going parallel is a
+    mutex broadcast, not a [Domain.spawn].  The submitting domain
+    participates in each batch: a pool created with [~domains:4] runs
+    batches on 4 domains while having spawned only 3.
+
+    Batches are synchronous: {!map} returns only when every task has
+    run.  Tasks are claimed by atomic counter, so ordering of
+    {e execution} is nondeterministic — callers that need determinism
+    (the chase does) must make tasks independent and combine results by
+    task {e index}, which {!map} preserves. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn a pool of [domains] total domains ([domains - 1] workers;
+    values [<= 1] yield a pool that runs batches inline). *)
+
+val domains : t -> int
+
+val map : t -> (unit -> 'a) array -> 'a array
+(** Run every task across the pool and return their results in task
+    order.  If one or more tasks raise, the first exception observed is
+    re-raised in the caller after the batch drains; result slots are
+    then discarded. *)
+
+val shutdown : t -> unit
+(** Join the workers.  The pool must not be used afterwards. *)
+
+val with_pool : domains:int -> (t option -> 'a) -> 'a
+(** [with_pool ~domains f] calls [f (Some pool)] with a freshly spawned
+    pool and guarantees shutdown, or [f None] when [domains <= 1] —
+    the sequential path stays pool-free. *)

@@ -1,0 +1,65 @@
+open Ekg_datalog
+
+type t = {
+  order : int array;
+  reordered : bool;
+}
+
+let identity n = { order = Array.init n (fun i -> i); reordered = false }
+
+module VarSet = Set.Make (String)
+
+let atom_vars (a : Atom.t) =
+  List.filter_map
+    (function Term.Var v -> Some v | Term.Cst _ -> None)
+    a.Atom.args
+
+let bound_positions bound (a : Atom.t) =
+  List.fold_left
+    (fun n (t : Term.t) ->
+      match t with
+      | Term.Cst _ -> n + 1
+      | Term.Var v -> if VarSet.mem v bound then n + 1 else n)
+    0 a.Atom.args
+
+let compile ~card (r : Rule.t) =
+  let atoms = Array.of_list (Rule.positive_atoms r) in
+  let n = Array.length atoms in
+  if n <= 1 then identity n
+  else begin
+    let cards = Array.map (fun (a : Atom.t) -> card a.Atom.pred) atoms in
+    let order = Array.make n 0 in
+    let taken = Array.make n false in
+    let bound = ref VarSet.empty in
+    for k = 0 to n - 1 do
+      let best = ref (-1) in
+      let best_score = ref infinity in
+      for i = 0 to n - 1 do
+        if not taken.(i) then begin
+          let score =
+            float_of_int cards.(i)
+            /. float_of_int (1 + bound_positions !bound atoms.(i))
+          in
+          (* strict [<] keeps ties in textual order: determinism *)
+          if score < !best_score then begin
+            best := i;
+            best_score := score
+          end
+        end
+      done;
+      let i = !best in
+      taken.(i) <- true;
+      order.(k) <- i;
+      bound := List.fold_left (fun s v -> VarSet.add v s) !bound (atom_vars atoms.(i))
+    done;
+    let reordered = ref false in
+    Array.iteri (fun k i -> if k <> i then reordered := true) order;
+    { order; reordered = !reordered }
+  end
+
+let to_string (r : Rule.t) t =
+  let atoms = Array.of_list (Rule.positive_atoms r) in
+  Printf.sprintf "%s: %s" r.Rule.id
+    (String.concat ", "
+       (Array.to_list
+          (Array.map (fun i -> atoms.(i).Atom.pred) t.order)))

@@ -1,0 +1,39 @@
+(** Cost-based join planning: per-rule evaluation orders for the
+    matcher's positive body atoms.
+
+    The matcher historically joined body atoms in textual order, which
+    is catastrophic when an unselective atom comes first (the full
+    predicate scan seeds the join).  A {!t} reorders the atoms
+    greedily by estimated selectivity: at each step it picks the
+    remaining atom with the lowest
+
+    {v cardinality(pred) / (1 + number of bound argument positions) v}
+
+    where a position is bound when it holds a constant or a variable
+    already bound by an earlier (planned) atom — the textbook
+    bound-is-easier heuristic driven by live predicate cardinalities
+    from the database ({!Database.pred_card}), so plans are recompiled
+    per chase round as the instance grows.  Ties break toward textual
+    order, which keeps plans (and therefore the whole chase)
+    deterministic. *)
+
+open Ekg_datalog
+
+type t = {
+  order : int array;
+      (** [order.(k)] is the index, in the rule's positive-atom list,
+          of the atom evaluated at join position [k]. *)
+  reordered : bool;  (** [order] differs from the identity *)
+}
+
+val identity : int -> t
+(** Textual order over [n] atoms. *)
+
+val compile : card:(string -> int) -> Rule.t -> t
+(** Plan a rule's positive body against cardinality estimates.
+    [card p] is the (active + inactive) fact count of predicate [p];
+    unknown predicates estimate to [0] and therefore evaluate first,
+    which short-circuits the join immediately. *)
+
+val to_string : Rule.t -> t -> string
+(** Diagnostic rendering, e.g. ["sigma3: own, control -> control"]. *)

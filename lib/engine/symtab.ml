@@ -1,0 +1,36 @@
+type t = {
+  index : (string, int) Hashtbl.t;
+  mutable names : string array;
+  mutable n : int;
+}
+
+let create ?(capacity = 16) () =
+  { index = Hashtbl.create capacity; names = Array.make (max 1 capacity) ""; n = 0 }
+
+let size t = t.n
+
+let intern t s =
+  match Hashtbl.find_opt t.index s with
+  | Some id -> id
+  | None ->
+    let id = t.n in
+    if id = Array.length t.names then begin
+      let grown = Array.make (2 * id) "" in
+      Array.blit t.names 0 grown 0 id;
+      t.names <- grown
+    end;
+    t.names.(id) <- s;
+    t.n <- id + 1;
+    Hashtbl.add t.index s id;
+    id
+
+let find t s = Hashtbl.find_opt t.index s
+
+let name t id =
+  if id < 0 || id >= t.n then invalid_arg "Symtab.name";
+  t.names.(id)
+
+let iter f t =
+  for id = 0 to t.n - 1 do
+    f id t.names.(id)
+  done

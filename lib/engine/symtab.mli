@@ -1,0 +1,25 @@
+(** Predicate-symbol interning: a bijection between predicate names and
+    dense small ints, so the engine's hot paths (index probes, delta
+    membership, planner cardinality lookups) key on machine ints
+    instead of hashing strings.  Symbols are per-database and assigned
+    in first-intern order, which keeps them deterministic for a given
+    insertion sequence. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val intern : t -> string -> int
+(** The symbol for a name, allocating the next dense id on first use. *)
+
+val find : t -> string -> int option
+(** Lookup without allocation; [None] for never-interned names. *)
+
+val name : t -> int -> string
+(** Inverse of {!intern}; raises [Invalid_argument] on unknown ids. *)
+
+val size : t -> int
+(** Number of interned symbols; valid ids are [0..size-1]. *)
+
+val iter : (int -> string -> unit) -> t -> unit
+(** In symbol order. *)

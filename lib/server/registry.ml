@@ -24,13 +24,23 @@ type t = {
   root : string;
   metrics : Metrics.t;
   obs : Ekg_obs.Metrics.t;
+  chase_domains : int;
   lock : Mutex.t;
   mutable sessions : session list;  (* newest first *)
   mutable next_id : int;
 }
 
-let create ?(root = ".") ?(obs = Ekg_obs.Metrics.noop ()) metrics =
-  { root; metrics; obs; lock = Mutex.create (); sessions = []; next_id = 1 }
+let create ?(root = ".") ?(obs = Ekg_obs.Metrics.noop ()) ?(chase_domains = 1)
+    metrics =
+  {
+    root;
+    metrics;
+    obs;
+    chase_domains;
+    lock = Mutex.create ();
+    sessions = [];
+    next_id = 1;
+  }
 
 let with_lock lock f =
   Mutex.lock lock;
@@ -133,8 +143,8 @@ let materialize t (session : session) =
       | None ->
         Metrics.cache_miss t.metrics;
         (match
-           Chase.run_checked ~stats:t.obs session.pipeline.Pipeline.program
-             session.edb
+           Chase.run_checked ~stats:t.obs ~domains:t.chase_domains
+             session.pipeline.Pipeline.program session.edb
          with
         | Ok result ->
           session.chase <- Some result;

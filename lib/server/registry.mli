@@ -35,10 +35,13 @@ type spec =
 
 type t
 
-val create : ?root:string -> ?obs:Ekg_obs.Metrics.t -> Metrics.t -> t
+val create :
+  ?root:string -> ?obs:Ekg_obs.Metrics.t -> ?chase_domains:int -> Metrics.t -> t
 (** [root] (default ["."]) anchors [Files] paths; requests may not
     escape it.  [obs] (default a {!Ekg_obs.Metrics.noop} registry)
-    receives the [ekg_chase_*] series of every materialization. *)
+    receives the [ekg_chase_*] series of every materialization.
+    [chase_domains] (default [1]) is handed to every chase run as its
+    match-phase fan-out; results are identical for every value. *)
 
 val spec_of_json : Json.t -> (spec * string option, string) result
 (** Decode a [POST /sessions] body; also returns the optional

@@ -9,7 +9,7 @@ type state = {
   started_at : float;
 }
 
-let make_state ?root () =
+let make_state ?root ?(chase_domains = 1) () =
   let metrics = Metrics.create () in
   let obs = Ekg_obs.Metrics.create () in
   let tracer =
@@ -34,8 +34,13 @@ let make_state ?root () =
     "ekg_chase_rounds_total";
   Ekg_obs.Metrics.declare_counter obs ~help:"Facts derived beyond the EDB"
     "ekg_chase_facts_derived_total";
+  Ekg_obs.Metrics.declare_counter obs
+    ~help:"Join plans that deviated from textual body order"
+    "ekg_chase_plan_reorders_total";
+  Ekg_obs.Metrics.set obs ~help:"Domains used by the most recent chase"
+    "ekg_chase_domains" (float_of_int chase_domains);
   {
-    registry = Registry.create ?root ~obs metrics;
+    registry = Registry.create ?root ~obs ~chase_domains metrics;
     metrics;
     obs;
     tracer;

@@ -25,11 +25,13 @@
 
 type state
 
-val make_state : ?root:string -> unit -> state
+val make_state : ?root:string -> ?chase_domains:int -> unit -> state
 (** Fresh registry + metrics + observability registry + tracer; [root]
-    anchors [program_path] / [facts_dir] session specs.  The mandatory
-    chase counters are pre-declared so Prometheus scrapes see them
-    before the first materialization. *)
+    anchors [program_path] / [facts_dir] session specs.
+    [chase_domains] (default [1]) is the match-phase fan-out of every
+    chase materialization — orthogonal to the HTTP worker-domain count.
+    The mandatory chase counters are pre-declared so Prometheus scrapes
+    see them before the first materialization. *)
 
 val registry : state -> Registry.t
 val metrics : state -> Metrics.t

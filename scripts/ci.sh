@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus the server smoke test (which also scrapes the
-# Prometheus /metrics exposition). Run from anywhere.
+# Prometheus /metrics exposition) and the parallel-chase bench smoke,
+# which writes BENCH_chase.json (wall-clock at domains=1 vs 4,
+# speedup, facts/sec) and fails if parallel output ever diverges from
+# sequential. Run from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
 dune build @smoke
-echo "ci: all green (build + tests + smoke/metrics)"
+dune exec bench/main.exe -- chase-smoke
+echo "ci: all green (build + tests + smoke/metrics + chase bench)"

@@ -394,7 +394,7 @@ let test_proof_constants () =
 
 let test_alternative_derivations_recorded () =
   (* the goal is derivable both through a chain and directly; the
-     direct derivation arrives later and is kept as an alternative *)
+     later-arriving derivation is kept as an alternative *)
   let res =
     run_exn
       {|
@@ -414,14 +414,25 @@ a("k"). z("k").
     (List.length (Provenance.alternatives res.prov f.id) >= 2)
 
 let test_shortest_proof_selection () =
+  (* the goal has a wide 5-step derivation (four parallel w-facts feed
+     [direct]) and a narrow 3-step chain.  The wide one completes a
+     round earlier — rounds match against the pre-round database, so
+     the chain needs three rounds while the w-facts all land in round
+     one — making it the primary; shortest-proof selection must then
+     recover the chain *)
   let res =
     run_exn
       {|
-chain1: a(X) -> m(X).
-chain2: m(X) -> goal(X).
-direct: a(X), z(X) -> goal(X).
+chain1: a(X) -> m1(X).
+chain2: m1(X) -> m2(X).
+chain3: m2(X) -> goal(X).
+w1: a(X) -> wa(X).
+w2: a(X) -> wb(X).
+w3: a(X) -> wc(X).
+w4: a(X) -> wd(X).
+direct: wa(X), wb(X), wc(X), wd(X) -> goal(X).
 @goal(goal).
-a("k"). z("k").
+a("k").
 |}
   in
   let f =
@@ -431,10 +442,12 @@ a("k"). z("k").
   in
   let primary = Option.get (Proof.of_fact res.db res.prov f) in
   let shortest = Option.get (Proof.shortest_of_fact res.db res.prov f) in
-  check int' "primary follows the chain" 2 (Proof.length primary);
-  check int' "shortest is the direct derivation" 1 (Proof.length shortest);
-  check bool' "shortest uses the direct rule" true
-    (Proof.rule_sequence shortest = [ "direct" ])
+  check int' "primary is the wide derivation" 5 (Proof.length primary);
+  check bool' "primary uses the direct rule" true
+    (List.mem "direct" (Proof.rule_sequence primary));
+  check int' "shortest follows the chain" 3 (Proof.length shortest);
+  check bool' "shortest is the chain" true
+    (Proof.rule_sequence shortest = [ "chain1"; "chain2"; "chain3" ])
 
 let test_shortest_equals_primary_when_unique () =
   let res = run_exn example_economy in
@@ -896,9 +909,197 @@ path(X, Z), e(Z, Y) -> path(X, Y).
         dump a = dump b
       | _ -> false)
 
+(* --- parallel chase, join planning and interning --------------------------- *)
+
+let test_intvec () =
+  let v = Intvec.create ~capacity:2 () in
+  check int' "empty" 0 (Intvec.length v);
+  for i = 0 to 99 do
+    Intvec.push v (i * 3)
+  done;
+  check int' "length after growth" 100 (Intvec.length v);
+  check int' "get" 21 (Intvec.get v 7);
+  check bool' "to_list is insertion order" true
+    (Intvec.to_list v = List.init 100 (fun i -> i * 3));
+  check bool' "exists finds" true (Intvec.exists (fun x -> x = 297) v);
+  check bool' "exists misses" false (Intvec.exists (fun x -> x = 298) v);
+  let folded = Intvec.fold_left (fun acc x -> acc + x) 0 v in
+  check int' "fold" (3 * (99 * 100 / 2)) folded
+
+let test_symtab () =
+  let t = Symtab.create () in
+  let a = Symtab.intern t "own" in
+  let b = Symtab.intern t "control" in
+  check bool' "distinct symbols" true (a <> b);
+  check int' "re-interning is stable" a (Symtab.intern t "own");
+  check int' "size" 2 (Symtab.size t);
+  check string' "name round-trip" "control" (Symtab.name t b);
+  check bool' "find known" true (Symtab.find t "own" = Some a);
+  check bool' "find unknown" true (Symtab.find t "missing" = None)
+
+let test_plan_ordering () =
+  let rule src =
+    match Parser.parse_rule src with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "parse_rule: %s" e
+  in
+  let card = function "big" -> 1000 | "small" -> 5 | _ -> 0 in
+  let r = rule "r: big(X, Y), small(Y, Z) -> out(X, Z)." in
+  let plan = Plan.compile ~card r in
+  check bool' "small atom seeds the join" true (plan.Plan.order = [| 1; 0 |]);
+  check bool' "reordered flag" true plan.Plan.reordered;
+  (* equal cardinalities: ties keep textual order *)
+  let tie = Plan.compile ~card:(fun _ -> 7) r in
+  check bool' "ties keep textual order" true (tie.Plan.order = [| 0; 1 |]);
+  check bool' "identity not reordered" false tie.Plan.reordered;
+  (* a bound variable makes a huge predicate cheap: after small(Y,Z),
+     big(Y,W) has one bound position and beats an unbound mid(..) *)
+  let r3 = rule "r3: big(Y, W), mid(A, B), small(Y, Z) -> out(W, A)." in
+  let card3 = function "big" -> 1000 | "mid" -> 600 | "small" -> 5 | _ -> 0 in
+  let plan3 = Plan.compile ~card:card3 r3 in
+  check bool' "bound-variable discount orders big before mid" true
+    (plan3.Plan.order = [| 2; 0; 1 |])
+
+let test_exists_matching () =
+  let db = Database.create () in
+  ignore (Database.add db "e" [| Value.str "a"; Value.str "b" |]);
+  ignore (Database.add db "e" [| Value.str "b"; Value.str "c" |]);
+  let pat args = Atom.make "e" args in
+  check bool' "ground hit" true
+    (Database.exists_matching db (pat [ Term.str "a"; Term.str "b" ]) Subst.empty);
+  check bool' "variable hit" true
+    (Database.exists_matching db (pat [ Term.var "X"; Term.str "c" ]) Subst.empty);
+  check bool' "miss" false
+    (Database.exists_matching db (pat [ Term.str "c"; Term.var "X" ]) Subst.empty);
+  check bool' "unknown predicate" false
+    (Database.exists_matching db (Atom.make "q" [ Term.var "X" ]) Subst.empty);
+  (* agrees with [matching] on emptiness *)
+  let probe = pat [ Term.var "X"; Term.var "Y" ] in
+  check bool' "consistent with matching" true
+    (Database.exists_matching db probe Subst.empty
+    = (Database.matching db probe Subst.empty <> []))
+
+let test_pred_card () =
+  let db = Database.create () in
+  check int' "unknown predicate" 0 (Database.pred_card db "p");
+  let id =
+    match Database.add db "p" [| Value.int 1 |] with
+    | `Added f -> f.Fact.id
+    | `Existing _ -> Alcotest.fail "fresh"
+  in
+  ignore (Database.add db "p" [| Value.int 2 |]);
+  ignore (Database.add db "q" [| Value.int 3 |]);
+  check int' "counts facts" 2 (Database.pred_card db "p");
+  Database.deactivate db id;
+  check int' "deactivation does not shrink the estimate" 2
+    (Database.pred_card db "p")
+
+let test_par_map () =
+  Par.with_pool ~domains:3 (fun pool ->
+      let pool = Option.get pool in
+      check int' "pool size" 3 (Par.domains pool);
+      let tasks = Array.init 50 (fun i () -> i * i) in
+      let out = Par.map pool tasks in
+      check bool' "results in task order" true
+        (out = Array.init 50 (fun i -> i * i));
+      (* reusable across batches *)
+      let out2 = Par.map pool (Array.init 7 (fun i () -> -i)) in
+      check bool' "second batch" true (out2 = Array.init 7 (fun i -> -i));
+      (* a raising task propagates after the batch drains *)
+      Alcotest.check_raises "exception propagates" (Failure "task 3") (fun () ->
+          ignore
+            (Par.map pool
+               (Array.init 8 (fun i () ->
+                    if i = 3 then failwith "task 3" else i))));
+      (* the pool survives a failed batch *)
+      let out3 = Par.map pool (Array.init 4 (fun i () -> i + 1)) in
+      check bool' "usable after failure" true (out3 = [| 1; 2; 3; 4 |]));
+  (* domains <= 1: no pool, caller runs inline *)
+  check bool' "sequential fallback" true
+    (Par.with_pool ~domains:1 (fun pool -> pool = None))
+
+(* the full externally visible result: facts, ids, provenance and the
+   chase graph — byte equality is the determinism contract *)
+let chase_fingerprint (r : Chase.result) =
+  Io.result_to_json r ^ Export.chase_graph_dot r
+
+let test_parallel_identical_on_bundled_apps () =
+  List.iter
+    (fun app ->
+      match Ekg_apps.Bundled.load app with
+      | Error e -> Alcotest.failf "load %s: %s" app e
+      | Ok loaded ->
+        let program =
+          loaded.Ekg_apps.Apps_util.pipeline.Ekg_core.Pipeline.program
+        in
+        let edb = loaded.Ekg_apps.Apps_util.edb in
+        let seq = Chase.run_exn program edb in
+        List.iter
+          (fun domains ->
+            let par = Chase.run_exn ~domains program edb in
+            check int' (app ^ ": rounds identical") seq.Chase.rounds
+              par.Chase.rounds;
+            check int' (app ^ ": derived identical") seq.Chase.derived_count
+              par.Chase.derived_count;
+            check bool'
+              (Printf.sprintf "%s: domains=%d bit-identical" app domains)
+              true
+              (chase_fingerprint seq = chase_fingerprint par))
+          [ 2; 4 ])
+    Ekg_apps.Bundled.names
+
+let test_naive_matches_seminaive_under_planner () =
+  (* multi-predicate joins so the planner actually reorders; negation
+     and an aggregate so every evaluation path is covered *)
+  let src = {|
+base1: e(X, Y) -> path(X, Y).
+step: path(X, Z), e(Z, Y) -> path(X, Y).
+tag: path(X, Y), label(Y, L), not blocked(X) -> tagged(X, L).
+score: path(X, Y), weight(Y, W), T = sum(W) -> total(X, T).
+@goal(tagged).
+e("a", "b"). e("b", "c"). e("c", "d"). e("a", "c").
+label("c", "mid"). label("d", "end").
+weight("b", 2). weight("c", 3). weight("d", 5).
+blocked("b").
+|}
+  in
+  let { Parser.program; facts } = parse_exn src in
+  let semi = Chase.run_exn program facts in
+  let naive = Chase.run_exn ~naive:true program facts in
+  let dump (r : Chase.result) =
+    Database.active_all r.db |> List.map Fact.to_string
+    |> List.sort String.compare
+  in
+  check bool' "same fixpoint" true (dump semi = dump naive)
+
+let prop_parallel_equals_sequential =
+  QCheck2.Test.make ~name:"parallel chase is bit-identical to sequential"
+    ~count:25 edges_gen (fun raw ->
+      let facts =
+        List.map
+          (fun (i, j) ->
+            Atom.make "e" [ Term.str (string_of_int i); Term.str (string_of_int j) ])
+          raw
+      in
+      let { Parser.program; _ } =
+        parse_exn {|
+e(X, Y) -> path(X, Y).
+path(X, Z), e(Z, Y) -> path(X, Y).
+@goal(path).
+|}
+      in
+      match Chase.run program facts, Chase.run ~domains:3 program facts with
+      | Ok a, Ok b -> chase_fingerprint a = chase_fingerprint b
+      | _ -> false)
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_closure_matches_reference; prop_chase_deterministic; prop_magic_equals_full_chase ]
+    [
+      prop_closure_matches_reference;
+      prop_chase_deterministic;
+      prop_magic_equals_full_chase;
+      prop_parallel_equals_sequential;
+    ]
 
 let () =
   Alcotest.run "engine"
@@ -1000,5 +1201,18 @@ let () =
           Alcotest.test_case "EDB has no proof" `Quick test_proof_edb_fact_has_none;
         ] );
       ("query", [ Alcotest.test_case "patterns" `Quick test_query_patterns ]);
+      ( "parallel",
+        [
+          Alcotest.test_case "intvec" `Quick test_intvec;
+          Alcotest.test_case "symtab" `Quick test_symtab;
+          Alcotest.test_case "plan ordering" `Quick test_plan_ordering;
+          Alcotest.test_case "exists_matching" `Quick test_exists_matching;
+          Alcotest.test_case "pred_card" `Quick test_pred_card;
+          Alcotest.test_case "par map" `Quick test_par_map;
+          Alcotest.test_case "bundled apps bit-identical" `Quick
+            test_parallel_identical_on_bundled_apps;
+          Alcotest.test_case "naive = semi-naive under planner" `Quick
+            test_naive_matches_seminaive_under_planner;
+        ] );
       ("properties", qsuite);
     ]
