@@ -101,7 +101,60 @@ type section_out = {
   identical : bool;
 }
 
-let json_out sections =
+(* --- admission-control overhead --------------------------------------------
+
+   The server runs every chase under a deadline budget; the engine then
+   polls a clock (and the cancel hook) inside its match loops.  Measure
+   what that interrupt machinery costs when the budget never trips:
+   p50/p99 latency of the same workload with no budget vs. with a
+   roomy active deadline. *)
+
+type overhead_out = {
+  o_iters : int;
+  p50_plain : float;
+  p99_plain : float;
+  p50_budget : float;
+  p99_budget : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+
+let measure_latencies ~iters run =
+  let samples =
+    Array.init iters (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (run ());
+        (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  Array.sort compare samples;
+  samples
+
+let admission_overhead w =
+  let iters = 40 in
+  (* warm-up, then interleave would bias caches the same way for both *)
+  ignore (Ekg_engine.Chase.run_exn w.program w.edb);
+  let plain =
+    measure_latencies ~iters (fun () ->
+        Ekg_engine.Chase.run_exn w.program w.edb)
+  in
+  let budgeted =
+    measure_latencies ~iters (fun () ->
+        Ekg_engine.Chase.run_exn
+          ~budget:(Ekg_engine.Chase.within_ms 600_000.)
+          w.program w.edb)
+  in
+  {
+    o_iters = iters;
+    p50_plain = percentile plain 0.50;
+    p99_plain = percentile plain 0.99;
+    p50_budget = percentile budgeted 0.50;
+    p99_budget = percentile budgeted 0.99;
+  }
+
+let json_out ~overhead sections =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -134,7 +187,20 @@ let json_out sections =
            s.identical
            (if i = List.length sections - 1 then "" else ",")))
     sections;
-  Buffer.add_string buf "  ]\n}\n";
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"admission_overhead\": {\"workload\": \"control-chain-40\", \
+        \"iterations\": %d, \"p50_ms_no_budget\": %.3f, \
+        \"p99_ms_no_budget\": %.3f, \"p50_ms_with_budget\": %.3f, \
+        \"p99_ms_with_budget\": %.3f, \"p99_overhead_pct\": %.1f}\n"
+       overhead.o_iters overhead.p50_plain overhead.p99_plain
+       overhead.p50_budget overhead.p99_budget
+       (if overhead.p99_plain > 0. then
+          100. *. (overhead.p99_budget -. overhead.p99_plain)
+          /. overhead.p99_plain
+        else 0.));
+  Buffer.add_string buf "}\n";
   Buffer.contents buf
 
 let run () =
@@ -161,9 +227,19 @@ let run () =
         })
       (workloads ())
   in
+  let overhead =
+    let w =
+      List.find (fun w -> w.w_name = "control-chain-40") (workloads ())
+    in
+    let o = admission_overhead w in
+    Printf.printf
+      "  %-20s p50 %7.3f -> %7.3f ms   p99 %7.3f -> %7.3f ms (budget polling)\n"
+      "admission-overhead" o.p50_plain o.p50_budget o.p99_plain o.p99_budget;
+    o
+  in
   let path = "BENCH_chase.json" in
   let oc = open_out path in
-  output_string oc (json_out sections);
+  output_string oc (json_out ~overhead sections);
   close_out oc;
   Printf.printf "  wrote %s (machine reports %d recommended domains)\n" path
     (Domain.recommended_domain_count ());

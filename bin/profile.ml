@@ -59,10 +59,15 @@ let print_rounds (stats : Ekg_engine.Chase.stats) =
         r.delta_size r.new_facts (r.time_s *. 1000.))
     stats.per_round
 
-let run app query domains rounds dump_trace prometheus =
+let run app query domains deadline_ms rounds dump_trace prometheus =
   let tracer = Ekg_obs.Trace.create () in
   let sink = Ekg_obs.Metrics.create () in
   let wall0 = Unix.gettimeofday () in
+  let budget =
+    match deadline_ms with
+    | None -> Ekg_engine.Chase.unlimited
+    | Some ms -> Ekg_engine.Chase.within_ms (float_of_int ms)
+  in
   match Bundled.load ~obs:tracer app with
   | Error e ->
     Fmt.epr "error: %s@." e;
@@ -70,7 +75,7 @@ let run app query domains rounds dump_trace prometheus =
   | Ok { Apps_util.pipeline; edb } -> (
     match
       Ekg_obs.Trace.with_span tracer "chase" (fun span ->
-          Ekg_engine.Chase.run_checked ~stats:sink ~domains ~obs:tracer
+          Ekg_engine.Chase.run_checked ~stats:sink ~domains ~budget ~obs:tracer
             ~parent:span pipeline.Pipeline.program edb)
     with
     | Error err ->
@@ -145,6 +150,13 @@ let domains_t =
   in
   Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc)
 
+let deadline_ms_t =
+  let doc =
+    "Abort the chase after this many milliseconds (exercises the \
+     cooperative-cancellation path; partial progress is reported)."
+  in
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
 let rounds_t =
   Arg.(value & flag & info [ "rounds" ] ~doc:"Also print the per-round deltas.")
 
@@ -162,7 +174,7 @@ let cmd =
   let info = Cmd.info "ekg-profile" ~version:"1.0.0" ~doc in
   Cmd.v info
     Term.(
-      const run $ app_t $ query_t $ domains_t $ rounds_t $ trace_t
-      $ prometheus_t)
+      const run $ app_t $ query_t $ domains_t $ deadline_ms_t $ rounds_t
+      $ trace_t $ prometheus_t)
 
 let () = exit (Cmd.eval' cmd)

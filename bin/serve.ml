@@ -9,8 +9,22 @@
 open Cmdliner
 open Ekg_server
 
-let run host port domains chase_domains root preload =
-  let state = Router.make_state ~root ~chase_domains () in
+let run host port domains chase_domains root preload fault queue_high_water
+    default_deadline_ms max_deadline_ms =
+  (* the --fault flag wins over the EKG_FAULT environment variable *)
+  let fault =
+    match fault with Some spec -> Fault.parse spec | None -> Fault.of_env ()
+  in
+  match fault with
+  | Error e ->
+    Fmt.epr "error: %s@." e;
+    1
+  | Ok fault ->
+  let state =
+    Router.make_state ~root ~chase_domains ~fault
+      ~default_deadline_ms:(float_of_int default_deadline_ms)
+      ~max_deadline_ms:(float_of_int max_deadline_ms) ()
+  in
   (* optionally pre-register bundled applications so the daemon is
      immediately queryable, e.g. --preload company-control *)
   let preload_errors =
@@ -28,7 +42,9 @@ let run host port domains chase_domains root preload =
     Fmt.epr "error: %s@." e;
     1
   | [] ->
-    let config = { Server.default_config with host; port; domains } in
+    let config =
+      { Server.default_config with host; port; domains; queue_high_water }
+    in
     (match Server.start ~config state with
     | exception Unix.Unix_error (err, _, _) ->
       Fmt.epr "error: cannot bind %s:%d: %s@." host port (Unix.error_message err);
@@ -40,6 +56,8 @@ let run host port domains chase_domains root preload =
       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
       Fmt.pr "ekg-serve: listening on http://%s:%d (%d worker domains, root %s)@."
         host (Server.port server) domains root;
+      if fault <> Fault.Off then
+        Fmt.pr "ekg-serve: fault injection active: %s@." (Fault.to_string fault);
       Server.wait server;
       Fmt.pr "ekg-serve: drained, bye@.";
       0)
@@ -73,12 +91,41 @@ let preload_t =
   let doc = "Bundled application to preload as a session (repeatable)." in
   Arg.(value & opt_all string [] & info [ "preload" ] ~docv:"APP" ~doc)
 
+let fault_t =
+  let doc =
+    "Inject a fault for robustness drills: off, delay[:ms], \
+     refuse-accept, or slow-chase[:ms].  Overrides the EKG_FAULT \
+     environment variable."
+  in
+  Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC" ~doc)
+
+let queue_high_water_t =
+  let doc =
+    "Admission-queue depth at which new requests are shed with 503 \
+     (0 sheds every non-probe request)."
+  in
+  Arg.(
+    value
+    & opt int Server.default_config.Server.queue_high_water
+    & info [ "queue-high-water" ] ~docv:"N" ~doc)
+
+let default_deadline_ms_t =
+  let doc =
+    "Deadline applied to requests that carry no X-Ekg-Deadline-Ms header."
+  in
+  Arg.(value & opt int 30_000 & info [ "default-deadline-ms" ] ~docv:"MS" ~doc)
+
+let max_deadline_ms_t =
+  let doc = "Cap on the deadline a client may request." in
+  Arg.(value & opt int 300_000 & info [ "max-deadline-ms" ] ~docv:"MS" ~doc)
+
 let cmd =
   let doc = "explanation service over the template pipeline" in
   let info = Cmd.info "ekg-serve" ~version:"1.0.0" ~doc in
   Cmd.v info
     Term.(
       const run $ host_t $ port_t $ domains_t $ chase_domains_t $ root_t
-      $ preload_t)
+      $ preload_t $ fault_t $ queue_high_water_t $ default_deadline_ms_t
+      $ max_deadline_ms_t)
 
 let () = exit (Cmd.eval' cmd)

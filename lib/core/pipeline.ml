@@ -46,11 +46,11 @@ type explanation = {
   paths_used : string list;
 }
 
-let reason ?stats ?domains ?obs ?parent t edb =
-  Chase.run ?stats ?domains ?obs ?parent t.program edb
+let reason ?stats ?domains ?budget ?obs ?parent t edb =
+  Chase.run ?stats ?domains ?budget ?obs ?parent t.program edb
 
-let explain ?(strategy = `Primary) ?horizon ?obs ?parent t (result : Chase.result)
-    fact =
+let explain ?(strategy = `Primary) ?horizon ?(degraded = false) ?obs ?parent t
+    (result : Chase.result) fact =
   Ekg_obs.Trace.with_span_opt obs ?parent "explain" @@ fun parent ->
   let span name f = Ekg_obs.Trace.with_span_opt obs ?parent name (fun _ -> f ()) in
   let extract =
@@ -90,35 +90,49 @@ let explain ?(strategy = `Primary) ?horizon ?obs ?parent t (result : Chase.resul
       ^ Instantiate.render_mapping ~template_for:(template_for t ~enhanced) mapping
       |> Instantiate.cleanup
     in
+    let paths_used = Proof_mapper.paths_used mapping in
     let text, deterministic_text =
-      span "instantiation" (fun () -> (render true, render false))
+      if degraded then begin
+        (* Verbalization budget exhausted: fall back to the pre-computed
+           template skeletons of the paths the proof mapped onto.  No
+           instantiation work, but the caller still learns which
+           reasoning steps fired and in what shape. *)
+        let skeletons =
+          List.filter_map
+            (fun name ->
+              Option.map Template.skeleton (List.assoc_opt name t.deterministic))
+            paths_used
+        in
+        let sk = preamble ^ String.concat " " skeletons in
+        (sk, sk)
+      end
+      else span "instantiation" (fun () -> (render true, render false))
     in
-    Ok
-      {
-        fact;
-        proof;
-        mapping;
-        text;
-        deterministic_text;
-        paths_used = Proof_mapper.paths_used mapping;
-      }
+    Ok { fact; proof; mapping; text; deterministic_text; paths_used }
 
-let explain_atom ?strategy ?obs ?parent t (result : Chase.result) atom =
+let explain_atom_budgeted ?strategy ?(degrade = fun () -> false) ?obs ?parent t
+    (result : Chase.result) atom =
   let matches = Query.ask result.db atom in
   if matches = [] then Error ("no derived fact matches " ^ Atom.to_string atom)
   else begin
+    let degraded_any = ref false in
     let explanations =
       List.filter_map
         (fun (f, _) ->
-          match explain ?strategy ?obs ?parent t result f with
+          let degraded = degrade () in
+          if degraded then degraded_any := true;
+          match explain ?strategy ~degraded ?obs ?parent t result f with
           | Ok e -> Some e
           | Error _ -> None (* extensional matches are skipped *))
         matches
     in
     if explanations = [] then
       Error ("all facts matching " ^ Atom.to_string atom ^ " are extensional")
-    else Ok explanations
+    else Ok (explanations, !degraded_any)
   end
+
+let explain_atom ?strategy ?obs ?parent t (result : Chase.result) atom =
+  Result.map fst (explain_atom_budgeted ?strategy ?obs ?parent t result atom)
 
 let explain_query ?strategy ?obs ?parent t result source =
   match Parser.parse_atom source with

@@ -47,18 +47,20 @@ type explanation = {
 val reason :
   ?stats:Ekg_obs.Metrics.t ->
   ?domains:int ->
+  ?budget:Chase.budget ->
   ?obs:Ekg_obs.Trace.t ->
   ?parent:Ekg_obs.Trace.span ->
   t ->
   Atom.t list ->
   (Chase.result, string) result
 (** Run the reasoning task over extensional facts; [stats], [domains]
-    (match-phase parallelism) and the tracing arguments are passed
-    through to {!Chase.run}. *)
+    (match-phase parallelism), [budget] (deadline / cancellation) and
+    the tracing arguments are passed through to {!Chase.run}. *)
 
 val explain :
   ?strategy:[ `Primary | `Shortest ] ->
   ?horizon:int ->
+  ?degraded:bool ->
   ?obs:Ekg_obs.Trace.t ->
   ?parent:Ekg_obs.Trace.span ->
   t ->
@@ -72,9 +74,29 @@ val explain :
     facts whose derivations fell outside open the report as
     assumptions ("Taking as already established that …").
 
+    [degraded] (default [false]) skips template instantiation entirely:
+    both text fields carry the pre-computed template {e skeletons} of
+    the proof's reasoning paths instead of fully verbalized prose — the
+    cheap fallback a service uses when the request's verbalization
+    budget is exhausted but proof extraction already succeeded.
+
     With [obs], the query is recorded as an ["explain"] span with
     ["proof-extraction"], ["proof-mapping"] and ["instantiation"]
     children (nested under [parent] when given). *)
+
+val explain_atom_budgeted :
+  ?strategy:[ `Primary | `Shortest ] ->
+  ?degrade:(unit -> bool) ->
+  ?obs:Ekg_obs.Trace.t ->
+  ?parent:Ekg_obs.Trace.span ->
+  t ->
+  Chase.result ->
+  Atom.t ->
+  (explanation list * bool, string) result
+(** Like {!explain_atom}, but polls [degrade] before verbalizing each
+    match; once it answers [true] (e.g. the request deadline passed),
+    remaining explanations are rendered in degraded (skeleton) form.
+    The returned flag is [true] iff any explanation was degraded. *)
 
 val explain_atom :
   ?strategy:[ `Primary | `Shortest ] ->

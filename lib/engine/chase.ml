@@ -152,8 +152,8 @@ let insert_plain_matches st ~round (r : Rule.t) matches =
             Some f.Fact.id))
     matches
 
-let apply_agg_rule st ~round ?plan (r : Rule.t) =
-  let groups = Matcher.match_agg_rule ?plan st.db r in
+let apply_agg_rule st ~round ?interrupt ?plan (r : Rule.t) =
+  let groups = Matcher.match_agg_rule ?interrupt ?plan st.db r in
   List.filter_map
     (fun (g : Matcher.agg_result) ->
       match instantiate_head st r g.group_binding with
@@ -205,12 +205,45 @@ type divergence = {
   stratum_rounds : int list;
 }
 
+(* --- budgets ------------------------------------------------------------ *)
+
+type budget = {
+  deadline_s : float option;
+  budget_rounds : int option;
+  budget_facts : int option;
+  cancel : (unit -> bool) option;
+}
+
+let unlimited =
+  { deadline_s = None; budget_rounds = None; budget_facts = None; cancel = None }
+
+let budget ?deadline_s ?rounds ?facts ?cancel () =
+  { deadline_s; budget_rounds = rounds; budget_facts = facts; cancel }
+
+let within_ms ms =
+  { unlimited with deadline_s = Some (Ekg_obs.Clock.now_s () +. (ms /. 1000.)) }
+
+type partial = {
+  partial_rounds : int;
+  partial_derived : int;
+  partial_wall_s : float;
+  partial_stratum_rounds : int list;
+}
+
+type exhausted = [ `Deadline | `Facts | `Rounds ]
+
 type error =
   | Invalid_program of string list
   | Unstratifiable of string
   | Invalid_edb of string
   | Divergent of divergence
   | Inconsistent of string
+  | Budget_exceeded of exhausted * partial
+  | Cancelled of partial
+
+let partial_to_string p =
+  Printf.sprintf "%d rounds, %d facts derived, %.1f ms elapsed"
+    p.partial_rounds p.partial_derived (p.partial_wall_s *. 1000.)
 
 let error_to_string = function
   | Invalid_program es -> String.concat "; " es
@@ -227,10 +260,19 @@ let error_to_string = function
     in
     Printf.sprintf "chase did not terminate within %d rounds%s" max_rounds detail
   | Inconsistent detail -> detail
+  | Budget_exceeded (resource, p) ->
+    let what =
+      match resource with
+      | `Deadline -> "wall-clock deadline"
+      | `Facts -> "derived-fact budget"
+      | `Rounds -> "round budget"
+    in
+    Printf.sprintf "chase exceeded its %s (%s)" what (partial_to_string p)
+  | Cancelled p -> Printf.sprintf "chase cancelled (%s)" (partial_to_string p)
 
 let client_error = function
   | Invalid_program _ | Unstratifiable _ | Invalid_edb _ | Inconsistent _ -> true
-  | Divergent _ -> false
+  | Divergent _ | Budget_exceeded _ | Cancelled _ -> false
 
 (* per-rule profiling accumulator, live only when a stats sink is on *)
 type rule_acc = {
@@ -281,8 +323,8 @@ let push_stats sink ~rounds ~derived (s : stats) =
       run aggregate rules sequentially.  All fact ids, nulls and
       provenance records are allocated here, in a schedule-independent
       order. *)
-let run_checked ?(naive = false) ?(domains = 1) ?(max_rounds = 100_000) ?stats
-    ?obs ?parent (program : Program.t) edb =
+let run_checked ?(naive = false) ?(domains = 1) ?(max_rounds = 100_000)
+    ?(budget = unlimited) ?stats ?obs ?parent (program : Program.t) edb =
   match Program.validate program with
   | Error es -> Error (Invalid_program es)
   | Ok () -> (
@@ -296,7 +338,15 @@ let run_checked ?(naive = false) ?(domains = 1) ?(max_rounds = 100_000) ?stats
         | Some sink -> Ekg_obs.Metrics.enabled sink
         | None -> false
       in
-      let t_start = if collect then Ekg_obs.Clock.now_s () else 0. in
+      let budget_active =
+        Option.is_some budget.deadline_s
+        || Option.is_some budget.budget_rounds
+        || Option.is_some budget.budget_facts
+        || Option.is_some budget.cancel
+      in
+      let t_start =
+        if collect || budget_active then Ekg_obs.Clock.now_s () else 0.
+      in
       let st =
         {
           db = Database.create ();
@@ -320,6 +370,65 @@ let run_checked ?(naive = false) ?(domains = 1) ?(max_rounds = 100_000) ?stats
         let overflow = ref false in
         let plan_reorders = ref 0 in
         let stratum_rounds = Array.make (max 1 (List.length strata)) 0 in
+        (* Budget machinery.  [stop] is the one flag every domain
+           agrees on: the first check that trips it wins, and both the
+           round loop and the in-match interrupt hook observe it.  When
+           no budget is set, the per-round check is four [None]
+           matches and the matcher hook is absent — the unlimited run
+           is instruction-identical to the pre-budget engine. *)
+        let stop : [ `Cancelled | `Deadline | `Facts | `Rounds ] option Atomic.t
+            =
+          Atomic.make None
+        in
+        let trip r =
+          ignore (Atomic.compare_and_set stop None (Some r));
+          true
+        in
+        let poll_cancel () =
+          match budget.cancel with Some f -> f () | None -> false
+        in
+        let past_deadline () =
+          match budget.deadline_s with
+          | Some d -> Ekg_obs.Clock.now_s () > d
+          | None -> false
+        in
+        let check_budget () =
+          Atomic.get stop <> None
+          ||
+          if poll_cancel () then trip `Cancelled
+          else if past_deadline () then trip `Deadline
+          else if
+            match budget.budget_facts with
+            | Some m -> st.derived >= m
+            | None -> false
+          then trip `Facts
+          else if
+            match budget.budget_rounds with
+            | Some m -> !total_rounds >= m
+            | None -> false
+          then trip `Rounds
+          else false
+        in
+        (* Polled once per join node; the clock and cancel hook are
+           only consulted every 4096 nodes, so a hot join pays an
+           atomic read (and a racy-but-benign counter bump) per node. *)
+        let interrupt =
+          if budget.deadline_s = None && Option.is_none budget.cancel then None
+          else begin
+            let tick = ref 0 in
+            Some
+              (fun () ->
+                Atomic.get stop <> None
+                || begin
+                     incr tick;
+                     !tick land 4095 = 0
+                     &&
+                     if poll_cancel () then trip `Cancelled
+                     else if past_deadline () then trip `Deadline
+                     else false
+                   end)
+          end
+        in
         let accs = ref [] in       (* rule_acc, reverse creation order *)
         let round_log = ref [] in  (* round_stat, reverse execution order *)
         let run_stratum pool si rules =
@@ -359,10 +468,13 @@ let run_checked ?(naive = false) ?(domains = 1) ?(max_rounds = 100_000) ?stats
              a [List.length] walk over the whole delta every round. *)
           let delta = ref None in
           let continue = ref true in
-          while !continue && not !overflow do
-            incr total_rounds;
-            if !total_rounds > max_rounds then overflow := true
+          while !continue && not !overflow && Atomic.get stop = None do
+            if budget_active && check_budget () then ()
             else begin
+              incr total_rounds;
+              if !total_rounds > max_rounds then overflow := true
+              else begin
+                try
               stratum_rounds.(si) <- stratum_rounds.(si) + 1;
               let round = !total_rounds in
               let round_t0 = if collect then Ekg_obs.Clock.now_s () else 0. in
@@ -401,8 +513,10 @@ let run_checked ?(naive = false) ?(domains = 1) ?(max_rounds = 100_000) ?stats
                   (fun (r, acc, plan) ->
                     let thunks =
                       match delta_filter with
-                      | None -> [ (fun () -> Matcher.match_rule ~plan st.db r) ]
-                      | Some d -> Matcher.delta_tasks ~plan ~delta:d st.db r
+                      | None ->
+                        [ (fun () -> Matcher.match_rule ?interrupt ~plan st.db r) ]
+                      | Some d ->
+                        Matcher.delta_tasks ?interrupt ~plan ~delta:d st.db r
                     in
                     let thunks =
                       if not collect then List.map (fun t () -> (0., t ())) thunks
@@ -457,7 +571,7 @@ let run_checked ?(naive = false) ?(domains = 1) ?(max_rounds = 100_000) ?stats
               List.iter
                 (fun (r, acc, plan) ->
                   let t0 = if collect then Ekg_obs.Clock.now_s () else 0. in
-                  let out = apply_agg_rule st ~round ~plan r in
+                  let out = apply_agg_rule st ~round ?interrupt ~plan r in
                   let dt =
                     if collect then Ekg_obs.Clock.now_s () -. t0 else 0.
                   in
@@ -478,26 +592,51 @@ let run_checked ?(naive = false) ?(domains = 1) ?(max_rounds = 100_000) ?stats
                   :: !round_log;
               if !added_count = 0 then continue := false
               else delta := Some (!added, !added_count)
+                with Matcher.Interrupted ->
+                  (* tripped mid-match: [stop] is already set, the
+                     round's partial matches are discarded (nothing was
+                     inserted for them), and the loop exits above *)
+                  ()
+              end
             end
           done
         in
         let traced_stratum pool si rules =
-          Ekg_obs.Trace.with_span_opt obs ?parent
-            ~labels:[ ("stratum", string_of_int si) ]
-            "chase.stratum"
-            (fun span ->
-              run_stratum pool si rules;
-              match span with
-              | Some sp ->
-                Ekg_obs.Trace.label sp "rounds"
-                  (string_of_int stratum_rounds.(si))
-              | None -> ())
+          if Atomic.get stop = None then
+            Ekg_obs.Trace.with_span_opt obs ?parent
+              ~labels:[ ("stratum", string_of_int si) ]
+              "chase.stratum"
+              (fun span ->
+                run_stratum pool si rules;
+                match span with
+                | Some sp ->
+                  Ekg_obs.Trace.label sp "rounds"
+                    (string_of_int stratum_rounds.(si))
+                | None -> ())
         in
         Par.with_pool ~domains (fun pool ->
             List.iteri (traced_stratum pool) strata);
         let stratum_rounds_list =
           Array.to_list (Array.sub stratum_rounds 0 (List.length strata))
         in
+        match Atomic.get stop with
+        | Some reason ->
+          (* the budget tripped: surface how far the run got so the
+             caller can report partial progress (e.g. in a 504 body) *)
+          let partial =
+            {
+              partial_rounds = !total_rounds;
+              partial_derived = st.derived;
+              partial_wall_s = Ekg_obs.Clock.now_s () -. t_start;
+              partial_stratum_rounds = stratum_rounds_list;
+            }
+          in
+          Error
+            (match reason with
+            | `Cancelled -> Cancelled partial
+            | (`Deadline | `Facts | `Rounds) as r ->
+              Budget_exceeded (r, partial))
+        | None ->
         if !overflow then
           Error (Divergent { max_rounds; stratum_rounds = stratum_rounds_list })
         else begin
@@ -557,12 +696,15 @@ let run_checked ?(naive = false) ?(domains = 1) ?(max_rounds = 100_000) ?stats
               }
         end)))
 
-let run ?naive ?domains ?max_rounds ?stats ?obs ?parent program edb =
-  match run_checked ?naive ?domains ?max_rounds ?stats ?obs ?parent program edb with
+let run ?naive ?domains ?max_rounds ?budget ?stats ?obs ?parent program edb =
+  match
+    run_checked ?naive ?domains ?max_rounds ?budget ?stats ?obs ?parent program
+      edb
+  with
   | Ok r -> Ok r
   | Error e -> Error (error_to_string e)
 
-let run_exn ?naive ?domains ?max_rounds ?stats ?obs ?parent program edb =
-  match run ?naive ?domains ?max_rounds ?stats ?obs ?parent program edb with
+let run_exn ?naive ?domains ?max_rounds ?budget ?stats ?obs ?parent program edb =
+  match run ?naive ?domains ?max_rounds ?budget ?stats ?obs ?parent program edb with
   | Ok r -> r
   | Error e -> failwith ("Chase.run: " ^ e)

@@ -80,6 +80,50 @@ type divergence = {
                                        the last entry names the culprit *)
 }
 
+(** {1 Budgets and cooperative cancellation}
+
+    Production admission control (ROADMAP: bounded resource use as a
+    precondition for serving reasoning): a {!budget} bounds a single
+    materialization by wall-clock deadline, round count, derived-fact
+    count, or an external cancel hook.  Budgets are checked at every
+    round boundary and — for the deadline and the cancel hook — inside
+    the per-rule match loops (every few thousand join nodes), so even a
+    single pathological join cannot overshoot the deadline by much.
+    {!unlimited} disables every check; results under it are
+    bit-identical to a run without a budget. *)
+
+type budget = {
+  deadline_s : float option;
+      (** absolute wall-clock instant ({!Ekg_obs.Clock.now_s} scale)
+          past which the run stops *)
+  budget_rounds : int option;   (** max fixpoint rounds *)
+  budget_facts : int option;    (** max facts derived beyond the EDB *)
+  cancel : (unit -> bool) option;
+      (** external cancellation hook, polled with the deadline; must be
+          cheap and domain-safe *)
+}
+
+val unlimited : budget
+
+val budget :
+  ?deadline_s:float -> ?rounds:int -> ?facts:int -> ?cancel:(unit -> bool) ->
+  unit -> budget
+
+val within_ms : float -> budget
+(** [within_ms ms] is a budget whose deadline is [ms] milliseconds from
+    now — the shape a per-request [X-Ekg-Deadline-Ms] header maps to. *)
+
+type partial = {
+  partial_rounds : int;          (** rounds completed (or started) *)
+  partial_derived : int;         (** facts derived before the stop *)
+  partial_wall_s : float;        (** elapsed wall-clock *)
+  partial_stratum_rounds : int list;  (** rounds per stratum, ascending *)
+}
+(** How far a budgeted run got before it was stopped — the partial
+    stats a service reports in its timeout responses. *)
+
+type exhausted = [ `Deadline | `Facts | `Rounds ]
+
 type error =
   | Invalid_program of string list
       (** Validation failures (unsafe rules, arity clashes, …). *)
@@ -93,6 +137,11 @@ type error =
           converge. *)
   | Inconsistent of string
       (** A negative constraint φ → ⊥ fired; carries the diagnostic. *)
+  | Budget_exceeded of exhausted * partial
+      (** The {!budget} tripped; names the exhausted resource and
+          preserves partial progress. *)
+  | Cancelled of partial
+      (** The budget's [cancel] hook answered [true]. *)
 
 val error_to_string : error -> string
 (** Human-readable messages; {!Divergent} includes the per-stratum
@@ -102,12 +151,16 @@ val error_to_string : error -> string
 val client_error : error -> bool
 (** [true] for errors caused by the submitted program or data (a
     service should answer 4xx), [false] for resource exhaustion
-    ({!Divergent} — a 5xx). *)
+    ({!Divergent}, {!Budget_exceeded}, {!Cancelled} — 5xx family). *)
+
+val partial_to_string : partial -> string
+(** ["12 rounds, 4096 facts derived, 51.2 ms elapsed"]. *)
 
 val run_checked :
   ?naive:bool ->
   ?domains:int ->
   ?max_rounds:int ->
+  ?budget:budget ->
   ?stats:Ekg_obs.Metrics.t ->
   ?obs:Ekg_obs.Trace.t ->
   ?parent:Ekg_obs.Trace.span ->
@@ -122,6 +175,7 @@ val run :
   ?naive:bool ->
   ?domains:int ->
   ?max_rounds:int ->
+  ?budget:budget ->
   ?stats:Ekg_obs.Metrics.t ->
   ?obs:Ekg_obs.Trace.t ->
   ?parent:Ekg_obs.Trace.span ->
@@ -132,7 +186,10 @@ val run :
     extensional facts [edb].  Fails on unstratifiable programs,
     non-ground EDB facts, or when [max_rounds] (default [100_000]) is
     exceeded — the termination guard for programs outside the
-    guaranteed-terminating fragment.  [naive] disables semi-naive
+    guaranteed-terminating fragment.  [budget] (default {!unlimited})
+    additionally bounds the run by deadline / rounds / facts / cancel
+    hook, failing with {!Budget_exceeded} or {!Cancelled} and partial
+    stats.  [naive] disables semi-naive
     delta filtering (every rule re-evaluated in full each round);
     results are identical, only performance differs — kept for the
     ablation benchmarks.
@@ -162,6 +219,7 @@ val run_exn :
   ?naive:bool ->
   ?domains:int ->
   ?max_rounds:int ->
+  ?budget:budget ->
   ?stats:Ekg_obs.Metrics.t ->
   ?obs:Ekg_obs.Trace.t ->
   ?parent:Ekg_obs.Trace.span ->

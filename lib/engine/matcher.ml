@@ -12,14 +12,19 @@ type agg_result = {
   contributors : Provenance.contributor list;
 }
 
+exception Interrupted
+
 (* Enumerate joins of the positive atoms in plan order (textual order
    when no plan is given); negation and fully-bound conditions are
    checked as soon as possible to prune the search.  [position_ok]
    restricts which facts may fill each {e join position} (plan order) —
    the hook for semi-naive delta seeding.  [used_facts] is restored to
    body order regardless of the plan, so provenance premises are
-   plan-independent. *)
-let raw_matches ?plan ?(position_ok = fun _ _ -> true) db (r : Rule.t) =
+   plan-independent.  [interrupt] is polled once per join node; when it
+   answers [true] the enumeration aborts with {!Interrupted} — the
+   cooperative-cancellation point that keeps a pathological join from
+   pinning a domain past its budget. *)
+let raw_matches ?interrupt ?plan ?(position_ok = fun _ _ -> true) db (r : Rule.t) =
   let positives = Array.of_list (Rule.positive_atoms r) in
   let order =
     match plan with
@@ -37,7 +42,13 @@ let raw_matches ?plan ?(position_ok = fun _ _ -> true) db (r : Rule.t) =
   let restore_body_order used =
     List.sort (fun (i, _) (j, _) -> Int.compare i j) used |> List.map snd
   in
+  let check =
+    match interrupt with
+    | None -> None
+    | Some f -> Some (fun () -> if f () then raise Interrupted)
+  in
   let rec join pos subst used =
+    (match check with None -> () | Some c -> c ());
     if pos = n then begin
       (* all positive atoms matched: apply assignments in order *)
       let subst =
@@ -85,7 +96,7 @@ type delta = {
    Positions follow the evaluation plan; the decomposition is valid
    over any fixed order.  Passes whose seed predicate has no delta fact
    are skipped outright, by interned symbol (no string hashing). *)
-let delta_tasks ?plan ~delta db (r : Rule.t) =
+let delta_tasks ?interrupt ?plan ~delta db (r : Rule.t) =
   let { mem; has_pred } = delta in
   let positives = Array.of_list (Rule.positive_atoms r) in
   let n = Array.length positives in
@@ -111,14 +122,15 @@ let delta_tasks ?plan ~delta db (r : Rule.t) =
               else if pos < k then not (mem f.id)
               else true
             in
-            raw_matches ?plan ~position_ok db r))
+            raw_matches ?interrupt ?plan ~position_ok db r))
     (List.init n Fun.id)
 
-let match_rule ?delta ?plan db (r : Rule.t) =
+let match_rule ?interrupt ?delta ?plan db (r : Rule.t) =
   if Rule.has_agg r then invalid_arg "Matcher.match_rule: aggregating rule";
   match delta with
-  | None -> raw_matches ?plan db r
-  | Some delta -> List.concat_map (fun task -> task ()) (delta_tasks ?plan ~delta db r)
+  | None -> raw_matches ?interrupt ?plan db r
+  | Some delta ->
+    List.concat_map (fun task -> task ()) (delta_tasks ?interrupt ?plan ~delta db r)
 
 (* --- aggregation ------------------------------------------------------- *)
 
@@ -142,7 +154,7 @@ let aggregate (func : Rule.agg_func) values =
       | Rule.Max -> List.fold_left Value.max_v v rest
       | Rule.Count -> Value.int (1 + List.length rest))
 
-let match_agg_rule ?plan db (r : Rule.t) =
+let match_agg_rule ?interrupt ?plan db (r : Rule.t) =
   match r.agg with
   | None -> invalid_arg "Matcher.match_agg_rule: non-aggregating rule"
   | Some agg ->
@@ -150,7 +162,7 @@ let match_agg_rule ?plan db (r : Rule.t) =
        evaluate the body with those conditions deferred. *)
     let depends_on_result c = List.mem agg.result (Expr.cmp_vars c) in
     let body_rule = { r with conditions = List.filter (fun c -> not (depends_on_result c)) r.conditions; agg = None } in
-    let matches = raw_matches ?plan db body_rule in
+    let matches = raw_matches ?interrupt ?plan db body_rule in
     let group_vars = Rule.group_vars r in
     (* Deduplicate contributors on their full binding: set semantics of
        monotonic aggregation over witness homomorphisms. *)

@@ -33,14 +33,24 @@ type delta = {
                               per-pass skip test hashes no strings *)
 }
 
+exception Interrupted
+(** Raised from inside a join enumeration when the [interrupt] hook
+    answers [true] — the cooperative-cancellation signal of the
+    budgeted chase ({!Chase.budget}).  The database is untouched (the
+    matcher only reads), so the caller may safely abandon or retry. *)
+
 val match_rule :
+  ?interrupt:(unit -> bool) ->
   ?delta:delta -> ?plan:Plan.t -> Database.t -> Rule.t -> match_result list
 (** Matches of a non-aggregating rule.  With [delta], only matches
     using at least one delta fact are returned, and the join is seeded
-    from the delta facts (semi-naive evaluation).  Raises
-    [Invalid_argument] on aggregating rules. *)
+    from the delta facts (semi-naive evaluation).  [interrupt] is
+    polled once per join node; answering [true] aborts the enumeration
+    with {!Interrupted}.  Raises [Invalid_argument] on aggregating
+    rules. *)
 
 val delta_tasks :
+  ?interrupt:(unit -> bool) ->
   ?plan:Plan.t -> delta:delta -> Database.t -> Rule.t -> (unit -> match_result list) list
 (** The independent seed passes of semi-naive evaluation, one closure
     per join position whose seed predicate has delta facts.  Running
@@ -49,7 +59,9 @@ val delta_tasks :
     [match_rule ~delta] — the chase's unit of parallel work.  Tasks
     must run against the unchanged database. *)
 
-val match_agg_rule : ?plan:Plan.t -> Database.t -> Rule.t -> agg_result list
+val match_agg_rule :
+  ?interrupt:(unit -> bool) -> ?plan:Plan.t -> Database.t -> Rule.t -> agg_result list
 (** Groups of an aggregating rule, conditions already enforced
-    (including those over the aggregate result).  Raises
-    [Invalid_argument] on non-aggregating rules. *)
+    (including those over the aggregate result); [interrupt] as in
+    {!match_rule}.  Raises [Invalid_argument] on non-aggregating
+    rules. *)

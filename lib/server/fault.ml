@@ -1,0 +1,46 @@
+type t =
+  | Off
+  | Delay of float
+  | Refuse_accept
+  | Slow_chase of float
+
+let to_string = function
+  | Off -> "off"
+  | Delay s -> Printf.sprintf "delay:%g" (s *. 1000.)
+  | Refuse_accept -> "refuse-accept"
+  | Slow_chase s -> Printf.sprintf "slow-chase:%g" (s *. 1000.)
+
+let parse spec =
+  let spec = String.trim spec in
+  let mode, arg =
+    match String.index_opt spec ':' with
+    | None -> spec, None
+    | Some i ->
+      ( String.sub spec 0 i,
+        Some (String.sub spec (i + 1) (String.length spec - i - 1)) )
+  in
+  let ms ~default =
+    match arg with
+    | None -> Ok default
+    | Some a -> (
+      match float_of_string_opt a with
+      | Some v when v >= 0. -> Ok (v /. 1000.)
+      | _ -> Error (Printf.sprintf "fault %s: bad duration %S (milliseconds)" mode a))
+  in
+  match mode with
+  | "" | "off" | "none" -> Ok Off
+  | "delay" -> Result.map (fun s -> Delay s) (ms ~default:0.2)
+  | "refuse-accept" -> Ok Refuse_accept
+  | "slow-chase" -> Result.map (fun s -> Slow_chase s) (ms ~default:1.)
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown fault %S (off | delay[:ms] | refuse-accept | slow-chase[:ms])"
+         spec)
+
+let env_var = "EKG_FAULT"
+
+let of_env () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> Ok Off
+  | Some spec -> parse spec

@@ -258,6 +258,7 @@ let status_text = function
   | 200 -> "OK"
   | 201 -> "Created"
   | 204 -> "No Content"
+  | 301 -> "Moved Permanently"
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
@@ -268,7 +269,9 @@ let status_text = function
   | 431 -> "Request Header Fields Too Large"
   | 500 -> "Internal Server Error"
   | 503 -> "Service Unavailable"
+  | 504 -> "Gateway Timeout"
   | s when s >= 200 && s < 300 -> "OK"
+  | s when s >= 300 && s < 400 -> "Redirect"
   | s when s >= 400 && s < 500 -> "Client Error"
   | _ -> "Error"
 

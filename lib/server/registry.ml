@@ -25,18 +25,20 @@ type t = {
   metrics : Metrics.t;
   obs : Ekg_obs.Metrics.t;
   chase_domains : int;
+  fault : Fault.t;
   lock : Mutex.t;
   mutable sessions : session list;  (* newest first *)
   mutable next_id : int;
 }
 
 let create ?(root = ".") ?(obs = Ekg_obs.Metrics.noop ()) ?(chase_domains = 1)
-    metrics =
+    ?(fault = Fault.Off) metrics =
   {
     root;
     metrics;
     obs;
     chase_domains;
+    fault;
     lock = Mutex.create ();
     sessions = [];
     next_id = 1;
@@ -134,22 +136,65 @@ let find t id =
 let list t = with_lock t.lock (fun () -> List.rev t.sessions)
 let count t = with_lock t.lock (fun () -> List.length t.sessions)
 
-let materialize t (session : session) =
+(* Slow-chase fault: burn the configured wall-clock before the real run,
+   in short slices so the request budget still trips promptly. *)
+let fault_slow_chase (budget : Chase.budget) seconds =
+  let t0 = Ekg_obs.Clock.now_s () in
+  let finish = t0 +. seconds in
+  let tripped = ref None in
+  let over () =
+    let now = Ekg_obs.Clock.now_s () in
+    (match budget.Chase.cancel with
+    | Some f when f () -> tripped := Some `Cancel
+    | _ -> ());
+    (match budget.Chase.deadline_s with
+    | Some d when now >= d && !tripped = None -> tripped := Some `Deadline
+    | _ -> ());
+    !tripped <> None || now >= finish
+  in
+  while not (over ()) do
+    Unix.sleepf 0.005
+  done;
+  match !tripped with
+  | None -> Ok ()
+  | Some reason ->
+    let partial =
+      {
+        Chase.partial_rounds = 0;
+        partial_derived = 0;
+        partial_wall_s = Ekg_obs.Clock.now_s () -. t0;
+        partial_stratum_rounds = [];
+      }
+    in
+    Error
+      (match reason with
+      | `Cancel -> Chase.Cancelled partial
+      | `Deadline -> Chase.Budget_exceeded (`Deadline, partial))
+
+let materialize ?(budget = Chase.unlimited) t (session : session) =
   with_lock session.lock (fun () ->
       match session.chase with
       | Some result ->
         Metrics.cache_hit t.metrics;
         Ok result
-      | None ->
+      | None -> (
         Metrics.cache_miss t.metrics;
-        (match
-           Chase.run_checked ~stats:t.obs ~domains:t.chase_domains
-             session.pipeline.Pipeline.program session.edb
-         with
-        | Ok result ->
-          session.chase <- Some result;
-          Ok result
-        | Error _ as e -> e))
+        let injected =
+          match t.fault with
+          | Fault.Slow_chase s -> fault_slow_chase budget s
+          | _ -> Ok ()
+        in
+        match injected with
+        | Error _ as e -> e
+        | Ok () -> (
+          match
+            Chase.run_checked ~stats:t.obs ~domains:t.chase_domains ~budget
+              session.pipeline.Pipeline.program session.edb
+          with
+          | Ok result ->
+            session.chase <- Some result;
+            Ok result
+          | Error _ as e -> e)))
 
 let note_explain (session : session) =
   with_lock session.lock (fun () ->

@@ -36,12 +36,21 @@ type spec =
 type t
 
 val create :
-  ?root:string -> ?obs:Ekg_obs.Metrics.t -> ?chase_domains:int -> Metrics.t -> t
+  ?root:string ->
+  ?obs:Ekg_obs.Metrics.t ->
+  ?chase_domains:int ->
+  ?fault:Fault.t ->
+  Metrics.t ->
+  t
 (** [root] (default ["."]) anchors [Files] paths; requests may not
     escape it.  [obs] (default a {!Ekg_obs.Metrics.noop} registry)
     receives the [ekg_chase_*] series of every materialization.
     [chase_domains] (default [1]) is handed to every chase run as its
-    match-phase fan-out; results are identical for every value. *)
+    match-phase fan-out; results are identical for every value.
+    [fault] (default {!Fault.Off}): {!Fault.Slow_chase} injects its
+    configured wall-clock into every materialization — in short,
+    budget-aware slices, so a request deadline still trips within a
+    few milliseconds of the instant it expires. *)
 
 val spec_of_json : Json.t -> (spec * string option, string) result
 (** Decode a [POST /sessions] body; also returns the optional
@@ -57,12 +66,16 @@ val list : t -> session list
 
 val count : t -> int
 
-val materialize : t -> session -> (Chase.result, Chase.error) result
+val materialize :
+  ?budget:Chase.budget -> t -> session -> (Chase.result, Chase.error) result
 (** The cached chase result, computing it on first use.  Counts a
     cache hit or miss on the registry's metrics; a miss runs the chase
     with the registry's [obs] sink, so [result.stats] carries per-rule
-    timings and the [ekg_chase_*] series advance.  Failed runs are not
-    cached. *)
+    timings and the [ekg_chase_*] series advance.  [budget] (default
+    {!Chase.unlimited}) bounds the run — a deadline or cancellation
+    surfaces as [Error (Budget_exceeded _ | Cancelled _)] with partial
+    progress.  Failed runs — budget trips included — are not cached,
+    so a later request with a roomier deadline recomputes. *)
 
 val note_explain : session -> unit
 (** Bump the session's explanation-request counter. *)

@@ -6,10 +6,18 @@ type state = {
   metrics : Metrics.t;
   obs : Ekg_obs.Metrics.t;
   tracer : Ekg_obs.Trace.t;
+  fault : Fault.t;
+  default_deadline_ms : float;
+  max_deadline_ms : float;
   started_at : float;
 }
 
-let make_state ?root ?(chase_domains = 1) () =
+let shed_metric = "ekg_server_shed_total"
+let deadline_metric = "ekg_request_deadline_exceeded_total"
+let queue_depth_metric = "ekg_server_queue_depth"
+
+let make_state ?root ?(chase_domains = 1) ?(fault = Fault.Off)
+    ?(default_deadline_ms = 30_000.) ?(max_deadline_ms = 300_000.) () =
   let metrics = Metrics.create () in
   let obs = Ekg_obs.Metrics.create () in
   let tracer =
@@ -39,11 +47,22 @@ let make_state ?root ?(chase_domains = 1) () =
     "ekg_chase_plan_reorders_total";
   Ekg_obs.Metrics.set obs ~help:"Domains used by the most recent chase"
     "ekg_chase_domains" (float_of_int chase_domains);
+  (* ditto for the robustness series: a scrape must see them at zero
+     before the first shed / deadline trip *)
+  Ekg_obs.Metrics.declare_counter obs
+    ~help:"Requests shed by admission control (503 overloaded)" shed_metric;
+  Ekg_obs.Metrics.declare_counter obs
+    ~help:"Requests that exhausted their deadline (504)" deadline_metric;
+  Ekg_obs.Metrics.set obs ~help:"Requests queued awaiting a worker"
+    queue_depth_metric 0.;
   {
-    registry = Registry.create ?root ~obs ~chase_domains metrics;
+    registry = Registry.create ?root ~obs ~chase_domains ~fault metrics;
     metrics;
     obs;
     tracer;
+    fault;
+    default_deadline_ms;
+    max_deadline_ms;
     started_at = Unix.gettimeofday ();
   }
 
@@ -51,11 +70,29 @@ let registry st = st.registry
 let metrics st = st.metrics
 let obs st = st.obs
 let tracer st = st.tracer
+let fault st = st.fault
 
 let json_response status j = Http.response status (Json.to_string j)
 
-let error_response status msg =
-  json_response status (Json.Obj [ "error", Json.str msg ])
+(* --- deadlines -------------------------------------------------------------- *)
+
+let deadline_header = "x-ekg-deadline-ms"
+
+(* The absolute instant (Clock.now_s scale) this request must answer
+   by: header value when present (clamped to the server cap), server
+   default otherwise. *)
+let request_deadline st (req : Http.request) =
+  match Http.header req deadline_header with
+  | None -> Ok (Ekg_obs.Clock.now_s () +. (st.default_deadline_ms /. 1000.))
+  | Some v -> (
+    match float_of_string_opt (String.trim v) with
+    | Some ms when ms > 0. ->
+      let ms = Float.min ms st.max_deadline_ms in
+      Ok (Ekg_obs.Clock.now_s () +. (ms /. 1000.))
+    | _ ->
+      Error
+        ("invalid X-Ekg-Deadline-Ms header: " ^ v
+       ^ " (expected a positive millisecond count)"))
 
 (* --- endpoint handlers ----------------------------------------------------- *)
 
@@ -103,13 +140,13 @@ let list_sessions st =
 
 let create_session st (req : Http.request) =
   match Json.parse req.body with
-  | Error e -> error_response 400 e
+  | Error e -> Errors.response Errors.Parse_error e
   | Ok body -> (
     match Registry.spec_of_json body with
-    | Error e -> error_response 400 e
+    | Error e -> Errors.response Errors.Invalid_request e
     | Ok (spec, name) -> (
       match Registry.add st.registry ?name spec with
-      | Error e -> error_response 400 e
+      | Error e -> Errors.response Errors.Invalid_program e
       | Ok session -> json_response 201 (Registry.session_json session)))
 
 let templates (session : Registry.session) =
@@ -130,9 +167,9 @@ let templates (session : Registry.session) =
 let session_trace (session : Registry.session) =
   match Registry.last_trace session with
   | None ->
-    error_response 404
+    Errors.response Errors.No_trace
       ("session " ^ session.id
-     ^ " has no trace yet; POST /sessions/" ^ session.id
+     ^ " has no trace yet; POST /v1/sessions/" ^ session.id
      ^ "/explain records one")
   | Some span -> Http.response 200 (Ekg_obs.Trace.span_to_json span)
 
@@ -146,32 +183,40 @@ let explanation_json (e : Pipeline.explanation) =
       "proof_steps", Json.int (Proof.length e.proof);
     ]
 
-let chase_error_response err =
-  let status = if Chase.client_error err then 400 else 500 in
-  error_response status ("reasoning: " ^ Chase.error_to_string err)
+let chase_error_response st err =
+  let code, message, detail = Errors.of_chase err in
+  if code = Errors.Deadline_exceeded then
+    Ekg_obs.Metrics.incr st.obs
+      ~help:"Requests that exhausted their deadline (504)" deadline_metric;
+  Errors.response ~detail code message
 
-let explain st ~trace_id (session : Registry.session) (req : Http.request) =
+let strategy_of body =
+  match Json.mem_str "strategy" body with
+  | Some "shortest" -> Ok `Shortest
+  | Some "primary" | None -> Ok `Primary
+  | Some other -> Error ("unknown strategy: " ^ other ^ " (primary|shortest)")
+
+let explain st ~trace_id ~deadline_s (session : Registry.session)
+    (req : Http.request) =
   match Json.parse req.body with
-  | Error e -> error_response 400 e
+  | Error e -> Errors.response Errors.Parse_error e
   | Ok body -> (
     match Json.mem_str "query" body with
-    | None -> error_response 400 "missing \"query\" field (an atom, e.g. control(\"A\", \"B\"))"
+    | None ->
+      Errors.response Errors.Invalid_request
+        "missing \"query\" field (an atom, e.g. control(\"A\", \"B\"))"
     | Some query -> (
       (* parse the atom up front: a syntax error is the caller's fault
          and must not count as a failed reasoning run *)
       match Ekg_datalog.Parser.parse_atom query with
-      | Error e -> error_response 400 ("query: " ^ e)
+      | Error e -> Errors.response Errors.Parse_error ("query: " ^ e)
       | Ok atom -> (
-        let strategy =
-          match Json.mem_str "strategy" body with
-          | Some "shortest" -> Ok `Shortest
-          | Some "primary" | None -> Ok `Primary
-          | Some other -> Error ("unknown strategy: " ^ other ^ " (primary|shortest)")
-        in
-        match strategy with
-        | Error e -> error_response 400 e
+        match strategy_of body with
+        | Error e -> Errors.response Errors.Invalid_request e
         | Ok strategy ->
           Registry.note_explain session;
+          let budget = { Chase.unlimited with deadline_s = Some deadline_s } in
+          let degrade () = Ekg_obs.Clock.now_s () >= deadline_s in
           let root = ref None in
           let resp =
             Ekg_obs.Trace.with_span st.tracer
@@ -185,23 +230,24 @@ let explain st ~trace_id (session : Registry.session) (req : Http.request) =
             @@ fun span ->
             root := Some span;
             match
-              Ekg_obs.Trace.with_span st.tracer ~parent:span "chase"
-                (fun _ -> Registry.materialize st.registry session)
+              Ekg_obs.Trace.with_span st.tracer ~parent:span "chase" (fun _ ->
+                  Registry.materialize ~budget st.registry session)
             with
-            | Error err -> chase_error_response err
+            | Error err -> chase_error_response st err
             | Ok result -> (
               match
-                Pipeline.explain_atom ~strategy ~obs:st.tracer ~parent:span
-                  session.pipeline result atom
+                Pipeline.explain_atom_budgeted ~strategy ~degrade ~obs:st.tracer
+                  ~parent:span session.pipeline result atom
               with
-              | Error e -> error_response 404 e
-              | Ok explanations ->
+              | Error e -> Errors.response Errors.No_explanation e
+              | Ok (explanations, degraded) ->
                 json_response 200
                   (Json.Obj
                      [
                        "session", Json.str session.id;
                        "query", Json.str query;
                        "trace_id", Json.str trace_id;
+                       "degraded", Json.bool degraded;
                        "count", Json.int (List.length explanations);
                        ( "explanations",
                          Json.Arr (List.map explanation_json explanations) );
@@ -211,50 +257,240 @@ let explain st ~trace_id (session : Registry.session) (req : Http.request) =
           Option.iter (Registry.set_trace session) !root;
           resp)))
 
+(* --- batch explain ---------------------------------------------------------- *)
+
+let batch_item_error ?query code message =
+  Json.Obj
+    ((match query with None -> [] | Some q -> [ "query", Json.str q ])
+    @ [
+        "status", Json.str "error";
+        ( "error",
+          Json.Obj
+            [
+              "code", Json.str (Errors.id code);
+              "message", Json.str message;
+              "retryable", Json.bool (Errors.retryable code);
+            ] );
+      ])
+
+(* One item is a bare query string or {"query", "strategy"?};
+   [default_strategy] is the request-level strategy. *)
+let batch_item_spec ~default_strategy = function
+  | Json.Str q -> Ok (q, default_strategy)
+  | Json.Obj _ as o -> (
+    match Json.mem_str "query" o with
+    | None -> Error "item is missing its \"query\" field"
+    | Some q -> (
+      match Json.mem_str "strategy" o with
+      | None -> Ok (q, default_strategy)
+      | Some _ -> Result.map (fun s -> q, s) (strategy_of o)))
+  | _ -> Error "each item must be a query string or an object with \"query\""
+
+let explain_batch st ~trace_id ~deadline_s (session : Registry.session)
+    (req : Http.request) =
+  match Json.parse req.body with
+  | Error e -> Errors.response Errors.Parse_error e
+  | Ok body -> (
+    let items =
+      match body with
+      | Json.Arr items -> Ok (items, `Primary)
+      | Json.Obj _ -> (
+        match Json.member "queries" body with
+        | Some (Json.Arr items) ->
+          Result.map (fun s -> items, s) (strategy_of body)
+        | Some _ -> Error "\"queries\" must be an array"
+        | None -> Error "missing \"queries\" array")
+      | _ -> Error "body must be an array of queries or {\"queries\": [...]}"
+    in
+    match items with
+    | Error e -> Errors.response Errors.Invalid_request e
+    | Ok ([], _) -> Errors.response Errors.Invalid_request "empty batch"
+    | Ok (items, default_strategy) ->
+      Registry.note_explain session;
+      let budget = { Chase.unlimited with deadline_s = Some deadline_s } in
+      let degrade () = Ekg_obs.Clock.now_s () >= deadline_s in
+      let root = ref None in
+      let resp =
+        Ekg_obs.Trace.with_span st.tracer
+          ~labels:
+            [
+              "trace_id", trace_id;
+              "session", session.id;
+              "items", string_of_int (List.length items);
+            ]
+          "explain-batch-request"
+        @@ fun span ->
+        root := Some span;
+        (* one chase shared by every item — the whole point of batching *)
+        match
+          Ekg_obs.Trace.with_span st.tracer ~parent:span "chase" (fun _ ->
+              Registry.materialize ~budget st.registry session)
+        with
+        | Error err -> chase_error_response st err
+        | Ok result ->
+          let explain_item item =
+            match batch_item_spec ~default_strategy item with
+            | Error e -> batch_item_error Errors.Invalid_request e
+            | Ok (query, strategy) -> (
+              if degrade () then
+                (* past the deadline: later items are not even attempted *)
+                batch_item_error ~query Errors.Deadline_exceeded
+                  "request deadline exhausted before this item"
+              else
+                match Ekg_datalog.Parser.parse_atom query with
+                | Error e ->
+                  batch_item_error ~query Errors.Parse_error ("query: " ^ e)
+                | Ok atom -> (
+                  match
+                    Pipeline.explain_atom_budgeted ~strategy ~degrade
+                      ~obs:st.tracer ~parent:span session.pipeline result atom
+                  with
+                  | Error e -> batch_item_error ~query Errors.No_explanation e
+                  | Ok (explanations, degraded) ->
+                    Json.Obj
+                      [
+                        "query", Json.str query;
+                        "status", Json.str "ok";
+                        "degraded", Json.bool degraded;
+                        "count", Json.int (List.length explanations);
+                        ( "explanations",
+                          Json.Arr (List.map explanation_json explanations) );
+                      ]))
+          in
+          let results = List.map explain_item items in
+          let ok, failed =
+            List.partition
+              (fun item -> Json.mem_str "status" item = Some "ok")
+              results
+          in
+          json_response 200
+            (Json.Obj
+               [
+                 "session", Json.str session.id;
+                 "trace_id", Json.str trace_id;
+                 "count", Json.int (List.length results);
+                 "ok", Json.int (List.length ok);
+                 "failed", Json.int (List.length failed);
+                 "items", Json.Arr results;
+               ])
+      in
+      Option.iter (Registry.set_trace session) !root;
+      resp)
+
 (* --- dispatch -------------------------------------------------------------- *)
 
 let with_session st id k =
   match Registry.find st.registry id with
-  | None -> error_response 404 ("no such session: " ^ id)
+  | None -> Errors.response Errors.Session_not_found ("no such session: " ^ id)
   | Some session -> k session
 
 (* (route label, handler) — the label collapses path parameters so the
    metrics aggregate per endpoint, not per session. *)
-let route st ~trace_id (req : Http.request) =
-  match req.meth, req.path with
-  | Http.GET, [ "health" ] -> "GET /health", health st
-  | Http.GET, [ "metrics" ] -> "GET /metrics", metrics_doc st req
-  | Http.GET, [ "sessions" ] -> "GET /sessions", list_sessions st
-  | Http.POST, [ "sessions" ] -> "POST /sessions", create_session st req
+let route_v1 st ~trace_id ~deadline (req : Http.request) rest =
+  let with_deadline k =
+    match deadline with
+    | Error e -> Errors.response Errors.Invalid_request e
+    | Ok deadline_s -> k deadline_s
+  in
+  match req.meth, rest with
+  | Http.GET, [ "health" ] -> "GET /v1/health", health st
+  | Http.GET, [ "metrics" ] -> "GET /v1/metrics", metrics_doc st req
+  | Http.GET, [ "sessions" ] -> "GET /v1/sessions", list_sessions st
+  | Http.POST, [ "sessions" ] -> "POST /v1/sessions", create_session st req
   | Http.POST, [ "sessions"; id; "explain" ] ->
-    ( "POST /sessions/:id/explain",
-      with_session st id (fun s -> explain st ~trace_id s req) )
+    ( "POST /v1/sessions/:id/explain",
+      with_deadline (fun deadline_s ->
+          with_session st id (fun s -> explain st ~trace_id ~deadline_s s req)) )
+  | Http.POST, [ "sessions"; id; "explain:batch" ] ->
+    ( "POST /v1/sessions/:id/explain:batch",
+      with_deadline (fun deadline_s ->
+          with_session st id (fun s ->
+              explain_batch st ~trace_id ~deadline_s s req)) )
   | Http.GET, [ "sessions"; id; "templates" ] ->
-    "GET /sessions/:id/templates", with_session st id templates
+    "GET /v1/sessions/:id/templates", with_session st id templates
   | Http.GET, [ "sessions"; id; "trace" ] ->
-    "GET /sessions/:id/trace", with_session st id session_trace
-  | _, ([ "health" ] | [ "metrics" ] | [ "sessions" ] | [ "sessions"; _; "explain" ]
-       | [ "sessions"; _; "templates" ] | [ "sessions"; _; "trace" ]) ->
+    "GET /v1/sessions/:id/trace", with_session st id session_trace
+  | _, ([ "health" ] | [ "metrics" ] | [ "sessions" ]
+       | [ "sessions"; _; ("explain" | "explain:batch" | "templates" | "trace") ])
+    ->
     ( Http.meth_to_string req.meth ^ " (known path)",
-      error_response 405
-        ("method " ^ Http.meth_to_string req.meth ^ " not allowed on " ^ req.target) )
-  | _ -> "(unmatched)", error_response 404 ("no route for " ^ req.target)
+      Errors.response Errors.Method_not_allowed
+        ("method " ^ Http.meth_to_string req.meth ^ " not allowed on "
+       ^ req.target) )
+  | _ ->
+    ( "(unmatched)",
+      Errors.response Errors.Not_found ("no route for " ^ req.target) )
+
+let route st ~trace_id ~deadline (req : Http.request) =
+  match req.path with
+  | "v1" :: rest -> route_v1 st ~trace_id ~deadline req rest
+  | [ "health" ] | [ "metrics" ] | "sessions" :: _ ->
+    (* pre-/v1 paths: permanent redirect, flagged deprecated *)
+    let location = "/v1" ^ req.target in
+    ( "(legacy-redirect)",
+      Errors.response
+        ~detail:[ "location", Json.str location ]
+        ~headers:[ "Location", location; "Deprecation", "true" ]
+        Errors.Moved_permanently
+        ("this endpoint moved to " ^ location) )
+  | _ ->
+    ( "(unmatched)",
+      Errors.response Errors.Not_found ("no route for " ^ req.target) )
+
+(* The delay fault slows session traffic only: health and metrics must
+   stay responsive so probes observe the overload instead of joining it. *)
+let fault_delay st (req : Http.request) =
+  match st.fault with
+  | Fault.Delay d -> (
+    match req.path with
+    | "sessions" :: _ | "v1" :: "sessions" :: _ -> Unix.sleepf d
+    | _ -> ())
+  | _ -> ()
 
 let handle st req =
   let t0 = Unix.gettimeofday () in
   let trace_id = Ekg_obs.Trace.next_trace_id st.tracer in
+  (* the deadline clock starts when handling does — before any injected
+     delay — so a slow handler consumes the request's budget *)
+  let deadline = request_deadline st req in
+  fault_delay st req;
   let label, resp =
-    try route st ~trace_id req
+    try route st ~trace_id ~deadline req
     with exn ->
       ( "(handler-exception)",
-        error_response 500 ("internal error: " ^ Printexc.to_string exn) )
+        Errors.response Errors.Internal_error
+          ("internal error: " ^ Printexc.to_string exn) )
   in
   Metrics.record st.metrics ~endpoint:label ~status:resp.Http.status
     ~seconds:(Unix.gettimeofday () -. t0);
   { resp with
     Http.resp_headers = ("X-Ekg-Trace-Id", trace_id) :: resp.Http.resp_headers }
 
+let handle_overload st (req : Http.request) =
+  Ekg_obs.Metrics.incr st.obs
+    ~help:"Requests shed by admission control (503 overloaded)" shed_metric;
+  let resp =
+    Errors.response
+      ~headers:[ "Retry-After", "1" ]
+      Errors.Overloaded
+      ("admission queue past high-water mark; retry " ^ req.target ^ " later")
+  in
+  Metrics.record st.metrics ~endpoint:"(shed)" ~status:resp.Http.status
+    ~seconds:0.;
+  resp
+
+let set_queue_depth st depth =
+  Ekg_obs.Metrics.set st.obs ~help:"Requests queued awaiting a worker"
+    queue_depth_metric (float_of_int depth)
+
 let handle_parse_error st err =
-  let status = Http.error_status err in
-  Metrics.record st.metrics ~endpoint:"(parse-error)" ~status ~seconds:0.;
-  error_response status (Http.error_message err)
+  let code =
+    match err with
+    | Http.Bad_request _ | Http.Closed -> Errors.Parse_error
+    | Http.Length_required -> Errors.Length_required
+    | Http.Payload_too_large _ -> Errors.Payload_too_large
+    | Http.Headers_too_large _ -> Errors.Headers_too_large
+  in
+  Metrics.record st.metrics ~endpoint:"(parse-error)" ~status:(Errors.status code)
+    ~seconds:0.;
+  Errors.response code (Http.error_message err)

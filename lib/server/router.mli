@@ -1,37 +1,72 @@
-(** Route table of the explanation service.
+(** Route table of the explanation service — API v1.
 
     {v
-    GET  /health                  liveness + uptime
-    GET  /metrics                 counters and latency quantiles (JSON), or
-                                  Prometheus text exposition when the request
-                                  sends [Accept: text/plain] or
-                                  [?format=prometheus]
-    POST /sessions                load a program/glossary/EDB triple
-    GET  /sessions                list sessions
-    POST /sessions/:id/explain    explain the facts matching an atom query
-    GET  /sessions/:id/templates  both template families of a session
-    GET  /sessions/:id/trace      the span tree of the session's last explain
+    GET  /v1/health                      liveness + uptime
+    GET  /v1/metrics                     counters and latency quantiles (JSON),
+                                         or Prometheus text exposition when the
+                                         request sends [Accept: text/plain] or
+                                         [?format=prometheus]
+    POST /v1/sessions                    load a program/glossary/EDB triple
+    GET  /v1/sessions                    list sessions
+    POST /v1/sessions/:id/explain        explain the facts matching an atom query
+    POST /v1/sessions/:id/explain:batch  explain many queries over one chase
+    GET  /v1/sessions/:id/templates      both template families of a session
+    GET  /v1/sessions/:id/trace          span tree of the session's last explain
     v}
 
-    Every JSON error is [{"error": …}].  Handler exceptions are caught
-    and mapped to 500 so a worker domain never dies on a request.
+    The pre-/v1 paths ([/health], [/metrics], [/sessions…]) answer
+    [301 Moved Permanently] with a [Location] header pointing at the
+    [/v1] equivalent and a [Deprecation: true] header.
+
+    {2 Error envelope}
+
+    Every non-2xx body is
+    [{"error": {"code", "message", "retryable", "detail"?}}] — see
+    {!Errors} for the code set and its HTTP/retryability mapping.
+    Handler exceptions are caught and mapped to [internal_error]/500 so
+    a worker domain never dies on a request.
+
+    {2 Deadlines}
+
+    Explain-family requests honour an [X-Ekg-Deadline-Ms] header
+    (server default when absent, clamped to the server cap).  The
+    deadline propagates into the chase as a {!Ekg_engine.Chase.budget};
+    an exhausted deadline answers [504 deadline_exceeded] with the
+    partial chase progress in [detail].  When the chase was already
+    cached and only verbalization remains, an expired deadline degrades
+    the response instead: [200] with ["degraded": true] and template
+    skeletons in place of prose.
 
     Every request is assigned a process-unique trace id, echoed back in
     an [X-Ekg-Trace-Id] response header; explain requests additionally
     record a span tree (request → chase → explain stages) under that id,
-    retrievable via [GET /sessions/:id/trace].  Finished spans feed the
-    [ekg_pipeline_stage_*] series; chase materializations feed
-    [ekg_chase_*]. *)
+    retrievable via [GET /v1/sessions/:id/trace].  Finished spans feed
+    the [ekg_pipeline_stage_*] series; chase materializations feed
+    [ekg_chase_*]; admission control feeds [ekg_server_shed_total],
+    [ekg_request_deadline_exceeded_total] and [ekg_server_queue_depth]. *)
 
 type state
 
-val make_state : ?root:string -> ?chase_domains:int -> unit -> state
+val make_state :
+  ?root:string ->
+  ?chase_domains:int ->
+  ?fault:Fault.t ->
+  ?default_deadline_ms:float ->
+  ?max_deadline_ms:float ->
+  unit ->
+  state
 (** Fresh registry + metrics + observability registry + tracer; [root]
     anchors [program_path] / [facts_dir] session specs.
     [chase_domains] (default [1]) is the match-phase fan-out of every
     chase materialization — orthogonal to the HTTP worker-domain count.
-    The mandatory chase counters are pre-declared so Prometheus scrapes
-    see them before the first materialization. *)
+    [fault] (default {!Fault.Off}) injects the configured fault:
+    [Delay] sleeps before handling each session request, [Slow_chase]
+    stretches materializations (see {!Registry.create}).
+    [default_deadline_ms] (default [30_000]) applies when a request
+    carries no [X-Ekg-Deadline-Ms]; [max_deadline_ms] (default
+    [300_000]) caps what a client may ask for.  The mandatory chase
+    and robustness series are pre-declared so Prometheus scrapes see
+    them before the first materialization or shed. *)
 
 val registry : state -> Registry.t
 val metrics : state -> Metrics.t
@@ -43,11 +78,25 @@ val obs : state -> Ekg_obs.Metrics.t
 val tracer : state -> Ekg_obs.Trace.t
 (** The request tracer (ring buffer of recent explain traces). *)
 
+val fault : state -> Fault.t
+(** The injected fault, for the accept/dispatch loops ({!Fault.Delay}
+    and {!Fault.Slow_chase} are consumed inside the router/registry;
+    {!Fault.Refuse_accept} must be honoured by the acceptor). *)
+
 val handle : state -> Http.request -> Http.response
 (** Dispatch one request, recording latency and status against the
     route label (path parameters collapsed to [:id]) and stamping the
     [X-Ekg-Trace-Id] header. *)
 
+val handle_overload : state -> Http.request -> Http.response
+(** The load-shedding response: [503] with the [overloaded] envelope
+    and [Retry-After: 1].  Bumps [ekg_server_shed_total] and records
+    the request under the ["(shed)"] endpoint label. *)
+
+val set_queue_depth : state -> int -> unit
+(** Publish the admission-queue depth as the [ekg_server_queue_depth]
+    gauge. *)
+
 val handle_parse_error : state -> Http.error -> Http.response
-(** The response for a request that never parsed; also recorded in the
-    metrics under ["(parse-error)"]. *)
+(** The envelope response for a request that never parsed; also
+    recorded in the metrics under ["(parse-error)"]. *)

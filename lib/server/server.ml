@@ -5,6 +5,7 @@ type config = {
   backlog : int;
   max_body_bytes : int;
   max_header_bytes : int;
+  queue_high_water : int;
 }
 
 let default_config =
@@ -15,6 +16,7 @@ let default_config =
     backlog = 64;
     max_body_bytes = 4 * 1024 * 1024;
     max_header_bytes = 16 * 1024;
+    queue_high_water = 64;
   }
 
 type t = {
@@ -23,10 +25,12 @@ type t = {
   listener : Unix.file_descr;
   bound_port : int;
   stop_requested : bool Atomic.t;
-  accepting_done : bool ref;       (* guarded by [qlock] *)
-  queue : Unix.file_descr Queue.t; (* guarded by [qlock] *)
+  accepting_done : bool Atomic.t;
+  queue : Unix.file_descr Queue.t;      (* admitted; guarded by [qlock] *)
+  shed_queue : Unix.file_descr Queue.t; (* past high-water; guarded by [qlock] *)
   qlock : Mutex.t;
-  qcond : Condition.t;
+  qcond : Condition.t;      (* workers wait here *)
+  shed_cond : Condition.t;  (* the shed domain waits here *)
   mutable threads : unit Domain.t list;
   joined : bool Atomic.t;
 }
@@ -42,7 +46,7 @@ let rec write_all fd s off len =
     write_all fd s (off + n) (len - n)
   end
 
-let handle_connection t fd =
+let serve_connection t ~respond fd =
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
@@ -59,7 +63,7 @@ let handle_connection t fd =
             Http.parse_request ~max_header_bytes:t.config.max_header_bytes
               ~max_body_bytes:t.config.max_body_bytes ~read ()
           with
-          | Ok request -> Some (Router.handle t.state request)
+          | Ok request -> Some (respond request)
           | Error Http.Closed -> None
           | Error err -> Some (Router.handle_parse_error t.state err)
         in
@@ -71,14 +75,28 @@ let handle_connection t fd =
           (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ())
       with Unix.Unix_error _ -> ())
 
+let handle_connection t fd = serve_connection t ~respond:(Router.handle t.state) fd
+
+(* The shed lane still answers probes: liveness and scrapes must observe
+   the overload, not join it.  Everything else gets the 503 envelope. *)
+let shed_respond t (req : Http.request) =
+  match req.meth, req.path with
+  | Http.GET, ([ "v1"; ("health" | "metrics") ] | [ "health" | "metrics" ]) ->
+    Router.handle t.state req
+  | _ -> Router.handle_overload t.state req
+
 (* --- domains --------------------------------------------------------------- *)
 
 let worker_loop t () =
   let rec next () =
     Mutex.lock t.qlock;
     let rec await () =
-      if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
-      else if !(t.accepting_done) then None
+      if not (Queue.is_empty t.queue) then begin
+        let fd = Queue.pop t.queue in
+        Router.set_queue_depth t.state (Queue.length t.queue);
+        Some fd
+      end
+      else if Atomic.get t.accepting_done then None
       else begin
         Condition.wait t.qcond t.qlock;
         await ()
@@ -94,26 +112,63 @@ let worker_loop t () =
   in
   next ()
 
+let shed_loop t () =
+  let rec next () =
+    Mutex.lock t.qlock;
+    let rec await () =
+      if not (Queue.is_empty t.shed_queue) then Some (Queue.pop t.shed_queue)
+      else if Atomic.get t.accepting_done then None
+      else begin
+        Condition.wait t.shed_cond t.qlock;
+        await ()
+      end
+    in
+    let job = await () in
+    Mutex.unlock t.qlock;
+    match job with
+    | None -> ()
+    | Some fd ->
+      serve_connection t ~respond:(shed_respond t) fd;
+      next ()
+  in
+  next ()
+
+let enqueue t fd =
+  Mutex.lock t.qlock;
+  if Queue.length t.queue >= t.config.queue_high_water then begin
+    Queue.push fd t.shed_queue;
+    Condition.signal t.shed_cond
+  end
+  else begin
+    Queue.push fd t.queue;
+    Router.set_queue_depth t.state (Queue.length t.queue);
+    Condition.signal t.qcond
+  end;
+  Mutex.unlock t.qlock
+
 let accept_loop t () =
   while not (Atomic.get t.stop_requested) do
-    match Unix.select [ t.listener ] [] [] 0.25 with
-    | [], _, _ -> ()
-    | _ :: _, _, _ -> (
-      match Unix.accept ~cloexec:true t.listener with
-      | fd, _ ->
-        Mutex.lock t.qlock;
-        Queue.push fd t.queue;
-        Condition.signal t.qcond;
-        Mutex.unlock t.qlock
-      | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    match Router.fault t.state with
+    | Fault.Refuse_accept ->
+      (* injected acceptor stall: connections queue in the listen backlog *)
+      (try Unix.sleepf 0.05 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | _ -> (
+      match Unix.select [ t.listener ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept ~cloexec:true t.listener with
+        | fd, _ -> enqueue t fd
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
   done;
-  (* graceful drain: no new connections; wake every worker so the
-     queued ones are answered and the pool can wind down *)
+  (* graceful drain: no new connections; publish the done flag before
+     waking every worker (and the shed lane) so the queued connections
+     are answered and the pool can wind down *)
   (try Unix.close t.listener with Unix.Unix_error _ -> ());
+  Atomic.set t.accepting_done true;
   Mutex.lock t.qlock;
-  t.accepting_done := true;
   Condition.broadcast t.qcond;
+  Condition.broadcast t.shed_cond;
   Mutex.unlock t.qlock
 
 (* --- lifecycle ------------------------------------------------------------- *)
@@ -140,10 +195,12 @@ let start ?(config = default_config) state =
       listener;
       bound_port;
       stop_requested = Atomic.make false;
-      accepting_done = ref false;
+      accepting_done = Atomic.make false;
       queue = Queue.create ();
+      shed_queue = Queue.create ();
       qlock = Mutex.create ();
       qcond = Condition.create ();
+      shed_cond = Condition.create ();
       threads = [];
       joined = Atomic.make false;
     }
@@ -151,8 +208,9 @@ let start ?(config = default_config) state =
   let workers =
     List.init (max 1 config.domains) (fun _ -> Domain.spawn (worker_loop t))
   in
+  let shedder = Domain.spawn (shed_loop t) in
   let acceptor = Domain.spawn (accept_loop t) in
-  t.threads <- acceptor :: workers;
+  t.threads <- acceptor :: shedder :: workers;
   t
 
 let port t = t.bound_port

@@ -1,9 +1,17 @@
 (** The daemon: a TCP listener whose accepted connections are fanned
-    out to an OCaml 5 [Domain] worker pool.  One domain runs the
-    accept loop (polling so shutdown is prompt), [config.domains]
-    workers drain a shared queue; each connection carries exactly one
+    out to an OCaml 5 [Domain] worker pool, behind bounded admission
+    control.  One domain runs the accept loop (polling so shutdown is
+    prompt), [config.domains] workers drain the admission queue, and a
+    dedicated {e shed lane} domain answers connections that arrive
+    while the queue sits at [queue_high_water] or above: probes
+    ([GET /v1/health], [GET /v1/metrics], and their legacy aliases) are
+    served inline so liveness survives overload, everything else is
+    answered immediately with [503] + [Retry-After] + the [overloaded]
+    envelope ({!Router.handle_overload}) instead of waiting behind work
+    that will time out anyway.  Each connection carries exactly one
     HTTP request.  [stop] performs a graceful drain: stop accepting,
-    finish every queued connection, join all domains. *)
+    finish every queued connection — admitted and shed — then join all
+    domains. *)
 
 type config = {
   host : string;           (** bind address, default ["127.0.0.1"] *)
@@ -12,6 +20,10 @@ type config = {
   backlog : int;
   max_body_bytes : int;
   max_header_bytes : int;
+  queue_high_water : int;
+      (** admission-queue depth at or above which new connections are
+          shed (default 64); [0] sheds every non-probe request — useful
+          for drills and smoke tests *)
 }
 
 val default_config : config
@@ -19,7 +31,9 @@ val default_config : config
 type t
 
 val start : ?config:config -> Router.state -> t
-(** Bind, listen, and spawn the accept domain plus workers.  Raises
+(** Bind, listen, and spawn the accept domain, the shed-lane domain and
+    the workers.  Honours the router state's {!Fault.Refuse_accept}
+    fault (the acceptor idles instead of accepting).  Raises
     [Unix.Unix_error] if the address cannot be bound. *)
 
 val port : t -> int

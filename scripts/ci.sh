@@ -10,5 +10,6 @@ cd "$(dirname "$0")/.."
 dune build
 dune runtest
 dune build @smoke
+dune build @smoke-faults
 dune exec bench/main.exe -- chase-smoke
-echo "ci: all green (build + tests + smoke/metrics + chase bench)"
+echo "ci: all green (build + tests + smoke/metrics + fault drills + chase bench)"

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Server smoke test: boot the daemon on an ephemeral port, hit /health,
-# scrape /metrics in Prometheus format (the mandatory series must be
-# present), shut it down gracefully. Usage: smoke.sh [path/to/serve.exe]
+# Server smoke test: boot the daemon on an ephemeral port, hit
+# /v1/health, scrape /v1/metrics in Prometheus format (the mandatory
+# series must be present), check the legacy paths answer 301 with a
+# Location header, shut it down gracefully.
+# Usage: smoke.sh [path/to/serve.exe]
 set -euo pipefail
 
 SERVE="${1:-bin/serve.exe}"
@@ -23,21 +25,37 @@ if [ -z "$PORT" ]; then
   exit 1
 fi
 
-BODY="$(curl -fsS "http://127.0.0.1:$PORT/health")"
+BODY="$(curl -fsS "http://127.0.0.1:$PORT/v1/health")"
 if ! printf '%s' "$BODY" | grep -q '"status":"ok"'; then
-  echo "smoke: unexpected /health body: $BODY" >&2
+  echo "smoke: unexpected /v1/health body: $BODY" >&2
   exit 1
 fi
 
-METRICS="$(curl -fsS -H 'Accept: text/plain' "http://127.0.0.1:$PORT/metrics")"
+# the pre-/v1 paths must answer 301 + Location + Deprecation
+LEGACY="$(curl -sS -D - -o /dev/null "http://127.0.0.1:$PORT/health")"
+if ! printf '%s' "$LEGACY" | grep -q '^HTTP/1.1 301'; then
+  echo "smoke: legacy /health did not redirect: $LEGACY" >&2
+  exit 1
+fi
+if ! printf '%s' "$LEGACY" | grep -qi '^Location: /v1/health'; then
+  echo "smoke: legacy redirect is missing Location: /v1/health" >&2
+  exit 1
+fi
+if ! printf '%s' "$LEGACY" | grep -qi '^Deprecation: true'; then
+  echo "smoke: legacy redirect is missing Deprecation: true" >&2
+  exit 1
+fi
+
+METRICS="$(curl -fsS -H 'Accept: text/plain' "http://127.0.0.1:$PORT/v1/metrics")"
 if ! printf '%s\n' "$METRICS" | grep -q '^# TYPE ekg_requests_total counter'; then
-  echo "smoke: /metrics did not negotiate Prometheus text format" >&2
+  echo "smoke: /v1/metrics did not negotiate Prometheus text format" >&2
   printf '%s\n' "$METRICS" >&2
   exit 1
 fi
-for series in ekg_requests_total ekg_chase_rounds_total; do
+for series in ekg_requests_total ekg_chase_rounds_total \
+              ekg_server_shed_total ekg_request_deadline_exceeded_total; do
   if ! printf '%s\n' "$METRICS" | grep -q "^$series"; then
-    echo "smoke: /metrics is missing mandatory series $series" >&2
+    echo "smoke: /v1/metrics is missing mandatory series $series" >&2
     printf '%s\n' "$METRICS" >&2
     exit 1
   fi
@@ -45,4 +63,4 @@ done
 
 kill -TERM "$PID"
 wait "$PID"
-echo "smoke: ok (/health + Prometheus /metrics on port $PORT)"
+echo "smoke: ok (/v1/health + Prometheus /v1/metrics + legacy 301 on port $PORT)"

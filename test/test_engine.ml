@@ -1092,6 +1092,130 @@ path(X, Z), e(Z, Y) -> path(X, Y).
       | Ok a, Ok b -> chase_fingerprint a = chase_fingerprint b
       | _ -> false)
 
+(* --- budgets and cooperative cancellation ----------------------------------- *)
+
+(* one new fact per round, for a million rounds: the shape a runaway
+   recursive program takes in production *)
+let divergent_src = {|
+n(X), Y = X + 1, Y < 1000000 -> n(Y).
+@goal(n).
+n(0).
+|}
+
+let test_budget_rounds () =
+  let { Parser.program; facts } = parse_exn divergent_src in
+  match Chase.run_checked ~budget:(Chase.budget ~rounds:5 ()) program facts with
+  | Error (Chase.Budget_exceeded (`Rounds, p)) ->
+    check int' "stopped at the round budget" 5 p.Chase.partial_rounds;
+    check int' "one fact per round" 5 p.Chase.partial_derived;
+    check bool' "diagnostic names the resource" true
+      (Textutil.contains_word
+         (Chase.error_to_string (Chase.Budget_exceeded (`Rounds, p)))
+         "budget")
+  | Error e -> Alcotest.failf "wrong error: %s" (Chase.error_to_string e)
+  | Ok _ -> Alcotest.fail "divergent program converged?"
+
+let test_budget_facts () =
+  let { Parser.program; facts } = parse_exn divergent_src in
+  match Chase.run_checked ~budget:(Chase.budget ~facts:10 ()) program facts with
+  | Error (Chase.Budget_exceeded (`Facts, p)) ->
+    check bool' "at least the budgeted facts" true (p.Chase.partial_derived >= 10);
+    (* checked at round boundaries: one round's worth of overshoot max *)
+    check bool' "no runaway overshoot" true (p.Chase.partial_derived <= 11);
+    check bool' "resource exhaustion is not a client error" false
+      (Chase.client_error (Chase.Budget_exceeded (`Facts, p)))
+  | Error e -> Alcotest.failf "wrong error: %s" (Chase.error_to_string e)
+  | Ok _ -> Alcotest.fail "divergent program converged?"
+
+let test_budget_cancel () =
+  let { Parser.program; facts } = parse_exn divergent_src in
+  let polls = ref 0 in
+  let cancel () =
+    incr polls;
+    !polls > 3
+  in
+  match Chase.run_checked ~budget:(Chase.budget ~cancel ()) program facts with
+  | Error (Chase.Cancelled p) ->
+    check bool' "made some progress first" true (p.Chase.partial_rounds > 0);
+    check bool' "partial stats stringify" true
+      (String.length (Chase.partial_to_string p) > 0)
+  | Error e -> Alcotest.failf "wrong error: %s" (Chase.error_to_string e)
+  | Ok _ -> Alcotest.fail "cancel hook ignored"
+
+let test_budget_deadline_trips_mid_match () =
+  (* a single cross-join round too big to finish: only the in-match
+     interrupt (polled every few thousand join nodes) can stop it *)
+  let n = 150 in
+  let facts =
+    List.concat_map
+      (fun i ->
+        let v = Value.int i in
+        [ Atom.make "a" [ Term.Cst v ]; Atom.make "b" [ Term.Cst v ];
+          Atom.make "c" [ Term.Cst v ] ])
+      (List.init n (fun i -> i))
+  in
+  let { Parser.program; _ } =
+    parse_exn {|
+a(X), b(Y), c(Z) -> t(X, Y, Z).
+@goal(t).
+|}
+  in
+  let t0 = Unix.gettimeofday () in
+  match
+    Chase.run_checked ~budget:(Chase.within_ms 30.) program facts
+  with
+  | Error (Chase.Budget_exceeded (`Deadline, p)) ->
+    let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    (* 150^3 insertions would take far longer than the deadline; the
+       interrupt must fire well before the round completes *)
+    check bool' "stopped promptly (within ~2x deadline or so)" true
+      (elapsed_ms < 1000.);
+    check bool' "partial wall-clock recorded" true (p.Chase.partial_wall_s > 0.)
+  | Error e -> Alcotest.failf "wrong error: %s" (Chase.error_to_string e)
+  | Ok _ -> Alcotest.fail "join finished under an immediate deadline?"
+
+let test_budget_converging_run_unaffected () =
+  let src = {|
+e(X, Y) -> path(X, Y).
+path(X, Z), e(Z, Y) -> path(X, Y).
+@goal(path).
+e("a", "b"). e("b", "c").
+|}
+  in
+  let { Parser.program; facts } = parse_exn src in
+  let far = Ekg_obs.Clock.now_s () +. 3600. in
+  match
+    Chase.run_checked
+      ~budget:(Chase.budget ~deadline_s:far ~rounds:1000 ~facts:100000 ())
+      program facts
+  with
+  | Ok r -> check int' "full closure derived" 3 r.Chase.derived_count
+  | Error e -> Alcotest.failf "roomy budget tripped: %s" (Chase.error_to_string e)
+
+(* the tentpole invariant: an unlimited budget is free — byte-identical
+   output (facts, ids, nulls, provenance, chase graph) to no budget *)
+let prop_unlimited_budget_is_identity =
+  QCheck2.Test.make ~name:"unlimited budget is byte-identical to no budget"
+    ~count:50 edges_gen (fun raw ->
+      let facts =
+        List.map
+          (fun (i, j) ->
+            Atom.make "e" [ Term.str (string_of_int i); Term.str (string_of_int j) ])
+          raw
+      in
+      let { Parser.program; _ } =
+        parse_exn {|
+e(X, Y) -> path(X, Y).
+path(X, Z), e(Z, Y) -> path(X, Y).
+@goal(path).
+|}
+      in
+      match
+        Chase.run program facts, Chase.run ~budget:Chase.unlimited program facts
+      with
+      | Ok a, Ok b -> chase_fingerprint a = chase_fingerprint b
+      | _ -> false)
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -1099,6 +1223,7 @@ let qsuite =
       prop_chase_deterministic;
       prop_magic_equals_full_chase;
       prop_parallel_equals_sequential;
+      prop_unlimited_budget_is_identity;
     ]
 
 let () =
@@ -1150,6 +1275,16 @@ let () =
         ] );
       ( "termination",
         [ Alcotest.test_case "max rounds guard" `Quick test_chase_max_rounds ] );
+      ( "budgets",
+        [
+          Alcotest.test_case "round budget" `Quick test_budget_rounds;
+          Alcotest.test_case "fact budget" `Quick test_budget_facts;
+          Alcotest.test_case "cancel hook" `Quick test_budget_cancel;
+          Alcotest.test_case "deadline trips mid-match" `Quick
+            test_budget_deadline_trips_mid_match;
+          Alcotest.test_case "converging run unaffected" `Quick
+            test_budget_converging_run_unaffected;
+        ] );
       ( "constraints",
         [
           Alcotest.test_case "violation rejected" `Quick test_constraint_violation;

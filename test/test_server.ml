@@ -316,41 +316,127 @@ let request ?(body = "") ?(headers = []) ?(query = []) meth path =
     body;
   }
 
+(* the machine-readable code of an envelope response *)
+let envelope_code (r : Http.response) =
+  match Json.parse r.Http.resp_body with
+  | Ok j -> Option.bind (Json.member "error" j) (Json.mem_str "code")
+  | Error _ -> None
+
+let envelope_retryable (r : Http.response) =
+  match Json.parse r.Http.resp_body with
+  | Ok j -> Option.bind (Json.member "error" j) (fun e -> Json.mem_bool "retryable" e)
+  | Error _ -> None
+
+let resp_header (r : Http.response) name = List.assoc_opt name r.Http.resp_headers
+
+let test_error_envelope_codes () =
+  List.iter
+    (fun code ->
+      let resp = Errors.response code "boom" in
+      check int' ("status of " ^ Errors.id code) (Errors.status code)
+        resp.Http.status;
+      match Json.parse resp.Http.resp_body with
+      | Error e -> Alcotest.failf "envelope of %s is not json: %s" (Errors.id code) e
+      | Ok j -> (
+        match Json.member "error" j with
+        | None -> Alcotest.failf "%s: no error object" (Errors.id code)
+        | Some err ->
+          check bool' (Errors.id code ^ " code echoed") true
+            (Json.mem_str "code" err = Some (Errors.id code));
+          check bool' (Errors.id code ^ " message echoed") true
+            (Json.mem_str "message" err = Some "boom");
+          check bool' (Errors.id code ^ " retryable present") true
+            (Json.mem_bool "retryable" err = Some (Errors.retryable code))))
+    Errors.all;
+  let ids = List.map Errors.id Errors.all in
+  check int' "wire ids are unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  (* the documented failure-semantics table, spot-checked *)
+  check int' "deadline_exceeded is 504" 504 (Errors.status Errors.Deadline_exceeded);
+  check int' "overloaded is 503" 503 (Errors.status Errors.Overloaded);
+  check int' "inconsistent_program is 409" 409 (Errors.status Errors.Inconsistent_program);
+  check bool' "overloaded is retryable" true (Errors.retryable Errors.Overloaded);
+  check bool' "deadline is retryable" true (Errors.retryable Errors.Deadline_exceeded);
+  check bool' "divergent is not retryable" false (Errors.retryable Errors.Divergent);
+  check bool' "invalid_program is not retryable" false
+    (Errors.retryable Errors.Invalid_program)
+
 let test_router_statuses () =
   let st = Router.make_state () in
   let status r = r.Http.status in
-  check int' "health" 200 (status (Router.handle st (request Http.GET [ "health" ])));
-  check int' "unknown route" 404 (status (Router.handle st (request Http.GET [ "nope" ])));
-  check int' "bad method" 405 (status (Router.handle st (request Http.DELETE [ "health" ])));
-  check int' "unknown session" 404
-    (status (Router.handle st (request ~body:{|{"query":"p("a")"}|} Http.POST [ "sessions"; "s9"; "explain" ])));
-  check int' "bad session body" 400
-    (status (Router.handle st (request ~body:"{oops" Http.POST [ "sessions" ])));
+  check int' "health" 200 (status (Router.handle st (request Http.GET [ "v1"; "health" ])));
+  let missing = Router.handle st (request Http.GET [ "v1"; "nope" ]) in
+  check int' "unknown route" 404 missing.Http.status;
+  check bool' "not_found code" true (envelope_code missing = Some "not_found");
+  let bad_method = Router.handle st (request Http.DELETE [ "v1"; "health" ]) in
+  check int' "bad method" 405 bad_method.Http.status;
+  check bool' "method_not_allowed code" true
+    (envelope_code bad_method = Some "method_not_allowed");
+  let no_session =
+    Router.handle st
+      (request ~body:{|{"query":"p("a")"}|} Http.POST
+         [ "v1"; "sessions"; "s9"; "explain" ])
+  in
+  check int' "unknown session" 404 no_session.Http.status;
+  check bool' "session_not_found code" true
+    (envelope_code no_session = Some "session_not_found");
+  let bad_body = Router.handle st (request ~body:"{oops" Http.POST [ "v1"; "sessions" ]) in
+  check int' "bad session body" 400 bad_body.Http.status;
+  check bool' "parse_error code" true (envelope_code bad_body = Some "parse_error");
   let created =
     Router.handle st
       (request ~body:(Json.to_string (Json.Obj [ "program", Json.str inline_program ]))
-         Http.POST [ "sessions" ])
+         Http.POST [ "v1"; "sessions" ])
   in
   check int' "created" 201 created.Http.status;
   check int' "templates" 200
-    (status (Router.handle st (request Http.GET [ "sessions"; "s1"; "templates" ])));
+    (status (Router.handle st (request Http.GET [ "v1"; "sessions"; "s1"; "templates" ])));
   check int' "malformed atom is 400"
     400
     (status
        (Router.handle st
           (request ~body:{|{"query":"control(\"A\" oops"}|} Http.POST
-             [ "sessions"; "s1"; "explain" ])));
+             [ "v1"; "sessions"; "s1"; "explain" ])));
+  let bad_deadline =
+    Router.handle st
+      (request
+         ~headers:[ "x-ekg-deadline-ms", "soon" ]
+         ~body:{|{"query":"control(\"A\", \"C\")"}|} Http.POST
+         [ "v1"; "sessions"; "s1"; "explain" ])
+  in
+  check int' "bad deadline header is 400" 400 bad_deadline.Http.status;
+  check bool' "invalid_request code" true
+    (envelope_code bad_deadline = Some "invalid_request");
   check int' "valid explain" 200
     (status
        (Router.handle st
           (request ~body:{|{"query":"control(\"A\", \"C\")"}|} Http.POST
-             [ "sessions"; "s1"; "explain" ])))
+             [ "v1"; "sessions"; "s1"; "explain" ])))
+
+let test_router_legacy_redirect () =
+  let st = Router.make_state () in
+  let r = Router.handle st (request Http.GET [ "health" ]) in
+  check int' "301" 301 r.Http.status;
+  check bool' "Location points at /v1" true
+    (resp_header r "Location" = Some "/v1/health");
+  check bool' "Deprecation header" true (resp_header r "Deprecation" = Some "true");
+  check bool' "moved_permanently envelope" true
+    (envelope_code r = Some "moved_permanently");
+  let r2 =
+    Router.handle st
+      (request ~body:"{}" Http.POST [ "sessions"; "s1"; "explain" ])
+  in
+  check int' "nested legacy path redirects" 301 r2.Http.status;
+  check bool' "nested Location" true
+    (resp_header r2 "Location" = Some "/v1/sessions/s1/explain");
+  let r3 = Router.handle st (request Http.GET [ "metrics" ]) in
+  check int' "legacy metrics redirects" 301 r3.Http.status
 
 let test_router_observability () =
   let st = Router.make_state () in
   let header (r : Http.response) name = List.assoc_opt name r.Http.resp_headers in
-  let r1 = Router.handle st (request Http.GET [ "health" ]) in
-  let r2 = Router.handle st (request Http.GET [ "health" ]) in
+  let r1 = Router.handle st (request Http.GET [ "v1"; "health" ]) in
+  let r2 = Router.handle st (request Http.GET [ "v1"; "health" ]) in
   (match header r1 "X-Ekg-Trace-Id", header r2 "X-Ekg-Trace-Id" with
   | Some a, Some b ->
     check bool' "trace id assigned" true (String.length a > 0);
@@ -359,22 +445,27 @@ let test_router_observability () =
   let created =
     Router.handle st
       (request ~body:(Json.to_string (Json.Obj [ "program", Json.str inline_program ]))
-         Http.POST [ "sessions" ])
+         Http.POST [ "v1"; "sessions" ])
   in
   check int' "created" 201 created.Http.status;
-  check int' "no trace before the first explain" 404
-    (Router.handle st (request Http.GET [ "sessions"; "s1"; "trace" ])).Http.status;
+  let no_trace =
+    Router.handle st (request Http.GET [ "v1"; "sessions"; "s1"; "trace" ])
+  in
+  check int' "no trace before the first explain" 404 no_trace.Http.status;
+  check bool' "no_trace code" true (envelope_code no_trace = Some "no_trace");
   check int' "bad method on trace is 405" 405
-    (Router.handle st (request Http.POST [ "sessions"; "s1"; "trace" ])).Http.status;
+    (Router.handle st (request Http.POST [ "v1"; "sessions"; "s1"; "trace" ])).Http.status;
   let explained =
     Router.handle st
       (request ~body:{|{"query":"control(\"A\", \"C\")"}|} Http.POST
-         [ "sessions"; "s1"; "explain" ])
+         [ "v1"; "sessions"; "s1"; "explain" ])
   in
   check int' "explain ok" 200 explained.Http.status;
   check bool' "explain body echoes the trace id" true
     (contains explained.Http.resp_body {|"trace_id"|});
-  let trace = Router.handle st (request Http.GET [ "sessions"; "s1"; "trace" ]) in
+  check bool' "explain is not degraded under a roomy deadline" true
+    (contains explained.Http.resp_body {|"degraded":false|});
+  let trace = Router.handle st (request Http.GET [ "v1"; "sessions"; "s1"; "trace" ]) in
   check int' "trace recorded after explain" 200 trace.Http.status;
   check bool' "root span is the request" true
     (contains trace.Http.resp_body {|"name":"explain-request"|});
@@ -382,13 +473,13 @@ let test_router_observability () =
     (contains trace.Http.resp_body {|"name":"chase"|});
   check bool' "explain stage spans" true
     (contains trace.Http.resp_body {|"name":"proof-extraction"|});
-  (* content negotiation on /metrics *)
-  let json_doc = Router.handle st (request Http.GET [ "metrics" ]) in
+  (* content negotiation on /v1/metrics *)
+  let json_doc = Router.handle st (request Http.GET [ "v1"; "metrics" ]) in
   check bool' "default stays json" true
     (contains json_doc.Http.resp_body {|"requests_total"|});
   let prom =
     Router.handle st
-      (request ~headers:[ "accept", "text/plain" ] Http.GET [ "metrics" ])
+      (request ~headers:[ "accept", "text/plain" ] Http.GET [ "v1"; "metrics" ])
   in
   check string' "prometheus content type" "text/plain; version=0.0.4"
     prom.Http.content_type;
@@ -396,28 +487,163 @@ let test_router_observability () =
     (contains prom.Http.resp_body "# TYPE ekg_requests_total counter");
   check bool' "chase series present" true
     (contains prom.Http.resp_body "ekg_chase_rounds_total");
+  check bool' "robustness series pre-declared" true
+    (contains prom.Http.resp_body "ekg_server_shed_total"
+    && contains prom.Http.resp_body "ekg_request_deadline_exceeded_total"
+    && contains prom.Http.resp_body "ekg_server_queue_depth");
   check bool' "stage series fed by the tracer" true
     (contains prom.Http.resp_body {|ekg_pipeline_stage_seconds_total{stage="chase"}|});
   check bool' "endpoint histogram present" true
-    (contains prom.Http.resp_body {|ekg_request_duration_ms_bucket{endpoint="GET /health",le="+Inf"}|});
+    (contains prom.Http.resp_body {|ekg_request_duration_ms_bucket{endpoint="GET /v1/health",le="+Inf"}|});
   let prom2 =
     Router.handle st
-      (request ~query:[ "format", "prometheus" ] Http.GET [ "metrics" ])
+      (request ~query:[ "format", "prometheus" ] Http.GET [ "v1"; "metrics" ])
   in
   check bool' "?format=prometheus negotiates too" true
     (contains prom2.Http.resp_body "# HELP ekg_uptime_seconds")
 
+let test_router_deadline_504 () =
+  (* a chase stretched far past the deadline by fault injection: the
+     request must come back 504 within roughly the deadline, not after
+     the full chase *)
+  let st = Router.make_state ~fault:(Fault.Slow_chase 5.0) () in
+  let created =
+    Router.handle st
+      (request ~body:(Json.to_string (Json.Obj [ "program", Json.str inline_program ]))
+         Http.POST [ "v1"; "sessions" ])
+  in
+  check int' "created" 201 created.Http.status;
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Router.handle st
+      (request
+         ~headers:[ "x-ekg-deadline-ms", "50" ]
+         ~body:{|{"query":"control(\"A\", \"C\")"}|} Http.POST
+         [ "v1"; "sessions"; "s1"; "explain" ])
+  in
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  check int' "504" 504 r.Http.status;
+  check bool' "deadline_exceeded code" true
+    (envelope_code r = Some "deadline_exceeded");
+  check bool' "retryable" true (envelope_retryable r = Some true);
+  check bool' "partial chase stats in detail" true
+    (contains r.Http.resp_body {|"detail"|}
+    && contains r.Http.resp_body {|"rounds"|}
+    && contains r.Http.resp_body {|"elapsed_ms"|});
+  (* the 5s fault never completes; ~50ms deadline + 5ms poll slices +
+     scheduling slack is the real bound *)
+  check bool' "answered near the deadline, not the chase" true
+    (elapsed_ms < 1000.);
+  let prom =
+    Router.handle st
+      (request ~query:[ "format", "prometheus" ] Http.GET [ "v1"; "metrics" ])
+  in
+  check bool' "deadline counter advanced" true
+    (contains prom.Http.resp_body "ekg_request_deadline_exceeded_total 1");
+  (* a failed (budget-tripped) run is not cached: a roomy retry succeeds *)
+  let retry =
+    Router.handle st
+      (request
+         ~headers:[ "x-ekg-deadline-ms", "30000" ]
+         ~body:{|{"query":"control(\"A\", \"C\")"}|} Http.POST
+         [ "v1"; "sessions"; "s1"; "explain" ])
+  in
+  check int' "roomy retry succeeds after the fault window" 200 retry.Http.status
+
+let test_router_degraded_explain () =
+  (* delay fault + cached chase + a deadline shorter than the delay:
+     proof extraction still works, verbalization is skipped *)
+  let st = Router.make_state ~fault:(Fault.Delay 0.15) () in
+  let created =
+    Router.handle st
+      (request ~body:(Json.to_string (Json.Obj [ "program", Json.str inline_program ]))
+         Http.POST [ "v1"; "sessions" ])
+  in
+  check int' "created" 201 created.Http.status;
+  let warm =
+    Router.handle st
+      (request ~body:{|{"query":"control(\"A\", \"C\")"}|} Http.POST
+         [ "v1"; "sessions"; "s1"; "explain" ])
+  in
+  check int' "warm explain ok" 200 warm.Http.status;
+  check bool' "warm explain fully verbalized" true
+    (contains warm.Http.resp_body {|"degraded":false|});
+  let degraded =
+    Router.handle st
+      (request
+         ~headers:[ "x-ekg-deadline-ms", "50" ]
+         ~body:{|{"query":"control(\"A\", \"C\")"}|} Http.POST
+         [ "v1"; "sessions"; "s1"; "explain" ])
+  in
+  check int' "degraded explain still answers 200" 200 degraded.Http.status;
+  check bool' "flagged degraded" true
+    (contains degraded.Http.resp_body {|"degraded":true|})
+
+let test_router_batch_explain () =
+  let st = Router.make_state () in
+  let created =
+    Router.handle st
+      (request ~body:(Json.to_string (Json.Obj [ "program", Json.str inline_program ]))
+         Http.POST [ "v1"; "sessions" ])
+  in
+  check int' "created" 201 created.Http.status;
+  let body =
+    {|{"queries":["control(\"A\", \"C\")","broken(","zzz(\"q\")"]}|}
+  in
+  let r =
+    Router.handle st
+      (request ~body Http.POST [ "v1"; "sessions"; "s1"; "explain:batch" ])
+  in
+  check int' "batch answers 200 with per-item statuses" 200 r.Http.status;
+  (match Json.parse r.Http.resp_body with
+  | Error e -> Alcotest.failf "batch body: %s" e
+  | Ok j ->
+    check bool' "item count" true (Json.mem_int "count" j = Some 3);
+    check bool' "ok count" true (Json.mem_int "ok" j = Some 1);
+    check bool' "failed count" true (Json.mem_int "failed" j = Some 2);
+    (match Option.bind (Json.member "items" j) Json.get_arr with
+    | Some [ first; second; third ] ->
+      check bool' "first item ok" true (Json.mem_str "status" first = Some "ok");
+      check bool' "second item parse_error" true
+        (Option.bind (Json.member "error" second) (Json.mem_str "code")
+        = Some "parse_error");
+      check bool' "third item no_explanation" true
+        (Option.bind (Json.member "error" third) (Json.mem_str "code")
+        = Some "no_explanation")
+    | _ -> Alcotest.fail "expected three items"));
+  (* a bare array body works too, and the whole batch shares one chase:
+     the registry saw exactly one miss across both batches *)
+  let r2 =
+    Router.handle st
+      (request ~body:{|["control(\"A\", \"C\")"]|} Http.POST
+         [ "v1"; "sessions"; "s1"; "explain:batch" ])
+  in
+  check int' "bare array accepted" 200 r2.Http.status;
+  let misses = snd (Metrics.cache_counts (Router.metrics st)) in
+  check int' "one chase across all batch items" 1 misses;
+  let empty =
+    Router.handle st
+      (request ~body:{|{"queries":[]}|} Http.POST
+         [ "v1"; "sessions"; "s1"; "explain:batch" ])
+  in
+  check int' "empty batch rejected" 400 empty.Http.status
+
 (* --- loopback integration -------------------------------------------------- *)
 
-let http_call ~port ~meth ~path ~body =
+let http_call ?(headers = []) ~port ~meth ~path ~body () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let extra =
+        String.concat ""
+          (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+      in
       let payload =
-        Printf.sprintf "%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\n\r\n%s"
-          meth path (String.length body) body
+        Printf.sprintf
+          "%s %s HTTP/1.1\r\nHost: localhost\r\n%sContent-Length: %d\r\n\r\n%s"
+          meth path extra (String.length body) body
       in
       let _ = Unix.write_substring fd payload 0 (String.length payload) in
       Unix.shutdown fd Unix.SHUTDOWN_SEND;
@@ -433,12 +659,29 @@ let http_call ~port ~meth ~path ~body =
       drain ();
       let raw = Buffer.contents buf in
       let status = int_of_string (String.sub raw 9 3) in
-      let body =
+      let head, body =
         match Ekg_kernel.Textutil.split_on_string ~sep:"\r\n\r\n" raw with
-        | _ :: rest -> String.concat "\r\n\r\n" rest
-        | [] -> ""
+        | head :: rest -> head, String.concat "\r\n\r\n" rest
+        | [] -> "", ""
       in
-      status, body)
+      let resp_headers =
+        List.filter_map
+          (fun line ->
+            match String.index_opt line ':' with
+            | Some i ->
+              Some
+                ( String.lowercase_ascii (String.sub line 0 i),
+                  String.trim
+                    (String.sub line (i + 1) (String.length line - i - 1)) )
+            | None -> None)
+          (Ekg_kernel.Textutil.split_on_string ~sep:"\r\n" head)
+      in
+      status, resp_headers, body)
+
+let wire_envelope_code body =
+  match Json.parse body with
+  | Ok j -> Option.bind (Json.member "error" j) (Json.mem_str "code")
+  | Error _ -> None
 
 let test_server_integration () =
   let st = Router.make_state ~root:".." () in
@@ -446,48 +689,64 @@ let test_server_integration () =
   let server = Server.start ~config st in
   let port = Server.port server in
   Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
-  let status, body = http_call ~port ~meth:"GET" ~path:"/health" ~body:"" in
+  let status, _, body = http_call ~port ~meth:"GET" ~path:"/v1/health" ~body:"" () in
   check int' "health status" 200 status;
   check bool' "health body" true (contains body {|"status":"ok"|});
+  (* the legacy path answers a redirect over the wire *)
+  let status, hs, body = http_call ~port ~meth:"GET" ~path:"/health" ~body:"" () in
+  check int' "legacy health is 301" 301 status;
+  check bool' "legacy Location" true
+    (List.assoc_opt "location" hs = Some "/v1/health");
+  check bool' "legacy Deprecation header" true
+    (List.assoc_opt "deprecation" hs = Some "true");
+  check bool' "redirect carries the envelope" true
+    (wire_envelope_code body = Some "moved_permanently");
   (* session loaded from the repo's programs/ directory *)
-  let status, body =
-    http_call ~port ~meth:"POST" ~path:"/sessions"
+  let status, _, body =
+    http_call ~port ~meth:"POST" ~path:"/v1/sessions"
       ~body:
         {|{"name":"cc","program_path":"programs/company_control.vada","glossary_path":"programs/company_control.dict","facts_dir":"data/company_control"}|}
+      ()
   in
   check int' "session created" 201 status;
   check bool' "session id" true (contains body {|"id":"s1"|});
   let explain () =
-    http_call ~port ~meth:"POST" ~path:"/sessions/s1/explain"
-      ~body:{|{"query":"control(\"A\", \"D\")"}|}
+    http_call ~port ~meth:"POST" ~path:"/v1/sessions/s1/explain"
+      ~body:{|{"query":"control(\"A\", \"D\")"}|} ()
   in
-  let status, body = explain () in
+  let status, _, body = explain () in
   check int' "explain status" 200 status;
   check bool' "explanation text present" true
     (contains body "exercises control over");
   (* the second identical request must be a registry cache hit *)
-  let status, _ = explain () in
+  let status, _, _ = explain () in
   check int' "second explain status" 200 status;
-  let status, body =
-    http_call ~port ~meth:"POST" ~path:"/sessions/s1/explain"
-      ~body:{|{"query":"control(\"A\" broken"}|}
+  let status, _, body =
+    http_call ~port ~meth:"POST" ~path:"/v1/sessions/s1/explain"
+      ~body:{|{"query":"control(\"A\" broken"}|} ()
   in
   check int' "malformed query is 400, worker survives" 400 status;
-  check bool' "error is json" true (contains body {|"error"|});
-  let status, body = http_call ~port ~meth:"GET" ~path:"/metrics" ~body:"" in
-  check int' "metrics status" 200 status;
-  check bool' "one cache hit recorded" true
-    (contains body {|"hits":1|});
-  check bool' "one cache miss recorded" true
-    (contains body {|"misses":1|});
-  let status, body =
-    http_call ~port ~meth:"GET" ~path:"/sessions/s1/trace" ~body:""
+  check bool' "parse_error envelope over the wire" true
+    (wire_envelope_code body = Some "parse_error");
+  let status, _, body =
+    http_call ~port ~meth:"GET" ~path:"/v1/sessions/s1/trace" ~body:"" ()
   in
   check int' "trace endpoint" 200 status;
   check bool' "trace names the request span" true
     (contains body {|"name":"explain-request"|});
-  let status, body =
-    http_call ~port ~meth:"GET" ~path:"/metrics?format=prometheus" ~body:""
+  let status, _, body =
+    http_call ~port ~meth:"POST" ~path:"/v1/sessions/s1/explain:batch"
+      ~body:{|{"queries":["control(\"A\", \"D\")","control(\"A\", \"B\")"]}|} ()
+  in
+  check int' "batch over the wire" 200 status;
+  check bool' "batch counts" true (contains body {|"ok":2|});
+  let status, _, body = http_call ~port ~meth:"GET" ~path:"/v1/metrics" ~body:"" () in
+  check int' "metrics status" 200 status;
+  check bool' "cache hits recorded" true (contains body {|"hits":2|});
+  check bool' "one cache miss recorded" true
+    (contains body {|"misses":1|});
+  let status, _, body =
+    http_call ~port ~meth:"GET" ~path:"/v1/metrics?format=prometheus" ~body:"" ()
   in
   check int' "prometheus scrape status" 200 status;
   check bool' "prometheus exposition" true
@@ -496,6 +755,106 @@ let test_server_integration () =
     (contains body "ekg_chase_rounds_total");
   check bool' "stage series after explain" true
     (contains body "ekg_pipeline_stage_seconds_total")
+
+let test_server_shedding () =
+  (* high_water = 0: every non-probe request is shed deterministically,
+     while health/metrics stay responsive on the shed lane *)
+  let st = Router.make_state () in
+  let config =
+    { Server.default_config with port = 0; domains = 1; queue_high_water = 0 }
+  in
+  let server = Server.start ~config st in
+  let port = Server.port server in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let status, hs, body =
+    http_call ~port ~meth:"POST" ~path:"/v1/sessions"
+      ~body:(Json.to_string (Json.Obj [ "program", Json.str inline_program ]))
+      ()
+  in
+  check int' "shed with 503" 503 status;
+  check bool' "Retry-After present" true
+    (List.assoc_opt "retry-after" hs = Some "1");
+  check bool' "overloaded envelope" true
+    (wire_envelope_code body = Some "overloaded");
+  let status, _, body = http_call ~port ~meth:"GET" ~path:"/v1/health" ~body:"" () in
+  check int' "health survives overload" 200 status;
+  check bool' "health still says ok" true (contains body {|"status":"ok"|});
+  let status, _, body =
+    http_call ~port ~meth:"GET" ~path:"/v1/metrics?format=prometheus" ~body:"" ()
+  in
+  check int' "metrics survive overload" 200 status;
+  check bool' "shed counter advanced" true
+    (contains body "ekg_server_shed_total 1")
+
+let test_server_shed_under_load () =
+  (* a delay fault pins the single worker; concurrent clients overflow
+     the depth-1 queue.  Health must stay fast throughout, some clients
+     must be shed, and admitted ones must still succeed. *)
+  let st = Router.make_state ~fault:(Fault.Delay 1.0) () in
+  let config =
+    { Server.default_config with port = 0; domains = 1; queue_high_water = 1 }
+  in
+  let server = Server.start ~config st in
+  let port = Server.port server in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let body = Json.to_string (Json.Obj [ "program", Json.str inline_program ]) in
+  let pending = Atomic.make 6 in
+  let clients =
+    List.init 6 (fun _ ->
+        Domain.spawn (fun () ->
+            let status, _, _ =
+              http_call ~port ~meth:"POST" ~path:"/v1/sessions" ~body ()
+            in
+            Atomic.decr pending;
+            status))
+  in
+  (* the worker is pinned by the delay fault for a full second per
+     admitted request, so the load window lasts seconds: health must
+     keep answering 200 for its whole duration (wall-clock bounds would
+     be flaky when the whole suite runs in parallel, so we assert
+     liveness-during-load instead) *)
+  let probes_during_load = ref 0 in
+  let rec probe n =
+    if n > 0 && Atomic.get pending > 0 then begin
+      let status, _, _ =
+        http_call ~port ~meth:"GET" ~path:"/v1/health" ~body:"" ()
+      in
+      check int' "health under load" 200 status;
+      if Atomic.get pending > 0 then incr probes_during_load;
+      Unix.sleepf 0.05;
+      probe (n - 1)
+    end
+  in
+  probe 200;
+  let statuses = List.map Domain.join clients in
+  check bool' "health stayed responsive during the load window" true
+    (!probes_during_load > 0);
+  check bool' "some clients were shed" true (List.mem 503 statuses);
+  check bool' "some clients were admitted" true (List.mem 201 statuses);
+  check bool' "only 201/503 observed" true
+    (List.for_all (fun s -> s = 201 || s = 503) statuses)
+
+let test_server_drain_on_stop () =
+  (* requests queued when stop is requested must still be answered *)
+  let st = Router.make_state ~fault:(Fault.Delay 0.2) () in
+  let config = { Server.default_config with port = 0; domains = 1 } in
+  let server = Server.start ~config st in
+  let port = Server.port server in
+  let body = Json.to_string (Json.Obj [ "program", Json.str inline_program ]) in
+  let clients =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            let status, _, _ =
+              http_call ~port ~meth:"POST" ~path:"/v1/sessions" ~body ()
+            in
+            status))
+  in
+  (* let the clients connect and enqueue behind the delayed worker *)
+  Unix.sleepf 0.05;
+  Server.stop server;
+  let statuses = List.map Domain.join clients in
+  check int' "every in-flight request was drained" 3
+    (List.length (List.filter (fun s -> s = 201) statuses))
 
 (* --------------------------------------------------------------------------- *)
 
@@ -539,11 +898,22 @@ let () =
           Alcotest.test_case "path containment" `Quick test_registry_path_containment;
           Alcotest.test_case "spec decoding" `Quick test_registry_spec_decoding;
         ] );
+      ( "errors",
+        [ Alcotest.test_case "envelope codes" `Quick test_error_envelope_codes ] );
       ( "router",
         [
           Alcotest.test_case "status mapping" `Quick test_router_statuses;
+          Alcotest.test_case "legacy redirects" `Quick test_router_legacy_redirect;
           Alcotest.test_case "observability" `Quick test_router_observability;
+          Alcotest.test_case "deadline 504" `Quick test_router_deadline_504;
+          Alcotest.test_case "degraded explain" `Quick test_router_degraded_explain;
+          Alcotest.test_case "batch explain" `Quick test_router_batch_explain;
         ] );
       ( "integration",
-        [ Alcotest.test_case "loopback server" `Quick test_server_integration ] );
+        [
+          Alcotest.test_case "loopback server" `Quick test_server_integration;
+          Alcotest.test_case "deterministic shedding" `Quick test_server_shedding;
+          Alcotest.test_case "shed under load" `Quick test_server_shed_under_load;
+          Alcotest.test_case "drain on stop" `Quick test_server_drain_on_stop;
+        ] );
     ]
