@@ -154,7 +154,80 @@ let admission_overhead w =
     p99_budget = percentile budgeted 0.99;
   }
 
-let json_out ~overhead sections =
+(* --- incremental maintenance ------------------------------------------------
+
+   Live updates vs. recomputation: materialize the fanout workload once,
+   then apply a small batch of fresh edges and retract it again, timing
+   each maintenance pass against a cold chase of the same base.
+   Correctness gate: after add the maintained database must carry the
+   same content fingerprint as a cold chase of the grown base, and after
+   retract it must return to the original base's fingerprint. *)
+
+type incr_out = {
+  i_workload : string;
+  i_batch : int;
+  i_add_ms : float;
+  i_retract_ms : float;
+  i_cold_ms : float;
+  i_identical : bool;
+}
+
+let incremental_maintenance w =
+  let adds =
+    (* fresh edges between existing nodes, so the delta actually joins *)
+    let rng = Ekg_kernel.Prng.create 77 in
+    let rec grow acc n =
+      if n = 0 then acc
+      else
+        let text =
+          Printf.sprintf "e1(\"n%03d\", \"n%03d\")"
+            (Ekg_kernel.Prng.int rng 140)
+            (Ekg_kernel.Prng.int rng 140)
+        in
+        match Parser.parse_atom text with
+        | Error e -> failwith ("chase-smoke: bad incremental atom: " ^ e)
+        | Ok atom ->
+          if
+            List.exists (Atom.equal atom) w.edb
+            || List.exists (Atom.equal atom) acc
+          then grow acc n
+          else grow (atom :: acc) (n - 1)
+    in
+    grow [] 32
+  in
+  let exn = function
+    | Ok v -> v
+    | Error e ->
+      failwith ("chase-smoke: incremental: " ^ Ekg_engine.Chase.error_to_string e)
+  in
+  let res, cold_s = run_once ~domains:1 w in
+  let base_fp = Ekg_engine.Database.fingerprint res.Ekg_engine.Chase.db in
+  let t0 = Unix.gettimeofday () in
+  let res_add, _ = exn (Ekg_engine.Chase.add_facts w.program res adds) in
+  let add_s = Unix.gettimeofday () -. t0 in
+  let cold_grown =
+    Ekg_engine.Chase.run_exn ~domains:1 w.program (w.edb @ List.rev adds)
+  in
+  let grown_ok =
+    Ekg_engine.Database.fingerprint res_add.Ekg_engine.Chase.db
+    = Ekg_engine.Database.fingerprint cold_grown.Ekg_engine.Chase.db
+  in
+  let t0 = Unix.gettimeofday () in
+  let res_back, _ = exn (Ekg_engine.Chase.retract_facts w.program res_add adds) in
+  let retract_s = Unix.gettimeofday () -. t0 in
+  let back_ok =
+    Ekg_engine.Database.fingerprint res_back.Ekg_engine.Chase.db = base_fp
+  in
+  {
+    i_workload = w.w_name;
+    i_batch = List.length adds;
+    i_add_ms = add_s *. 1000.;
+    i_retract_ms = retract_s *. 1000.;
+    i_cold_ms = cold_s *. 1000.;
+    i_identical = grown_ok && back_ok;
+  }
+
+let json_out ~overhead ~incr sections =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -193,13 +266,25 @@ let json_out ~overhead sections =
        "  \"admission_overhead\": {\"workload\": \"control-chain-40\", \
         \"iterations\": %d, \"p50_ms_no_budget\": %.3f, \
         \"p99_ms_no_budget\": %.3f, \"p50_ms_with_budget\": %.3f, \
-        \"p99_ms_with_budget\": %.3f, \"p99_overhead_pct\": %.1f}\n"
+        \"p99_ms_with_budget\": %.3f, \"p99_overhead_pct\": %.1f},\n"
        overhead.o_iters overhead.p50_plain overhead.p99_plain
        overhead.p50_budget overhead.p99_budget
        (if overhead.p99_plain > 0. then
           100. *. (overhead.p99_budget -. overhead.p99_plain)
           /. overhead.p99_plain
         else 0.));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"incremental_maintenance\": {\"workload\": %S, \
+        \"batch_facts\": %d, \"cold_chase_ms\": %.3f, \"add_ms\": %.3f, \
+        \"retract_ms\": %.3f, \"add_speedup_vs_cold\": %.1f, \
+        \"retract_speedup_vs_cold\": %.1f, \"identical_to_cold\": %b}\n"
+       incr.i_workload incr.i_batch incr.i_cold_ms incr.i_add_ms
+       incr.i_retract_ms
+       (if incr.i_add_ms > 0. then incr.i_cold_ms /. incr.i_add_ms else 0.)
+       (if incr.i_retract_ms > 0. then incr.i_cold_ms /. incr.i_retract_ms
+        else 0.)
+       incr.i_identical);
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
@@ -237,11 +322,22 @@ let run () =
       "admission-overhead" o.p50_plain o.p50_budget o.p99_plain o.p99_budget;
     o
   in
+  let incr =
+    let w = List.find (fun w -> w.w_name = "fanout-joins") (workloads ()) in
+    let i = incremental_maintenance w in
+    Printf.printf
+      "  %-20s cold %8.3f ms   add[%d] %8.3f ms   retract[%d] %8.3f ms   %s\n"
+      "incremental" i.i_cold_ms i.i_batch i.i_add_ms i.i_batch i.i_retract_ms
+      (if i.i_identical then "matches cold chase" else "STATE DIVERGED");
+    i
+  in
   let path = "BENCH_chase.json" in
   let oc = open_out path in
-  output_string oc (json_out ~overhead sections);
+  output_string oc (json_out ~overhead ~incr sections);
   close_out oc;
   Printf.printf "  wrote %s (machine reports %d recommended domains)\n" path
     (Domain.recommended_domain_count ());
   if not (List.for_all (fun s -> s.identical) sections) then
-    failwith "chase-smoke: parallel output diverged from sequential"
+    failwith "chase-smoke: parallel output diverged from sequential";
+  if not incr.i_identical then
+    failwith "chase-smoke: incremental maintenance diverged from cold chase"

@@ -49,6 +49,14 @@ type explanation = {
 let reason ?stats ?domains ?budget ?obs ?parent t edb =
   Chase.run ?stats ?domains ?budget ?obs ?parent t.program edb
 
+let incrementable t = Chase.incrementable t.program
+
+let add_facts ?domains ?budget t result atoms =
+  Chase.add_facts ?domains ?budget t.program result atoms
+
+let retract_facts ?domains ?budget t result atoms =
+  Chase.retract_facts ?domains ?budget t.program result atoms
+
 let explain ?(strategy = `Primary) ?horizon ?(degraded = false) ?obs ?parent t
     (result : Chase.result) fact =
   Ekg_obs.Trace.with_span_opt obs ?parent "explain" @@ fun parent ->

@@ -57,6 +57,34 @@ val reason :
     (match-phase parallelism), [budget] (deadline / cancellation) and
     the tracing arguments are passed through to {!Chase.run}. *)
 
+val incrementable : t -> bool
+(** Whether {!add_facts} / {!retract_facts} can maintain a
+    materialization of this pipeline's program in place rather than
+    re-chasing from scratch ({!Chase.incrementable}). *)
+
+val add_facts :
+  ?domains:int ->
+  ?budget:Chase.budget ->
+  t ->
+  Chase.result ->
+  Atom.t list ->
+  (Chase.result * Chase.update, Chase.error) result
+(** Live maintenance of a completed reasoning run: assert new
+    extensional facts and warm-start the semi-naive chase from them
+    ({!Chase.add_facts}).  The returned {!Chase.update} reports what
+    moved — the service layer uses [upd_changed_preds] to invalidate
+    only the cached explanations the update could have touched. *)
+
+val retract_facts :
+  ?domains:int ->
+  ?budget:Chase.budget ->
+  t ->
+  Chase.result ->
+  Atom.t list ->
+  (Chase.result * Chase.update, Chase.error) result
+(** Withdraw extensional facts with DRed-style over-deletion and
+    re-derivation over the provenance DAG ({!Chase.retract_facts}). *)
+
 val explain :
   ?strategy:[ `Primary | `Shortest ] ->
   ?horizon:int ->

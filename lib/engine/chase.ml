@@ -238,6 +238,7 @@ type error =
   | Invalid_edb of string
   | Divergent of divergence
   | Inconsistent of string
+  | Unknown_fact of string
   | Budget_exceeded of exhausted * partial
   | Cancelled of partial
 
@@ -260,6 +261,7 @@ let error_to_string = function
     in
     Printf.sprintf "chase did not terminate within %d rounds%s" max_rounds detail
   | Inconsistent detail -> detail
+  | Unknown_fact detail -> detail
   | Budget_exceeded (resource, p) ->
     let what =
       match resource with
@@ -271,7 +273,9 @@ let error_to_string = function
   | Cancelled p -> Printf.sprintf "chase cancelled (%s)" (partial_to_string p)
 
 let client_error = function
-  | Invalid_program _ | Unstratifiable _ | Invalid_edb _ | Inconsistent _ -> true
+  | Invalid_program _ | Unstratifiable _ | Invalid_edb _ | Inconsistent _
+  | Unknown_fact _ ->
+    true
   | Divergent _ | Budget_exceeded _ | Cancelled _ -> false
 
 (* per-rule profiling accumulator, live only when a stats sink is on *)
@@ -708,3 +712,527 @@ let run_exn ?naive ?domains ?max_rounds ?budget ?stats ?obs ?parent program edb 
   match run ?naive ?domains ?max_rounds ?budget ?stats ?obs ?parent program edb with
   | Ok r -> r
   | Error e -> failwith ("Chase.run: " ^ e)
+
+(* --- incremental maintenance ------------------------------------------------
+
+   Additions warm-start the semi-naive loop (new facts are the delta);
+   retractions run DRed over the provenance DAG: over-delete the cone
+   of consequences reachable from a retracted fact, then re-derive
+   whatever still has an alternative proof by fully re-evaluating the
+   rules deriving the deleted predicates.  Stratified negation is
+   handled per stratum: once a negated predicate has changed, the
+   negating rule's previous conclusions are over-deleted and the rule
+   re-evaluates in full, so deletions can enable later-stratum facts
+   and additions can disable them.  Aggregation and existential heads
+   fall back to a full re-chase (see chase.mli). *)
+
+type update = {
+  upd_incremental : bool;
+  upd_rounds : int;
+  upd_added : int;
+  upd_retracted : int;
+  upd_rederived : int;
+  upd_changed_preds : string list;
+}
+
+let incrementable (program : Program.t) =
+  (not (Program.uses_aggregation program))
+  && List.for_all (fun r -> Rule.existential_vars r = []) program.Program.rules
+
+let affected_preds (program : Program.t) seeds =
+  let affected = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace affected p ()) seeds;
+  let grew = ref true in
+  while !grew do
+    grew := false;
+    List.iter
+      (fun (r : Rule.t) ->
+        if
+          (not (Hashtbl.mem affected (Rule.head_pred r)))
+          && List.exists (Hashtbl.mem affected) (Rule.body_preds r)
+        then begin
+          Hashtbl.replace affected (Rule.head_pred r) ();
+          grew := true
+        end)
+      program.Program.rules
+  done;
+  Hashtbl.fold (fun p () acc -> p :: acc) affected [] |> List.sort String.compare
+
+let atom_of_fact (f : Fact.t) =
+  Atom.make f.Fact.pred
+    (List.map (fun v -> Term.Cst v) (Array.to_list f.Fact.args))
+
+let edb_atoms (res : result) =
+  let acc = ref [] in
+  for id = Database.size res.db - 1 downto 0 do
+    if Database.is_active res.db id && Provenance.is_edb res.prov id then
+      acc := atom_of_fact (Database.fact res.db id) :: !acc
+  done;
+  !acc
+
+let ground_tuple (a : Atom.t) =
+  if not (Atom.is_ground a) then Error (Invalid_edb ("non-ground fact: " ^ Atom.to_string a))
+  else
+    Ok
+      (Array.of_list
+         (List.map
+            (function Term.Cst c -> c | Term.Var _ -> assert false)
+            a.Atom.args))
+
+(* Resolve retraction requests to fact ids, before any mutation: every
+   named fact must be active extensional data. *)
+let resolve_retractions (res : result) atoms =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (a : Atom.t) :: rest -> (
+      match ground_tuple a with
+      | Error _ as e -> e
+      | Ok tuple -> (
+        match Database.find_exact res.db a.Atom.pred tuple with
+        | Some f when Database.is_active res.db f.Fact.id ->
+          if Provenance.is_edb res.prov f.Fact.id then go (f.Fact.id :: acc) rest
+          else
+            Error
+              (Invalid_edb
+                 ("cannot retract derived fact " ^ Atom.to_string a
+                ^ "; only extensional facts may be retracted"))
+        | Some _ | None ->
+          Error (Unknown_fact ("fact not in the extensional database: " ^ Atom.to_string a))))
+  in
+  go [] atoms
+
+(* Full-recompute fallback: rebuild the fact base and cold-chase it.
+   Non-destructive — the input result is left untouched. *)
+let rebuild ?domains ?max_rounds ?budget (program : Program.t) (res : result)
+    ~adds ~retract_ids =
+  let removed = Hashtbl.create 8 in
+  List.iter (fun id -> Hashtbl.replace removed id ()) retract_ids;
+  let base = ref [] in
+  for id = Database.size res.db - 1 downto 0 do
+    if
+      Database.is_active res.db id
+      && Provenance.is_edb res.prov id
+      && not (Hashtbl.mem removed id)
+    then base := atom_of_fact (Database.fact res.db id) :: !base
+  done;
+  match run_checked ?domains ?max_rounds ?budget program (!base @ adds) with
+  | Error _ as e -> e
+  | Ok fresh ->
+    (* observable diff for the update report: compare rendered active
+       instances (both small relative to the chase itself) *)
+    let dump (db : Database.t) =
+      let tbl = Hashtbl.create 256 in
+      List.iter
+        (fun (f : Fact.t) -> Hashtbl.replace tbl (Fact.to_string f) ())
+        (Database.active_all db);
+      tbl
+    in
+    let before = dump res.db and after = dump fresh.db in
+    let count_missing a b =
+      Hashtbl.fold (fun k () n -> if Hashtbl.mem b k then n else n + 1) a 0
+    in
+    let seeds =
+      List.sort_uniq String.compare
+        (List.map (fun (a : Atom.t) -> a.Atom.pred) adds
+        @ List.map (fun id -> (Database.fact res.db id).Fact.pred) retract_ids)
+    in
+    Ok
+      ( fresh,
+        {
+          upd_incremental = false;
+          upd_rounds = fresh.rounds;
+          upd_added = count_missing after before;
+          upd_retracted = count_missing before after;
+          upd_rederived = 0;
+          upd_changed_preds = affected_preds program seeds;
+        } )
+
+(* The incremental pass proper (no aggregation, no existentials). *)
+let apply_incremental ?(domains = 1) ?(max_rounds = 100_000)
+    ?(budget = unlimited) (res : result) ~adds ~add_tuples ~retract_ids strata =
+  let db = res.db and prov = res.prov in
+  let t_start = Ekg_obs.Clock.now_s () in
+  let deleted = Hashtbl.create 32 in      (* over-deleted, not yet restored *)
+  let deleted_preds = Hashtbl.create 8 in
+  let changed_preds = Hashtbl.create 8 in
+  let retracted_total = ref 0 in
+  let rederived = ref 0 in
+  let added = ref 0 in
+  let derived_this_update = ref 0 in
+  let total_new_rounds = ref 0 in
+  let overflow = ref false in
+  let stratum_rounds = Array.make (max 1 (List.length strata)) 0 in
+  (* premise -> consumers, over every derivation recorded so far.  Facts
+     inserted during this update never need the index: deletions only
+     target facts that predate their stratum's evaluation. *)
+  let consumers = Hashtbl.create 256 in
+  Provenance.iter prov (fun id (d : Provenance.derivation) ->
+      List.iter
+        (fun p ->
+          let prior = Option.value ~default:[] (Hashtbl.find_opt consumers p) in
+          Hashtbl.replace consumers p (id :: prior))
+        d.Provenance.premises);
+  (* DRed over-deletion: everything reachable from the roots through
+     any recorded derivation loses its support *)
+  let delete_cone roots =
+    let queue = Queue.create () in
+    let mark id =
+      if (not (Hashtbl.mem deleted id)) && Database.is_active db id then begin
+        Hashtbl.replace deleted id ();
+        Queue.push id queue
+      end
+    in
+    List.iter mark roots;
+    while not (Queue.is_empty queue) do
+      let id = Queue.pop queue in
+      Database.deactivate db id;
+      incr retracted_total;
+      let f = Database.fact db id in
+      Hashtbl.replace deleted_preds f.Fact.pred ();
+      Hashtbl.replace changed_preds f.Fact.pred ();
+      if not (Provenance.is_edb prov id) then Provenance.forget prov id;
+      List.iter mark (Option.value ~default:[] (Hashtbl.find_opt consumers id))
+    done
+  in
+  delete_cone retract_ids;
+  (* retraction seeds are gone for good: even if a rule re-derives the
+     same tuple, the tuple becomes a derived fact, not extensional *)
+  List.iter (fun id -> Hashtbl.remove deleted id) retract_ids;
+  let newly_active = ref [] in  (* delta seeds for strata not yet evaluated *)
+  List.iter2
+    (fun (a : Atom.t) tuple ->
+      match Database.add db a.Atom.pred tuple with
+      | `Added f ->
+        incr added;
+        Hashtbl.replace changed_preds f.Fact.pred ();
+        newly_active := f.Fact.id :: !newly_active
+      | `Existing f ->
+        if not (Database.is_active db f.Fact.id) then begin
+          (* resurrect a previously retracted or over-deleted tuple as
+             extensional data, under its original id *)
+          Provenance.forget prov f.Fact.id;
+          Database.reactivate db f.Fact.id;
+          incr added;
+          Hashtbl.replace changed_preds f.Fact.pred ();
+          newly_active := f.Fact.id :: !newly_active
+        end
+        else if not (Provenance.is_edb prov f.Fact.id) then begin
+          (* an active derived fact asserted extensionally: a cold chase
+             on the new base records no derivation for it *)
+          Provenance.forget prov f.Fact.id;
+          Hashtbl.replace changed_preds f.Fact.pred ()
+        end)
+    adds add_tuples;
+  (* budget machinery, shared with the match-loop interrupt *)
+  let stop : [ `Cancelled | `Deadline | `Facts | `Rounds ] option Atomic.t =
+    Atomic.make None
+  in
+  let trip r =
+    ignore (Atomic.compare_and_set stop None (Some r));
+    true
+  in
+  let check_budget () =
+    Atomic.get stop <> None
+    ||
+    if match budget.cancel with Some f -> f () | None -> false then
+      trip `Cancelled
+    else if
+      match budget.deadline_s with
+      | Some d -> Ekg_obs.Clock.now_s () > d
+      | None -> false
+    then trip `Deadline
+    else if
+      match budget.budget_facts with
+      | Some m -> !derived_this_update >= m
+      | None -> false
+    then trip `Facts
+    else if
+      match budget.budget_rounds with
+      | Some m -> !total_new_rounds >= m
+      | None -> false
+    then trip `Rounds
+    else false
+  in
+  let interrupt =
+    if budget.deadline_s = None && Option.is_none budget.cancel then None
+    else begin
+      let tick = ref 0 in
+      Some
+        (fun () ->
+          Atomic.get stop <> None
+          || begin
+               incr tick;
+               !tick land 4095 = 0 && check_budget ()
+             end)
+    end
+  in
+  let instantiate_head (r : Rule.t) binding =
+    let resolve = function
+      | Term.Cst c -> Some c
+      | Term.Var v -> Subst.find binding v
+    in
+    let args = List.map resolve r.Rule.head.Atom.args in
+    if List.exists Option.is_none args then None
+    else Some (Array.of_list (List.map Option.get args))
+  in
+  let insert_matches ~round (r : Rule.t) matches round_delta =
+    List.iter
+      (fun (m : Matcher.match_result) ->
+        match instantiate_head r m.binding with
+        | None -> ()
+        | Some tuple -> (
+          let premises = List.sort_uniq Int.compare m.used_facts in
+          let derivation =
+            {
+              Provenance.rule_id = r.id;
+              premises;
+              binding = m.binding;
+              contributors = [];
+              round;
+            }
+          in
+          match Database.add db (Rule.head_pred r) tuple with
+          | `Added f ->
+            incr derived_this_update;
+            incr added;
+            Hashtbl.replace changed_preds f.Fact.pred ();
+            Provenance.record prov ~fact_id:f.Fact.id derivation;
+            round_delta := f.Fact.id :: !round_delta
+          | `Existing f ->
+            if not (Database.is_active db f.Fact.id) then begin
+              Database.reactivate db f.Fact.id;
+              Provenance.forget prov f.Fact.id;
+              Provenance.record prov ~fact_id:f.Fact.id derivation;
+              incr derived_this_update;
+              Hashtbl.replace changed_preds f.Fact.pred ();
+              if Hashtbl.mem deleted f.Fact.id then begin
+                (* an over-deleted fact restored by a surviving proof *)
+                Hashtbl.remove deleted f.Fact.id;
+                incr rederived
+              end
+              else incr added;
+              round_delta := f.Fact.id :: !round_delta
+            end
+            else if
+              (not (Provenance.is_edb prov f.Fact.id))
+              && List.for_all (fun p -> p < f.Fact.id) premises
+            then begin
+              (* alternative derivation of a known fact, as in the cold
+                 chase; provenance changed even though the instance
+                 did not — shortest-proof explanations may shift *)
+              Provenance.record prov ~fact_id:f.Fact.id derivation;
+              Hashtbl.replace changed_preds f.Fact.pred ()
+            end))
+      matches
+  in
+  let run_stratum pool si rules =
+    (* rules whose negated premises changed: their old conclusions are
+       unsupported until proven otherwise *)
+    let neg_affected =
+      List.filter
+        (fun (r : Rule.t) ->
+          List.exists
+            (fun (a : Atom.t) -> Hashtbl.mem changed_preds a.Atom.pred)
+            (Rule.negative_atoms r))
+        rules
+    in
+    if neg_affected <> [] then begin
+      let targets = List.map (fun (r : Rule.t) -> r.Rule.id) neg_affected in
+      let roots = ref [] in
+      Provenance.iter prov (fun id (d : Provenance.derivation) ->
+          if List.mem d.Provenance.rule_id targets && Database.is_active db id
+          then roots := id :: !roots);
+      delete_cone !roots
+    end;
+    (* rules that must re-evaluate in full on the stratum's first
+       round: negation-affected ones, and every rule that could supply
+       an alternative proof for an over-deleted predicate *)
+    let full_rules =
+      List.filter
+        (fun (r : Rule.t) ->
+          Hashtbl.mem deleted_preds (Rule.head_pred r)
+          || List.memq r neg_affected)
+        rules
+    in
+    let pending = ref (List.filter (Database.is_active db) !newly_active) in
+    let first = ref true in
+    let continue = ref true in
+    while !continue && (not !overflow) && Atomic.get stop = None do
+      if check_budget () then ()
+      else begin
+        let full = if !first then full_rules else [] in
+        let delta_ids = !pending in
+        if full = [] && delta_ids = [] then continue := false
+        else begin
+          incr total_new_rounds;
+          if !total_new_rounds > max_rounds then overflow := true
+          else begin
+            try
+              stratum_rounds.(si) <- stratum_rounds.(si) + 1;
+              let round = res.rounds + !total_new_rounds in
+              let delta_filter =
+                if delta_ids = [] then None
+                else begin
+                  let set = Hashtbl.create (max 8 (List.length delta_ids)) in
+                  let preds = Hashtbl.create 8 in
+                  List.iter
+                    (fun i ->
+                      Hashtbl.replace set i ();
+                      Hashtbl.replace preds (Database.pred_sym_of_fact db i) ())
+                    delta_ids;
+                  Some
+                    { Matcher.mem = Hashtbl.mem set; has_pred = Hashtbl.mem preds }
+                end
+              in
+              let card = Database.pred_card db in
+              (* one thunk list per rule, in stratum rule order, exactly
+                 like a cold round: full evaluation for the re-derivation
+                 rules, semi-naive seed passes for the rest *)
+              let rule_tasks =
+                List.filter_map
+                  (fun (r : Rule.t) ->
+                    let plan = Plan.compile ~card r in
+                    if !first && List.memq r full then
+                      Some
+                        (r, [ (fun () -> Matcher.match_rule ?interrupt ~plan db r) ])
+                    else
+                      match delta_filter with
+                      | Some d ->
+                        Some (r, Matcher.delta_tasks ?interrupt ~plan ~delta:d db r)
+                      | None -> None)
+                  rules
+              in
+              let flat =
+                Array.of_list (List.concat_map (fun (_, ts) -> ts) rule_tasks)
+              in
+              let results =
+                match pool with
+                | Some p when Array.length flat > 1 -> Par.map p flat
+                | _ -> Array.map (fun t -> t ()) flat
+              in
+              let round_delta = ref [] in
+              let cursor = ref 0 in
+              List.iter
+                (fun (r, thunks) ->
+                  let rev_matches = ref [] in
+                  List.iter
+                    (fun _ ->
+                      rev_matches := results.(!cursor) :: !rev_matches;
+                      incr cursor)
+                    thunks;
+                  insert_matches ~round r
+                    (List.concat (List.rev !rev_matches))
+                    round_delta)
+                rule_tasks;
+              first := false;
+              if !round_delta = [] then continue := false
+              else begin
+                pending := !round_delta;
+                newly_active := List.rev_append !round_delta !newly_active
+              end
+            with Matcher.Interrupted ->
+              (* tripped mid-match: nothing was inserted for the
+                 abandoned round; the loop exits via [stop] *)
+              ()
+          end
+        end
+      end
+    done
+  in
+  Par.with_pool ~domains (fun pool ->
+      List.iteri
+        (fun si rules -> if Atomic.get stop = None then run_stratum pool si rules)
+        strata);
+  let partial () =
+    {
+      partial_rounds = !total_new_rounds;
+      partial_derived = !derived_this_update;
+      partial_wall_s = Ekg_obs.Clock.now_s () -. t_start;
+      partial_stratum_rounds =
+        Array.to_list (Array.sub stratum_rounds 0 (List.length strata));
+    }
+  in
+  match Atomic.get stop with
+  | Some `Cancelled -> Error (Cancelled (partial ()))
+  | Some ((`Deadline | `Facts | `Rounds) as r) ->
+    Error (Budget_exceeded (r, partial ()))
+  | None ->
+    if !overflow then
+      Error
+        (Divergent
+           {
+             max_rounds;
+             stratum_rounds =
+               Array.to_list (Array.sub stratum_rounds 0 (List.length strata));
+           })
+    else begin
+      match Database.active db falsum with
+      | violation :: _ ->
+        let detail =
+          match Provenance.derivation prov violation.Fact.id with
+          | Some d ->
+            Printf.sprintf "constraint %s violated by %s" d.rule_id
+              (String.concat ", "
+                 (List.map
+                    (fun id -> Fact.to_string (Database.fact db id))
+                    d.premises))
+          | None -> "constraint violated"
+        in
+        Error (Inconsistent detail)
+      | [] ->
+        let active_derived = ref 0 in
+        for id = 0 to Database.size db - 1 do
+          if Database.is_active db id && not (Provenance.is_edb prov id) then
+            incr active_derived
+        done;
+        let changed =
+          Hashtbl.fold (fun p () acc -> p :: acc) changed_preds []
+          |> List.sort String.compare
+        in
+        Ok
+          ( {
+              db;
+              prov;
+              rounds = res.rounds + !total_new_rounds;
+              derived_count = !active_derived;
+              stats = None;
+            },
+            {
+              upd_incremental = true;
+              upd_rounds = !total_new_rounds;
+              upd_added = !added;
+              upd_retracted = !retracted_total - !rederived;
+              upd_rederived = !rederived;
+              upd_changed_preds = changed;
+            } )
+    end
+
+let apply_update ?domains ?max_rounds ?budget program res ~adds ~retracts =
+  (* all validation happens before any mutation *)
+  let rec tuples acc = function
+    | [] -> Ok (List.rev acc)
+    | a :: rest -> (
+      match ground_tuple a with
+      | Error _ as e -> e
+      | Ok t -> tuples (t :: acc) rest)
+  in
+  match tuples [] adds with
+  | Error e -> Error e
+  | Ok add_tuples -> (
+    match resolve_retractions res retracts with
+    | Error e -> Error e
+    | Ok retract_ids -> (
+      if not (incrementable program) then
+        rebuild ?domains ?max_rounds ?budget program res ~adds ~retract_ids
+      else
+        match Stratify.strata program with
+        | Error e -> Error (Unstratifiable e)
+        | Ok strata ->
+          apply_incremental ?domains ?max_rounds ?budget res ~adds ~add_tuples
+            ~retract_ids strata))
+
+let add_facts ?domains ?max_rounds ?budget program res atoms =
+  apply_update ?domains ?max_rounds ?budget program res ~adds:atoms ~retracts:[]
+
+let retract_facts ?domains ?max_rounds ?budget program res atoms =
+  apply_update ?domains ?max_rounds ?budget program res ~adds:[] ~retracts:atoms

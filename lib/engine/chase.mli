@@ -130,13 +130,18 @@ type error =
   | Unstratifiable of string
       (** Recursion through negation. *)
   | Invalid_edb of string
-      (** Non-ground or otherwise ill-formed extensional facts. *)
+      (** Non-ground or otherwise ill-formed extensional facts; also a
+          {!retract_facts} request naming a {e derived} fact, which only
+          the rules — not a client — may remove. *)
   | Divergent of divergence
       (** [max_rounds] exceeded; carries per-stratum round counts so
           the diagnostic can name the stratum that failed to
           converge. *)
   | Inconsistent of string
       (** A negative constraint φ → ⊥ fired; carries the diagnostic. *)
+  | Unknown_fact of string
+      (** A {!retract_facts} request named a fact that is not in the
+          active extensional database. *)
   | Budget_exceeded of exhausted * partial
       (** The {!budget} tripped; names the exhausted resource and
           preserves partial progress. *)
@@ -227,3 +232,100 @@ val run_exn :
   Atom.t list ->
   result
 (** Like {!run} but raising [Failure]. *)
+
+(** {1 Incremental maintenance}
+
+    Live updates to a completed materialization — the workload of a
+    reasoner over a continuously changing financial KG (Vadalog over
+    the Banca d'Italia ownership graph): absorb a stream of fact
+    additions and retractions without a cold re-chase.
+
+    {b Additions} warm-start the existing semi-naive loop: the new
+    facts are the incoming delta, and each stratum re-runs to fixpoint
+    with the usual per-round join planning and optional {!Par} domain
+    fan-out.  {b Retractions} run DRed-style deletion propagation over
+    the stored provenance DAG: first {e over-delete} the cone of
+    consequences reachable from a retracted fact through any recorded
+    derivation, then {e re-derive} every over-deleted fact that still
+    has a surviving alternative proof by fully re-evaluating the rules
+    deriving the deleted predicates.  Stratified negation is handled
+    stratum-by-stratum: when a predicate that some rule negates has
+    changed, that rule's previous conclusions are over-deleted and the
+    rule is fully re-evaluated, so a deletion can {e enable} facts in a
+    later stratum (and an addition can disable them).
+
+    The contract, checked by property tests: after any sequence of
+    updates, the active instance is {e content-identical}
+    ({!Database.fingerprint}) to a cold chase over the updated fact
+    base, and every active fact carries a valid provenance grounding in
+    the current extensional database.
+
+    Programs outside the incrementalizable fragment — monotonic
+    aggregation (a retracted contributor invalidates materialized group
+    totals) or existential heads (labelled-null identity is
+    chase-order-dependent) — transparently fall back to a full
+    re-chase over the updated extensional base; {!update} reports which
+    path ran.  The input [result] is mutated in place on the
+    incremental path and untouched by the fallback; after an [Error]
+    other than a client error, the mutated state is unspecified and the
+    caller must discard it (the server's registry drops its cached
+    materialization and re-chases from the session's fact list). *)
+
+type update = {
+  upd_incremental : bool;
+      (** [true] when the delta algorithms ran; [false] when the
+          program required the full-recompute fallback *)
+  upd_rounds : int;        (** incremental (or fallback) rounds executed *)
+  upd_added : int;         (** facts that became active, re-derivations excluded *)
+  upd_retracted : int;     (** facts deactivated and not restored — retraction
+                               seeds plus their unsupported consequences *)
+  upd_rederived : int;     (** over-deleted facts restored by a surviving
+                               alternative derivation *)
+  upd_changed_preds : string list;
+      (** predicates whose active content (or recorded provenance) may
+          have changed — the cache-invalidation key, sorted *)
+}
+
+val incrementable : Program.t -> bool
+(** Whether the program is in the fragment maintained by the delta
+    algorithms (no monotonic aggregation, no existential heads). *)
+
+val affected_preds : Program.t -> string list -> string list
+(** Downstream closure of the seed predicates over the program's
+    dependency graph: every predicate whose content could change when
+    facts of a seed predicate change.  Sorted; includes the seeds. *)
+
+val edb_atoms : result -> Atom.t list
+(** The active extensional facts as ground atoms, in insertion order —
+    the fact base a cold re-chase of this result would start from. *)
+
+val add_facts :
+  ?domains:int ->
+  ?max_rounds:int ->
+  ?budget:budget ->
+  Program.t ->
+  result ->
+  Atom.t list ->
+  (result * update, error) Stdlib.result
+(** [add_facts program res facts] inserts the ground [facts] into the
+    extensional database of the completed materialization [res] and
+    restores the fixpoint.  Atoms already present are idempotent
+    no-ops; an atom matching a previously derived fact makes that fact
+    extensional (as a cold chase on the new base would).  [budget] and
+    [max_rounds] bound the propagation exactly as in {!run};
+    [domains] fans the match phases out over a {!Par} pool. *)
+
+val retract_facts :
+  ?domains:int ->
+  ?max_rounds:int ->
+  ?budget:budget ->
+  Program.t ->
+  result ->
+  Atom.t list ->
+  (result * update, error) Stdlib.result
+(** [retract_facts program res facts] removes the ground extensional
+    [facts] and every consequence that no longer has a derivation.
+    Fails with {!Unknown_fact} when a named fact is not active
+    extensional data, and with {!Invalid_edb} when it is a derived
+    fact; validation completes before any mutation, so a failed request
+    leaves [res] untouched. *)

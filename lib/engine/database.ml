@@ -123,6 +123,7 @@ let add_atom t (a : Atom.t) =
   end
 
 let deactivate t id = Hashtbl.replace t.inactive id ()
+let reactivate t id = Hashtbl.remove t.inactive id
 
 let is_active t id =
   id >= 0 && id < t.next_id && not (Hashtbl.mem t.inactive id)
@@ -176,6 +177,13 @@ let active_all t =
 
 let size t = t.next_id
 let active_size t = size t - Hashtbl.length t.inactive
+
+let fingerprint t =
+  let lines = ref [] in
+  for id = t.next_id - 1 downto 0 do
+    if is_active t id then lines := Fact.to_string t.facts.(id) :: !lines
+  done;
+  String.concat "\n" (List.sort String.compare !lines)
 
 let fresh_null t =
   let i = t.null_counter in

@@ -24,6 +24,21 @@ val add_atom : t -> Atom.t -> ([ `Added of Fact.t | `Existing of Fact.t ], strin
 val deactivate : t -> int -> unit
 val is_active : t -> int -> bool
 
+val reactivate : t -> int -> unit
+(** Resurrect a deactivated fact: it participates in matching again
+    under its original id.  The incremental chase uses this when a
+    retracted or over-deleted fact is re-added or re-derived, so fact
+    identity (and with it the provenance graph) survives an
+    add-then-retract round trip. *)
+
+val fingerprint : t -> string
+(** Canonical content fingerprint of the {e active} instance: every
+    active fact rendered and sorted, one per line.  Two databases with
+    the same fingerprint hold the same facts regardless of insertion
+    order, fact ids, or deactivated garbage — the equality the
+    incremental chase's "byte-identical to a cold chase" invariant is
+    stated over. *)
+
 val fact : t -> int -> Fact.t
 (** Raises [Not_found] for unknown ids. *)
 

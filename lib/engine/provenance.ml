@@ -36,6 +36,11 @@ let alternatives t id =
   | Some ds -> !ds
   | None -> []
 
+let forget t id = Hashtbl.remove t.derivations id
+
+let iter t f =
+  Hashtbl.iter (fun id ds -> List.iter (fun d -> f id d) !ds) t.derivations
+
 let record_superseded t ~old_fact ~by = Hashtbl.replace t.superseded old_fact by
 let superseded_by t id = Hashtbl.find_opt t.superseded id
 

@@ -33,6 +33,17 @@ val record : t -> fact_id:int -> derivation -> unit
 val alternatives : t -> int -> derivation list
 (** All recorded derivations, primary first; [] for EDB facts. *)
 
+val forget : t -> int -> unit
+(** Drop every recorded derivation of the fact — the DRed over-deletion
+    step of the incremental chase ({!Chase.retract_facts}): a fact whose
+    support was retracted loses its history before re-derivation gets a
+    chance to record a fresh, still-valid proof. *)
+
+val iter : t -> (int -> derivation -> unit) -> unit
+(** Visit every (fact id, derivation) pair, alternatives included, in
+    unspecified order — the incremental chase walks this once to build
+    the premise → consumers reverse index its deletion cone follows. *)
+
 val record_superseded : t -> old_fact:int -> by:int -> unit
 (** Note that a stale aggregate fact was replaced by a newer one. *)
 

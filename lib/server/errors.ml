@@ -11,6 +11,7 @@ type code =
   | Session_not_found
   | No_trace
   | No_explanation
+  | Unknown_fact
   | Method_not_allowed
   | Invalid_program
   | Inconsistent_program
@@ -33,6 +34,7 @@ let all =
     Session_not_found;
     No_trace;
     No_explanation;
+    Unknown_fact;
     Method_not_allowed;
     Invalid_program;
     Inconsistent_program;
@@ -55,6 +57,7 @@ let id = function
   | Session_not_found -> "session_not_found"
   | No_trace -> "no_trace"
   | No_explanation -> "no_explanation"
+  | Unknown_fact -> "unknown_fact"
   | Method_not_allowed -> "method_not_allowed"
   | Invalid_program -> "invalid_program"
   | Inconsistent_program -> "inconsistent_program"
@@ -71,7 +74,7 @@ let status = function
   | Length_required -> 411
   | Payload_too_large -> 413
   | Headers_too_large -> 431
-  | Not_found | Session_not_found | No_trace | No_explanation -> 404
+  | Not_found | Session_not_found | No_trace | No_explanation | Unknown_fact -> 404
   | Method_not_allowed -> 405
   | Inconsistent_program -> 409
   | Divergent | Budget_exceeded | Internal_error -> 500
@@ -85,7 +88,7 @@ let retryable = function
   | Overloaded | Deadline_exceeded | Cancelled -> true
   | Moved_permanently | Parse_error | Invalid_request | Length_required
   | Payload_too_large | Headers_too_large | Not_found | Session_not_found | No_trace
-  | No_explanation | Method_not_allowed | Invalid_program
+  | No_explanation | Unknown_fact | Method_not_allowed | Invalid_program
   | Inconsistent_program | Divergent | Budget_exceeded | Internal_error ->
     false
 
@@ -119,6 +122,7 @@ let of_chase (err : Chase.error) =
   match err with
   | Chase.Invalid_program _ | Chase.Unstratifiable _ | Chase.Invalid_edb _ ->
     Invalid_program, message, []
+  | Chase.Unknown_fact _ -> Unknown_fact, message, []
   | Chase.Inconsistent _ -> Inconsistent_program, message, []
   | Chase.Divergent { stratum_rounds; _ } ->
     ( Divergent,

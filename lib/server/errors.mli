@@ -21,6 +21,7 @@ type code =
   | Session_not_found    (** 404 *)
   | No_trace             (** session has no recorded trace yet — 404 *)
   | No_explanation       (** no derived fact matches the query — 404 *)
+  | Unknown_fact         (** retraction names a fact absent from the EDB — 404 *)
   | Method_not_allowed   (** known path, wrong verb — 405 *)
   | Invalid_program      (** program/EDB rejected by the engine — 400 *)
   | Inconsistent_program (** a constraint φ → ⊥ fired — 409 *)

@@ -3,14 +3,20 @@ open Ekg_datalog
 open Ekg_engine
 open Ekg_apps
 
+type cached_explanation = {
+  explanations : Pipeline.explanation list;
+  preds : string list;  (* predicates whose change invalidates the entry *)
+}
+
 type session = {
   id : string;
   name : string;
   pipeline : Pipeline.t;
-  edb : Atom.t list;
+  mutable edb : Atom.t list;
   created_at : float;
   lock : Mutex.t;
   mutable chase : Chase.result option;
+  explain_cache : (string * string, cached_explanation) Hashtbl.t;
   mutable explain_count : int;
   mutable last_trace : Ekg_obs.Trace.span option;
 }
@@ -122,6 +128,7 @@ let add t ?name spec =
             created_at = Unix.gettimeofday ();
             lock = Mutex.create ();
             chase = None;
+            explain_cache = Hashtbl.create 16;
             explain_count = 0;
             last_trace = None;
           }
@@ -196,6 +203,135 @@ let materialize ?(budget = Chase.unlimited) t (session : session) =
             Ok result
           | Error _ as e -> e)))
 
+(* --- live fact updates ------------------------------------------------------ *)
+
+let incremental_rounds_metric = "ekg_chase_incremental_rounds_total"
+let retracted_facts_metric = "ekg_chase_retracted_facts_total"
+
+(* drop cached explanations that an update to [changed] predicates could
+   have altered; called with the session lock held *)
+let invalidate_cache_locked (session : session) changed =
+  let stale =
+    Hashtbl.fold
+      (fun key entry acc ->
+        if List.exists (fun p -> List.mem p changed) entry.preds then key :: acc
+        else acc)
+      session.explain_cache []
+  in
+  List.iter (Hashtbl.remove session.explain_cache) stale
+
+let cached_explanations (session : session) ~strategy ~query =
+  with_lock session.lock (fun () ->
+      Option.map
+        (fun e -> e.explanations)
+        (Hashtbl.find_opt session.explain_cache (strategy, query)))
+
+let cache_explanations (session : session) ~strategy ~query ~preds explanations =
+  with_lock session.lock (fun () ->
+      Hashtbl.replace session.explain_cache (strategy, query)
+        { explanations; preds })
+
+let record_update t (upd : Chase.update) =
+  Ekg_obs.Metrics.add t.obs
+    ~help:"Chase rounds spent maintaining materializations incrementally"
+    incremental_rounds_metric
+    (float_of_int upd.Chase.upd_rounds);
+  Ekg_obs.Metrics.add t.obs
+    ~help:"Facts removed from materializations by retraction"
+    retracted_facts_metric
+    (float_of_int upd.Chase.upd_retracted)
+
+(* update the dormant EDB mirror only — nothing is materialized yet, so
+   there is nothing to maintain; the next materialization sees the new
+   base.  Validation mirrors the engine's: ground additions, known
+   extensional retractions. *)
+let update_edb_only (session : session) op atoms =
+  let program = session.pipeline.Pipeline.program in
+  match
+    List.find_opt (fun (a : Atom.t) -> not (Atom.is_ground a)) atoms
+  with
+  | Some a -> Error (Chase.Invalid_edb ("non-ground fact: " ^ Atom.to_string a))
+  | None -> (
+    let changed =
+      Chase.affected_preds program
+        (List.sort_uniq String.compare
+           (List.map (fun (a : Atom.t) -> a.Atom.pred) atoms))
+    in
+    let upd ~added ~retracted =
+      {
+        Chase.upd_incremental = false;
+        upd_rounds = 0;
+        upd_added = added;
+        upd_retracted = retracted;
+        upd_rederived = 0;
+        upd_changed_preds = changed;
+      }
+    in
+    match op with
+    | `Add ->
+      let fresh =
+        List.filter
+          (fun a -> not (List.exists (Atom.equal a) session.edb))
+          atoms
+      in
+      session.edb <- session.edb @ fresh;
+      Ok (upd ~added:(List.length fresh) ~retracted:0)
+    | `Retract -> (
+      match
+        List.find_opt
+          (fun a -> not (List.exists (Atom.equal a) session.edb))
+          atoms
+      with
+      | Some missing ->
+        Error
+          (Chase.Unknown_fact
+             ("fact not in the extensional database: " ^ Atom.to_string missing))
+      | None ->
+        let before = List.length session.edb in
+        session.edb <-
+          List.filter
+            (fun e -> not (List.exists (Atom.equal e) atoms))
+            session.edb;
+        Ok (upd ~added:0 ~retracted:(before - List.length session.edb))))
+
+let update_facts ?(budget = Chase.unlimited) t (session : session) op atoms =
+  with_lock session.lock (fun () ->
+      let outcome =
+        match session.chase with
+        | None -> update_edb_only session op atoms
+        | Some res -> (
+          let apply =
+            match op with
+            | `Add -> Pipeline.add_facts
+            | `Retract -> Pipeline.retract_facts
+          in
+          match
+            apply ~domains:t.chase_domains ~budget session.pipeline res atoms
+          with
+          | Ok (res', upd) ->
+            session.chase <- Some res';
+            (* the engine's view of the base is now authoritative *)
+            session.edb <- Chase.edb_atoms res';
+            Ok upd
+          | Error e when Chase.client_error e ->
+            (* rejected before any mutation: state and cache are intact *)
+            Error e
+          | Error e ->
+            (* mid-update budget trip or engine failure: the maintained
+               state is unspecified, so drop it — the EDB mirror still
+               holds the last successfully updated base, and the next
+               materialization recomputes from it *)
+            session.chase <- None;
+            Hashtbl.reset session.explain_cache;
+            Error e)
+      in
+      match outcome with
+      | Ok upd ->
+        invalidate_cache_locked session upd.Chase.upd_changed_preds;
+        record_update t upd;
+        Ok upd
+      | Error _ as e -> e)
+
 let note_explain (session : session) =
   with_lock session.lock (fun () ->
       session.explain_count <- session.explain_count + 1)
@@ -207,11 +343,13 @@ let last_trace (session : session) =
   with_lock session.lock (fun () -> session.last_trace)
 
 let session_json (session : session) =
-  let cached, explained, traced =
+  let cached, explained, traced, edb_facts, cached_explanations =
     with_lock session.lock (fun () ->
         ( Option.is_some session.chase,
           session.explain_count,
-          Option.is_some session.last_trace ))
+          Option.is_some session.last_trace,
+          List.length session.edb,
+          Hashtbl.length session.explain_cache ))
   in
   Json.Obj
     [
@@ -219,7 +357,7 @@ let session_json (session : session) =
       "name", Json.str session.name;
       "goal", Json.str session.pipeline.Pipeline.program.Program.goal;
       "rules", Json.int (List.length session.pipeline.Pipeline.program.Program.rules);
-      "edb_facts", Json.int (List.length session.edb);
+      "edb_facts", Json.int edb_facts;
       ( "templates",
         Json.Obj
           [
@@ -227,6 +365,7 @@ let session_json (session : session) =
             "enhanced", Json.int (List.length session.pipeline.Pipeline.enhanced);
           ] );
       "chase_cached", Json.bool cached;
+      "cached_explanations", Json.int cached_explanations;
       "explain_requests", Json.int explained;
       "traced", Json.bool traced;
       "created_at", Json.num session.created_at;

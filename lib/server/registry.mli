@@ -10,14 +10,25 @@ open Ekg_core
 open Ekg_datalog
 open Ekg_engine
 
+type cached_explanation = {
+  explanations : Pipeline.explanation list;
+  preds : string list;
+      (** predicates whose change invalidates the entry: the query's
+          own predicate plus every predicate appearing in the cached
+          proofs *)
+}
+
 type session = {
   id : string;                 (** registry-assigned, ["s1"], ["s2"], … *)
   name : string;               (** caller-supplied display name *)
   pipeline : Pipeline.t;
-  edb : Atom.t list;
+  mutable edb : Atom.t list;   (** current extensional base (live-updated) *)
   created_at : float;
-  lock : Mutex.t;              (** guards [chase] and [explain_count] *)
+  lock : Mutex.t;              (** guards every mutable field *)
   mutable chase : Chase.result option;  (** cached materialization *)
+  explain_cache : (string * string, cached_explanation) Hashtbl.t;
+      (** finished explanations keyed by (strategy, query text);
+          entries survive fact updates that cannot affect them *)
   mutable explain_count : int;
   mutable last_trace : Ekg_obs.Trace.span option;
       (** the finished root span of the session's most recent explain
@@ -76,6 +87,56 @@ val materialize :
     surfaces as [Error (Budget_exceeded _ | Cancelled _)] with partial
     progress.  Failed runs — budget trips included — are not cached,
     so a later request with a roomier deadline recomputes. *)
+
+val incremental_rounds_metric : string
+(** ["ekg_chase_incremental_rounds_total"] — chase rounds spent
+    maintaining materializations in place. *)
+
+val retracted_facts_metric : string
+(** ["ekg_chase_retracted_facts_total"] — facts removed from
+    materializations by retraction (over-deletions that were re-derived
+    are not counted). *)
+
+val update_facts :
+  ?budget:Chase.budget ->
+  t ->
+  session ->
+  [ `Add | `Retract ] ->
+  Atom.t list ->
+  (Chase.update, Chase.error) result
+(** Mutate the session's fact base in place — the
+    [POST|DELETE /v1/sessions/:id/facts] handler.  With a cached
+    materialization the engine maintains it incrementally
+    ({!Pipeline.add_facts} / {!Pipeline.retract_facts}); without one
+    only the dormant EDB mirror changes and the next materialization
+    picks up the new base.  Cached explanations whose predicates
+    intersect the update's [upd_changed_preds] are invalidated; the
+    rest survive, as do the session's compiled templates.
+
+    A client error (non-ground addition, unknown or intensional
+    retraction) leaves the session untouched.  Any other error — a
+    budget trip mid-update, an engine failure — discards the cached
+    materialization and the whole explanation cache: the EDB mirror
+    still holds the last successfully updated base, so a later request
+    recomputes from a consistent state.  Advances the
+    {!incremental_rounds_metric} and {!retracted_facts_metric} series
+    on success. *)
+
+val cached_explanations :
+  session -> strategy:string -> query:string -> Pipeline.explanation list option
+(** The cached result of an identical earlier explanation request, if
+    no intervening fact update could have changed it. *)
+
+val cache_explanations :
+  session ->
+  strategy:string ->
+  query:string ->
+  preds:string list ->
+  Pipeline.explanation list ->
+  unit
+(** Cache a finished (non-degraded) explanation result under
+    (strategy, query); [preds] lists the predicates whose change must
+    evict it. *)
 
 val note_explain : session -> unit
 (** Bump the session's explanation-request counter. *)

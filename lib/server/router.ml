@@ -47,6 +47,13 @@ let make_state ?root ?(chase_domains = 1) ?(fault = Fault.Off)
     "ekg_chase_plan_reorders_total";
   Ekg_obs.Metrics.set obs ~help:"Domains used by the most recent chase"
     "ekg_chase_domains" (float_of_int chase_domains);
+  (* the live-update series likewise exist from the first scrape *)
+  Ekg_obs.Metrics.declare_counter obs
+    ~help:"Chase rounds spent maintaining materializations incrementally"
+    Registry.incremental_rounds_metric;
+  Ekg_obs.Metrics.declare_counter obs
+    ~help:"Facts removed from materializations by retraction"
+    Registry.retracted_facts_metric;
   (* ditto for the robustness series: a scrape must see them at zero
      before the first shed / deadline trip *)
   Ekg_obs.Metrics.declare_counter obs
@@ -196,6 +203,24 @@ let strategy_of body =
   | Some "primary" | None -> Ok `Primary
   | Some other -> Error ("unknown strategy: " ^ other ^ " (primary|shortest)")
 
+let strategy_tag = function `Primary -> "primary" | `Shortest -> "shortest"
+
+(* predicates whose change must evict a cached explanation result: the
+   query's own predicate (new matches may appear) plus every predicate
+   in the cached proofs (any of their facts may be withdrawn) *)
+let explanation_preds (atom : Ekg_datalog.Atom.t)
+    (explanations : Pipeline.explanation list) =
+  let preds =
+    List.concat_map
+      (fun (e : Pipeline.explanation) ->
+        e.Pipeline.fact.Fact.pred
+        :: List.map
+             (fun (f : Fact.t) -> f.Fact.pred)
+             (Proof.facts_used e.Pipeline.proof))
+      explanations
+  in
+  List.sort_uniq String.compare (atom.Ekg_datalog.Atom.pred :: preds)
+
 let explain st ~trace_id ~deadline_s (session : Registry.session)
     (req : Http.request) =
   match Json.parse req.body with
@@ -215,47 +240,111 @@ let explain st ~trace_id ~deadline_s (session : Registry.session)
         | Error e -> Errors.response Errors.Invalid_request e
         | Ok strategy ->
           Registry.note_explain session;
-          let budget = { Chase.unlimited with deadline_s = Some deadline_s } in
-          let degrade () = Ekg_obs.Clock.now_s () >= deadline_s in
-          let root = ref None in
-          let resp =
-            Ekg_obs.Trace.with_span st.tracer
-              ~labels:
-                [
-                  "trace_id", trace_id;
-                  "session", session.id;
-                  "query", query;
-                ]
-              "explain-request"
-            @@ fun span ->
-            root := Some span;
-            match
-              Ekg_obs.Trace.with_span st.tracer ~parent:span "chase" (fun _ ->
-                  Registry.materialize ~budget st.registry session)
-            with
-            | Error err -> chase_error_response st err
-            | Ok result -> (
-              match
-                Pipeline.explain_atom_budgeted ~strategy ~degrade ~obs:st.tracer
-                  ~parent:span session.pipeline result atom
-              with
-              | Error e -> Errors.response Errors.No_explanation e
-              | Ok (explanations, degraded) ->
-                json_response 200
-                  (Json.Obj
-                     [
-                       "session", Json.str session.id;
-                       "query", Json.str query;
-                       "trace_id", Json.str trace_id;
-                       "degraded", Json.bool degraded;
-                       "count", Json.int (List.length explanations);
-                       ( "explanations",
-                         Json.Arr (List.map explanation_json explanations) );
-                     ]))
+          (* cache key: canonical atom text, so formatting differences
+             between equal queries share an entry *)
+          let key = Ekg_datalog.Atom.to_string atom in
+          let tag = strategy_tag strategy in
+          let answer ~cached ~degraded explanations =
+            json_response 200
+              (Json.Obj
+                 [
+                   "session", Json.str session.id;
+                   "query", Json.str query;
+                   "trace_id", Json.str trace_id;
+                   "cached", Json.bool cached;
+                   "degraded", Json.bool degraded;
+                   "count", Json.int (List.length explanations);
+                   ( "explanations",
+                     Json.Arr (List.map explanation_json explanations) );
+                 ])
           in
-          (* the span is finished (duration set) once with_span returns *)
-          Option.iter (Registry.set_trace session) !root;
-          resp)))
+          match Registry.cached_explanations session ~strategy:tag ~query:key with
+          | Some explanations -> answer ~cached:true ~degraded:false explanations
+          | None ->
+            let budget = { Chase.unlimited with deadline_s = Some deadline_s } in
+            let degrade () = Ekg_obs.Clock.now_s () >= deadline_s in
+            let root = ref None in
+            let resp =
+              Ekg_obs.Trace.with_span st.tracer
+                ~labels:
+                  [
+                    "trace_id", trace_id;
+                    "session", session.id;
+                    "query", query;
+                  ]
+                "explain-request"
+              @@ fun span ->
+              root := Some span;
+              match
+                Ekg_obs.Trace.with_span st.tracer ~parent:span "chase" (fun _ ->
+                    Registry.materialize ~budget st.registry session)
+              with
+              | Error err -> chase_error_response st err
+              | Ok result -> (
+                match
+                  Pipeline.explain_atom_budgeted ~strategy ~degrade ~obs:st.tracer
+                    ~parent:span session.pipeline result atom
+                with
+                | Error e -> Errors.response Errors.No_explanation e
+                | Ok (explanations, degraded) ->
+                  (* degraded results carry skeletons, not prose — not
+                     worth pinning in the cache *)
+                  if not degraded then
+                    Registry.cache_explanations session ~strategy:tag ~query:key
+                      ~preds:(explanation_preds atom explanations)
+                      explanations;
+                  answer ~cached:false ~degraded explanations)
+            in
+            (* the span is finished (duration set) once with_span returns *)
+            Option.iter (Registry.set_trace session) !root;
+            resp)))
+
+(* --- live fact updates ------------------------------------------------------ *)
+
+(* Body: {"facts": ["own(\"A\", \"B\", 0.5)", ...]} — ground atoms in
+   program syntax.  Every atom must parse before anything is applied. *)
+let facts_of_body body =
+  match Json.member "facts" body with
+  | None -> Error "missing \"facts\" array"
+  | Some (Json.Arr []) -> Error "empty \"facts\" array"
+  | Some (Json.Arr items) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | Json.Str text :: rest -> (
+        match Ekg_datalog.Parser.parse_atom text with
+        | Ok atom -> go (atom :: acc) rest
+        | Error e -> Error ("fact " ^ text ^ ": " ^ e))
+      | _ -> Error "every fact must be an atom string"
+    in
+    go [] items
+  | Some _ -> Error "\"facts\" must be an array of atom strings"
+
+let update_facts st ~deadline_s op (session : Registry.session)
+    (req : Http.request) =
+  match Json.parse req.body with
+  | Error e -> Errors.response Errors.Parse_error e
+  | Ok body -> (
+    match facts_of_body body with
+    | Error e -> Errors.response Errors.Invalid_request e
+    | Ok atoms -> (
+      let budget = { Chase.unlimited with deadline_s = Some deadline_s } in
+      match Registry.update_facts ~budget st.registry session op atoms with
+      | Error err -> chase_error_response st err
+      | Ok upd ->
+        json_response 200
+          (Json.Obj
+             [
+               "session", Json.str session.id;
+               ( "op",
+                 Json.str (match op with `Add -> "add" | `Retract -> "retract") );
+               "incremental", Json.bool upd.Chase.upd_incremental;
+               "rounds", Json.int upd.Chase.upd_rounds;
+               "added", Json.int upd.Chase.upd_added;
+               "retracted", Json.int upd.Chase.upd_retracted;
+               "rederived", Json.int upd.Chase.upd_rederived;
+               ( "changed_predicates",
+                 Json.Arr (List.map Json.str upd.Chase.upd_changed_preds) );
+             ])))
 
 (* --- batch explain ---------------------------------------------------------- *)
 
@@ -406,13 +495,22 @@ let route_v1 st ~trace_id ~deadline (req : Http.request) rest =
       with_deadline (fun deadline_s ->
           with_session st id (fun s ->
               explain_batch st ~trace_id ~deadline_s s req)) )
+  | Http.POST, [ "sessions"; id; "facts" ] ->
+    ( "POST /v1/sessions/:id/facts",
+      with_deadline (fun deadline_s ->
+          with_session st id (fun s -> update_facts st ~deadline_s `Add s req)) )
+  | Http.DELETE, [ "sessions"; id; "facts" ] ->
+    ( "DELETE /v1/sessions/:id/facts",
+      with_deadline (fun deadline_s ->
+          with_session st id (fun s ->
+              update_facts st ~deadline_s `Retract s req)) )
   | Http.GET, [ "sessions"; id; "templates" ] ->
     "GET /v1/sessions/:id/templates", with_session st id templates
   | Http.GET, [ "sessions"; id; "trace" ] ->
     "GET /v1/sessions/:id/trace", with_session st id session_trace
   | _, ([ "health" ] | [ "metrics" ] | [ "sessions" ]
-       | [ "sessions"; _; ("explain" | "explain:batch" | "templates" | "trace") ])
-    ->
+       | [ "sessions"; _;
+           ("explain" | "explain:batch" | "templates" | "trace" | "facts") ]) ->
     ( Http.meth_to_string req.meth ^ " (known path)",
       Errors.response Errors.Method_not_allowed
         ("method " ^ Http.meth_to_string req.meth ^ " not allowed on "

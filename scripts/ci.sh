@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus the server smoke test (which also scrapes the
-# Prometheus /metrics exposition) and the parallel-chase bench smoke,
-# which writes BENCH_chase.json (wall-clock at domains=1 vs 4,
-# speedup, facts/sec) and fails if parallel output ever diverges from
-# sequential. Run from anywhere.
+# Prometheus /metrics exposition and executes the live fact-update
+# walkthrough of examples/incremental_walkthrough.md), the parallel-
+# chase bench smoke (writes BENCH_chase.json: wall-clock at domains=1
+# vs 4, admission overhead, incremental maintenance vs cold re-chase;
+# fails if parallel or incremental state ever diverges), and the
+# documentation gate (doc-comment lint always; `dune build @doc` +
+# HTML artifact when odoc is installed). Run from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,4 +15,25 @@ dune runtest
 dune build @smoke
 dune build @smoke-faults
 dune exec bench/main.exe -- chase-smoke
-echo "ci: all green (build + tests + smoke/metrics + fault drills + chase bench)"
+
+# documentation: lint is unconditional; rendering needs odoc, which
+# not every CI image carries — skip rendering gracefully when absent
+bash scripts/doc_lint.sh
+if command -v odoc >/dev/null 2>&1; then
+  warnings="$(mktemp)"
+  dune build @doc 2> >(tee "$warnings" >&2)
+  if [ -s "$warnings" ]; then
+    echo "ci: dune build @doc emitted warnings" >&2
+    rm -f "$warnings"
+    exit 1
+  fi
+  rm -f "$warnings"
+  # publishable artifact (CI systems upload this directory)
+  rm -rf _build/odoc-artifact
+  cp -r _build/default/_doc/_html _build/odoc-artifact
+  echo "ci: odoc HTML artifact at _build/odoc-artifact"
+else
+  echo "ci: odoc not installed; skipped @doc rendering (doc lint still enforced)"
+fi
+
+echo "ci: all green (build + tests + smoke/metrics + fault drills + chase bench + docs)"

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Documentation lint: every public interface of the reasoning layers
+# (lib/engine, lib/core) must open with an odoc module-level comment —
+# `(**` as the first non-blank characters — so `dune build @doc` renders
+# a synopsis for every module and new interfaces cannot land
+# undocumented.  Run from anywhere; exits non-zero listing offenders.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for f in lib/engine/*.mli lib/core/*.mli; do
+  # first non-blank line must start a doc comment
+  first="$(awk 'NF {print; exit}' "$f")"
+  case "$first" in
+    "(**"*) ;;
+    *)
+      echo "doc-lint: $f lacks a module-level doc comment (must open with (** ...)" >&2
+      fail=1
+      ;;
+  esac
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "doc-lint: failed" >&2
+  exit 1
+fi
+echo "doc-lint: ok ($(ls lib/engine/*.mli lib/core/*.mli | wc -l | tr -d ' ') interfaces documented)"

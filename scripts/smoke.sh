@@ -53,7 +53,8 @@ if ! printf '%s\n' "$METRICS" | grep -q '^# TYPE ekg_requests_total counter'; th
   exit 1
 fi
 for series in ekg_requests_total ekg_chase_rounds_total \
-              ekg_server_shed_total ekg_request_deadline_exceeded_total; do
+              ekg_server_shed_total ekg_request_deadline_exceeded_total \
+              ekg_chase_incremental_rounds_total ekg_chase_retracted_facts_total; do
   if ! printf '%s\n' "$METRICS" | grep -q "^$series"; then
     echo "smoke: /v1/metrics is missing mandatory series $series" >&2
     printf '%s\n' "$METRICS" >&2
@@ -61,6 +62,45 @@ for series in ekg_requests_total ekg_chase_rounds_total \
   fi
 done
 
+# --- live fact updates: the runnable walkthrough ---------------------------
+# This block executes examples/incremental_walkthrough.md against the
+# preloaded company-control session (s1): control("A", "D") holds through
+# B (0.30) and E (0.25); retracting E's stake drops the sum to 0.30 and
+# the explanation disappears, re-adding it brings the explanation back.
+BASE="http://127.0.0.1:$PORT/v1/sessions/s1"
+QUERY='{"query":"control(\"A\", \"D\")"}'
+STAKE='{"facts":["own(\"E\", \"D\", 0.25)"]}'
+
+BODY="$(curl -fsS -X POST -d "$QUERY" "$BASE/explain")"
+if ! printf '%s' "$BODY" | grep -q 'exercises control over'; then
+  echo "smoke: control(\"A\", \"D\") not explained before retraction: $BODY" >&2
+  exit 1
+fi
+
+BODY="$(curl -fsS -X DELETE -d "$STAKE" "$BASE/facts")"
+if ! printf '%s' "$BODY" | grep -q '"op":"retract"'; then
+  echo "smoke: retraction did not apply: $BODY" >&2
+  exit 1
+fi
+
+STATUS="$(curl -sS -o /dev/null -w '%{http_code}' -X POST -d "$QUERY" "$BASE/explain")"
+if [ "$STATUS" != "404" ]; then
+  echo "smoke: control(\"A\", \"D\") still explained after retraction (HTTP $STATUS)" >&2
+  exit 1
+fi
+
+BODY="$(curl -fsS -X POST -d "$STAKE" "$BASE/facts")"
+if ! printf '%s' "$BODY" | grep -q '"op":"add"'; then
+  echo "smoke: re-addition did not apply: $BODY" >&2
+  exit 1
+fi
+
+BODY="$(curl -fsS -X POST -d "$QUERY" "$BASE/explain")"
+if ! printf '%s' "$BODY" | grep -q 'exercises control over'; then
+  echo "smoke: control(\"A\", \"D\") not restored after re-addition: $BODY" >&2
+  exit 1
+fi
+
 kill -TERM "$PID"
 wait "$PID"
-echo "smoke: ok (/v1/health + Prometheus /v1/metrics + legacy 301 on port $PORT)"
+echo "smoke: ok (/v1/health + Prometheus /v1/metrics + legacy 301 + live fact updates on port $PORT)"

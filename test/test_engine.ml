@@ -1216,6 +1216,329 @@ path(X, Z), e(Z, Y) -> path(X, Y).
       | Ok a, Ok b -> chase_fingerprint a = chase_fingerprint b
       | _ -> false)
 
+(* --- incremental maintenance ----------------------------------------------- *)
+
+let tc_src = {|
+e(X, Y) -> path(X, Y).
+path(X, Z), e(Z, Y) -> path(X, Y).
+@goal(path).
+|}
+
+let edge x y = Atom.make "e" [ Term.str x; Term.str y ]
+
+let run_atoms src facts =
+  let { Parser.program; _ } = parse_exn src in
+  match Chase.run program facts with
+  | Ok r -> (program, r)
+  | Error e -> Alcotest.failf "chase: %s" e
+
+let update_exn = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "update: %s" (Chase.error_to_string e)
+
+(* content identity with an independently cold-chased fact base *)
+let check_matches_cold msg program res base =
+  match Chase.run program base with
+  | Error e -> Alcotest.failf "cold reference chase: %s" e
+  | Ok cold ->
+    check string' msg
+      (Database.fingerprint cold.Chase.db)
+      (Database.fingerprint res.Chase.db)
+
+let test_incr_add_warm_start () =
+  let program, res = run_atoms tc_src [ edge "a" "b"; edge "b" "c" ] in
+  let res', upd = update_exn (Chase.add_facts program res [ edge "c" "d" ]) in
+  check bool' "incremental path taken" true upd.Chase.upd_incremental;
+  check bool' "ran at least one round" true (upd.Chase.upd_rounds >= 1);
+  check bool' "path pred reported changed" true
+    (List.mem "path" upd.Chase.upd_changed_preds);
+  check_matches_cold "addition = cold chase" program res'
+    [ edge "a" "b"; edge "b" "c"; edge "c" "d" ];
+  check bool' "new closure fact present" true
+    (List.mem {|path("a", "d")|} (actives res' "path"))
+
+let test_incr_retract_cone () =
+  let program, res = run_atoms tc_src [ edge "a" "b"; edge "b" "c"; edge "c" "d" ] in
+  let res', upd = update_exn (Chase.retract_facts program res [ edge "b" "c" ]) in
+  check bool' "incremental path taken" true upd.Chase.upd_incremental;
+  check bool' "cone retracted" true (upd.Chase.upd_retracted >= 3);
+  check_matches_cold "retraction = cold chase" program res'
+    [ edge "a" "b"; edge "c" "d" ];
+  check bool' "downstream closure gone" true
+    (not (List.mem {|path("a", "d")|} (actives res' "path")))
+
+let test_incr_retract_alternative_derivation_survives () =
+  (* two disjoint supports for reach("a"): losing one must not lose the fact *)
+  let src = {|
+e1(X) -> reach(X).
+e2(X) -> reach(X).
+reach(X) -> seen(X).
+@goal(seen).
+|}
+  in
+  let a1 = Atom.make "e1" [ Term.str "a" ] and a2 = Atom.make "e2" [ Term.str "a" ] in
+  let program, res = run_atoms src [ a1; a2 ] in
+  let res', upd = update_exn (Chase.retract_facts program res [ a1 ]) in
+  check bool' "incremental path taken" true upd.Chase.upd_incremental;
+  check bool' "over-deleted facts re-derived" true (upd.Chase.upd_rederived >= 1);
+  check bool' "reach survives via e2" true (List.mem {|reach("a")|} (actives res' "reach"));
+  check bool' "downstream seen survives" true (List.mem {|seen("a")|} (actives res' "seen"));
+  check_matches_cold "survival = cold chase" program res' [ a2 ];
+  (* the surviving fact's proof must now bottom out in e2, not the
+     retracted e1 *)
+  match Database.find_exact res'.Chase.db "reach" [| Value.str "a" |] with
+  | None -> Alcotest.fail "reach(a) lost"
+  | Some f -> (
+    match Proof.of_fact res'.Chase.db res'.Chase.prov f with
+    | None -> Alcotest.fail "no proof for surviving fact"
+    | Some p ->
+      let leaves = Proof.facts_used p |> List.map Fact.to_string in
+      check bool' "proof grounded in surviving support" true
+        (List.mem {|e2("a")|} leaves && not (List.mem {|e1("a")|} leaves)))
+
+let test_incr_retraction_enables_negation () =
+  (* deleting blocker(x) must enable the later-stratum candidate *)
+  let src = {|
+cand(X), not blocked(X) -> winner(X).
+block(X) -> blocked(X).
+@goal(winner).
+|}
+  in
+  let cand = Atom.make "cand" [ Term.str "x" ]
+  and block = Atom.make "block" [ Term.str "x" ] in
+  let program, res = run_atoms src [ cand; block ] in
+  check int' "blocked initially" 0 (List.length (actives res "winner"));
+  let res', upd = update_exn (Chase.retract_facts program res [ block ]) in
+  check bool' "incremental path taken" true upd.Chase.upd_incremental;
+  check bool' "winner now derived" true (List.mem {|winner("x")|} (actives res' "winner"));
+  check_matches_cold "negation enablement = cold chase" program res' [ cand ]
+
+let test_incr_addition_disables_negation () =
+  let src = {|
+cand(X), not blocked(X) -> winner(X).
+block(X) -> blocked(X).
+@goal(winner).
+|}
+  in
+  let cand = Atom.make "cand" [ Term.str "x" ]
+  and block = Atom.make "block" [ Term.str "x" ] in
+  let program, res = run_atoms src [ cand ] in
+  check bool' "winner before" true (List.mem {|winner("x")|} (actives res "winner"));
+  let res', upd = update_exn (Chase.add_facts program res [ block ]) in
+  check bool' "incremental path taken" true upd.Chase.upd_incremental;
+  check int' "winner withdrawn" 0 (List.length (actives res' "winner"));
+  check_matches_cold "negation disablement = cold chase" program res' [ cand; block ]
+
+let test_incr_add_then_retract_roundtrip () =
+  let base = [ edge "a" "b"; edge "b" "c" ] in
+  let program, res = run_atoms tc_src base in
+  let original = Database.fingerprint res.Chase.db in
+  let res', _ = update_exn (Chase.add_facts program res [ edge "c" "a"; edge "b" "d" ]) in
+  check bool' "grew" true (Database.fingerprint res'.Chase.db <> original);
+  let res'', _ =
+    update_exn (Chase.retract_facts program res' [ edge "c" "a"; edge "b" "d" ])
+  in
+  check string' "exact original fingerprint restored" original
+    (Database.fingerprint res''.Chase.db)
+
+let test_incr_retract_unknown_fact () =
+  let program, res = run_atoms tc_src [ edge "a" "b" ] in
+  let before = Database.fingerprint res.Chase.db in
+  (match Chase.retract_facts program res [ edge "z" "q" ] with
+  | Error (Chase.Unknown_fact _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Chase.error_to_string e)
+  | Ok _ -> Alcotest.fail "retracting an absent fact succeeded");
+  check string' "state untouched by rejected update" before
+    (Database.fingerprint res.Chase.db)
+
+let test_incr_retract_derived_rejected () =
+  let program, res = run_atoms tc_src [ edge "a" "b" ] in
+  match Chase.retract_facts program res [ Atom.make "path" [ Term.str "a"; Term.str "b" ] ] with
+  | Error (Chase.Invalid_edb _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Chase.error_to_string e)
+  | Ok _ -> Alcotest.fail "retracting a derived fact succeeded"
+
+let test_incr_aggregation_falls_back () =
+  let src = {|
+own(X, Y, W), T = sum(W) -> total(Y, T).
+@goal(total).
+|}
+  in
+  let own x y w = Atom.make "own" [ Term.str x; Term.str y; Term.num w ] in
+  let program, res = run_atoms src [ own "a" "c" 0.3; own "b" "c" 0.4 ] in
+  let before = Database.fingerprint res.Chase.db in
+  let res', upd = update_exn (Chase.retract_facts program res [ own "b" "c" 0.4 ]) in
+  check bool' "fell back to full recompute" false upd.Chase.upd_incremental;
+  check string' "input result untouched by fallback" before
+    (Database.fingerprint res.Chase.db);
+  check_matches_cold "fallback = cold chase" program res' [ own "a" "c" 0.3 ]
+
+let test_incr_readd_makes_extensional () =
+  (* asserting a tuple that is currently derived turns it extensional:
+     retracting its former support no longer deletes it *)
+  let program, res = run_atoms tc_src [ edge "a" "b"; edge "b" "c" ] in
+  let path_ac = Atom.make "path" [ Term.str "a"; Term.str "c" ] in
+  let res', _ = update_exn (Chase.add_facts program res [ path_ac ]) in
+  let res'', _ = update_exn (Chase.retract_facts program res' [ edge "a" "b" ]) in
+  check bool' "asserted fact survives support loss" true
+    (List.mem {|path("a", "c")|} (actives res'' "path"));
+  check bool' "dependent closure gone" true
+    (not (List.mem {|path("a", "b")|} (actives res'' "path")))
+
+let test_incr_update_budget_respected () =
+  let program, res = run_atoms tc_src [ edge "a" "b" ] in
+  let chain = List.init 60 (fun i -> edge (string_of_int i) (string_of_int (i + 1))) in
+  match
+    Chase.add_facts ~budget:(Chase.budget ~rounds:2 ()) program res chain
+  with
+  | Error (Chase.Budget_exceeded (`Rounds, p)) ->
+    check bool' "partial rounds recorded" true (p.Chase.partial_rounds >= 1)
+  | Error e -> Alcotest.failf "wrong error: %s" (Chase.error_to_string e)
+  | Ok _ -> Alcotest.fail "2-round budget survived a 60-edge chain closure"
+
+let test_incr_inconsistent_detected () =
+  let src = {|
+e(X, Y) -> path(X, Y).
+path(X, Z), e(Z, Y) -> path(X, Y).
+path(X, X) -> false.
+@goal(path).
+|}
+  in
+  let program, res = run_atoms src [ edge "a" "b" ] in
+  match Chase.add_facts program res [ edge "b" "a"; edge "b" "c" ] with
+  | Error (Chase.Inconsistent _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Chase.error_to_string e)
+  | Ok _ -> Alcotest.fail "cycle admitted despite acyclicity constraint"
+
+(* every active derived fact of an updated result must still carry a
+   well-founded proof over active facts, grounded in the EDB *)
+let proofs_well_founded (res : Chase.result) =
+  List.for_all
+    (fun (f : Fact.t) ->
+      Provenance.is_edb res.Chase.prov f.Fact.id
+      ||
+      match Proof.of_fact res.Chase.db res.Chase.prov f with
+      | None -> false
+      | Some p ->
+        let concluded = Hashtbl.create 16 in
+        List.iter
+          (fun (s : Proof.step) -> Hashtbl.replace concluded s.Proof.fact.Fact.id ())
+          p.Proof.steps;
+        List.for_all
+          (fun (used : Fact.t) ->
+            Database.is_active res.Chase.db used.Fact.id
+            && (Hashtbl.mem concluded used.Fact.id
+               || Provenance.is_edb res.Chase.prov used.Fact.id))
+          (Proof.facts_used p))
+    (Database.active_all res.Chase.db)
+
+(* random edge set, then a random add/retract sequence: the maintained
+   state must stay byte-identical (content fingerprint) to a cold chase
+   of the final fact base, with well-founded provenance throughout *)
+let prop_incremental_equals_cold =
+  let gen =
+    QCheck2.Gen.(pair edges_gen (list_size (int_range 1 6) (pair bool (pair (int_range 0 5) (int_range 0 5)))))
+  in
+  let print (raw, ops) =
+    Printf.sprintf "base=[%s] ops=[%s]"
+      (String.concat ";" (List.map (fun (i, j) -> Printf.sprintf "(%d,%d)" i j) raw))
+      (String.concat ";"
+         (List.map
+            (fun (b, (i, j)) ->
+              Printf.sprintf "%s(%d,%d)" (if b then "add" else "del") i j)
+            ops))
+  in
+  QCheck2.Test.make ~print
+    ~name:"incremental updates are byte-identical to cold chase"
+    ~count:60 gen (fun (raw, ops) ->
+      let atom (i, j) = edge (string_of_int i) (string_of_int j) in
+      let { Parser.program; _ } = parse_exn tc_src in
+      let base = List.map atom raw in
+      match Chase.run program base with
+      | Error _ -> false
+      | Ok res ->
+        let keys = Hashtbl.create 16 in
+        List.iter (fun (i, j) -> Hashtbl.replace keys (i, j) ()) raw;
+        let res = ref res and ok = ref true in
+        List.iter
+          (fun (is_add, ij) ->
+            if !ok then
+              if is_add || not (Hashtbl.mem keys ij) then begin
+                Hashtbl.replace keys ij ();
+                match Chase.add_facts program !res [ atom ij ] with
+                | Ok (r, _) -> res := r
+                | Error _ -> ok := false
+              end
+              else begin
+                Hashtbl.remove keys ij;
+                match Chase.retract_facts program !res [ atom ij ] with
+                | Ok (r, _) -> res := r
+                | Error _ -> ok := false
+              end)
+          ops;
+        !ok
+        &&
+        let final_base =
+          Hashtbl.fold (fun ij () acc -> atom ij :: acc) keys []
+        in
+        match Chase.run program final_base with
+        | Error _ -> false
+        | Ok cold ->
+          Database.fingerprint cold.Chase.db = Database.fingerprint !res.Chase.db
+          && proofs_well_founded !res)
+
+(* same invariant through the stratified-negation path *)
+let prop_incremental_negation_equals_cold =
+  let gen =
+    QCheck2.Gen.(pair edges_gen (list_size (int_range 1 5) (pair bool (int_range 0 5))))
+  in
+  QCheck2.Test.make
+    ~name:"incremental updates respect stratified negation" ~count:60 gen
+    (fun (raw, ops) ->
+      let src = {|
+e(X, Y) -> linked(X).
+node(X), not linked(X) -> isolated(X).
+@goal(isolated).
+|}
+      in
+      let { Parser.program; _ } = parse_exn src in
+      let node i = Atom.make "node" [ Term.str (string_of_int i) ] in
+      let atom (i, j) = edge (string_of_int i) (string_of_int j) in
+      let base = List.init 6 node @ List.map atom raw in
+      match Chase.run program base with
+      | Error _ -> false
+      | Ok res ->
+        let keys = Hashtbl.create 16 in
+        List.iter (fun ij -> Hashtbl.replace keys ij ()) raw;
+        let res = ref res and ok = ref true in
+        List.iter
+          (fun (is_add, i) ->
+            if !ok then begin
+              let ij = (i, (i + 1) mod 6) in
+              if is_add || not (Hashtbl.mem keys ij) then begin
+                Hashtbl.replace keys ij ();
+                match Chase.add_facts program !res [ atom ij ] with
+                | Ok (r, _) -> res := r
+                | Error _ -> ok := false
+              end
+              else begin
+                Hashtbl.remove keys ij;
+                match Chase.retract_facts program !res [ atom ij ] with
+                | Ok (r, _) -> res := r
+                | Error _ -> ok := false
+              end
+            end)
+          ops;
+        !ok
+        &&
+        let final_base =
+          List.init 6 node @ Hashtbl.fold (fun ij () acc -> atom ij :: acc) keys []
+        in
+        match Chase.run program final_base with
+        | Error _ -> false
+        | Ok cold ->
+          Database.fingerprint cold.Chase.db = Database.fingerprint !res.Chase.db)
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -1224,6 +1547,8 @@ let qsuite =
       prop_magic_equals_full_chase;
       prop_parallel_equals_sequential;
       prop_unlimited_budget_is_identity;
+      prop_incremental_equals_cold;
+      prop_incremental_negation_equals_cold;
     ]
 
 let () =
@@ -1284,6 +1609,32 @@ let () =
             test_budget_deadline_trips_mid_match;
           Alcotest.test_case "converging run unaffected" `Quick
             test_budget_converging_run_unaffected;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "add warm-starts semi-naive" `Quick
+            test_incr_add_warm_start;
+          Alcotest.test_case "retract deletes the cone" `Quick test_incr_retract_cone;
+          Alcotest.test_case "alternative derivation survives" `Quick
+            test_incr_retract_alternative_derivation_survives;
+          Alcotest.test_case "retraction enables negation" `Quick
+            test_incr_retraction_enables_negation;
+          Alcotest.test_case "addition disables negation" `Quick
+            test_incr_addition_disables_negation;
+          Alcotest.test_case "add-then-retract round trip" `Quick
+            test_incr_add_then_retract_roundtrip;
+          Alcotest.test_case "unknown fact rejected" `Quick
+            test_incr_retract_unknown_fact;
+          Alcotest.test_case "derived fact rejected" `Quick
+            test_incr_retract_derived_rejected;
+          Alcotest.test_case "aggregation falls back" `Quick
+            test_incr_aggregation_falls_back;
+          Alcotest.test_case "re-add makes extensional" `Quick
+            test_incr_readd_makes_extensional;
+          Alcotest.test_case "update budget respected" `Quick
+            test_incr_update_budget_respected;
+          Alcotest.test_case "inconsistency detected" `Quick
+            test_incr_inconsistent_detected;
         ] );
       ( "constraints",
         [

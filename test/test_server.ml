@@ -568,11 +568,13 @@ let test_router_degraded_explain () =
   check int' "warm explain ok" 200 warm.Http.status;
   check bool' "warm explain fully verbalized" true
     (contains warm.Http.resp_body {|"degraded":false|});
+  (* query a different atom: the warm answer is now cached, and a cached
+     explanation would be served fully verbalized regardless of deadline *)
   let degraded =
     Router.handle st
       (request
          ~headers:[ "x-ekg-deadline-ms", "50" ]
-         ~body:{|{"query":"control(\"A\", \"C\")"}|} Http.POST
+         ~body:{|{"query":"control(\"A\", \"B\")"}|} Http.POST
          [ "v1"; "sessions"; "s1"; "explain" ])
   in
   check int' "degraded explain still answers 200" 200 degraded.Http.status;
@@ -627,6 +629,227 @@ let test_router_batch_explain () =
          [ "v1"; "sessions"; "s1"; "explain:batch" ])
   in
   check int' "empty batch rejected" 400 empty.Http.status
+
+(* --- live fact updates ------------------------------------------------------ *)
+
+(* incrementable (no aggregation/existentials): updates maintain the
+   materialization in place instead of re-chasing *)
+let closure_program =
+  {|
+e(X, Y) -> path(X, Y).
+path(X, Z), e(Z, Y) -> path(X, Y).
+@goal(path).
+e("a", "b"). e("b", "c").
+|}
+
+let create_closure_session st =
+  let created =
+    Router.handle st
+      (request
+         ~body:(Json.to_string (Json.Obj [ "program", Json.str closure_program ]))
+         Http.POST [ "v1"; "sessions" ])
+  in
+  check int' "created" 201 created.Http.status
+
+let explain_path st id query =
+  Router.handle st
+    (request
+       ~body:(Json.to_string (Json.Obj [ "query", Json.str query ]))
+       Http.POST [ "v1"; "sessions"; id; "explain" ])
+
+let test_router_facts_live_updates () =
+  let st = Router.make_state () in
+  create_closure_session st;
+  (* first explain materializes and caches; the identical repeat is
+     answered from the explanation cache *)
+  let first = explain_path st "s1" {|path("a", "c")|} in
+  check int' "cold explain ok" 200 first.Http.status;
+  check bool' "cold explain not cached" true
+    (contains first.Http.resp_body {|"cached":false|});
+  let again = explain_path st "s1" {|path("a", "c")|} in
+  check bool' "repeat served from cache" true
+    (contains again.Http.resp_body {|"cached":true|});
+  (* live addition: the closure extends without a fresh chase *)
+  let added =
+    Router.handle st
+      (request ~body:{|{"facts":["e(\"c\", \"d\")"]}|} Http.POST
+         [ "v1"; "sessions"; "s1"; "facts" ])
+  in
+  check int' "addition accepted" 200 added.Http.status;
+  check bool' "addition was incremental" true
+    (contains added.Http.resp_body {|"incremental":true|});
+  let extended = explain_path st "s1" {|path("a", "d")|} in
+  check int' "new consequence explainable" 200 extended.Http.status;
+  (* the update touched path, so the cached entry was invalidated *)
+  let refreshed = explain_path st "s1" {|path("a", "c")|} in
+  check bool' "stale entry evicted by the update" true
+    (contains refreshed.Http.resp_body {|"cached":false|});
+  check int' "one chase total: updates maintained it in place" 1
+    (snd (Metrics.cache_counts (Router.metrics st)));
+  (* live retraction: the support chain collapses *)
+  let removed =
+    Router.handle st
+      (request ~body:{|{"facts":["e(\"b\", \"c\")"]}|} Http.DELETE
+         [ "v1"; "sessions"; "s1"; "facts" ])
+  in
+  check int' "retraction accepted" 200 removed.Http.status;
+  check bool' "retraction was incremental" true
+    (contains removed.Http.resp_body {|"incremental":true|});
+  let gone = explain_path st "s1" {|path("a", "c")|} in
+  check int' "withdrawn consequence is gone" 404 gone.Http.status;
+  check bool' "no_explanation code" true
+    (envelope_code gone = Some "no_explanation");
+  (* the live-update series advanced *)
+  let prom =
+    Router.handle st
+      (request ~query:[ "format", "prometheus" ] Http.GET [ "v1"; "metrics" ])
+  in
+  check bool' "incremental rounds series advanced" true
+    (contains prom.Http.resp_body "ekg_chase_incremental_rounds_total"
+    && not
+         (contains prom.Http.resp_body "ekg_chase_incremental_rounds_total 0\n"));
+  check bool' "retracted facts series advanced" true
+    (contains prom.Http.resp_body "ekg_chase_retracted_facts_total"
+    && not (contains prom.Http.resp_body "ekg_chase_retracted_facts_total 0\n"))
+
+let test_router_facts_validation () =
+  let st = Router.make_state () in
+  create_closure_session st;
+  let post body =
+    Router.handle st (request ~body Http.POST [ "v1"; "sessions"; "s1"; "facts" ])
+  in
+  let del body =
+    Router.handle st
+      (request ~body Http.DELETE [ "v1"; "sessions"; "s1"; "facts" ])
+  in
+  check int' "missing facts field" 400 (post {|{}|}).Http.status;
+  check int' "empty facts array" 400 (post {|{"facts":[]}|}).Http.status;
+  check int' "non-string fact" 400 (post {|{"facts":[7]}|}).Http.status;
+  check int' "unparsable atom" 400 (post {|{"facts":["own(\"A\" oops"]}|}).Http.status;
+  check int' "malformed json" 400 (post "{nope").Http.status;
+  (* materialize, then hit the engine-level validations *)
+  check int' "warm explain" 200 (explain_path st "s1" {|path("a", "b")|}).Http.status;
+  let unknown = del {|{"facts":["e(\"z\", \"q\")"]}|} in
+  check int' "unknown fact is 404" 404 unknown.Http.status;
+  check bool' "unknown_fact code" true (envelope_code unknown = Some "unknown_fact");
+  check bool' "unknown_fact not retryable" true
+    (envelope_retryable unknown = Some false);
+  let derived = del {|{"facts":["path(\"a\", \"b\")"]}|} in
+  check int' "derived fact rejected" 400 derived.Http.status;
+  check bool' "invalid_program code" true
+    (envelope_code derived = Some "invalid_program");
+  (* rejected updates must not perturb the session *)
+  let survivor = explain_path st "s1" {|path("a", "c")|} in
+  check int' "session intact after rejections" 200 survivor.Http.status;
+  check int' "GET on facts is 405" 405
+    (Router.handle st (request Http.GET [ "v1"; "sessions"; "s1"; "facts" ])).Http.status
+
+let test_router_facts_selective_invalidation () =
+  (* two independent predicate families: updating one must not evict
+     cached explanations of the other *)
+  let st = Router.make_state () in
+  let program =
+    {|
+e(X, Y) -> path(X, Y).
+path(X, Z), e(Z, Y) -> path(X, Y).
+m(X) -> n(X).
+@goal(path).
+e("a", "b"). m("q").
+|}
+  in
+  let created =
+    Router.handle st
+      (request ~body:(Json.to_string (Json.Obj [ "program", Json.str program ]))
+         Http.POST [ "v1"; "sessions" ])
+  in
+  check int' "created" 201 created.Http.status;
+  check int' "warm n" 200 (explain_path st "s1" {|n("q")|}).Http.status;
+  check int' "warm path" 200 (explain_path st "s1" {|path("a", "b")|}).Http.status;
+  let added =
+    Router.handle st
+      (request ~body:{|{"facts":["e(\"b\", \"c\")"]}|} Http.POST
+         [ "v1"; "sessions"; "s1"; "facts" ])
+  in
+  check int' "edge added" 200 added.Http.status;
+  check bool' "unrelated family survives the update" true
+    (contains (explain_path st "s1" {|n("q")|}).Http.resp_body {|"cached":true|});
+  check bool' "touched family was evicted" true
+    (contains
+       (explain_path st "s1" {|path("a", "b")|}).Http.resp_body
+       {|"cached":false|})
+
+let test_router_facts_aggregate_falls_back () =
+  (* inline_program aggregates (sum), so updates re-chase transparently:
+     same API, [incremental:false], correct answers *)
+  let st = Router.make_state () in
+  let created =
+    Router.handle st
+      (request
+         ~body:(Json.to_string (Json.Obj [ "program", Json.str inline_program ]))
+         Http.POST [ "v1"; "sessions" ])
+  in
+  check int' "created" 201 created.Http.status;
+  check int' "warm explain" 200
+    (explain_path st "s1" {|control("A", "C")|}).Http.status;
+  let removed =
+    Router.handle st
+      (request ~body:{|{"facts":["own(\"B\", \"C\", 0.7)"]}|} Http.DELETE
+         [ "v1"; "sessions"; "s1"; "facts" ])
+  in
+  check int' "retraction accepted" 200 removed.Http.status;
+  check bool' "fallback recompute reported" true
+    (contains removed.Http.resp_body {|"incremental":false|});
+  let gone = explain_path st "s1" {|control("A", "C")|} in
+  check int' "control chain broken" 404 gone.Http.status;
+  let readded =
+    Router.handle st
+      (request ~body:{|{"facts":["own(\"B\", \"C\", 0.7)"]}|} Http.POST
+         [ "v1"; "sessions"; "s1"; "facts" ])
+  in
+  check int' "re-addition accepted" 200 readded.Http.status;
+  check int' "control chain restored" 200
+    (explain_path st "s1" {|control("A", "C")|}).Http.status
+
+let test_registry_update_before_materialize () =
+  (* updates against a dormant session mutate the EDB mirror only; the
+     first materialization sees the updated base *)
+  let reg = Registry.create (Metrics.create ()) in
+  let session =
+    match
+      Registry.add reg
+        (Registry.Inline { program = closure_program; glossary = None })
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "add: %s" e
+  in
+  let atom s =
+    match Ekg_datalog.Parser.parse_atom s with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "atom: %s" e
+  in
+  (match Registry.update_facts reg session `Add [ atom {|e("c", "d")|} ] with
+  | Ok upd ->
+    check bool' "dormant update is not incremental" false
+      upd.Ekg_engine.Chase.upd_incremental;
+    check int' "no chase rounds run" 0 upd.Ekg_engine.Chase.upd_rounds
+  | Error e -> Alcotest.failf "add: %s" (Ekg_engine.Chase.error_to_string e));
+  (match Registry.update_facts reg session `Retract [ atom {|e("a", "b")|} ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "retract: %s" (Ekg_engine.Chase.error_to_string e));
+  (match Registry.update_facts reg session `Retract [ atom {|e("x", "y")|} ] with
+  | Error (Ekg_engine.Chase.Unknown_fact _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Ekg_engine.Chase.error_to_string e)
+  | Ok _ -> Alcotest.fail "unknown retraction accepted on a dormant session");
+  match Registry.materialize reg session with
+  | Error _ -> Alcotest.fail "materialize failed"
+  | Ok r ->
+    let paths =
+      Ekg_engine.Database.active r.Ekg_engine.Chase.db "path"
+      |> List.map Ekg_engine.Fact.to_string
+      |> List.sort String.compare
+    in
+    check bool' "materialization reflects the updated base" true
+      (paths = [ {|path("b", "c")|}; {|path("b", "d")|}; {|path("c", "d")|} ])
 
 (* --- loopback integration -------------------------------------------------- *)
 
@@ -708,7 +931,7 @@ let test_server_integration () =
         {|{"name":"cc","program_path":"programs/company_control.vada","glossary_path":"programs/company_control.dict","facts_dir":"data/company_control"}|}
       ()
   in
-  check int' "session created" 201 status;
+  if status <> 201 then Alcotest.failf "session create returned %d: %s" status body;
   check bool' "session id" true (contains body {|"id":"s1"|});
   let explain () =
     http_call ~port ~meth:"POST" ~path:"/v1/sessions/s1/explain"
@@ -718,9 +941,10 @@ let test_server_integration () =
   check int' "explain status" 200 status;
   check bool' "explanation text present" true
     (contains body "exercises control over");
-  (* the second identical request must be a registry cache hit *)
-  let status, _, _ = explain () in
+  (* the second identical request is served from the explanation cache *)
+  let status, _, body = explain () in
   check int' "second explain status" 200 status;
+  check bool' "second explain is cached" true (contains body {|"cached":true|});
   let status, _, body =
     http_call ~port ~meth:"POST" ~path:"/v1/sessions/s1/explain"
       ~body:{|{"query":"control(\"A\" broken"}|} ()
@@ -742,9 +966,19 @@ let test_server_integration () =
   check bool' "batch counts" true (contains body {|"ok":2|});
   let status, _, body = http_call ~port ~meth:"GET" ~path:"/v1/metrics" ~body:"" () in
   check int' "metrics status" 200 status;
-  check bool' "cache hits recorded" true (contains body {|"hits":2|});
+  (* one miss (first explain), one hit (batch): the repeat explain was
+     answered from the explanation cache and never reached the chase *)
+  check bool' "cache hits recorded" true (contains body {|"hits":1|});
   check bool' "one cache miss recorded" true
     (contains body {|"misses":1|});
+  (* live fact update over the wire: company control uses aggregation, so
+     the update falls back to a full recompute but still succeeds *)
+  let status, _, body =
+    http_call ~port ~meth:"POST" ~path:"/v1/sessions/s1/facts"
+      ~body:{|{"facts":["own(\"D\", \"Z\", 0.9)"]}|} ()
+  in
+  check int' "facts add over the wire" 200 status;
+  check bool' "update reports the op" true (contains body {|"op":"add"|});
   let status, _, body =
     http_call ~port ~meth:"GET" ~path:"/v1/metrics?format=prometheus" ~body:"" ()
   in
@@ -754,7 +988,9 @@ let test_server_integration () =
   check bool' "chase series after explain" true
     (contains body "ekg_chase_rounds_total");
   check bool' "stage series after explain" true
-    (contains body "ekg_pipeline_stage_seconds_total")
+    (contains body "ekg_pipeline_stage_seconds_total");
+  check bool' "incremental series after update" true
+    (contains body "ekg_chase_incremental_rounds_total")
 
 let test_server_shedding () =
   (* high_water = 0: every non-probe request is shed deterministically,
@@ -908,6 +1144,17 @@ let () =
           Alcotest.test_case "deadline 504" `Quick test_router_deadline_504;
           Alcotest.test_case "degraded explain" `Quick test_router_degraded_explain;
           Alcotest.test_case "batch explain" `Quick test_router_batch_explain;
+        ] );
+      ( "facts-updates",
+        [
+          Alcotest.test_case "live add/retract" `Quick test_router_facts_live_updates;
+          Alcotest.test_case "validation" `Quick test_router_facts_validation;
+          Alcotest.test_case "selective cache invalidation" `Quick
+            test_router_facts_selective_invalidation;
+          Alcotest.test_case "aggregate falls back" `Quick
+            test_router_facts_aggregate_falls_back;
+          Alcotest.test_case "dormant session updates" `Quick
+            test_registry_update_before_materialize;
         ] );
       ( "integration",
         [
