@@ -770,6 +770,9 @@ let edb_atoms (res : result) =
   done;
   !acc
 
+let copy_result (res : result) =
+  { res with db = Database.copy res.db; prov = Provenance.copy res.prov }
+
 let ground_tuple (a : Atom.t) =
   if not (Atom.is_ground a) then Error (Invalid_edb ("non-ground fact: " ^ Atom.to_string a))
   else

@@ -266,10 +266,19 @@ val run_exn :
     chase-order-dependent) — transparently fall back to a full
     re-chase over the updated extensional base; {!update} reports which
     path ran.  The input [result] is mutated in place on the
-    incremental path and untouched by the fallback; after an [Error]
-    other than a client error, the mutated state is unspecified and the
-    caller must discard it (the server's registry drops its cached
-    materialization and re-chases from the session's fact list). *)
+    incremental path and untouched by the fallback.
+
+    {b Error contract.}  Validation errors ({!Invalid_edb},
+    {!Unknown_fact}) are raised before any mutation, so on those the
+    input is untouched.  {!Inconsistent} — a negative constraint fired
+    by the update — and budget trips are only detected {e after} the
+    incremental pass has mutated the database, so on those the mutated
+    state is unspecified and the caller must discard it.  Callers that
+    publish results to concurrent readers should therefore apply
+    updates to a {!copy_result} copy and swap the pointer on success,
+    which is what the server's registry does: its served snapshot is
+    never mutated, so lock-free readers stay safe and every failed
+    update leaves the pre-update state servable. *)
 
 type update = {
   upd_incremental : bool;
@@ -299,6 +308,13 @@ val edb_atoms : result -> Atom.t list
 (** The active extensional facts as ground atoms, in insertion order —
     the fact base a cold re-chase of this result would start from. *)
 
+val copy_result : result -> result
+(** Deep copy of a materialization — database, indexes, provenance —
+    sharing only immutable values.  {!add_facts} / {!retract_facts}
+    applied to the copy leave the original (and any reader holding it)
+    untouched, enabling copy-on-write publication under concurrency.
+    O(facts + index entries), well below a re-chase. *)
+
 val add_facts :
   ?domains:int ->
   ?max_rounds:int ->
@@ -313,7 +329,11 @@ val add_facts :
     no-ops; an atom matching a previously derived fact makes that fact
     extensional (as a cold chase on the new base would).  [budget] and
     [max_rounds] bound the propagation exactly as in {!run};
-    [domains] fans the match phases out over a {!Par} pool. *)
+    [domains] fans the match phases out over a {!Par} pool.  An
+    addition that fires a negative constraint fails with
+    {!Inconsistent} only after the fixpoint was restored — [res] is
+    then mutated and must be discarded (see the error contract
+    above). *)
 
 val retract_facts :
   ?domains:int ->
@@ -327,5 +347,9 @@ val retract_facts :
     [facts] and every consequence that no longer has a derivation.
     Fails with {!Unknown_fact} when a named fact is not active
     extensional data, and with {!Invalid_edb} when it is a derived
-    fact; validation completes before any mutation, so a failed request
-    leaves [res] untouched. *)
+    fact; validation completes before any mutation, so a request
+    failing validation leaves [res] untouched.  A retraction can still
+    fail {e after} mutation: under stratified negation a deletion may
+    enable a later-stratum negative constraint, surfacing as
+    {!Inconsistent} with [res] mutated (see the error contract
+    above). *)

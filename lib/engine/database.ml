@@ -59,6 +59,31 @@ let create () =
     null_counter = 0;
   }
 
+let copy t =
+  (* facts and their tuples are immutable once inserted, so sharing the
+     Fact.t values is safe; every mutable container is copied.  Unused
+     by_pred slots alias one shared empty vector, exactly as in
+     [create] — [intern] installs a fresh posting before any push. *)
+  let by_pred =
+    Array.make (Array.length t.by_pred) (Intvec.create ~capacity:0 ())
+  in
+  for sym = 0 to Symtab.size t.syms - 1 do
+    by_pred.(sym) <- Intvec.copy t.by_pred.(sym)
+  done;
+  let by_arg = ArgTbl.create (max 1024 (ArgTbl.length t.by_arg)) in
+  ArgTbl.iter (fun k vec -> ArgTbl.add by_arg k (Intvec.copy vec)) t.by_arg;
+  {
+    syms = Symtab.copy t.syms;
+    facts = Array.copy t.facts;
+    fact_syms = Intvec.copy t.fact_syms;
+    by_key = KeyTbl.copy t.by_key;
+    by_pred;
+    by_arg;
+    inactive = Hashtbl.copy t.inactive;
+    next_id = t.next_id;
+    null_counter = t.null_counter;
+  }
+
 let intern t pred =
   let before = Symtab.size t.syms in
   let sym = Symtab.intern t.syms pred in

@@ -14,6 +14,13 @@ type t
 
 val create : unit -> t
 
+val copy : t -> t
+(** Independent copy of the full store — facts, ids, indexes,
+    activation state, null counter.  Mutations to either database never
+    show through the other, so a reader can keep using the original
+    while an incremental update runs against the copy
+    ({!Chase.copy_result}).  O(facts + index entries). *)
+
 val add : t -> string -> Value.t array -> [ `Added of Fact.t | `Existing of Fact.t ]
 (** Insert or retrieve. A previously deactivated identical tuple is
     treated as existing (it is not resurrected). *)

@@ -4,6 +4,7 @@ type t = {
 }
 
 let create ?(capacity = 8) () = { data = Array.make (max 1 capacity) 0; len = 0 }
+let copy t = { data = Array.copy t.data; len = t.len }
 
 let length t = t.len
 

@@ -12,6 +12,10 @@ val create : ?capacity:int -> unit -> t
 (** An empty vector; [capacity] (default [8]) pre-sizes the backing
     array. *)
 
+val copy : t -> t
+(** Independent copy: pushes to either vector leave the other
+    untouched. *)
+
 val length : t -> int
 
 val get : t -> int -> int

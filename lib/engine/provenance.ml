@@ -20,6 +20,12 @@ type t = {
 
 let create () = { derivations = Hashtbl.create 256; superseded = Hashtbl.create 16 }
 
+let copy t =
+  (* derivation records are immutable; the per-fact list refs are not *)
+  let derivations = Hashtbl.create (max 256 (Hashtbl.length t.derivations)) in
+  Hashtbl.iter (fun id ds -> Hashtbl.add derivations id (ref !ds)) t.derivations;
+  { derivations; superseded = Hashtbl.copy t.superseded }
+
 let record t ~fact_id d =
   match Hashtbl.find_opt t.derivations fact_id with
   | None -> Hashtbl.add t.derivations fact_id (ref [ d ])

@@ -25,6 +25,11 @@ type t
 
 val create : unit -> t
 
+val copy : t -> t
+(** Independent copy: recording or forgetting derivations on either
+    side never shows through the other (the companion of
+    {!Database.copy} inside {!Chase.copy_result}). *)
+
 val record : t -> fact_id:int -> derivation -> unit
 (** The first derivation becomes the fact's primary one (the chase adds
     each fact once); later distinct derivations are kept as

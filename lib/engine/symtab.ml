@@ -7,6 +7,7 @@ type t = {
 let create ?(capacity = 16) () =
   { index = Hashtbl.create capacity; names = Array.make (max 1 capacity) ""; n = 0 }
 
+let copy t = { index = Hashtbl.copy t.index; names = Array.copy t.names; n = t.n }
 let size t = t.n
 
 let intern t s =

@@ -9,6 +9,10 @@ type t
 
 val create : ?capacity:int -> unit -> t
 
+val copy : t -> t
+(** Independent copy with the same name ↔ symbol assignment; later
+    interns on either table leave the other untouched. *)
+
 val intern : t -> string -> int
 (** The symbol for a name, allocating the next dense id on first use. *)
 

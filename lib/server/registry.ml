@@ -17,6 +17,7 @@ type session = {
   lock : Mutex.t;
   mutable chase : Chase.result option;
   explain_cache : (string * string, cached_explanation) Hashtbl.t;
+  mutable update_gen : int;
   mutable explain_count : int;
   mutable last_trace : Ekg_obs.Trace.span option;
 }
@@ -129,6 +130,7 @@ let add t ?name spec =
             lock = Mutex.create ();
             chase = None;
             explain_cache = Hashtbl.create 16;
+            update_gen = 0;
             explain_count = 0;
             last_trace = None;
           }
@@ -226,10 +228,18 @@ let cached_explanations (session : session) ~strategy ~query =
         (fun e -> e.explanations)
         (Hashtbl.find_opt session.explain_cache (strategy, query)))
 
-let cache_explanations (session : session) ~strategy ~query ~preds explanations =
+let generation (session : session) =
+  with_lock session.lock (fun () -> session.update_gen)
+
+let cache_explanations (session : session) ~generation ~strategy ~query ~preds
+    explanations =
   with_lock session.lock (fun () ->
-      Hashtbl.replace session.explain_cache (strategy, query)
-        { explanations; preds })
+      (* a fact update committed while this result was being computed:
+         its invalidation already ran, so storing the pre-update result
+         now would resurrect exactly what it evicted — drop it *)
+      if session.update_gen = generation then
+        Hashtbl.replace session.explain_cache (strategy, query)
+          { explanations; preds })
 
 let record_update t (upd : Chase.update) =
   Ekg_obs.Metrics.add t.obs
@@ -269,10 +279,18 @@ let update_edb_only (session : session) op atoms =
     in
     match op with
     | `Add ->
+      (* dedupe against the mirror and within the request itself — a
+         repeated atom must not enter the base twice *)
       let fresh =
-        List.filter
-          (fun a -> not (List.exists (Atom.equal a) session.edb))
-          atoms
+        List.rev
+          (List.fold_left
+             (fun acc a ->
+               if
+                 List.exists (Atom.equal a) session.edb
+                 || List.exists (Atom.equal a) acc
+               then acc
+               else a :: acc)
+             [] atoms)
       in
       session.edb <- session.edb @ fresh;
       Ok (upd ~added:(List.length fresh) ~retracted:0)
@@ -305,28 +323,34 @@ let update_facts ?(budget = Chase.unlimited) t (session : session) op atoms =
             | `Add -> Pipeline.add_facts
             | `Retract -> Pipeline.retract_facts
           in
+          (* Copy-on-write: explain handlers read the published result
+             lock-free once [materialize] returns, and the incremental
+             engine mutates in place — including on failures it only
+             detects after mutating (Inconsistent, budget trips).  So
+             the update runs against a private copy and is published by
+             pointer swap on success; every error path discards the
+             copy, leaving the served snapshot, the EDB mirror and the
+             explanation cache exactly as they were.  The
+             non-incrementable fallback re-chases without touching its
+             input, so it needs no copy. *)
+          let target =
+            if Pipeline.incrementable session.pipeline then
+              Chase.copy_result res
+            else res
+          in
           match
-            apply ~domains:t.chase_domains ~budget session.pipeline res atoms
+            apply ~domains:t.chase_domains ~budget session.pipeline target atoms
           with
           | Ok (res', upd) ->
             session.chase <- Some res';
             (* the engine's view of the base is now authoritative *)
             session.edb <- Chase.edb_atoms res';
             Ok upd
-          | Error e when Chase.client_error e ->
-            (* rejected before any mutation: state and cache are intact *)
-            Error e
-          | Error e ->
-            (* mid-update budget trip or engine failure: the maintained
-               state is unspecified, so drop it — the EDB mirror still
-               holds the last successfully updated base, and the next
-               materialization recomputes from it *)
-            session.chase <- None;
-            Hashtbl.reset session.explain_cache;
-            Error e)
+          | Error _ as e -> e)
       in
       match outcome with
       | Ok upd ->
+        session.update_gen <- session.update_gen + 1;
         invalidate_cache_locked session upd.Chase.upd_changed_preds;
         record_update t upd;
         Ok upd

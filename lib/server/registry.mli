@@ -25,10 +25,20 @@ type session = {
   mutable edb : Atom.t list;   (** current extensional base (live-updated) *)
   created_at : float;
   lock : Mutex.t;              (** guards every mutable field *)
-  mutable chase : Chase.result option;  (** cached materialization *)
+  mutable chase : Chase.result option;
+      (** cached materialization.  Published results are immutable:
+          {!update_facts} mutates a private {!Chase.copy_result} copy
+          and swaps this pointer on success, so readers that obtained
+          the result via {!materialize} may keep using it without the
+          session lock. *)
   explain_cache : (string * string, cached_explanation) Hashtbl.t;
       (** finished explanations keyed by (strategy, query text);
           entries survive fact updates that cannot affect them *)
+  mutable update_gen : int;
+      (** bumped by every committed fact update; {!cache_explanations}
+          refuses to store a result computed under an older generation,
+          so an update racing a long explanation cannot have its cache
+          invalidation undone *)
   mutable explain_count : int;
   mutable last_trace : Ekg_obs.Trace.span option;
       (** the finished root span of the session's most recent explain
@@ -104,31 +114,44 @@ val update_facts :
   [ `Add | `Retract ] ->
   Atom.t list ->
   (Chase.update, Chase.error) result
-(** Mutate the session's fact base in place — the
+(** Mutate the session's fact base — the
     [POST|DELETE /v1/sessions/:id/facts] handler.  With a cached
-    materialization the engine maintains it incrementally
-    ({!Pipeline.add_facts} / {!Pipeline.retract_facts}); without one
-    only the dormant EDB mirror changes and the next materialization
-    picks up the new base.  Cached explanations whose predicates
-    intersect the update's [upd_changed_preds] are invalidated; the
-    rest survive, as do the session's compiled templates.
+    materialization the engine maintains a private
+    {!Chase.copy_result} copy incrementally ({!Pipeline.add_facts} /
+    {!Pipeline.retract_facts}) and publishes it by pointer swap, so
+    concurrent explanation requests keep reading the previous,
+    immutable snapshot throughout; without one only the dormant EDB
+    mirror changes and the next materialization picks up the new base
+    (added atoms are deduplicated against the mirror and within the
+    request).  Cached explanations whose predicates intersect the
+    update's [upd_changed_preds] are invalidated; the rest survive, as
+    do the session's compiled templates.
 
-    A client error (non-ground addition, unknown or intensional
-    retraction) leaves the session untouched.  Any other error — a
-    budget trip mid-update, an engine failure — discards the cached
-    materialization and the whole explanation cache: the EDB mirror
-    still holds the last successfully updated base, so a later request
-    recomputes from a consistent state.  Advances the
-    {!incremental_rounds_metric} and {!retracted_facts_metric} series
-    on success. *)
+    {e Every} error leaves the session exactly as it was — the served
+    materialization, the EDB mirror and the explanation cache all
+    predate the failed request.  That covers validation errors
+    (non-ground addition, unknown or intensional retraction), budget
+    trips mid-propagation, and {!Chase.Inconsistent} (409): the engine
+    detects a constraint violation only after mutating, but it mutated
+    the discarded private copy, never the published snapshot.
+    Advances the {!incremental_rounds_metric} and
+    {!retracted_facts_metric} series and the session's [update_gen] on
+    success. *)
 
 val cached_explanations :
   session -> strategy:string -> query:string -> Pipeline.explanation list option
 (** The cached result of an identical earlier explanation request, if
     no intervening fact update could have changed it. *)
 
+val generation : session -> int
+(** The session's current update generation.  Capture it before
+    computing an explanation and hand it to {!cache_explanations}:
+    the store is then skipped if any fact update committed in
+    between. *)
+
 val cache_explanations :
   session ->
+  generation:int ->
   strategy:string ->
   query:string ->
   preds:string list ->
@@ -136,7 +159,10 @@ val cache_explanations :
   unit
 (** Cache a finished (non-degraded) explanation result under
     (strategy, query); [preds] lists the predicates whose change must
-    evict it. *)
+    evict it.  A no-op when the session's update generation no longer
+    equals [generation] — the result predates a committed fact update
+    whose invalidation already ran, so caching it would serve stale
+    explanations as [cached:true]. *)
 
 val note_explain : session -> unit
 (** Bump the session's explanation-request counter. *)

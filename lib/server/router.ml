@@ -261,6 +261,10 @@ let explain st ~trace_id ~deadline_s (session : Registry.session)
           match Registry.cached_explanations session ~strategy:tag ~query:key with
           | Some explanations -> answer ~cached:true ~degraded:false explanations
           | None ->
+            (* captured before computing: if a fact update commits while
+               the explanation runs, the store below becomes a no-op
+               instead of resurrecting an already-invalidated entry *)
+            let generation = Registry.generation session in
             let budget = { Chase.unlimited with deadline_s = Some deadline_s } in
             let degrade () = Ekg_obs.Clock.now_s () >= deadline_s in
             let root = ref None in
@@ -290,7 +294,8 @@ let explain st ~trace_id ~deadline_s (session : Registry.session)
                   (* degraded results carry skeletons, not prose — not
                      worth pinning in the cache *)
                   if not degraded then
-                    Registry.cache_explanations session ~strategy:tag ~query:key
+                    Registry.cache_explanations session ~generation
+                      ~strategy:tag ~query:key
                       ~preds:(explanation_preds atom explanations)
                       explanations;
                   answer ~cached:false ~degraded explanations)

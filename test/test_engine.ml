@@ -1410,6 +1410,47 @@ path(X, X) -> false.
   | Error e -> Alcotest.failf "wrong error: %s" (Chase.error_to_string e)
   | Ok _ -> Alcotest.fail "cycle admitted despite acyclicity constraint"
 
+let test_copy_result_isolated () =
+  (* the copy-on-write primitive the concurrent server builds on:
+     updates through either side never show through the other *)
+  let program, res = run_atoms tc_src [ edge "a" "b"; edge "b" "c" ] in
+  let before = Database.fingerprint res.Chase.db in
+  let copy = Chase.copy_result res in
+  check string' "copy starts content-identical" before
+    (Database.fingerprint copy.Chase.db);
+  let copy', _ = update_exn (Chase.add_facts program copy [ edge "c" "d" ]) in
+  check bool' "update visible through the copy" true
+    (List.mem {|path("a", "d")|} (actives copy' "path"));
+  check string' "original untouched by the copy's update" before
+    (Database.fingerprint res.Chase.db);
+  let copy_fp = Database.fingerprint copy'.Chase.db in
+  let res', _ = update_exn (Chase.retract_facts program res [ edge "b" "c" ]) in
+  check string' "copy untouched by the original's update" copy_fp
+    (Database.fingerprint copy'.Chase.db);
+  check_matches_cold "original's update = cold chase" program res'
+    [ edge "a" "b" ];
+  check_matches_cold "copy's update = cold chase" program copy'
+    [ edge "a" "b"; edge "b" "c"; edge "c" "d" ]
+
+let test_copy_result_isolates_inconsistency () =
+  (* Inconsistent is detected only after mutation — the copy absorbs
+     that mutation, the original stays servable *)
+  let src = {|
+e(X, Y) -> path(X, Y).
+path(X, Z), e(Z, Y) -> path(X, Y).
+path(X, X) -> false.
+@goal(path).
+|}
+  in
+  let program, res = run_atoms src [ edge "a" "b" ] in
+  let before = Database.fingerprint res.Chase.db in
+  (match Chase.add_facts program (Chase.copy_result res) [ edge "b" "a" ] with
+  | Error (Chase.Inconsistent _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Chase.error_to_string e)
+  | Ok _ -> Alcotest.fail "cycle admitted despite acyclicity constraint");
+  check string' "original untouched by the rejected update" before
+    (Database.fingerprint res.Chase.db)
+
 (* every active derived fact of an updated result must still carry a
    well-founded proof over active facts, grounded in the EDB *)
 let proofs_well_founded (res : Chase.result) =
@@ -1635,6 +1676,10 @@ let () =
             test_incr_update_budget_respected;
           Alcotest.test_case "inconsistency detected" `Quick
             test_incr_inconsistent_detected;
+          Alcotest.test_case "copy_result isolates updates" `Quick
+            test_copy_result_isolated;
+          Alcotest.test_case "copy_result isolates inconsistency" `Quick
+            test_copy_result_isolates_inconsistency;
         ] );
       ( "constraints",
         [

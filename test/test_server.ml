@@ -851,6 +851,130 @@ let test_registry_update_before_materialize () =
     check bool' "materialization reflects the updated base" true
       (paths = [ {|path("b", "c")|}; {|path("b", "d")|}; {|path("c", "d")|} ])
 
+(* closure plus a negative constraint the update stream can violate:
+   a cycle edge derives path(X, X) -> false *)
+let acyclic_program = {|
+e(X, Y) -> path(X, Y).
+path(X, Z), e(Z, Y) -> path(X, Y).
+path(X, X) -> false.
+@goal(path).
+e("a", "b"). e("b", "c").
+|}
+
+let test_router_facts_inconsistent_preserves_state () =
+  let st = Router.make_state () in
+  let created =
+    Router.handle st
+      (request
+         ~body:(Json.to_string (Json.Obj [ "program", Json.str acyclic_program ]))
+         Http.POST [ "v1"; "sessions" ])
+  in
+  check int' "created" 201 created.Http.status;
+  check int' "warm explain" 200 (explain_path st "s1" {|path("a", "c")|}).Http.status;
+  check bool' "entry cached" true
+    (contains (explain_path st "s1" {|path("a", "c")|}).Http.resp_body
+       {|"cached":true|});
+  (* the violating addition is the client's fault... *)
+  let violating =
+    Router.handle st
+      (request ~body:{|{"facts":["e(\"c\", \"a\")"]}|} Http.POST
+         [ "v1"; "sessions"; "s1"; "facts" ])
+  in
+  check int' "constraint violation is 409" 409 violating.Http.status;
+  check bool' "inconsistent_program code" true
+    (envelope_code violating = Some "inconsistent_program");
+  (* ...and the session still serves its pre-update state: the engine
+     only detects the violation after mutating, but it mutated a
+     private copy — cache, instance and base are all intact *)
+  check bool' "cache intact after the rejection" true
+    (contains (explain_path st "s1" {|path("a", "c")|}).Http.resp_body
+       {|"cached":true|});
+  check int' "no corrupted consequence served" 404
+    (explain_path st "s1" {|path("a", "a")|}).Http.status;
+  check int' "rejected atom did not enter the base" 404
+    (explain_path st "s1" {|path("c", "a")|}).Http.status;
+  (* the session remains live-updatable after the rejection *)
+  let ok_add =
+    Router.handle st
+      (request ~body:{|{"facts":["e(\"c\", \"d\")"]}|} Http.POST
+         [ "v1"; "sessions"; "s1"; "facts" ])
+  in
+  check int' "later valid addition accepted" 200 ok_add.Http.status;
+  check bool' "still maintained incrementally" true
+    (contains ok_add.Http.resp_body {|"incremental":true|});
+  check int' "new consequence explainable" 200
+    (explain_path st "s1" {|path("a", "d")|}).Http.status
+
+let registry_inline_session reg program =
+  match Registry.add reg (Registry.Inline { program; glossary = None }) with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "add: %s" e
+
+let parse_atom_exn s =
+  match Ekg_datalog.Parser.parse_atom s with
+  | Ok a -> a
+  | Error e -> Alcotest.failf "atom: %s" e
+
+let test_registry_failed_update_keeps_snapshot () =
+  (* a budget trip mid-propagation mutates only the private copy: the
+     published materialization must survive, byte-identical *)
+  let reg = Registry.create (Metrics.create ()) in
+  let session = registry_inline_session reg closure_program in
+  let before =
+    match Registry.materialize reg session with
+    | Ok r -> Ekg_engine.Database.fingerprint r.Ekg_engine.Chase.db
+    | Error e ->
+      Alcotest.failf "materialize: %s" (Ekg_engine.Chase.error_to_string e)
+  in
+  let budget = Ekg_engine.Chase.budget ~cancel:(fun () -> true) () in
+  (match
+     Registry.update_facts ~budget reg session `Add
+       [ parse_atom_exn {|e("c", "d")|} ]
+   with
+  | Error (Ekg_engine.Chase.Cancelled _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Ekg_engine.Chase.error_to_string e)
+  | Ok _ -> Alcotest.fail "cancelled update succeeded");
+  match session.Registry.chase with
+  | None -> Alcotest.fail "failed update dropped the materialization"
+  | Some r ->
+    check string' "served snapshot identical after the failed update" before
+      (Ekg_engine.Database.fingerprint r.Ekg_engine.Chase.db)
+
+let test_registry_duplicate_add_deduped () =
+  (* a request repeating an atom adds it to the dormant mirror once *)
+  let reg = Registry.create (Metrics.create ()) in
+  let session = registry_inline_session reg closure_program in
+  let dup = parse_atom_exn {|e("c", "d")|} in
+  (match Registry.update_facts reg session `Add [ dup; dup ] with
+  | Ok upd -> check int' "repeated atom counted once" 1 upd.Ekg_engine.Chase.upd_added
+  | Error e -> Alcotest.failf "add: %s" (Ekg_engine.Chase.error_to_string e));
+  check int' "mirror holds it once" 3 (List.length session.Registry.edb);
+  match Registry.update_facts reg session `Add [ dup ] with
+  | Ok upd -> check int' "re-adding is a no-op" 0 upd.Ekg_engine.Chase.upd_added
+  | Error e -> Alcotest.failf "re-add: %s" (Ekg_engine.Chase.error_to_string e)
+
+let test_registry_stale_generation_not_cached () =
+  (* an explanation computed before an update committed must not be
+     stored after the update's invalidation ran *)
+  let reg = Registry.create (Metrics.create ()) in
+  let session = registry_inline_session reg closure_program in
+  let stale_gen = Registry.generation session in
+  (match
+     Registry.update_facts reg session `Add [ parse_atom_exn {|e("c", "d")|} ]
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "add: %s" (Ekg_engine.Chase.error_to_string e));
+  let strategy = "primary" and query = {|path("a", "c")|} in
+  Registry.cache_explanations session ~generation:stale_gen ~strategy ~query
+    ~preds:[ "path" ] [];
+  check bool' "stale store dropped" true
+    (Registry.cached_explanations session ~strategy ~query = None);
+  Registry.cache_explanations session
+    ~generation:(Registry.generation session)
+    ~strategy ~query ~preds:[ "path" ] [];
+  check bool' "current-generation store lands" true
+    (Registry.cached_explanations session ~strategy ~query = Some [])
+
 (* --- loopback integration -------------------------------------------------- *)
 
 let http_call ?(headers = []) ~port ~meth ~path ~body () =
@@ -1155,6 +1279,14 @@ let () =
             test_router_facts_aggregate_falls_back;
           Alcotest.test_case "dormant session updates" `Quick
             test_registry_update_before_materialize;
+          Alcotest.test_case "inconsistent update preserves state" `Quick
+            test_router_facts_inconsistent_preserves_state;
+          Alcotest.test_case "failed update keeps snapshot" `Quick
+            test_registry_failed_update_keeps_snapshot;
+          Alcotest.test_case "duplicate add deduped" `Quick
+            test_registry_duplicate_add_deduped;
+          Alcotest.test_case "stale generation not cached" `Quick
+            test_registry_stale_generation_not_cached;
         ] );
       ( "integration",
         [
