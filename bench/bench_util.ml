@@ -19,6 +19,23 @@ let time_ms f =
   let t1 = Unix.gettimeofday () in
   (result, (t1 -. t0) *. 1000.)
 
+(* Write a result artifact (BENCH_chase.json and friends) via tmp file
+   + rename so an interrupted run leaves the previous complete file in
+   place instead of a truncated one. *)
+let write_file_atomic path contents =
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  let oc = open_out tmp in
+  (match
+     output_string oc contents;
+     flush oc
+   with
+  | () -> close_out oc
+  | exception e ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  Sys.rename tmp path
+
 (* --- stage spans -----------------------------------------------------------
 
    One process-wide tracer whose finish hook aggregates self time per

@@ -10,21 +10,49 @@ open Cmdliner
 open Ekg_server
 
 let run host port domains chase_domains root preload fault queue_high_water
-    default_deadline_ms max_deadline_ms =
+    default_deadline_ms max_deadline_ms store_dir snapshot_mode
+    max_hot_sessions =
   (* the --fault flag wins over the EKG_FAULT environment variable *)
   let fault =
     match fault with Some spec -> Fault.parse spec | None -> Fault.of_env ()
   in
-  match fault with
-  | Error e ->
+  let store =
+    match store_dir with
+    | None -> Ok None
+    | Some dir -> Result.map Option.some (Ekg_store.Store.open_dir dir)
+  in
+  let snapshot_mode = Ekg_store.Snapshotter.mode_of_string snapshot_mode in
+  match fault, store, snapshot_mode with
+  | Error e, _, _ | _, Error e, _ | _, _, Error e ->
     Fmt.epr "error: %s@." e;
     1
-  | Ok fault ->
+  | Ok fault, Ok store, Ok snapshot_mode ->
   let state =
     Router.make_state ~root ~chase_domains ~fault
       ~default_deadline_ms:(float_of_int default_deadline_ms)
-      ~max_deadline_ms:(float_of_int max_deadline_ms) ()
+      ~max_deadline_ms:(float_of_int max_deadline_ms) ?store ~snapshot_mode
+      ~max_hot_sessions ()
   in
+  (* crash recovery: re-register every snapshotted session dormant, so
+     the restarted daemon serves explanations without recomputing
+     fixpoints — the first request per session warm-restores from disk *)
+  (match store with
+  | None -> ()
+  | Some s ->
+    let recovered, failed = Registry.recover (Router.registry state) in
+    List.iter
+      (fun (sess : Registry.session) ->
+        Fmt.pr "recovered session %s (%s) from %s@." sess.Registry.id
+          sess.Registry.name
+          (Ekg_store.Store.path s sess.Registry.id))
+      recovered;
+    List.iter
+      (fun (id, reason) ->
+        Fmt.epr "warning: could not recover session %s: %s@." id reason)
+      failed;
+    if recovered <> [] then
+      Fmt.pr "ekg-serve: recovered %d session(s) from %s@."
+        (List.length recovered) (Ekg_store.Store.dir s));
   (* optionally pre-register bundled applications so the daemon is
      immediately queryable, e.g. --preload company-control *)
   let preload_errors =
@@ -58,7 +86,19 @@ let run host port domains chase_domains root preload fault queue_high_water
         host (Server.port server) domains root;
       if fault <> Fault.Off then
         Fmt.pr "ekg-serve: fault injection active: %s@." (Fault.to_string fault);
+      (match store with
+      | None -> ()
+      | Some s ->
+        Fmt.pr "ekg-serve: persisting sessions under %s (snapshot mode %s%s)@."
+          (Ekg_store.Store.dir s)
+          (Ekg_store.Snapshotter.mode_to_string snapshot_mode)
+          (if max_hot_sessions > 0 then
+             Printf.sprintf ", max %d hot" max_hot_sessions
+           else ""));
       Server.wait server;
+      (* drain pending write-behind snapshots before exiting, so the
+         store holds every committed update *)
+      Registry.stop_persistence (Router.registry state);
       Fmt.pr "ekg-serve: drained, bye@.";
       0)
 
@@ -119,6 +159,31 @@ let max_deadline_ms_t =
   let doc = "Cap on the deadline a client may request." in
   Arg.(value & opt int 300_000 & info [ "max-deadline-ms" ] ~docv:"MS" ~doc)
 
+let store_dir_t =
+  let doc =
+    "Directory for persistent session snapshots.  Sessions found there \
+     at startup are recovered dormant (explanations warm-restore from \
+     disk instead of re-chasing); omitting the flag disables \
+     persistence entirely."
+  in
+  Arg.(value & opt (some string) None & info [ "store-dir" ] ~docv:"DIR" ~doc)
+
+let snapshot_mode_t =
+  let doc =
+    "When snapshots are written: 'behind' (default; off the request \
+     path on a dedicated domain, bursts coalesced), 'sync' (inline at \
+     commit), or 'off' (only at eviction).  Ignored without --store-dir."
+  in
+  Arg.(value & opt string "behind" & info [ "snapshot" ] ~docv:"MODE" ~doc)
+
+let max_hot_sessions_t =
+  let doc =
+    "Most sessions allowed to hold an in-memory materialization; \
+     beyond it the least-recently-used are demoted to their snapshot \
+     (0 = unbounded).  Requires --store-dir."
+  in
+  Arg.(value & opt int 0 & info [ "max-hot-sessions" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "explanation service over the template pipeline" in
   let info = Cmd.info "ekg-serve" ~version:"1.0.0" ~doc in
@@ -126,6 +191,7 @@ let cmd =
     Term.(
       const run $ host_t $ port_t $ domains_t $ chase_domains_t $ root_t
       $ preload_t $ fault_t $ queue_high_water_t $ default_deadline_ms_t
-      $ max_deadline_ms_t)
+      $ max_deadline_ms_t $ store_dir_t $ snapshot_mode_t
+      $ max_hot_sessions_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -146,3 +146,11 @@ let explain_query ?strategy ?obs ?parent t result source =
   match Parser.parse_atom source with
   | Error e -> Error e
   | Ok atom -> explain_atom ?strategy ?obs ?parent t result atom
+
+let identity t =
+  (* stable across processes: the program's canonical rendering plus
+     the glossary spec are everything that shapes a materialization and
+     its explanations; compilation artifacts (analysis, templates) are
+     derived from these deterministically *)
+  Digest.to_hex
+    (Digest.string (Program.to_string t.program ^ "\x00" ^ Glossary.to_string t.glossary))

@@ -145,3 +145,12 @@ val explain_query :
   string ->
   (explanation list, string) result
 (** Parse an atom (e.g. ["control(\"B\", \"D\")"]) and explain it. *)
+
+val identity : t -> string
+(** Stable hex digest of the pipeline's {e semantic} inputs — the
+    program's canonical rendering and the glossary spec.  Two pipelines
+    with equal identity materialize identical instances and verbalize
+    identical explanations, so the persistent session store stamps
+    every snapshot with this digest and refuses to warm-restore a
+    materialization under a program that no longer matches
+    (falling back to a cold re-chase instead). *)

@@ -275,3 +275,68 @@ let exists_matching t (pattern : Atom.t) subst =
         Array.length f.Fact.args = arity
         && Subst.match_atom subst ~pattern f.Fact.args <> None)
       (candidates t sym pattern subst)
+
+(* --- snapshot codec ----------------------------------------------------------
+
+   The encoding stores the insertion sequence, not the index
+   structures: [decode] replays every fact through [add] in id order,
+   which rebuilds [by_key]/[by_pred]/[by_arg] and re-interns predicates
+   in exactly the original order (symbols are assigned at first
+   insertion).  The symbol table is still written explicitly so decode
+   can verify the replay reproduced it bit-for-bit. *)
+
+let encode b t =
+  Symtab.encode b t.syms;
+  Wire.w_int b t.next_id;
+  for id = 0 to t.next_id - 1 do
+    let f = t.facts.(id) in
+    Wire.w_int b (Intvec.get t.fact_syms id);
+    Wire.w_int b (Array.length f.Fact.args);
+    Array.iter (Wire.w_value b) f.Fact.args
+  done;
+  Wire.w_int b (Hashtbl.length t.inactive);
+  List.iter (Wire.w_int b)
+    (List.sort Int.compare
+       (Hashtbl.fold (fun id () acc -> id :: acc) t.inactive []));
+  Wire.w_int b t.null_counter
+
+let decode r =
+  let syms = Symtab.decode r in
+  let t = create () in
+  let n = Wire.r_int r in
+  if n < 0 then raise (Wire.Corrupt "Database: negative fact count");
+  for id = 0 to n - 1 do
+    let sym = Wire.r_int r in
+    if sym < 0 || sym >= Symtab.size syms then
+      raise (Wire.Corrupt "Database: fact symbol out of range");
+    let arity = Wire.r_int r in
+    if arity < 0 then raise (Wire.Corrupt "Database: negative arity");
+    let args = Array.make arity (Ekg_kernel.Value.Int 0) in
+    for i = 0 to arity - 1 do
+      args.(i) <- Wire.r_value r
+    done;
+    match add t (Symtab.name syms sym) args with
+    | `Added f when f.Fact.id = id -> ()
+    | `Added _ | `Existing _ ->
+      raise (Wire.Corrupt "Database: replay did not reproduce fact ids")
+  done;
+  if Symtab.size t.syms <> Symtab.size syms then
+    raise (Wire.Corrupt "Database: replay did not reproduce the symbol table");
+  Symtab.iter
+    (fun id name ->
+      if Symtab.find t.syms name <> Some id then
+        raise (Wire.Corrupt "Database: replay did not reproduce the symbol table"))
+    syms;
+  let inactive = Wire.r_int r in
+  if inactive < 0 then raise (Wire.Corrupt "Database: negative inactive count");
+  for _ = 1 to inactive do
+    let id = Wire.r_int r in
+    if id < 0 || id >= t.next_id then
+      raise (Wire.Corrupt "Database: inactive id out of range");
+    deactivate t id
+  done;
+  let null_counter = Wire.r_int r in
+  if null_counter < 0 then
+    raise (Wire.Corrupt "Database: negative null counter");
+  t.null_counter <- null_counter;
+  t

@@ -99,3 +99,15 @@ val pred_sym_of_fact : t -> int -> int
 val pred_card : t -> string -> int
 (** Number of facts ever inserted for the predicate (active +
     inactive), in O(1) — the join planner's cardinality estimate. *)
+
+val encode : Buffer.t -> t -> unit
+(** Snapshot codec hook: the full store — facts in id order, activation
+    state, null counter, symbol table — in the engine's binary wire
+    form.  {!decode} replays the insertion sequence, so the restored
+    database carries identical fact ids, symbols, indexes and
+    {!fingerprint}. *)
+
+val decode : Wire.reader -> t
+(** Raises {!Wire.Truncated} / {!Wire.Corrupt} on malformed input,
+    including replays that fail to reproduce the recorded ids or
+    symbol table. *)

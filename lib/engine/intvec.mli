@@ -34,3 +34,11 @@ val exists : (int -> bool) -> t -> bool
 
 val to_list : t -> int list
 (** In insertion order. *)
+
+val encode : Buffer.t -> t -> unit
+(** Snapshot codec hook: varint length followed by the elements —
+    {!decode} restores an equal vector ({!Ekg_store} composes these
+    into session snapshot files). *)
+
+val decode : Wire.reader -> t
+(** Raises {!Wire.Truncated} / {!Wire.Corrupt} on malformed input. *)

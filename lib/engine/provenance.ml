@@ -75,3 +75,103 @@ let to_digraph t db =
         !ds)
     t.derivations;
   g
+
+(* --- snapshot codec ---------------------------------------------------------- *)
+
+let w_subst b s =
+  let bindings = Subst.to_list s in
+  Wire.w_int b (List.length bindings);
+  List.iter
+    (fun (v, value) ->
+      Wire.w_string b v;
+      Wire.w_value b value)
+    bindings
+
+let r_subst r =
+  let n = Wire.r_int r in
+  if n < 0 then raise (Wire.Corrupt "Provenance: negative binding count");
+  let rec go n acc =
+    if n = 0 then Subst.of_list (List.rev acc)
+    else begin
+      let v = Wire.r_string r in
+      let value = Wire.r_value r in
+      go (n - 1) ((v, value) :: acc)
+    end
+  in
+  go n []
+
+let encode b t =
+  Wire.w_int b (Hashtbl.length t.derivations);
+  (* ascending fact id, so equal graphs encode to equal bytes *)
+  List.iter
+    (fun id ->
+      let ds =
+        match Hashtbl.find_opt t.derivations id with
+        | Some ds -> !ds
+        | None -> assert false
+      in
+      Wire.w_int b id;
+      Wire.w_int b (List.length ds);
+      List.iter
+        (fun d ->
+          Wire.w_string b d.rule_id;
+          Wire.w_int_list b d.premises;
+          w_subst b d.binding;
+          Wire.w_int b (List.length d.contributors);
+          List.iter
+            (fun c ->
+              Wire.w_int_list b c.facts;
+              w_subst b c.binding)
+            d.contributors;
+          Wire.w_int b d.round)
+        ds)
+    (derived_ids t);
+  Wire.w_int b (Hashtbl.length t.superseded);
+  List.iter
+    (fun (old_fact, by) ->
+      Wire.w_int b old_fact;
+      Wire.w_int b by)
+    (List.sort compare
+       (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.superseded []))
+
+let decode r =
+  let t = create () in
+  let n_facts = Wire.r_int r in
+  if n_facts < 0 then raise (Wire.Corrupt "Provenance: negative fact count");
+  for _ = 1 to n_facts do
+    let fact_id = Wire.r_int r in
+    let n_ds = Wire.r_int r in
+    if n_ds < 0 then
+      raise (Wire.Corrupt "Provenance: negative derivation count");
+    for _ = 1 to n_ds do
+      let rule_id = Wire.r_string r in
+      let premises = Wire.r_int_list r in
+      let binding = r_subst r in
+      let n_cs = Wire.r_int r in
+      if n_cs < 0 then
+        raise (Wire.Corrupt "Provenance: negative contributor count");
+      let contributors = ref [] in
+      for _ = 1 to n_cs do
+        let facts = Wire.r_int_list r in
+        let binding = r_subst r in
+        contributors := { facts; binding } :: !contributors
+      done;
+      let round = Wire.r_int r in
+      record t ~fact_id
+        {
+          rule_id;
+          premises;
+          binding;
+          contributors = List.rev !contributors;
+          round;
+        }
+    done
+  done;
+  let n_sup = Wire.r_int r in
+  if n_sup < 0 then raise (Wire.Corrupt "Provenance: negative superseded count");
+  for _ = 1 to n_sup do
+    let old_fact = Wire.r_int r in
+    let by = Wire.r_int r in
+    record_superseded t ~old_fact ~by
+  done;
+  t

@@ -65,3 +65,12 @@ val derived_ids : t -> int list
 val to_digraph : t -> Database.t -> string Ekg_graph.Digraph.t
 (** Chase graph as a digraph whose nodes are rendered facts and whose
     edge labels are rule ids — the shape of the paper's Figure 8. *)
+
+val encode : Buffer.t -> t -> unit
+(** Snapshot codec hook: every derivation (alternatives included, in
+    recorded order) and the superseded table, in deterministic fact-id
+    order — the companion of {!Database.encode} inside a session
+    snapshot. *)
+
+val decode : Wire.reader -> t
+(** Raises {!Wire.Truncated} / {!Wire.Corrupt} on malformed input. *)

@@ -35,3 +35,19 @@ let iter f t =
   for id = 0 to t.n - 1 do
     f id t.names.(id)
   done
+
+let encode b t =
+  Wire.w_int b t.n;
+  for id = 0 to t.n - 1 do
+    Wire.w_string b t.names.(id)
+  done
+
+let decode r =
+  let n = Wire.r_int r in
+  if n < 0 then raise (Wire.Corrupt "Symtab: negative size");
+  let t = create ~capacity:(max 1 n) () in
+  for expected = 0 to n - 1 do
+    if intern t (Wire.r_string r) <> expected then
+      raise (Wire.Corrupt "Symtab: duplicate name")
+  done;
+  t

@@ -27,3 +27,10 @@ val size : t -> int
 
 val iter : (int -> string -> unit) -> t -> unit
 (** In symbol order. *)
+
+val encode : Buffer.t -> t -> unit
+(** Snapshot codec hook: the interned names in symbol order, so
+    {!decode} reproduces the exact name ↔ symbol assignment. *)
+
+val decode : Wire.reader -> t
+(** Raises {!Wire.Truncated} / {!Wire.Corrupt} on malformed input. *)

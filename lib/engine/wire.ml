@@ -1,0 +1,136 @@
+open Ekg_kernel
+
+exception Truncated
+exception Corrupt of string
+
+(* --- writing ---------------------------------------------------------------- *)
+
+let w_u8 b n = Buffer.add_char b (Char.chr (n land 0xff))
+
+(* zigzag maps ..., -2, -1, 0, 1, 2, ... to 3, 1, 0, 2, 4, ... so the
+   LEB128 varint of a small magnitude is short regardless of sign *)
+let w_int b n =
+  let u = (n lsl 1) lxor (n asr (Sys.int_size - 1)) in
+  let rec go u =
+    if u land lnot 0x7f = 0 then w_u8 b u
+    else begin
+      w_u8 b (0x80 lor (u land 0x7f));
+      go (u lsr 7)
+    end
+  in
+  go u
+
+let w_float b f =
+  let bits = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    w_u8 b (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff)
+  done
+
+let w_bool b v = w_u8 b (if v then 1 else 0)
+
+let w_string b s =
+  w_int b (String.length s);
+  Buffer.add_string b s
+
+let w_value b (v : Value.t) =
+  match v with
+  | Value.Int n ->
+    w_u8 b 0;
+    w_int b n
+  | Value.Num f ->
+    w_u8 b 1;
+    w_float b f
+  | Value.Str s ->
+    w_u8 b 2;
+    w_string b s
+  | Value.Bool v ->
+    w_u8 b 3;
+    w_bool b v
+  | Value.Null i ->
+    w_u8 b 4;
+    w_int b i
+
+let w_int_list b xs =
+  w_int b (List.length xs);
+  List.iter (w_int b) xs
+
+(* --- reading ---------------------------------------------------------------- *)
+
+type reader = {
+  data : string;
+  mutable p : int;
+}
+
+let reader ?(pos = 0) data =
+  if pos < 0 || pos > String.length data then raise Truncated;
+  { data; p = pos }
+
+let pos r = r.p
+let remaining r = String.length r.data - r.p
+
+let skip r n =
+  if n < 0 || remaining r < n then raise Truncated;
+  r.p <- r.p + n
+
+let r_u8 r =
+  if r.p >= String.length r.data then raise Truncated;
+  let c = Char.code (String.unsafe_get r.data r.p) in
+  r.p <- r.p + 1;
+  c
+
+let r_int r =
+  let rec go shift acc =
+    if shift > Sys.int_size then raise (Corrupt "varint overflow");
+    let byte = r_u8 r in
+    let acc = acc lor ((byte land 0x7f) lsl shift) in
+    if byte land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  let u = go 0 0 in
+  (u lsr 1) lxor (-(u land 1))
+
+let r_float r =
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (r_u8 r)) (8 * i))
+  done;
+  Int64.float_of_bits !bits
+
+let r_bool r =
+  match r_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | n -> raise (Corrupt (Printf.sprintf "bool tag %d" n))
+
+let r_bytes r n =
+  if n < 0 then raise (Corrupt "negative byte count");
+  if remaining r < n then raise Truncated;
+  let s = String.sub r.data r.p n in
+  r.p <- r.p + n;
+  s
+
+let r_string r =
+  let n = r_int r in
+  if n < 0 then raise (Corrupt "negative string length");
+  r_bytes r n
+
+let r_value r =
+  match r_u8 r with
+  | 0 -> Value.Int (r_int r)
+  | 1 -> Value.Num (r_float r)
+  | 2 -> Value.Str (r_string r)
+  | 3 -> Value.Bool (r_bool r)
+  | 4 -> Value.Null (r_int r)
+  | n -> raise (Corrupt (Printf.sprintf "value tag %d" n))
+
+let r_int_list r =
+  let n = r_int r in
+  if n < 0 then raise (Corrupt "negative list length");
+  let rec go n acc = if n = 0 then List.rev acc else go (n - 1) (r_int r :: acc) in
+  go n []
+
+let expect_magic r magic =
+  let n = String.length magic in
+  if remaining r < n then raise Truncated;
+  let got = String.sub r.data r.p n in
+  r.p <- r.p + n;
+  String.equal got magic

@@ -8,10 +8,17 @@ type cached_explanation = {
   preds : string list;  (* predicates whose change invalidates the entry *)
 }
 
+type spec =
+  | App of string
+  | Files of { program : string; glossary : string option; facts_dir : string option }
+  | Inline of { program : string; glossary : string option }
+
 type session = {
   id : string;
   name : string;
+  spec : spec;
   pipeline : Pipeline.t;
+  program_hash : string;
   mutable edb : Atom.t list;
   created_at : float;
   lock : Mutex.t;
@@ -20,12 +27,15 @@ type session = {
   mutable update_gen : int;
   mutable explain_count : int;
   mutable last_trace : Ekg_obs.Trace.span option;
+  mutable last_used : float;
+  mutable deleted : bool;
 }
 
-type spec =
-  | App of string
-  | Files of { program : string; glossary : string option; facts_dir : string option }
-  | Inline of { program : string; glossary : string option }
+type persist = {
+  store : Ekg_store.Store.t;
+  snapshotter : Ekg_store.Snapshotter.t;
+  max_hot : int;  (* 0 = unbounded *)
+}
 
 type t = {
   root : string;
@@ -33,27 +43,101 @@ type t = {
   obs : Ekg_obs.Metrics.t;
   chase_domains : int;
   fault : Fault.t;
+  persist : persist option;
   lock : Mutex.t;
   mutable sessions : session list;  (* newest first *)
   mutable next_id : int;
 }
 
+let evictions_metric = "ekg_store_evictions_total"
+let recovered_sessions_metric = "ekg_store_recovered_sessions_total"
+
 let create ?(root = ".") ?(obs = Ekg_obs.Metrics.noop ()) ?(chase_domains = 1)
-    ?(fault = Fault.Off) metrics =
+    ?(fault = Fault.Off) ?store
+    ?(snapshot_mode = Ekg_store.Snapshotter.Write_behind)
+    ?(max_hot_sessions = 0) metrics =
+  let persist =
+    Option.map
+      (fun store ->
+        {
+          store;
+          snapshotter = Ekg_store.Snapshotter.create ~mode:snapshot_mode store;
+          max_hot = max_hot_sessions;
+        })
+      store
+  in
   {
     root;
     metrics;
     obs;
     chase_domains;
     fault;
+    persist;
     lock = Mutex.create ();
     sessions = [];
     next_id = 1;
   }
 
+let store t = Option.map (fun p -> p.store) t.persist
+
+let flush_snapshots t =
+  Option.iter (fun p -> Ekg_store.Snapshotter.flush p.snapshotter) t.persist
+
+let stop_persistence t =
+  Option.iter (fun p -> Ekg_store.Snapshotter.stop p.snapshotter) t.persist
+
 let with_lock lock f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* --- persistence ------------------------------------------------------------
+
+   The store sits below the server layer, so it mirrors [spec] rather
+   than depending on it. *)
+
+let codec_spec : spec -> Ekg_store.Codec.spec = function
+  | App app -> Ekg_store.Codec.App app
+  | Files { program; glossary; facts_dir } ->
+    Ekg_store.Codec.Files { program; glossary; facts_dir }
+  | Inline { program; glossary } -> Ekg_store.Codec.Inline { program; glossary }
+
+let spec_of_codec : Ekg_store.Codec.spec -> spec = function
+  | Ekg_store.Codec.App app -> App app
+  | Ekg_store.Codec.Files { program; glossary; facts_dir } ->
+    Files { program; glossary; facts_dir }
+  | Ekg_store.Codec.Inline { program; glossary } ->
+    Inline { program; glossary }
+
+(* Build the snapshot value with [session.lock] held.  Cheap: the EDB
+   mirror and a published chase result are both immutable under the
+   copy-on-write update discipline, so this grabs pointers — the
+   encode runs later, off the lock, wherever the caller (snapshotter
+   domain, eviction) wants it. *)
+let snapshot_of_locked (session : session) =
+  {
+    Ekg_store.Codec.id = session.id;
+    name = session.name;
+    spec = codec_spec session.spec;
+    program_hash = session.program_hash;
+    update_gen = session.update_gen;
+    created_at = session.created_at;
+    edb = session.edb;
+    mat = session.chase;
+  }
+
+let capture (session : session) () =
+  with_lock session.lock (fun () ->
+      if session.deleted then None else Some (snapshot_of_locked session))
+
+(* Must be called with no session lock held: in [Sync] mode the
+   snapshotter runs the capture inline, and the session mutex is not
+   reentrant. *)
+let schedule_snapshot t (session : session) =
+  match t.persist with
+  | None -> ()
+  | Some p ->
+    Ekg_store.Snapshotter.request p.snapshotter ~sid:session.id
+      (capture session)
 
 (* --- request decoding ------------------------------------------------------ *)
 
@@ -113,30 +197,47 @@ let load t = function
       let* dir = safe_resolve t.root d in
       Apps_util.with_facts_dir loaded dir)
 
+let make_session ~id ~name ~spec ~pipeline ~edb ~created_at ~update_gen =
+  {
+    id;
+    name;
+    spec;
+    pipeline;
+    program_hash = Pipeline.identity pipeline;
+    edb;
+    created_at;
+    lock = Mutex.create ();
+    chase = None;
+    explain_cache = Hashtbl.create 16;
+    update_gen;
+    explain_count = 0;
+    last_trace = None;
+    last_used = Unix.gettimeofday ();
+    deleted = false;
+  }
+
 let add t ?name spec =
   match load t spec with
   | Error e -> Error e
   | Ok { Apps_util.pipeline; edb } ->
-    with_lock t.lock (fun () ->
-        let id = Printf.sprintf "s%d" t.next_id in
-        t.next_id <- t.next_id + 1;
-        let session =
-          {
-            id;
-            name = Option.value name ~default:id;
-            pipeline;
-            edb;
-            created_at = Unix.gettimeofday ();
-            lock = Mutex.create ();
-            chase = None;
-            explain_cache = Hashtbl.create 16;
-            update_gen = 0;
-            explain_count = 0;
-            last_trace = None;
-          }
-        in
-        t.sessions <- session :: t.sessions;
-        Ok session)
+    let session =
+      with_lock t.lock (fun () ->
+          let id = Printf.sprintf "s%d" t.next_id in
+          t.next_id <- t.next_id + 1;
+          let session =
+            make_session ~id
+              ~name:(Option.value name ~default:id)
+              ~spec ~pipeline ~edb
+              ~created_at:(Unix.gettimeofday ())
+              ~update_gen:0
+          in
+          t.sessions <- session :: t.sessions;
+          session)
+    in
+    (* persist the session's existence right away, so a crash before
+       its first materialization still recovers it at restart *)
+    schedule_snapshot t session;
+    Ok session
 
 let find t id =
   with_lock t.lock (fun () ->
@@ -180,30 +281,131 @@ let fault_slow_chase (budget : Chase.budget) seconds =
       | `Cancel -> Chase.Cancelled partial
       | `Deadline -> Chase.Budget_exceeded (`Deadline, partial))
 
+(* Warm restore: a dormant session whose snapshot carries a
+   materialization of exactly this program (identity hash) at exactly
+   this update generation can skip the chase entirely.  Any failure —
+   no file, torn file, version or fingerprint mismatch, stale
+   generation — falls back to a cold chase. *)
+let try_warm_restore t (session : session) =
+  match t.persist with
+  | None -> None
+  | Some p -> (
+    match Ekg_store.Store.load p.store session.id with
+    | Error e ->
+      Logs.debug (fun m -> m "ekg-store: no warm restore for %s: %s" session.id e);
+      None
+    | Ok snap ->
+      if
+        String.equal snap.Ekg_store.Codec.program_hash session.program_hash
+        && snap.Ekg_store.Codec.update_gen = session.update_gen
+      then snap.Ekg_store.Codec.mat
+      else begin
+        Logs.debug (fun m ->
+            m "ekg-store: snapshot of %s is stale (program or generation); re-chasing"
+              session.id);
+        None
+      end)
+
+(* Demote the least-recently-used hot sessions until at most
+   [max_hot] remain materialized.  A victim's materialization is
+   synchronously persisted before its pointer is dropped, so the demotion
+   is lossless; the pending write-behind entry is discarded first so a
+   post-eviction capture cannot overwrite that snapshot with a
+   meta-only one. *)
+let evict t p (victim : session) =
+  Ekg_store.Snapshotter.discard p.snapshotter ~sid:victim.id;
+  with_lock victim.lock (fun () ->
+      match victim.chase with
+      | None -> ()
+      | Some _ when victim.deleted -> victim.chase <- None
+      | Some _ ->
+        (match Ekg_store.Store.save p.store (snapshot_of_locked victim) with
+        | Ok _ -> ()
+        | Error e ->
+          Logs.warn (fun m ->
+              m
+                "ekg-store: eviction snapshot of %s failed (%s); session will \
+                 re-chase on next use"
+                victim.id e));
+        victim.chase <- None;
+        Ekg_obs.Metrics.incr t.obs
+          ~help:"Hot sessions demoted to disk by the --max-hot-sessions bound"
+          evictions_metric)
+
+let hot_count t =
+  with_lock t.lock (fun () ->
+      List.length
+        (List.filter
+           (fun s -> (not s.deleted) && Option.is_some s.chase)
+           t.sessions))
+
+let maybe_evict t ~keep =
+  match t.persist with
+  | None -> ()
+  | Some p when p.max_hot <= 0 -> ()
+  | Some p ->
+    let rec go () =
+      let hot =
+        with_lock t.lock (fun () ->
+            (* [chase]/[last_used] are read without the session lock: a
+               stale read only mis-ranks a candidate, and [evict]
+               re-checks under the victim's lock *)
+            List.filter
+              (fun s -> (not s.deleted) && Option.is_some s.chase)
+              t.sessions)
+      in
+      if List.length hot > p.max_hot then
+        match
+          List.filter (fun (s : session) -> s.id <> keep) hot
+          |> List.sort (fun a b -> Float.compare a.last_used b.last_used)
+        with
+        | [] -> ()
+        | victim :: _ ->
+          evict t p victim;
+          go ()
+    in
+    go ()
+
 let materialize ?(budget = Chase.unlimited) t (session : session) =
-  with_lock session.lock (fun () ->
-      match session.chase with
-      | Some result ->
-        Metrics.cache_hit t.metrics;
-        Ok result
-      | None -> (
-        Metrics.cache_miss t.metrics;
-        let injected =
-          match t.fault with
-          | Fault.Slow_chase s -> fault_slow_chase budget s
-          | _ -> Ok ()
-        in
-        match injected with
-        | Error _ as e -> e
-        | Ok () -> (
-          match
-            Chase.run_checked ~stats:t.obs ~domains:t.chase_domains ~budget
-              session.pipeline.Pipeline.program session.edb
-          with
-          | Ok result ->
+  let outcome =
+    with_lock session.lock (fun () ->
+        session.last_used <- Unix.gettimeofday ();
+        match session.chase with
+        | Some result ->
+          Metrics.cache_hit t.metrics;
+          Ok (result, `Hot)
+        | None -> (
+          Metrics.cache_miss t.metrics;
+          match try_warm_restore t session with
+          | Some result ->
             session.chase <- Some result;
-            Ok result
-          | Error _ as e -> e)))
+            Ok (result, `Restored)
+          | None -> (
+            let injected =
+              match t.fault with
+              | Fault.Slow_chase s -> fault_slow_chase budget s
+              | _ -> Ok ()
+            in
+            match injected with
+            | Error _ as e -> e
+            | Ok () -> (
+              match
+                Chase.run_checked ~stats:t.obs ~domains:t.chase_domains ~budget
+                  session.pipeline.Pipeline.program session.edb
+              with
+              | Ok result ->
+                session.chase <- Some result;
+                Ok (result, `Chased)
+              | Error _ as e -> e))))
+  in
+  match outcome with
+  | Error _ as e -> e
+  | Ok (result, how) ->
+    (* a fresh chase is worth persisting; a warm restore already came
+       from disk and a hot hit changed nothing *)
+    if how = `Chased then schedule_snapshot t session;
+    if how <> `Hot then maybe_evict t ~keep:session.id;
+    Ok result
 
 (* --- live fact updates ------------------------------------------------------ *)
 
@@ -313,7 +515,9 @@ let update_edb_only (session : session) op atoms =
         Ok (upd ~added:0 ~retracted:(before - List.length session.edb))))
 
 let update_facts ?(budget = Chase.unlimited) t (session : session) op atoms =
-  with_lock session.lock (fun () ->
+  let committed =
+    with_lock session.lock (fun () ->
+      session.last_used <- Unix.gettimeofday ();
       let outcome =
         match session.chase with
         | None -> update_edb_only session op atoms
@@ -355,6 +559,11 @@ let update_facts ?(budget = Chase.unlimited) t (session : session) op atoms =
         record_update t upd;
         Ok upd
       | Error _ as e -> e)
+  in
+  (* persist committed updates after the commit, off the session lock;
+     bursts coalesce in the snapshotter *)
+  (match committed with Ok _ -> schedule_snapshot t session | Error _ -> ());
+  committed
 
 let note_explain (session : session) =
   with_lock session.lock (fun () ->
@@ -366,14 +575,97 @@ let set_trace (session : session) span =
 let last_trace (session : session) =
   with_lock session.lock (fun () -> session.last_trace)
 
+(* --- deletion and startup recovery ------------------------------------------ *)
+
+let remove t id =
+  let found =
+    with_lock t.lock (fun () ->
+        match List.find_opt (fun s -> s.id = id) t.sessions with
+        | None -> None
+        | Some s ->
+          t.sessions <- List.filter (fun s' -> s'.id <> id) t.sessions;
+          Some s)
+  in
+  match found with
+  | None -> None
+  | Some session ->
+    (* flag first so an already-captured closure answers [None], then
+       wait out any in-flight save before removing the file — the
+       deletion must not race a concurrent re-write *)
+    with_lock session.lock (fun () -> session.deleted <- true);
+    (match t.persist with
+    | None -> ()
+    | Some p ->
+      Ekg_store.Snapshotter.discard p.snapshotter ~sid:id;
+      Ekg_store.Store.delete p.store id);
+    Some session
+
+(* registry ids are ["s<n>"]; recovery must keep allocating above them *)
+let numeric_suffix id =
+  if String.length id > 1 && id.[0] = 's' then
+    int_of_string_opt (String.sub id 1 (String.length id - 1))
+  else None
+
+let recover t =
+  match t.persist with
+  | None -> ([], [])
+  | Some p ->
+    let recovered, failed =
+      List.fold_left
+        (fun (ok, failed) id ->
+          if
+            with_lock t.lock (fun () ->
+                List.exists (fun s -> s.id = id) t.sessions)
+          then (ok, failed)
+          else
+            match Ekg_store.Store.load_meta p.store id with
+            | Error e -> (ok, (id, e) :: failed)
+            | Ok snap -> (
+              let spec = spec_of_codec snap.Ekg_store.Codec.spec in
+              match load t spec with
+              | Error e -> (ok, (id, "program reload failed: " ^ e) :: failed)
+              | Ok { Apps_util.pipeline; edb = _ } ->
+                (* the snapshot's EDB mirror is authoritative — live
+                   updates may have diverged from the spec's own facts *)
+                let session =
+                  make_session ~id ~name:snap.Ekg_store.Codec.name ~spec
+                    ~pipeline ~edb:snap.Ekg_store.Codec.edb
+                    ~created_at:snap.Ekg_store.Codec.created_at
+                    ~update_gen:snap.Ekg_store.Codec.update_gen
+                in
+                if
+                  not
+                    (String.equal session.program_hash
+                       snap.Ekg_store.Codec.program_hash)
+                then
+                  Logs.warn (fun m ->
+                      m
+                        "ekg-store: program of session %s changed since its \
+                         snapshot; it will re-chase on first use"
+                        id);
+                with_lock t.lock (fun () ->
+                    t.sessions <- session :: t.sessions;
+                    match numeric_suffix id with
+                    | Some n when n >= t.next_id -> t.next_id <- n + 1
+                    | _ -> ());
+                Ekg_obs.Metrics.incr t.obs
+                  ~help:"Sessions re-registered from snapshots at startup"
+                  recovered_sessions_metric;
+                (session :: ok, failed)))
+        ([], [])
+        (Ekg_store.Store.scan p.store)
+    in
+    (List.rev recovered, List.rev failed)
+
 let session_json (session : session) =
-  let cached, explained, traced, edb_facts, cached_explanations =
+  let cached, explained, traced, edb_facts, cached_explanations, update_gen =
     with_lock session.lock (fun () ->
         ( Option.is_some session.chase,
           session.explain_count,
           Option.is_some session.last_trace,
           List.length session.edb,
-          Hashtbl.length session.explain_cache ))
+          Hashtbl.length session.explain_cache,
+          session.update_gen ))
   in
   Json.Obj
     [
@@ -389,6 +681,8 @@ let session_json (session : session) =
             "enhanced", Json.int (List.length session.pipeline.Pipeline.enhanced);
           ] );
       "chase_cached", Json.bool cached;
+      "tier", Json.str (if cached then "hot" else "dormant");
+      "update_gen", Json.int update_gen;
       "cached_explanations", Json.int cached_explanations;
       "explain_requests", Json.int explained;
       "traced", Json.bool traced;

@@ -18,10 +18,25 @@ type cached_explanation = {
           proofs *)
 }
 
+type spec =
+  | App of string
+      (** a bundled paper application, e.g. ["company-control"] *)
+  | Files of { program : string; glossary : string option; facts_dir : string option }
+      (** repo-relative paths under the server root, e.g.
+          ["programs/company_control.vada"] *)
+  | Inline of { program : string; glossary : string option }
+      (** program (and optional glossary) texts shipped in the request *)
+
 type session = {
   id : string;                 (** registry-assigned, ["s1"], ["s2"], … *)
   name : string;               (** caller-supplied display name *)
+  spec : spec;                 (** how the session was created; snapshots
+                                   record it so recovery can recompile *)
   pipeline : Pipeline.t;
+  program_hash : string;
+      (** {!Pipeline.identity} of [pipeline], computed once; snapshots
+          are stamped with it and a warm restore refuses a snapshot of
+          a different program *)
   mutable edb : Atom.t list;   (** current extensional base (live-updated) *)
   created_at : float;
   lock : Mutex.t;              (** guards every mutable field *)
@@ -43,24 +58,32 @@ type session = {
   mutable last_trace : Ekg_obs.Trace.span option;
       (** the finished root span of the session's most recent explain
           request — the [GET /sessions/:id/trace] document *)
+  mutable last_used : float;
+      (** touched by {!materialize} and {!update_facts}; the LRU clock
+          that picks eviction victims *)
+  mutable deleted : bool;
+      (** set by {!remove}; a captured-but-unsaved snapshot of a
+          deleted session is dropped instead of written *)
 }
 
-type spec =
-  | App of string
-      (** a bundled paper application, e.g. ["company-control"] *)
-  | Files of { program : string; glossary : string option; facts_dir : string option }
-      (** repo-relative paths under the server root, e.g.
-          ["programs/company_control.vada"] *)
-  | Inline of { program : string; glossary : string option }
-      (** program (and optional glossary) texts shipped in the request *)
-
 type t
+
+val evictions_metric : string
+(** ["ekg_store_evictions_total"] — hot sessions demoted to disk by
+    the [--max-hot-sessions] bound. *)
+
+val recovered_sessions_metric : string
+(** ["ekg_store_recovered_sessions_total"] — sessions re-registered
+    from snapshots at startup. *)
 
 val create :
   ?root:string ->
   ?obs:Ekg_obs.Metrics.t ->
   ?chase_domains:int ->
   ?fault:Fault.t ->
+  ?store:Ekg_store.Store.t ->
+  ?snapshot_mode:Ekg_store.Snapshotter.mode ->
+  ?max_hot_sessions:int ->
   Metrics.t ->
   t
 (** [root] (default ["."]) anchors [Files] paths; requests may not
@@ -71,7 +94,26 @@ val create :
     [fault] (default {!Fault.Off}): {!Fault.Slow_chase} injects its
     configured wall-clock into every materialization — in short,
     budget-aware slices, so a request deadline still trips within a
-    few milliseconds of the instant it expires. *)
+    few milliseconds of the instant it expires.
+
+    [store] turns persistence on: sessions are snapshotted after
+    creation, committed fact updates and fresh materializations
+    ([snapshot_mode], default {!Ekg_store.Snapshotter.Write_behind},
+    decides where that work runs), dormant sessions warm-restore their
+    materialization from disk, and {!recover} re-registers sessions at
+    startup.  [max_hot_sessions] (default [0] = unbounded) bounds how
+    many sessions may hold a materialization in memory; beyond it the
+    least-recently-used ones are demoted to their snapshot. *)
+
+val store : t -> Ekg_store.Store.t option
+(** The persistence store, when one was configured. *)
+
+val flush_snapshots : t -> unit
+(** Block until no snapshot request is pending or in flight. *)
+
+val stop_persistence : t -> unit
+(** Drain pending snapshots and join the write-behind domain (no-op
+    without a store).  Call once at daemon shutdown. *)
 
 val spec_of_json : Json.t -> (spec * string option, string) result
 (** Decode a [POST /sessions] body; also returns the optional
@@ -87,6 +129,26 @@ val list : t -> session list
 
 val count : t -> int
 
+val remove : t -> string -> session option
+(** Unregister a session and delete its snapshot — the
+    [DELETE /v1/sessions/:id] handler.  Waits out an in-flight
+    write-behind save of the session first, so the file cannot
+    reappear; [None] if the id is unknown.  Idempotent from the
+    caller's perspective: a second call answers [None]. *)
+
+val recover : t -> session list * (string * string) list
+(** Scan the store directory and re-register every snapshotted session
+    that is not already present, {e dormant} (no materialization is
+    decoded; the first request warm-restores or re-chases).  Each
+    session keeps its original id, name, EDB mirror and update
+    generation; [next_id] is bumped past recovered ids.  Returns the
+    recovered sessions and the per-file failures (unreadable, corrupt,
+    or the recorded program no longer compiles) — failures never stop
+    the scan.  Advances {!recovered_sessions_metric}. *)
+
+val hot_count : t -> int
+(** Sessions currently holding an in-memory materialization. *)
+
 val materialize :
   ?budget:Chase.budget -> t -> session -> (Chase.result, Chase.error) result
 (** The cached chase result, computing it on first use.  Counts a
@@ -96,7 +158,18 @@ val materialize :
     {!Chase.unlimited}) bounds the run — a deadline or cancellation
     surfaces as [Error (Budget_exceeded _ | Cancelled _)] with partial
     progress.  Failed runs — budget trips included — are not cached,
-    so a later request with a roomier deadline recomputes. *)
+    so a later request with a roomier deadline recomputes.
+
+    With a store configured, a cache miss first attempts a {e warm
+    restore}: if the session's snapshot holds a materialization of
+    this exact program (by {!Pipeline.identity}) at this exact update
+    generation, it is decoded and served — semantically lossless, no
+    chase.  Any snapshot problem (missing, truncated, corrupt, version
+    or fingerprint mismatch, stale generation) silently falls back to
+    the cold chase.  A fresh materialization schedules a snapshot, and
+    both outcomes then enforce the [max_hot_sessions] bound by
+    demoting least-recently-used sessions (synchronously persisting
+    each victim before dropping its materialization). *)
 
 val incremental_rounds_metric : string
 (** ["ekg_chase_incremental_rounds_total"] — chase rounds spent

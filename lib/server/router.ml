@@ -17,9 +17,11 @@ let deadline_metric = "ekg_request_deadline_exceeded_total"
 let queue_depth_metric = "ekg_server_queue_depth"
 
 let make_state ?root ?(chase_domains = 1) ?(fault = Fault.Off)
-    ?(default_deadline_ms = 30_000.) ?(max_deadline_ms = 300_000.) () =
+    ?(default_deadline_ms = 30_000.) ?(max_deadline_ms = 300_000.) ?store
+    ?snapshot_mode ?max_hot_sessions () =
   let metrics = Metrics.create () in
   let obs = Ekg_obs.Metrics.create () in
+  Option.iter (fun s -> Ekg_store.Store.set_obs s obs) store;
   let tracer =
     (* every finished span — pipeline stages, chase, whole requests —
        feeds the per-stage counters, so /metrics shows stage timings
@@ -62,8 +64,29 @@ let make_state ?root ?(chase_domains = 1) ?(fault = Fault.Off)
     ~help:"Requests that exhausted their deadline (504)" deadline_metric;
   Ekg_obs.Metrics.set obs ~help:"Requests queued awaiting a worker"
     queue_depth_metric 0.;
+  (* the persistence series likewise appear at zero from the first
+     scrape when a store is configured *)
+  if Option.is_some store then begin
+    Ekg_obs.Metrics.declare_counter obs
+      ~help:"Cumulative session snapshot bytes written"
+      Ekg_store.Store.snapshot_bytes_metric;
+    Ekg_obs.Metrics.declare_counter obs
+      ~help:"Seconds spent encoding and durably writing session snapshots"
+      Ekg_store.Store.snapshot_seconds_metric;
+    Ekg_obs.Metrics.declare_counter obs
+      ~help:"Seconds spent reading and decoding snapshots on warm restores"
+      Ekg_store.Store.restore_seconds_metric;
+    Ekg_obs.Metrics.declare_counter obs
+      ~help:"Hot sessions demoted to disk by the --max-hot-sessions bound"
+      Registry.evictions_metric;
+    Ekg_obs.Metrics.declare_counter obs
+      ~help:"Sessions re-registered from snapshots at startup"
+      Registry.recovered_sessions_metric
+  end;
   {
-    registry = Registry.create ?root ~obs ~chase_domains ~fault metrics;
+    registry =
+      Registry.create ?root ~obs ~chase_domains ~fault ?store ?snapshot_mode
+        ?max_hot_sessions metrics;
     metrics;
     obs;
     tracer;
@@ -136,6 +159,13 @@ let metrics_doc st (req : Http.request) =
       (Metrics.to_prometheus st.metrics ~uptime_s
       ^ Ekg_obs.Metrics.to_prometheus st.obs)
   else json_response 200 (Metrics.to_json st.metrics ~uptime_s)
+
+let delete_session st id =
+  match Registry.remove st.registry id with
+  | None -> Errors.response Errors.Session_not_found ("no such session: " ^ id)
+  | Some session ->
+    json_response 200
+      (Json.Obj [ "id", Json.str session.id; "deleted", Json.bool true ])
 
 let list_sessions st =
   json_response 200
@@ -491,6 +521,8 @@ let route_v1 st ~trace_id ~deadline (req : Http.request) rest =
   | Http.GET, [ "metrics" ] -> "GET /v1/metrics", metrics_doc st req
   | Http.GET, [ "sessions" ] -> "GET /v1/sessions", list_sessions st
   | Http.POST, [ "sessions" ] -> "POST /v1/sessions", create_session st req
+  | Http.DELETE, [ "sessions"; id ] ->
+    "DELETE /v1/sessions/:id", delete_session st id
   | Http.POST, [ "sessions"; id; "explain" ] ->
     ( "POST /v1/sessions/:id/explain",
       with_deadline (fun deadline_s ->

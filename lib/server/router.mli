@@ -53,6 +53,9 @@ val make_state :
   ?fault:Fault.t ->
   ?default_deadline_ms:float ->
   ?max_deadline_ms:float ->
+  ?store:Ekg_store.Store.t ->
+  ?snapshot_mode:Ekg_store.Snapshotter.mode ->
+  ?max_hot_sessions:int ->
   unit ->
   state
 (** Fresh registry + metrics + observability registry + tracer; [root]
@@ -66,7 +69,16 @@ val make_state :
     carries no [X-Ekg-Deadline-Ms]; [max_deadline_ms] (default
     [300_000]) caps what a client may ask for.  The mandatory chase
     and robustness series are pre-declared so Prometheus scrapes see
-    them before the first materialization or shed. *)
+    them before the first materialization or shed.
+
+    [store] enables the persistence tier (see {!Registry.create}):
+    snapshots after creation/update/materialization, warm restores on
+    cache miss, startup recovery, and — with [max_hot_sessions] > 0 —
+    LRU demotion of cold materializations to disk.  The store's
+    metrics sink is re-bound to this state's observability registry,
+    and the five [ekg_store_*] series are pre-declared so they appear
+    at zero from the first scrape.  [snapshot_mode] picks where
+    snapshot work runs (default write-behind on a dedicated domain). *)
 
 val registry : state -> Registry.t
 val metrics : state -> Metrics.t

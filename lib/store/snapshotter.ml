@@ -1,0 +1,128 @@
+type mode = Off | Write_behind | Sync
+
+let mode_of_string = function
+  | "off" -> Ok Off
+  | "behind" -> Ok Write_behind
+  | "sync" -> Ok Sync
+  | other -> Error ("unknown snapshot mode: " ^ other ^ " (off|behind|sync)")
+
+let mode_to_string = function
+  | Off -> "off"
+  | Write_behind -> "behind"
+  | Sync -> "sync"
+
+type t = {
+  store : Store.t;
+  snap_mode : mode;
+  lock : Mutex.t;
+  cond : Condition.t;
+  pending : (string, unit -> Codec.t option) Hashtbl.t;
+  order : string Queue.t;  (* FIFO of sids; stale entries are skipped *)
+  mutable in_flight : string option;
+  mutable stopping : bool;
+  mutable worker : unit Domain.t option;
+}
+
+let mode t = t.snap_mode
+
+let run_job t sid capture =
+  match capture () with
+  | None -> ()
+  | Some snap -> (
+    match Store.save t.store snap with
+    | Ok _ -> ()
+    | Error e ->
+      Logs.warn (fun m -> m "ekg-store: snapshot of session %s failed: %s" sid e))
+  | exception exn ->
+    Logs.warn (fun m ->
+        m "ekg-store: snapshot capture of session %s raised: %s" sid
+          (Printexc.to_string exn))
+
+(* next sid whose request is still pending (coalescing leaves stale
+   queue entries behind; discard removes table entries) *)
+let rec pop_pending t =
+  match Queue.take_opt t.order with
+  | None -> None
+  | Some sid -> if Hashtbl.mem t.pending sid then Some sid else pop_pending t
+
+let worker_loop t =
+  let rec go () =
+    Mutex.lock t.lock;
+    while Hashtbl.length t.pending = 0 && not t.stopping do
+      Condition.wait t.cond t.lock
+    done;
+    match pop_pending t with
+    | None ->
+      (* stopping with an empty queue *)
+      Mutex.unlock t.lock
+    | Some sid ->
+      let capture = Hashtbl.find t.pending sid in
+      Hashtbl.remove t.pending sid;
+      t.in_flight <- Some sid;
+      Mutex.unlock t.lock;
+      run_job t sid capture;
+      Mutex.lock t.lock;
+      t.in_flight <- None;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.lock;
+      go ()
+  in
+  go ()
+
+let create ?(mode = Write_behind) store =
+  let t =
+    {
+      store;
+      snap_mode = mode;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      pending = Hashtbl.create 16;
+      order = Queue.create ();
+      in_flight = None;
+      stopping = false;
+      worker = None;
+    }
+  in
+  if mode = Write_behind then t.worker <- Some (Domain.spawn (fun () -> worker_loop t));
+  t
+
+let request t ~sid capture =
+  match t.snap_mode with
+  | Off -> ()
+  | Sync -> run_job t sid capture
+  | Write_behind ->
+    Mutex.lock t.lock;
+    if t.stopping then begin
+      (* the daemon is draining: persist inline rather than drop *)
+      Mutex.unlock t.lock;
+      run_job t sid capture
+    end
+    else begin
+      if not (Hashtbl.mem t.pending sid) then Queue.push sid t.order;
+      Hashtbl.replace t.pending sid capture;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.lock
+    end
+
+let discard t ~sid =
+  Mutex.lock t.lock;
+  Hashtbl.remove t.pending sid;
+  while t.in_flight = Some sid do
+    Condition.wait t.cond t.lock
+  done;
+  Mutex.unlock t.lock
+
+let flush t =
+  Mutex.lock t.lock;
+  while Hashtbl.length t.pending > 0 || t.in_flight <> None do
+    Condition.wait t.cond t.lock
+  done;
+  Mutex.unlock t.lock
+
+let stop t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock;
+  (match t.worker with None -> () | Some d -> Domain.join d);
+  t.worker <- None

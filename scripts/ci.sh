@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus the server smoke test (which also scrapes the
 # Prometheus /metrics exposition and executes the live fact-update
-# walkthrough of examples/incremental_walkthrough.md), the parallel-
+# walkthrough of examples/incremental_walkthrough.md), the restart-
+# recovery smoke (kill + restart on the same --store-dir; explanations
+# must be served again without re-running the chase), the parallel-
 # chase bench smoke (writes BENCH_chase.json: wall-clock at domains=1
-# vs 4, admission overhead, incremental maintenance vs cold re-chase;
-# fails if parallel or incremental state ever diverges), and the
-# documentation gate (doc-comment lint always; `dune build @doc` +
-# HTML artifact when odoc is installed). Run from anywhere.
+# vs 4, admission overhead, incremental maintenance vs cold re-chase,
+# snapshot/restore vs cold chase; fails if parallel, incremental or
+# restored state ever diverges), and the documentation gate
+# (doc-comment lint always; `dune build @doc` + HTML artifact when
+# odoc is installed). Run from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,6 +17,7 @@ dune build
 dune runtest
 dune build @smoke
 dune build @smoke-faults
+dune build @smoke-recovery
 dune exec bench/main.exe -- chase-smoke
 
 # documentation: lint is unconditional; rendering needs odoc, which
@@ -36,4 +40,4 @@ else
   echo "ci: odoc not installed; skipped @doc rendering (doc lint still enforced)"
 fi
 
-echo "ci: all green (build + tests + smoke/metrics + fault drills + chase bench + docs)"
+echo "ci: all green (build + tests + smoke/metrics + fault drills + restart recovery + chase bench + docs)"

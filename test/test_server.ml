@@ -975,6 +975,172 @@ let test_registry_stale_generation_not_cached () =
   check bool' "current-generation store lands" true
     (Registry.cached_explanations session ~strategy ~query = Some [])
 
+(* --- persistence tier ------------------------------------------------------- *)
+
+let with_store_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ekg_server_store_%d_%d" (Unix.getpid ())
+         (Random.int 1_000_000))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      end)
+    (fun () -> f dir)
+
+let open_store_exn dir =
+  match Ekg_store.Store.open_dir dir with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "open_dir: %s" e
+
+let materialize_exn reg session =
+  match Registry.materialize reg session with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "materialize: %s" (Ekg_engine.Chase.error_to_string e)
+
+let chase_rounds obs =
+  Option.value ~default:0. (Ekg_obs.Metrics.value obs "ekg_chase_rounds_total")
+
+let test_persistence_warm_restore_after_restart () =
+  with_store_dir @@ fun dir ->
+  (* first daemon lifetime: create, materialize, snapshot synchronously *)
+  let fp1 =
+    let st = Router.make_state ~store:(open_store_exn dir)
+        ~snapshot_mode:Ekg_store.Snapshotter.Sync ()
+    in
+    let reg = Router.registry st in
+    let session = registry_inline_session reg closure_program in
+    let r = materialize_exn reg session in
+    Registry.stop_persistence reg;
+    Ekg_engine.Database.fingerprint r.Ekg_engine.Chase.db
+  in
+  (* second lifetime over the same directory: recover dormant, then a
+     materialization must warm-restore — same fingerprint, zero chase
+     rounds on the fresh observability registry *)
+  let st2 = Router.make_state ~store:(open_store_exn dir)
+      ~snapshot_mode:Ekg_store.Snapshotter.Sync ()
+  in
+  let reg2 = Router.registry st2 in
+  let recovered, failed = Registry.recover reg2 in
+  check int' "no recovery failures" 0 (List.length failed);
+  check int' "one session recovered" 1 (List.length recovered);
+  let session = List.hd recovered in
+  check string' "same id" "s1" session.Registry.id;
+  check bool' "recovered dormant" true
+    (Ekg_obs.Metrics.value (Router.obs st2)
+       Registry.recovered_sessions_metric = Some 1.);
+  let r = materialize_exn reg2 session in
+  check string' "restored fingerprint identical" fp1
+    (Ekg_engine.Database.fingerprint r.Ekg_engine.Chase.db);
+  check bool' "no chase ran" true (chase_rounds (Router.obs st2) = 0.);
+  (* recovery bumped next_id past the recovered sessions *)
+  let s_new = registry_inline_session reg2 closure_program in
+  check string' "fresh ids allocate above recovered ones" "s2" s_new.Registry.id;
+  Registry.stop_persistence reg2
+
+let test_persistence_corrupt_snapshot_falls_back () =
+  with_store_dir @@ fun dir ->
+  let store = open_store_exn dir in
+  let st = Router.make_state ~store ~snapshot_mode:Ekg_store.Snapshotter.Sync () in
+  let reg = Router.registry st in
+  let session = registry_inline_session reg closure_program in
+  let fp =
+    Ekg_engine.Database.fingerprint
+      (materialize_exn reg session).Ekg_engine.Chase.db
+  in
+  Registry.stop_persistence reg;
+  (* flip one byte inside the snapshot: the next lifetime must detect
+     it on the warm-restore path and silently re-chase *)
+  let path = Ekg_store.Store.path store "s1" in
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  let b = Bytes.of_string data in
+  let i = Bytes.length b / 2 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc b);
+  let st2 = Router.make_state ~store:(open_store_exn dir)
+      ~snapshot_mode:Ekg_store.Snapshotter.Sync ()
+  in
+  let reg2 = Router.registry st2 in
+  (match Registry.recover reg2 with
+  | [ session2 ], [] ->
+    (* meta decoded (the flip landed in the materialization section) —
+       restore fails, cold chase reproduces the instance *)
+    let r = materialize_exn reg2 session2 in
+    check string' "re-chased to the same instance" fp
+      (Ekg_engine.Database.fingerprint r.Ekg_engine.Chase.db);
+    check bool' "a chase really ran" true (chase_rounds (Router.obs st2) > 0.)
+  | [], [ (id, _reason) ] ->
+    (* the flip landed in the meta section: recovery reports it and
+       carries on *)
+    check string' "failure names the session" "s1" id
+  | _ -> Alcotest.fail "unexpected recovery outcome");
+  Registry.stop_persistence reg2
+
+let test_persistence_lru_eviction () =
+  with_store_dir @@ fun dir ->
+  let obs = Ekg_obs.Metrics.create () in
+  let reg =
+    Registry.create ~obs ~store:(open_store_exn dir)
+      ~snapshot_mode:Ekg_store.Snapshotter.Sync ~max_hot_sessions:1
+      (Metrics.create ())
+  in
+  let s1 = registry_inline_session reg closure_program in
+  let s2 = registry_inline_session reg closure_program in
+  let fp1 =
+    Ekg_engine.Database.fingerprint (materialize_exn reg s1).Ekg_engine.Chase.db
+  in
+  check int' "one hot session" 1 (Registry.hot_count reg);
+  ignore (materialize_exn reg s2);
+  check int' "still one hot session" 1 (Registry.hot_count reg);
+  check bool' "s1 was demoted" true
+    (Ekg_obs.Metrics.value obs Registry.evictions_metric = Some 1.);
+  (* the demoted session still serves — warm-restored from its
+     eviction snapshot, fingerprint-identical *)
+  let rounds_before = chase_rounds obs in
+  let r1' = materialize_exn reg s1 in
+  check string' "demoted session restores identically" fp1
+    (Ekg_engine.Database.fingerprint r1'.Ekg_engine.Chase.db);
+  check bool' "restore, not re-chase" true (chase_rounds obs = rounds_before);
+  check bool' "s2 demoted in turn" true
+    (Ekg_obs.Metrics.value obs Registry.evictions_metric = Some 2.);
+  Registry.stop_persistence reg
+
+let test_router_delete_session () =
+  with_store_dir @@ fun dir ->
+  let store = open_store_exn dir in
+  let st = Router.make_state ~store ~snapshot_mode:Ekg_store.Snapshotter.Sync () in
+  create_closure_session st;
+  check int' "explain before delete" 200
+    (explain_path st "s1" {|path("a", "c")|}).Http.status;
+  check bool' "snapshot on disk" true (Sys.file_exists (Ekg_store.Store.path store "s1"));
+  let deleted =
+    Router.handle st (request Http.DELETE [ "v1"; "sessions"; "s1" ])
+  in
+  check int' "delete is 200" 200 deleted.Http.status;
+  check bool' "body confirms" true (contains deleted.Http.resp_body {|"deleted":true|});
+  check bool' "snapshot removed" false
+    (Sys.file_exists (Ekg_store.Store.path store "s1"));
+  let again = Router.handle st (request Http.DELETE [ "v1"; "sessions"; "s1" ]) in
+  check int' "second delete is 404" 404 again.Http.status;
+  check bool' "stable envelope" true (envelope_code again = Some "session_not_found");
+  check int' "explain after delete is 404" 404
+    (explain_path st "s1" {|path("a", "c")|}).Http.status;
+  Registry.stop_persistence (Router.registry st)
+
+let test_router_delete_without_store () =
+  let st = Router.make_state () in
+  create_closure_session st;
+  let deleted = Router.handle st (request Http.DELETE [ "v1"; "sessions"; "s1" ]) in
+  check int' "delete works without persistence" 200 deleted.Http.status;
+  check int' "gone" 404 (explain_path st "s1" {|path("a", "c")|}).Http.status
+
 (* --- loopback integration -------------------------------------------------- *)
 
 let http_call ?(headers = []) ~port ~meth ~path ~body () =
@@ -1287,6 +1453,18 @@ let () =
             test_registry_duplicate_add_deduped;
           Alcotest.test_case "stale generation not cached" `Quick
             test_registry_stale_generation_not_cached;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "warm restore after restart" `Quick
+            test_persistence_warm_restore_after_restart;
+          Alcotest.test_case "corrupt snapshot falls back" `Quick
+            test_persistence_corrupt_snapshot_falls_back;
+          Alcotest.test_case "LRU eviction" `Quick test_persistence_lru_eviction;
+          Alcotest.test_case "DELETE /v1/sessions/:id" `Quick
+            test_router_delete_session;
+          Alcotest.test_case "DELETE without a store" `Quick
+            test_router_delete_without_store;
         ] );
       ( "integration",
         [
