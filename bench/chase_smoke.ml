@@ -154,6 +154,124 @@ let admission_overhead w =
     p99_budget = percentile budgeted 0.99;
   }
 
+(* --- observability overhead --------------------------------------------------
+
+   The telemetry tier must be adoptable on hot paths: a noop logger or
+   noop-registry lock has to cost one branch, and running the chase
+   with its stats sink live (the server's default) has to stay within
+   a few percent of the uninstrumented run.  Three micro/meso probes:
+   ns per wide event (sink on vs. noop), ns per lock/unlock (plain
+   Mutex vs. instrumented wrapper, noop and live), and p50 chase
+   latency with the metrics sink on vs. off. *)
+
+type obs_overhead_out = {
+  ob_log_iters : int;
+  ob_log_on_ns : float;
+  ob_log_off_ns : float;
+  ob_lock_iters : int;
+  ob_lock_plain_ns : float;
+  ob_lock_noop_ns : float;
+  ob_lock_on_ns : float;
+  ob_chase_iters : int;
+  ob_p50_plain : float;
+  ob_p50_stats : float;
+}
+
+(* a representative wide event: the field count of the server's *)
+let wide_fields =
+  Ekg_obs.Log.
+    [
+      "trace_id", Str "t-00000042";
+      "method", Str "POST";
+      "target", Str "/v1/sessions/s1/explain";
+      "endpoint", Str "POST /v1/sessions/:id/explain";
+      "status", Int 200;
+      "error_code", Str "";
+      "queue_wait_ms", Float 0.153;
+      "session", Str "s1";
+      "cache_hit", Bool false;
+      "chase_source", Str "chased";
+      "chase_rounds", Int 12;
+      "chase_facts", Int 4096;
+      "gc_minor_collections", Int 3;
+      "gc_minor_words", Float 180224.;
+    ]
+
+let ns_per ~iters f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+
+let observability_overhead w =
+  let log_iters = 50_000 in
+  let sink_bytes = ref 0 in
+  let live =
+    Ekg_obs.Log.create ~sink:(fun l -> sink_bytes := !sink_bytes + String.length l) ()
+  in
+  let off = Ekg_obs.Log.noop () in
+  let log_on_ns =
+    ns_per ~iters:log_iters (fun () ->
+        Ekg_obs.Log.info live "request" wide_fields)
+  in
+  let log_off_ns =
+    ns_per ~iters:log_iters (fun () ->
+        Ekg_obs.Log.info off "request" wide_fields)
+  in
+  let lock_iters = 1_000_000 in
+  let plain = Mutex.create () in
+  let lock_plain_ns =
+    ns_per ~iters:lock_iters (fun () ->
+        Mutex.lock plain;
+        Mutex.unlock plain)
+  in
+  let noop_lock = Ekg_obs.Lock.create "bench-noop" in
+  let lock_noop_ns =
+    ns_per ~iters:lock_iters (fun () ->
+        Ekg_obs.Lock.lock noop_lock;
+        Ekg_obs.Lock.unlock noop_lock)
+  in
+  let live_lock = Ekg_obs.Lock.create ~obs:(Ekg_obs.Metrics.create ()) "bench-live" in
+  let lock_on_ns =
+    ns_per ~iters:lock_iters (fun () ->
+        Ekg_obs.Lock.lock live_lock;
+        Ekg_obs.Lock.unlock live_lock)
+  in
+  (* the meso gate: the chase with its stats sink live, as the server
+     runs it, against the bare engine.  The two variants are
+     interleaved pair-wise so thermal / GC drift over the measurement
+     window cancels instead of landing on whichever ran second. *)
+  let chase_iters = 40 in
+  ignore (Ekg_engine.Chase.run_exn w.program w.edb);
+  let stats_sink = Ekg_obs.Metrics.create () in
+  let plain_lat = Array.make chase_iters 0.
+  and stats_lat = Array.make chase_iters 0. in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    (Unix.gettimeofday () -. t0) *. 1000.
+  in
+  for i = 0 to chase_iters - 1 do
+    plain_lat.(i) <- time (fun () -> Ekg_engine.Chase.run_exn w.program w.edb);
+    stats_lat.(i) <-
+      time (fun () -> Ekg_engine.Chase.run_exn ~stats:stats_sink w.program w.edb)
+  done;
+  Array.sort compare plain_lat;
+  Array.sort compare stats_lat;
+  {
+    ob_log_iters = log_iters;
+    ob_log_on_ns = log_on_ns;
+    ob_log_off_ns = log_off_ns;
+    ob_lock_iters = lock_iters;
+    ob_lock_plain_ns = lock_plain_ns;
+    ob_lock_noop_ns = lock_noop_ns;
+    ob_lock_on_ns = lock_on_ns;
+    ob_chase_iters = chase_iters;
+    ob_p50_plain = percentile plain_lat 0.50;
+    ob_p50_stats = percentile stats_lat 0.50;
+  }
+
 (* --- incremental maintenance ------------------------------------------------
 
    Live updates vs. recomputation: materialize the fanout workload once,
@@ -363,7 +481,7 @@ let persistence_bench dir =
       })
     Ekg_apps.Bundled.names
 
-let json_out ~overhead ~incr ~persist sections =
+let json_out ~overhead ~obs ~incr ~persist sections =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -409,6 +527,24 @@ let json_out ~overhead ~incr ~persist sections =
           100. *. (overhead.p99_budget -. overhead.p99_plain)
           /. overhead.p99_plain
         else 0.));
+  let chase_overhead_pct =
+    if obs.ob_p50_plain > 0. then
+      100. *. (obs.ob_p50_stats -. obs.ob_p50_plain) /. obs.ob_p50_plain
+    else 0.
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"observability_overhead\": {\"workload\": \"control-chain-40\", \
+        \"log_iterations\": %d, \"wide_event_ns_sink_on\": %.0f, \
+        \"wide_event_ns_noop\": %.0f, \"lock_iterations\": %d, \
+        \"lock_pair_ns_plain_mutex\": %.1f, \"lock_pair_ns_noop_obs\": %.1f, \
+        \"lock_pair_ns_live_obs\": %.1f, \"chase_iterations\": %d, \
+        \"chase_p50_ms_stats_off\": %.3f, \"chase_p50_ms_stats_on\": %.3f, \
+        \"chase_p50_overhead_pct\": %.1f, \"chase_overhead_within_3pct\": %b},\n"
+       obs.ob_log_iters obs.ob_log_on_ns obs.ob_log_off_ns obs.ob_lock_iters
+       obs.ob_lock_plain_ns obs.ob_lock_noop_ns obs.ob_lock_on_ns
+       obs.ob_chase_iters obs.ob_p50_plain obs.ob_p50_stats chase_overhead_pct
+       (chase_overhead_pct < 3.));
   Buffer.add_string buf
     (Printf.sprintf
        "  \"incremental_maintenance\": {\"workload\": %S, \
@@ -480,6 +616,24 @@ let run () =
       "admission-overhead" o.p50_plain o.p50_budget o.p99_plain o.p99_budget;
     o
   in
+  let obs =
+    let w =
+      List.find (fun w -> w.w_name = "control-chain-40") (workloads ())
+    in
+    let o = observability_overhead w in
+    Printf.printf
+      "  %-20s wide event %6.0f ns (noop %3.0f ns)   lock pair %5.1f ns \
+       (plain %5.1f, noop %5.1f)\n"
+      "observability" o.ob_log_on_ns o.ob_log_off_ns o.ob_lock_on_ns
+      o.ob_lock_plain_ns o.ob_lock_noop_ns;
+    Printf.printf
+      "  %-20s chase p50 %7.3f -> %7.3f ms with stats sink (%+.1f%%)\n" ""
+      o.ob_p50_plain o.ob_p50_stats
+      (if o.ob_p50_plain > 0. then
+         100. *. (o.ob_p50_stats -. o.ob_p50_plain) /. o.ob_p50_plain
+       else 0.);
+    o
+  in
   let incr =
     let w = List.find (fun w -> w.w_name = "fanout-joins") (workloads ()) in
     let i = incremental_maintenance w in
@@ -507,7 +661,8 @@ let run () =
     ps
   in
   let path = "BENCH_chase.json" in
-  Bench_util.write_file_atomic path (json_out ~overhead ~incr ~persist sections);
+  Bench_util.write_file_atomic path
+    (json_out ~overhead ~obs ~incr ~persist sections);
   Printf.printf "  wrote %s (machine reports %d recommended domains)\n" path
     (Domain.recommended_domain_count ());
   if not (List.for_all (fun s -> s.identical) sections) then

@@ -11,7 +11,7 @@ open Ekg_server
 
 let run host port domains chase_domains root preload fault queue_high_water
     default_deadline_ms max_deadline_ms store_dir snapshot_mode
-    max_hot_sessions =
+    max_hot_sessions log_level log_file slowlog_threshold_ms =
   (* the --fault flag wins over the EKG_FAULT environment variable *)
   let fault =
     match fault with Some spec -> Fault.parse spec | None -> Fault.of_env ()
@@ -22,16 +22,28 @@ let run host port domains chase_domains root preload fault queue_high_water
     | Some dir -> Result.map Option.some (Ekg_store.Store.open_dir dir)
   in
   let snapshot_mode = Ekg_store.Snapshotter.mode_of_string snapshot_mode in
-  match fault, store, snapshot_mode with
-  | Error e, _, _ | _, Error e, _ | _, _, Error e ->
+  let log_level = Ekg_obs.Log.level_of_string log_level in
+  match fault, store, snapshot_mode, log_level with
+  | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
     Fmt.epr "error: %s@." e;
     1
-  | Ok fault, Ok store, Ok snapshot_mode ->
+  | Ok fault, Ok store, Ok snapshot_mode, Ok log_level ->
+  let slow_threshold_ms = float_of_int slowlog_threshold_ms in
+  let log =
+    match log_file with
+    | None -> Ok (Ekg_obs.Log.create ~level:log_level ~slow_threshold_ms ())
+    | Some path -> Ekg_obs.Log.open_file ~level:log_level ~slow_threshold_ms path
+  in
+  match log with
+  | Error e ->
+    Fmt.epr "error: cannot open log file: %s@." e;
+    1
+  | Ok log ->
   let state =
     Router.make_state ~root ~chase_domains ~fault
       ~default_deadline_ms:(float_of_int default_deadline_ms)
       ~max_deadline_ms:(float_of_int max_deadline_ms) ?store ~snapshot_mode
-      ~max_hot_sessions ()
+      ~max_hot_sessions ~log ()
   in
   (* crash recovery: re-register every snapshotted session dormant, so
      the restarted daemon serves explanations without recomputing
@@ -82,8 +94,18 @@ let run host port domains chase_domains root preload fault queue_high_water
       Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
       Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      (* background sampler: GC gauges, chase/server pool utilization,
+         snapshotter queue depth — the live side of /v1/debug/runtime *)
+      Ekg_obs.Runtime.start (Router.runtime state);
       Fmt.pr "ekg-serve: listening on http://%s:%d (%d worker domains, root %s)@."
         host (Server.port server) domains root;
+      (match log_file with
+      | Some path ->
+        Fmt.pr "ekg-serve: wide-event log -> %s (level %s, slowlog > %dms)@."
+          path
+          (Ekg_obs.Log.level_to_string log_level)
+          slowlog_threshold_ms
+      | None -> ());
       if fault <> Fault.Off then
         Fmt.pr "ekg-serve: fault injection active: %s@." (Fault.to_string fault);
       (match store with
@@ -96,9 +118,11 @@ let run host port domains chase_domains root preload fault queue_high_water
              Printf.sprintf ", max %d hot" max_hot_sessions
            else ""));
       Server.wait server;
+      Ekg_obs.Runtime.stop (Router.runtime state);
       (* drain pending write-behind snapshots before exiting, so the
          store holds every committed update *)
       Registry.stop_persistence (Router.registry state);
+      Ekg_obs.Log.close log;
       Fmt.pr "ekg-serve: drained, bye@.";
       0)
 
@@ -184,6 +208,31 @@ let max_hot_sessions_t =
   in
   Arg.(value & opt int 0 & info [ "max-hot-sessions" ] ~docv:"N" ~doc)
 
+let log_level_t =
+  let doc =
+    "Severity floor of the wide-event log: debug, info, warn, or \
+     error.  The slow-request ring captures over-threshold requests \
+     regardless of the level."
+  in
+  Arg.(value & opt string "info" & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let log_file_t =
+  let doc =
+    "Append one JSON object per request (the wide event: trace id, \
+     endpoint, status, queue wait, chase cost, GC deltas) to this \
+     file.  Without the flag nothing is written, but the in-memory \
+     slow-request ring behind /v1/debug/slowlog still fills."
+  in
+  Arg.(value & opt (some string) None & info [ "log-file" ] ~docv:"PATH" ~doc)
+
+let slowlog_threshold_ms_t =
+  let doc =
+    "Requests slower than this are captured in the slow-request ring \
+     served by GET /v1/debug/slowlog."
+  in
+  Arg.(
+    value & opt int 500 & info [ "slowlog-threshold-ms" ] ~docv:"MS" ~doc)
+
 let cmd =
   let doc = "explanation service over the template pipeline" in
   let info = Cmd.info "ekg-serve" ~version:"1.0.0" ~doc in
@@ -192,6 +241,7 @@ let cmd =
       const run $ host_t $ port_t $ domains_t $ chase_domains_t $ root_t
       $ preload_t $ fault_t $ queue_high_water_t $ default_deadline_ms_t
       $ max_deadline_ms_t $ store_dir_t $ snapshot_mode_t
-      $ max_hot_sessions_t)
+      $ max_hot_sessions_t $ log_level_t $ log_file_t
+      $ slowlog_threshold_ms_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -611,11 +611,33 @@ let run_checked ?(naive = false) ?(domains = 1) ?(max_rounds = 100_000)
               ~labels:[ ("stratum", string_of_int si) ]
               "chase.stratum"
               (fun span ->
+                let busy0 =
+                  match span, pool with
+                  | Some _, Some p -> Some (Par.total_busy_seconds p, Ekg_obs.Clock.now_s ())
+                  | _ -> None
+                in
                 run_stratum pool si rules;
                 match span with
                 | Some sp ->
                   Ekg_obs.Trace.label sp "rounds"
-                    (string_of_int stratum_rounds.(si))
+                    (string_of_int stratum_rounds.(si));
+                  (match busy0, pool with
+                  | Some (b0, t0), Some p ->
+                    (* worker-utilization labels: busy time across the
+                       pool over the stratum, normalized by elapsed
+                       wall time x pool width — 1.0 means every domain
+                       was matching the whole stratum *)
+                    let busy = Par.total_busy_seconds p -. b0 in
+                    let wall = Float.max 1e-9 (Ekg_obs.Clock.now_s () -. t0) in
+                    let width = float_of_int (Par.domains p) in
+                    Ekg_obs.Trace.label sp "workers"
+                      (string_of_int (Par.domains p));
+                    Ekg_obs.Trace.label sp "worker_busy_ms"
+                      (Printf.sprintf "%.3f" (busy *. 1000.));
+                    Ekg_obs.Trace.label sp "utilization"
+                      (Printf.sprintf "%.3f"
+                         (Float.min 1. (busy /. (wall *. width))))
+                  | _ -> ())
                 | None -> ())
         in
         Par.with_pool ~domains (fun pool ->

@@ -24,9 +24,17 @@ type t = {
   mutable stop : bool;
   mutable workers : unit Domain.t list;
   domains : int;
+  busy : float array;
+      (* per-slot busy clocks: seconds spent draining batches.  Slot 0
+         is the submitting domain, slots 1.. the workers.  Each slot is
+         written only by its own domain; readers may see a value one
+         batch stale, which is fine for utilization gauges. *)
 }
 
 let domains t = t.domains
+
+let busy_seconds t = Array.copy t.busy
+let total_busy_seconds t = Array.fold_left ( +. ) 0. t.busy
 
 (* Claim-and-run loop shared by workers and the submitting domain.
    Exceptions are captured (first one wins) so a failing task cannot
@@ -46,7 +54,15 @@ let drain_batch (b : batch) =
   in
   go ()
 
-let worker_loop t () =
+let timed_drain t ~slot b =
+  let t0 = Ekg_obs.Clock.now_s () in
+  Fun.protect
+    ~finally:(fun () ->
+      t.busy.(slot) <-
+        t.busy.(slot) +. Float.max 0. (Ekg_obs.Clock.now_s () -. t0))
+    (fun () -> drain_batch b)
+
+let worker_loop t ~slot () =
   let last_seen = ref 0 in
   let rec next () =
     Mutex.lock t.lock;
@@ -68,7 +84,7 @@ let worker_loop t () =
     match job with
     | None -> ()
     | Some b ->
-      drain_batch b;
+      timed_drain t ~slot b;
       (* the last finisher wakes the submitter *)
       if Atomic.get b.finished = b.n then begin
         Mutex.lock t.lock;
@@ -91,9 +107,11 @@ let create ~domains =
       stop = false;
       workers = [];
       domains;
+      busy = Array.make domains 0.;
     }
   in
-  t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (worker_loop t));
+  t.workers <-
+    List.init (domains - 1) (fun i -> Domain.spawn (worker_loop t ~slot:(i + 1)));
   t
 
 let shutdown t =
@@ -121,7 +139,7 @@ let run_batch t ~n run =
     Condition.broadcast t.work;
     Mutex.unlock t.lock;
     (* the submitter is a full pool member *)
-    drain_batch b;
+    timed_drain t ~slot:0 b;
     Mutex.lock t.lock;
     while Atomic.get b.finished < b.n do
       Condition.wait t.drained t.lock

@@ -21,6 +21,18 @@ val create : domains:int -> t
 
 val domains : t -> int
 
+val busy_seconds : t -> float array
+(** Per-slot busy clocks: seconds each pool member has spent running
+    batch tasks since {!create}.  Slot [0] is the submitting domain,
+    slots [1..] the spawned workers.  Each slot is written only by its
+    own domain; a concurrent read may be one batch stale.  Divided by
+    pool wall time this is per-worker utilization — the signal that
+    separates "the fan-out is idle-starved" from "one straggler task
+    serializes the round". *)
+
+val total_busy_seconds : t -> float
+(** Sum over {!busy_seconds}. *)
+
 val map : t -> (unit -> 'a) array -> 'a array
 (** Run every task across the pool and return their results in task
     order.  If one or more tasks raise, the first exception observed is

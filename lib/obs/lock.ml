@@ -1,0 +1,77 @@
+(* An instrumented mutex: same discipline as [Mutex], plus wait/hold
+   histograms and contention counters into a [Metrics.t], labeled by
+   the lock's name.  With a noop registry every operation is a plain
+   mutex op behind one branch, so adopting the wrapper costs nothing
+   when observability is off. *)
+
+let wait_metric = "ekg_lock_wait_seconds"
+let hold_metric = "ekg_lock_hold_seconds"
+let acquisitions_metric = "ekg_lock_acquisitions_total"
+let contended_metric = "ekg_lock_contended_total"
+
+let wait_help = "Time spent waiting to acquire an instrumented lock."
+let hold_help = "Time an instrumented lock was held per critical section."
+let acquisitions_help = "Acquisitions of an instrumented lock."
+let contended_help = "Acquisitions that found an instrumented lock already held."
+
+type t = {
+  name : string;
+  mutex : Mutex.t;
+  mutable obs : Metrics.t;
+  labels : (string * string) list;
+  mutable acquired_at : float;
+      (* read and written only while holding [mutex], so the current
+         holder sees its own acquisition time *)
+}
+
+let create ?obs name =
+  let obs = match obs with Some o -> o | None -> Metrics.noop () in
+  {
+    name;
+    mutex = Mutex.create ();
+    obs;
+    labels = [ ("lock", name) ];
+    acquired_at = 0.;
+  }
+
+let name t = t.name
+let mutex t = t.mutex
+let set_obs t obs = t.obs <- obs
+
+let declare obs name =
+  let labels = [ ("lock", name) ] in
+  Metrics.declare_histogram obs ~help:wait_help ~labels wait_metric;
+  Metrics.declare_histogram obs ~help:hold_help ~labels hold_metric;
+  Metrics.declare_counter obs ~help:acquisitions_help ~labels acquisitions_metric;
+  Metrics.declare_counter obs ~help:contended_help ~labels contended_metric
+
+let lock t =
+  if Metrics.enabled t.obs then begin
+    (if Mutex.try_lock t.mutex then
+       Metrics.observe t.obs ~help:wait_help ~labels:t.labels wait_metric 0.
+     else begin
+       Metrics.incr t.obs ~help:contended_help ~labels:t.labels contended_metric;
+       let t0 = Clock.now_s () in
+       Mutex.lock t.mutex;
+       Metrics.observe t.obs ~help:wait_help ~labels:t.labels wait_metric
+         (Float.max 0. (Clock.now_s () -. t0))
+     end);
+    Metrics.incr t.obs ~help:acquisitions_help ~labels:t.labels
+      acquisitions_metric;
+    t.acquired_at <- Clock.now_s ()
+  end
+  else Mutex.lock t.mutex
+
+let unlock t =
+  if Metrics.enabled t.obs then begin
+    let held = Float.max 0. (Clock.now_s () -. t.acquired_at) in
+    Mutex.unlock t.mutex;
+    (* observed after release so hold times never include the metrics
+       registry's own lock *)
+    Metrics.observe t.obs ~help:hold_help ~labels:t.labels hold_metric held
+  end
+  else Mutex.unlock t.mutex
+
+let with_lock t f =
+  lock t;
+  Fun.protect ~finally:(fun () -> unlock t) f

@@ -1,0 +1,49 @@
+(** An instrumented mutex for contention visibility: [Mutex]'s
+    discipline plus per-lock wait/hold histograms and contention
+    counters into a {!Metrics.t}, labeled [{lock="<name>"}].  The
+    series:
+
+    - [ekg_lock_wait_seconds] — time to acquire (0 on an uncontended
+      fast path);
+    - [ekg_lock_hold_seconds] — critical-section length, observed
+      after release;
+    - [ekg_lock_acquisitions_total], [ekg_lock_contended_total].
+
+    With a {!Metrics.noop} registry every operation is a plain mutex
+    op behind one branch, so hot paths can adopt the wrapper without
+    an off-mode cost.  Name cardinality is the adopter's budget: use
+    the wrapper for the handful of process-wide locks worth watching
+    (registry, snapshotter, tracer), not per-entity locks. *)
+
+type t
+
+val create : ?obs:Metrics.t -> string -> t
+(** [obs] defaults to a noop registry (uninstrumented until
+    {!set_obs}). *)
+
+val set_obs : t -> Metrics.t -> unit
+val name : t -> string
+
+val mutex : t -> Mutex.t
+(** The raw mutex, for [Condition.wait].  A wait releases and
+    reacquires the mutex outside the wrapper, so a critical section
+    that blocks on a condition should take the raw ops around its wait
+    loop — otherwise the hold histogram absorbs the blocked time and
+    stops describing contention. *)
+
+val declare : Metrics.t -> string -> unit
+(** Pre-register the four series for lock name [name] so scrapes see
+    them at zero before the first acquisition. *)
+
+val lock : t -> unit
+val unlock : t -> unit
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** [lock]/[unlock] around [f], release guaranteed on exceptions. *)
+
+(** {1 Series names} *)
+
+val wait_metric : string
+val hold_metric : string
+val acquisitions_metric : string
+val contended_metric : string

@@ -71,9 +71,13 @@ let observe t ?(help = "") ?(labels = []) name seconds =
         | H h -> Hist.observe h seconds
         | Scalar _ -> ())
 
-let declare_counter t ?(help = "") name =
+let declare t ~kind ?(help = "") ?(labels = []) name =
   if t.enabled then
-    with_lock t (fun () -> ignore (cell t ~kind:Counter ~help name []))
+    with_lock t (fun () -> ignore (cell t ~kind ~help name labels))
+
+let declare_counter t ?help ?labels name = declare t ~kind:Counter ?help ?labels name
+let declare_gauge t ?help ?labels name = declare t ~kind:Gauge ?help ?labels name
+let declare_histogram t ?help ?labels name = declare t ~kind:Histogram ?help ?labels name
 
 let value t ?(labels = []) name =
   with_lock t (fun () ->

@@ -37,10 +37,17 @@ val observe : t -> ?help:string -> ?labels:(string * string) list -> string -> f
 (** Observe one latency, in {e seconds}, into a histogram ({!Hist}
     buckets; exposed as [_bucket]/[_sum]/[_count] in milliseconds). *)
 
-val declare_counter : t -> ?help:string -> string -> unit
-(** Pre-register an unlabeled counter at [0.] so the series is present
-    in the exposition before the first event — mandatory series stay
+val declare_counter : t -> ?help:string -> ?labels:(string * string) list -> string -> unit
+(** Pre-register a counter at [0.] so the series is present in the
+    exposition before the first event — mandatory series stay
     scrapeable from startup. *)
+
+val declare_gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> unit
+(** Pre-register a gauge at [0.]. *)
+
+val declare_histogram : t -> ?help:string -> ?labels:(string * string) list -> string -> unit
+(** Pre-register an empty histogram — its [_bucket]/[_sum]/[_count]
+    series expose zeros until the first observation. *)
 
 (** {1 Reading} *)
 

@@ -1,0 +1,129 @@
+(* The background runtime sampler: one domain waking every [period_s]
+   to publish process-level gauges — GC heap and allocation rate from
+   [Gc.quick_stat], plus whatever gauge sources upper tiers register
+   (worker-pool utilization, snapshotter queue depth).  Sources are
+   plain closures returning samples, so this module stays at the
+   bottom of the dependency order while the server and store feed it. *)
+
+type sample = {
+  s_name : string;
+  s_help : string;
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+let samples_metric = "ekg_runtime_samples_total"
+
+type t = {
+  obs : Metrics.t;
+  period_s : float;
+  lock : Mutex.t;
+  mutable sources : (string * (unit -> sample list)) list;  (* insertion order *)
+  mutable stop_requested : bool;
+  mutable worker : unit Domain.t option;
+  mutable last_t : float;
+  mutable last_alloc_words : float;
+}
+
+let create ?(period_s = 1.0) obs =
+  {
+    obs;
+    period_s = Float.max 0.01 period_s;
+    lock = Mutex.create ();
+    sources = [];
+    stop_requested = false;
+    worker = None;
+    last_t = 0.;
+    last_alloc_words = 0.;
+  }
+
+let period_s t = t.period_s
+
+let register t name f =
+  Mutex.lock t.lock;
+  t.sources <- (List.remove_assoc name t.sources) @ [ (name, f) ];
+  Mutex.unlock t.lock
+
+let gauge ?(labels = []) s_name s_help s_value =
+  { s_name; s_help; s_labels = labels; s_value }
+
+let gc_samples t ~now =
+  let st = Gc.quick_stat () in
+  (* words ever allocated: minor + major, minus the promoted words
+     counted in both *)
+  let alloc_words = st.minor_words +. st.major_words -. st.promoted_words in
+  let rate =
+    if t.last_t > 0. && now > t.last_t then
+      Float.max 0. ((alloc_words -. t.last_alloc_words) /. (now -. t.last_t))
+    else 0.
+  in
+  t.last_t <- now;
+  t.last_alloc_words <- alloc_words;
+  [
+    gauge "ekg_runtime_gc_heap_words" "Major heap size in words."
+      (float_of_int st.heap_words);
+    gauge "ekg_runtime_gc_top_heap_words" "Largest major heap size reached, in words."
+      (float_of_int st.top_heap_words);
+    gauge "ekg_runtime_gc_minor_collections" "Minor collections since process start."
+      (float_of_int st.minor_collections);
+    gauge "ekg_runtime_gc_major_collections" "Major collection cycles since process start."
+      (float_of_int st.major_collections);
+    gauge "ekg_runtime_gc_compactions" "Heap compactions since process start."
+      (float_of_int st.compactions);
+    gauge "ekg_runtime_gc_promoted_words" "Words promoted from the minor heap since process start."
+      st.promoted_words;
+    gauge "ekg_runtime_alloc_rate_words_per_s"
+      "Allocation rate between the last two sampler passes." rate;
+  ]
+
+let sample t =
+  let now = Clock.now_s () in
+  let gc = gc_samples t ~now in
+  Mutex.lock t.lock;
+  let sources = t.sources in
+  Mutex.unlock t.lock;
+  let extra =
+    List.concat_map (fun (_, f) -> try f () with _ -> []) sources
+  in
+  let all = gc @ extra in
+  List.iter
+    (fun s -> Metrics.set t.obs ~help:s.s_help ~labels:s.s_labels s.s_name s.s_value)
+    all;
+  Metrics.incr t.obs ~help:"Runtime sampler passes." samples_metric;
+  all
+
+let loop t () =
+  (* sleep in short slices so stop requests take effect promptly even
+     with multi-second periods *)
+  let slice = 0.05 in
+  while not t.stop_requested do
+    ignore (sample t);
+    let slept = ref 0. in
+    while (not t.stop_requested) && !slept < t.period_s do
+      let d = Float.min slice (t.period_s -. !slept) in
+      Unix.sleepf d;
+      slept := !slept +. d
+    done
+  done
+
+let start t =
+  Mutex.lock t.lock;
+  let spawn = t.worker = None in
+  if spawn then t.stop_requested <- false;
+  Mutex.unlock t.lock;
+  if spawn then begin
+    let d = Domain.spawn (loop t) in
+    Mutex.lock t.lock;
+    t.worker <- Some d;
+    Mutex.unlock t.lock
+  end
+
+let running t = t.worker <> None
+
+let stop t =
+  t.stop_requested <- true;
+  Mutex.lock t.lock;
+  let w = t.worker in
+  t.worker <- None;
+  Mutex.unlock t.lock;
+  match w with Some d -> Domain.join d | None -> ()

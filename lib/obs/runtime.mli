@@ -1,0 +1,53 @@
+(** The background runtime sampler: a single domain waking every
+    [period_s] to publish process-level gauges into a {!Metrics.t} —
+    GC heap size, allocation rate, collection counts from
+    [Gc.quick_stat], plus whatever {e sources} upper tiers register
+    (the server's worker-pool busy clocks, the snapshotter's queue
+    depth).  Sources are plain closures returning samples, so this
+    module stays at the bottom of the dependency order while any tier
+    can feed it.
+
+    The GC gauges ([ekg_runtime_gc_*], [ekg_runtime_alloc_rate_words_per_s])
+    answer the scale-out questions the request-scoped series cannot:
+    is the heap growing, is allocation pressure rising, are major
+    collections becoming frequent — independent of any request being
+    in flight. *)
+
+type sample = {
+  s_name : string;              (** metric name, e.g. ["ekg_runtime_gc_heap_words"] *)
+  s_help : string;
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+type t
+
+val create : ?period_s:float -> Metrics.t -> t
+(** A sampler publishing into the given registry every [period_s]
+    (default [1.]) once {!start}ed.  Creation does not spawn the
+    domain, so tests (and the [/v1/debug/runtime] handler) can drive
+    it synchronously with {!sample}. *)
+
+val period_s : t -> float
+
+val register : t -> string -> (unit -> sample list) -> unit
+(** [register t name source] adds (or replaces, by [name]) a gauge
+    source consulted on every pass.  A raising source contributes
+    nothing for that pass; it is never dropped. *)
+
+val sample : t -> sample list
+(** One synchronous sampler pass: read the GC, consult every source,
+    publish all gauges, and return them — the [/v1/debug/runtime]
+    document renders this list directly. *)
+
+val start : t -> unit
+(** Spawn the background domain (idempotent). *)
+
+val running : t -> bool
+
+val stop : t -> unit
+(** Stop and join the background domain (idempotent, prompt even for
+    multi-second periods). *)
+
+val samples_metric : string
+(** ["ekg_runtime_samples_total"] — sampler passes completed. *)

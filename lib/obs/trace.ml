@@ -7,7 +7,7 @@ type span = {
 }
 
 type t = {
-  lock : Mutex.t;
+  lock : Lock.t;
   ring : span option array;
   mutable next : int;          (* next write slot *)
   mutable stored : int;
@@ -15,9 +15,9 @@ type t = {
   on_finish : (span -> unit) option;
 }
 
-let create ?(capacity = 128) ?on_finish () =
+let create ?(capacity = 128) ?on_finish ?lock_obs () =
   {
-    lock = Mutex.create ();
+    lock = Lock.create ?obs:lock_obs "tracer";
     ring = Array.make (max 1 capacity) None;
     next = 0;
     stored = 0;
@@ -25,9 +25,8 @@ let create ?(capacity = 128) ?on_finish () =
     on_finish;
   }
 
-let with_lock t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let set_lock_obs t obs = Lock.set_obs t.lock obs
+let with_lock t f = Lock.with_lock t.lock f
 
 let push_root t sp =
   with_lock t (fun () ->

@@ -19,11 +19,17 @@ type span = {
 
 type t
 
-val create : ?capacity:int -> ?on_finish:(span -> unit) -> unit -> t
+val create :
+  ?capacity:int -> ?on_finish:(span -> unit) -> ?lock_obs:Metrics.t -> unit -> t
 (** A tracer keeping the last [capacity] (default [128]) finished root
     spans; older traces are evicted.  [on_finish] is called for
     {e every} finished span (children included) — the hook the server
-    uses to feed per-stage counters. *)
+    uses to feed per-stage counters.  [lock_obs] instruments the ring
+    mutex with wait/hold histograms labeled [{lock="tracer"}] (see
+    {!Lock}). *)
+
+val set_lock_obs : t -> Metrics.t -> unit
+(** Re-bind the ring-mutex instrumentation sink. *)
 
 val with_span :
   t -> ?parent:span -> ?labels:(string * string) list -> string -> (span -> 'a) -> 'a

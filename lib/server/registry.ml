@@ -44,7 +44,11 @@ type t = {
   chase_domains : int;
   fault : Fault.t;
   persist : persist option;
-  lock : Mutex.t;
+  lock : Ekg_obs.Lock.t;
+      (* instrumented (wait/hold histograms, {lock="registry"}): the
+         one process-wide mutex every request crosses, so its
+         contention profile is the first thing to look at when
+         latency climbs with concurrency *)
   mutable sessions : session list;  (* newest first *)
   mutable next_id : int;
 }
@@ -61,7 +65,7 @@ let create ?(root = ".") ?(obs = Ekg_obs.Metrics.noop ()) ?(chase_domains = 1)
       (fun store ->
         {
           store;
-          snapshotter = Ekg_store.Snapshotter.create ~mode:snapshot_mode store;
+          snapshotter = Ekg_store.Snapshotter.create ~mode:snapshot_mode ~obs store;
           max_hot = max_hot_sessions;
         })
       store
@@ -73,7 +77,7 @@ let create ?(root = ".") ?(obs = Ekg_obs.Metrics.noop ()) ?(chase_domains = 1)
     chase_domains;
     fault;
     persist;
-    lock = Mutex.create ();
+    lock = Ekg_obs.Lock.create ~obs "registry";
     sessions = [];
     next_id = 1;
   }
@@ -89,6 +93,11 @@ let stop_persistence t =
 let with_lock lock f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* The registry-wide lock goes through the instrumented wrapper; the
+   per-session mutexes stay plain — they are unbounded in number, and
+   per-label histogram series must not be. *)
+let with_reg_lock t f = Ekg_obs.Lock.with_lock t.lock f
 
 (* --- persistence ------------------------------------------------------------
 
@@ -136,6 +145,7 @@ let schedule_snapshot t (session : session) =
   match t.persist with
   | None -> ()
   | Some p ->
+    Ekg_obs.Log.Ctx.put "snapshot_scheduled" (Ekg_obs.Log.Bool true);
     Ekg_store.Snapshotter.request p.snapshotter ~sid:session.id
       (capture session)
 
@@ -221,7 +231,7 @@ let add t ?name spec =
   | Error e -> Error e
   | Ok { Apps_util.pipeline; edb } ->
     let session =
-      with_lock t.lock (fun () ->
+      with_reg_lock t (fun () ->
           let id = Printf.sprintf "s%d" t.next_id in
           t.next_id <- t.next_id + 1;
           let session =
@@ -240,11 +250,11 @@ let add t ?name spec =
     Ok session
 
 let find t id =
-  with_lock t.lock (fun () ->
+  with_reg_lock t (fun () ->
       List.find_opt (fun s -> s.id = id) t.sessions)
 
-let list t = with_lock t.lock (fun () -> List.rev t.sessions)
-let count t = with_lock t.lock (fun () -> List.length t.sessions)
+let list t = with_reg_lock t (fun () -> List.rev t.sessions)
+let count t = with_reg_lock t (fun () -> List.length t.sessions)
 
 (* Slow-chase fault: burn the configured wall-clock before the real run,
    in short slices so the request budget still trips promptly. *)
@@ -333,7 +343,7 @@ let evict t p (victim : session) =
           evictions_metric)
 
 let hot_count t =
-  with_lock t.lock (fun () ->
+  with_reg_lock t (fun () ->
       List.length
         (List.filter
            (fun s -> (not s.deleted) && Option.is_some s.chase)
@@ -346,7 +356,7 @@ let maybe_evict t ~keep =
   | Some p ->
     let rec go () =
       let hot =
-        with_lock t.lock (fun () ->
+        with_reg_lock t (fun () ->
             (* [chase]/[last_used] are read without the session lock: a
                stale read only mis-ranks a candidate, and [evict]
                re-checks under the victim's lock *)
@@ -366,7 +376,8 @@ let maybe_evict t ~keep =
     in
     go ()
 
-let materialize ?(budget = Chase.unlimited) t (session : session) =
+let materialize ?(budget = Chase.unlimited) ?tracer ?parent t
+    (session : session) =
   let outcome =
     with_lock session.lock (fun () ->
         session.last_used <- Unix.gettimeofday ();
@@ -391,7 +402,8 @@ let materialize ?(budget = Chase.unlimited) t (session : session) =
             | Ok () -> (
               match
                 Chase.run_checked ~stats:t.obs ~domains:t.chase_domains ~budget
-                  session.pipeline.Pipeline.program session.edb
+                  ?obs:tracer ?parent session.pipeline.Pipeline.program
+                  session.edb
               with
               | Ok result ->
                 session.chase <- Some result;
@@ -401,6 +413,24 @@ let materialize ?(budget = Chase.unlimited) t (session : session) =
   match outcome with
   | Error _ as e -> e
   | Ok (result, how) ->
+    (* wide-event contributions: where this request's materialization
+       came from, and what the chase cost when it ran *)
+    Ekg_obs.Log.Ctx.put "chase_source"
+      (Ekg_obs.Log.Str
+         (match how with
+         | `Hot -> "hot"
+         | `Restored -> "restored"
+         | `Chased -> "chased"));
+    if how = `Chased then begin
+      Ekg_obs.Log.Ctx.put "chase_rounds" (Ekg_obs.Log.Int result.Chase.rounds);
+      Ekg_obs.Log.Ctx.put "chase_facts"
+        (Ekg_obs.Log.Int result.Chase.derived_count);
+      match result.Chase.stats with
+      | Some st ->
+        Ekg_obs.Log.Ctx.put "plan_reorders"
+          (Ekg_obs.Log.Int st.Chase.plan_reorders)
+      | None -> ()
+    end;
     (* a fresh chase is worth persisting; a warm restore already came
        from disk and a hot hit changed nothing *)
     if how = `Chased then schedule_snapshot t session;
@@ -557,6 +587,13 @@ let update_facts ?(budget = Chase.unlimited) t (session : session) op atoms =
         session.update_gen <- session.update_gen + 1;
         invalidate_cache_locked session upd.Chase.upd_changed_preds;
         record_update t upd;
+        Ekg_obs.Log.Ctx.put "chase_rounds"
+          (Ekg_obs.Log.Int upd.Chase.upd_rounds);
+        Ekg_obs.Log.Ctx.put "facts_added" (Ekg_obs.Log.Int upd.Chase.upd_added);
+        Ekg_obs.Log.Ctx.put "facts_retracted"
+          (Ekg_obs.Log.Int upd.Chase.upd_retracted);
+        Ekg_obs.Log.Ctx.put "incremental"
+          (Ekg_obs.Log.Bool upd.Chase.upd_incremental);
         Ok upd
       | Error _ as e -> e)
   in
@@ -579,7 +616,7 @@ let last_trace (session : session) =
 
 let remove t id =
   let found =
-    with_lock t.lock (fun () ->
+    with_reg_lock t (fun () ->
         match List.find_opt (fun s -> s.id = id) t.sessions with
         | None -> None
         | Some s ->
@@ -614,7 +651,7 @@ let recover t =
       List.fold_left
         (fun (ok, failed) id ->
           if
-            with_lock t.lock (fun () ->
+            with_reg_lock t (fun () ->
                 List.exists (fun s -> s.id = id) t.sessions)
           then (ok, failed)
           else
@@ -643,7 +680,7 @@ let recover t =
                         "ekg-store: program of session %s changed since its \
                          snapshot; it will re-chase on first use"
                         id);
-                with_lock t.lock (fun () ->
+                with_reg_lock t (fun () ->
                     t.sessions <- session :: t.sessions;
                     match numeric_suffix id with
                     | Some n when n >= t.next_id -> t.next_id <- n + 1
@@ -657,15 +694,24 @@ let recover t =
     in
     (List.rev recovered, List.rev failed)
 
+let snapshotter t = Option.map (fun p -> p.snapshotter) t.persist
+
 let session_json (session : session) =
-  let cached, explained, traced, edb_facts, cached_explanations, update_gen =
+  let ( cached,
+        explained,
+        traced,
+        edb_facts,
+        cached_explanations,
+        update_gen,
+        last_used ) =
     with_lock session.lock (fun () ->
         ( Option.is_some session.chase,
           session.explain_count,
           Option.is_some session.last_trace,
           List.length session.edb,
           Hashtbl.length session.explain_cache,
-          session.update_gen ))
+          session.update_gen,
+          session.last_used ))
   in
   Json.Obj
     [
@@ -687,4 +733,5 @@ let session_json (session : session) =
       "explain_requests", Json.int explained;
       "traced", Json.bool traced;
       "created_at", Json.num session.created_at;
+      "last_used_unix_s", Json.num last_used;
     ]

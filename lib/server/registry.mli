@@ -108,6 +108,11 @@ val create :
 val store : t -> Ekg_store.Store.t option
 (** The persistence store, when one was configured. *)
 
+val snapshotter : t -> Ekg_store.Snapshotter.t option
+(** The write-behind snapshotter, when persistence is on — the router
+    registers its queue-depth/stall gauges as a runtime-sampler
+    source. *)
+
 val flush_snapshots : t -> unit
 (** Block until no snapshot request is pending or in flight. *)
 
@@ -150,11 +155,19 @@ val hot_count : t -> int
 (** Sessions currently holding an in-memory materialization. *)
 
 val materialize :
-  ?budget:Chase.budget -> t -> session -> (Chase.result, Chase.error) result
+  ?budget:Chase.budget ->
+  ?tracer:Ekg_obs.Trace.t ->
+  ?parent:Ekg_obs.Trace.span ->
+  t ->
+  session ->
+  (Chase.result, Chase.error) result
 (** The cached chase result, computing it on first use.  Counts a
     cache hit or miss on the registry's metrics; a miss runs the chase
     with the registry's [obs] sink, so [result.stats] carries per-rule
-    timings and the [ekg_chase_*] series advance.  [budget] (default
+    timings and the [ekg_chase_*] series advance.  [tracer]/[parent]
+    thread the request trace into a cold chase, so its per-stratum
+    spans — with the worker-count/busy/utilization labels — nest under
+    the request's ["chase"] span.  [budget] (default
     {!Chase.unlimited}) bounds the run — a deadline or cancellation
     surfaces as [Error (Budget_exceeded _ | Cancelled _)] with partial
     progress.  Failed runs — budget trips included — are not cached,
@@ -247,4 +260,6 @@ val set_trace : session -> Ekg_obs.Trace.span -> unit
 val last_trace : session -> Ekg_obs.Trace.span option
 
 val session_json : session -> Json.t
-(** Summary document: id, name, goal, rule/fact counts, cache state. *)
+(** Summary document: id, name, goal, rule/fact counts, cache state,
+    tier (hot/dormant), update generation, LRU clock — also the
+    per-session record of [GET /v1/debug/sessions]. *)

@@ -1,11 +1,24 @@
 open Ekg_core
 open Ekg_engine
 
+(* one row of the live in-flight request table ([/v1/debug/inflight]) *)
+type inflight = {
+  if_trace : string;
+  if_meth : string;
+  if_target : string;
+  if_started : float;
+}
+
 type state = {
   registry : Registry.t;
   metrics : Metrics.t;
   obs : Ekg_obs.Metrics.t;
   tracer : Ekg_obs.Trace.t;
+  log : Ekg_obs.Log.t;
+  runtime : Ekg_obs.Runtime.t;
+  inflight : (int, inflight) Hashtbl.t;
+  inflight_lock : Ekg_obs.Lock.t;
+  inflight_seq : int Atomic.t;
   fault : Fault.t;
   default_deadline_ms : float;
   max_deadline_ms : float;
@@ -18,15 +31,19 @@ let queue_depth_metric = "ekg_server_queue_depth"
 
 let make_state ?root ?(chase_domains = 1) ?(fault = Fault.Off)
     ?(default_deadline_ms = 30_000.) ?(max_deadline_ms = 300_000.) ?store
-    ?snapshot_mode ?max_hot_sessions () =
+    ?snapshot_mode ?max_hot_sessions ?log () =
   let metrics = Metrics.create () in
   let obs = Ekg_obs.Metrics.create () in
+  (* no sink by default: request handling still feeds the slow-request
+     ring (so /v1/debug/slowlog works out of the box) but no line is
+     rendered until a sink — the --log-file flag — asks for one *)
+  let log = match log with Some l -> l | None -> Ekg_obs.Log.create () in
   Option.iter (fun s -> Ekg_store.Store.set_obs s obs) store;
   let tracer =
     (* every finished span — pipeline stages, chase, whole requests —
        feeds the per-stage counters, so /metrics shows stage timings
        without anyone walking the trace ring *)
-    Ekg_obs.Trace.create
+    Ekg_obs.Trace.create ~lock_obs:obs
       ~on_finish:(fun (span : Ekg_obs.Trace.span) ->
         let labels = [ "stage", span.name ] in
         Ekg_obs.Metrics.add obs
@@ -47,8 +64,18 @@ let make_state ?root ?(chase_domains = 1) ?(fault = Fault.Off)
   Ekg_obs.Metrics.declare_counter obs
     ~help:"Join plans that deviated from textual body order"
     "ekg_chase_plan_reorders_total";
+  Ekg_obs.Metrics.declare_counter obs
+    ~help:"Seconds spent in chase materializations"
+    "ekg_chase_seconds_total";
+  Ekg_obs.Metrics.declare_counter obs
+    ~help:"Aggregate facts superseded by a later refinement"
+    "ekg_chase_agg_superseded_total";
   Ekg_obs.Metrics.set obs ~help:"Domains used by the most recent chase"
     "ekg_chase_domains" (float_of_int chase_domains);
+  (* the contention histograms of the process-wide instrumented locks
+     likewise render (at zero) from the first scrape *)
+  List.iter (Ekg_obs.Lock.declare obs) [ "registry"; "tracer"; "inflight" ];
+  if Option.is_some store then Ekg_obs.Lock.declare obs "snapshotter";
   (* the live-update series likewise exist from the first scrape *)
   Ekg_obs.Metrics.declare_counter obs
     ~help:"Chase rounds spent maintaining materializations incrementally"
@@ -81,15 +108,38 @@ let make_state ?root ?(chase_domains = 1) ?(fault = Fault.Off)
       Registry.evictions_metric;
     Ekg_obs.Metrics.declare_counter obs
       ~help:"Sessions re-registered from snapshots at startup"
-      Registry.recovered_sessions_metric
+      Registry.recovered_sessions_metric;
+    Ekg_obs.Metrics.declare_gauge obs
+      ~help:"Snapshot requests pending or in flight on the write-behind queue"
+      Ekg_store.Snapshotter.queue_depth_metric;
+    Ekg_obs.Metrics.declare_gauge obs
+      ~help:"Seconds the current in-flight snapshot save has been running"
+      Ekg_store.Snapshotter.stall_metric
   end;
+  let registry =
+    Registry.create ?root ~obs ~chase_domains ~fault ?store ?snapshot_mode
+      ?max_hot_sessions metrics
+  in
+  let runtime = Ekg_obs.Runtime.create obs in
+  (* snapshotter queue depth / stall gauges ride the sampler *)
+  Option.iter
+    (fun sn ->
+      Ekg_obs.Runtime.register runtime "snapshotter"
+        (Ekg_store.Snapshotter.runtime_samples sn))
+    (Registry.snapshotter registry);
+  (* one synchronous pass so every runtime gauge renders from boot,
+     whether or not the background sampler is ever started *)
+  ignore (Ekg_obs.Runtime.sample runtime);
   {
-    registry =
-      Registry.create ?root ~obs ~chase_domains ~fault ?store ?snapshot_mode
-        ?max_hot_sessions metrics;
+    registry;
     metrics;
     obs;
     tracer;
+    log;
+    runtime;
+    inflight = Hashtbl.create 32;
+    inflight_lock = Ekg_obs.Lock.create ~obs "inflight";
+    inflight_seq = Atomic.make 0;
     fault;
     default_deadline_ms;
     max_deadline_ms;
@@ -100,6 +150,8 @@ let registry st = st.registry
 let metrics st = st.metrics
 let obs st = st.obs
 let tracer st = st.tracer
+let log st = st.log
+let runtime st = st.runtime
 let fault st = st.fault
 
 let json_response status j = Http.response status (Json.to_string j)
@@ -275,6 +327,8 @@ let explain st ~trace_id ~deadline_s (session : Registry.session)
           let key = Ekg_datalog.Atom.to_string atom in
           let tag = strategy_tag strategy in
           let answer ~cached ~degraded explanations =
+            Ekg_obs.Log.Ctx.put "cache_hit" (Ekg_obs.Log.Bool cached);
+            Ekg_obs.Log.Ctx.put "degraded" (Ekg_obs.Log.Bool degraded);
             json_response 200
               (Json.Obj
                  [
@@ -310,8 +364,10 @@ let explain st ~trace_id ~deadline_s (session : Registry.session)
               @@ fun span ->
               root := Some span;
               match
-                Ekg_obs.Trace.with_span st.tracer ~parent:span "chase" (fun _ ->
-                    Registry.materialize ~budget st.registry session)
+                Ekg_obs.Trace.with_span st.tracer ~parent:span "chase"
+                  (fun chase_span ->
+                    Registry.materialize ~budget ~tracer:st.tracer
+                      ~parent:chase_span st.registry session)
               with
               | Error err -> chase_error_response st err
               | Ok result -> (
@@ -447,8 +503,10 @@ let explain_batch st ~trace_id ~deadline_s (session : Registry.session)
         root := Some span;
         (* one chase shared by every item — the whole point of batching *)
         match
-          Ekg_obs.Trace.with_span st.tracer ~parent:span "chase" (fun _ ->
-              Registry.materialize ~budget st.registry session)
+          Ekg_obs.Trace.with_span st.tracer ~parent:span "chase"
+            (fun chase_span ->
+              Registry.materialize ~budget ~tracer:st.tracer
+                ~parent:chase_span st.registry session)
         with
         | Error err -> chase_error_response st err
         | Ok result ->
@@ -501,12 +559,124 @@ let explain_batch st ~trace_id ~deadline_s (session : Registry.session)
       Option.iter (Registry.set_trace session) !root;
       resp)
 
+(* --- live debug introspection ------------------------------------------------
+
+   [GET /v1/debug/*]: operational state rendered live, for humans and
+   scripts mid-incident — no scrape pipeline required. *)
+
+let log_value_json : Ekg_obs.Log.value -> Json.t = function
+  | Ekg_obs.Log.Bool b -> Json.bool b
+  | Ekg_obs.Log.Int i -> Json.int i
+  | Ekg_obs.Log.Float f -> Json.num f
+  | Ekg_obs.Log.Str s -> Json.str s
+
+let debug_runtime st =
+  let samples = Ekg_obs.Runtime.sample st.runtime in
+  json_response 200
+    (Json.Obj
+       [
+         "uptime_seconds", Json.num (Unix.gettimeofday () -. st.started_at);
+         ( "sampler",
+           Json.Obj
+             [
+               "period_s", Json.num (Ekg_obs.Runtime.period_s st.runtime);
+               "running", Json.bool (Ekg_obs.Runtime.running st.runtime);
+             ] );
+         ( "gauges",
+           Json.Arr
+             (List.map
+                (fun (s : Ekg_obs.Runtime.sample) ->
+                  Json.Obj
+                    ([ "name", Json.str s.s_name ]
+                    @ (if s.s_labels = [] then []
+                       else
+                         [
+                           ( "labels",
+                             Json.Obj
+                               (List.map
+                                  (fun (k, v) -> k, Json.str v)
+                                  s.s_labels) );
+                         ])
+                    @ [ "value", Json.num s.s_value ]))
+                samples) );
+         ( "log",
+           Json.Obj
+             [
+               ( "level",
+                 Json.str (Ekg_obs.Log.level_to_string (Ekg_obs.Log.level st.log))
+               );
+               ( "slowlog_threshold_ms",
+                 Json.num (Ekg_obs.Log.slow_threshold_ms st.log) );
+               "events_emitted", Json.int (Ekg_obs.Log.emitted st.log);
+             ] );
+       ])
+
+let debug_sessions st =
+  let sessions = Registry.list st.registry in
+  json_response 200
+    (Json.Obj
+       [
+         "count", Json.int (List.length sessions);
+         "hot", Json.int (Registry.hot_count st.registry);
+         "sessions", Json.Arr (List.map Registry.session_json sessions);
+       ])
+
+let debug_inflight st =
+  let now = Unix.gettimeofday () in
+  let entries =
+    Ekg_obs.Lock.with_lock st.inflight_lock (fun () ->
+        Hashtbl.fold (fun _ e acc -> e :: acc) st.inflight [])
+    |> List.sort (fun a b -> Float.compare a.if_started b.if_started)
+  in
+  json_response 200
+    (Json.Obj
+       [
+         "count", Json.int (List.length entries);
+         ( "inflight",
+           Json.Arr
+             (List.map
+                (fun e ->
+                  Json.Obj
+                    [
+                      "trace_id", Json.str e.if_trace;
+                      "method", Json.str e.if_meth;
+                      "target", Json.str e.if_target;
+                      ( "elapsed_ms",
+                        Json.num (Float.max 0. ((now -. e.if_started) *. 1000.))
+                      );
+                    ])
+                entries) );
+       ])
+
+let debug_slowlog st =
+  let entries = Ekg_obs.Log.slow_entries st.log in
+  json_response 200
+    (Json.Obj
+       [
+         "threshold_ms", Json.num (Ekg_obs.Log.slow_threshold_ms st.log);
+         "count", Json.int (List.length entries);
+         ( "slow",
+           Json.Arr
+             (List.map
+                (fun (e : Ekg_obs.Log.entry) ->
+                  Json.Obj
+                    ([
+                       "ts", Json.num e.e_ts;
+                       "event", Json.str e.e_event;
+                       "duration_ms", Json.num e.e_duration_ms;
+                     ]
+                    @ List.map (fun (k, v) -> k, log_value_json v) e.e_fields))
+                entries) );
+       ])
+
 (* --- dispatch -------------------------------------------------------------- *)
 
 let with_session st id k =
   match Registry.find st.registry id with
   | None -> Errors.response Errors.Session_not_found ("no such session: " ^ id)
-  | Some session -> k session
+  | Some session ->
+    Ekg_obs.Log.Ctx.put "session" (Ekg_obs.Log.Str id);
+    k session
 
 (* (route label, handler) — the label collapses path parameters so the
    metrics aggregate per endpoint, not per session. *)
@@ -545,7 +715,14 @@ let route_v1 st ~trace_id ~deadline (req : Http.request) rest =
     "GET /v1/sessions/:id/templates", with_session st id templates
   | Http.GET, [ "sessions"; id; "trace" ] ->
     "GET /v1/sessions/:id/trace", with_session st id session_trace
+  | Http.GET, [ "debug"; "runtime" ] -> "GET /v1/debug/runtime", debug_runtime st
+  | Http.GET, [ "debug"; "sessions" ] ->
+    "GET /v1/debug/sessions", debug_sessions st
+  | Http.GET, [ "debug"; "inflight" ] ->
+    "GET /v1/debug/inflight", debug_inflight st
+  | Http.GET, [ "debug"; "slowlog" ] -> "GET /v1/debug/slowlog", debug_slowlog st
   | _, ([ "health" ] | [ "metrics" ] | [ "sessions" ]
+       | [ "debug"; ("runtime" | "sessions" | "inflight" | "slowlog") ]
        | [ "sessions"; _;
            ("explain" | "explain:batch" | "templates" | "trace" | "facts") ]) ->
     ( Http.meth_to_string req.meth ^ " (known path)",
@@ -582,22 +759,110 @@ let fault_delay st (req : Http.request) =
     | _ -> ())
   | _ -> ()
 
-let handle st req =
+(* --- the wide event ----------------------------------------------------------
+
+   One canonical JSONL record per request, carrying everything known
+   about it: identity (trace id, method, target, endpoint), outcome
+   (status, error code), where the time went (admission wait, total
+   duration), what the reasoning tier did (chase source and cost,
+   cache hits, snapshot scheduling — contributed through [Log.Ctx] by
+   the registry and handlers), and what the request cost the runtime
+   (GC deltas).  Every field below is present in every event, so log
+   consumers can rely on the schema; Ctx contributions override the
+   defaults. *)
+
+let wide_defaults =
+  [
+    "session", Ekg_obs.Log.Str "";
+    "cache_hit", Ekg_obs.Log.Bool false;
+    "degraded", Ekg_obs.Log.Bool false;
+    "chase_source", Ekg_obs.Log.Str "none";
+    "chase_rounds", Ekg_obs.Log.Int 0;
+    "chase_facts", Ekg_obs.Log.Int 0;
+    "plan_reorders", Ekg_obs.Log.Int 0;
+    "snapshot_scheduled", Ekg_obs.Log.Bool false;
+    "shed", Ekg_obs.Log.Bool false;
+  ]
+
+(* stable wire code out of the error envelope, e.g. "deadline_exceeded" *)
+let error_code_of_body status body =
+  if status < 400 then None
+  else
+    match Json.parse body with
+    | Ok (Json.Obj _ as o) -> (
+      match Json.member "error" o with
+      | Some e -> Json.mem_str "code" e
+      | None -> None)
+    | _ -> None
+
+let emit_wide_event st ~trace_id ~meth ~target ~label ~status ~body
+    ~queue_wait_s ~dur_s ~(gc0 : Gc.stat) ~(gc1 : Gc.stat) ctx_fields =
+  let open Ekg_obs.Log in
+  let merged =
+    List.fold_left
+      (fun acc (k, v) ->
+        if List.mem_assoc k acc then
+          List.map (fun (k', v') -> if k' = k then (k, v) else (k', v')) acc
+        else acc @ [ (k, v) ])
+      wide_defaults ctx_fields
+  in
+  let fields =
+    [
+      "trace_id", Str trace_id;
+      "method", Str meth;
+      "target", Str target;
+      "endpoint", Str label;
+      "status", Int status;
+      ( "error_code",
+        Str (Option.value (error_code_of_body status body) ~default:"") );
+      "queue_wait_ms", Float (queue_wait_s *. 1000.);
+    ]
+    @ merged
+    @ [
+        "gc_minor_collections", Int (gc1.minor_collections - gc0.minor_collections);
+        "gc_major_collections", Int (gc1.major_collections - gc0.major_collections);
+        "gc_promoted_words", Float (gc1.promoted_words -. gc0.promoted_words);
+        "gc_minor_words", Float (gc1.minor_words -. gc0.minor_words);
+      ]
+  in
+  let level = if status >= 500 then Error else if status >= 400 then Warn else Info in
+  event st.log ~duration_ms:(dur_s *. 1000.) level "request" fields
+
+let handle ?(queue_wait_s = 0.) st req =
   let t0 = Unix.gettimeofday () in
   let trace_id = Ekg_obs.Trace.next_trace_id st.tracer in
+  let meth = Http.meth_to_string req.Http.meth in
   (* the deadline clock starts when handling does — before any injected
      delay — so a slow handler consumes the request's budget *)
   let deadline = request_deadline st req in
-  fault_delay st req;
-  let label, resp =
-    try route st ~trace_id ~deadline req
-    with exn ->
-      ( "(handler-exception)",
-        Errors.response Errors.Internal_error
-          ("internal error: " ^ Printexc.to_string exn) )
+  let if_id = Atomic.fetch_and_add st.inflight_seq 1 in
+  Ekg_obs.Lock.with_lock st.inflight_lock (fun () ->
+      Hashtbl.replace st.inflight if_id
+        {
+          if_trace = trace_id;
+          if_meth = meth;
+          if_target = req.Http.target;
+          if_started = t0;
+        });
+  let gc0 = Gc.quick_stat () in
+  let (label, resp), ctx_fields =
+    Ekg_obs.Log.Ctx.collect (fun () ->
+        fault_delay st req;
+        try route st ~trace_id ~deadline req
+        with exn ->
+          ( "(handler-exception)",
+            Errors.response Errors.Internal_error
+              ("internal error: " ^ Printexc.to_string exn) ))
   in
+  let gc1 = Gc.quick_stat () in
+  Ekg_obs.Lock.with_lock st.inflight_lock (fun () ->
+      Hashtbl.remove st.inflight if_id);
+  let dur_s = Unix.gettimeofday () -. t0 in
   Metrics.record st.metrics ~endpoint:label ~status:resp.Http.status
-    ~seconds:(Unix.gettimeofday () -. t0);
+    ~seconds:dur_s;
+  emit_wide_event st ~trace_id ~meth ~target:req.Http.target ~label
+    ~status:resp.Http.status ~body:resp.Http.resp_body ~queue_wait_s ~dur_s ~gc0
+    ~gc1 ctx_fields;
   { resp with
     Http.resp_headers = ("X-Ekg-Trace-Id", trace_id) :: resp.Http.resp_headers }
 
@@ -612,6 +877,15 @@ let handle_overload st (req : Http.request) =
   in
   Metrics.record st.metrics ~endpoint:"(shed)" ~status:resp.Http.status
     ~seconds:0.;
+  (* shed requests never reach [handle], so they emit their wide event
+     here — "every request emits exactly one" includes refusals *)
+  let gc = Gc.quick_stat () in
+  let trace_id = Ekg_obs.Trace.next_trace_id st.tracer in
+  emit_wide_event st ~trace_id
+    ~meth:(Http.meth_to_string req.Http.meth)
+    ~target:req.Http.target ~label:"(shed)" ~status:resp.Http.status
+    ~body:resp.Http.resp_body ~queue_wait_s:0. ~dur_s:0. ~gc0:gc ~gc1:gc
+    [ ("shed", Ekg_obs.Log.Bool true) ];
   resp
 
 let set_queue_depth st depth =

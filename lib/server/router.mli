@@ -12,6 +12,10 @@
     POST /v1/sessions/:id/explain:batch  explain many queries over one chase
     GET  /v1/sessions/:id/templates      both template families of a session
     GET  /v1/sessions/:id/trace          span tree of the session's last explain
+    GET  /v1/debug/runtime               live runtime gauges (GC, sampler sources)
+    GET  /v1/debug/sessions              session table: tier, generation, LRU clock
+    GET  /v1/debug/inflight              in-flight request table with elapsed time
+    GET  /v1/debug/slowlog               the slow-request ring
     v}
 
     The pre-/v1 paths ([/health], [/metrics], [/sessions…]) answer
@@ -56,6 +60,7 @@ val make_state :
   ?store:Ekg_store.Store.t ->
   ?snapshot_mode:Ekg_store.Snapshotter.mode ->
   ?max_hot_sessions:int ->
+  ?log:Ekg_obs.Log.t ->
   unit ->
   state
 (** Fresh registry + metrics + observability registry + tracer; [root]
@@ -90,15 +95,33 @@ val obs : state -> Ekg_obs.Metrics.t
 val tracer : state -> Ekg_obs.Trace.t
 (** The request tracer (ring buffer of recent explain traces). *)
 
+val log : state -> Ekg_obs.Log.t
+(** The structured logger receiving one wide event per request.
+    Defaults to a sink-less logger that still feeds the slow-request
+    ring; pass [?log] to {!make_state} (the [--log-file] flag) to
+    write JSONL. *)
+
+val runtime : state -> Ekg_obs.Runtime.t
+(** The runtime sampler (created stopped; the daemon {!Ekg_obs.Runtime.start}s
+    it, and [GET /v1/debug/runtime] drives a synchronous pass either way).
+    The server registers its worker-pool source here; the snapshotter
+    gauges are pre-registered when a store is configured. *)
+
 val fault : state -> Fault.t
 (** The injected fault, for the accept/dispatch loops ({!Fault.Delay}
     and {!Fault.Slow_chase} are consumed inside the router/registry;
     {!Fault.Refuse_accept} must be honoured by the acceptor). *)
 
-val handle : state -> Http.request -> Http.response
+val handle : ?queue_wait_s:float -> state -> Http.request -> Http.response
 (** Dispatch one request, recording latency and status against the
     route label (path parameters collapsed to [:id]) and stamping the
-    [X-Ekg-Trace-Id] header. *)
+    [X-Ekg-Trace-Id] header.  Also emits the request's {e wide event}
+    — one JSONL record carrying trace id, endpoint, status/error code,
+    [queue_wait_s] (the admission-queue wait the server measured),
+    per-request GC deltas, and whatever the handled tiers contributed
+    through {!Ekg_obs.Log.Ctx} (session, chase source and cost, cache
+    hits, snapshot scheduling) — and maintains the in-flight table
+    behind [GET /v1/debug/inflight]. *)
 
 val handle_overload : state -> Http.request -> Http.response
 (** The load-shedding response: [503] with the [overloaded] envelope

@@ -26,11 +26,18 @@ type t = {
   bound_port : int;
   stop_requested : bool Atomic.t;
   accepting_done : bool Atomic.t;
-  queue : Unix.file_descr Queue.t;      (* admitted; guarded by [qlock] *)
+  queue : (Unix.file_descr * float) Queue.t;
+      (* admitted, with enqueue timestamp so the dequeuing worker can
+         report the admission-queue wait; guarded by [qlock] *)
   shed_queue : Unix.file_descr Queue.t; (* past high-water; guarded by [qlock] *)
   qlock : Mutex.t;
   qcond : Condition.t;      (* workers wait here *)
   shed_cond : Condition.t;  (* the shed domain waits here *)
+  worker_busy : float array;
+      (* per-worker busy clocks (seconds handling connections), one
+         slot per worker domain, each written only by its own worker;
+         published by the runtime sampler as utilization gauges *)
+  started_at : float;
   mutable threads : unit Domain.t list;
   joined : bool Atomic.t;
 }
@@ -75,7 +82,8 @@ let serve_connection t ~respond fd =
           (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ())
       with Unix.Unix_error _ -> ())
 
-let handle_connection t fd = serve_connection t ~respond:(Router.handle t.state) fd
+let handle_connection t ~queue_wait_s fd =
+  serve_connection t ~respond:(Router.handle ~queue_wait_s t.state) fd
 
 (* The shed lane still answers probes: liveness and scrapes must observe
    the overload, not join it.  Everything else gets the 503 envelope. *)
@@ -87,14 +95,14 @@ let shed_respond t (req : Http.request) =
 
 (* --- domains --------------------------------------------------------------- *)
 
-let worker_loop t () =
+let worker_loop t ~slot () =
   let rec next () =
     Mutex.lock t.qlock;
     let rec await () =
       if not (Queue.is_empty t.queue) then begin
-        let fd = Queue.pop t.queue in
+        let job = Queue.pop t.queue in
         Router.set_queue_depth t.state (Queue.length t.queue);
-        Some fd
+        Some job
       end
       else if Atomic.get t.accepting_done then None
       else begin
@@ -106,8 +114,12 @@ let worker_loop t () =
     Mutex.unlock t.qlock;
     match job with
     | None -> ()
-    | Some fd ->
-      handle_connection t fd;
+    | Some (fd, enqueued_at) ->
+      let t0 = Unix.gettimeofday () in
+      let queue_wait_s = Float.max 0. (t0 -. enqueued_at) in
+      handle_connection t ~queue_wait_s fd;
+      t.worker_busy.(slot) <-
+        t.worker_busy.(slot) +. Float.max 0. (Unix.gettimeofday () -. t0);
       next ()
   in
   next ()
@@ -140,7 +152,7 @@ let enqueue t fd =
     Condition.signal t.shed_cond
   end
   else begin
-    Queue.push fd t.queue;
+    Queue.push (fd, Unix.gettimeofday ()) t.queue;
     Router.set_queue_depth t.state (Queue.length t.queue);
     Condition.signal t.qcond
   end;
@@ -201,16 +213,52 @@ let start ?(config = default_config) state =
       qlock = Mutex.create ();
       qcond = Condition.create ();
       shed_cond = Condition.create ();
+      worker_busy = Array.make (max 1 config.domains) 0.;
+      started_at = Unix.gettimeofday ();
       threads = [];
       joined = Atomic.make false;
     }
   in
   let workers =
-    List.init (max 1 config.domains) (fun _ -> Domain.spawn (worker_loop t))
+    List.init (max 1 config.domains) (fun i ->
+        Domain.spawn (worker_loop t ~slot:i))
   in
   let shedder = Domain.spawn (shed_loop t) in
   let acceptor = Domain.spawn (accept_loop t) in
   t.threads <- acceptor :: shedder :: workers;
+  (* publish per-worker busy clocks through the runtime sampler so
+     [GET /v1/debug/runtime] and the metrics endpoint expose HTTP
+     pool utilization alongside the chase pool's *)
+  Ekg_obs.Runtime.register (Router.runtime state) "server-pool" (fun () ->
+      let n = Array.length t.worker_busy in
+      let wall = Float.max 1e-9 (Unix.gettimeofday () -. t.started_at) in
+      let total = Array.fold_left ( +. ) 0. t.worker_busy in
+      Ekg_obs.Runtime.
+        [
+          {
+            s_name = "ekg_server_workers";
+            s_help = "HTTP worker domains in the pool";
+            s_labels = [];
+            s_value = float_of_int n;
+          };
+          {
+            s_name = "ekg_server_pool_utilization";
+            s_help =
+              "Fraction of pool capacity spent handling connections \
+               since start";
+            s_labels = [];
+            s_value = Float.min 1. (total /. (wall *. float_of_int n));
+          };
+        ]
+      @ List.init n (fun i ->
+            Ekg_obs.Runtime.
+              {
+                s_name = "ekg_server_worker_busy_seconds_total";
+                s_help = "Seconds this worker domain spent handling \
+                          connections";
+                s_labels = [ ("worker", string_of_int i) ];
+                s_value = t.worker_busy.(i);
+              }));
   t
 
 let port t = t.bound_port

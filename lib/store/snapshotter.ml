@@ -11,14 +11,21 @@ let mode_to_string = function
   | Write_behind -> "behind"
   | Sync -> "sync"
 
+let queue_depth_metric = "ekg_store_snapshot_queue_depth"
+let stall_metric = "ekg_store_snapshot_stall_seconds"
+
 type t = {
   store : Store.t;
   snap_mode : mode;
-  lock : Mutex.t;
+  lock : Ekg_obs.Lock.t;
+      (* instrumented on the request path; the wait loops below take
+         the raw mutex so condition-blocked time never lands in the
+         hold histogram *)
   cond : Condition.t;
   pending : (string, unit -> Codec.t option) Hashtbl.t;
   order : string Queue.t;  (* FIFO of sids; stale entries are skipped *)
   mutable in_flight : string option;
+  mutable in_flight_since : float;
   mutable stopping : bool;
   mutable worker : unit Domain.t option;
 }
@@ -46,39 +53,42 @@ let rec pop_pending t =
   | Some sid -> if Hashtbl.mem t.pending sid then Some sid else pop_pending t
 
 let worker_loop t =
+  let mutex = Ekg_obs.Lock.mutex t.lock in
   let rec go () =
-    Mutex.lock t.lock;
+    Mutex.lock mutex;
     while Hashtbl.length t.pending = 0 && not t.stopping do
-      Condition.wait t.cond t.lock
+      Condition.wait t.cond mutex
     done;
     match pop_pending t with
     | None ->
       (* stopping with an empty queue *)
-      Mutex.unlock t.lock
+      Mutex.unlock mutex
     | Some sid ->
       let capture = Hashtbl.find t.pending sid in
       Hashtbl.remove t.pending sid;
       t.in_flight <- Some sid;
-      Mutex.unlock t.lock;
+      t.in_flight_since <- Ekg_obs.Clock.now_s ();
+      Mutex.unlock mutex;
       run_job t sid capture;
-      Mutex.lock t.lock;
+      Mutex.lock mutex;
       t.in_flight <- None;
       Condition.broadcast t.cond;
-      Mutex.unlock t.lock;
+      Mutex.unlock mutex;
       go ()
   in
   go ()
 
-let create ?(mode = Write_behind) store =
+let create ?(mode = Write_behind) ?obs store =
   let t =
     {
       store;
       snap_mode = mode;
-      lock = Mutex.create ();
+      lock = Ekg_obs.Lock.create ?obs "snapshotter";
       cond = Condition.create ();
       pending = Hashtbl.create 16;
       order = Queue.create ();
       in_flight = None;
+      in_flight_since = 0.;
       stopping = false;
       worker = None;
     }
@@ -86,43 +96,74 @@ let create ?(mode = Write_behind) store =
   if mode = Write_behind then t.worker <- Some (Domain.spawn (fun () -> worker_loop t));
   t
 
+let set_obs t obs = Ekg_obs.Lock.set_obs t.lock obs
+
 let request t ~sid capture =
   match t.snap_mode with
   | Off -> ()
   | Sync -> run_job t sid capture
   | Write_behind ->
-    Mutex.lock t.lock;
+    Ekg_obs.Lock.lock t.lock;
     if t.stopping then begin
       (* the daemon is draining: persist inline rather than drop *)
-      Mutex.unlock t.lock;
+      Ekg_obs.Lock.unlock t.lock;
       run_job t sid capture
     end
     else begin
       if not (Hashtbl.mem t.pending sid) then Queue.push sid t.order;
       Hashtbl.replace t.pending sid capture;
       Condition.broadcast t.cond;
-      Mutex.unlock t.lock
+      Ekg_obs.Lock.unlock t.lock
     end
 
 let discard t ~sid =
-  Mutex.lock t.lock;
+  let mutex = Ekg_obs.Lock.mutex t.lock in
+  Mutex.lock mutex;
   Hashtbl.remove t.pending sid;
   while t.in_flight = Some sid do
-    Condition.wait t.cond t.lock
+    Condition.wait t.cond mutex
   done;
-  Mutex.unlock t.lock
+  Mutex.unlock mutex
 
 let flush t =
-  Mutex.lock t.lock;
+  let mutex = Ekg_obs.Lock.mutex t.lock in
+  Mutex.lock mutex;
   while Hashtbl.length t.pending > 0 || t.in_flight <> None do
-    Condition.wait t.cond t.lock
+    Condition.wait t.cond mutex
   done;
-  Mutex.unlock t.lock
+  Mutex.unlock mutex
 
 let stop t =
-  Mutex.lock t.lock;
+  let mutex = Ekg_obs.Lock.mutex t.lock in
+  Mutex.lock mutex;
   t.stopping <- true;
   Condition.broadcast t.cond;
-  Mutex.unlock t.lock;
+  Mutex.unlock mutex;
   (match t.worker with None -> () | Some d -> Domain.join d);
   t.worker <- None
+
+let depth t =
+  Ekg_obs.Lock.with_lock t.lock (fun () ->
+      Hashtbl.length t.pending + if t.in_flight = None then 0 else 1)
+
+let stall_s t =
+  Ekg_obs.Lock.with_lock t.lock (fun () ->
+      match t.in_flight with
+      | None -> 0.
+      | Some _ -> Float.max 0. (Ekg_obs.Clock.now_s () -. t.in_flight_since))
+
+let runtime_samples t () =
+  [
+    {
+      Ekg_obs.Runtime.s_name = queue_depth_metric;
+      s_help = "Snapshot requests pending or in flight on the write-behind queue.";
+      s_labels = [];
+      s_value = float_of_int (depth t);
+    };
+    {
+      Ekg_obs.Runtime.s_name = stall_metric;
+      s_help = "Seconds the current in-flight snapshot save has been running.";
+      s_labels = [];
+      s_value = stall_s t;
+    };
+  ]

@@ -27,11 +27,33 @@ val mode_to_string : mode -> string
 
 type t
 
-val create : ?mode:mode -> Store.t -> t
+val create : ?mode:mode -> ?obs:Ekg_obs.Metrics.t -> Store.t -> t
 (** Spawns the background domain iff [mode] (default [Write_behind])
-    is [Write_behind]. *)
+    is [Write_behind].  [obs] instruments the snapshotter's queue
+    mutex (wait/hold histograms labeled [{lock="snapshotter"}]). *)
+
+val set_obs : t -> Ekg_obs.Metrics.t -> unit
+(** Re-bind the lock instrumentation sink (see {!Store.set_obs}). *)
 
 val mode : t -> mode
+
+val depth : t -> int
+(** Snapshot requests pending or in flight — the write-behind queue
+    depth a stalled disk lets grow. *)
+
+val stall_s : t -> float
+(** How long the current in-flight save has been running ([0.] when
+    idle) — a large value means a snapshot is stalling the drain. *)
+
+val runtime_samples : t -> unit -> Ekg_obs.Runtime.sample list
+(** A {!Ekg_obs.Runtime.register} source publishing
+    {!queue_depth_metric} and {!stall_metric}. *)
+
+val queue_depth_metric : string
+(** ["ekg_store_snapshot_queue_depth"]. *)
+
+val stall_metric : string
+(** ["ekg_store_snapshot_stall_seconds"]. *)
 
 val request : t -> sid:string -> (unit -> Codec.t option) -> unit
 (** Ask for session [sid] to be persisted.  [capture] runs on the

@@ -2,16 +2,21 @@
 # Server smoke test: boot the daemon on an ephemeral port, hit
 # /v1/health, scrape /v1/metrics in Prometheus format (the mandatory
 # series must be present), check the legacy paths answer 301 with a
-# Location header, shut it down gracefully.
+# Location header, exercise the live fact-update walkthrough, scrape
+# the /v1/debug surface, check the wide-event JSONL log, shut it down
+# gracefully.
 # Usage: smoke.sh [path/to/serve.exe]
 set -euo pipefail
 
 SERVE="${1:-bin/serve.exe}"
 LOG="$(mktemp)"
+WIDELOG="$(mktemp)"
 
-"$SERVE" --port 0 --preload company-control >"$LOG" 2>&1 &
+"$SERVE" --port 0 --preload company-control \
+  --log-file "$WIDELOG" --log-level info --slowlog-threshold-ms 250 \
+  >"$LOG" 2>&1 &
 PID=$!
-trap 'kill "$PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$LOG" "$WIDELOG"' EXIT
 
 PORT=""
 for _ in $(seq 1 50); do
@@ -101,6 +106,67 @@ if ! printf '%s' "$BODY" | grep -q 'exercises control over'; then
   exit 1
 fi
 
+# --- debug introspection + wide-event log ----------------------------------
+BODY="$(curl -fsS "http://127.0.0.1:$PORT/v1/debug/runtime")"
+for key in '"uptime_seconds"' '"gauges"' 'ekg_runtime_gc_heap_words' \
+           'ekg_server_workers' '"running":true'; do
+  if ! printf '%s' "$BODY" | grep -q "$key"; then
+    echo "smoke: /v1/debug/runtime is missing $key: $BODY" >&2
+    exit 1
+  fi
+done
+
+BODY="$(curl -fsS "http://127.0.0.1:$PORT/v1/debug/sessions")"
+if ! printf '%s' "$BODY" | grep -q '"id":"s1"'; then
+  echo "smoke: /v1/debug/sessions does not list the preloaded session: $BODY" >&2
+  exit 1
+fi
+
+STATUS="$(curl -sS -o /dev/null -w '%{http_code}' "http://127.0.0.1:$PORT/v1/debug/slowlog")"
+if [ "$STATUS" != "200" ]; then
+  echo "smoke: /v1/debug/slowlog answered HTTP $STATUS" >&2
+  exit 1
+fi
+
+# the registry/snapshotter lock histograms must render in the scrape
+METRICS="$(curl -fsS -H 'Accept: text/plain' "http://127.0.0.1:$PORT/v1/metrics")"
+for series in 'ekg_lock_wait_seconds_count{lock="registry"}' \
+              'ekg_lock_hold_seconds_count{lock="registry"}'; do
+  if ! printf '%s\n' "$METRICS" | grep -qF "$series"; then
+    echo "smoke: /v1/metrics is missing lock series $series" >&2
+    exit 1
+  fi
+done
+
+# one well-formed wide event per request: every line is a JSON object
+# carrying the canonical fields
+if ! [ -s "$WIDELOG" ]; then
+  echo "smoke: wide-event log $WIDELOG is empty" >&2
+  exit 1
+fi
+while IFS= read -r line; do
+  case "$line" in
+    "{"*"}") ;;
+    *) echo "smoke: wide-event line is not a JSON object: $line" >&2; exit 1 ;;
+  esac
+  for key in '"trace_id":' '"endpoint":' '"status":' '"queue_wait_ms":' \
+             '"chase_source":' '"gc_minor_collections":'; do
+    if ! printf '%s' "$line" | grep -qF "$key"; then
+      echo "smoke: wide event is missing $key: $line" >&2
+      exit 1
+    fi
+  done
+done <"$WIDELOG"
+EVENTS="$(wc -l <"$WIDELOG")"
+if [ "$EVENTS" -lt 5 ]; then
+  echo "smoke: expected at least 5 wide events, got $EVENTS" >&2
+  exit 1
+fi
+if ! grep -q '"endpoint":"POST /v1/sessions/:id/explain"' "$WIDELOG"; then
+  echo "smoke: no wide event for the explain requests" >&2
+  exit 1
+fi
+
 kill -TERM "$PID"
 wait "$PID"
-echo "smoke: ok (/v1/health + Prometheus /v1/metrics + legacy 301 + live fact updates on port $PORT)"
+echo "smoke: ok (/v1/health + Prometheus /v1/metrics + legacy 301 + live fact updates + /v1/debug + $EVENTS wide events on port $PORT)"

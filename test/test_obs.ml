@@ -205,6 +205,301 @@ let test_jsonl_export () =
   check bool' "labels serialized" true
     (contains second {|"labels":{"q":"control"}|})
 
+(* --- structured log --------------------------------------------------------- *)
+
+let parse_json line =
+  match Ekg_server.Json.parse line with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "log line is not JSON (%s): %s" e line
+
+let capturing_log ?level ?slow_threshold_ms ?slow_capacity () =
+  let lines = ref [] in
+  let log =
+    Log.create ?level ?slow_threshold_ms ?slow_capacity
+      ~sink:(fun l -> lines := l :: !lines)
+      ()
+  in
+  log, fun () -> List.rev !lines
+
+let test_log_level_filtering () =
+  let log, lines = capturing_log ~level:Log.Warn () in
+  check bool' "would_log error" true (Log.would_log log Log.Error);
+  check bool' "would not log info" false (Log.would_log log Log.Info);
+  Log.debug log "d" [];
+  Log.info log "i" [];
+  Log.warn log "w" [];
+  Log.error log "e" [];
+  check int' "only warn+error forwarded" 2 (List.length (lines ()));
+  check int' "emitted counts forwarded events" 2 (Log.emitted log);
+  Log.set_level log Log.Debug;
+  Log.debug log "d2" [];
+  check int' "lowered level admits debug" 3 (List.length (lines ()))
+
+let test_log_jsonl_shape () =
+  let open Ekg_server in
+  let log, lines = capturing_log ~level:Log.Debug () in
+  Log.event log ~duration_ms:12.5 Log.Info "request"
+    [
+      "trace_id", Log.Str "t-1";
+      "path", Log.Str "a\"b\\c";
+      "status", Log.Int 200;
+      "wait_ms", Log.Float 1.25;
+      "cache_hit", Log.Bool true;
+    ];
+  match lines () with
+  | [ line ] ->
+    let j = parse_json line in
+    check bool' "ts is a number" true
+      (match Json.member "ts" j with Some (Json.Num _) -> true | _ -> false);
+    check bool' "level" true (Json.mem_str "level" j = Some "info");
+    check bool' "event name" true (Json.mem_str "event" j = Some "request");
+    check bool' "duration" true
+      (match Json.member "duration_ms" j with
+      | Some (Json.Num d) -> Float.abs (d -. 12.5) < 1e-9
+      | _ -> false);
+    check bool' "string field escaped + round-trips" true
+      (Json.mem_str "path" j = Some "a\"b\\c");
+    check bool' "int field" true (Json.mem_int "status" j = Some 200);
+    check bool' "float field" true
+      (match Json.member "wait_ms" j with
+      | Some (Json.Num f) -> Float.abs (f -. 1.25) < 1e-9
+      | _ -> false);
+    check bool' "bool field" true (Json.mem_bool "cache_hit" j = Some true)
+  | l -> Alcotest.failf "expected one line, got %d" (List.length l)
+
+let test_log_slow_ring () =
+  (* level Error: the sink sees nothing, yet the ring must still fill —
+     raising the log level cannot blind the slowlog *)
+  let log, lines =
+    capturing_log ~level:Log.Error ~slow_threshold_ms:10. ~slow_capacity:2 ()
+  in
+  Log.event log ~duration_ms:5. Log.Info "fast" [];
+  Log.event log ~duration_ms:20. Log.Info "slow1" [];
+  Log.event log ~duration_ms:30. Log.Info "slow2" [];
+  Log.event log ~duration_ms:40. Log.Info "slow3" [];
+  check int' "sink saw nothing" 0 (List.length (lines ()));
+  (match Log.slow_entries log with
+  | [ a; b ] ->
+    check string' "newest first" "slow3" a.Log.e_event;
+    check string' "capacity evicts oldest" "slow2" b.Log.e_event;
+    check bool' "duration kept" true (a.Log.e_duration_ms = 40.)
+  | l -> Alcotest.failf "expected 2 ring entries, got %d" (List.length l));
+  let noop = Log.noop () in
+  Log.event noop ~duration_ms:100. Log.Error "x" [];
+  check int' "noop logger emits nothing" 0 (Log.emitted noop);
+  check int' "noop logger captures nothing" 0
+    (List.length (Log.slow_entries noop))
+
+let test_log_ctx () =
+  check bool' "inactive outside a scope" false (Log.Ctx.active ());
+  Log.Ctx.put "orphan" (Log.Str "dropped");
+  (* no scope open: the put above must be a silent no-op *)
+  let (), fields =
+    Log.Ctx.collect (fun () ->
+        check bool' "active inside" true (Log.Ctx.active ());
+        Log.Ctx.put "first" (Log.Int 1);
+        Log.Ctx.put "second" (Log.Str "a");
+        Log.Ctx.put "first" (Log.Int 2);
+        (* overwrite: last value, original position *)
+        Log.Ctx.add "acc" 1.5;
+        Log.Ctx.add "acc" 2.5)
+  in
+  check bool' "orphan put did not leak in" true
+    (not (List.mem_assoc "orphan" fields));
+  (match fields with
+  | [ ("first", Log.Int 2); ("second", Log.Str "a"); ("acc", Log.Float a) ] ->
+    check float' "add accumulates" 4. a
+  | _ -> Alcotest.fail "unexpected field list shape");
+  (* nesting: the inner scope shadows the outer for its duration *)
+  let (_, inner), outer =
+    Log.Ctx.collect (fun () ->
+        Log.Ctx.put "outer" (Log.Bool true);
+        Log.Ctx.collect (fun () -> Log.Ctx.put "inner" (Log.Bool true)))
+  in
+  check bool' "inner field captured by inner scope" true
+    (List.mem_assoc "inner" inner);
+  check bool' "inner field absent from outer scope" true
+    (not (List.mem_assoc "inner" outer));
+  check bool' "outer field survived the nested scope" true
+    (List.mem_assoc "outer" outer);
+  (* exceptions close the scope and re-raise *)
+  (try ignore (Log.Ctx.collect (fun () -> raise Exit)) with Exit -> ());
+  check bool' "scope closed after raise" false (Log.Ctx.active ())
+
+let test_log_open_file () =
+  let path = Filename.temp_file "ekg_log" ".jsonl" in
+  (match Log.open_file ~level:Log.Debug path with
+  | Error e -> Alcotest.failf "open_file: %s" e
+  | Ok log ->
+    Log.info log "one" [ "k", Log.Str "v" ];
+    Log.info log "two" [];
+    Log.close log;
+    Log.info log "after-close" [];
+    (* silently dropped *)
+    let ic = open_in path in
+    let rec read acc =
+      match input_line ic with
+      | line -> read (line :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    let lines = read [] in
+    close_in ic;
+    Sys.remove path;
+    check int' "two lines on disk" 2 (List.length lines);
+    List.iter (fun l -> ignore (parse_json l)) lines);
+  match Log.open_file "/nonexistent-dir-xyz/log.jsonl" with
+  | Ok _ -> Alcotest.fail "opened a file in a nonexistent directory"
+  | Error _ -> ()
+
+(* --- runtime sampler --------------------------------------------------------- *)
+
+let find_sample name samples =
+  List.find_opt (fun (s : Runtime.sample) -> s.Runtime.s_name = name) samples
+
+let test_runtime_gc_gauges () =
+  let m = Metrics.create () in
+  let rt = Runtime.create m in
+  let samples = Runtime.sample rt in
+  List.iter
+    (fun name ->
+      check bool' name true (find_sample name samples <> None);
+      check bool' (name ^ " published") true (Metrics.value m name <> None))
+    [
+      "ekg_runtime_gc_heap_words";
+      "ekg_runtime_gc_top_heap_words";
+      "ekg_runtime_gc_minor_collections";
+      "ekg_runtime_gc_major_collections";
+      "ekg_runtime_gc_compactions";
+      "ekg_runtime_gc_promoted_words";
+      "ekg_runtime_alloc_rate_words_per_s";
+    ];
+  (match find_sample "ekg_runtime_gc_heap_words" samples with
+  | Some s -> check bool' "heap is non-empty" true (s.Runtime.s_value > 0.)
+  | None -> Alcotest.fail "heap gauge missing");
+  ignore (Runtime.sample rt);
+  check
+    Alcotest.(option (float 0.))
+    "passes counted" (Some 2.)
+    (Metrics.value m Runtime.samples_metric)
+
+let test_runtime_sources () =
+  let m = Metrics.create () in
+  let rt = Runtime.create m in
+  Runtime.register rt "pool" (fun () ->
+      [
+        {
+          Runtime.s_name = "test_pool_busy";
+          s_help = "busy";
+          s_labels = [ "worker", "0" ];
+          s_value = 7.;
+        };
+      ]);
+  Runtime.register rt "broken" (fun () -> failwith "source blew up");
+  let samples = Runtime.sample rt in
+  (match find_sample "test_pool_busy" samples with
+  | Some s ->
+    check bool' "labels kept" true (s.Runtime.s_labels = [ "worker", "0" ]);
+    check float' "value kept" 7. s.Runtime.s_value
+  | None -> Alcotest.fail "registered source not consulted");
+  check
+    Alcotest.(option (float 0.))
+    "labeled gauge published" (Some 7.)
+    (Metrics.value m ~labels:[ "worker", "0" ] "test_pool_busy");
+  (* replace by name *)
+  Runtime.register rt "pool" (fun () ->
+      [
+        {
+          Runtime.s_name = "test_pool_busy";
+          s_help = "busy";
+          s_labels = [ "worker", "0" ];
+          s_value = 9.;
+        };
+      ]);
+  (match find_sample "test_pool_busy" (Runtime.sample rt) with
+  | Some s -> check float' "replaced, not duplicated" 9. s.Runtime.s_value
+  | None -> Alcotest.fail "replaced source not consulted")
+
+let test_runtime_start_stop () =
+  let m = Metrics.create () in
+  let rt = Runtime.create ~period_s:0.01 m in
+  check bool' "created stopped" false (Runtime.running rt);
+  Runtime.start rt;
+  Runtime.start rt;
+  (* idempotent *)
+  check bool' "running" true (Runtime.running rt);
+  Unix.sleepf 0.08;
+  Runtime.stop rt;
+  Runtime.stop rt;
+  (* idempotent *)
+  check bool' "stopped" false (Runtime.running rt);
+  match Metrics.value m Runtime.samples_metric with
+  | Some n -> check bool' "background passes ran" true (n >= 1.)
+  | None -> Alcotest.fail "no pass recorded"
+
+(* --- instrumented locks ------------------------------------------------------ *)
+
+let test_lock_instrumented () =
+  let m = Metrics.create () in
+  Lock.declare m "reg";
+  check
+    Alcotest.(option (float 0.))
+    "declared at zero" (Some 0.)
+    (Metrics.value m ~labels:[ "lock", "reg" ] Lock.acquisitions_metric);
+  let l = Lock.create ~obs:m "reg" in
+  check string' "name" "reg" (Lock.name l);
+  let v = Lock.with_lock l (fun () -> 41 + 1) in
+  check int' "with_lock returns the body result" 42 v;
+  check
+    Alcotest.(option (float 0.))
+    "acquisition counted" (Some 1.)
+    (Metrics.value m ~labels:[ "lock", "reg" ] Lock.acquisitions_metric);
+  check
+    Alcotest.(option (float 0.))
+    "uncontended" (Some 0.)
+    (Metrics.value m ~labels:[ "lock", "reg" ] Lock.contended_metric);
+  let out = Metrics.to_prometheus m in
+  check bool' "wait histogram rendered" true
+    (contains out (Lock.wait_metric ^ "_count{lock=\"reg\"} 1"));
+  check bool' "hold histogram rendered" true
+    (contains out (Lock.hold_metric ^ "_count{lock=\"reg\"} 1"));
+  (* exception safety: the lock is free again after a raising body *)
+  (try Lock.with_lock l (fun () -> raise Exit) with Exit -> ());
+  Lock.with_lock l ignore;
+  check
+    Alcotest.(option (float 0.))
+    "released on raise, reacquirable" (Some 3.)
+    (Metrics.value m ~labels:[ "lock", "reg" ] Lock.acquisitions_metric)
+
+let test_lock_contention () =
+  let m = Metrics.create () in
+  let l = Lock.create ~obs:m "hot" in
+  Lock.lock l;
+  let d = Domain.spawn (fun () -> Lock.with_lock l (fun () -> ())) in
+  (* give the domain time to block on the contended mutex *)
+  Unix.sleepf 0.05;
+  Lock.unlock l;
+  Domain.join d;
+  (match Metrics.value m ~labels:[ "lock", "hot" ] Lock.contended_metric with
+  | Some n -> check bool' "contention observed" true (n >= 1.)
+  | None -> Alcotest.fail "contended counter missing");
+  let out = Metrics.to_prometheus m in
+  (* the blocked acquirer waited ~50ms: some wait bucket below +Inf but
+     above 25ms must be skipped by its observation *)
+  check bool' "wait sum reflects the block" true
+    (contains out (Lock.wait_metric ^ "_sum{lock=\"hot\"}"));
+  check bool' "hold histogram has both sections" true
+    (contains out (Lock.hold_metric ^ "_count{lock=\"hot\"} 2"))
+
+let test_lock_noop () =
+  let l = Lock.create "quiet" in
+  (* default registry is a noop: operations must stay plain mutex ops *)
+  Lock.with_lock l (fun () -> ());
+  let m = Metrics.noop () in
+  let l2 = Lock.create ~obs:m "quiet2" in
+  Lock.lock l2;
+  Lock.unlock l2;
+  check string' "noop registry renders nothing" "" (Metrics.to_prometheus m)
+
 (* --- chase profiling -------------------------------------------------------- *)
 
 let parse_exn src =
@@ -338,6 +633,27 @@ let () =
             test_span_exception_and_hook;
           Alcotest.test_case "trace ids unique" `Quick test_trace_ids_unique;
           Alcotest.test_case "jsonl export" `Quick test_jsonl_export;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "level filtering" `Quick test_log_level_filtering;
+          Alcotest.test_case "jsonl shape" `Quick test_log_jsonl_shape;
+          Alcotest.test_case "slow ring" `Quick test_log_slow_ring;
+          Alcotest.test_case "ambient ctx" `Quick test_log_ctx;
+          Alcotest.test_case "file sink" `Quick test_log_open_file;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "gc gauges" `Quick test_runtime_gc_gauges;
+          Alcotest.test_case "sources" `Quick test_runtime_sources;
+          Alcotest.test_case "start/stop" `Quick test_runtime_start_stop;
+        ] );
+      ( "lock",
+        [
+          Alcotest.test_case "instrumented series" `Quick
+            test_lock_instrumented;
+          Alcotest.test_case "contention" `Quick test_lock_contention;
+          Alcotest.test_case "noop off-mode" `Quick test_lock_noop;
         ] );
       ( "chase profiling",
         [

@@ -1141,6 +1141,436 @@ let test_router_delete_without_store () =
   check int' "delete works without persistence" 200 deleted.Http.status;
   check int' "gone" 404 (explain_path st "s1" {|path("a", "c")|}).Http.status
 
+(* --- debug endpoints + wide events ------------------------------------------ *)
+
+let body_json (r : Http.response) =
+  match Json.parse r.Http.resp_body with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "body is not JSON (%s): %s" e r.Http.resp_body
+
+let create_inline_session st =
+  let created =
+    Router.handle st
+      (request
+         ~body:(Json.to_string (Json.Obj [ "program", Json.str inline_program ]))
+         Http.POST [ "v1"; "sessions" ])
+  in
+  check int' "session created" 201 created.Http.status
+
+let explain_inline st id =
+  Router.handle st
+    (request
+       ~body:(Json.to_string (Json.Obj [ "query", Json.str {|control("A", "C")|} ]))
+       Http.POST [ "v1"; "sessions"; id; "explain" ])
+
+let test_debug_runtime_endpoint () =
+  let st = Router.make_state () in
+  let r = Router.handle st (request Http.GET [ "v1"; "debug"; "runtime" ]) in
+  check int' "200" 200 r.Http.status;
+  let j = body_json r in
+  check bool' "uptime present" true
+    (match Json.member "uptime_seconds" j with
+    | Some (Json.Num u) -> u >= 0.
+    | _ -> false);
+  (match Json.member "sampler" j with
+  | Some s ->
+    check bool' "sampler not started by make_state" true
+      (Json.mem_bool "running" s = Some false)
+  | None -> Alcotest.fail "sampler block missing");
+  (match Json.member "gauges" j with
+  | Some (Json.Arr gauges) ->
+    let names =
+      List.filter_map (fun g -> Json.mem_str "name" g) gauges
+    in
+    check bool' "gc heap gauge live" true
+      (List.mem "ekg_runtime_gc_heap_words" names);
+    check bool' "alloc rate gauge live" true
+      (List.mem "ekg_runtime_alloc_rate_words_per_s" names)
+  | _ -> Alcotest.fail "gauges array missing");
+  match Json.member "log" j with
+  | Some l ->
+    check bool' "log level reported" true (Json.mem_str "level" l <> None);
+    check bool' "slowlog threshold reported" true
+      (Json.member "slowlog_threshold_ms" l <> None)
+  | None -> Alcotest.fail "log block missing"
+
+let test_debug_sessions_endpoint () =
+  let st = Router.make_state () in
+  create_inline_session st;
+  check int' "explain ok" 200 (explain_inline st "s1").Http.status;
+  let r = Router.handle st (request Http.GET [ "v1"; "debug"; "sessions" ]) in
+  check int' "200" 200 r.Http.status;
+  let j = body_json r in
+  check bool' "count" true (Json.mem_int "count" j = Some 1);
+  check bool' "hot count" true (Json.mem_int "hot" j = Some 1);
+  match Json.member "sessions" j with
+  | Some (Json.Arr [ s ]) ->
+    check bool' "id" true (Json.mem_str "id" s = Some "s1");
+    check bool' "LRU clock exposed" true
+      (match Json.member "last_used_unix_s" s with
+      | Some (Json.Num t) -> t > 0.
+      | _ -> false)
+  | _ -> Alcotest.fail "sessions array missing"
+
+let test_debug_inflight_endpoint () =
+  let st = Router.make_state () in
+  let r = Router.handle st (request Http.GET [ "v1"; "debug"; "inflight" ]) in
+  check int' "200" 200 r.Http.status;
+  let j = body_json r in
+  (* the debug request observes itself: it is registered in-flight
+     before its handler runs *)
+  check bool' "sees itself" true (Json.mem_int "count" j = Some 1);
+  match Json.member "inflight" j with
+  | Some (Json.Arr [ e ]) ->
+    check bool' "method" true (Json.mem_str "method" e = Some "GET");
+    check bool' "target" true
+      (Json.mem_str "target" e = Some "/v1/debug/inflight");
+    check bool' "trace id assigned" true (Json.mem_str "trace_id" e <> None);
+    check bool' "elapsed" true
+      (match Json.member "elapsed_ms" e with
+      | Some (Json.Num ms) -> ms >= 0.
+      | _ -> false)
+  | _ -> Alcotest.fail "inflight array missing"
+
+let test_debug_slowlog_endpoint () =
+  (* threshold 0: every request qualifies as slow *)
+  let log = Ekg_obs.Log.create ~slow_threshold_ms:0. () in
+  let st = Router.make_state ~log () in
+  check int' "probe" 200
+    (Router.handle st (request Http.GET [ "v1"; "health" ])).Http.status;
+  let r = Router.handle st (request Http.GET [ "v1"; "debug"; "slowlog" ]) in
+  check int' "200" 200 r.Http.status;
+  let j = body_json r in
+  check bool' "threshold echoed" true
+    (match Json.member "threshold_ms" j with
+    | Some (Json.Num t) -> t = 0.
+    | _ -> false);
+  match Json.member "slow" j with
+  | Some (Json.Arr (e :: _)) ->
+    check bool' "entries are wide events" true
+      (Json.mem_str "event" e = Some "request");
+    check bool' "endpoint field" true (Json.mem_str "endpoint" e <> None);
+    check bool' "trace id field" true (Json.mem_str "trace_id" e <> None);
+    check bool' "duration field" true (Json.member "duration_ms" e <> None)
+  | _ -> Alcotest.fail "no slow entries despite zero threshold"
+
+let test_debug_unknown_404 () =
+  let st = Router.make_state () in
+  let r = Router.handle st (request Http.GET [ "v1"; "debug"; "nonsense" ]) in
+  check int' "404" 404 r.Http.status;
+  check bool' "envelope code" true (envelope_code r = Some "not_found");
+  let bad_method =
+    Router.handle st (request Http.POST [ "v1"; "debug"; "runtime" ])
+  in
+  check int' "405 on known debug path" 405 bad_method.Http.status;
+  check bool' "method_not_allowed code" true
+    (envelope_code bad_method = Some "method_not_allowed")
+
+(* one canonical JSONL record per request, stable field set *)
+let wide_event_keys =
+  [
+    "ts"; "level"; "event"; "duration_ms"; "trace_id"; "method"; "target";
+    "endpoint"; "status"; "error_code"; "queue_wait_ms"; "session";
+    "cache_hit"; "degraded"; "chase_source"; "chase_rounds"; "chase_facts";
+    "plan_reorders"; "snapshot_scheduled"; "shed"; "gc_minor_collections";
+    "gc_major_collections"; "gc_promoted_words"; "gc_minor_words";
+  ]
+
+let capturing_state () =
+  let lines = ref [] in
+  let log =
+    Ekg_obs.Log.create ~level:Ekg_obs.Log.Debug
+      ~sink:(fun l -> lines := l :: !lines)
+      ()
+  in
+  let st = Router.make_state ~log () in
+  st, fun () -> List.rev !lines
+
+let test_wide_event_per_request () =
+  let st, lines = capturing_state () in
+  let resp =
+    Router.handle ~queue_wait_s:0.25 st (request Http.GET [ "v1"; "health" ])
+  in
+  (match lines () with
+  | [ line ] ->
+    let j =
+      match Json.parse line with
+      | Ok j -> j
+      | Error e -> Alcotest.failf "wide event is not JSON (%s): %s" e line
+    in
+    List.iter
+      (fun k -> check bool' ("field " ^ k) true (Json.member k j <> None))
+      wide_event_keys;
+    check bool' "event name" true (Json.mem_str "event" j = Some "request");
+    check bool' "status" true (Json.mem_int "status" j = Some 200);
+    check bool' "endpoint label" true
+      (Json.mem_str "endpoint" j = Some "GET /v1/health");
+    check bool' "queue wait propagated" true
+      (match Json.member "queue_wait_ms" j with
+      | Some (Json.Num ms) -> Float.abs (ms -. 250.) < 1e-6
+      | _ -> false);
+    check bool' "trace id matches the response header" true
+      (Json.mem_str "trace_id" j = resp_header resp "X-Ekg-Trace-Id");
+    check bool' "no error code on success" true
+      (Json.mem_str "error_code" j = Some "")
+  | l -> Alcotest.failf "expected exactly one wide event, got %d" (List.length l));
+  ignore resp
+
+let test_wide_event_chase_fields () =
+  let st, lines = capturing_state () in
+  create_inline_session st;
+  check int' "explain ok" 200 (explain_inline st "s1").Http.status;
+  check int' "explain again (cached)" 200 (explain_inline st "s1").Http.status;
+  let missing = Router.handle st (request Http.GET [ "v1"; "nope" ]) in
+  check int' "404" 404 missing.Http.status;
+  match List.map (fun l -> Json.parse l) (lines ()) with
+  | [ Ok created; Ok explained; Ok cached; Ok notfound ] ->
+    check bool' "one event per request" true
+      (List.for_all
+         (fun j -> Json.mem_str "event" j = Some "request")
+         [ created; explained; cached; notfound ]);
+    check bool' "explain carries the session" true
+      (Json.mem_str "session" explained = Some "s1");
+    check bool' "cold explain chased" true
+      (Json.mem_str "chase_source" explained = Some "chased");
+    check bool' "chase rounds counted" true
+      (match Json.mem_int "chase_rounds" explained with
+      | Some n -> n > 0
+      | None -> false);
+    check bool' "chase facts counted" true
+      (match Json.mem_int "chase_facts" explained with
+      | Some n -> n > 0
+      | None -> false);
+    check bool' "cold explain is not a cache hit" true
+      (Json.mem_bool "cache_hit" explained = Some false);
+    check bool' "second explain hits the cache" true
+      (Json.mem_bool "cache_hit" cached = Some true);
+    check bool' "warm explain did not re-chase" true
+      (Json.mem_str "chase_source" cached <> Some "chased");
+    check bool' "404 level is warn" true
+      (Json.mem_str "level" notfound = Some "warn");
+    check bool' "404 error code" true
+      (Json.mem_str "error_code" notfound = Some "not_found")
+  | l -> Alcotest.failf "expected 4 wide events, got %d" (List.length l)
+
+let test_chase_span_utilization_labels () =
+  let st = Router.make_state ~chase_domains:2 () in
+  create_inline_session st;
+  check int' "explain ok" 200 (explain_inline st "s1").Http.status;
+  let trace =
+    Router.handle st (request Http.GET [ "v1"; "sessions"; "s1"; "trace" ])
+  in
+  check int' "trace served" 200 trace.Http.status;
+  let body = trace.Http.resp_body in
+  check bool' "workers label" true (contains body {|"workers":"2"|});
+  check bool' "busy clock label" true (contains body "worker_busy_ms");
+  check bool' "utilization label" true (contains body "utilization")
+
+(* legacy (pre-/v1) trace path still answers with a redirect *)
+let test_legacy_trace_redirect () =
+  let st = Router.make_state () in
+  let r =
+    Router.handle st (request Http.GET [ "sessions"; "s1"; "trace" ])
+  in
+  check int' "301" 301 r.Http.status;
+  check bool' "location" true
+    (resp_header r "Location" = Some "/v1/sessions/s1/trace")
+
+(* --- prometheus exposition validation ---------------------------------------- *)
+
+let float_of_prom s =
+  match s with
+  | "+Inf" -> Some infinity
+  | "-Inf" -> Some neg_infinity
+  | "NaN" -> Some Float.nan
+  | s -> float_of_string_opt s
+
+let is_metric_name s =
+  s <> ""
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       s
+  && not (match s.[0] with '0' .. '9' -> true | _ -> false)
+
+(* parse one sample line into (name, labels, value) or fail *)
+let parse_sample_line line =
+  let name_end =
+    match String.index_opt line '{' with
+    | Some i -> i
+    | None -> (
+      match String.index_opt line ' ' with
+      | Some i -> i
+      | None -> Alcotest.failf "no value separator: %s" line)
+  in
+  let name = String.sub line 0 name_end in
+  if not (is_metric_name name) then Alcotest.failf "bad metric name: %s" line;
+  let labels, rest =
+    if name_end < String.length line && line.[name_end] = '{' then begin
+      let close =
+        match String.index_from_opt line name_end '}' with
+        | Some i -> i
+        | None -> Alcotest.failf "unclosed label set: %s" line
+      in
+      let raw = String.sub line (name_end + 1) (close - name_end - 1) in
+      let pairs =
+        if raw = "" then []
+        else
+          List.map
+            (fun kv ->
+              match String.index_opt kv '=' with
+              | Some i ->
+                let k = String.sub kv 0 i in
+                let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+                if String.length v < 2 || v.[0] <> '"'
+                   || v.[String.length v - 1] <> '"'
+                then Alcotest.failf "unquoted label value: %s" line;
+                k, String.sub v 1 (String.length v - 2)
+              | None -> Alcotest.failf "label without '=': %s" line)
+            (String.split_on_char ',' raw)
+      in
+      pairs, String.sub line (close + 1) (String.length line - close - 1)
+    end
+    else
+      [], String.sub line name_end (String.length line - name_end)
+  in
+  let value =
+    match String.split_on_char ' ' (String.trim rest) with
+    | [ v ] | [ v; _ ] -> (
+      match float_of_prom v with
+      | Some f -> f
+      | None -> Alcotest.failf "unparseable value %S: %s" v line)
+    | _ -> Alcotest.failf "malformed sample tail: %s" line
+  in
+  name, labels, value
+
+let test_prometheus_exposition_valid () =
+  let st = Router.make_state () in
+  create_inline_session st;
+  check int' "explain ok" 200 (explain_inline st "s1").Http.status;
+  ignore (Router.handle st (request Http.GET [ "v1"; "nope" ]));
+  let r =
+    Router.handle st
+      (request ~query:[ "format", "prometheus" ] Http.GET [ "v1"; "metrics" ])
+  in
+  check int' "200" 200 r.Http.status;
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' r.Http.resp_body)
+  in
+  check bool' "non-trivial exposition" true (List.length lines > 20);
+  let samples =
+    List.filter_map
+      (fun line ->
+        if String.length line >= 6 && String.sub line 0 6 = "# HELP" then None
+        else if String.length line >= 6 && String.sub line 0 6 = "# TYPE" then
+          None
+        else if String.length line >= 1 && line.[0] = '#' then
+          Alcotest.failf "unknown comment form: %s" line
+        else Some (parse_sample_line line))
+      lines
+  in
+  check bool' "samples parsed" true (samples <> []);
+  (* every histogram's cumulative buckets must be monotone in [le],
+     ending at the +Inf bucket, which must equal the _count series *)
+  let bucket_suffix = "_bucket" in
+  let strip_le labels = List.remove_assoc "le" labels in
+  let series = Hashtbl.create 16 in
+  List.iter
+    (fun (name, labels, value) ->
+      let nl = String.length name and sl = String.length bucket_suffix in
+      if nl > sl && String.sub name (nl - sl) sl = bucket_suffix then begin
+        let base = String.sub name 0 (nl - sl) in
+        let key = base, List.sort compare (strip_le labels) in
+        let le =
+          match List.assoc_opt "le" labels with
+          | Some le -> (
+            match float_of_prom le with
+            | Some f -> f
+            | None -> Alcotest.failf "bad le bound on %s" name)
+          | None -> Alcotest.failf "_bucket without le on %s" name
+        in
+        let prev = Option.value (Hashtbl.find_opt series key) ~default:[] in
+        Hashtbl.replace series key ((le, value) :: prev)
+      end)
+    samples;
+  check bool' "histograms present" true (Hashtbl.length series > 0);
+  Hashtbl.iter
+    (fun (base, labels) buckets ->
+      let sorted =
+        List.sort (fun (a, _) (b, _) -> Float.compare a b) buckets
+      in
+      let rec monotone = function
+        | (_, c1) :: ((_, c2) :: _ as rest) ->
+          if c1 > c2 then
+            Alcotest.failf "non-monotone buckets in %s" base;
+          monotone rest
+        | _ -> ()
+      in
+      monotone sorted;
+      match List.rev sorted with
+      | (inf_le, inf_count) :: _ ->
+        check bool' (base ^ " ends at +Inf") true (inf_le = infinity);
+        let count =
+          List.find_map
+            (fun (name, ls, v) ->
+              if name = base ^ "_count"
+                 && List.sort compare ls = labels
+              then Some v
+              else None)
+            samples
+        in
+        check bool' (base ^ " +Inf equals _count") true
+          (count = Some inf_count)
+      | [] -> ())
+    series;
+  (* the startup declarations: mandatory series visible with zero traffic *)
+  let fresh = Router.make_state () in
+  let scrape =
+    Router.handle fresh
+      (request ~query:[ "format", "prometheus" ] Http.GET [ "v1"; "metrics" ])
+  in
+  List.iter
+    (fun name ->
+      check bool' (name ^ " declared at startup") true
+        (contains scrape.Http.resp_body name))
+    [
+      "ekg_chase_runs_total";
+      "ekg_chase_rounds_total";
+      "ekg_chase_seconds_total";
+      "ekg_chase_agg_superseded_total";
+      "ekg_server_shed_total";
+      "ekg_request_deadline_exceeded_total";
+      "ekg_lock_wait_seconds";
+      "ekg_lock_hold_seconds";
+      "ekg_lock_acquisitions_total";
+      "ekg_lock_contended_total";
+    ];
+  (* the registry lock histograms carry real observations after traffic *)
+  check bool' "registry lock wait histogram live" true
+    (contains r.Http.resp_body {|ekg_lock_wait_seconds_count{lock="registry"}|});
+  check bool' "registry lock hold histogram live" true
+    (contains r.Http.resp_body {|ekg_lock_hold_seconds_count{lock="registry"}|});
+  (* with a store configured the snapshotter lock + gauges are declared *)
+  with_store_dir (fun dir ->
+      let st = Router.make_state ~store:(open_store_exn dir) () in
+      let scrape =
+        Router.handle st
+          (request ~query:[ "format", "prometheus" ] Http.GET
+             [ "v1"; "metrics" ])
+      in
+      List.iter
+        (fun needle ->
+          check bool' (needle ^ " with store") true
+            (contains scrape.Http.resp_body needle))
+        [
+          {|ekg_lock_wait_seconds_count{lock="snapshotter"}|};
+          {|ekg_lock_hold_seconds_count{lock="snapshotter"}|};
+          "ekg_store_snapshot_queue_depth";
+          "ekg_store_snapshot_stall_seconds";
+        ];
+      Registry.stop_persistence (Router.registry st))
+
 (* --- loopback integration -------------------------------------------------- *)
 
 let http_call ?(headers = []) ~port ~meth ~path ~body () =
@@ -1465,6 +1895,30 @@ let () =
             test_router_delete_session;
           Alcotest.test_case "DELETE without a store" `Quick
             test_router_delete_without_store;
+        ] );
+      ( "debug endpoints",
+        [
+          Alcotest.test_case "runtime" `Quick test_debug_runtime_endpoint;
+          Alcotest.test_case "sessions" `Quick test_debug_sessions_endpoint;
+          Alcotest.test_case "inflight" `Quick test_debug_inflight_endpoint;
+          Alcotest.test_case "slowlog" `Quick test_debug_slowlog_endpoint;
+          Alcotest.test_case "unknown path 404" `Quick test_debug_unknown_404;
+        ] );
+      ( "wide events",
+        [
+          Alcotest.test_case "one per request, full schema" `Quick
+            test_wide_event_per_request;
+          Alcotest.test_case "chase + cache fields" `Quick
+            test_wide_event_chase_fields;
+          Alcotest.test_case "chase span utilization labels" `Quick
+            test_chase_span_utilization_labels;
+          Alcotest.test_case "legacy trace redirect" `Quick
+            test_legacy_trace_redirect;
+        ] );
+      ( "prometheus exposition",
+        [
+          Alcotest.test_case "every line valid + buckets monotone" `Quick
+            test_prometheus_exposition_valid;
         ] );
       ( "integration",
         [
