@@ -49,6 +49,24 @@ let print_rules (stats : Ekg_engine.Chase.stats) =
   Printf.printf "  domains: %d;  join plans reordered: %d\n" stats.domains
     stats.plan_reorders
 
+let print_join_stats (stats : Ekg_engine.Chase.stats) =
+  Printf.printf "\n== join engine (%s) ==\n" stats.join_strategy;
+  Printf.printf "  index builds: %d;  probe hits: %d\n" stats.join_builds
+    stats.join_probe_hits;
+  Printf.printf "  %-32s %10s %10s %10s %10s\n" "rule" "build ms" "probe ms"
+    "insert ms" "total ms";
+  let by_time =
+    List.sort
+      (fun (a : Ekg_engine.Chase.rule_stat) b -> compare b.time_s a.time_s)
+      stats.per_rule
+  in
+  List.iter
+    (fun (r : Ekg_engine.Chase.rule_stat) ->
+      Printf.printf "  %-32s %10.3f %10.3f %10.3f %10.3f\n" r.rule_id
+        (r.build_s *. 1000.) (r.probe_s *. 1000.) (r.insert_s *. 1000.)
+        (r.time_s *. 1000.))
+    by_time
+
 let print_rounds (stats : Ekg_engine.Chase.stats) =
   Printf.printf "\n== per-round deltas ==\n";
   Printf.printf "  %-8s %-6s %10s %10s %10s\n" "stratum" "round" "delta"
@@ -59,7 +77,8 @@ let print_rounds (stats : Ekg_engine.Chase.stats) =
         r.delta_size r.new_facts (r.time_s *. 1000.))
     stats.per_round
 
-let run app query domains deadline_ms rounds dump_trace prometheus =
+let run app query domains deadline_ms rounds dump_trace prometheus join
+    join_stats fingerprint =
   let tracer = Ekg_obs.Trace.create () in
   let sink = Ekg_obs.Metrics.create () in
   let wall0 = Unix.gettimeofday () in
@@ -76,7 +95,7 @@ let run app query domains deadline_ms rounds dump_trace prometheus =
     match
       Ekg_obs.Trace.with_span tracer "chase" (fun span ->
           Ekg_engine.Chase.run_checked ~stats:sink ~domains ~budget ~obs:tracer
-            ~parent:span pipeline.Pipeline.program edb)
+            ?join ~parent:span pipeline.Pipeline.program edb)
     with
     | Error err ->
       Fmt.epr "reasoning error: %s@." (Ekg_engine.Chase.error_to_string err);
@@ -120,8 +139,15 @@ let run app query domains deadline_ms rounds dump_trace prometheus =
         Option.iter
           (fun stats ->
             print_rules stats;
+            if join_stats then print_join_stats stats;
             if rounds then print_rounds stats)
           result.stats;
+        if fingerprint then
+          Printf.printf "\nfingerprint: %s\n"
+            (Digest.to_hex
+               (Digest.string
+                  (Ekg_engine.Io.result_to_json result
+                  ^ Ekg_engine.Export.chase_graph_dot result)));
         if dump_trace then begin
           Printf.printf "\n== trace (JSONL) ==\n";
           print_string (Ekg_obs.Trace.jsonl tracer)
@@ -169,12 +195,45 @@ let prometheus_t =
     & info [ "prometheus" ]
         ~doc:"Also dump the chase metrics in Prometheus text format.")
 
+let join_t =
+  let strategy =
+    Arg.enum
+      [
+        ("hash", Ekg_engine.Matcher.Hash); ("nested", Ekg_engine.Matcher.Nested);
+      ]
+  in
+  let doc =
+    "Join engine for the chase: $(b,hash) (columnar build/probe, the \
+     default) or $(b,nested) (posting-list nested loops).  Overrides \
+     $(b,EKG_JOIN).  Output is byte-identical either way."
+  in
+  Arg.(
+    value
+    & opt (some strategy) None
+    & info [ "join" ] ~docv:"ENGINE" ~doc)
+
+let join_stats_t =
+  Arg.(
+    value & flag
+    & info [ "join-stats" ]
+        ~doc:
+          "Also print the per-rule join breakdown: index build, probe and \
+           sequential-insert time.")
+
+let fingerprint_t =
+  Arg.(
+    value & flag
+    & info [ "fingerprint" ]
+        ~doc:
+          "Also print a digest of the full chase output (result JSON + \
+           provenance dot) — CI diffs it across join engines.")
+
 let cmd =
   let doc = "profile a bundled application: per-stage and per-rule breakdown" in
   let info = Cmd.info "ekg-profile" ~version:"1.0.0" ~doc in
   Cmd.v info
     Term.(
       const run $ app_t $ query_t $ domains_t $ deadline_ms_t $ rounds_t
-      $ trace_t $ prometheus_t)
+      $ trace_t $ prometheus_t $ join_t $ join_stats_t $ fingerprint_t)
 
 let () = exit (Cmd.eval' cmd)

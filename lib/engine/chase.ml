@@ -7,6 +7,9 @@ type rule_stat = {
   time_s : float;
   evals : int;
   facts : int;
+  build_s : float;
+  probe_s : float;
+  insert_s : float;
 }
 
 type round_stat = {
@@ -25,6 +28,9 @@ type stats = {
   wall_s : float;
   domains : int;
   plan_reorders : int;
+  join_strategy : string;
+  join_builds : int;
+  join_probe_hits : int;
 }
 
 type result = {
@@ -46,25 +52,26 @@ type state = {
   mutable superseded : int;  (* stale aggregate facts deactivated *)
 }
 
-let instantiate_head st (r : Rule.t) binding =
-  let existentials = Rule.existential_vars r in
-  let nulls = Hashtbl.create 4 in
+(* [existentials] is [Rule.existential_vars r], hoisted by callers so
+   per-match insertion does not recompute it (it walks the whole body). *)
+let instantiate_head st ~existentials (r : Rule.t) binding =
+  let nulls = if existentials = [] then None else Some (Hashtbl.create 4) in
   let resolve (t : Term.t) =
     match t with
     | Term.Cst c -> Some c
     | Term.Var v -> (
       match Subst.find binding v with
       | Some x -> Some x
-      | None ->
-        if List.mem v existentials then begin
+      | None -> (
+        match nulls with
+        | Some nulls when List.mem v existentials -> (
           match Hashtbl.find_opt nulls v with
           | Some n -> Some n
           | None ->
             let n = Database.fresh_null st.db in
             Hashtbl.add nulls v n;
-            Some n
-        end
-        else None)
+            Some n)
+        | _ -> None))
   in
   let args = List.map resolve r.head.Atom.args in
   if List.exists Option.is_none args then None
@@ -78,8 +85,7 @@ let instantiate_head st (r : Rule.t) binding =
    any value (consistently), existential positions are unconstrained.
    Treating nulls as mappable is what terminates recursive existential
    chains such as person → hasParent → person. *)
-let isomorphic_exists st (r : Rule.t) binding =
-  let existentials = Rule.existential_vars r in
+let isomorphic_exists st ~existentials (r : Rule.t) binding =
   if existentials = [] then false
   else begin
     (* per head position: [`Const c], [`Null n] or [`Free] *)
@@ -119,18 +125,28 @@ let isomorphic_exists st (r : Rule.t) binding =
    Runs strictly sequentially — this is the only place fact ids,
    labelled nulls and provenance records are allocated, which is why
    the parallel match phase cannot perturb them. *)
+(* [used_facts] is usually already strictly ascending (body atoms often
+   match facts in insertion order); detect that without allocating
+   before falling back to a sort *)
+let rec strictly_ascending = function
+  | (a : int) :: (b :: _ as tl) -> a < b && strictly_ascending tl
+  | _ -> true
+
 let insert_plain_matches st ~round (r : Rule.t) matches =
+  let existentials = Rule.existential_vars r in
   List.filter_map
     (fun (m : Matcher.match_result) ->
-      if isomorphic_exists st r m.binding then None
+      if isomorphic_exists st ~existentials r m.binding then None
       else
-        match instantiate_head st r m.binding with
+        match instantiate_head st ~existentials r m.binding with
         | None -> None
         | Some tuple -> (
           let derivation =
             {
               Provenance.rule_id = r.id;
-              premises = List.sort_uniq Int.compare m.used_facts;
+              premises =
+                (if strictly_ascending m.used_facts then m.used_facts
+                 else List.sort_uniq Int.compare m.used_facts);
               binding = m.binding;
               contributors = [];
               round;
@@ -154,9 +170,10 @@ let insert_plain_matches st ~round (r : Rule.t) matches =
 
 let apply_agg_rule st ~round ?interrupt ?plan (r : Rule.t) =
   let groups = Matcher.match_agg_rule ?interrupt ?plan st.db r in
+  let existentials = Rule.existential_vars r in
   List.filter_map
     (fun (g : Matcher.agg_result) ->
-      match instantiate_head st r g.group_binding with
+      match instantiate_head st ~existentials r g.group_binding with
       | None -> None
       | Some tuple -> (
         let group_key =
@@ -285,6 +302,9 @@ type rule_acc = {
   mutable acc_time : float;
   mutable acc_evals : int;
   mutable acc_facts : int;
+  mutable acc_build : float;   (* sequential index preparation *)
+  mutable acc_probe : float;   (* match-phase thunk time, summed over tasks *)
+  mutable acc_insert : float;  (* sequential insertion *)
 }
 
 let push_stats sink ~rounds ~derived (s : stats) =
@@ -303,6 +323,20 @@ let push_stats sink ~rounds ~derived (s : stats) =
   Metrics.add sink
     ~help:"Join plans that deviated from textual body order"
     "ekg_chase_plan_reorders_total" (float_of_int s.plan_reorders);
+  Metrics.add sink
+    ~help:"Hash-join indexes built or extended during round planning"
+    "ekg_chase_join_builds_total" (float_of_int s.join_builds);
+  Metrics.add sink
+    ~help:"Matches emitted by the join probe phase"
+    "ekg_chase_join_probe_hits_total" (float_of_int s.join_probe_hits);
+  List.iter
+    (fun (r : rule_stat) ->
+      if r.build_s > 0. then
+        Metrics.observe sink ~help:"Per-rule index build seconds per chase"
+          "ekg_chase_join_build_seconds" r.build_s;
+      Metrics.observe sink ~help:"Per-rule probe (match-phase) seconds per chase"
+        "ekg_chase_join_probe_seconds" r.probe_s)
+    s.per_rule;
   List.iter
     (fun (r : rule_stat) ->
       let labels =
@@ -328,7 +362,11 @@ let push_stats sink ~rounds ~derived (s : stats) =
       provenance records are allocated here, in a schedule-independent
       order. *)
 let run_checked ?(naive = false) ?(domains = 1) ?(max_rounds = 100_000)
-    ?(budget = unlimited) ?stats ?obs ?parent (program : Program.t) edb =
+    ?(budget = unlimited) ?join ?stats ?obs ?parent (program : Program.t) edb =
+  let strategy =
+    match join with Some s -> s | None -> Matcher.strategy_of_env ()
+  in
+  let partitions = max 1 domains in
   match Program.validate program with
   | Error es -> Error (Invalid_program es)
   | Ok () -> (
@@ -435,6 +473,8 @@ let run_checked ?(naive = false) ?(domains = 1) ?(max_rounds = 100_000)
         in
         let accs = ref [] in       (* rule_acc, reverse creation order *)
         let round_log = ref [] in  (* round_stat, reverse execution order *)
+        let join_builds = ref 0 in
+        let join_probe_hits = ref 0 in
         let run_stratum pool si rules =
           let plain = List.filter (fun r -> not (Rule.has_agg r)) rules in
           let agg = List.filter Rule.has_agg rules in
@@ -450,6 +490,9 @@ let run_checked ?(naive = false) ?(domains = 1) ?(max_rounds = 100_000)
                       acc_time = 0.;
                       acc_evals = 0;
                       acc_facts = 0;
+                      acc_build = 0.;
+                      acc_probe = 0.;
+                      acc_insert = 0.;
                     }
                   in
                   accs := a :: !accs;
@@ -511,6 +554,22 @@ let run_checked ?(naive = false) ?(domains = 1) ?(max_rounds = 100_000)
               in
               let plain = planned plain in
               let agg = planned agg in
+              (* sequential index preparation: extend the hash indexes
+                 the round's probes will use, before any task may run.
+                 Still part of the plan phase — [ensure_index] mutates
+                 the database, match tasks only read it. *)
+              List.iter
+                (fun (r, acc, plan) ->
+                  let t0 = if collect then Ekg_obs.Clock.now_s () else 0. in
+                  let n = Matcher.prepare ~strategy st.db r plan in
+                  if collect then begin
+                    join_builds := !join_builds + n;
+                    match acc with
+                    | Some a ->
+                      a.acc_build <- a.acc_build +. (Ekg_obs.Clock.now_s () -. t0)
+                    | None -> ()
+                  end)
+                plain;
               (* phase 1: match all plain rules against the pre-round db *)
               let rule_tasks =
                 List.map
@@ -518,9 +577,11 @@ let run_checked ?(naive = false) ?(domains = 1) ?(max_rounds = 100_000)
                     let thunks =
                       match delta_filter with
                       | None ->
-                        [ (fun () -> Matcher.match_rule ?interrupt ~plan st.db r) ]
+                        Matcher.full_tasks ~strategy ?interrupt ~plan
+                          ~partitions st.db r
                       | Some d ->
-                        Matcher.delta_tasks ?interrupt ~plan ~delta:d st.db r
+                        Matcher.delta_tasks ~strategy ?interrupt ~plan
+                          ~partitions ~delta:d st.db r
                     in
                     let thunks =
                       if not collect then List.map (fun t () -> (0., t ())) thunks
@@ -567,6 +628,14 @@ let run_checked ?(naive = false) ?(domains = 1) ?(max_rounds = 100_000)
                   in
                   let n = List.length out in
                   charge acc (!match_time +. dt) n;
+                  if collect then begin
+                    join_probe_hits := !join_probe_hits + List.length matches;
+                    match acc with
+                    | Some a ->
+                      a.acc_probe <- a.acc_probe +. !match_time;
+                      a.acc_insert <- a.acc_insert +. dt
+                    | None -> ()
+                  end;
                   added_count := !added_count + n;
                   added := List.rev_append out !added)
                 rule_tasks;
@@ -693,6 +762,9 @@ let run_checked ?(naive = false) ?(domains = 1) ?(max_rounds = 100_000)
                         time_s = a.acc_time;
                         evals = a.acc_evals;
                         facts = a.acc_facts;
+                        build_s = a.acc_build;
+                        probe_s = a.acc_probe;
+                        insert_s = a.acc_insert;
                       })
                     !accs
                 in
@@ -705,6 +777,9 @@ let run_checked ?(naive = false) ?(domains = 1) ?(max_rounds = 100_000)
                     wall_s = Ekg_obs.Clock.now_s () -. t_start;
                     domains = max 1 domains;
                     plan_reorders = !plan_reorders;
+                    join_strategy = Matcher.strategy_name strategy;
+                    join_builds = !join_builds;
+                    join_probe_hits = !join_probe_hits;
                   }
               end
             in
@@ -722,16 +797,19 @@ let run_checked ?(naive = false) ?(domains = 1) ?(max_rounds = 100_000)
               }
         end)))
 
-let run ?naive ?domains ?max_rounds ?budget ?stats ?obs ?parent program edb =
+let run ?naive ?domains ?max_rounds ?budget ?join ?stats ?obs ?parent program edb =
   match
-    run_checked ?naive ?domains ?max_rounds ?budget ?stats ?obs ?parent program
-      edb
+    run_checked ?naive ?domains ?max_rounds ?budget ?join ?stats ?obs ?parent
+      program edb
   with
   | Ok r -> Ok r
   | Error e -> Error (error_to_string e)
 
-let run_exn ?naive ?domains ?max_rounds ?budget ?stats ?obs ?parent program edb =
-  match run ?naive ?domains ?max_rounds ?budget ?stats ?obs ?parent program edb with
+let run_exn ?naive ?domains ?max_rounds ?budget ?join ?stats ?obs ?parent program
+    edb =
+  match
+    run ?naive ?domains ?max_rounds ?budget ?join ?stats ?obs ?parent program edb
+  with
   | Ok r -> r
   | Error e -> failwith ("Chase.run: " ^ e)
 
@@ -876,6 +954,8 @@ let rebuild ?domains ?max_rounds ?budget (program : Program.t) (res : result)
 let apply_incremental ?(domains = 1) ?(max_rounds = 100_000)
     ?(budget = unlimited) (res : result) ~adds ~add_tuples ~retract_ids strata =
   let db = res.db and prov = res.prov in
+  let strategy = Matcher.strategy_of_env () in
+  let partitions = max 1 domains in
   let t_start = Ekg_obs.Clock.now_s () in
   let deleted = Hashtbl.create 32 in      (* over-deleted, not yet restored *)
   let deleted_preds = Hashtbl.create 8 in
@@ -1117,13 +1197,20 @@ let apply_incremental ?(domains = 1) ?(max_rounds = 100_000)
                 List.filter_map
                   (fun (r : Rule.t) ->
                     let plan = Plan.compile ~card r in
+                    let evaluated = (!first && List.memq r full)
+                                    || Option.is_some delta_filter in
+                    if evaluated then
+                      ignore (Matcher.prepare ~strategy db r plan);
                     if !first && List.memq r full then
                       Some
-                        (r, [ (fun () -> Matcher.match_rule ?interrupt ~plan db r) ])
+                        (r, Matcher.full_tasks ~strategy ?interrupt ~plan
+                              ~partitions db r)
                     else
                       match delta_filter with
                       | Some d ->
-                        Some (r, Matcher.delta_tasks ?interrupt ~plan ~delta:d db r)
+                        Some
+                          (r, Matcher.delta_tasks ~strategy ?interrupt ~plan
+                                ~partitions ~delta:d db r)
                       | None -> None)
                   rules
               in

@@ -38,6 +38,13 @@ type rule_stat = {
   time_s : float;      (** total matcher + insertion time across rounds *)
   evals : int;         (** rounds the rule was evaluated in *)
   facts : int;         (** facts this rule derived *)
+  build_s : float;     (** sequential hash-index preparation seconds
+                           (always [0.] under the nested engine and for
+                           aggregate rules) *)
+  probe_s : float;     (** match-phase seconds, summed over the rule's
+                           parallel tasks — probe time under the hash
+                           engine, scan time under the nested one *)
+  insert_s : float;    (** sequential insertion seconds *)
 }
 
 type round_stat = {
@@ -58,6 +65,12 @@ type stats = {
   plan_reorders : int;             (** compiled plans deviating from
                                        textual body order, summed over
                                        rules × rounds *)
+  join_strategy : string;          (** ["hash"] or ["nested"] — see
+                                       {!Matcher.strategy} *)
+  join_builds : int;               (** hash indexes built or extended
+                                       during round planning, summed *)
+  join_probe_hits : int;           (** matches emitted by plain-rule
+                                       match phases, summed *)
 }
 
 type result = {
@@ -166,6 +179,7 @@ val run_checked :
   ?domains:int ->
   ?max_rounds:int ->
   ?budget:budget ->
+  ?join:Matcher.strategy ->
   ?stats:Ekg_obs.Metrics.t ->
   ?obs:Ekg_obs.Trace.t ->
   ?parent:Ekg_obs.Trace.span ->
@@ -181,6 +195,7 @@ val run :
   ?domains:int ->
   ?max_rounds:int ->
   ?budget:budget ->
+  ?join:Matcher.strategy ->
   ?stats:Ekg_obs.Metrics.t ->
   ?obs:Ekg_obs.Trace.t ->
   ?parent:Ekg_obs.Trace.span ->
@@ -225,6 +240,7 @@ val run_exn :
   ?domains:int ->
   ?max_rounds:int ->
   ?budget:budget ->
+  ?join:Matcher.strategy ->
   ?stats:Ekg_obs.Metrics.t ->
   ?obs:Ekg_obs.Trace.t ->
   ?parent:Ekg_obs.Trace.span ->

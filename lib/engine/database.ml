@@ -28,10 +28,108 @@ end
 
 module ArgTbl = Hashtbl.Make (ArgKey)
 
+(* value interning: one dense id per [Value.equal]-class.  The matcher's
+   hash-join core compares and hashes interned ids instead of values —
+   [Value.equal] identifies numerically equal [Int]/[Num] values, so the
+   interning must too, or the columnar probe would miss matches the
+   tuple-level [Subst.match_atom] finds. *)
+module ValTbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
 let no_fact = { Fact.id = -1; pred = ""; args = [||] }
 
 (* read-only: the "no posting" result of index probes *)
 let empty_posting = Intvec.create ~capacity:1 ()
+
+(* A multi-column hash index over a column group, keyed by a bitmask of
+   key columns.  Buckets hold row numbers in ascending order (rows are
+   only ever appended), and [ix_rows] is the watermark of rows already
+   indexed: extending the index after a round's insertions only scans
+   the new rows.  Collisions are benign — the matcher re-checks every
+   column of a candidate row against its interned ids.
+
+   The bucket table is open-addressing with linear probing rather than
+   a stdlib [Hashtbl]: the join core issues one probe per candidate
+   partial match (millions per round on dense joins) and a probe here
+   is a multiply, a mask and an array walk — no seeded rehash of the
+   key, no option or bucket-list allocation.  A slot is empty iff its
+   bucket is physically [empty_posting]; live buckets are always
+   freshly allocated, so the sentinel is unambiguous. *)
+type colindex = {
+  mutable ix_keys : int array;      (* full key hash per slot *)
+  mutable ix_buckets : Intvec.t array;  (* rows, ascending; empty_posting = free *)
+  mutable ix_used : int;            (* live slots; capacity kept > 2x *)
+  mutable ix_cap_mask : int;        (* capacity - 1, capacity a power of 2 *)
+  mutable ix_rows : int;            (* rows [0, ix_rows) are indexed *)
+}
+
+let ix_create () =
+  {
+    ix_keys = Array.make 16 0;
+    ix_buckets = Array.make 16 empty_posting;
+    ix_used = 0;
+    ix_cap_mask = 15;
+    ix_rows = 0;
+  }
+
+(* multiplicative spread of the (possibly negative) key hash into a
+   slot; linear probing resolves residual clustering *)
+let ix_slot cap_mask h = (h * 0x9E3779B1) land max_int land cap_mask
+
+(* slot holding key [h], or the first free slot of its probe chain *)
+let ix_find ix h =
+  let cap_mask = ix.ix_cap_mask in
+  let i = ref (ix_slot cap_mask h) in
+  while
+    ix.ix_buckets.(!i) != empty_posting && ix.ix_keys.(!i) <> h
+  do
+    i := (!i + 1) land cap_mask
+  done;
+  !i
+
+let ix_grow ix =
+  let old_keys = ix.ix_keys and old_buckets = ix.ix_buckets in
+  let cap = 2 * (ix.ix_cap_mask + 1) in
+  ix.ix_keys <- Array.make cap 0;
+  ix.ix_buckets <- Array.make cap empty_posting;
+  ix.ix_cap_mask <- cap - 1;
+  Array.iteri
+    (fun i bucket ->
+      if bucket != empty_posting then begin
+        let s = ix_find ix old_keys.(i) in
+        ix.ix_keys.(s) <- old_keys.(i);
+        ix.ix_buckets.(s) <- bucket
+      end)
+    old_buckets
+
+let ix_add ix h row =
+  if 2 * (ix.ix_used + 1) > ix.ix_cap_mask + 1 then ix_grow ix;
+  let s = ix_find ix h in
+  if ix.ix_buckets.(s) != empty_posting then Intvec.push ix.ix_buckets.(s) row
+  else begin
+    let vec = Intvec.create ~capacity:4 () in
+    Intvec.push vec row;
+    ix.ix_keys.(s) <- h;
+    ix.ix_buckets.(s) <- vec;
+    ix.ix_used <- ix.ix_used + 1
+  end
+
+(* Struct-of-arrays storage for one (predicate symbol, arity): each
+   argument position is a flat column of interned value ids, and
+   [cg_rows] maps row number back to fact id.  Row order is insertion
+   order, i.e. ascending fact id — the property that lets the hash-join
+   matcher reproduce the nested-loop matcher's enumeration order
+   exactly. *)
+type colgroup = {
+  cg_arity : int;
+  cg_cols : Intvec.t array;            (* per argument position: vids *)
+  cg_rows : Intvec.t;                  (* row -> fact id *)
+  cg_indexes : (int, colindex) Hashtbl.t;  (* key-column mask -> index *)
+}
 
 type t = {
   syms : Symtab.t;
@@ -41,7 +139,14 @@ type t = {
   by_key : int KeyTbl.t;
   mutable by_pred : Intvec.t array;        (* posting list by pred symbol *)
   by_arg : Intvec.t ArgTbl.t;
-  inactive : (int, unit) Hashtbl.t;
+  (* activation state: one bit per fact id, set = active *)
+  mutable active_bits : Bytes.t;
+  mutable inactive_count : int;
+  (* columnar representation *)
+  cols : (int * int, colgroup) Hashtbl.t;  (* (sym, arity) -> group *)
+  val_ids : int ValTbl.t;                  (* value -> vid *)
+  mutable val_arr : Value.t array;         (* vid -> first-interned value *)
+  mutable val_count : int;
   mutable next_id : int;
   mutable null_counter : int;
 }
@@ -54,7 +159,12 @@ let create () =
     by_key = KeyTbl.create 256;
     by_pred = Array.make 16 (Intvec.create ~capacity:0 ());
     by_arg = ArgTbl.create 1024;
-    inactive = Hashtbl.create 16;
+    active_bits = Bytes.make 32 '\000';
+    inactive_count = 0;
+    cols = Hashtbl.create 32;
+    val_ids = ValTbl.create 1024;
+    val_arr = Array.make 256 (Value.Int 0);
+    val_count = 0;
     next_id = 0;
     null_counter = 0;
   }
@@ -63,7 +173,9 @@ let copy t =
   (* facts and their tuples are immutable once inserted, so sharing the
      Fact.t values is safe; every mutable container is copied.  Unused
      by_pred slots alias one shared empty vector, exactly as in
-     [create] — [intern] installs a fresh posting before any push. *)
+     [create] — [intern] installs a fresh posting before any push.
+     Column-group hash indexes are {e not} copied: they are pure caches
+     that [ensure_index] rebuilds on demand. *)
   let by_pred =
     Array.make (Array.length t.by_pred) (Intvec.create ~capacity:0 ())
   in
@@ -72,6 +184,17 @@ let copy t =
   done;
   let by_arg = ArgTbl.create (max 1024 (ArgTbl.length t.by_arg)) in
   ArgTbl.iter (fun k vec -> ArgTbl.add by_arg k (Intvec.copy vec)) t.by_arg;
+  let cols = Hashtbl.create (max 32 (Hashtbl.length t.cols)) in
+  Hashtbl.iter
+    (fun k (g : colgroup) ->
+      Hashtbl.add cols k
+        {
+          cg_arity = g.cg_arity;
+          cg_cols = Array.map Intvec.copy g.cg_cols;
+          cg_rows = Intvec.copy g.cg_rows;
+          cg_indexes = Hashtbl.create 4;
+        })
+    t.cols;
   {
     syms = Symtab.copy t.syms;
     facts = Array.copy t.facts;
@@ -79,7 +202,12 @@ let copy t =
     by_key = KeyTbl.copy t.by_key;
     by_pred;
     by_arg;
-    inactive = Hashtbl.copy t.inactive;
+    active_bits = Bytes.copy t.active_bits;
+    inactive_count = t.inactive_count;
+    cols;
+    val_ids = ValTbl.copy t.val_ids;
+    val_arr = Array.copy t.val_arr;
+    val_count = t.val_count;
     next_id = t.next_id;
     null_counter = t.null_counter;
   }
@@ -107,6 +235,64 @@ let posting t sym =
   if sym >= 0 && sym < Array.length t.by_pred then t.by_pred.(sym)
   else invalid_arg "Database.posting"
 
+(* --- activation bitmap ------------------------------------------------------ *)
+
+let bit_set t id =
+  let byte = id lsr 3 in
+  if byte >= Bytes.length t.active_bits then begin
+    let grown =
+      Bytes.make (max (2 * Bytes.length t.active_bits) (byte + 1)) '\000'
+    in
+    Bytes.blit t.active_bits 0 grown 0 (Bytes.length t.active_bits);
+    t.active_bits <- grown
+  end;
+  Bytes.unsafe_set t.active_bits byte
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.active_bits byte) lor (1 lsl (id land 7))))
+
+let bit_clear t id =
+  let byte = id lsr 3 in
+  Bytes.unsafe_set t.active_bits byte
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.active_bits byte)
+       land lnot (1 lsl (id land 7))))
+
+let bit_get t id =
+  Char.code (Bytes.unsafe_get t.active_bits (id lsr 3)) land (1 lsl (id land 7))
+  <> 0
+
+(* --- value interning and column groups -------------------------------------- *)
+
+let intern_value t v =
+  match ValTbl.find_opt t.val_ids v with
+  | Some vid -> vid
+  | None ->
+    let vid = t.val_count in
+    if vid = Array.length t.val_arr then begin
+      let grown = Array.make (2 * vid) (Value.Int 0) in
+      Array.blit t.val_arr 0 grown 0 vid;
+      t.val_arr <- grown
+    end;
+    t.val_arr.(vid) <- v;
+    t.val_count <- vid + 1;
+    ValTbl.add t.val_ids v vid;
+    vid
+
+let colgroup_of t sym arity =
+  match Hashtbl.find_opt t.cols (sym, arity) with
+  | Some g -> g
+  | None ->
+    let g =
+      {
+        cg_arity = arity;
+        cg_cols = Array.init arity (fun _ -> Intvec.create ~capacity:16 ());
+        cg_rows = Intvec.create ~capacity:16 ();
+        cg_indexes = Hashtbl.create 4;
+      }
+    in
+    Hashtbl.add t.cols (sym, arity) g;
+    g
+
 let add t pred args =
   let sym = intern t pred in
   let key = (sym, args) in
@@ -125,6 +311,7 @@ let add t pred args =
     Intvec.push t.fact_syms sym;
     KeyTbl.add t.by_key key id;
     Intvec.push t.by_pred.(sym) id;
+    bit_set t id;
     Array.iteri
       (fun i v ->
         let k = (sym, i, v) in
@@ -135,6 +322,10 @@ let add t pred args =
           Intvec.push vec id;
           ArgTbl.add t.by_arg k vec)
       args;
+    (* columnar mirror: append one row of interned value ids *)
+    let g = colgroup_of t sym (Array.length args) in
+    Array.iteri (fun i v -> Intvec.push g.cg_cols.(i) (intern_value t v)) args;
+    Intvec.push g.cg_rows id;
     `Added f
 
 let add_atom t (a : Atom.t) =
@@ -147,11 +338,20 @@ let add_atom t (a : Atom.t) =
     Ok (add t a.pred args)
   end
 
-let deactivate t id = Hashtbl.replace t.inactive id ()
-let reactivate t id = Hashtbl.remove t.inactive id
+let deactivate t id =
+  if id >= 0 && id < t.next_id && bit_get t id then begin
+    bit_clear t id;
+    t.inactive_count <- t.inactive_count + 1
+  end
 
-let is_active t id =
-  id >= 0 && id < t.next_id && not (Hashtbl.mem t.inactive id)
+let reactivate t id =
+  if id >= 0 && id < t.next_id && not (bit_get t id) then begin
+    bit_set t id;
+    t.inactive_count <- t.inactive_count - 1
+  end
+
+let is_active t id = id >= 0 && id < t.next_id && bit_get t id
+let all_active t = t.inactive_count = 0
 
 let fact t id =
   if id < 0 || id >= t.next_id then raise Not_found;
@@ -201,7 +401,7 @@ let active_all t =
   !acc
 
 let size t = t.next_id
-let active_size t = size t - Hashtbl.length t.inactive
+let active_size t = size t - t.inactive_count
 
 let fingerprint t =
   let lines = ref [] in
@@ -262,6 +462,102 @@ let matching t (pattern : Atom.t) subst =
       (candidates t sym pattern subst)
     |> List.rev
 
+(* --- columnar access and hash indexes ---------------------------------------
+
+   The hash-join matcher works entirely in interned ids: it resolves a
+   pattern's constants through [value_id], folds the ids of the
+   planner-chosen key columns through [key_hash_add], and probes the
+   colgroup's index for the bucket of candidate rows.  Buckets keep rows
+   in ascending order, so the probe enumerates facts in exactly the
+   ascending-id order the posting scans did. *)
+
+module Cols = struct
+  type group = colgroup
+
+  let find t ~sym ~arity = Hashtbl.find_opt t.cols (sym, arity)
+  let rows (g : group) = Intvec.length g.cg_rows
+  let arity (g : group) = g.cg_arity
+  let fact_id (g : group) row = Intvec.unsafe_get g.cg_rows row
+  let col (g : group) i row = Intvec.unsafe_get g.cg_cols.(i) row
+end
+
+let value_id t v =
+  match ValTbl.find_opt t.val_ids v with Some vid -> vid | None -> -1
+
+let value_of_id t vid =
+  if vid < 0 || vid >= t.val_count then invalid_arg "Database.value_of_id";
+  t.val_arr.(vid)
+
+(* Deterministic key mixing (pure 63-bit int arithmetic, no per-process
+   seed): the stdlib hashes the resulting int key again on the way into
+   the bucket table, and collisions are re-checked column-by-column at
+   probe time, so the combiner only needs to spread, not avalanche. *)
+let key_hash_add acc vid = (acc * 1000003) + vid
+
+let ensure_index t ~sym ~arity ~mask =
+  if mask = 0 then 0
+  else
+    match Hashtbl.find_opt t.cols (sym, arity) with
+    | None -> 0
+    | Some g ->
+      let ix =
+        match Hashtbl.find_opt g.cg_indexes mask with
+        | Some ix -> ix
+        | None ->
+          let ix = ix_create () in
+          Hashtbl.add g.cg_indexes mask ix;
+          ix
+      in
+      let nrows = Intvec.length g.cg_rows in
+      let fresh = nrows - ix.ix_rows in
+      if fresh > 0 then begin
+        let keycols = ref [] in
+        for i = arity - 1 downto 0 do
+          if mask land (1 lsl i) <> 0 then keycols := i :: !keycols
+        done;
+        let keycols = Array.of_list !keycols in
+        for row = ix.ix_rows to nrows - 1 do
+          let h = ref 0 in
+          Array.iter
+            (fun c -> h := key_hash_add !h (Intvec.unsafe_get g.cg_cols.(c) row))
+            keycols;
+          ix_add ix !h row
+        done;
+        ix.ix_rows <- nrows
+      end;
+      max 0 fresh
+
+type index_handle = colindex
+
+let index_handle (g : Cols.group) ~mask =
+  match Hashtbl.find_opt g.cg_indexes mask with
+  | None -> None
+  | Some ix -> if ix.ix_rows <> Intvec.length g.cg_rows then None else Some ix
+
+let probe_handle (ix : index_handle) ~hash =
+  let cap_mask = ix.ix_cap_mask in
+  let keys = ix.ix_keys and buckets = ix.ix_buckets in
+  let i = ref (ix_slot cap_mask hash) in
+  let res = ref empty_posting in
+  let searching = ref true in
+  while !searching do
+    let b = Array.unsafe_get buckets !i in
+    if b == empty_posting then searching := false
+    else if Array.unsafe_get keys !i = hash then begin
+      res := b;
+      searching := false
+    end
+    else i := (!i + 1) land cap_mask
+  done;
+  !res
+
+let probe (g : Cols.group) ~mask ~hash =
+  match Hashtbl.find_opt g.cg_indexes mask with
+  | None -> None
+  | Some ix ->
+    if ix.ix_rows <> Intvec.length g.cg_rows then None (* stale: caller scans *)
+    else Some (probe_handle ix ~hash)
+
 let exists_matching t (pattern : Atom.t) subst =
   match Symtab.find t.syms pattern.pred with
   | None -> false
@@ -280,10 +576,13 @@ let exists_matching t (pattern : Atom.t) subst =
 
    The encoding stores the insertion sequence, not the index
    structures: [decode] replays every fact through [add] in id order,
-   which rebuilds [by_key]/[by_pred]/[by_arg] and re-interns predicates
-   in exactly the original order (symbols are assigned at first
-   insertion).  The symbol table is still written explicitly so decode
-   can verify the replay reproduced it bit-for-bit. *)
+   which rebuilds [by_key]/[by_pred]/[by_arg] {e and} the columnar
+   representation (column groups, interned value ids, activation
+   bitmap) and re-interns predicates in exactly the original order
+   (symbols are assigned at first insertion).  The symbol table is
+   still written explicitly so decode can verify the replay reproduced
+   it bit-for-bit.  Hash-join indexes are caches and are not
+   persisted — [ensure_index] rebuilds them on demand. *)
 
 let encode b t =
   Symtab.encode b t.syms;
@@ -294,10 +593,12 @@ let encode b t =
     Wire.w_int b (Array.length f.Fact.args);
     Array.iter (Wire.w_value b) f.Fact.args
   done;
-  Wire.w_int b (Hashtbl.length t.inactive);
-  List.iter (Wire.w_int b)
-    (List.sort Int.compare
-       (Hashtbl.fold (fun id () acc -> id :: acc) t.inactive []));
+  Wire.w_int b t.inactive_count;
+  (* ascending id order reproduces the sorted list the previous
+     hash-set representation wrote: the wire format is unchanged *)
+  for id = 0 to t.next_id - 1 do
+    if not (bit_get t id) then Wire.w_int b id
+  done;
   Wire.w_int b t.null_counter
 
 let decode r =

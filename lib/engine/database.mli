@@ -31,6 +31,11 @@ val add_atom : t -> Atom.t -> ([ `Added of Fact.t | `Existing of Fact.t ], strin
 val deactivate : t -> int -> unit
 val is_active : t -> int -> bool
 
+val all_active : t -> bool
+(** True when no fact is deactivated — lets read loops skip the
+    per-fact activation check.  Only stable while no deactivations
+    happen (e.g. within one pure-read match pass). *)
+
 val reactivate : t -> int -> unit
 (** Resurrect a deactivated fact: it participates in matching again
     under its original id.  The incremental chase uses this when a
@@ -99,6 +104,87 @@ val pred_sym_of_fact : t -> int -> int
 val pred_card : t -> string -> int
 (** Number of facts ever inserted for the predicate (active +
     inactive), in O(1) — the join planner's cardinality estimate. *)
+
+(** {1 Columnar storage and hash-join indexes}
+
+    Alongside the tuple store, facts are mirrored into a
+    struct-of-arrays representation: one {e column group} per
+    (predicate symbol, arity), holding a flat column of interned value
+    ids per argument position plus a row → fact-id map.  Rows are in
+    insertion order (ascending fact id), and activation is a bitmap
+    checked per candidate row — deactivated facts stay in the columns
+    forever, exactly like the posting lists.
+
+    The hash-join matcher builds {e multi-column hash indexes} over a
+    group on demand: [ensure_index] indexes the key columns named by a
+    bitmask, incrementally from a row watermark, so per-round index
+    maintenance costs O(new rows).  [ensure_index] mutates the
+    database and must be called from the sequential planning step of a
+    chase round, never from the parallel match phase; {!probe} is a
+    pure read and falls back to [None] whenever the index is missing
+    or stale, so correctness never depends on index preparation. *)
+
+module Cols : sig
+  type group
+  (** A (predicate symbol, arity) column group — a read-only view for
+      the matcher; only {!Database.add} appends rows. *)
+
+  val find : t -> sym:int -> arity:int -> group option
+  val rows : group -> int
+  val arity : group -> int
+
+  val fact_id : group -> int -> int
+  (** [fact_id g row] — the fact id stored at a row.  No bounds check;
+      callers iterate [0 .. rows g - 1]. *)
+
+  val col : group -> int -> int -> int
+  (** [col g i row] — the interned value id of argument position [i]
+      at [row].  No bounds check. *)
+end
+
+val value_id : t -> Value.t -> int
+(** The interned id of a value, or [-1] if no stored fact contains it
+    (in which case no probe can match it).  Interning follows
+    {!Value.equal}, so numerically equal [Int]/[Num] values share an
+    id. *)
+
+val value_of_id : t -> int -> Value.t
+(** Inverse of {!value_id} (the first-interned representative);
+    raises [Invalid_argument] on ids never returned by interning. *)
+
+val key_hash_add : int -> int -> int
+(** Fold a key column's value id into a probe hash (seed [0], columns
+    in ascending position order) — deterministic pure-int mixing, the
+    exact combiner {!ensure_index} uses to bucket rows. *)
+
+val ensure_index : t -> sym:int -> arity:int -> mask:int -> int
+(** Build or extend the hash index of the column group on the key
+    columns set in [mask] (bit [i] = argument position [i]).  Returns
+    the number of rows newly indexed (0 when the index was already
+    fresh or the group does not exist).  Sequential-phase only. *)
+
+val probe : Cols.group -> mask:int -> hash:int -> Intvec.t option
+(** The candidate rows whose key columns hash to [hash] under the
+    [mask] index: [Some rows] (ascending, possibly empty) when the
+    index exists and covers every row, [None] when the caller must
+    scan.  The returned vector is shared index state — read-only.
+    Collisions are possible; callers re-check every column. *)
+
+type index_handle
+(** A resolved, fresh index over a column group — the per-probe mask
+    lookup and staleness check of {!probe}, paid once.  Valid only
+    while no rows are appended to the group: resolve at the start of a
+    pure-read match pass, drop before any insertion. *)
+
+val index_handle : Cols.group -> mask:int -> index_handle option
+(** [Some h] when the [mask] index exists and covers every row of the
+    group (same condition under which {!probe} returns [Some]),
+    [None] when the caller must scan. *)
+
+val probe_handle : index_handle -> hash:int -> Intvec.t
+(** The candidate rows bucketed at [hash] (ascending, possibly empty;
+    shared index state — read-only).  Equivalent to the [Some] arm of
+    {!probe} on the handle's group and mask. *)
 
 val encode : Buffer.t -> t -> unit
 (** Snapshot codec hook: the full store — facts in id order, activation

@@ -12,6 +12,8 @@ let get t i =
   if i < 0 || i >= t.len then invalid_arg "Intvec.get";
   Array.unsafe_get t.data i
 
+let unsafe_get t i = Array.unsafe_get t.data i
+
 let push t x =
   if t.len = Array.length t.data then begin
     let grown = Array.make (2 * t.len) 0 in

@@ -21,6 +21,11 @@ val length : t -> int
 val get : t -> int -> int
 (** Raises [Invalid_argument] outside [0..length-1]. *)
 
+val unsafe_get : t -> int -> int
+(** {!get} without the bounds check — for loops that already iterate
+    [0..length-1], such as the hash-join probe over columnar storage.
+    Out-of-range access is undefined behaviour. *)
+
 val push : t -> int -> unit
 (** Append, amortized O(1). *)
 

@@ -96,7 +96,7 @@ type delta = {
    Positions follow the evaluation plan; the decomposition is valid
    over any fixed order.  Passes whose seed predicate has no delta fact
    are skipped outright, by interned symbol (no string hashing). *)
-let delta_tasks ?interrupt ?plan ~delta db (r : Rule.t) =
+let nested_delta_tasks ?interrupt ?plan ~delta db (r : Rule.t) =
   let { mem; has_pred } = delta in
   let positives = Array.of_list (Rule.positive_atoms r) in
   let n = Array.length positives in
@@ -125,12 +125,442 @@ let delta_tasks ?interrupt ?plan ~delta db (r : Rule.t) =
             raw_matches ?interrupt ?plan ~position_ok db r))
     (List.init n Fun.id)
 
-let match_rule ?interrupt ?delta ?plan db (r : Rule.t) =
+(* --- hash-join evaluation ----------------------------------------------------
+
+   Build/probe evaluation over the database's columnar storage: the
+   planner's atom order is a left-deep pipelined join, and at each join
+   position the matcher probes a multi-column hash index on the key
+   columns bound so far ({!Plan.key_masks}) instead of scanning a
+   posting list.  Bindings live in a dense int array of interned value
+   ids; [Subst.t] is only materialized per {e emitted} match.
+
+   The enumeration visits candidate rows in ascending row order (bucket
+   rows are ascending, scans are ascending), which is ascending fact-id
+   order — exactly the order the nested-loop matcher enumerates.  The
+   two engines therefore produce the same match {e sequence}, so fact
+   ids, labelled nulls, provenance and every byte of output are
+   identical, not merely the fixpoint. *)
+
+type strategy = Hash | Nested
+
+let strategy_of_env () =
+  match Sys.getenv_opt "EKG_JOIN" with
+  | Some s when String.lowercase_ascii (String.trim s) = "nested" -> Nested
+  | Some _ | None -> Hash
+
+let strategy_name = function Hash -> "hash" | Nested -> "nested"
+
+type arg_spec =
+  | SConst of int  (* interned value id; -1 when the value is not in the db *)
+  | SVar of int    (* dense binding slot *)
+
+type node = {
+  nd_atom : Atom.t;
+  nd_sym : int;     (* -1 when the predicate has no facts *)
+  nd_arity : int;
+  nd_group : Database.Cols.group option;
+  nd_specs : arg_spec array;
+  nd_mask : int;         (* key columns: Plan.key_masks for this position *)
+  nd_keycols : int array;
+  nd_impossible : bool;  (* a constant argument's value is not in the db *)
+}
+
+let cols_of_mask arity mask =
+  let cols = ref [] in
+  for i = min 59 (arity - 1) downto 0 do
+    if mask land (1 lsl i) <> 0 then cols := i :: !cols
+  done;
+  Array.of_list !cols
+
+(* Compile the rule body to per-position probe specs.  [slots] maps
+   variable names to dense binding slots; key masks come from the
+   planner so build/probe columns and index preparation agree. *)
+let compile_nodes db (r : Rule.t) order =
+  let positives = Array.of_list (Rule.positive_atoms r) in
+  let masks = Plan.key_masks r { Plan.order; reordered = false } in
+  let slots = Hashtbl.create 16 in
+  let slot v =
+    match Hashtbl.find_opt slots v with
+    | Some s -> s
+    | None ->
+      let s = Hashtbl.length slots in
+      Hashtbl.add slots v s;
+      s
+  in
+  let nodes =
+    Array.mapi
+      (fun pos body_idx ->
+        let a = positives.(body_idx) in
+        let specs =
+          Array.of_list
+            (List.map
+               (function
+                 | Term.Cst c -> SConst (Database.value_id db c)
+                 | Term.Var v -> SVar (slot v))
+               a.Atom.args)
+        in
+        let arity = Array.length specs in
+        let sym =
+          match Database.pred_sym db a.Atom.pred with Some s -> s | None -> -1
+        in
+        let group =
+          if sym < 0 then None else Database.Cols.find db ~sym ~arity
+        in
+        {
+          nd_atom = a;
+          nd_sym = sym;
+          nd_arity = arity;
+          nd_group = group;
+          nd_specs = specs;
+          nd_mask = masks.(pos);
+          nd_keycols = cols_of_mask arity masks.(pos);
+          nd_impossible =
+            Array.exists (function SConst -1 -> true | _ -> false) specs;
+        })
+      order
+  in
+  (nodes, Hashtbl.length slots, slots)
+
+(* One semi-naive pass of the hash engine.  [delta_seed = Some (d, k)]
+   restricts position k to delta facts and earlier positions to
+   non-delta facts, exactly like [position_ok] in the nested engine;
+   [range = Some (lo, hi)] restricts position 0's candidate rows to
+   [lo, hi) — the share-nothing partitioning unit of parallel probe
+   tasks (contiguous ranges recombined in order preserve the
+   enumeration order, which join-key hash partitioning would not). *)
+let hash_matches ?interrupt ?plan ?delta_seed ?range db (r : Rule.t) =
+  let positives = Array.of_list (Rule.positive_atoms r) in
+  let n = Array.length positives in
+  let order =
+    match plan with
+    | Some (p : Plan.t) -> p.Plan.order
+    | None -> Array.init n Fun.id
+  in
+  let nodes, nslots, slots = compile_nodes db r order in
+  (* resolve each node's index handle once — rows cannot be appended
+     during a match pass, so freshness checked here holds throughout *)
+  let handles =
+    Array.map
+      (fun nd ->
+        match nd.nd_group with
+        | Some g when nd.nd_mask <> 0 -> Database.index_handle g ~mask:nd.nd_mask
+        | _ -> None)
+      nodes
+  in
+  let negatives = Rule.negative_atoms r in
+  (* no deactivations can happen during a pure-read match pass *)
+  let live_all = Database.all_active db in
+  let pos_of_body = Array.make (max 1 n) 0 in
+  Array.iteri (fun pos b -> pos_of_body.(b) <- pos) order;
+  let mem, seed_pos =
+    match delta_seed with
+    | Some (d, k) -> (d.mem, k)
+    | None -> ((fun _ -> false), -1)
+  in
+  let vals = Array.make (max 1 nslots) (-1) in
+  let facts = Array.make (max 1 n) (-1) in
+  (* condition lookup over the dense binding: verdicts only — values
+     compare through [Value.compare], which identifies every member of
+     an interning class, so the class representative is sufficient *)
+  let lookup name =
+    match Hashtbl.find_opt slots name with
+    | Some s when vals.(s) >= 0 -> Some (Database.value_of_id db vals.(s))
+    | Some _ | None -> None
+  in
+  let conditions_ok () =
+    List.for_all (fun c -> Expr.eval_cmp lookup c <> Some false) r.conditions
+  in
+  let check =
+    match interrupt with
+    | None -> None
+    | Some f -> Some (fun () -> if f () then raise Interrupted)
+  in
+  let out = ref [] in
+  let has_conditions = r.conditions <> [] in
+  (* Per position, the (variable, argument index) pairs first bound
+     there in plan order — [emit] binds each variable exactly once,
+     from the matched fact's own argument array. *)
+  let binders =
+    let seen = Hashtbl.create 16 in
+    Array.map
+      (fun (nd : node) ->
+        List.rev
+          (snd
+             (List.fold_left
+                (fun (i, acc) (t : Term.t) ->
+                  match t with
+                  | Term.Var v when not (Hashtbl.mem seen v) ->
+                    Hashtbl.add seen v ();
+                    (i + 1, (v, i) :: acc)
+                  | Term.Var _ | Term.Cst _ -> (i + 1, acc))
+                (0, []) nd.nd_atom.Atom.args)))
+      nodes
+  in
+  let undos = Array.map (fun (nd : node) -> Array.make (max 1 nd.nd_arity) 0) nodes in
+  let emit () =
+    (* Reconstruct θ exactly as the nested engine does: each variable's
+       value comes from the {e fact} that first bound it in plan order
+       — the matched tuple's own representation, not the interning
+       representative — so head instantiation and rendering are
+       byte-identical across engines. *)
+    let subst = ref Subst.empty in
+    for pos = 0 to n - 1 do
+      match binders.(pos) with
+      | [] -> ()
+      | bs ->
+        let f = Database.fact db facts.(pos) in
+        List.iter
+          (fun (v, i) -> subst := Subst.bind !subst v f.Fact.args.(i))
+          bs
+    done;
+    let subst =
+      if r.assignments = [] then !subst
+      else
+        List.fold_left
+          (fun s (v, e) ->
+            match Expr.eval (Subst.lookup s) e with
+            | Some x -> Subst.bind s v x
+            | None -> s)
+          !subst r.assignments
+    in
+    let all_hold =
+      r.conditions = []
+      || List.for_all
+           (fun c -> Expr.eval_cmp (Subst.lookup subst) c = Some true)
+           r.conditions
+    in
+    if
+      all_hold
+      && (negatives = []
+         || not
+              (List.exists
+                 (fun (a : Atom.t) ->
+                   Database.exists_matching db (Subst.apply_atom subst a) subst)
+                 negatives))
+    then begin
+      let used = ref [] in
+      for b = n - 1 downto 0 do
+        used := facts.(pos_of_body.(b)) :: !used
+      done;
+      out := { binding = subst; used_facts = !used } :: !out
+    end
+  in
+  (* The join loop proper.  Everything per-partial is preallocated —
+     per-position undo arrays, binding slots, fact cursors — so
+     descending a node costs zero allocations; only emitted matches
+     allocate.  Intermediate condition pruning is an optimization only
+     ([emit] re-checks every condition), so guarding it on the rule
+     having conditions at all cannot change the match sequence. *)
+  let rec node pos =
+    (match check with None -> () | Some c -> c ());
+    if pos = n then emit ()
+    else begin
+      let nd = nodes.(pos) in
+      if has_conditions && not (conditions_ok ()) then ()
+      else if nd.nd_impossible then ()
+      else
+        match nd.nd_group with
+        | None -> ()
+        | Some g ->
+          let nrows = Database.Cols.rows g in
+          let lo, hi =
+            if pos = 0 then
+              match range with
+              | Some (a, b) -> (max 0 a, min b nrows)
+              | None -> (0, nrows)
+            else (0, nrows)
+          in
+          if nd.nd_mask = 0 then scan pos nd g lo hi
+          else begin
+            match handles.(pos) with
+            | None -> scan pos nd g lo hi (* index missing/stale *)
+            | Some ix ->
+              (* fold the bound key columns into the probe hash *)
+              let keycols = nd.nd_keycols in
+              let specs = nd.nd_specs in
+              let h = ref 0 in
+              let valid = ref true in
+              for j = 0 to Array.length keycols - 1 do
+                let vid =
+                  match specs.(keycols.(j)) with
+                  | SConst v -> v
+                  | SVar s -> vals.(s)
+                in
+                if vid < 0 then valid := false
+                else h := Database.key_hash_add !h vid
+              done;
+              if not !valid then scan pos nd g lo hi
+              else begin
+                let bucket = Database.probe_handle ix ~hash:!h in
+                let m = Intvec.length bucket in
+                if lo = 0 && hi = nrows then
+                  for bi = 0 to m - 1 do
+                    try_row pos nd g (Intvec.unsafe_get bucket bi)
+                  done
+                else
+                  for bi = 0 to m - 1 do
+                    let row = Intvec.unsafe_get bucket bi in
+                    if row >= lo && row < hi then try_row pos nd g row
+                  done
+              end
+          end
+    end
+  and scan pos nd g lo hi =
+    for row = lo to hi - 1 do
+      try_row pos nd g row
+    done
+  and try_row pos (nd : node) g row =
+    let fid = Database.Cols.fact_id g row in
+    let kok =
+      seed_pos < 0
+      || (if pos = seed_pos then mem fid
+          else if pos < seed_pos then not (mem fid)
+          else true)
+    in
+    if kok && (live_all || Database.is_active db fid) then begin
+      let specs = nd.nd_specs in
+      let arity = nd.nd_arity in
+      let undo = undos.(pos) in
+      let nundo = ref 0 in
+      let ok = ref true in
+      let i = ref 0 in
+      while !ok && !i < arity do
+        let vid = Database.Cols.col g !i row in
+        (match specs.(!i) with
+        | SConst c -> if c <> vid then ok := false
+        | SVar s ->
+          let cur = vals.(s) in
+          if cur >= 0 then begin
+            if cur <> vid then ok := false
+          end
+          else begin
+            vals.(s) <- vid;
+            undo.(!nundo) <- s;
+            incr nundo
+          end);
+        incr i
+      done;
+      if !ok then begin
+        facts.(pos) <- fid;
+        node (pos + 1)
+      end;
+      for j = 0 to !nundo - 1 do
+        vals.(undo.(j)) <- -1
+      done
+    end
+  in
+  node 0;
+  List.rev !out
+
+(* Contiguous position-0 row ranges for share-nothing probe
+   partitioning.  [None] stands for the unrestricted range; ranges are
+   returned in ascending order, so concatenating their results
+   restores the unpartitioned enumeration order — the partition count
+   may therefore vary (with pool width, with instance size) without
+   perturbing a single output byte. *)
+let seed_ranges ~partitions db (r : Rule.t) order =
+  if partitions <= 1 || Array.length order = 0 then [ None ]
+  else begin
+    let positives = Array.of_list (Rule.positive_atoms r) in
+    let a = positives.(order.(0)) in
+    let nrows =
+      match Database.pred_sym db a.Atom.pred with
+      | None -> 0
+      | Some sym -> (
+        match
+          Database.Cols.find db ~sym ~arity:(List.length a.Atom.args)
+        with
+        | None -> 0
+        | Some g -> Database.Cols.rows g)
+    in
+    if nrows < 2 * partitions then [ None ]
+    else
+      List.init partitions (fun p ->
+          Some (p * nrows / partitions, (p + 1) * nrows / partitions))
+  end
+
+let hash_delta_tasks ?interrupt ?plan ~partitions ~delta db (r : Rule.t) =
+  let { mem = _; has_pred } = delta in
+  let positives = Array.of_list (Rule.positive_atoms r) in
+  let n = Array.length positives in
+  let order =
+    match plan with
+    | Some (p : Plan.t) -> p.Plan.order
+    | None -> Array.init n Fun.id
+  in
+  let ranges = seed_ranges ~partitions db r order in
+  List.concat_map
+    (fun k ->
+      let seed = positives.(order.(k)) in
+      let seed_has_delta =
+        match Database.pred_sym db seed.Atom.pred with
+        | None -> false
+        | Some sym -> has_pred sym
+      in
+      if not seed_has_delta then []
+      else
+        List.map
+          (fun range () ->
+            hash_matches ?interrupt ?plan ~delta_seed:(delta, k) ?range db r)
+          ranges)
+    (List.init n Fun.id)
+
+let delta_tasks ?(strategy = strategy_of_env ()) ?interrupt ?plan ?(partitions = 1) ~delta db
+    (r : Rule.t) =
+  match strategy with
+  | Nested -> nested_delta_tasks ?interrupt ?plan ~delta db r
+  | Hash -> hash_delta_tasks ?interrupt ?plan ~partitions ~delta db r
+
+let full_tasks ?(strategy = strategy_of_env ()) ?interrupt ?plan ?(partitions = 1) db
+    (r : Rule.t) =
+  match strategy with
+  | Nested -> [ (fun () -> raw_matches ?interrupt ?plan db r) ]
+  | Hash ->
+    let positives = Rule.positive_atoms r in
+    let n = List.length positives in
+    let order =
+      match plan with
+      | Some (p : Plan.t) -> p.Plan.order
+      | None -> Array.init n Fun.id
+    in
+    List.map
+      (fun range () -> hash_matches ?interrupt ?plan ?range db r)
+      (seed_ranges ~partitions db r order)
+
+(* Sequential-phase index preparation: ensure the hash indexes every
+   join position will probe, so the (parallel, pure-read) match phase
+   never builds.  Returns the number of indexes that did extension
+   work — the chase's [join_builds] counter. *)
+let prepare ?(strategy = strategy_of_env ()) db (r : Rule.t) (plan : Plan.t) =
+  match strategy with
+  | Nested -> 0
+  | Hash ->
+    if Rule.has_agg r then 0
+    else begin
+      let nodes, _, _ = compile_nodes db r plan.Plan.order in
+      Array.fold_left
+        (fun acc nd ->
+          if nd.nd_mask <> 0 && nd.nd_sym >= 0 then
+            acc
+            + (if
+                 Database.ensure_index db ~sym:nd.nd_sym ~arity:nd.nd_arity
+                   ~mask:nd.nd_mask
+                 > 0
+               then 1
+               else 0)
+          else acc)
+        0 nodes
+    end
+
+let match_rule ?(strategy = strategy_of_env ()) ?interrupt ?delta ?plan db (r : Rule.t) =
   if Rule.has_agg r then invalid_arg "Matcher.match_rule: aggregating rule";
-  match delta with
-  | None -> raw_matches ?interrupt ?plan db r
-  | Some delta ->
-    List.concat_map (fun task -> task ()) (delta_tasks ?interrupt ?plan ~delta db r)
+  match strategy, delta with
+  | Nested, None -> raw_matches ?interrupt ?plan db r
+  | Hash, None -> hash_matches ?interrupt ?plan db r
+  | _, Some delta ->
+    List.concat_map
+      (fun task -> task ())
+      (delta_tasks ~strategy ?interrupt ?plan ~delta db r)
 
 (* --- aggregation ------------------------------------------------------- *)
 

@@ -39,7 +39,33 @@ exception Interrupted
     budgeted chase ({!Chase.budget}).  The database is untouched (the
     matcher only reads), so the caller may safely abandon or retry. *)
 
+(** {1 Join strategies}
+
+    Two body-evaluation engines produce {e identical match sequences}
+    (same matches, same enumeration order — so fact ids, labelled
+    nulls, provenance and every output byte agree):
+
+    - [Hash] (the default): build/probe hash joins over the database's
+      columnar storage ({!Database.Cols}), probing multi-column hash
+      indexes on the planner's key columns ({!Plan.key_masks}) with
+      dense interned-int bindings.
+    - [Nested]: the original nested-loop homomorphism matcher over
+      posting lists — the escape hatch ([EKG_JOIN=nested]) and the
+      equivalence oracle the hash engine is property-tested against. *)
+
+type strategy = Hash | Nested
+
+val strategy_of_env : unit -> strategy
+(** [Nested] when the [EKG_JOIN] environment variable is set to
+    ["nested"] (case-insensitive), [Hash] otherwise — the default of
+    every entry point below. *)
+
+val strategy_name : strategy -> string
+(** ["hash"] or ["nested"] — the [join_strategy] wide-event/stats
+    value. *)
+
 val match_rule :
+  ?strategy:strategy ->
   ?interrupt:(unit -> bool) ->
   ?delta:delta -> ?plan:Plan.t -> Database.t -> Rule.t -> match_result list
 (** Matches of a non-aggregating rule.  With [delta], only matches
@@ -50,14 +76,39 @@ val match_rule :
     rules. *)
 
 val delta_tasks :
+  ?strategy:strategy ->
   ?interrupt:(unit -> bool) ->
-  ?plan:Plan.t -> delta:delta -> Database.t -> Rule.t -> (unit -> match_result list) list
+  ?plan:Plan.t -> ?partitions:int ->
+  delta:delta -> Database.t -> Rule.t -> (unit -> match_result list) list
 (** The independent seed passes of semi-naive evaluation, one closure
     per join position whose seed predicate has delta facts.  Running
     every task (in any order, e.g. across a {!Par} pool) and
     concatenating the results {e in task order} equals
     [match_rule ~delta] — the chase's unit of parallel work.  Tasks
-    must run against the unchanged database. *)
+    must run against the unchanged database.
+
+    Under the [Hash] strategy, [partitions] (default 1) additionally
+    splits each seed pass into share-nothing probe tasks over
+    contiguous ranges of the first join position's rows; ranges
+    recombine in task order, so the concatenation — and therefore the
+    chase output — is identical for every partition count. *)
+
+val full_tasks :
+  ?strategy:strategy ->
+  ?interrupt:(unit -> bool) ->
+  ?plan:Plan.t -> ?partitions:int ->
+  Database.t -> Rule.t -> (unit -> match_result list) list
+(** Full (non-delta) evaluation as independent tasks — the first round
+    of a stratum, partitioned like {!delta_tasks}; concatenating the
+    results in task order equals [match_rule] without [delta]. *)
+
+val prepare : ?strategy:strategy -> Database.t -> Rule.t -> Plan.t -> int
+(** Ensure the hash indexes the rule's join positions will probe
+    ({!Database.ensure_index} on each {!Plan.key_masks} mask).
+    {e Mutates the database}: call from the sequential planning step
+    of a round, never concurrently with match tasks.  Returns the
+    number of indexes built or extended.  No-op (0) under [Nested]
+    and for aggregating rules. *)
 
 val match_agg_rule :
   ?interrupt:(unit -> bool) -> ?plan:Plan.t -> Database.t -> Rule.t -> agg_result list

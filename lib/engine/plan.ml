@@ -57,6 +57,34 @@ let compile ~card (r : Rule.t) =
     { order; reordered = !reordered }
   end
 
+(* Key columns for the hash-join matcher: at each join position, the
+   argument positions bound at probe time — constants, plus variables
+   bound by an earlier atom in plan order.  A repeated variable's later
+   occurrence within one atom is NOT a key column (it is unbound when
+   the probe starts); the matcher checks it per candidate row instead.
+   In the left-deep pipelined join these are the build-side key
+   columns: the cardinality-greedy [order] already decided which atom
+   is built (indexed) at each position, so the mask is the remaining
+   planner choice. *)
+let key_masks (r : Rule.t) t =
+  let atoms = Array.of_list (Rule.positive_atoms r) in
+  let bound = ref VarSet.empty in
+  Array.map
+    (fun i ->
+      let a = atoms.(i) in
+      let mask = ref 0 in
+      List.iteri
+        (fun j (trm : Term.t) ->
+          (* int bitmask: positions beyond 60 are never key columns *)
+          if j < 60 then
+            match trm with
+            | Term.Cst _ -> mask := !mask lor (1 lsl j)
+            | Term.Var v -> if VarSet.mem v !bound then mask := !mask lor (1 lsl j))
+        a.Atom.args;
+      bound := List.fold_left (fun s v -> VarSet.add v s) !bound (atom_vars a);
+      !mask)
+    t.order
+
 let to_string (r : Rule.t) t =
   let atoms = Array.of_list (Rule.positive_atoms r) in
   Printf.sprintf "%s: %s" r.Rule.id

@@ -35,5 +35,15 @@ val compile : card:(string -> int) -> Rule.t -> t
     unknown predicates estimate to [0] and therefore evaluate first,
     which short-circuits the join immediately. *)
 
+val key_masks : Rule.t -> t -> int array
+(** Per join position, the bitmask of argument positions bound at
+    probe time — constants plus variables bound by earlier atoms in
+    plan order.  These are the hash-join key columns the matcher
+    builds and probes indexes on ({!Database.ensure_index}): the
+    greedy cardinality order chooses the build side (the atom indexed
+    at each position), the mask chooses its key columns.  A mask of
+    [0] (nothing bound — typically the seed position) means the
+    position scans instead of probing. *)
+
 val to_string : Rule.t -> t -> string
 (** Diagnostic rendering, e.g. ["sigma3: own, control -> control"]. *)

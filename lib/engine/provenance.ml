@@ -13,47 +13,69 @@ type derivation = {
   round : int;
 }
 
+(* Per-fact derivation store.  Heavily-derived facts (dense joins can
+   reach a fact through thousands of alternative homomorphisms) made
+   the old [list ref]+append representation quadratic: every [record]
+   walked the list for duplicate detection and copied it to append.
+   Derivations are now kept newest-first (O(1) cons) with the primary
+   pinned and a hashed (rule, premises) set for O(1) dedup; readers
+   reverse on access, so every observable order is unchanged. *)
+type entry = {
+  mutable rev_items : derivation list;  (* newest first *)
+  primary : derivation;                 (* the first ever recorded *)
+  seen : (string * int list, unit) Hashtbl.t;
+}
+
 type t = {
-  derivations : (int, derivation list ref) Hashtbl.t; (* primary first *)
+  derivations : (int, entry) Hashtbl.t;
   superseded : (int, int) Hashtbl.t;
 }
 
 let create () = { derivations = Hashtbl.create 256; superseded = Hashtbl.create 16 }
 
 let copy t =
-  (* derivation records are immutable; the per-fact list refs are not *)
+  (* derivation records and their lists are immutable; the entry
+     records and dedup tables are not *)
   let derivations = Hashtbl.create (max 256 (Hashtbl.length t.derivations)) in
-  Hashtbl.iter (fun id ds -> Hashtbl.add derivations id (ref !ds)) t.derivations;
+  Hashtbl.iter
+    (fun id e ->
+      Hashtbl.add derivations id
+        { rev_items = e.rev_items; primary = e.primary; seen = Hashtbl.copy e.seen })
+    t.derivations;
   { derivations; superseded = Hashtbl.copy t.superseded }
 
 let record t ~fact_id d =
+  let key = (d.rule_id, d.premises) in
   match Hashtbl.find_opt t.derivations fact_id with
-  | None -> Hashtbl.add t.derivations fact_id (ref [ d ])
-  | Some existing ->
-    let duplicate =
-      List.exists
-        (fun d' -> d'.rule_id = d.rule_id && d'.premises = d.premises)
-        !existing
-    in
-    if not duplicate then existing := !existing @ [ d ]
+  | None ->
+    let seen = Hashtbl.create 4 in
+    Hashtbl.add seen key ();
+    Hashtbl.add t.derivations fact_id { rev_items = [ d ]; primary = d; seen }
+  | Some e ->
+    if not (Hashtbl.mem e.seen key) then begin
+      Hashtbl.add e.seen key ();
+      e.rev_items <- d :: e.rev_items
+    end
 
 let alternatives t id =
   match Hashtbl.find_opt t.derivations id with
-  | Some ds -> !ds
+  | Some e -> List.rev e.rev_items
   | None -> []
 
 let forget t id = Hashtbl.remove t.derivations id
 
 let iter t f =
-  Hashtbl.iter (fun id ds -> List.iter (fun d -> f id d) !ds) t.derivations
+  Hashtbl.iter
+    (fun id e -> List.iter (fun d -> f id d) (List.rev e.rev_items))
+    t.derivations
 
 let record_superseded t ~old_fact ~by = Hashtbl.replace t.superseded old_fact by
 let superseded_by t id = Hashtbl.find_opt t.superseded id
 
 let derivation t id =
   match Hashtbl.find_opt t.derivations id with
-  | Some { contents = d :: _ } -> Some d
-  | Some { contents = [] } | None -> None
+  | Some e -> Some e.primary
+  | None -> None
 
 let is_edb t id = not (Hashtbl.mem t.derivations id)
 
@@ -64,7 +86,7 @@ let to_digraph t db =
   let g = Ekg_graph.Digraph.create () in
   let name id = Fact.to_string (Database.fact db id) in
   Hashtbl.iter
-    (fun id ds ->
+    (fun id e ->
       let dst = name id in
       Ekg_graph.Digraph.add_node g dst;
       List.iter
@@ -72,7 +94,7 @@ let to_digraph t db =
           List.iter
             (fun p -> Ekg_graph.Digraph.add_edge g ~src:(name p) ~dst ~label:d.rule_id)
             d.premises)
-        !ds)
+        (List.rev e.rev_items))
     t.derivations;
   g
 
@@ -107,7 +129,7 @@ let encode b t =
     (fun id ->
       let ds =
         match Hashtbl.find_opt t.derivations id with
-        | Some ds -> !ds
+        | Some e -> List.rev e.rev_items
         | None -> assert false
       in
       Wire.w_int b id;

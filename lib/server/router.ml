@@ -65,6 +65,18 @@ let make_state ?root ?(chase_domains = 1) ?(fault = Fault.Off)
     ~help:"Join plans that deviated from textual body order"
     "ekg_chase_plan_reorders_total";
   Ekg_obs.Metrics.declare_counter obs
+    ~help:"Hash-join indexes built or extended during round planning"
+    "ekg_chase_join_builds_total";
+  Ekg_obs.Metrics.declare_counter obs
+    ~help:"Matches emitted by the join probe phase"
+    "ekg_chase_join_probe_hits_total";
+  Ekg_obs.Metrics.declare_histogram obs
+    ~help:"Per-rule index build seconds per chase"
+    "ekg_chase_join_build_seconds";
+  Ekg_obs.Metrics.declare_histogram obs
+    ~help:"Per-rule probe (match-phase) seconds per chase"
+    "ekg_chase_join_probe_seconds";
+  Ekg_obs.Metrics.declare_counter obs
     ~help:"Seconds spent in chase materializations"
     "ekg_chase_seconds_total";
   Ekg_obs.Metrics.declare_counter obs
@@ -780,6 +792,7 @@ let wide_defaults =
     "chase_rounds", Ekg_obs.Log.Int 0;
     "chase_facts", Ekg_obs.Log.Int 0;
     "plan_reorders", Ekg_obs.Log.Int 0;
+    "join_strategy", Ekg_obs.Log.Str "none";
     "snapshot_scheduled", Ekg_obs.Log.Bool false;
     "shed", Ekg_obs.Log.Bool false;
   ]

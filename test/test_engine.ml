@@ -64,6 +64,95 @@ let test_database_matching () =
   let bound = Subst.bind Subst.empty "Y" (Value.str "b") in
   check int' "one match under binding" 1 (List.length (Database.matching db pattern bound))
 
+(* --- columnar storage and hash indexes -------------------------------------- *)
+
+let test_database_columnar_layout () =
+  let db = Database.create () in
+  ignore (Database.add db "e" [| Value.str "a"; Value.str "b" |]);
+  ignore (Database.add db "e" [| Value.str "b"; Value.str "c" |]);
+  ignore (Database.add db "e" [| Value.str "a"; Value.str "c" |]);
+  let sym = Option.get (Database.pred_sym db "e") in
+  let g = Option.get (Database.Cols.find db ~sym ~arity:2) in
+  check int' "three rows" 3 (Database.Cols.rows g);
+  (* rows are insertion order, columns hold interned ids *)
+  for row = 0 to 2 do
+    check int' "row maps to fact id" row (Database.Cols.fact_id g row)
+  done;
+  let a = Database.value_id db (Value.str "a") in
+  check bool' "interned" true (a >= 0);
+  check int' "col(0,0) = a" a (Database.Cols.col g 0 0);
+  check int' "col(0,2) = a" a (Database.Cols.col g 0 2);
+  check bool' "value round-trips" true
+    (Value.equal (Database.value_of_id db a) (Value.str "a"));
+  check int' "unseen value has no id" (-1)
+    (Database.value_id db (Value.str "zebra"));
+  (* Int/Num interning follows Value.equal, like tuple dedup *)
+  ignore (Database.add db "n" [| Value.int 2 |]);
+  check int' "Int 2 and Num 2.0 share an id"
+    (Database.value_id db (Value.int 2))
+    (Database.value_id db (Value.num 2.0))
+
+let test_database_index_probe () =
+  let db = Database.create () in
+  ignore (Database.add db "e" [| Value.str "a"; Value.str "b" |]);
+  ignore (Database.add db "e" [| Value.str "b"; Value.str "c" |]);
+  ignore (Database.add db "e" [| Value.str "a"; Value.str "c" |]);
+  let sym = Option.get (Database.pred_sym db "e") in
+  let g = Option.get (Database.Cols.find db ~sym ~arity:2) in
+  check bool' "no index yet" true (Database.probe g ~mask:1 ~hash:0 = None);
+  check int' "index build covers all rows" 3
+    (Database.ensure_index db ~sym ~arity:2 ~mask:1);
+  check int' "rebuild is incremental (no new rows)" 0
+    (Database.ensure_index db ~sym ~arity:2 ~mask:1);
+  let hash_of v = Database.key_hash_add 0 (Database.value_id db v) in
+  let bucket v =
+    match Database.probe g ~mask:1 ~hash:(hash_of v) with
+    | Some b -> List.init (Intvec.length b) (Intvec.get b)
+    | None -> Alcotest.fail "fresh index did not answer"
+  in
+  check bool' "a-bucket holds rows 0 and 2, ascending" true
+    (bucket (Value.str "a") = [ 0; 2 ]);
+  check bool' "b-bucket holds row 1" true (bucket (Value.str "b") = [ 1 ]);
+  (* handles: same answers, resolved once *)
+  (match Database.index_handle g ~mask:1 with
+  | None -> Alcotest.fail "fresh index has no handle"
+  | Some h ->
+    check int' "handle probe agrees" 2
+      (Intvec.length (Database.probe_handle h ~hash:(hash_of (Value.str "a")))));
+  (* staleness: a new row invalidates probes until re-ensured *)
+  ignore (Database.add db "e" [| Value.str "c"; Value.str "d" |]);
+  check bool' "stale index refuses to answer" true
+    (Database.probe g ~mask:1 ~hash:(hash_of (Value.str "a")) = None);
+  check bool' "stale index yields no handle" true
+    (Database.index_handle g ~mask:1 = None);
+  check int' "extension indexes only the new row" 1
+    (Database.ensure_index db ~sym ~arity:2 ~mask:1);
+  check bool' "fresh again" true
+    (Database.probe g ~mask:1 ~hash:(hash_of (Value.str "a")) <> None);
+  (* multi-column mask keys on both columns *)
+  ignore (Database.ensure_index db ~sym ~arity:2 ~mask:3);
+  let h2 =
+    Database.key_hash_add
+      (Database.key_hash_add 0 (Database.value_id db (Value.str "a")))
+      (Database.value_id db (Value.str "c"))
+  in
+  (match Database.probe g ~mask:3 ~hash:h2 with
+  | Some b -> check int' "(a,c) bucket is row 2" 2 (Intvec.get b 0)
+  | None -> Alcotest.fail "two-column index did not answer")
+
+let test_database_all_active () =
+  let db = Database.create () in
+  let f =
+    match Database.add db "p" [| Value.int 1 |] with
+    | `Added f -> f
+    | `Existing f -> f
+  in
+  check bool' "all active initially" true (Database.all_active db);
+  Database.deactivate db f.id;
+  check bool' "not all active after deactivate" false (Database.all_active db);
+  Database.reactivate db f.id;
+  check bool' "all active after reactivate" true (Database.all_active db)
+
 (* --- plain chase ------------------------------------------------------------- *)
 
 let test_chase_transitive_closure () =
@@ -1092,6 +1181,95 @@ path(X, Z), e(Z, Y) -> path(X, Y).
       | Ok a, Ok b -> chase_fingerprint a = chase_fingerprint b
       | _ -> false)
 
+(* --- join engines ------------------------------------------------------------
+
+   The columnar hash-join engine must reproduce the nested-loop
+   engine's output byte-for-byte — same facts, same ids, same
+   provenance, same chase graph — on every evaluation path. *)
+
+let test_join_engines_identical_all_features () =
+  (* negation, aggregation, arithmetic conditions and an existential
+     head in one program: every matcher path in a single fixpoint *)
+  let src = {|
+base: e(X, Y) -> path(X, Y).
+step: path(X, Z), e(Z, Y) -> path(X, Y).
+tag: path(X, Y), label(Y, L), not blocked(X) -> tagged(X, L).
+score: path(X, Y), weight(Y, W), T = sum(W) -> total(X, T).
+spawn: tagged(X, L) -> handler(X, H).
+@goal(tagged).
+e("a", "b"). e("b", "c"). e("c", "d"). e("a", "c"). e("d", "a").
+label("c", "mid"). label("d", "end").
+weight("b", 2). weight("c", 3). weight("d", 5).
+blocked("b").
+|}
+  in
+  let { Parser.program; facts } = parse_exn src in
+  let hash = Chase.run_exn ~join:Matcher.Hash program facts in
+  let nested = Chase.run_exn ~join:Matcher.Nested program facts in
+  check bool' "hash = nested, byte-identical" true
+    (chase_fingerprint hash = chase_fingerprint nested);
+  (* and independent of the parallel cut of the probe partitions *)
+  let hash4 = Chase.run_exn ~join:Matcher.Hash ~domains:4 program facts in
+  check bool' "hash at domains=4 identical" true
+    (chase_fingerprint hash = chase_fingerprint hash4)
+
+let join_program_plain = {|
+e(X, Y) -> path(X, Y).
+path(X, Z), e(Z, Y) -> path(X, Y).
+@goal(path).
+|}
+
+(* negation across strata plus a join inside the negated stratum *)
+let join_program_negation = {|
+e(X, Y) -> reach(X, Y).
+reach(X, Z), e(Z, Y) -> reach(X, Y).
+e(X, Y), not reach(Y, X) -> oneway(X, Y).
+@goal(oneway).
+|}
+
+let prop_join_engines_agree program_src name =
+  QCheck2.Test.make ~name ~count:60 edges_gen (fun raw ->
+      let facts =
+        List.map
+          (fun (i, j) ->
+            Atom.make "e" [ Term.str (string_of_int i); Term.str (string_of_int j) ])
+          raw
+      in
+      let { Parser.program; _ } = parse_exn program_src in
+      match
+        ( Chase.run ~join:Matcher.Hash program facts,
+          Chase.run ~join:Matcher.Nested program facts )
+      with
+      | Ok h, Ok n -> chase_fingerprint h = chase_fingerprint n
+      | _ -> false)
+
+let prop_join_engines_agree_plain =
+  prop_join_engines_agree join_program_plain
+    "hash join = nested loop (recursive closure, semi-naive deltas)"
+
+let prop_join_engines_agree_negation =
+  prop_join_engines_agree join_program_negation
+    "hash join = nested loop (stratified negation)"
+
+let prop_join_engines_agree_naive =
+  (* naive mode disables delta seeding: every round re-runs full
+     passes, covering the non-delta probe path *)
+  QCheck2.Test.make ~name:"hash join = nested loop (naive full passes)"
+    ~count:30 edges_gen (fun raw ->
+      let facts =
+        List.map
+          (fun (i, j) ->
+            Atom.make "e" [ Term.str (string_of_int i); Term.str (string_of_int j) ])
+          raw
+      in
+      let { Parser.program; _ } = parse_exn join_program_plain in
+      match
+        ( Chase.run ~naive:true ~join:Matcher.Hash program facts,
+          Chase.run ~naive:true ~join:Matcher.Nested program facts )
+      with
+      | Ok h, Ok n -> chase_fingerprint h = chase_fingerprint n
+      | _ -> false)
+
 (* --- budgets and cooperative cancellation ----------------------------------- *)
 
 (* one new fact per round, for a million rounds: the shape a runaway
@@ -1587,6 +1765,9 @@ let qsuite =
       prop_chase_deterministic;
       prop_magic_equals_full_chase;
       prop_parallel_equals_sequential;
+      prop_join_engines_agree_plain;
+      prop_join_engines_agree_negation;
+      prop_join_engines_agree_naive;
       prop_unlimited_budget_is_identity;
       prop_incremental_equals_cold;
       prop_incremental_negation_equals_cold;
@@ -1602,6 +1783,12 @@ let () =
             test_database_numeric_key_equality;
           Alcotest.test_case "deactivation" `Quick test_database_deactivation;
           Alcotest.test_case "matching" `Quick test_database_matching;
+          Alcotest.test_case "columnar layout" `Quick
+            test_database_columnar_layout;
+          Alcotest.test_case "index build and probe" `Quick
+            test_database_index_probe;
+          Alcotest.test_case "all-active fast path" `Quick
+            test_database_all_active;
         ] );
       ( "chase",
         [
@@ -1744,6 +1931,8 @@ let () =
             test_parallel_identical_on_bundled_apps;
           Alcotest.test_case "naive = semi-naive under planner" `Quick
             test_naive_matches_seminaive_under_planner;
+          Alcotest.test_case "join engines byte-identical" `Quick
+            test_join_engines_identical_all_features;
         ] );
       ("properties", qsuite);
     ]

@@ -1272,7 +1272,8 @@ let wide_event_keys =
     "ts"; "level"; "event"; "duration_ms"; "trace_id"; "method"; "target";
     "endpoint"; "status"; "error_code"; "queue_wait_ms"; "session";
     "cache_hit"; "degraded"; "chase_source"; "chase_rounds"; "chase_facts";
-    "plan_reorders"; "snapshot_scheduled"; "shed"; "gc_minor_collections";
+    "plan_reorders"; "join_strategy"; "snapshot_scheduled"; "shed";
+    "gc_minor_collections";
     "gc_major_collections"; "gc_promoted_words"; "gc_minor_words";
   ]
 
@@ -1333,6 +1334,12 @@ let test_wide_event_chase_fields () =
       (Json.mem_str "session" explained = Some "s1");
     check bool' "cold explain chased" true
       (Json.mem_str "chase_source" explained = Some "chased");
+    check bool' "chased request records its join engine" true
+      (match Json.mem_str "join_strategy" explained with
+      | Some ("hash" | "nested") -> true
+      | Some _ | None -> false);
+    check bool' "non-chased request has no join engine" true
+      (Json.mem_str "join_strategy" notfound = Some "none");
     check bool' "chase rounds counted" true
       (match Json.mem_int "chase_rounds" explained with
       | Some n -> n > 0
