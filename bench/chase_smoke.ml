@@ -481,6 +481,121 @@ let persistence_bench dir =
       })
     Ekg_apps.Bundled.names
 
+(* --- goal-directed query lane -----------------------------------------------
+
+   The /query endpoint answers bound point queries by magic-sets
+   specialization over the session EDB, never touching the served
+   materialization.  The demo EDBs are too small to rank the two paths
+   (one chain, so the scoped instance IS the full instance); the
+   session-scale workload here is a forest of independent chains, and
+   the query binds one chain's head — goal-direction should explore
+   that chain and skip the rest, while full materialization derives
+   every chain's closure.  Identity gate: the lane's answers must be
+   exactly what [Query.ask] returns over the full materialization. *)
+
+type qlane_out = {
+  ql_app : string;
+  ql_query : string;
+  ql_mask : string;
+  ql_mode : string;
+  ql_edb_facts : int;
+  ql_full_facts : int;
+  ql_scoped_facts : int;
+  ql_answers : int;
+  ql_iters : int;
+  ql_rewrite_ms : float;
+  ql_p50_query_ms : float;
+  ql_p50_full_ms : float;
+  ql_speedup : float;
+  ql_identity : bool;
+}
+
+let query_lane_bench () =
+  let rng = Ekg_kernel.Prng.create 9090 in
+  let control_insts = List.init 24 (fun _ -> Owners.chain rng ~hops:24) in
+  let control_edb = List.concat_map (fun i -> i.Owners.edb) control_insts in
+  let control_head = List.hd (List.hd control_insts).Owners.entities in
+  let link_insts = List.init 24 (fun _ -> Participations.chain rng ~hops:30) in
+  let link_edb = List.concat_map (fun i -> i.Participations.edb) link_insts in
+  let link_head = List.hd (List.hd link_insts).Participations.entities in
+  List.map
+    (fun (app, edb, atom) ->
+      let { Ekg_apps.Apps_util.pipeline; edb = _ } =
+        match Ekg_apps.Bundled.load app with
+        | Ok l -> l
+        | Error e -> failwith ("chase-smoke: " ^ app ^ ": " ^ e)
+      in
+      let program = pipeline.Ekg_core.Pipeline.program in
+      let pred = atom.Atom.pred in
+      let mask = Ekg_engine.Magic.adornment atom in
+      let t0 = Unix.gettimeofday () in
+      let spec =
+        match Ekg_core.Pipeline.specialize pipeline ~pred ~mask with
+        | Ok s -> s
+        | Error e -> failwith ("chase-smoke: query-lane specialize: " ^ e)
+      in
+      let rewrite_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      let run_query () =
+        match Ekg_core.Pipeline.query pipeline spec edb atom with
+        | Ok r -> r
+        | Error e ->
+          failwith
+            ("chase-smoke: query-lane: " ^ Ekg_engine.Chase.error_to_string e)
+      in
+      let run_full () = Ekg_engine.Chase.run_exn ~domains:1 program edb in
+      let qr = run_query () in
+      let full = run_full () in
+      (* identity gate: lane answers == filtering the full materialization *)
+      let lane_answers =
+        List.map
+          (fun a -> Ekg_engine.Fact.to_string a.Ekg_core.Pipeline.qa_fact)
+          qr.Ekg_core.Pipeline.q_answers
+      in
+      let full_answers =
+        List.sort String.compare
+          (List.map
+             (fun (f, _) -> Ekg_engine.Fact.to_string f)
+             (Ekg_engine.Query.ask full.Ekg_engine.Chase.db atom))
+      in
+      let identity = lane_answers = full_answers && lane_answers <> [] in
+      let iters_q = 40 and iters_f = 12 in
+      let q_lat =
+        measure_latencies ~iters:iters_q (fun () -> ignore (run_query ()))
+      in
+      let f_lat =
+        measure_latencies ~iters:iters_f (fun () -> ignore (run_full ()))
+      in
+      let p50_q = percentile q_lat 0.50 in
+      let p50_f = percentile f_lat 0.50 in
+      {
+        ql_app = app;
+        ql_query = Atom.to_string atom;
+        ql_mask = mask;
+        ql_mode =
+          (match qr.Ekg_core.Pipeline.q_mode with
+          | `Magic -> "magic"
+          | `Full -> "full"
+          | `Edb -> "edb");
+        ql_edb_facts = List.length edb;
+        ql_full_facts = full.Ekg_engine.Chase.derived_count;
+        ql_scoped_facts = qr.Ekg_core.Pipeline.q_derived;
+        ql_answers = List.length qr.Ekg_core.Pipeline.q_answers;
+        ql_iters = iters_q;
+        ql_rewrite_ms = rewrite_ms;
+        ql_p50_query_ms = p50_q;
+        ql_p50_full_ms = p50_f;
+        ql_speedup = (if p50_q > 0. then p50_f /. p50_q else 0.);
+        ql_identity = identity;
+      })
+    [
+      ( "company-control",
+        control_edb,
+        Atom.make "control" [ Term.str control_head; Term.var "X" ] );
+      ( "close-link",
+        link_edb,
+        Atom.make "closeLink" [ Term.str link_head; Term.var "X" ] );
+    ]
+
 (* --- join core --------------------------------------------------------------
 
    The columnar hash-join engine (PR 8) against the nested-loop
@@ -591,7 +706,7 @@ let join_bench () =
   ( sections,
     { jm_rows = rows; jm_build_ms = build_ms; jm_probes = probes; jm_probe_ns = probe_ns } )
 
-let json_out ~overhead ~obs ~incr ~persist ~joins sections =
+let json_out ~overhead ~obs ~incr ~persist ~joins ~qlane sections =
   let join_sections, micro = joins in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
@@ -716,6 +831,31 @@ let json_out ~overhead ~obs ~incr ~persist ~joins sections =
         \"probes\": %d, \"probe_ns\": %.1f}\n"
        micro.jm_rows micro.jm_build_ms micro.jm_probes micro.jm_probe_ns);
   Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"query_lane\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"identity\": %b,\n"
+       (List.for_all (fun q -> q.ql_identity) qlane));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"p50_speedup_at_least_5x_on_2_apps\": %b,\n"
+       (List.length (List.filter (fun q -> q.ql_speedup >= 5.) qlane) >= 2));
+  Buffer.add_string buf "    \"apps\": [\n";
+  List.iteri
+    (fun i q ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      {\"app\": %S, \"query\": %S, \"mask\": %S, \"mode\": %S, \
+            \"edb_facts\": %d, \"full_derived_facts\": %d, \
+            \"scoped_derived_facts\": %d, \"answers\": %d, \
+            \"iterations\": %d, \"rewrite_ms\": %.3f, \
+            \"p50_query_ms\": %.3f, \"p50_full_chase_ms\": %.3f, \
+            \"p50_speedup\": %.1f, \"answers_identical_to_materialization\": %b}%s\n"
+           q.ql_app q.ql_query q.ql_mask q.ql_mode q.ql_edb_facts
+           q.ql_full_facts q.ql_scoped_facts q.ql_answers q.ql_iters
+           q.ql_rewrite_ms q.ql_p50_query_ms q.ql_p50_full_ms q.ql_speedup
+           q.ql_identity
+           (if i = List.length qlane - 1 then "" else ",")))
+    qlane;
+  Buffer.add_string buf "    ]\n  },\n";
   Buffer.add_string buf "  \"persistence\": {\n";
   Buffer.add_string buf
     (Printf.sprintf "    \"warm_restore_beats_cold_chase\": %b,\n"
@@ -825,6 +965,19 @@ let run () =
      with Not_found -> ());
     (js, micro)
   in
+  let qlane =
+    let qs = query_lane_bench () in
+    List.iter
+      (fun q ->
+        Printf.printf
+          "  %-20s %s   query %8.3f ms   full %8.3f ms   speedup %5.1fx   %s\n"
+          ("query-" ^ q.ql_app) q.ql_mode q.ql_p50_query_ms q.ql_p50_full_ms
+          q.ql_speedup
+          (if q.ql_identity then "answers match materialization"
+           else "ANSWERS DIVERGED"))
+      qs;
+    qs
+  in
   let persist =
     let dir =
       Filename.concat (Filename.get_temp_dir_name ())
@@ -844,7 +997,7 @@ let run () =
   in
   let path = "BENCH_chase.json" in
   Bench_util.write_file_atomic path
-    (json_out ~overhead ~obs ~incr ~persist ~joins sections);
+    (json_out ~overhead ~obs ~incr ~persist ~joins ~qlane sections);
   Printf.printf "  wrote %s (machine reports %d recommended domains)\n" path
     (Domain.recommended_domain_count ());
   if not (List.for_all (fun s -> s.identical) sections) then
@@ -854,4 +1007,6 @@ let run () =
   if not incr.i_identical then
     failwith "chase-smoke: incremental maintenance diverged from cold chase";
   if not (List.for_all (fun p -> p.p_identical) persist) then
-    failwith "chase-smoke: warm restore diverged from the persisted instance"
+    failwith "chase-smoke: warm restore diverged from the persisted instance";
+  if not (List.for_all (fun q -> q.ql_identity) qlane) then
+    failwith "chase-smoke: query-lane answers diverged from materialization"

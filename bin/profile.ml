@@ -77,8 +77,97 @@ let print_rounds (stats : Ekg_engine.Chase.stats) =
         r.delta_size r.new_facts (r.time_s *. 1000.))
     stats.per_round
 
+(* --magic: the goal-directed query lane's breakdown — where a point
+   query's time goes (magic-sets rewrite, scoped chase, answer
+   explanation) and what the pruning bought vs. the full chase *)
+let run_magic ~budget ~domains pipeline edb qtext =
+  match Ekg_datalog.Parser.parse_atom qtext with
+  | Error e ->
+    Fmt.epr "query: %s@." e;
+    1
+  | Ok atom -> (
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, (Unix.gettimeofday () -. t0) *. 1000.)
+    in
+    let pred = atom.Ekg_datalog.Atom.pred in
+    let mask = Ekg_engine.Magic.adornment atom in
+    let spec, rewrite_ms =
+      time (fun () -> Pipeline.specialize pipeline ~pred ~mask)
+    in
+    match spec with
+    | Error e ->
+      Fmt.epr "query: %s@." e;
+      1
+    | Ok spec -> (
+      let outcome, chase_ms =
+        time (fun () -> Pipeline.query ~domains ~budget pipeline spec edb atom)
+      in
+      match outcome with
+      | Error err ->
+        Fmt.epr "query error: %s@." (Ekg_engine.Chase.error_to_string err);
+        1
+      | Ok qr ->
+        let answers = qr.Pipeline.q_answers in
+        let explained, answer_ms =
+          time (fun () ->
+              match answers with
+              | [] -> None
+              | qa :: _ -> (
+                match Pipeline.explain_answer pipeline qr qa with
+                | Ok e -> Some e
+                | Error _ -> None))
+        in
+        Printf.printf "query: %s  (shape %s/%s, mode %s%s)\n" qtext pred mask
+          (match qr.Pipeline.q_mode with
+          | `Magic -> "magic"
+          | `Full -> "full"
+          | `Edb -> "edb")
+          (match qr.Pipeline.q_fallback with
+          | None -> ""
+          | Some r -> ", fallback: " ^ r);
+        Printf.printf "%d answer%s; %d facts derived in %d rounds\n"
+          (List.length answers)
+          (if List.length answers = 1 then "" else "s")
+          qr.Pipeline.q_derived qr.Pipeline.q_rounds;
+        Printf.printf "\n== query-lane breakdown ==\n";
+        Printf.printf "  %-24s %10.3f ms\n" "magic-sets rewrite" rewrite_ms;
+        Printf.printf "  %-24s %10.3f ms\n" "scoped chase + answers" chase_ms;
+        Printf.printf "  %-24s %10.3f ms%s\n" "first-answer explanation"
+          answer_ms
+          (match explained with
+          | Some _ -> ""
+          | None -> "  (no intensional answer to explain)");
+        let full, full_ms =
+          time (fun () ->
+              Ekg_engine.Chase.run ~domains pipeline.Pipeline.program edb)
+        in
+        (match full with
+        | Ok full ->
+          Printf.printf "\n== vs. full materialization ==\n";
+          Printf.printf "  full chase: %d facts in %d rounds, %.3f ms\n"
+            full.Ekg_engine.Chase.derived_count full.Ekg_engine.Chase.rounds
+            full_ms;
+          Printf.printf "  scoped instance: %.1f%% of the facts, %.1fx faster\n"
+            (if full.Ekg_engine.Chase.derived_count > 0 then
+               100.
+               *. float_of_int qr.Pipeline.q_derived
+               /. float_of_int full.Ekg_engine.Chase.derived_count
+             else 0.)
+            (if chase_ms > 0. then full_ms /. chase_ms else 0.)
+        | Error e -> Fmt.epr "full chase failed: %s@." e);
+        List.iteri
+          (fun i (qa : Pipeline.query_answer) ->
+            if i < 10 then
+              Printf.printf "%s%s\n"
+                (if i = 0 then "\n== answers (first 10) ==\n" else "")
+                (Ekg_engine.Fact.to_string qa.Pipeline.qa_fact))
+          answers;
+        0))
+
 let run app query domains deadline_ms rounds dump_trace prometheus join
-    join_stats fingerprint =
+    join_stats fingerprint magic =
   let tracer = Ekg_obs.Trace.create () in
   let sink = Ekg_obs.Metrics.create () in
   let wall0 = Unix.gettimeofday () in
@@ -91,6 +180,11 @@ let run app query domains deadline_ms rounds dump_trace prometheus join
   | Error e ->
     Fmt.epr "error: %s@." e;
     1
+  | Ok _ when magic && query = None ->
+    Fmt.epr "error: --magic needs --query ATOM@.";
+    1
+  | Ok { Apps_util.pipeline; edb } when magic ->
+    run_magic ~budget ~domains pipeline edb (Option.get query)
   | Ok { Apps_util.pipeline; edb } -> (
     match
       Ekg_obs.Trace.with_span tracer "chase" (fun span ->
@@ -228,12 +322,23 @@ let fingerprint_t =
           "Also print a digest of the full chase output (result JSON + \
            provenance dot) — CI diffs it across join engines.")
 
+let magic_t =
+  Arg.(
+    value & flag
+    & info [ "magic" ]
+        ~doc:
+          "Answer $(b,--query) through the goal-directed lane instead of \
+           explaining it over the full chase: print the magic-sets \
+           rewrite / scoped chase / answer-explanation time breakdown \
+           and the pruning vs. a full materialization.")
+
 let cmd =
   let doc = "profile a bundled application: per-stage and per-rule breakdown" in
   let info = Cmd.info "ekg-profile" ~version:"1.0.0" ~doc in
   Cmd.v info
     Term.(
       const run $ app_t $ query_t $ domains_t $ deadline_ms_t $ rounds_t
-      $ trace_t $ prometheus_t $ join_t $ join_stats_t $ fingerprint_t)
+      $ trace_t $ prometheus_t $ join_t $ join_stats_t $ fingerprint_t
+      $ magic_t)
 
 let () = exit (Cmd.eval' cmd)

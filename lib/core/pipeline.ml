@@ -57,24 +57,22 @@ let add_facts ?domains ?budget t result atoms =
 let retract_facts ?domains ?budget t result atoms =
   Chase.retract_facts ?domains ?budget t.program result atoms
 
-let explain ?(strategy = `Primary) ?horizon ?(degraded = false) ?obs ?parent t
-    (result : Chase.result) fact =
-  Ekg_obs.Trace.with_span_opt obs ?parent "explain" @@ fun parent ->
-  let span name f = Ekg_obs.Trace.with_span_opt obs ?parent name (fun _ -> f ()) in
-  let extract =
-    match strategy with
-    | `Primary -> Proof.of_fact
-    | `Shortest -> Proof.shortest_of_fact
-  in
-  match span "proof-extraction" (fun () -> extract result.db result.prov fact) with
-  | None -> Error (Fact.to_string fact ^ " is an extensional fact: nothing to explain")
-  | Some full_proof ->
-    let proof, assumed =
-      match horizon with
-      | None -> (full_proof, [])
-      | Some h -> Proof.truncate full_proof ~horizon:h
-    in
-    let mapping =
+let extractor = function
+  | `Primary -> Proof.of_fact
+  | `Shortest -> Proof.shortest_of_fact
+
+(* stage-span scoper, polymorphic in the stage's result *)
+type spanner = { span : 'a. string -> (unit -> 'a) -> 'a }
+
+let spanner obs parent =
+  { span = (fun name f -> Ekg_obs.Trace.with_span_opt obs ?parent name (fun _ -> f ())) }
+
+(* the shared tail of every explanation: map the (already extracted,
+   possibly truncated or un-adorned) proof onto the reasoning paths and
+   instantiate the templates.  [span] scopes the stage spans under the
+   caller's "explain" span. *)
+let finish_explanation ~span:{ span } ~degraded t fact (proof, assumed) =
+  let mapping =
       span "proof-mapping" (fun () -> Proof_mapper.map_proof t.analysis proof)
     in
     let preamble =
@@ -118,6 +116,23 @@ let explain ?(strategy = `Primary) ?horizon ?(degraded = false) ?obs ?parent t
     in
     Ok { fact; proof; mapping; text; deterministic_text; paths_used }
 
+let explain ?(strategy = `Primary) ?horizon ?(degraded = false) ?obs ?parent t
+    (result : Chase.result) fact =
+  Ekg_obs.Trace.with_span_opt obs ?parent "explain" @@ fun parent ->
+  let span = spanner obs parent in
+  match
+    span.span "proof-extraction" (fun () ->
+        extractor strategy result.db result.prov fact)
+  with
+  | None -> Error (Fact.to_string fact ^ " is an extensional fact: nothing to explain")
+  | Some full_proof ->
+    let pair =
+      match horizon with
+      | None -> (full_proof, [])
+      | Some h -> Proof.truncate full_proof ~horizon:h
+    in
+    finish_explanation ~span ~degraded t fact pair
+
 let explain_atom_budgeted ?strategy ?(degrade = fun () -> false) ?obs ?parent t
     (result : Chase.result) atom =
   let matches = Query.ask result.db atom in
@@ -146,6 +161,155 @@ let explain_query ?strategy ?obs ?parent t result source =
   match Parser.parse_atom source with
   | Error e -> Error e
   | Ok atom -> explain_atom ?strategy ?obs ?parent t result atom
+
+(* --- the goal-directed query lane ------------------------------------------- *)
+
+type specialization =
+  | Sp_magic of Magic.specialized
+  | Sp_full of string
+  | Sp_edb
+
+let specialize t ~pred ~mask =
+  if not (List.mem pred (Program.preds t.program)) then
+    Error ("unknown predicate: " ^ pred)
+  else if not (Program.is_intensional t.program pred) then Ok Sp_edb
+  else
+    match Magic.specialize t.program ~pred ~mask with
+    | Ok sp -> Ok (Sp_magic sp)
+    | Error reason -> Ok (Sp_full reason)
+
+type query_answer = {
+  qa_fact : Fact.t;
+  qa_internal : Fact.t;
+  qa_binding : Subst.t;
+}
+
+type query_result = {
+  q_answers : query_answer list;
+  q_mode : [ `Magic | `Full | `Edb ];
+  q_fallback : string option;
+  q_scoped : Chase.result option;
+  q_sp : Magic.specialized option;
+  q_rounds : int;
+  q_derived : int;
+}
+
+(* answers ordered by their rendering: canonical for paging, and equal
+   between the magic and full paths by construction *)
+let sort_answers answers =
+  List.sort
+    (fun a b -> String.compare (Fact.to_string a.qa_fact) (Fact.to_string b.qa_fact))
+    answers
+
+let edb_scan edb (atom : Atom.t) =
+  let answers =
+    List.filteri (fun _ (a : Atom.t) -> a.Atom.pred = atom.Atom.pred) edb
+    |> List.mapi (fun i (a : Atom.t) ->
+           let args =
+             Array.of_list
+               (List.map
+                  (function
+                    | Term.Cst v -> v
+                    | Term.Var v ->
+                      (* the EDB mirror holds ground atoms only *)
+                      invalid_arg ("non-ground extensional atom: " ^ v))
+                  a.Atom.args)
+           in
+           (i, args))
+    |> List.filter_map (fun (i, args) ->
+           match Subst.match_atom Subst.empty ~pattern:atom args with
+           | None -> None
+           | Some binding ->
+             let fact = { Fact.id = i; pred = atom.Atom.pred; args } in
+             Some { qa_fact = fact; qa_internal = fact; qa_binding = binding })
+  in
+  {
+    q_answers = sort_answers answers;
+    q_mode = `Edb;
+    q_fallback = None;
+    q_scoped = None;
+    q_sp = None;
+    q_rounds = 0;
+    q_derived = 0;
+  }
+
+let query ?stats ?domains ?budget ?obs ?parent t spec edb (atom : Atom.t) =
+  let scoped_full reason =
+    match Chase.run_checked ?stats ?domains ?budget ?obs ?parent t.program edb with
+    | Error _ as e -> e
+    | Ok res ->
+      let answers =
+        Query.ask res.db atom
+        |> List.map (fun (f, binding) ->
+               { qa_fact = f; qa_internal = f; qa_binding = binding })
+      in
+      Ok
+        {
+          q_answers = sort_answers answers;
+          q_mode = `Full;
+          q_fallback = Some reason;
+          q_scoped = Some res;
+          q_sp = None;
+          q_rounds = res.Chase.rounds;
+          q_derived = res.Chase.derived_count;
+        }
+  in
+  match spec with
+  | Sp_edb -> Ok (edb_scan edb atom)
+  | Sp_full reason -> scoped_full reason
+  | Sp_magic sp -> (
+    match
+      Chase.run_checked ?stats ?domains ?budget ?obs ?parent sp.Magic.sp_program
+        (edb @ Magic.seeds sp atom)
+    with
+    | Error (Chase.Unstratifiable _) ->
+      (* the rewrite broke the stratification the source program had *)
+      scoped_full "rewritten program does not stratify"
+    | Error _ as e -> e
+    | Ok res ->
+      let answers =
+        Query.ask res.db (Magic.goal_atom sp atom)
+        |> List.map (fun (f, binding) ->
+               {
+                 qa_fact = Magic.original_fact sp f;
+                 qa_internal = f;
+                 qa_binding = binding;
+               })
+      in
+      Ok
+        {
+          q_answers = sort_answers answers;
+          q_mode = `Magic;
+          q_fallback = None;
+          q_scoped = Some res;
+          q_sp = Some sp;
+          q_rounds = res.Chase.rounds;
+          q_derived = res.Chase.derived_count;
+        })
+
+let explain_answer ?(strategy = `Primary) ?(degraded = false) ?obs ?parent t
+    (qr : query_result) (qa : query_answer) =
+  match qr.q_scoped with
+  | None ->
+    Error
+      (Fact.to_string qa.qa_fact ^ " is an extensional fact: nothing to explain")
+  | Some result -> (
+    Ekg_obs.Trace.with_span_opt obs ?parent "explain" @@ fun parent ->
+    let span = spanner obs parent in
+    match
+      span.span "proof-extraction" (fun () ->
+          extractor strategy result.Chase.db result.Chase.prov qa.qa_internal)
+    with
+    | None ->
+      Error
+        (Fact.to_string qa.qa_fact ^ " is an extensional fact: nothing to explain")
+    | Some proof ->
+      let proof =
+        match qr.q_sp with
+        | Some sp -> Magic.unadorn_proof sp proof
+        | None -> proof
+      in
+      finish_explanation ~span ~degraded t qa.qa_fact (proof, []))
 
 let identity t =
   (* stable across processes: the program's canonical rendering plus

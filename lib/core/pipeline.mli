@@ -146,6 +146,79 @@ val explain_query :
   (explanation list, string) result
 (** Parse an atom (e.g. ["control(\"B\", \"D\")"]) and explain it. *)
 
+(** {1 The goal-directed query lane}
+
+    Point queries are answered without the session's full
+    materialization: the program is magic-sets-specialized for the
+    query's bound/free pattern ({!Magic.specialize}), the scoped chase
+    runs over the extensional facts plus the demand seeds, and answers
+    plus proofs are projected back onto the source vocabulary. *)
+
+type specialization =
+  | Sp_magic of Magic.specialized
+      (** goal-directed rewrite applies — the common case *)
+  | Sp_full of string
+      (** the program shape escapes the magic fragment (reason given):
+          the query is answered from a private full chase *)
+  | Sp_edb  (** extensional predicate: a simple scan over the EDB *)
+
+val specialize : t -> pred:string -> mask:string -> (specialization, string) result
+(** Plan how queries of the given shape will be answered.  Depends only
+    on the (immutable) program and the pattern, so serving layers cache
+    the result per session.  [Error] means the predicate does not exist
+    in the program at all. *)
+
+type query_answer = {
+  qa_fact : Fact.t;      (** the answer, in the program's vocabulary *)
+  qa_internal : Fact.t;  (** the same fact as stored in the scoped instance *)
+  qa_binding : Subst.t;  (** the query variables' binding *)
+}
+
+type query_result = {
+  q_answers : query_answer list;  (** sorted by rendered fact — stable paging *)
+  q_mode : [ `Magic | `Full | `Edb ];
+  q_fallback : string option;     (** why goal-direction was unavailable *)
+  q_scoped : Chase.result option; (** the instance answers were read from *)
+  q_sp : Magic.specialized option;
+  q_rounds : int;
+  q_derived : int;
+}
+
+val query :
+  ?stats:Ekg_obs.Metrics.t ->
+  ?domains:int ->
+  ?budget:Chase.budget ->
+  ?obs:Ekg_obs.Trace.t ->
+  ?parent:Ekg_obs.Trace.span ->
+  t ->
+  specialization ->
+  Atom.t list ->
+  Atom.t ->
+  (query_result, Chase.error) result
+(** Answer one concrete query atom over the given extensional facts,
+    per the pre-computed [specialization].  Never touches a served
+    materialization: the magic and full modes each run a private chase
+    (budget/deadline and parallelism arguments pass straight through),
+    and the EDB mode only scans.  A rewritten program that fails to
+    stratify falls back to the full mode transparently, recorded in
+    [q_fallback]. *)
+
+val explain_answer :
+  ?strategy:[ `Primary | `Shortest ] ->
+  ?degraded:bool ->
+  ?obs:Ekg_obs.Trace.t ->
+  ?parent:Ekg_obs.Trace.span ->
+  t ->
+  query_result ->
+  query_answer ->
+  (explanation, string) result
+(** Template-backed explanation of one query answer, extracted from the
+    scoped instance's provenance and — for magic-mode results —
+    projected back onto the source program ({!Magic.unadorn_proof})
+    before the proof mapper runs, so the explanation reads exactly as
+    it would against the full materialization.  [degraded] renders
+    skeletons, as in {!explain}. *)
+
 val identity : t -> string
 (** Stable hex digest of the pipeline's {e semantic} inputs — the
     program's canonical rendering and the glossary spec.  Two pipelines

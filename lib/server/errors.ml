@@ -3,6 +3,7 @@ open Ekg_engine
 type code =
   | Moved_permanently
   | Parse_error
+  | Invalid_atom
   | Invalid_request
   | Length_required
   | Payload_too_large
@@ -26,6 +27,7 @@ let all =
   [
     Moved_permanently;
     Parse_error;
+    Invalid_atom;
     Invalid_request;
     Length_required;
     Payload_too_large;
@@ -49,6 +51,7 @@ let all =
 let id = function
   | Moved_permanently -> "moved_permanently"
   | Parse_error -> "parse_error"
+  | Invalid_atom -> "invalid_atom"
   | Invalid_request -> "invalid_request"
   | Length_required -> "length_required"
   | Payload_too_large -> "payload_too_large"
@@ -70,7 +73,7 @@ let id = function
 
 let status = function
   | Moved_permanently -> 301
-  | Parse_error | Invalid_request | Invalid_program -> 400
+  | Parse_error | Invalid_atom | Invalid_request | Invalid_program -> 400
   | Length_required -> 411
   | Payload_too_large -> 413
   | Headers_too_large -> 431
@@ -86,7 +89,8 @@ let status = function
    Client mistakes and genuine engine limits are not retryable. *)
 let retryable = function
   | Overloaded | Deadline_exceeded | Cancelled -> true
-  | Moved_permanently | Parse_error | Invalid_request | Length_required
+  | Moved_permanently | Parse_error | Invalid_atom | Invalid_request
+  | Length_required
   | Payload_too_large | Headers_too_large | Not_found | Session_not_found | No_trace
   | No_explanation | Unknown_fact | Method_not_allowed | Invalid_program
   | Inconsistent_program | Divergent | Budget_exceeded | Internal_error ->

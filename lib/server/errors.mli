@@ -12,7 +12,8 @@ open Ekg_engine
 
 type code =
   | Moved_permanently    (** deprecated pre-/v1 path; [Location] names the new one — 301 *)
-  | Parse_error          (** malformed HTTP framing, JSON, or atom syntax — 400 *)
+  | Parse_error          (** malformed HTTP framing or JSON — 400 *)
+  | Invalid_atom         (** query/explain atom fails the wire grammar — 400 *)
   | Invalid_request      (** well-formed but unusable (bad spec/strategy/header) — 400 *)
   | Length_required      (** body-bearing method without [Content-Length] — 411 *)
   | Payload_too_large    (** 413 *)

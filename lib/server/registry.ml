@@ -8,6 +8,25 @@ type cached_explanation = {
   preds : string list;  (* predicates whose change invalidates the entry *)
 }
 
+(* one concrete query's cached result, generation-stamped: an entry
+   whose [ca_gen] no longer matches the session's [update_gen] must
+   never serve *)
+type cached_answers = {
+  ca_result : Pipeline.query_result;
+  ca_gen : int;
+  mutable ca_used : float;
+}
+
+(* one query {e shape} (predicate + bound/free mask): the magic-sets
+   specialization — pure in the immutable program, so it survives fact
+   updates — plus an LRU of recently answered concrete queries *)
+type query_entry = {
+  qe_pred : string;
+  qe_spec : Pipeline.specialization;
+  mutable qe_used : float;
+  qe_answers : (string, cached_answers) Hashtbl.t;
+}
+
 type spec =
   | App of string
   | Files of { program : string; glossary : string option; facts_dir : string option }
@@ -24,8 +43,10 @@ type session = {
   lock : Mutex.t;
   mutable chase : Chase.result option;
   explain_cache : (string * string, cached_explanation) Hashtbl.t;
+  query_cache : (string, query_entry) Hashtbl.t;  (* keyed pred ^ "/" ^ mask *)
   mutable update_gen : int;
   mutable explain_count : int;
+  mutable query_count : int;
   mutable last_trace : Ekg_obs.Trace.span option;
   mutable last_used : float;
   mutable deleted : bool;
@@ -55,6 +76,15 @@ type t = {
 
 let evictions_metric = "ekg_store_evictions_total"
 let recovered_sessions_metric = "ekg_store_recovered_sessions_total"
+
+(* the query lane's series, declared at startup by the router *)
+let query_requests_metric = "ekg_query_requests_total"
+let query_rewrite_hits_metric = "ekg_query_rewrite_cache_hits_total"
+let query_rewrite_misses_metric = "ekg_query_rewrite_cache_misses_total"
+let query_answer_hits_metric = "ekg_query_answer_cache_hits_total"
+let query_answer_misses_metric = "ekg_query_answer_cache_misses_total"
+let query_invalidations_metric = "ekg_query_cache_invalidations_total"
+let query_seconds_metric = "ekg_query_seconds_total"
 
 let create ?(root = ".") ?(obs = Ekg_obs.Metrics.noop ()) ?(chase_domains = 1)
     ?(fault = Fault.Off) ?store
@@ -219,8 +249,10 @@ let make_session ~id ~name ~spec ~pipeline ~edb ~created_at ~update_gen =
     lock = Mutex.create ();
     chase = None;
     explain_cache = Hashtbl.create 16;
+    query_cache = Hashtbl.create 8;
     update_gen;
     explain_count = 0;
+    query_count = 0;
     last_trace = None;
     last_used = Unix.gettimeofday ();
     deleted = false;
@@ -456,6 +488,23 @@ let invalidate_cache_locked (session : session) changed =
   in
   List.iter (Hashtbl.remove session.explain_cache) stale
 
+(* drop cached query answers whose predicate the update could have
+   re-derived ([changed] is already the affected-predicate closure);
+   the specializations themselves survive — they depend only on the
+   immutable program.  Returns the number of answers dropped; called
+   with the session lock held. *)
+let invalidate_queries_locked (session : session) changed =
+  let dropped = ref 0 in
+  Hashtbl.iter
+    (fun _ (entry : query_entry) ->
+      if List.mem entry.qe_pred changed && Hashtbl.length entry.qe_answers > 0
+      then begin
+        dropped := !dropped + Hashtbl.length entry.qe_answers;
+        Hashtbl.reset entry.qe_answers
+      end)
+    session.query_cache;
+  !dropped
+
 let cached_explanations (session : session) ~strategy ~query =
   with_lock session.lock (fun () ->
       Option.map
@@ -588,6 +637,13 @@ let update_facts ?(budget = Chase.unlimited) t (session : session) op atoms =
       | Ok upd ->
         session.update_gen <- session.update_gen + 1;
         invalidate_cache_locked session upd.Chase.upd_changed_preds;
+        let dropped =
+          invalidate_queries_locked session upd.Chase.upd_changed_preds
+        in
+        if dropped > 0 then
+          Ekg_obs.Metrics.add t.obs
+            ~help:"Cached query answers dropped by fact updates"
+            query_invalidations_metric (float_of_int dropped);
         record_update t upd;
         Ekg_obs.Log.Ctx.put "chase_rounds"
           (Ekg_obs.Log.Int upd.Chase.upd_rounds);
@@ -603,6 +659,153 @@ let update_facts ?(budget = Chase.unlimited) t (session : session) op atoms =
      bursts coalesce in the snapshotter *)
   (match committed with Ok _ -> schedule_snapshot t session | Error _ -> ());
   committed
+
+(* --- the goal-directed query lane --------------------------------------------
+
+   Point queries never touch the served materialization: the program is
+   magic-sets-specialized per query shape (cached in an LRU keyed
+   predicate + mask), a private scoped chase runs over a snapshot of
+   the EDB mirror, and concrete answers are cached generation-stamped.
+   A dormant session stays dormant — in particular a query never
+   triggers (or waits on) a cold full materialization. *)
+
+let max_query_shapes = 64
+let max_answers_per_shape = 8
+
+type query_outcome = {
+  qo_result : Pipeline.query_result;
+  qo_rewrite_cached : bool;  (* the specialization was already cached *)
+  qo_answer_cached : bool;   (* the concrete answer set was *)
+}
+
+(* called with the session lock held *)
+let lru_trim tbl cap used =
+  while Hashtbl.length tbl > cap do
+    let victim =
+      Hashtbl.fold
+        (fun k v acc ->
+          match acc with
+          | Some (_, best) when used best <= used v -> acc
+          | _ -> Some (k, v))
+        tbl None
+    in
+    match victim with Some (k, _) -> Hashtbl.remove tbl k | None -> ()
+  done
+
+let mode_tag = function `Magic -> "magic" | `Full -> "full" | `Edb -> "edb"
+
+let note_query_event (result : Pipeline.query_result) ~cache_hit =
+  Ekg_obs.Log.Ctx.put "cache_hit" (Ekg_obs.Log.Bool cache_hit);
+  Ekg_obs.Log.Ctx.put "chase_source"
+    (Ekg_obs.Log.Str (mode_tag result.Pipeline.q_mode));
+  Ekg_obs.Log.Ctx.put "chase_rounds"
+    (Ekg_obs.Log.Int result.Pipeline.q_rounds);
+  Ekg_obs.Log.Ctx.put "chase_facts"
+    (Ekg_obs.Log.Int result.Pipeline.q_derived)
+
+let query ?(budget = Chase.unlimited) ?tracer ?parent t (session : session)
+    (atom : Atom.t) =
+  let pred = atom.Atom.pred in
+  let mask = Magic.adornment atom in
+  let shape_key = pred ^ "/" ^ mask in
+  let answer_key = Atom.to_string atom in
+  let t0 = Ekg_obs.Clock.now_s () in
+  let count name help = Ekg_obs.Metrics.incr t.obs ~help name in
+  let finish () =
+    Ekg_obs.Metrics.add t.obs ~help:"Seconds spent answering point queries"
+      query_seconds_metric
+      (Ekg_obs.Clock.now_s () -. t0)
+  in
+  count query_requests_metric "Point queries served by the goal-directed lane";
+  let prelim =
+    with_lock session.lock (fun () ->
+        let now = Unix.gettimeofday () in
+        session.last_used <- now;
+        session.query_count <- session.query_count + 1;
+        let gen = session.update_gen in
+        let edb = session.edb in
+        match Hashtbl.find_opt session.query_cache shape_key with
+        | Some entry -> (
+          entry.qe_used <- now;
+          (* a stale-generation answer must never serve: drop on sight *)
+          (match Hashtbl.find_opt entry.qe_answers answer_key with
+          | Some c when c.ca_gen <> gen ->
+            Hashtbl.remove entry.qe_answers answer_key
+          | _ -> ());
+          match Hashtbl.find_opt entry.qe_answers answer_key with
+          | Some c ->
+            c.ca_used <- now;
+            `Hit c.ca_result
+          | None -> `Run (entry.qe_spec, true, gen, edb))
+        | None -> (
+          match Pipeline.specialize session.pipeline ~pred ~mask with
+          | Error e -> `Unknown e
+          | Ok spec ->
+            Hashtbl.replace session.query_cache shape_key
+              {
+                qe_pred = pred;
+                qe_spec = spec;
+                qe_used = now;
+                qe_answers = Hashtbl.create 4;
+              };
+            lru_trim session.query_cache max_query_shapes (fun e -> e.qe_used);
+            `Run (spec, false, gen, edb)))
+  in
+  match prelim with
+  | `Unknown e -> Error (`Unknown_pred e)
+  | `Hit result ->
+    count query_rewrite_hits_metric
+      "Query shapes answered from a cached specialization";
+    count query_answer_hits_metric
+      "Point queries answered from the per-session answer cache";
+    note_query_event result ~cache_hit:true;
+    finish ();
+    Ok { qo_result = result; qo_rewrite_cached = true; qo_answer_cached = true }
+  | `Run (spec, rewrite_cached, gen, edb) -> (
+    count
+      (if rewrite_cached then query_rewrite_hits_metric
+       else query_rewrite_misses_metric)
+      (if rewrite_cached then
+         "Query shapes answered from a cached specialization"
+       else "Query shapes that paid for the magic-sets rewrite");
+    count query_answer_misses_metric
+      "Point queries that ran a scoped chase (answer cache miss)";
+    let injected =
+      match t.fault with
+      | Fault.Slow_chase s -> fault_slow_chase budget s
+      | _ -> Ok ()
+    in
+    let outcome =
+      match injected with
+      | Error e -> Error e
+      | Ok () ->
+        Pipeline.query ~stats:t.obs ~domains:t.chase_domains ~budget ?obs:tracer
+          ?parent session.pipeline spec edb atom
+    in
+    match outcome with
+    | Error err ->
+      finish ();
+      Error (`Chase err)
+    | Ok result ->
+      with_lock session.lock (fun () ->
+          (* a fact update committed while the chase ran: its
+             invalidation already happened, so storing now would serve
+             a stale generation — drop instead *)
+          if session.update_gen = gen then
+            match Hashtbl.find_opt session.query_cache shape_key with
+            | Some entry ->
+              Hashtbl.replace entry.qe_answers answer_key
+                { ca_result = result; ca_gen = gen; ca_used = Unix.gettimeofday () };
+              lru_trim entry.qe_answers max_answers_per_shape (fun c -> c.ca_used)
+            | None -> ());
+      note_query_event result ~cache_hit:false;
+      finish ();
+      Ok
+        {
+          qo_result = result;
+          qo_rewrite_cached = rewrite_cached;
+          qo_answer_cached = false;
+        })
 
 let note_explain (session : session) =
   with_lock session.lock (fun () ->
@@ -705,7 +908,9 @@ let session_json (session : session) =
         edb_facts,
         cached_explanations,
         update_gen,
-        last_used ) =
+        last_used,
+        queried,
+        cached_queries ) =
     with_lock session.lock (fun () ->
         ( Option.is_some session.chase,
           session.explain_count,
@@ -713,7 +918,11 @@ let session_json (session : session) =
           List.length session.edb,
           Hashtbl.length session.explain_cache,
           session.update_gen,
-          session.last_used ))
+          session.last_used,
+          session.query_count,
+          Hashtbl.fold
+            (fun _ (e : query_entry) n -> n + Hashtbl.length e.qe_answers)
+            session.query_cache 0 ))
   in
   Json.Obj
     [
@@ -733,6 +942,8 @@ let session_json (session : session) =
       "update_gen", Json.int update_gen;
       "cached_explanations", Json.int cached_explanations;
       "explain_requests", Json.int explained;
+      "cached_queries", Json.int cached_queries;
+      "query_requests", Json.int queried;
       "traced", Json.bool traced;
       "created_at", Json.num session.created_at;
       "last_used_unix_s", Json.num last_used;

@@ -18,6 +18,28 @@ type cached_explanation = {
           proofs *)
 }
 
+type cached_answers = {
+  ca_result : Pipeline.query_result;
+  ca_gen : int;    (** update generation the result was computed under *)
+  mutable ca_used : float;  (** answer-LRU clock *)
+}
+(** One concrete query's cached result.  Generation-stamped: an entry
+    whose [ca_gen] no longer matches the session's [update_gen] must
+    never serve, and is dropped eagerly by invalidation or lazily at
+    lookup. *)
+
+type query_entry = {
+  qe_pred : string;  (** queried predicate — the invalidation key *)
+  qe_spec : Pipeline.specialization;
+  mutable qe_used : float;  (** shape-LRU clock *)
+  qe_answers : (string, cached_answers) Hashtbl.t;
+      (** concrete answers keyed by canonical atom text *)
+}
+(** One query {e shape} (predicate + bound/free mask): the magic-sets
+    specialization — pure in the immutable program, so it survives
+    fact updates — plus an LRU of recently answered concrete
+    queries. *)
+
 type spec =
   | App of string
       (** a bundled paper application, e.g. ["company-control"] *)
@@ -49,12 +71,17 @@ type session = {
   explain_cache : (string * string, cached_explanation) Hashtbl.t;
       (** finished explanations keyed by (strategy, query text);
           entries survive fact updates that cannot affect them *)
+  query_cache : (string, query_entry) Hashtbl.t;
+      (** the query lane's per-session LRU, keyed [pred ^ "/" ^ mask];
+          specializations survive fact updates, cached answers are
+          invalidated predicate-selectively *)
   mutable update_gen : int;
       (** bumped by every committed fact update; {!cache_explanations}
           refuses to store a result computed under an older generation,
           so an update racing a long explanation cannot have its cache
           invalidation undone *)
   mutable explain_count : int;
+  mutable query_count : int;
   mutable last_trace : Ekg_obs.Trace.span option;
       (** the finished root span of the session's most recent explain
           request — the [GET /sessions/:id/trace] document *)
@@ -75,6 +102,28 @@ val evictions_metric : string
 val recovered_sessions_metric : string
 (** ["ekg_store_recovered_sessions_total"] — sessions re-registered
     from snapshots at startup. *)
+
+val query_requests_metric : string
+(** ["ekg_query_requests_total"] — point queries served by the
+    goal-directed lane. *)
+
+val query_rewrite_hits_metric : string
+val query_rewrite_misses_metric : string
+(** ["ekg_query_rewrite_cache_{hits,misses}_total"] — whether a query's
+    shape found its magic-sets specialization already cached. *)
+
+val query_answer_hits_metric : string
+val query_answer_misses_metric : string
+(** ["ekg_query_answer_cache_{hits,misses}_total"] — whether the
+    concrete query found a current-generation cached answer set. *)
+
+val query_invalidations_metric : string
+(** ["ekg_query_cache_invalidations_total"] — cached query answers
+    dropped by fact updates. *)
+
+val query_seconds_metric : string
+(** ["ekg_query_seconds_total"] — seconds spent answering point
+    queries. *)
 
 val create :
   ?root:string ->
@@ -249,6 +298,41 @@ val cache_explanations :
     equals [generation] — the result predates a committed fact update
     whose invalidation already ran, so caching it would serve stale
     explanations as [cached:true]. *)
+
+type query_outcome = {
+  qo_result : Pipeline.query_result;
+  qo_rewrite_cached : bool;
+      (** the shape's specialization was already cached *)
+  qo_answer_cached : bool;
+      (** the concrete answer set was served from cache *)
+}
+
+val query :
+  ?budget:Chase.budget ->
+  ?tracer:Ekg_obs.Trace.t ->
+  ?parent:Ekg_obs.Trace.span ->
+  t ->
+  session ->
+  Atom.t ->
+  (query_outcome, [ `Unknown_pred of string | `Chase of Chase.error ]) result
+(** Answer a point query through the goal-directed lane — the
+    [GET|POST /v1/sessions/:id/query] handler.  The session's program
+    is magic-sets-specialized for the query's bound/free shape
+    ({!Pipeline.specialize}, cached in a per-session LRU), a private
+    scoped chase runs over a snapshot of the EDB mirror, and the
+    concrete answer set is cached stamped with the session's update
+    generation.  The served materialization is never consulted and
+    never created: a dormant session stays dormant, so a point query
+    neither triggers nor waits on a cold full materialization.
+
+    [budget] bounds the scoped chase exactly as in {!materialize}
+    (deadline trips surface as [`Chase (Budget_exceeded _)] with
+    partial progress); the {!Fault.Slow_chase} fault applies here too.
+    [`Unknown_pred] means the predicate does not exist in the session's
+    program — a client error.  Contributes [chase_source]
+    (["magic"]/["full"]/["edb"]), [cache_hit], [chase_rounds] and
+    [chase_facts] to the request's wide event and advances the
+    [ekg_query_*] series. *)
 
 val note_explain : session -> unit
 (** Bump the session's explanation-request counter. *)

@@ -95,6 +95,26 @@ let make_state ?root ?(chase_domains = 1) ?(fault = Fault.Off)
   Ekg_obs.Metrics.declare_counter obs
     ~help:"Facts removed from materializations by retraction"
     Registry.retracted_facts_metric;
+  (* the query lane's series likewise render (at zero) from the first
+     scrape *)
+  List.iter
+    (fun (name, help) -> Ekg_obs.Metrics.declare_counter obs ~help name)
+    [
+      ( Registry.query_requests_metric,
+        "Point queries served by the goal-directed lane" );
+      ( Registry.query_rewrite_hits_metric,
+        "Query shapes answered from a cached specialization" );
+      ( Registry.query_rewrite_misses_metric,
+        "Query shapes that paid for the magic-sets rewrite" );
+      ( Registry.query_answer_hits_metric,
+        "Point queries answered from the per-session answer cache" );
+      ( Registry.query_answer_misses_metric,
+        "Point queries that ran a scoped chase (answer cache miss)" );
+      ( Registry.query_invalidations_metric,
+        "Cached query answers dropped by fact updates" );
+      ( Registry.query_seconds_metric,
+        "Seconds spent answering point queries" );
+    ];
   (* ditto for the robustness series: a scrape must see them at zero
      before the first shed / deadline trip *)
   Ekg_obs.Metrics.declare_counter obs
@@ -291,11 +311,57 @@ let chase_error_response st err =
       ~help:"Requests that exhausted their deadline (504)" deadline_metric;
   Errors.response ~detail code message
 
-let strategy_of body =
-  match Json.mem_str "strategy" body with
+let strategy_of_param = function
   | Some "shortest" -> Ok `Shortest
   | Some "primary" | None -> Ok `Primary
   | Some other -> Error ("unknown strategy: " ^ other ^ " (primary|shortest)")
+
+let strategy_of body = strategy_of_param (Json.mem_str "strategy" body)
+
+(* --- the shared read-surface pagination envelope -----------------------------
+
+   [GET /…/explain] and [GET|POST /…/query] page their result lists the
+   same way: [limit] (default 50, capped at 500) and an opaque [cursor]
+   from the previous page's [page.next_cursor].  The response carries
+   [total] plus a [page] object; [next_cursor] is null on the last
+   page.  Result lists are canonically ordered, so a cursor is stable
+   under re-query as long as no fact update intervenes. *)
+
+let page_default_limit = 50
+let page_max_limit = 500
+
+let paging ~limit ~cursor =
+  let parsed_limit =
+    match limit with
+    | None -> Ok page_default_limit
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> Ok (min n page_max_limit)
+      | _ -> Error ("invalid limit: " ^ s ^ " (a positive integer)"))
+  in
+  match parsed_limit with
+  | Error _ as e -> e
+  | Ok lim -> (
+    match cursor with
+    | None -> Ok (lim, 0)
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> Ok (lim, n)
+      | _ -> Error ("invalid cursor: " ^ s)))
+
+let page_slice ~limit ~offset items =
+  List.filteri (fun i _ -> i >= offset && i < offset + limit) items
+
+let page_json ~total ~limit ~offset ~served =
+  let next = offset + served in
+  Json.Obj
+    [
+      "limit", Json.int limit;
+      "cursor", Json.str (string_of_int offset);
+      ( "next_cursor",
+        if served > 0 && next < total then Json.str (string_of_int next)
+        else Json.Null );
+    ]
 
 let strategy_tag = function `Primary -> "primary" | `Shortest -> "shortest"
 
@@ -328,7 +394,7 @@ let explain st ~trace_id ~deadline_s (session : Registry.session)
       (* parse the atom up front: a syntax error is the caller's fault
          and must not count as a failed reasoning run *)
       match Ekg_datalog.Parser.parse_atom query with
-      | Error e -> Errors.response Errors.Parse_error ("query: " ^ e)
+      | Error e -> Errors.response Errors.Invalid_atom ("query: " ^ e)
       | Ok atom -> (
         match strategy_of body with
         | Error e -> Errors.response Errors.Invalid_request e
@@ -401,6 +467,232 @@ let explain st ~trace_id ~deadline_s (session : Registry.session)
             (* the span is finished (duration set) once with_span returns *)
             Option.iter (Registry.set_trace session) !root;
             resp)))
+
+(* [GET /v1/sessions/:id/explain]: the same answers as the POST form —
+   same atom grammar, same cache — paged with the shared envelope *)
+let explain_get st ~trace_id ~deadline_s (session : Registry.session)
+    (req : Http.request) =
+  let param k = List.assoc_opt k req.query in
+  match param "query" with
+  | None ->
+    Errors.response Errors.Invalid_request
+      "missing \"query\" parameter (an atom, e.g. control(\"A\", X))"
+  | Some query -> (
+    match Ekg_datalog.Parser.parse_atom query with
+    | Error e -> Errors.response Errors.Invalid_atom ("query: " ^ e)
+    | Ok atom -> (
+      match strategy_of_param (param "strategy") with
+      | Error e -> Errors.response Errors.Invalid_request e
+      | Ok strategy -> (
+        match paging ~limit:(param "limit") ~cursor:(param "cursor") with
+        | Error e -> Errors.response Errors.Invalid_request e
+        | Ok (limit, offset) ->
+          Registry.note_explain session;
+          let key = Ekg_datalog.Atom.to_string atom in
+          let tag = strategy_tag strategy in
+          let answer ~cached ~degraded explanations =
+            Ekg_obs.Log.Ctx.put "cache_hit" (Ekg_obs.Log.Bool cached);
+            Ekg_obs.Log.Ctx.put "degraded" (Ekg_obs.Log.Bool degraded);
+            let total = List.length explanations in
+            let served = page_slice ~limit ~offset explanations in
+            json_response 200
+              (Json.Obj
+                 [
+                   "session", Json.str session.id;
+                   "query", Json.str query;
+                   "trace_id", Json.str trace_id;
+                   "cached", Json.bool cached;
+                   "degraded", Json.bool degraded;
+                   "total", Json.int total;
+                   ( "page",
+                     page_json ~total ~limit ~offset
+                       ~served:(List.length served) );
+                   ( "explanations",
+                     Json.Arr (List.map explanation_json served) );
+                 ])
+          in
+          match Registry.cached_explanations session ~strategy:tag ~query:key with
+          | Some explanations -> answer ~cached:true ~degraded:false explanations
+          | None ->
+            let generation = Registry.generation session in
+            let budget = { Chase.unlimited with deadline_s = Some deadline_s } in
+            let degrade () = Ekg_obs.Clock.now_s () >= deadline_s in
+            let root = ref None in
+            let resp =
+              Ekg_obs.Trace.with_span st.tracer
+                ~labels:
+                  [
+                    "trace_id", trace_id;
+                    "session", session.id;
+                    "query", query;
+                  ]
+                "explain-request"
+              @@ fun span ->
+              root := Some span;
+              match
+                Ekg_obs.Trace.with_span st.tracer ~parent:span "chase"
+                  (fun chase_span ->
+                    Registry.materialize ~budget ~tracer:st.tracer
+                      ~parent:chase_span st.registry session)
+              with
+              | Error err -> chase_error_response st err
+              | Ok result -> (
+                match
+                  Pipeline.explain_atom_budgeted ~strategy ~degrade
+                    ~obs:st.tracer ~parent:span session.pipeline result atom
+                with
+                | Error e -> Errors.response Errors.No_explanation e
+                | Ok (explanations, degraded) ->
+                  if not degraded then
+                    Registry.cache_explanations session ~generation
+                      ~strategy:tag ~query:key
+                      ~preds:(explanation_preds atom explanations)
+                      explanations;
+                  answer ~cached:false ~degraded explanations)
+            in
+            Option.iter (Registry.set_trace session) !root;
+            resp)))
+
+(* --- the goal-directed query lane --------------------------------------------
+
+   [GET|POST /v1/sessions/:id/query]: point queries answered by
+   magic-sets specialization + a scoped chase over the session's EDB —
+   never by (or waiting on) the served materialization.  The atom
+   grammar is the explain endpoints' one; variables are the free
+   positions ("control(\"A\", X)" asks who A controls). *)
+
+let explain_mode_of = function
+  | None | Some "none" -> Ok `None
+  | Some "skeleton" -> Ok `Skeleton
+  | Some "full" -> Ok `Full
+  | Some other -> Error ("unknown explain mode: " ^ other ^ " (none|skeleton|full)")
+
+let query_lane st ~trace_id ~deadline_s (session : Registry.session) ~query
+    ~limit ~cursor ~explain_mode ~strategy () =
+  match query with
+  | None ->
+    Errors.response Errors.Invalid_request
+      "missing \"query\" (an atom, e.g. control(\"A\", X))"
+  | Some qtext -> (
+    match Ekg_datalog.Parser.parse_atom qtext with
+    | Error e -> Errors.response Errors.Invalid_atom ("query: " ^ e)
+    | Ok atom -> (
+      match strategy_of_param strategy with
+      | Error e -> Errors.response Errors.Invalid_request e
+      | Ok strategy -> (
+        match explain_mode_of explain_mode with
+        | Error e -> Errors.response Errors.Invalid_request e
+        | Ok emode -> (
+          match paging ~limit ~cursor with
+          | Error e -> Errors.response Errors.Invalid_request e
+          | Ok (limit, offset) ->
+            let budget = { Chase.unlimited with deadline_s = Some deadline_s } in
+            let root = ref None in
+            let resp =
+              Ekg_obs.Trace.with_span st.tracer
+                ~labels:
+                  [
+                    "trace_id", trace_id;
+                    "session", session.id;
+                    "query", qtext;
+                  ]
+                "query-request"
+              @@ fun span ->
+              root := Some span;
+              match
+                Registry.query ~budget ~tracer:st.tracer ~parent:span
+                  st.registry session atom
+              with
+              | Error (`Unknown_pred e) ->
+                Errors.response Errors.Invalid_atom ("query: " ^ e)
+              | Error (`Chase err) -> chase_error_response st err
+              | Ok outcome ->
+                let result = outcome.Registry.qo_result in
+                let answers = result.Pipeline.q_answers in
+                let total = List.length answers in
+                let served = page_slice ~limit ~offset answers in
+                let answer_json (qa : Pipeline.query_answer) =
+                  let bindings =
+                    Json.Obj
+                      (List.map
+                         (fun (v, value) ->
+                           ( v,
+                             Json.str
+                               (Ekg_datalog.Term.to_string
+                                  (Ekg_datalog.Term.Cst value)) ))
+                         (Ekg_datalog.Subst.to_list qa.Pipeline.qa_binding))
+                  in
+                  let base =
+                    [
+                      "fact", Json.str (Fact.to_string qa.Pipeline.qa_fact);
+                      "bindings", bindings;
+                    ]
+                  in
+                  match emode with
+                  | `None -> Json.Obj base
+                  | (`Skeleton | `Full) as m -> (
+                    match
+                      Pipeline.explain_answer ~strategy
+                        ~degraded:(m = `Skeleton) ~obs:st.tracer ~parent:span
+                        session.pipeline result qa
+                    with
+                    | Ok e ->
+                      Json.Obj (base @ [ "explanation", explanation_json e ])
+                    | Error msg ->
+                      Json.Obj (base @ [ "explanation_error", Json.str msg ]))
+                in
+                json_response 200
+                  (Json.Obj
+                     ([
+                        "session", Json.str session.id;
+                        "query", Json.str qtext;
+                        "trace_id", Json.str trace_id;
+                        ( "mode",
+                          Json.str
+                            (match result.Pipeline.q_mode with
+                            | `Magic -> "magic"
+                            | `Full -> "full"
+                            | `Edb -> "edb") );
+                      ]
+                     @ (match result.Pipeline.q_fallback with
+                       | None -> []
+                       | Some reason -> [ "fallback", Json.str reason ])
+                     @ [
+                         ( "rewrite_cached",
+                           Json.bool outcome.Registry.qo_rewrite_cached );
+                         "cached", Json.bool outcome.Registry.qo_answer_cached;
+                         "rounds", Json.int result.Pipeline.q_rounds;
+                         "derived_facts", Json.int result.Pipeline.q_derived;
+                         "total", Json.int total;
+                         ( "page",
+                           page_json ~total ~limit ~offset
+                             ~served:(List.length served) );
+                         "answers", Json.Arr (List.map answer_json served);
+                       ]))
+            in
+            Option.iter (Registry.set_trace session) !root;
+            resp))))
+
+let query_get st ~trace_id ~deadline_s session (req : Http.request) =
+  let param k = List.assoc_opt k req.query in
+  query_lane st ~trace_id ~deadline_s session ~query:(param "query")
+    ~limit:(param "limit") ~cursor:(param "cursor")
+    ~explain_mode:(param "explain") ~strategy:(param "strategy") ()
+
+let query_post st ~trace_id ~deadline_s session (req : Http.request) =
+  match Json.parse req.body with
+  | Error e -> Errors.response Errors.Parse_error e
+  | Ok body ->
+    let str k = Json.mem_str k body in
+    let int_or_str k =
+      match Json.member k body with
+      | Some (Json.Num n) when Float.is_integer n ->
+        Some (string_of_int (int_of_float n))
+      | _ -> str k
+    in
+    query_lane st ~trace_id ~deadline_s session ~query:(str "query")
+      ~limit:(int_or_str "limit") ~cursor:(str "cursor")
+      ~explain_mode:(str "explain") ~strategy:(str "strategy") ()
 
 (* --- live fact updates ------------------------------------------------------ *)
 
@@ -533,7 +825,7 @@ let explain_batch st ~trace_id ~deadline_s (session : Registry.session)
               else
                 match Ekg_datalog.Parser.parse_atom query with
                 | Error e ->
-                  batch_item_error ~query Errors.Parse_error ("query: " ^ e)
+                  batch_item_error ~query Errors.Invalid_atom ("query: " ^ e)
                 | Ok atom -> (
                   match
                     Pipeline.explain_atom_budgeted ~strategy ~degrade
@@ -709,6 +1001,21 @@ let route_v1 st ~trace_id ~deadline (req : Http.request) rest =
     ( "POST /v1/sessions/:id/explain",
       with_deadline (fun deadline_s ->
           with_session st id (fun s -> explain st ~trace_id ~deadline_s s req)) )
+  | Http.GET, [ "sessions"; id; "explain" ] ->
+    ( "GET /v1/sessions/:id/explain",
+      with_deadline (fun deadline_s ->
+          with_session st id (fun s ->
+              explain_get st ~trace_id ~deadline_s s req)) )
+  | Http.GET, [ "sessions"; id; "query" ] ->
+    ( "GET /v1/sessions/:id/query",
+      with_deadline (fun deadline_s ->
+          with_session st id (fun s -> query_get st ~trace_id ~deadline_s s req))
+    )
+  | Http.POST, [ "sessions"; id; "query" ] ->
+    ( "POST /v1/sessions/:id/query",
+      with_deadline (fun deadline_s ->
+          with_session st id (fun s -> query_post st ~trace_id ~deadline_s s req))
+    )
   | Http.POST, [ "sessions"; id; "explain:batch" ] ->
     ( "POST /v1/sessions/:id/explain:batch",
       with_deadline (fun deadline_s ->
@@ -736,7 +1043,8 @@ let route_v1 st ~trace_id ~deadline (req : Http.request) rest =
   | _, ([ "health" ] | [ "metrics" ] | [ "sessions" ]
        | [ "debug"; ("runtime" | "sessions" | "inflight" | "slowlog") ]
        | [ "sessions"; _;
-           ("explain" | "explain:batch" | "templates" | "trace" | "facts") ]) ->
+           ("explain" | "explain:batch" | "query" | "templates" | "trace"
+           | "facts") ]) ->
     ( Http.meth_to_string req.meth ^ " (known path)",
       Errors.response Errors.Method_not_allowed
         ("method " ^ Http.meth_to_string req.meth ^ " not allowed on "

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus the server smoke test (which also scrapes the
 # Prometheus /metrics exposition and executes the live fact-update
-# walkthrough of examples/incremental_walkthrough.md), the restart-
-# recovery smoke (kill + restart on the same --store-dir; explanations
-# must be served again without re-running the chase), the parallel-
+# walkthrough of examples/incremental_walkthrough.md), the query-lane
+# smoke (magic-sets point queries, answer-cache warm-up, update
+# invalidation and the ekg_query_* series over loopback HTTP), the
+# restart-recovery smoke (kill + restart on the same --store-dir;
+# explanations must be served again without re-running the chase), the parallel-
 # chase bench smoke (writes BENCH_chase.json: wall-clock at domains=1
 # vs 4, admission overhead, incremental maintenance vs cold re-chase,
 # snapshot/restore vs cold chase; fails if parallel, incremental or
@@ -19,6 +21,7 @@ dune build
 dune runtest
 dune build @smoke
 dune build @smoke-faults
+dune build @smoke-query
 dune build @smoke-recovery
 dune exec bench/main.exe -- chase-smoke
 

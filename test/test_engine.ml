@@ -793,20 +793,149 @@ let test_magic_rejects_bad_queries () =
   | Error msg -> check bool' "extensional query" true (Textutil.contains_word msg "extensional")
   | Ok _ -> Alcotest.fail "extensional query rewritten"
 
-let test_magic_falls_back_on_aggregation () =
+let test_magic_prunes_aggregation () =
   let { Parser.program; facts } =
     parse_exn
       {|
 sale(Shop, V), T = sum(V) -> revenue(Shop, T).
 @goal(revenue).
-sale("x", 1). sale("x", 2).
+sale("x", 1). sale("x", 2). sale("y", 5).
 |}
   in
-  match Magic.answer program facts (Atom.make "revenue" [ Term.str "x"; Term.var "T" ]) with
+  (match Magic.answer program facts (Atom.make "revenue" [ Term.str "x"; Term.var "T" ]) with
   | Ok a ->
-    check bool' "fell back to full materialization" true (not a.pruned);
+    check bool' "aggregation is in the magic fragment now" true a.pruned;
+    (match a.facts with
+    | [ f ] -> check string' "sum restricted to the demanded group" {|revenue("x", 3)|} (Fact.to_string f)
+    | fs -> Alcotest.failf "expected one answer, got %d" (List.length fs))
+  | Error e -> Alcotest.fail e);
+  (* binding the aggregate result itself is outside the fragment *)
+  match Magic.answer program facts (Atom.make "revenue" [ Term.str "x"; Term.int 3 ]) with
+  | Ok a ->
+    check bool' "bound aggregate result falls back" true (not a.pruned);
     check int' "still answers" 1 (List.length a.facts)
   | Error e -> Alcotest.fail e
+
+let gp_program =
+  {|
+g1: acquisition(B, T, S), strategic(T), S > 0.1, not euEntity(B) -> goldenPower(B, T).
+g2: goldenPower(B, T), not vetted(B, T) -> blockedDeal(B, T).
+c1: vetted(B, T), not goldenPower(B, T) -> false.
+@goal(blockedDeal).
+|}
+
+let gp_edb =
+  (* a crowd of unrelated buyers: the full chase derives a golden-power
+     and blocked-deal fact per buyer, the buyerA-scoped chase only its
+     own slice *)
+  List.concat
+    (List.init 20 (fun i ->
+         let b = Printf.sprintf "crowd%d" i in
+         [
+           Atom.make "acquisition" [ Term.str b; Term.str "gridCo"; Term.num 0.2 ];
+         ]))
+  @ [
+      Atom.make "acquisition" [ Term.str "buyerA"; Term.str "gridCo"; Term.num 0.2 ];
+      Atom.make "acquisition" [ Term.str "buyerB"; Term.str "gridCo"; Term.num 0.3 ];
+      Atom.make "acquisition" [ Term.str "buyerC"; Term.str "railCo"; Term.num 0.4 ];
+      Atom.make "strategic" [ Term.str "gridCo" ];
+      Atom.make "strategic" [ Term.str "railCo" ];
+      Atom.make "euEntity" [ Term.str "buyerB" ];
+      Atom.make "vetted" [ Term.str "buyerC"; Term.str "railCo" ];
+    ]
+
+let test_magic_negation () =
+  let { Parser.program; _ } = parse_exn gp_program in
+  let q = Atom.make "blockedDeal" [ Term.str "buyerA"; Term.var "T" ] in
+  match Magic.answer program gp_edb q, Chase.run program gp_edb with
+  | Ok a, Ok full ->
+    check bool' "negation is in the magic fragment now" true a.pruned;
+    let magic_answers = List.map Fact.to_string a.facts |> List.sort String.compare in
+    let full_answers =
+      Query.ask full.db q |> List.map (fun (f, _) -> Fact.to_string f)
+      |> List.sort String.compare
+    in
+    check Alcotest.(list string) "answers match the full chase" full_answers magic_answers;
+    check bool' "fewer facts materialized" true (a.derived_count < full.derived_count)
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+let test_magic_detects_inconsistency () =
+  let { Parser.program; _ } = parse_exn gp_program in
+  (* vetted without golden power: c1 fires on the full instance even
+     though the queried slice (buyerA) never touches it *)
+  let bad =
+    Atom.make "vetted" [ Term.str "buyerD"; Term.str "gridCo" ] :: gp_edb
+  in
+  let q = Atom.make "blockedDeal" [ Term.str "buyerA"; Term.var "T" ] in
+  (match Chase.run program bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "full chase accepted an inconsistent base");
+  match Magic.answer program bad q with
+  | Error e ->
+    check bool' "scoped chase reports the same inconsistency" true
+      (Ekg_kernel.Textutil.contains_word e "constraint"
+      || Ekg_kernel.Textutil.contains_word e "inconsistent")
+  | Ok _ -> Alcotest.fail "scoped chase missed the constraint violation"
+
+let test_magic_free_mask () =
+  let { Parser.program; _ } = parse_exn tc_program in
+  let edb = chain_edb 8 in
+  let q = Atom.make "path" [ Term.var "X"; Term.var "Y" ] in
+  match Magic.answer program edb q, Chase.run program edb with
+  | Ok a, Ok full ->
+    check bool' "all-free mask still rewrites (0-ary demand)" true a.pruned;
+    check int' "same answers as the full chase"
+      (List.length (Query.ask full.db q))
+      (List.length a.facts)
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+let test_magic_existential_falls_back () =
+  let { Parser.program; facts } =
+    parse_exn
+      {|
+company(X) -> keyPerson(X, P).
+@goal(keyPerson).
+company("a").
+|}
+  in
+  match Magic.answer program facts (Atom.make "keyPerson" [ Term.str "a"; Term.var "P" ]) with
+  | Ok a ->
+    check bool' "existential heads fall back" true (not a.pruned);
+    check int' "still answers" 1 (List.length a.facts)
+  | Error e -> Alcotest.fail e
+
+let test_magic_unadorn_proof () =
+  let { Parser.program; _ } = parse_exn tc_program in
+  let edb = chain_edb 6 in
+  let q = Atom.make "path" [ Term.str "n0"; Term.str "n3" ] in
+  match Magic.specialize program ~pred:"path" ~mask:"bb" with
+  | Error e -> Alcotest.fail e
+  | Ok sp -> (
+    match Chase.run sp.Magic.sp_program (edb @ Magic.seeds sp q) with
+    | Error e -> Alcotest.fail e
+    | Ok res -> (
+      match Query.ask res.db (Magic.goal_atom sp q) with
+      | [] -> Alcotest.fail "no scoped answer"
+      | (f, _) :: _ -> (
+        match Proof.of_fact res.db res.prov f with
+        | None -> Alcotest.fail "scoped answer has no proof"
+        | Some proof ->
+          let plain = Magic.unadorn_proof sp proof in
+          check string' "goal renamed" {|path("n0", "n3")|}
+            (Fact.to_string plain.Proof.goal);
+          let ids = Program.rule_ids program in
+          List.iteri
+            (fun i (s : Proof.step) ->
+              check int' "steps re-indexed" i s.Proof.index;
+              check bool'
+                ("rule id restored: " ^ s.Proof.rule_id)
+                true (List.mem s.Proof.rule_id ids);
+              List.iter
+                (fun (p : Fact.t) ->
+                  check bool' "no magic premises" false
+                    (List.mem p.Fact.pred sp.Magic.sp_magic_preds))
+                (s.Proof.fact :: s.Proof.premises))
+            plain.Proof.steps)))
 
 let prop_magic_equals_full_chase =
   QCheck2.Test.make ~name:"magic answers = full-chase answers" ~count:100
@@ -839,6 +968,101 @@ let prop_magic_equals_full_chase =
         a.pruned && magic_answers = full_answers
         && a.derived_count <= full.derived_count
       | _ -> false)
+
+(* The serving property behind the query lane: specializing for a
+   bound/free pattern, seeding with the query constants and chasing the
+   rewritten program (at domains > 1) answers exactly what filtering
+   the full materialization answers — for plain, negated and
+   aggregating programs alike, inconsistency detection included. *)
+let ql_plain =
+  {|
+base: e(X, Y) -> path(X, Y).
+step: path(X, Z), e(Z, Y) -> path(X, Y).
+@goal(path).
+|}
+
+let ql_negation =
+  {|
+n1: e(X, Y) -> path(X, Y).
+n2: path(X, Z), e(Z, Y) -> path(X, Y).
+n3: node(X), node(Y), not path(X, Y) -> unreachable(X, Y).
+@goal(unreachable).
+|}
+
+let ql_aggregation =
+  {|
+a1: e(X, Y) -> reach(X, Y).
+a2: reach(X, Z), e(Z, Y) -> reach(X, Y).
+a3: reach(X, Y), w(Y, V), T = sum(V) -> inflow(X, T).
+@goal(inflow).
+|}
+
+let prop_query_lane_equals_materialization =
+  QCheck2.Test.make
+    ~name:"query lane = filtered materialization (plain/neg/agg, any mask)"
+    ~count:120
+    QCheck2.Gen.(
+      tup4 (int_range 0 2)
+        (list_size (int_range 0 12) (pair (int_range 0 4) (int_range 0 4)))
+        (pair bool bool)
+        (pair (int_range 0 4) (int_range 0 4)))
+    (fun (which, raw, (b1, b2), (c1, c2)) ->
+      let node i = Printf.sprintf "n%d" i in
+      let edb =
+        List.concat_map
+          (fun (i, j) ->
+            [
+              Atom.make "e" [ Term.str (node i); Term.str (node j) ];
+              Atom.make "w" [ Term.str (node j); Term.int (1 + ((i + j) mod 3)) ];
+            ])
+          raw
+        @ List.init 5 (fun i -> Atom.make "node" [ Term.str (node i) ])
+      in
+      let source, pred =
+        match which with
+        | 0 -> ql_plain, "path"
+        | 1 -> ql_negation, "unreachable"
+        | _ -> ql_aggregation, "inflow"
+      in
+      let { Parser.program; _ } = parse_exn source in
+      let arg bound c name = if bound then Term.str (node c) else Term.var name in
+      let q =
+        if which = 2 then
+          (* inflow's second column is the aggregate result: only its
+             first column admits a bound position *)
+          Atom.make pred [ arg b1 c1 "X"; Term.var "T" ]
+        else Atom.make pred [ arg b1 c1 "X"; arg b2 c2 "Y" ]
+      in
+      let full = Chase.run_checked ~domains:2 program edb in
+      let scoped =
+        match Magic.specialize program ~pred ~mask:(Magic.adornment q) with
+        | Error e -> Error ("specialize: " ^ e)
+        | Ok sp -> (
+          match
+            Chase.run_checked ~domains:2 sp.Magic.sp_program
+              (edb @ Magic.seeds sp q)
+          with
+          | Error err -> Error (Chase.error_to_string err)
+          | Ok res ->
+            Ok
+              (Query.ask res.db (Magic.goal_atom sp q)
+              |> List.map (fun (f, _) ->
+                     Fact.to_string (Magic.original_fact sp f))
+              |> List.sort String.compare))
+      in
+      match full, scoped with
+      | Error _, Error _ -> true
+      | Ok full, Ok scoped ->
+        let filtered =
+          Query.ask full.db q
+          |> List.map (fun (f, _) -> Fact.to_string f)
+          |> List.sort String.compare
+        in
+        scoped = filtered
+      | Ok _, Error e -> QCheck2.Test.fail_reportf "scoped failed: %s" e
+      | Error e, Ok _ ->
+        QCheck2.Test.fail_reportf "full failed where scoped succeeded: %s"
+          (Chase.error_to_string e))
 
 (* --- io ---------------------------------------------------------------------------- *)
 
@@ -1764,6 +1988,7 @@ let qsuite =
       prop_closure_matches_reference;
       prop_chase_deterministic;
       prop_magic_equals_full_chase;
+      prop_query_lane_equals_materialization;
       prop_parallel_equals_sequential;
       prop_join_engines_agree_plain;
       prop_join_engines_agree_negation;
@@ -1893,8 +2118,14 @@ let () =
           Alcotest.test_case "prunes" `Quick test_magic_prunes;
           Alcotest.test_case "adornments" `Quick test_magic_adornments;
           Alcotest.test_case "bad queries rejected" `Quick test_magic_rejects_bad_queries;
-          Alcotest.test_case "aggregation falls back" `Quick
-            test_magic_falls_back_on_aggregation;
+          Alcotest.test_case "aggregation prunes" `Quick test_magic_prunes_aggregation;
+          Alcotest.test_case "negation prunes" `Quick test_magic_negation;
+          Alcotest.test_case "constraints fire on the scoped instance" `Quick
+            test_magic_detects_inconsistency;
+          Alcotest.test_case "all-free mask" `Quick test_magic_free_mask;
+          Alcotest.test_case "existential heads fall back" `Quick
+            test_magic_existential_falls_back;
+          Alcotest.test_case "unadorn proof" `Quick test_magic_unadorn_proof;
         ] );
       ( "io",
         [

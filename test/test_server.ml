@@ -606,9 +606,9 @@ let test_router_batch_explain () =
     (match Option.bind (Json.member "items" j) Json.get_arr with
     | Some [ first; second; third ] ->
       check bool' "first item ok" true (Json.mem_str "status" first = Some "ok");
-      check bool' "second item parse_error" true
+      check bool' "second item invalid_atom" true
         (Option.bind (Json.member "error" second) (Json.mem_str "code")
-        = Some "parse_error");
+        = Some "invalid_atom");
       check bool' "third item no_explanation" true
         (Option.bind (Json.member "error" third) (Json.mem_str "code")
         = Some "no_explanation")
@@ -1373,6 +1373,307 @@ let test_chase_span_utilization_labels () =
   check bool' "busy clock label" true (contains body "worker_busy_ms");
   check bool' "utilization label" true (contains body "utilization")
 
+(* --- goal-directed query lane ------------------------------------------------ *)
+
+let query_get st id params =
+  Router.handle st (request ~query:params Http.GET [ "v1"; "sessions"; id; "query" ])
+
+let json_of (r : Http.response) =
+  match Json.parse r.Http.resp_body with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "body is not json (%s): %s" e r.Http.resp_body
+
+let test_query_answers_and_bindings () =
+  let st = Router.make_state () in
+  create_closure_session st;
+  let r = query_get st "s1" [ "query", {|path("a", X)|} ] in
+  check int' "query ok" 200 r.Http.status;
+  let j = json_of r in
+  check bool' "magic lane" true (Json.mem_str "mode" j = Some "magic");
+  check bool' "both reachable nodes" true (Json.mem_int "total" j = Some 2);
+  check bool' "cold" true (Json.mem_bool "cached" j = Some false);
+  check bool' "answer facts rendered" true
+    (contains r.Http.resp_body {|path(\"a\", \"b\")|}
+    || contains r.Http.resp_body {|path("a", "b")|});
+  check bool' "free variable bound in answers" true
+    (contains r.Http.resp_body {|"X":|});
+  (* the POST body form is the same endpoint *)
+  let p =
+    Router.handle st
+      (request ~body:{|{"query":"path(\"a\", X)","limit":1}|} Http.POST
+         [ "v1"; "sessions"; "s1"; "query" ])
+  in
+  check int' "post form ok" 200 p.Http.status;
+  let pj = json_of p in
+  check bool' "post sees the same total" true (Json.mem_int "total" pj = Some 2);
+  (* a ground query has exactly one answer *)
+  let g = query_get st "s1" [ "query", {|path("a", "c")|} ] in
+  check bool' "ground query answered" true
+    (Json.mem_int "total" (json_of g) = Some 1);
+  (* an extensional predicate is answered by EDB scan, no chase at all *)
+  let e = query_get st "s1" [ "query", {|e("a", X)|} ] in
+  check bool' "edb lane for extensional predicates" true
+    (Json.mem_str "mode" (json_of e) = Some "edb")
+
+let test_query_pagination () =
+  let st = Router.make_state () in
+  create_closure_session st;
+  let page1 =
+    json_of (query_get st "s1" [ "query", {|path("a", X)|}; "limit", "1" ])
+  in
+  check bool' "total unaffected by limit" true (Json.mem_int "total" page1 = Some 2);
+  let page_obj j = Option.get (Json.member "page" j) in
+  check bool' "first page cursor" true
+    (Json.mem_str "cursor" (page_obj page1) = Some "0");
+  check bool' "next cursor points at the second answer" true
+    (Json.mem_str "next_cursor" (page_obj page1) = Some "1");
+  let page2 =
+    json_of
+      (query_get st "s1"
+         [ "query", {|path("a", X)|}; "limit", "1"; "cursor", "1" ])
+  in
+  check bool' "last page has no next cursor" true
+    (Json.mem_str "next_cursor" (page_obj page2) = None);
+  (* the two pages carry distinct answers, in canonical order *)
+  let first_fact j =
+    match Option.bind (Json.member "answers" j) Json.get_arr with
+    | Some (a :: _) -> Json.mem_str "fact" a
+    | _ -> None
+  in
+  check bool' "pages disjoint and ordered" true
+    (first_fact page1 < first_fact page2);
+  let bad_cursor =
+    query_get st "s1" [ "query", {|path("a", X)|}; "cursor", "x" ]
+  in
+  check int' "invalid cursor rejected" 400 bad_cursor.Http.status;
+  check bool' "invalid_request code" true
+    (envelope_code bad_cursor = Some "invalid_request");
+  check int' "zero limit rejected" 400
+    (query_get st "s1" [ "query", {|path("a", X)|}; "limit", "0" ]).Http.status
+
+let test_query_invalid_atoms () =
+  let st = Router.make_state () in
+  create_closure_session st;
+  let missing = query_get st "s1" [] in
+  check int' "missing query" 400 missing.Http.status;
+  check bool' "missing query is invalid_request" true
+    (envelope_code missing = Some "invalid_request");
+  let broken = query_get st "s1" [ "query", "broken(" ] in
+  check int' "unparsable atom" 400 broken.Http.status;
+  check bool' "invalid_atom code" true (envelope_code broken = Some "invalid_atom");
+  let unknown = query_get st "s1" [ "query", {|zzz("q")|} ] in
+  check int' "unknown predicate" 400 unknown.Http.status;
+  check bool' "unknown predicate is invalid_atom" true
+    (envelope_code unknown = Some "invalid_atom");
+  check int' "bad explain mode" 400
+    (query_get st "s1" [ "query", {|path("a", X)|}; "explain", "bogus" ])
+      .Http.status;
+  check int' "bad strategy" 400
+    (query_get st "s1" [ "query", {|path("a", X)|}; "strategy", "bogus" ])
+      .Http.status;
+  (* satellite consistency: GET explain speaks the same grammar and the
+     same error vocabulary *)
+  let explain_broken =
+    Router.handle st
+      (request ~query:[ "query", "broken(" ] Http.GET
+         [ "v1"; "sessions"; "s1"; "explain" ])
+  in
+  check int' "GET explain rejects the same atom" 400 explain_broken.Http.status;
+  check bool' "with the same code" true
+    (envelope_code explain_broken = Some "invalid_atom")
+
+let test_query_cache_semantics () =
+  let st = Router.make_state () in
+  create_closure_session st;
+  let ask () = json_of (query_get st "s1" [ "query", {|path("a", X)|} ]) in
+  let cold = ask () in
+  check bool' "cold: rewrite computed" true
+    (Json.mem_bool "rewrite_cached" cold = Some false);
+  check bool' "cold: answers computed" true
+    (Json.mem_bool "cached" cold = Some false);
+  let warm = ask () in
+  check bool' "warm: rewrite reused" true
+    (Json.mem_bool "rewrite_cached" warm = Some true);
+  check bool' "warm: answers reused" true
+    (Json.mem_bool "cached" warm = Some true);
+  (* same shape, different constant: the specialization is shared, the
+     answer set is not *)
+  let sibling = json_of (query_get st "s1" [ "query", {|path("b", X)|} ]) in
+  check bool' "sibling shape: rewrite reused" true
+    (Json.mem_bool "rewrite_cached" sibling = Some true);
+  check bool' "sibling shape: answers computed" true
+    (Json.mem_bool "cached" sibling = Some false);
+  (* a fact update must invalidate cached answers for touched predicates *)
+  let added =
+    Router.handle st
+      (request ~body:{|{"facts":["e(\"c\", \"d\")"]}|} Http.POST
+         [ "v1"; "sessions"; "s1"; "facts" ])
+  in
+  check int' "edge added" 200 added.Http.status;
+  let refreshed = ask () in
+  check bool' "update evicted the cached answers" true
+    (Json.mem_bool "cached" refreshed = Some false);
+  check bool' "and the new consequence appears" true
+    (Json.mem_int "total" refreshed = Some 3);
+  (* retraction invalidates too *)
+  let removed =
+    Router.handle st
+      (request ~body:{|{"facts":["e(\"b\", \"c\")"]}|} Http.DELETE
+         [ "v1"; "sessions"; "s1"; "facts" ])
+  in
+  check int' "edge removed" 200 removed.Http.status;
+  let shrunk = ask () in
+  check bool' "retraction evicted the cached answers" true
+    (Json.mem_bool "cached" shrunk = Some false);
+  check bool' "the broken chain is gone" true
+    (Json.mem_int "total" shrunk = Some 1);
+  (* the lane's counter series advanced *)
+  let prom =
+    Router.handle st
+      (request ~query:[ "format", "prometheus" ] Http.GET [ "v1"; "metrics" ])
+  in
+  let advanced name =
+    contains prom.Http.resp_body name
+    && not (contains prom.Http.resp_body (name ^ " 0\n"))
+  in
+  check bool' "requests counted" true (advanced "ekg_query_requests_total");
+  check bool' "rewrite hits counted" true
+    (advanced "ekg_query_rewrite_cache_hits_total");
+  check bool' "answer hits counted" true
+    (advanced "ekg_query_answer_cache_hits_total");
+  check bool' "invalidations counted" true
+    (advanced "ekg_query_cache_invalidations_total")
+
+let test_query_dormant_stays_dormant () =
+  (* the whole point of the lane: a point query against a session whose
+     materialization was never built must not build (or wait on) it *)
+  let metrics = Metrics.create () in
+  let reg = Registry.create metrics in
+  let session = registry_inline_session reg closure_program in
+  (match Registry.query reg session (parse_atom_exn {|path("a", X)|}) with
+  | Ok o ->
+    check int' "two answers" 2
+      (List.length o.Registry.qo_result.Ekg_core.Pipeline.q_answers)
+  | Error _ -> Alcotest.fail "query failed");
+  check bool' "no materialization was built" true (session.Registry.chase = None);
+  check bool' "no full-chase cache traffic" true
+    (Metrics.cache_counts metrics = (0, 0));
+  (* and through the router: a query then a session listing shows the
+     chase still cold *)
+  let st = Router.make_state () in
+  create_closure_session st;
+  check int' "routed query ok" 200
+    (query_get st "s1" [ "query", {|path("a", X)|} ]).Http.status;
+  let sessions = Router.handle st (request Http.GET [ "v1"; "sessions" ]) in
+  check bool' "listing shows the chase was never run" true
+    (contains sessions.Http.resp_body {|"chase_cached":false|})
+
+let test_query_explain_modes () =
+  let st = Router.make_state () in
+  create_closure_session st;
+  let none = query_get st "s1" [ "query", {|path("a", X)|} ] in
+  check bool' "no explanation by default" true
+    (not (contains none.Http.resp_body {|"explanation"|}));
+  let full =
+    query_get st "s1" [ "query", {|path("a", X)|}; "explain", "full" ]
+  in
+  check int' "full mode ok" 200 full.Http.status;
+  check bool' "answers carry template explanations" true
+    (contains full.Http.resp_body {|"explanation"|}
+    && contains full.Http.resp_body {|"proof_steps"|}
+    && contains full.Http.resp_body {|"text"|});
+  let skeleton =
+    query_get st "s1" [ "query", {|path("a", X)|}; "explain", "skeleton" ]
+  in
+  check int' "skeleton mode ok" 200 skeleton.Http.status;
+  check bool' "skeleton still proves" true
+    (contains skeleton.Http.resp_body {|"deterministic_text"|})
+
+let test_query_deadline_504 () =
+  let st = Router.make_state ~fault:(Fault.Slow_chase 5.0) () in
+  create_closure_session st;
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Router.handle st
+      (request
+         ~headers:[ "x-ekg-deadline-ms", "50" ]
+         ~query:[ "query", {|path("a", X)|} ]
+         Http.GET
+         [ "v1"; "sessions"; "s1"; "query" ])
+  in
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  check int' "504" 504 r.Http.status;
+  check bool' "deadline_exceeded code" true
+    (envelope_code r = Some "deadline_exceeded");
+  check bool' "retryable" true (envelope_retryable r = Some true);
+  check bool' "partial chase stats in detail" true
+    (contains r.Http.resp_body {|"detail"|}
+    && contains r.Http.resp_body {|"rounds"|}
+    && contains r.Http.resp_body {|"elapsed_ms"|});
+  check bool' "answered near the deadline, not the fault window" true
+    (elapsed_ms < 1000.);
+  (* a failed run is not cached: the roomy retry recomputes and succeeds *)
+  let retry =
+    Router.handle st
+      (request
+         ~headers:[ "x-ekg-deadline-ms", "30000" ]
+         ~query:[ "query", {|path("a", X)|} ]
+         Http.GET
+         [ "v1"; "sessions"; "s1"; "query" ])
+  in
+  check int' "roomy retry succeeds" 200 retry.Http.status;
+  check bool' "and is not served from a cache" true
+    (Json.mem_bool "cached" (json_of retry) = Some false)
+
+let test_query_wide_events () =
+  let st, lines = capturing_state () in
+  create_closure_session st;
+  check int' "cold query" 200
+    (query_get st "s1" [ "query", {|path("a", X)|} ]).Http.status;
+  check int' "warm query" 200
+    (query_get st "s1" [ "query", {|path("a", X)|} ]).Http.status;
+  match List.map (fun l -> Json.parse l) (lines ()) with
+  | [ Ok _created; Ok cold; Ok warm ] ->
+    List.iter
+      (fun k ->
+        check bool' ("cold query field " ^ k) true (Json.member k cold <> None))
+      wide_event_keys;
+    check bool' "cold query ran the magic lane" true
+      (Json.mem_str "chase_source" cold = Some "magic");
+    check bool' "cold query is not a cache hit" true
+      (Json.mem_bool "cache_hit" cold = Some false);
+    check bool' "scoped chase counted its facts" true
+      (match Json.mem_int "chase_facts" cold with Some n -> n > 0 | None -> false);
+    check bool' "warm query hits the answer cache" true
+      (Json.mem_bool "cache_hit" warm = Some true)
+  | l -> Alcotest.failf "expected 3 wide events, got %d" (List.length l)
+
+let test_explain_get_parity () =
+  (* GET explain shares the POST endpoint's grammar, cache and the
+     paged read envelope *)
+  let st = Router.make_state () in
+  create_closure_session st;
+  let get params =
+    Router.handle st
+      (request ~query:params Http.GET [ "v1"; "sessions"; "s1"; "explain" ])
+  in
+  let g = get [ "query", {|path("a", "c")|} ] in
+  check int' "GET explain ok" 200 g.Http.status;
+  let gj = json_of g in
+  check bool' "cold GET is uncached" true (Json.mem_bool "cached" gj = Some false);
+  check bool' "paged envelope present" true
+    (Json.member "page" gj <> None && Json.mem_int "total" gj <> None);
+  (* the POST form is served from the entry the GET populated *)
+  let p = explain_path st "s1" {|path("a", "c")|} in
+  check int' "POST explain ok" 200 p.Http.status;
+  check bool' "one cache behind both verbs" true
+    (Json.mem_bool "cached" (json_of p) = Some true);
+  check int' "missing query parameter" 400 (get []).Http.status;
+  let bad = get [ "query", {|path("a", "c")|}; "limit", "nope" ] in
+  check int' "invalid limit rejected" 400 bad.Http.status;
+  check bool' "invalid_request code" true
+    (envelope_code bad = Some "invalid_request")
+
 (* legacy (pre-/v1) trace path still answers with a redirect *)
 let test_legacy_trace_redirect () =
   let st = Router.make_state () in
@@ -1677,8 +1978,8 @@ let test_server_integration () =
       ~body:{|{"query":"control(\"A\" broken"}|} ()
   in
   check int' "malformed query is 400, worker survives" 400 status;
-  check bool' "parse_error envelope over the wire" true
-    (wire_envelope_code body = Some "parse_error");
+  check bool' "invalid_atom envelope over the wire" true
+    (wire_envelope_code body = Some "invalid_atom");
   let status, _, body =
     http_call ~port ~meth:"GET" ~path:"/v1/sessions/s1/trace" ~body:"" ()
   in
@@ -1890,6 +2191,20 @@ let () =
             test_registry_duplicate_add_deduped;
           Alcotest.test_case "stale generation not cached" `Quick
             test_registry_stale_generation_not_cached;
+        ] );
+      ( "query lane",
+        [
+          Alcotest.test_case "answers + bindings" `Quick
+            test_query_answers_and_bindings;
+          Alcotest.test_case "pagination" `Quick test_query_pagination;
+          Alcotest.test_case "invalid atoms" `Quick test_query_invalid_atoms;
+          Alcotest.test_case "cache semantics" `Quick test_query_cache_semantics;
+          Alcotest.test_case "dormant stays dormant" `Quick
+            test_query_dormant_stays_dormant;
+          Alcotest.test_case "explain modes" `Quick test_query_explain_modes;
+          Alcotest.test_case "deadline 504" `Quick test_query_deadline_504;
+          Alcotest.test_case "wide events" `Quick test_query_wide_events;
+          Alcotest.test_case "GET explain parity" `Quick test_explain_get_parity;
         ] );
       ( "persistence",
         [
