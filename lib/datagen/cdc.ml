@@ -1,0 +1,238 @@
+open Ekg_kernel
+open Ekg_datalog
+
+type batch = { seq : int; adds : Atom.t list; retracts : Atom.t list }
+type log = batch list
+
+type config = {
+  batches : int;
+  batch_size : int;
+  retract_fraction : float;
+  new_entity_fraction : float;
+}
+
+let default_config =
+  {
+    batches = 50;
+    batch_size = 200;
+    retract_fraction = 0.3;
+    new_entity_fraction = 0.05;
+  }
+
+let validate_config cfg =
+  if cfg.batches < 0 then invalid_arg "Cdc.generate: batches must be >= 0";
+  if cfg.batch_size < 1 then invalid_arg "Cdc.generate: batch_size must be >= 1";
+  if cfg.retract_fraction < 0.0 || cfg.retract_fraction > 1.0 then
+    invalid_arg "Cdc.generate: retract_fraction must be in [0, 1]";
+  if cfg.new_entity_fraction < 0.0 || cfg.new_entity_fraction > 1.0 then
+    invalid_arg "Cdc.generate: new_entity_fraction must be in [0, 1]"
+
+let name i = "c" ^ string_of_int i
+
+(* Stream shares: m/10⁵ with the 5th decimal pinned to 3, so they are
+   disjoint from Kg's 4-decimal base grid — see the .mli. *)
+let stream_share rng = float_of_int ((10 * (100 + Prng.int rng 4_890)) + 3) /. 100_000.0
+
+(* A growable pool of still-live streamed facts, sampled and
+   swap-removed in O(1); [seen] guards global add uniqueness. *)
+type pool = { mutable items : Atom.t array; mutable len : int }
+
+let pool_add p atom =
+  if p.len = Array.length p.items then begin
+    let bigger = Array.make (max 16 (2 * p.len)) atom in
+    Array.blit p.items 0 bigger 0 p.len;
+    p.items <- bigger
+  end;
+  p.items.(p.len) <- atom;
+  p.len <- p.len + 1
+
+let pool_take p rng =
+  let i = Prng.int rng p.len in
+  let atom = p.items.(i) in
+  p.items.(i) <- p.items.(p.len - 1);
+  p.len <- p.len - 1;
+  atom
+
+let generate rng ~(kg : Kg.t) cfg =
+  validate_config cfg;
+  let seen = Hashtbl.create 1024 in
+  let pool = { items = [||]; len = 0 } in
+  let next_entity = ref kg.Kg.total_entities in
+  let entity rng =
+    (* existing = base population plus shells already incorporated *)
+    name (Prng.int rng !next_entity)
+  in
+  let fresh_stake rng =
+    let rec go attempts =
+      if attempts = 0 then None
+      else
+        let x = entity rng in
+        let y = entity rng in
+        if x = y then go (attempts - 1)
+        else
+          let atom = Ekg_apps.Company_control.own x y (stream_share rng) in
+          if Hashtbl.mem seen (Atom.to_string atom) then go (attempts - 1)
+          else Some atom
+    in
+    go 8
+  in
+  let make_batch seq =
+    (* batch 0 has nothing to retract; later batches draw from the pool *)
+    let want_retracts =
+      if seq = 0 then 0
+      else
+        min pool.len
+          (int_of_float
+             (Float.round (cfg.retract_fraction *. float_of_int cfg.batch_size)))
+    in
+    let retracts = List.init want_retracts (fun _ -> pool_take pool rng) in
+    let n_adds = cfg.batch_size - want_retracts in
+    let adds = ref [] in
+    for _ = 1 to n_adds do
+      let batch_atoms =
+        if Prng.bernoulli rng cfg.new_entity_fraction then begin
+          (* incorporate a shell: a company fact plus a stake held by an
+             existing entity *)
+          let shell = name !next_entity in
+          let holder = entity rng in
+          incr next_entity;
+          [
+            Ekg_apps.Company_control.company shell;
+            Ekg_apps.Company_control.own holder shell (stream_share rng);
+          ]
+        end
+        else match fresh_stake rng with Some a -> [ a ] | None -> []
+      in
+      List.iter
+        (fun atom ->
+          Hashtbl.replace seen (Atom.to_string atom) ();
+          pool_add pool atom;
+          adds := atom :: !adds)
+        batch_atoms
+    done;
+    { seq; adds = List.rev !adds; retracts }
+  in
+  List.init cfg.batches make_batch
+
+let validate log =
+  let seen_adds = Hashtbl.create 1024 in
+  let live = Hashtbl.create 1024 in
+  let check_batch batch =
+    let add_ok atom =
+      let key = Atom.to_string atom in
+      if Hashtbl.mem seen_adds key then
+        Error
+          (Printf.sprintf "batch %d re-adds %s" batch.seq key)
+      else begin
+        Hashtbl.replace seen_adds key ();
+        Hashtbl.replace live key ();
+        Ok ()
+      end
+    in
+    let retract_ok atom =
+      let key = Atom.to_string atom in
+      if not (Hashtbl.mem live key) then
+        Error
+          (Printf.sprintf
+             "batch %d retracts %s, which no earlier batch added (or it was \
+              already retracted)"
+             batch.seq key)
+      else begin
+        Hashtbl.remove live key;
+        Ok ()
+      end
+    in
+    (* retracts are checked against the pre-batch state, then adds land *)
+    let rec all f = function
+      | [] -> Ok ()
+      | x :: rest -> ( match f x with Ok () -> all f rest | Error _ as e -> e)
+    in
+    match all retract_ok batch.retracts with
+    | Error _ as e -> e
+    | Ok () -> all add_ok batch.adds
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | b :: rest -> ( match check_batch b with Ok () -> go rest | Error _ as e -> e)
+  in
+  go log
+
+let stats log =
+  List.fold_left
+    (fun (a, r) b -> a + List.length b.adds, r + List.length b.retracts)
+    (0, 0) log
+
+let final_edb ~base log =
+  let table = Hashtbl.create (4096 + List.length base) in
+  let added = Hashtbl.create 1024 in
+  List.iter (fun atom -> Hashtbl.replace table (Atom.to_string atom) atom) base;
+  List.iter
+    (fun batch ->
+      List.iter
+        (fun atom ->
+          let key = Atom.to_string atom in
+          if not (Hashtbl.mem added key) then
+            invalid_arg ("Cdc.final_edb: retract of a never-added fact: " ^ key);
+          Hashtbl.remove table key)
+        batch.retracts;
+      List.iter
+        (fun atom ->
+          let key = Atom.to_string atom in
+          Hashtbl.replace added key ();
+          Hashtbl.replace table key atom)
+        batch.adds)
+    log;
+  Hashtbl.fold (fun _ atom acc -> atom :: acc) table []
+  |> List.sort Atom.compare
+
+let to_string log =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "# ekg cdc log v1\n";
+  List.iter
+    (fun batch ->
+      Buffer.add_string buf (Printf.sprintf "batch %d\n" batch.seq);
+      List.iter
+        (fun a -> Buffer.add_string buf ("+ " ^ Atom.to_string a ^ "\n"))
+        batch.adds;
+      List.iter
+        (fun a -> Buffer.add_string buf ("- " ^ Atom.to_string a ^ "\n"))
+        batch.retracts)
+    log;
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let parse_atom lineno text k =
+    match Parser.parse_atom text with
+    | Ok atom -> k atom
+    | Error e -> Error (Printf.sprintf "line %d: %s: %s" lineno text e)
+  in
+  let flush current acc =
+    match current with
+    | None -> acc
+    | Some (seq, adds, retracts) ->
+      { seq; adds = List.rev adds; retracts = List.rev retracts } :: acc
+  in
+  let rec go lineno current acc = function
+    | [] -> Ok (List.rev (flush current acc))
+    | line :: rest -> (
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then go (lineno + 1) current acc rest
+      else if String.length line > 6 && String.sub line 0 6 = "batch " then
+        match int_of_string_opt (String.sub line 6 (String.length line - 6)) with
+        | Some seq -> go (lineno + 1) (Some (seq, [], [])) (flush current acc) rest
+        | None -> Error (Printf.sprintf "line %d: bad batch header: %s" lineno line)
+      else
+        match current, line.[0] with
+        | None, _ ->
+          Error (Printf.sprintf "line %d: operation before any batch header" lineno)
+        | Some (seq, adds, retracts), '+' ->
+          parse_atom lineno (String.trim (String.sub line 1 (String.length line - 1)))
+            (fun atom -> go (lineno + 1) (Some (seq, atom :: adds, retracts)) acc rest)
+        | Some (seq, adds, retracts), '-' ->
+          parse_atom lineno (String.trim (String.sub line 1 (String.length line - 1)))
+            (fun atom -> go (lineno + 1) (Some (seq, adds, atom :: retracts)) acc rest)
+        | Some _, _ ->
+          Error (Printf.sprintf "line %d: expected '+ atom' or '- atom': %s" lineno line))
+  in
+  go 1 None [] lines

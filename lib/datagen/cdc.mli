@@ -1,0 +1,76 @@
+(** Ordered change-data-capture streams over a generated {!Kg} graph.
+
+    A CDC log is the temporal half of the million-entity scenario: a
+    sequence of batches, each a block of fact additions (new ownership
+    stakes, freshly incorporated shells) and retractions (divestments),
+    replayed against a live server through
+    [POST|DELETE /v1/sessions/:id/facts] by [bin/loadgen.ml].
+
+    Two invariants make a log replayable and checkable:
+
+    - {b retract validity} — every retraction targets a fact added by
+      an {e earlier} batch of the same log (never a base-EDB fact, never
+      one from the same batch), and no fact is added twice or re-added
+      after retraction; the server therefore never sees an unknown
+      retraction and {!final_edb} is order-insensitive within a batch.
+    - {b share disjointness} — stream shares live on the 5-decimal grid
+      with a non-zero 5th digit, while {!Kg} base shares use the
+      4-decimal grid, so a streamed [own/3] atom can never collide with
+      a base fact.
+
+    Generation is deterministic in the supplied {!Ekg_kernel.Prng}
+    state, and {!to_string}/{!of_string} round-trip the log through the
+    fact-atom grammar — the same grammar the server's /facts endpoints
+    parse. *)
+
+open Ekg_kernel
+open Ekg_datalog
+
+type batch = {
+  seq : int;  (** position in the log, starting at 0 *)
+  adds : Atom.t list;
+  retracts : Atom.t list;
+}
+
+type log = batch list
+
+type config = {
+  batches : int;
+  batch_size : int;  (** operations (adds + retracts) per batch *)
+  retract_fraction : float;
+      (** target share of operations that are retractions, capped by
+          the pool of still-live previously-added facts *)
+  new_entity_fraction : float;
+      (** chance an addition incorporates a fresh shell company —
+          a [company/1] fact plus an ownership stake from an existing
+          entity — instead of a stake between existing entities *)
+}
+
+val default_config : config
+(** 50 batches × 200 ops, 30% retractions, 5% fresh entities. *)
+
+val generate : Prng.t -> kg:Kg.t -> config -> log
+(** A log over the entity population of [kg] (stakes reference entities
+    [c0 .. c(total_entities-1)] plus any shells the stream itself
+    incorporates).  Batch 0 carries no retractions — nothing has been
+    added yet. *)
+
+val validate : log -> (unit, string) result
+(** Check both log invariants (retract validity, no duplicate adds);
+    [Error] pinpoints the first offending batch and atom. *)
+
+val final_edb : base:Atom.t list -> log -> Atom.t list
+(** The EDB after applying every batch in order to [base] — the input
+    to the replay identity gate's cold chase.  Retractions of facts the
+    log never added raise [Invalid_argument] (they would mask a
+    generator bug). *)
+
+val stats : log -> int * int
+(** [(adds, retracts)] totals across the log. *)
+
+val to_string : log -> string
+(** Serialize as a line-oriented text format: [batch N] headers, then
+    one [+ atom] / [- atom] line per operation in program syntax. *)
+
+val of_string : string -> (log, string) result
+(** Parse {!to_string} output; [Error] carries the offending line. *)

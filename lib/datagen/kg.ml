@@ -1,0 +1,260 @@
+open Ekg_kernel
+open Ekg_datalog
+
+type config = {
+  seed : int;
+  entities : int;
+  avg_out_degree : float;
+  exponent : float;
+  max_out_degree : int;
+  chains : int;
+  chain_hops : int;
+  cycles : int;
+  cycle_len : int;
+  diamonds : int;
+  diamond_fanout : int;
+  close_links : int;
+  close_link_size : int;
+}
+
+let default ~entities =
+  let per_motif = max 1 (entities / 100) in
+  {
+    seed = 1;
+    entities;
+    avg_out_degree = 2.5;
+    exponent = 2.2;
+    max_out_degree = 500;
+    chains = per_motif;
+    chain_hops = 6;
+    cycles = per_motif;
+    cycle_len = 4;
+    diamonds = per_motif;
+    diamond_fanout = 4;
+    close_links = per_motif;
+    close_link_size = 5;
+  }
+
+type t = {
+  config : config;
+  total_entities : int;
+  companies : int;
+  own_edges : int;
+  core_out_degree : int array;
+  probe_query : string;
+  probe_goal : string;
+}
+
+let program_source =
+  "% Company control (EDBT 2025, Section 5): who controls whom under the\n\
+   % one-share one-vote assumption.\n\
+   sigma1: own(X, Y, S), S > 0.5 -> control(X, Y).\n\
+   sigma2: company(X) -> control(X, X).\n\
+   sigma3: control(X, Z), own(Z, Y, S), TS = sum(S), TS > 0.5 -> control(X, \
+   Y).\n\
+   @goal(control).\n"
+
+let validate cfg =
+  if cfg.entities < 2 then invalid_arg "Kg.generate: entities must be >= 2";
+  if cfg.exponent <= 1.0 then invalid_arg "Kg.generate: exponent must be > 1";
+  if cfg.avg_out_degree < 0.0 then
+    invalid_arg "Kg.generate: avg_out_degree must be >= 0";
+  if cfg.max_out_degree < 1 then
+    invalid_arg "Kg.generate: max_out_degree must be >= 1";
+  if cfg.chains > 0 && cfg.chain_hops < 1 then
+    invalid_arg "Kg.generate: chain_hops must be >= 1";
+  if cfg.cycles > 0 && cfg.cycle_len < 2 then
+    invalid_arg "Kg.generate: cycle_len must be >= 2";
+  if cfg.diamonds > 0 && cfg.diamond_fanout < 2 then
+    invalid_arg "Kg.generate: diamond_fanout must be >= 2";
+  if cfg.close_links > 0 && cfg.close_link_size < 2 then
+    invalid_arg "Kg.generate: close_link_size must be >= 2";
+  List.iter
+    (fun (what, n) ->
+      if n < 0 then invalid_arg ("Kg.generate: " ^ what ^ " must be >= 0"))
+    [
+      "chains", cfg.chains;
+      "cycles", cfg.cycles;
+      "diamonds", cfg.diamonds;
+      "close_links", cfg.close_links;
+    ]
+
+(* Shares live on the 4-decimal grid k/10⁴ so [Value.to_string] renders
+   them exactly ("0.1234") and the CSV loader / atom parser return the
+   identical double — see the round-trip note in the .mli.  Cdc uses the
+   5th decimal, so the two populations can never collide. *)
+let grid k = float_of_int k /. 10_000.0
+let minority_share rng = grid (100 + Prng.int rng 4_850) (* 0.0100 .. 0.4949 *)
+let majority_share rng = grid (5_100 + Prng.int rng 4_400) (* 0.51 .. 0.95 *)
+let close_link_share rng = grid (1_500 + Prng.int rng 901) (* 0.15 .. 0.24 *)
+
+(* E[min(D, cap)] for the discrete Pareto tail P(D ≥ d) = d^(1-α),
+   via E[min(D, c)] = Σ_{d=1..c} P(D ≥ d). *)
+let expected_capped_degree alpha cap =
+  let acc = ref 0.0 in
+  for d = 1 to cap do
+    acc := !acc +. (float_of_int d ** (1.0 -. alpha))
+  done;
+  !acc
+
+let pareto_degree rng ~alpha ~cap =
+  (* u ∈ (0, 1]; floor(u^(-1/(α-1))) has the d^(1-α) survival tail *)
+  let u = 1.0 -. Prng.float rng 1.0 in
+  min cap (max 1 (int_of_float (u ** (-1.0 /. (alpha -. 1.0)))))
+
+let name i = "c" ^ string_of_int i
+
+let motif_entity_count cfg =
+  (cfg.chains * (cfg.chain_hops + 1))
+  + (cfg.cycles * cfg.cycle_len)
+  + (cfg.diamonds * (cfg.diamond_fanout + 2))
+  + (cfg.close_links * cfg.close_link_size)
+
+let generate cfg ~emit =
+  validate cfg;
+  let total = cfg.entities + motif_entity_count cfg in
+  let companies = ref 0 and edges = ref 0 in
+  let emit_company i =
+    incr companies;
+    emit (Ekg_apps.Company_control.company (name i))
+  in
+  let emit_own x y s =
+    incr edges;
+    emit (Ekg_apps.Company_control.own (name x) (name y) s)
+  in
+  for i = 0 to total - 1 do
+    emit_company i
+  done;
+  (* independent streams per layer: adding motifs must not reshuffle
+     the random layer of an otherwise-identical config *)
+  let master = Prng.create cfg.seed in
+  let rng_degree = Prng.split master in
+  let rng_edge = Prng.split master in
+  let rng_motif = Prng.split master in
+  (* random ownership layer: power-law out-degrees, minority shares *)
+  let expected = expected_capped_degree cfg.exponent cfg.max_out_degree in
+  let p_active = Float.min 1.0 (cfg.avg_out_degree /. expected) in
+  let degrees = Array.make cfg.entities 0 in
+  for i = 0 to cfg.entities - 1 do
+    if Prng.bernoulli rng_degree p_active then
+      degrees.(i) <-
+        pareto_degree rng_degree ~alpha:cfg.exponent ~cap:cfg.max_out_degree
+  done;
+  Array.iteri
+    (fun i d ->
+      for _ = 1 to d do
+        let j = Prng.int rng_edge cfg.entities in
+        let j = if j = i then (j + 1) mod cfg.entities else j in
+        emit_own i j (minority_share rng_edge)
+      done)
+    degrees;
+  (* planted motifs on fresh entities, each attached to the core by one
+     sub-threshold edge so the graph stays connected-ish *)
+  let next = ref cfg.entities in
+  let fresh k =
+    let base = !next in
+    next := base + k;
+    base
+  in
+  let attach head =
+    emit_own (Prng.int rng_motif cfg.entities) head (minority_share rng_motif)
+  in
+  let first_chain_head = ref None in
+  for _ = 1 to cfg.chains do
+    let base = fresh (cfg.chain_hops + 1) in
+    if !first_chain_head = None then first_chain_head := Some base;
+    attach base;
+    for h = 0 to cfg.chain_hops - 1 do
+      emit_own (base + h) (base + h + 1) (majority_share rng_motif)
+    done
+  done;
+  for _ = 1 to cfg.cycles do
+    let base = fresh cfg.cycle_len in
+    attach base;
+    for k = 0 to cfg.cycle_len - 1 do
+      emit_own (base + k)
+        (base + ((k + 1) mod cfg.cycle_len))
+        (majority_share rng_motif)
+    done
+  done;
+  for _ = 1 to cfg.diamonds do
+    let base = fresh (cfg.diamond_fanout + 2) in
+    let head = base and target = base + 1 in
+    attach head;
+    (* each stake is minority, their sum clears 0.51: control(head,
+       target) exists only through σ3's sum over the intermediaries *)
+    let stake = grid (((5_100 + cfg.diamond_fanout - 1) / cfg.diamond_fanout) + 1) in
+    for k = 0 to cfg.diamond_fanout - 1 do
+      let mid = base + 2 + k in
+      emit_own head mid (majority_share rng_motif);
+      emit_own mid target stake
+    done
+  done;
+  for _ = 1 to cfg.close_links do
+    let base = fresh cfg.close_link_size in
+    attach base;
+    for p = 0 to cfg.close_link_size - 1 do
+      for q = 0 to cfg.close_link_size - 1 do
+        if p <> q && Prng.bernoulli rng_motif 0.8 then
+          emit_own (base + p) (base + q) (close_link_share rng_motif)
+      done
+    done
+  done;
+  let probe_query, probe_goal =
+    match !first_chain_head with
+    | Some base ->
+      ( Printf.sprintf "control(%S, X)" (name base),
+        Printf.sprintf "control(%S, %S)" (name base)
+          (name (base + cfg.chain_hops)) )
+    | None ->
+      (* σ2 guarantees self-control even on a motif-free graph *)
+      Printf.sprintf "control(%S, X)" (name 0),
+        Printf.sprintf "control(%S, %S)" (name 0) (name 0)
+  in
+  {
+    config = cfg;
+    total_entities = total;
+    companies = !companies;
+    own_edges = !edges;
+    core_out_degree = degrees;
+    probe_query;
+    probe_goal;
+  }
+
+let atoms cfg =
+  let acc = ref [] in
+  let t = generate cfg ~emit:(fun a -> acc := a :: !acc) in
+  t, List.rev !acc
+
+let csv_row_of_atom (atom : Atom.t) =
+  let field = function
+    | Term.Cst (Value.Str s) -> "\"" ^ String.escaped s ^ "\""
+    | Term.Cst v -> Value.to_string v
+    | Term.Var _ -> invalid_arg "Kg.to_csv_dir: non-ground atom"
+  in
+  String.concat "," (List.map field atom.Atom.args)
+
+let to_csv_dir cfg ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let company = open_out (Filename.concat dir "company.csv") in
+  let own = open_out (Filename.concat dir "own.csv") in
+  let finally () =
+    close_out_noerr company;
+    close_out_noerr own
+  in
+  Fun.protect ~finally (fun () ->
+      let t =
+        generate cfg ~emit:(fun atom ->
+            let oc =
+              match atom.Atom.pred with
+              | "company" -> company
+              | "own" -> own
+              | p -> invalid_arg ("Kg.to_csv_dir: unexpected predicate " ^ p)
+            in
+            output_string oc (csv_row_of_atom atom);
+            output_char oc '\n')
+      in
+      let oc = open_out (Filename.concat dir "program.vada") in
+      output_string oc program_source;
+      close_out oc;
+      t)

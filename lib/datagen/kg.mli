@@ -1,0 +1,89 @@
+(** Seeded synthetic financial knowledge graphs at registry scale.
+
+    Where {!Owners}/{!Debts}/{!Participations} build paper-sized,
+    proof-length-targeted instances, this module grows a national-registry
+    shaped ownership network to millions of entities: a power-law random
+    ownership layer (sub-majority shares, so its control consequences
+    stay linear in the edge count) with planted shell-company motifs —
+    majority chains, ownership cycles, joint-control diamonds that
+    exercise the recursive-sum rule σ3 — plus dense close-link clusters
+    feeding multi-contributor aggregation groups.  All randomness flows
+    through {!Ekg_kernel.Prng}, so a [(seed, config)] pair names one
+    graph forever: generation is bit-for-bit reproducible and the test
+    suite pins [Database.fingerprint] equality across runs.
+
+    Shares are quantized to 4 decimal places so every generated float
+    round-trips exactly through the CSV loader and the fact-atom
+    grammar ([0.1234] renders as ["0.1234"] and parses back to the same
+    double) — the property the replay identity gate in
+    [bin/loadgen.ml] relies on.  {!Cdc} reserves the 5th decimal place
+    for update-stream shares, keeping the two fact populations
+    disjoint. *)
+
+open Ekg_datalog
+
+type config = {
+  seed : int;  (** master seed; every stream is split from it *)
+  entities : int;  (** core entities in the random ownership layer *)
+  avg_out_degree : float;
+      (** mean ownership edges per core entity (power-law distributed) *)
+  exponent : float;
+      (** power-law exponent α of the out-degree tail, P(d) ∝ d^-α;
+          typical registry graphs sit near 2.0–2.5 *)
+  max_out_degree : int;  (** hard cap on a single entity's out-degree *)
+  chains : int;  (** majority-ownership chain motifs *)
+  chain_hops : int;  (** edges per chain (control closure is O(hops²)) *)
+  cycles : int;  (** circular-ownership shell motifs *)
+  cycle_len : int;  (** entities per cycle (closure is the full k×k) *)
+  diamonds : int;
+      (** joint-control diamonds: a head majority-owns [diamond_fanout]
+          intermediaries whose minority stakes in one target sum past
+          50% — derivable only through σ3's sum aggregation *)
+  diamond_fanout : int;
+  close_links : int;  (** dense sub-threshold cross-ownership clusters *)
+  close_link_size : int;  (** entities per close-link cluster *)
+}
+
+val default : entities:int -> config
+(** A balanced config at the given core size: α = 2.2, mean out-degree
+    ≈ 2.5, motif counts scaled to ~1% of [entities] (at least one of
+    each kind), so derived-fact volume stays linear in the EDB. *)
+
+type t = {
+  config : config;
+  total_entities : int;
+      (** core + motif entities; entity [i] is named ["c<i>"] *)
+  companies : int;  (** [company/1] atoms emitted *)
+  own_edges : int;  (** [own/3] atoms emitted *)
+  core_out_degree : int array;
+      (** realized random-layer out-degree per core entity, for
+          shape assertions on the power-law tail *)
+  probe_query : string;
+      (** a point query (one free variable) guaranteed non-trivial
+          answers — aimed at the first chain motif's head *)
+  probe_goal : string;
+      (** a ground derived fact for /explain probes — the first chain's
+          head-to-tail control consequence *)
+}
+(** Generation summary: sizes for manifests, degrees for tests, probe
+    atoms for replay reader workers. *)
+
+val generate : config -> emit:(Atom.t -> unit) -> t
+(** Stream the graph's EDB — [company/1] then [own/3] atoms — through
+    [emit] without materializing a list, so multi-million-fact graphs
+    generate in O(entities) memory.  Deterministic in [config]. *)
+
+val atoms : config -> t * Atom.t list
+(** Convenience wrapper collecting the emitted atoms in order; intended
+    for tests and small instances. *)
+
+val to_csv_dir : config -> dir:string -> t
+(** Write the EDB under [dir] as the server's [facts_dir] layout —
+    [company.csv] and [own.csv] in {!Ekg_engine.Io} CSV syntax — plus
+    [program.vada] ({!program_source}), creating [dir] if needed.
+    Facts stream straight to disk. *)
+
+val program_source : string
+(** The company-control program (σ1–σ3 with the recursive sum), written
+    alongside generated data so a data directory is a self-contained
+    server root. *)

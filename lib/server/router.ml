@@ -741,6 +741,33 @@ let update_facts st ~deadline_s op (session : Registry.session)
                  Json.Arr (List.map Json.str upd.Chase.upd_changed_preds) );
              ])))
 
+(* --- content identity -------------------------------------------------------
+
+   [GET /v1/sessions/:id/fingerprint]: the canonical content identity
+   of the session's materialization, as an MD5 hex digest of
+   [Database.fingerprint] (which renders and sorts every active fact,
+   so equal digests mean equal instances regardless of how the state
+   was reached — cold chase, incremental maintenance, or snapshot
+   restore).  The scale replay driver's identity gate compares this
+   against a local cold chase on the final EDB; the full fact dump
+   would be megabytes at registry scale, the digest is 32 bytes. *)
+let session_fingerprint st ~deadline_s (session : Registry.session) =
+  let budget = { Chase.unlimited with deadline_s = Some deadline_s } in
+  match Registry.materialize ~budget st.registry session with
+  | Error err -> chase_error_response st err
+  | Ok result ->
+    let canonical = Database.fingerprint result.Chase.db in
+    json_response 200
+      (Json.Obj
+         [
+           "session", Json.str session.id;
+           "algo", Json.str "md5";
+           "fingerprint", Json.str (Digest.to_hex (Digest.string canonical));
+           "facts", Json.int (Database.active_size result.Chase.db);
+           "derived", Json.int result.Chase.derived_count;
+           "rounds", Json.int result.Chase.rounds;
+         ])
+
 (* --- batch explain ---------------------------------------------------------- *)
 
 let batch_item_error ?query code message =
@@ -1030,6 +1057,10 @@ let route_v1 st ~trace_id ~deadline (req : Http.request) rest =
       with_deadline (fun deadline_s ->
           with_session st id (fun s ->
               update_facts st ~deadline_s `Retract s req)) )
+  | Http.GET, [ "sessions"; id; "fingerprint" ] ->
+    ( "GET /v1/sessions/:id/fingerprint",
+      with_deadline (fun deadline_s ->
+          with_session st id (fun s -> session_fingerprint st ~deadline_s s)) )
   | Http.GET, [ "sessions"; id; "templates" ] ->
     "GET /v1/sessions/:id/templates", with_session st id templates
   | Http.GET, [ "sessions"; id; "trace" ] ->
@@ -1044,7 +1075,7 @@ let route_v1 st ~trace_id ~deadline (req : Http.request) rest =
        | [ "debug"; ("runtime" | "sessions" | "inflight" | "slowlog") ]
        | [ "sessions"; _;
            ("explain" | "explain:batch" | "query" | "templates" | "trace"
-           | "facts") ]) ->
+           | "facts" | "fingerprint") ]) ->
     ( Http.meth_to_string req.meth ^ " (known path)",
       Errors.response Errors.Method_not_allowed
         ("method " ^ Http.meth_to_string req.meth ^ " not allowed on "

@@ -5,7 +5,9 @@
 # smoke (magic-sets point queries, answer-cache warm-up, update
 # invalidation and the ekg_query_* series over loopback HTTP), the
 # restart-recovery smoke (kill + restart on the same --store-dir;
-# explanations must be served again without re-running the chase), the parallel-
+# explanations must be served again without re-running the chase), the
+# scale-harness smoke (tiny-N generate -> serve -> CDC replay ->
+# identity gate, with the ekg_loadgen_* series asserted), the parallel-
 # chase bench smoke (writes BENCH_chase.json: wall-clock at domains=1
 # vs 4, admission overhead, incremental maintenance vs cold re-chase,
 # snapshot/restore vs cold chase; fails if parallel, incremental or
@@ -23,6 +25,7 @@ dune build @smoke
 dune build @smoke-faults
 dune build @smoke-query
 dune build @smoke-recovery
+dune build @smoke-scale
 dune exec bench/main.exe -- chase-smoke
 
 # join-engine identity: the columnar hash-join chase and the nested-loop
@@ -56,4 +59,4 @@ else
   echo "ci: odoc not installed; skipped @doc rendering (doc lint still enforced)"
 fi
 
-echo "ci: all green (build + tests + smoke/metrics + fault drills + restart recovery + chase bench + docs)"
+echo "ci: all green (build + tests + smoke/metrics + fault drills + restart recovery + scale replay + chase bench + docs)"

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Documentation lint: every public interface of the reasoning and
-# persistence layers (lib/engine, lib/core, lib/store) must open with
-# an odoc module-level comment —
+# Documentation lint: every public interface of the reasoning,
+# persistence and data-generation layers (lib/engine, lib/core,
+# lib/store, lib/datagen) must open with an odoc module-level comment —
 # `(**` as the first non-blank characters — so `dune build @doc` renders
 # a synopsis for every module and new interfaces cannot land
 # undocumented.  Run from anywhere; exits non-zero listing offenders.
@@ -9,7 +9,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fail=0
-for f in lib/engine/*.mli lib/core/*.mli lib/store/*.mli; do
+for f in lib/engine/*.mli lib/core/*.mli lib/store/*.mli lib/datagen/*.mli; do
   # first non-blank line must start a doc comment
   first="$(awk 'NF {print; exit}' "$f")"
   case "$first" in
@@ -25,4 +25,4 @@ if [ "$fail" -ne 0 ]; then
   echo "doc-lint: failed" >&2
   exit 1
 fi
-echo "doc-lint: ok ($(ls lib/engine/*.mli lib/core/*.mli lib/store/*.mli | wc -l | tr -d ' ') interfaces documented)"
+echo "doc-lint: ok ($(ls lib/engine/*.mli lib/core/*.mli lib/store/*.mli lib/datagen/*.mli | wc -l | tr -d ' ') interfaces documented)"

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Scale-harness smoke: the tiny-N generate -> serve -> replay -> gate
+# loop.  ekg-loadgen grows a seeded synthetic KG + CDC log, a real
+# ekg-serve daemon boots with the generated directory as its root, the
+# replay driver streams every CDC batch through POST|DELETE /facts
+# with a concurrent reader, and the run must pass its identity gate
+# (post-replay fingerprint == cold chase on the final EDB) and write a
+# well-formed BENCH_scale.json.  Finally the ekg_loadgen_* series are
+# asserted present in the driver's --print-metrics exposition — the
+# declaration-at-startup audit for the loadgen registry.
+# Usage: smoke_scale.sh [path/to/loadgen.exe] [path/to/serve.exe]
+set -euo pipefail
+
+LOADGEN="${1:-bin/loadgen.exe}"
+SERVE="${2:-bin/serve.exe}"
+DATA="$(mktemp -d)"
+LOG="$(mktemp)"
+REPLAY_OUT="$(mktemp)"
+OUT="$DATA/BENCH_scale.json"
+PID=""
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$DATA"; rm -f "$LOG" "$REPLAY_OUT"' EXIT
+
+fail() {
+  echo "smoke-scale: $1" >&2
+  shift
+  for extra in "$@"; do printf '%s\n' "$extra" >&2; done
+  exit 1
+}
+
+# 1. generate a tiny graph with every motif kind plus a CDC log
+"$LOADGEN" generate --entities 500 --seed 7 --batches 5 --batch-size 25 \
+  --out "$DATA" >/dev/null \
+  || fail "generation failed"
+for f in company.csv own.csv program.vada cdc.log manifest.json; do
+  [ -s "$DATA/$f" ] || fail "generate did not write $f"
+done
+
+# 2. a real daemon serves the generated directory as its root
+"$SERVE" --port 0 --root "$DATA" >"$LOG" 2>&1 &
+PID=$!
+PORT=""
+for _ in $(seq 1 50); do
+  PORT="$(sed -n 's#.*listening on http://[0-9.]*:\([0-9]*\).*#\1#p' "$LOG")"
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "server did not start" "$(cat "$LOG")"
+
+# 3. replay the CDC log against it under one concurrent reader; the
+#    driver exits non-zero if the identity gate or any request fails
+"$LOADGEN" replay --data "$DATA" --url "http://127.0.0.1:$PORT" \
+  --readers 1 --out "$OUT" --print-metrics >"$REPLAY_OUT" \
+  || fail "replay failed" "$(cat "$REPLAY_OUT")"
+
+# 4. the artifact records the metrics the capacity guide reads
+[ -s "$OUT" ] || fail "replay did not write $OUT"
+for field in '"sustained_updates_per_s"' '"p99_ms"' '"top_heap_words"' \
+             '"server_fingerprint"' '"match":true'; do
+  grep -q -- "$field" "$OUT" \
+    || fail "BENCH_scale.json is missing $field" "$(cat "$OUT")"
+done
+grep -q '"match":false' "$OUT" && fail "identity gate failed" "$(cat "$OUT")"
+
+# 5. metrics hygiene: every ekg_loadgen_* series was declared at
+#    startup and renders in the exposition (traffic series advanced)
+for series in ekg_loadgen_batches_total ekg_loadgen_update_requests_total \
+              ekg_loadgen_facts_streamed_total ekg_loadgen_read_requests_total \
+              ekg_loadgen_errors_total ekg_loadgen_shed_responses_total \
+              ekg_loadgen_retries_total; do
+  grep -q "^$series" "$REPLAY_OUT" \
+    || fail "exposition is missing series $series" "$(cat "$REPLAY_OUT")"
+done
+grep -q "^ekg_loadgen_batches_total 0$" "$REPLAY_OUT" \
+  && fail "batches series never advanced" "$(cat "$REPLAY_OUT")"
+grep -q "^ekg_loadgen_errors_total 0$" "$REPLAY_OUT" \
+  || fail "replay saw request errors" "$(cat "$REPLAY_OUT")"
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+echo "smoke-scale: ok (generate -> serve -> replay -> identity gate, loadgen metrics)"

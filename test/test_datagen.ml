@@ -138,6 +138,184 @@ let test_generator_guards () =
     (Invalid_argument "Owners.aggregated: fanout must be >= 2") (fun () ->
       ignore (Owners.aggregated (Prng.create 1) ~hops:3 ~fanout:1))
 
+(* --- registry-scale generator (Kg) and CDC streams (Cdc) ------------------- *)
+
+let db_fingerprint atoms =
+  let db = Database.create () in
+  List.iter
+    (fun atom ->
+      match Database.add_atom db atom with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "add_atom: %s" e)
+    atoms;
+  Database.fingerprint db
+
+let small_kg_config =
+  {
+    (Kg.default ~entities:120) with
+    Kg.seed = 42;
+    chains = 2;
+    cycles = 2;
+    diamonds = 2;
+    close_links = 2;
+  }
+
+let test_kg_deterministic () =
+  let _, a = Kg.atoms small_kg_config in
+  let _, b = Kg.atoms small_kg_config in
+  check bool' "same config, same fingerprint" true
+    (db_fingerprint a = db_fingerprint b);
+  let _, c = Kg.atoms { small_kg_config with Kg.seed = 43 } in
+  check bool' "different seed, different fingerprint" false
+    (db_fingerprint a = db_fingerprint c)
+
+let test_kg_power_law () =
+  (* the sampler's survival law is P(D ≥ d | active) = d^(1-α), so the
+     empirical tail at d = 4 recovers α without fitting machinery *)
+  let cfg = { (Kg.default ~entities:4000) with Kg.seed = 7 } in
+  let t = Kg.generate cfg ~emit:(fun _ -> ()) in
+  let degrees = Array.to_list t.Kg.core_out_degree in
+  let active = List.filter (fun d -> d >= 1) degrees in
+  let n_active = List.length active in
+  check bool' "enough active entities to estimate from" true (n_active > 500);
+  let tail = List.length (List.filter (fun d -> d >= 4) active) in
+  let survival = float_of_int tail /. float_of_int n_active in
+  let alpha_hat = 1.0 -. (log survival /. log 4.0) in
+  check bool'
+    (Printf.sprintf "estimated exponent %.2f within 0.3 of %.2f" alpha_hat
+       cfg.Kg.exponent)
+    true
+    (Float.abs (alpha_hat -. cfg.Kg.exponent) < 0.3);
+  let mean =
+    float_of_int (List.fold_left ( + ) 0 degrees)
+    /. float_of_int (List.length degrees)
+  in
+  check bool'
+    (Printf.sprintf "mean degree %.2f within 20%% of %.2f" mean
+       cfg.Kg.avg_out_degree)
+    true
+    (Float.abs (mean -. cfg.Kg.avg_out_degree) /. cfg.Kg.avg_out_degree < 0.2)
+
+let small_cdc kg_cfg ~seed cdc_cfg =
+  let kg = Kg.generate kg_cfg ~emit:(fun _ -> ()) in
+  Cdc.generate (Prng.create seed) ~kg cdc_cfg
+
+let test_cdc_retract_validity () =
+  let log =
+    small_cdc small_kg_config ~seed:5
+      { Cdc.default_config with batches = 8; batch_size = 40 }
+  in
+  (match Cdc.validate log with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "validate: %s" e);
+  (* stream shares live on a grid disjoint from the base EDB's, so no
+     retract can name a base fact even by accident *)
+  let _, base = Kg.atoms small_kg_config in
+  let base_keys = Hashtbl.create 256 in
+  List.iter
+    (fun a -> Hashtbl.replace base_keys (Ekg_datalog.Atom.to_string a) ())
+    base;
+  List.iter
+    (fun (b : Cdc.batch) ->
+      check bool' "batch 0 retracts nothing" true
+        (b.seq <> 0 || b.retracts = []);
+      List.iter
+        (fun r ->
+          check bool' "retract never names a base fact" false
+            (Hashtbl.mem base_keys (Ekg_datalog.Atom.to_string r)))
+        b.retracts)
+    log
+
+let test_cdc_serialization_roundtrip () =
+  let log =
+    small_cdc small_kg_config ~seed:9
+      { Cdc.default_config with batches = 5; batch_size = 25 }
+  in
+  match Cdc.of_string (Cdc.to_string log) with
+  | Error e -> Alcotest.failf "of_string: %s" e
+  | Ok log' ->
+    check bool' "to_string/of_string round-trip" true
+      (Cdc.to_string log = Cdc.to_string log')
+
+let test_kg_csv_roundtrip () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ekg_kg_csv_%d" (Unix.getpid ()))
+  in
+  let _ = Kg.to_csv_dir small_kg_config ~dir in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      match Io.load_directory dir with
+      | Error e -> Alcotest.failf "load_directory: %s" e
+      | Ok loaded ->
+        let _, direct = Kg.atoms small_kg_config in
+        check bool' "CSV round-trip preserves the EDB fingerprint" true
+          (db_fingerprint loaded = db_fingerprint direct))
+
+(* the tentpole invariant: replaying the CDC log through incremental
+   add/retract maintenance lands on the same materialization as a cold
+   chase over the final EDB — fingerprint equality, any interleaving *)
+let prop_replay_equals_cold_chase =
+  QCheck2.Test.make ~name:"CDC replay = cold chase on the final EDB" ~count:25
+    QCheck2.Gen.(
+      triple (int_range 0 1000) (int_range 10 60) (int_range 1 5))
+    (fun (seed, entities, batches) ->
+      let kg_cfg =
+        {
+          (Kg.default ~entities) with
+          Kg.seed;
+          chains = 1;
+          cycles = 1;
+          diamonds = 1;
+          close_links = 1;
+        }
+      in
+      let kg, base = Kg.atoms kg_cfg in
+      let log =
+        Cdc.generate
+          (Prng.create (seed + 7919))
+          ~kg
+          { Cdc.default_config with batches; batch_size = 10 }
+      in
+      let program = Company_control.program in
+      let replayed =
+        match Chase.run program base with
+        | Error e -> Alcotest.failf "base chase: %s" e
+        | Ok res ->
+          List.fold_left
+            (fun res (b : Cdc.batch) ->
+              let res =
+                if b.retracts = [] then res
+                else
+                  match Chase.retract_facts program res b.retracts with
+                  | Ok (res, _) -> res
+                  | Error e ->
+                    Alcotest.failf "retract (batch %d): %s" b.seq
+                      (Chase.error_to_string e)
+              in
+              if b.adds = [] then res
+              else
+                match Chase.add_facts program res b.adds with
+                | Ok (res, _) -> res
+                | Error e ->
+                  Alcotest.failf "add (batch %d): %s" b.seq
+                    (Chase.error_to_string e))
+            res log
+      in
+      let cold =
+        match Chase.run program (Cdc.final_edb ~base log) with
+        | Error e -> Alcotest.failf "final chase: %s" e
+        | Ok res -> res
+      in
+      Database.fingerprint replayed.Chase.db = Database.fingerprint cold.Chase.db)
+
+let scale_qsuite = List.map QCheck_alcotest.to_alcotest [ prop_replay_equals_cold_chase ]
+
 let () =
   Alcotest.run "datagen"
     [
@@ -184,4 +362,17 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_generators_deterministic;
           Alcotest.test_case "guards" `Quick test_generator_guards;
         ] );
+      ( "scale",
+        [
+          Alcotest.test_case "kg deterministic by fingerprint" `Quick
+            test_kg_deterministic;
+          Alcotest.test_case "power-law exponent within tolerance" `Quick
+            test_kg_power_law;
+          Alcotest.test_case "cdc retract validity" `Quick
+            test_cdc_retract_validity;
+          Alcotest.test_case "cdc serialization round-trip" `Quick
+            test_cdc_serialization_roundtrip;
+          Alcotest.test_case "csv round-trip" `Quick test_kg_csv_roundtrip;
+        ]
+        @ scale_qsuite );
     ]

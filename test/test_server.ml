@@ -712,6 +712,47 @@ let test_router_facts_live_updates () =
     (contains prom.Http.resp_body "ekg_chase_retracted_facts_total"
     && not (contains prom.Http.resp_body "ekg_chase_retracted_facts_total 0\n"))
 
+let test_router_fingerprint_endpoint () =
+  let st = Router.make_state () in
+  create_closure_session st;
+  let fingerprint () =
+    let r =
+      Router.handle st (request Http.GET [ "v1"; "sessions"; "s1"; "fingerprint" ])
+    in
+    check int' "fingerprint ok" 200 r.Http.status;
+    match Json.parse r.Http.resp_body with
+    | Error e -> Alcotest.failf "fingerprint body: %s" e
+    | Ok j ->
+      check bool' "algo advertised" true (Json.mem_str "algo" j = Some "md5");
+      let fp = Option.get (Json.mem_str "fingerprint" j) in
+      check int' "md5 hex digest" 32 (String.length fp);
+      check bool' "fact count present" true (Json.mem_int "facts" j <> None);
+      fp
+  in
+  let original = fingerprint () in
+  check bool' "stable across repeat requests" true (original = fingerprint ());
+  (* an incremental update must move the canonical identity, and the
+     inverse update must restore it exactly — the replay gate's premise *)
+  let update meth =
+    let r =
+      Router.handle st
+        (request ~body:{|{"facts":["e(\"c\", \"d\")"]}|} meth
+           [ "v1"; "sessions"; "s1"; "facts" ])
+    in
+    check int' "update ok" 200 r.Http.status
+  in
+  update Http.POST;
+  let extended = fingerprint () in
+  check bool' "update moves the fingerprint" false (original = extended);
+  update Http.DELETE;
+  check bool' "inverse update restores the fingerprint" true
+    (original = fingerprint ());
+  (* wrong method on the known path: 405, not 404 *)
+  let bad =
+    Router.handle st (request Http.POST [ "v1"; "sessions"; "s1"; "fingerprint" ])
+  in
+  check int' "POST not allowed" 405 bad.Http.status
+
 let test_router_facts_validation () =
   let st = Router.make_state () in
   create_closure_session st;
@@ -2176,6 +2217,8 @@ let () =
       ( "facts-updates",
         [
           Alcotest.test_case "live add/retract" `Quick test_router_facts_live_updates;
+          Alcotest.test_case "fingerprint endpoint" `Quick
+            test_router_fingerprint_endpoint;
           Alcotest.test_case "validation" `Quick test_router_facts_validation;
           Alcotest.test_case "selective cache invalidation" `Quick
             test_router_facts_selective_invalidation;
